@@ -1,0 +1,27 @@
+//! Baseline WRONoC routers the XRing paper compares against.
+//!
+//! * [`ornoc`] — ORNoC (Le Beux et al., DATE 2011): first-fit wavelength
+//!   assignment on the same ring-waveguide construction as XRing, no
+//!   shortcuts, no openings, and the crossing PDN of ORing \[17\].
+//! * [`oring`] — ORing (Ortín-Obón et al., TVLSI 2017): the manually
+//!   designed ring router with per-direction waveguides and a comb-style
+//!   PDN that crosses ring waveguides.
+//! * [`crossbar`] — analytic models of the crossbar routers λ-router,
+//!   GWOR and Light as synthesized by Proton+, PlanarONoC and ToPro
+//!   (Table I's upper rows); see DESIGN.md §2 for the substitution note.
+//! * [`ring_common`] — the shared "crossing PDN" realization: lowering a
+//!   mapped ring plan to a [`xring_core::LayoutModel`] whose PDN branches
+//!   cross ring waveguides, injecting loss and first-order noise.
+
+pub mod crossbar;
+pub mod lambda_router;
+pub mod matrix_crossbar;
+pub mod oring;
+pub mod ornoc;
+pub mod ring_common;
+
+pub use crossbar::{crossbar_report, CrossbarKind, LayoutStyle};
+pub use lambda_router::{verify_non_blocking, LambdaRouterStats};
+pub use oring::synthesize_oring;
+pub use ornoc::synthesize_ornoc;
+pub use ring_common::BaselineDesign;

@@ -1,0 +1,278 @@
+//! An executable matrix-crossbar topology (the GWOR class \[7\]).
+//!
+//! GWOR's defining property is all-to-all wavelength routing with `N−1`
+//! wavelengths over a grid of waveguides with CSEs at the intersections.
+//! This module implements the canonical matrix form of that class: one
+//! horizontal *row* waveguide per source, one vertical *column* waveguide
+//! per destination, and a CSE at `(row i, column j)` tuned to the
+//! round-robin wavelength of the pair `{i, j}` (see [`wavelength_for`]).
+//!
+//! Unlike the per-tool analytic rows of [`crate::crossbar`], everything
+//! here is *constructed*: signal paths are real rectilinear segments (via
+//! `xring-geom`), and [`verify_non_blocking`] proves the wavelength
+//! assignment collision-free by geometric overlap checking rather than by
+//! assertion.
+
+use xring_geom::{Point, Segment, SegmentIntersection};
+
+/// Element pitch of the grid, µm (spacing of rows/columns).
+pub const ELEMENT_PITCH_UM: i64 = 100;
+
+/// Wavelength index of the signal `source i → destination j` in an
+/// `n`-port matrix crossbar (`n` even, like GWOR).
+///
+/// Uses the round-robin 1-factorization of `K_n` (the "circle method"):
+/// the unordered pair `{i, j}` is assigned the round it would play in an
+/// `n`-team tournament. Signals sharing a row (same source) or a column
+/// (same destination) always land in different rounds, so `n − 1`
+/// wavelengths suffice — the GWOR property. The two directions of a pair
+/// share a wavelength, which is safe because their paths are disjoint.
+///
+/// # Panics
+///
+/// Panics if `i == j`, either port is out of range, or `n` is odd
+/// (GWOR-class routers are defined for even port counts).
+pub fn wavelength_for(i: usize, j: usize, n: usize) -> usize {
+    assert!(i < n && j < n, "port out of range");
+    assert_ne!(i, j, "no self-traffic");
+    assert_eq!(n % 2, 0, "matrix crossbar needs an even port count");
+    let m = n - 1;
+    if i == m {
+        (2 * j) % m
+    } else if j == m {
+        (2 * i) % m
+    } else {
+        (i + j) % m
+    }
+}
+
+/// The rectilinear path of signal `i → j`: along row `i` from the left
+/// edge to column `j`, then down column `j` to the bottom edge.
+pub fn path(i: usize, j: usize, n: usize) -> [Segment; 2] {
+    assert!(i < n && j < n && i != j, "bad ports");
+    let p = ELEMENT_PITCH_UM;
+    let y = i as i64 * p;
+    let x = j as i64 * p;
+    let row = Segment::new(Point::new(-p, y), Point::new(x, y));
+    let col = Segment::new(Point::new(x, y), Point::new(x, n as i64 * p));
+    [row, col]
+}
+
+/// Structural facts about the worst-case signal of an `n`-port matrix
+/// crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixCrossbarStats {
+    /// Wavelengths needed (`n − 1`).
+    pub wavelengths: usize,
+    /// Waveguide crossings passed on the worst-case path.
+    pub worst_crossings: usize,
+    /// Off-resonance CSEs passed on the worst-case path.
+    pub worst_throughs: usize,
+    /// Total CSEs in the router (`n(n−1)`; the diagonal has none).
+    pub total_elements: usize,
+    /// Worst path length in µm.
+    pub worst_length_um: i64,
+}
+
+/// Computes exact structural stats by walking every signal's real path.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn stats(n: usize) -> MatrixCrossbarStats {
+    assert!(n >= 2);
+    let mut worst_crossings = 0usize;
+    let mut worst_throughs = 0usize;
+    let mut worst_length = 0i64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let [row, col] = path(i, j, n);
+            let length = row.length() + col.length();
+            // Crossings: the row segment crosses every column waveguide
+            // strictly before column j; the column segment crosses every
+            // row waveguide strictly below row i.
+            let mut crossings = 0usize;
+            let mut throughs = 0usize;
+            for k in 0..n {
+                if k != j {
+                    // Does column k cross the row span?
+                    let colx = k as i64 * ELEMENT_PITCH_UM;
+                    if colx > row.start().x && colx < row.end().x {
+                        crossings += 1;
+                        // A CSE sits there iff (i, k) is a valid pair.
+                        if k != i {
+                            throughs += 1;
+                        }
+                    }
+                }
+                if k != i {
+                    let rowy = k as i64 * ELEMENT_PITCH_UM;
+                    if rowy > col.start().y && rowy < col.end().y {
+                        crossings += 1;
+                        if k != j {
+                            throughs += 1;
+                        }
+                    }
+                }
+            }
+            if crossings > worst_crossings {
+                worst_crossings = crossings;
+            }
+            if throughs > worst_throughs {
+                worst_throughs = throughs;
+            }
+            if length > worst_length {
+                worst_length = length;
+            }
+        }
+    }
+    MatrixCrossbarStats {
+        wavelengths: n - 1,
+        worst_crossings,
+        worst_throughs,
+        total_elements: n * (n - 1),
+        worst_length_um: worst_length,
+    }
+}
+
+/// A colliding pair of `(source, destination)` signals.
+pub type Collision = ((usize, usize), (usize, usize));
+
+/// Geometric non-blocking proof: no two distinct signals on the same
+/// wavelength share a waveguide stretch of positive length.
+///
+/// # Errors
+///
+/// Returns the first colliding pair on failure.
+pub fn verify_non_blocking(n: usize) -> Result<(), Collision> {
+    let mut signals = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                signals.push((i, j, wavelength_for(i, j, n), path(i, j, n)));
+            }
+        }
+    }
+    for a in 0..signals.len() {
+        for b in a + 1..signals.len() {
+            let (i1, j1, w1, p1) = &signals[a];
+            let (i2, j2, w2, p2) = &signals[b];
+            if w1 != w2 {
+                continue;
+            }
+            for s1 in p1 {
+                for s2 in p2 {
+                    if let SegmentIntersection::Overlap(ov) = s1.intersection(s2) {
+                        if !ov.is_degenerate() {
+                            return Err(((*i1, *j1), (*i2, *j2)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_rule_uses_n_minus_1_channels() {
+        for n in [4usize, 8, 16, 32] {
+            let mut used = std::collections::HashSet::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let w = wavelength_for(i, j, n);
+                        assert!(w < n - 1);
+                        used.insert(w);
+                    }
+                }
+            }
+            assert_eq!(used.len(), n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_carry_distinct_wavelengths() {
+        let n = 8;
+        for i in 0..n {
+            let mut seen = std::collections::HashSet::new();
+            for j in 0..n {
+                if j != i {
+                    assert!(seen.insert(wavelength_for(i, j, n)), "row {i} collision");
+                }
+            }
+        }
+        for j in 0..n {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                if j != i {
+                    assert!(seen.insert(wavelength_for(i, j, n)), "column {j} collision");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_non_blocking_proof_for_paper_sizes() {
+        for n in [2usize, 4, 8, 16, 32] {
+            verify_non_blocking(n).unwrap_or_else(|(a, b)| {
+                panic!("n={n}: signals {a:?} and {b:?} collide")
+            });
+        }
+    }
+
+    #[test]
+    fn paths_are_l_shaped_and_connected() {
+        let n = 6;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let [row, col] = path(i, j, n);
+                assert!(row.is_horizontal());
+                assert!(col.is_vertical());
+                assert_eq!(row.end(), col.start());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_scale_linearly() {
+        let s8 = stats(8);
+        let s16 = stats(16);
+        assert_eq!(s8.wavelengths, 7);
+        assert_eq!(s16.wavelengths, 15);
+        assert_eq!(s8.total_elements, 56);
+        assert_eq!(s16.total_elements, 240);
+        assert!(s16.worst_crossings > s8.worst_crossings);
+        // Worst crossings grow as ~2n: bounded by 2n for both sizes.
+        assert!(s8.worst_crossings <= 2 * 8);
+        assert!(s16.worst_crossings <= 2 * 16);
+        assert!(s16.worst_length_um > s8.worst_length_um);
+    }
+
+    #[test]
+    fn analytic_gwor_row_is_consistent_with_the_executable_model() {
+        use crate::crossbar::CrossbarKind;
+        for n in [8usize, 16] {
+            let exact = stats(n);
+            assert_eq!(CrossbarKind::Gwor.wavelengths(n), exact.wavelengths);
+            // The analytic internal-crossing count (n + 2) approximates
+            // the executable model's worst case within 2x.
+            let analytic = CrossbarKind::Gwor.internal_crossings(n);
+            assert!(
+                analytic <= 2 * exact.worst_crossings && exact.worst_crossings <= 2 * analytic,
+                "n={n}: analytic {analytic} vs exact {}",
+                exact.worst_crossings
+            );
+        }
+    }
+}

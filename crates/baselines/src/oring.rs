@@ -1,0 +1,102 @@
+//! ORing (Ortín-Obón et al., TVLSI 2017): the manually designed ring
+//! router with a PDN.
+//!
+//! ORing orders the nodes along the floorplan perimeter (the hand layout
+//! of its Fig. 10), assigns wavelengths first-fit in each signal's
+//! shorter ring direction under the `#wl` cap (the hand-assignment style
+//! of \[17\]), builds no shortcuts and no openings, and supplies power
+//! through the comb PDN that crosses ring waveguides.
+
+use crate::ring_common::{first_fit_map, realize_ring_baseline, BaselineDesign};
+use std::time::Instant;
+use xring_core::{NetworkSpec, RingAlgorithm, RingBuilder, RingSpacing, SynthesisError};
+use xring_phot::{CrosstalkParams, LossParams};
+
+/// Synthesizes the ORing baseline.
+///
+/// # Errors
+///
+/// Propagates mapping failures
+/// ([`SynthesisError::WavelengthBudgetExceeded`]).
+pub fn synthesize_oring(
+    net: &NetworkSpec,
+    max_wavelengths: usize,
+    with_pdn: bool,
+    loss: &LossParams,
+    xtalk: &CrosstalkParams,
+) -> Result<BaselineDesign, SynthesisError> {
+    let t0 = Instant::now();
+    // Manual design: perimeter node order, not the MILP.
+    let ring = RingBuilder::new()
+        .with_algorithm(RingAlgorithm::Perimeter)
+        .build(net)?;
+    let plan = first_fit_map(&ring.cycle, max_wavelengths);
+    let layout = realize_ring_baseline(
+        net,
+        &ring.cycle,
+        &plan,
+        loss,
+        xtalk,
+        with_pdn,
+        RingSpacing::default(),
+    );
+    Ok(BaselineDesign {
+        cycle: ring.cycle,
+        plan,
+        layout,
+        elapsed: t0.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ornoc::synthesize_ornoc;
+    use xring_phot::PowerParams;
+
+    #[test]
+    fn oring_maps_everything() {
+        let net = NetworkSpec::psion_16();
+        let d = synthesize_oring(
+            &net,
+            12,
+            true,
+            &LossParams::oring(),
+            &CrosstalkParams::nikdast(),
+        )
+        .expect("built");
+        assert_eq!(d.layout.signals.len(), 240);
+        assert_eq!(d.plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn oring_has_shorter_worst_paths_than_ornoc() {
+        // ORNoC's reuse-greedy assignment routes some signals the long
+        // way around; ORing's shortest-direction assignment does not.
+        let net = NetworkSpec::psion_16();
+        let loss = LossParams::oring();
+        let xt = CrosstalkParams::nikdast();
+        let p = PowerParams::default();
+        let oring = synthesize_oring(&net, 16, false, &loss, &xt).expect("oring");
+        let ornoc = synthesize_ornoc(&net, 16, false, &loss, &xt).expect("ornoc");
+        let r_oring = oring.report("oring", &loss, None, &p);
+        let r_ornoc = ornoc.report("ornoc", &loss, None, &p);
+        assert!(
+            r_oring.worst_path_len_mm <= r_ornoc.worst_path_len_mm + 1e-9,
+            "{} vs {}",
+            r_oring.worst_path_len_mm,
+            r_ornoc.worst_path_len_mm
+        );
+    }
+
+    #[test]
+    fn oring_with_pdn_reports_power() {
+        let net = NetworkSpec::psion_16();
+        let loss = LossParams::oring();
+        let xt = CrosstalkParams::nikdast();
+        let d = synthesize_oring(&net, 12, true, &loss, &xt).expect("built");
+        let r = d.report("ORing/16", &loss, Some(&xt), &PowerParams::default());
+        assert!(r.total_power_w.expect("pdn") > 0.0);
+        assert!(r.noisy_signal_count.expect("evaluated") > 0);
+    }
+}

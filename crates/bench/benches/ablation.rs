@@ -1,0 +1,28 @@
+//! Criterion bench for the design-choice ablations (experiments E5–E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xring_bench::tables::{
+    ablation_pdn, ablation_ring, ablation_shortcuts, print_sections,
+};
+
+fn bench_ablation(c: &mut Criterion) {
+    print_sections(&ablation_shortcuts().expect("E5"));
+    print_sections(&ablation_pdn().expect("E6"));
+    print_sections(&ablation_ring().expect("E7"));
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("shortcuts_e5", |b| {
+        b.iter(|| ablation_shortcuts().expect("E5"));
+    });
+    g.bench_function("pdn_e6", |b| {
+        b.iter(|| ablation_pdn().expect("E6"));
+    });
+    g.bench_function("ring_e7", |b| {
+        b.iter(|| ablation_ring().expect("E7"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

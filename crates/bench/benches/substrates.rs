@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the substrates: the MILP solver, the geometry
+//! kernel's conflict classification, and the noise-propagation engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xring_core::{NetworkSpec, RingBuilder, SynthesisOptions, Synthesizer};
+use xring_geom::{classify_edge_pair, Point, TwoSat};
+use xring_milp::{BranchAndBound, LinExpr, Model, Relation};
+use xring_phot::{CrosstalkParams, LossParams};
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp");
+    g.sample_size(10);
+
+    // A 12-city assignment-relaxed TSP-like model (degree + pair
+    // constraints), representative of the ring MILP's structure.
+    g.bench_function("ring_milp_12", |b| {
+        let net = NetworkSpec::regular_grid(3, 4, 1_000).expect("grid");
+        b.iter(|| RingBuilder::new().build(&net).expect("ring"));
+    });
+
+    g.bench_function("knapsack_30", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..30).map(|i| m.add_binary(format!("x{i}"))).collect();
+            let mut w = LinExpr::new();
+            let mut obj = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                w += (v, (i % 7 + 1) as f64);
+                obj += (v, -((i % 5 + 1) as f64));
+            }
+            m.add_constraint(w, Relation::Le, 40.0);
+            m.set_objective(obj);
+            BranchAndBound::new().solve(&m).expect("feasible")
+        });
+    });
+    g.finish();
+}
+
+fn bench_geom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geom");
+    g.bench_function("classify_1k_edge_pairs", |b| {
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 8) * 997, (i / 8) * 1_003))
+            .collect();
+        b.iter(|| {
+            let mut conflicting = 0usize;
+            for i in 0..32 {
+                for j in 32..64 {
+                    if classify_edge_pair(pts[i], pts[63 - i], pts[j], pts[95 - j])
+                        .is_conflicting()
+                    {
+                        conflicting += 1;
+                    }
+                }
+            }
+            conflicting
+        });
+    });
+
+    g.bench_function("twosat_10k_vars", |b| {
+        b.iter(|| {
+            let n = 10_000;
+            let mut sat = TwoSat::new(n);
+            for v in 0..n - 1 {
+                sat.add_clause(v, false, v + 1, true);
+            }
+            sat.force(0, true);
+            sat.solve().expect("sat")
+        });
+    });
+    g.finish();
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise");
+    g.sample_size(10);
+    let net = NetworkSpec::psion_16();
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14))
+        .synthesize(&net)
+        .expect("synthesized");
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    g.bench_function("evaluate_noise_16", |b| {
+        b.iter(|| design.layout.evaluate_noise(&loss, &xtalk));
+    });
+    g.bench_function("trace_all_16", |b| {
+        b.iter(|| {
+            (0..design.layout.signals.len() as u32)
+                .map(|i| design.layout.trace(xring_phot::SignalId(i)).len())
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_milp, bench_geom, bench_noise);
+criterion_main!(benches);

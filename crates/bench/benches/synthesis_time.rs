@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E8: synthesis runtime vs network size
+//! (the paper's "synthesizes a 16-node router including a PDN within one
+//! second" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xring_core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer};
+
+fn bench_synthesis_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_time");
+    g.sample_size(10);
+
+    for n in [4usize, 8, 12, 16, 20, 24, 32] {
+        let cols = (n / 4).max(1);
+        let rows = n / cols;
+        let net = NetworkSpec::regular_grid(rows, cols, 2_000).expect("grid");
+        let wl = n.max(4);
+        g.bench_with_input(BenchmarkId::new("milp_full_pipeline", n), &net, |b, net| {
+            let synth = Synthesizer::new(SynthesisOptions::with_wavelengths(wl));
+            b.iter(|| synth.synthesize(net).expect("synthesis"));
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic_full_pipeline", n), &net, |b, net| {
+            let synth = Synthesizer::new(SynthesisOptions {
+                ring_algorithm: RingAlgorithm::Heuristic,
+                ..SynthesisOptions::with_wavelengths(wl)
+            });
+            b.iter(|| synth.synthesize(net).expect("synthesis"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis_time);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating **Table I** (experiment E1): times the
+//! full no-PDN comparison flow per router family and prints the rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xring_bench::tables::{print_sections, table1, xring_report, RingContext};
+use xring_core::NetworkSpec;
+use xring_phot::{LossParams, PowerParams};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once so bench logs double as results.
+    print_sections(&table1().expect("table1"));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    g.bench_function("full_table", |b| {
+        b.iter(|| table1().expect("table1"));
+    });
+
+    for (name, net, wl) in [
+        ("xring_8_no_pdn", NetworkSpec::proton_8(), 7),
+        ("xring_16_no_pdn", NetworkSpec::proton_16(), 14),
+    ] {
+        let ctx = RingContext::milp(net).expect("ring");
+        let loss = LossParams::proton_plus();
+        let power = PowerParams::default();
+        g.bench_function(name, |b| {
+            b.iter(|| xring_report(&ctx, wl, false, &loss, None, &power).expect("xring"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

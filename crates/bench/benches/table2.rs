@@ -1,0 +1,37 @@
+//! Criterion bench regenerating **Table II** (experiment E2): ORNoC vs
+//! XRing with PDNs on 8-/16-/32-node networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xring_bench::tables::{ornoc_report, print_sections, table2, xring_report, RingContext};
+use xring_core::NetworkSpec;
+use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+
+fn bench_table2(c: &mut Criterion) {
+    print_sections(&table2().expect("table2"));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    for (name, net, wl) in [
+        ("8_node", NetworkSpec::psion_8(), 8),
+        ("16_node", NetworkSpec::psion_16(), 14),
+        ("32_node", NetworkSpec::psion_32(), 24),
+    ] {
+        let ctx = RingContext::milp(net).expect("ring");
+        let loss = LossParams::oring();
+        let xtalk = CrosstalkParams::nikdast();
+        let power = PowerParams::default();
+        g.bench_function(format!("xring_{name}_with_pdn"), |b| {
+            b.iter(|| {
+                xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).expect("xring")
+            });
+        });
+        g.bench_function(format!("ornoc_{name}_with_pdn"), |b| {
+            b.iter(|| ornoc_report(&ctx, wl, true, &loss, Some(&xtalk), &power));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

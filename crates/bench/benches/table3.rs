@@ -1,0 +1,28 @@
+//! Criterion bench regenerating **Table III** (experiment E3): ORing vs
+//! XRing with PDNs on the 16-node network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xring_bench::tables::{oring_report, print_sections, table3};
+use xring_core::NetworkSpec;
+use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+
+fn bench_table3(c: &mut Criterion) {
+    print_sections(&table3().expect("table3"));
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("full_table", |b| {
+        b.iter(|| table3().expect("table3"));
+    });
+    let net = NetworkSpec::psion_16();
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+    g.bench_function("oring_16_with_pdn", |b| {
+        b.iter(|| oring_report(&net, 12, true, &loss, Some(&xtalk), &power).expect("oring"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

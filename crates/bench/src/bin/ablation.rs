@@ -1,0 +1,22 @@
+//! Runs the design-choice ablations (DESIGN.md E5–E7).
+//!
+//! Run with: `cargo run --release -p xring-bench --bin ablation -- [shortcuts|pdn|ring|all]`
+
+use xring_bench::tables::{ablation_pdn, ablation_ring, ablation_shortcuts, print_sections};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "shortcuts" || which == "all" {
+        println!("ABLATION E5 — Step 2 (shortcut construction)\n");
+        print_sections(&ablation_shortcuts()?);
+    }
+    if which == "pdn" || which == "all" {
+        println!("ABLATION E6 — Step 3/4 (openings + crossing-free PDN)\n");
+        print_sections(&ablation_pdn()?);
+    }
+    if which == "ring" || which == "all" {
+        println!("ABLATION E7 — Step 1 (ring-construction algorithm)\n");
+        print_sections(&ablation_ring()?);
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table III**: ORing vs XRing for a 16-node network with
+//! PDNs.
+//!
+//! Run with: `cargo run --release -p xring-bench --bin table3`
+
+use xring_bench::tables::{print_sections, table3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TABLE III — ORing vs XRing for a 16-node network (with PDNs)\n");
+    print_sections(&table3()?);
+    Ok(())
+}

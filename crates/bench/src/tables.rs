@@ -1,0 +1,553 @@
+//! Row generators for every table of the paper, plus ablations.
+
+use std::time::{Duration, Instant};
+use xring_baselines::ornoc::ornoc_map;
+use xring_baselines::ring_common::realize_ring_baseline;
+use xring_baselines::{crossbar_report, synthesize_oring, CrossbarKind, LayoutStyle};
+use xring_core::{
+    design_pdn, map_signals, open_rings, plan_shortcuts, NetworkSpec, RingAlgorithm,
+    RingBuilder, RingCycle, RingSpacing, RingStats, SynthesisError,
+    SynthesisOptions, Synthesizer,
+};
+use xring_geom::Point;
+use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+/// A network with its (expensive, `#wl`-independent) MILP ring, shared
+/// between XRing and ORNoC exactly as the paper does in Sec. IV-B.
+#[derive(Debug, Clone)]
+pub struct RingContext {
+    /// The network.
+    pub net: NetworkSpec,
+    /// The MILP-constructed ring.
+    pub cycle: RingCycle,
+    /// Time spent in ring construction.
+    pub ring_time: Duration,
+    /// Construction statistics.
+    pub stats: RingStats,
+}
+
+impl RingContext {
+    /// Builds the MILP ring for `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MILP failures.
+    pub fn milp(net: NetworkSpec) -> Result<Self, SynthesisError> {
+        let t0 = Instant::now();
+        let out = RingBuilder::new().build(&net)?;
+        Ok(RingContext {
+            net,
+            cycle: out.cycle,
+            ring_time: t0.elapsed(),
+            stats: out.stats,
+        })
+    }
+}
+
+/// Selection criterion for the `#wl` sweep ("we vary the settings of #wl
+/// and pick the one with …", Sec. IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickBy {
+    /// Minimum worst-case insertion loss (Table I).
+    MinIl,
+    /// Minimum total laser power (Tables II/III).
+    MinPower,
+    /// Maximum worst-case SNR, treating noise-free designs as unbounded
+    /// SNR (Tables II/III).
+    MaxSnr,
+}
+
+/// Picks the best report of a sweep under `by`.
+pub fn pick_best(reports: Vec<RouterReport>, by: PickBy) -> RouterReport {
+    assert!(!reports.is_empty(), "sweep produced no candidates");
+    reports
+        .into_iter()
+        .min_by(|a, b| {
+            let key = |r: &RouterReport| match by {
+                PickBy::MinIl => r.worst_il_db,
+                PickBy::MinPower => r.total_power_w.unwrap_or(f64::INFINITY),
+                // Negate so that min == max SNR; None = noise-free = best.
+                PickBy::MaxSnr => -r.worst_snr_db.unwrap_or(f64::INFINITY),
+            };
+            key(a)
+                .partial_cmp(&key(b))
+                .expect("metrics are never NaN")
+                .then(
+                    a.total_power_w
+                        .unwrap_or(0.0)
+                        .partial_cmp(&b.total_power_w.unwrap_or(0.0))
+                        .expect("power is never NaN"),
+                )
+        })
+        .expect("non-empty")
+}
+
+/// Runs the XRing pipeline (steps 2–4 on a pre-built ring) for one `#wl`.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn xring_report(
+    ctx: &RingContext,
+    max_wavelengths: usize,
+    with_pdn: bool,
+    loss: &LossParams,
+    xtalk: Option<&CrosstalkParams>,
+    power: &PowerParams,
+) -> Result<RouterReport, SynthesisError> {
+    let t0 = Instant::now();
+    let shortcuts = plan_shortcuts(&ctx.net, &ctx.cycle);
+    let mut plan = map_signals(&ctx.net, &ctx.cycle, &shortcuts, max_wavelengths, 0)?;
+    open_rings(&ctx.cycle, &mut plan, max_wavelengths);
+    let pdn = with_pdn.then(|| {
+        design_pdn(
+            &ctx.net,
+            &ctx.cycle,
+            &plan,
+            &shortcuts,
+            loss,
+            Point::new(-1_000, -1_000),
+        )
+    });
+    let layout = xring_core::design::realize(
+        &ctx.net,
+        &ctx.cycle,
+        &shortcuts,
+        &plan,
+        pdn.as_ref(),
+        RingSpacing::default(),
+    );
+    let elapsed = ctx.ring_time + t0.elapsed();
+    Ok(layout.evaluate(format!("XRing (#wl={max_wavelengths})"), loss, xtalk, power, elapsed))
+}
+
+/// Runs ORNoC (on the shared ring) for one `#wl`.
+pub fn ornoc_report(
+    ctx: &RingContext,
+    max_wavelengths: usize,
+    with_pdn: bool,
+    loss: &LossParams,
+    xtalk: Option<&CrosstalkParams>,
+    power: &PowerParams,
+) -> RouterReport {
+    let t0 = Instant::now();
+    let plan = ornoc_map(&ctx.net, &ctx.cycle, max_wavelengths);
+    let layout = realize_ring_baseline(
+        &ctx.net,
+        &ctx.cycle,
+        &plan,
+        loss,
+        xtalk.unwrap_or(&CrosstalkParams::nikdast()),
+        with_pdn,
+        RingSpacing::default(),
+    );
+    let elapsed = ctx.ring_time + t0.elapsed();
+    layout.evaluate(format!("ORNoC (#wl={max_wavelengths})"), loss, xtalk, power, elapsed)
+}
+
+/// Runs ORing for one `#wl`.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn oring_report(
+    net: &NetworkSpec,
+    max_wavelengths: usize,
+    with_pdn: bool,
+    loss: &LossParams,
+    xtalk: Option<&CrosstalkParams>,
+    power: &PowerParams,
+) -> Result<RouterReport, SynthesisError> {
+    let design = synthesize_oring(
+        net,
+        max_wavelengths,
+        with_pdn,
+        loss,
+        xtalk.unwrap_or(&CrosstalkParams::nikdast()),
+    )?;
+    Ok(design.report(format!("ORing (#wl={max_wavelengths})"), loss, xtalk, power))
+}
+
+fn wl_candidates(n: usize) -> Vec<usize> {
+    match n {
+        0..=8 => vec![2, 3, 4, 5, 6, 7, 8],
+        9..=16 => vec![4, 6, 8, 10, 12, 14, 16],
+        _ => vec![8, 12, 16, 20, 24, 32],
+    }
+}
+
+/// **Table I**: 8- and 16-node routers *without* PDNs. Returns
+/// `(section title, rows)` pairs.
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn table1() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::proton_plus();
+    let power = PowerParams::default();
+    let mut out = Vec::new();
+    for (title, net, topro_kind) in [
+        ("8-node network", NetworkSpec::proton_8(), CrossbarKind::Gwor),
+        ("16-node network", NetworkSpec::proton_16(), CrossbarKind::Light),
+    ] {
+        let n = net.len();
+        let mut rows = Vec::new();
+        rows.push(crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::ProtonPlus,
+            &net,
+            &loss,
+        ));
+        rows.push(crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::PlanarOnoc,
+            &net,
+            &loss,
+        ));
+        rows.push(crossbar_report(topro_kind, LayoutStyle::ToPro, &net, &loss));
+
+        let ctx = RingContext::milp(net.clone())?;
+        let ornoc = pick_best(
+            wl_candidates(n)
+                .into_iter()
+                .map(|wl| ornoc_report(&ctx, wl, false, &loss, None, &power))
+                .collect(),
+            PickBy::MinIl,
+        );
+        rows.push(relabel(ornoc, "ORNoC"));
+        let oring = pick_best(
+            wl_candidates(n)
+                .into_iter()
+                .filter_map(|wl| oring_report(&net, wl, false, &loss, None, &power).ok())
+                .collect(),
+            PickBy::MinIl,
+        );
+        rows.push(relabel(oring, "ORing"));
+        let xr = pick_best(
+            wl_candidates(n)
+                .into_iter()
+                .filter_map(|wl| xring_report(&ctx, wl, false, &loss, None, &power).ok())
+                .collect(),
+            PickBy::MinIl,
+        );
+        rows.push(relabel(xr, "XRing"));
+        out.push((title.to_string(), rows));
+    }
+    Ok(out)
+}
+
+fn relabel(mut r: RouterReport, prefix: &str) -> RouterReport {
+    r.label = format!("{prefix} {}", r.label.split('(').nth(1).map(|s| format!("({s}")).unwrap_or_default());
+    if !r.label.contains('(') {
+        r.label = prefix.to_string();
+    }
+    r
+}
+
+/// **Table II**: ORNoC vs XRing with PDNs for 8-, 16- and 32-node
+/// networks, min-power and max-SNR settings.
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn table2() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+    let mut out = Vec::new();
+    for (n_label, net) in [
+        ("8-node", NetworkSpec::psion_8()),
+        ("16-node", NetworkSpec::psion_16()),
+        ("32-node", NetworkSpec::psion_32()),
+    ] {
+        let n = net.len();
+        let ctx = RingContext::milp(net.clone())?;
+        let ornoc_sweep: Vec<RouterReport> = wl_candidates(n)
+            .into_iter()
+            .map(|wl| ornoc_report(&ctx, wl, true, &loss, Some(&xtalk), &power))
+            .collect();
+        let xring_sweep: Vec<RouterReport> = wl_candidates(n)
+            .into_iter()
+            .filter_map(|wl| xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).ok())
+            .collect();
+        for (setting, by) in [("min. power", PickBy::MinPower), ("max. SNR", PickBy::MaxSnr)] {
+            let rows = vec![
+                relabel(pick_best(ornoc_sweep.clone(), by), "ORNoC"),
+                relabel(pick_best(xring_sweep.clone(), by), "XRing"),
+            ];
+            out.push((format!("{setting} for {n_label} networks"), rows));
+        }
+    }
+    Ok(out)
+}
+
+/// **Table III**: ORing vs XRing for a 16-node network with PDNs.
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn table3() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+    let net = NetworkSpec::psion_16();
+    let ctx = RingContext::milp(net.clone())?;
+    let oring_sweep: Vec<RouterReport> = wl_candidates(16)
+        .into_iter()
+        .filter_map(|wl| oring_report(&net, wl, true, &loss, Some(&xtalk), &power).ok())
+        .collect();
+    let xring_sweep: Vec<RouterReport> = wl_candidates(16)
+        .into_iter()
+        .filter_map(|wl| xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).ok())
+        .collect();
+    let mut out = Vec::new();
+    for (setting, by) in [("min. power", PickBy::MinPower), ("max. SNR", PickBy::MaxSnr)] {
+        let rows = vec![
+            relabel(pick_best(oring_sweep.clone(), by), "ORing"),
+            relabel(pick_best(xring_sweep.clone(), by), "XRing"),
+        ];
+        out.push((format!("The setting for {setting}"), rows));
+    }
+    Ok(out)
+}
+
+/// **Ablation E5**: Step-2 shortcuts on/off (16- and 32-node).
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn ablation_shortcuts() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::oring();
+    let power = PowerParams::default();
+    let mut out = Vec::new();
+    for (label, net, wl) in [
+        ("16-node", NetworkSpec::psion_16(), 14),
+        ("32-node", NetworkSpec::psion_32(), 24),
+    ] {
+        let mut rows = Vec::new();
+        for (name, shortcuts) in [("with shortcuts", true), ("without shortcuts", false)] {
+            let design = Synthesizer::new(SynthesisOptions {
+                shortcuts,
+                ..SynthesisOptions::with_wavelengths(wl)
+            })
+            .synthesize(&net)?;
+            rows.push(design.report(name, &loss, None, &power));
+        }
+        out.push((format!("shortcut ablation, {label}"), rows));
+    }
+    Ok(out)
+}
+
+/// **Ablation E6**: ring openings + crossing-free PDN vs no openings
+/// (16-node).
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn ablation_pdn() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+    let net = NetworkSpec::psion_16();
+    let mut rows = Vec::new();
+    for (name, openings) in [("openings + crossing-free PDN", true), ("no openings", false)] {
+        let design = Synthesizer::new(SynthesisOptions {
+            openings,
+            ..SynthesisOptions::with_wavelengths(14)
+        })
+        .synthesize(&net)?;
+        rows.push(design.report(name, &loss, Some(&xtalk), &power));
+    }
+    Ok(vec![("PDN/opening ablation, 16-node".to_string(), rows)])
+}
+
+/// **Ablation E7**: Step-1 algorithm (MILP vs heuristic vs perimeter).
+///
+/// # Errors
+///
+/// Propagates synthesis failures.
+pub fn ablation_ring() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+    let loss = LossParams::oring();
+    let power = PowerParams::default();
+    let mut out = Vec::new();
+    for (label, net, wl) in [
+        ("8-node", NetworkSpec::psion_8(), 8),
+        ("16-node", NetworkSpec::psion_16(), 14),
+        ("32-node", NetworkSpec::psion_32(), 24),
+    ] {
+        let mut rows = Vec::new();
+        for (name, algorithm) in [
+            ("MILP ring", RingAlgorithm::Milp),
+            ("heuristic ring", RingAlgorithm::Heuristic),
+            ("perimeter ring", RingAlgorithm::Perimeter),
+        ] {
+            let design = Synthesizer::new(SynthesisOptions {
+                ring_algorithm: algorithm,
+                ..SynthesisOptions::with_wavelengths(wl)
+            })
+            .synthesize(&net)?;
+            rows.push(design.report(name, &loss, None, &power));
+        }
+        out.push((format!("ring-construction ablation, {label}"), rows));
+    }
+    Ok(out)
+}
+
+/// Prints sections of rows in the paper's tabular style.
+pub fn print_sections(sections: &[(String, Vec<RouterReport>)]) {
+    for (title, rows) in sections {
+        println!("== {title} ==");
+        println!("{}", RouterReport::table_header());
+        for r in rows {
+            println!("{r}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wl_candidate_buckets() {
+        assert!(wl_candidates(8).contains(&7));
+        assert!(wl_candidates(16).contains(&14));
+        assert!(wl_candidates(32).contains(&32));
+    }
+
+    #[test]
+    fn pick_best_min_il() {
+        let mk = |il: f64| RouterReport {
+            label: format!("il={il}"),
+            num_wavelengths: 4,
+            worst_il_db: il,
+            worst_path_len_mm: 1.0,
+            worst_path_crossings: 0,
+            total_power_w: Some(il),
+            noisy_signal_count: Some(0),
+            worst_snr_db: None,
+            signal_count: 10,
+            synthesis_time: Duration::ZERO,
+        };
+        let best = pick_best(vec![mk(3.0), mk(1.5), mk(2.0)], PickBy::MinIl);
+        assert_eq!(best.worst_il_db, 1.5);
+    }
+
+    #[test]
+    fn pick_best_max_snr_prefers_noise_free() {
+        let mk = |snr: Option<f64>, p: f64| RouterReport {
+            label: "x".into(),
+            num_wavelengths: 4,
+            worst_il_db: 1.0,
+            worst_path_len_mm: 1.0,
+            worst_path_crossings: 0,
+            total_power_w: Some(p),
+            noisy_signal_count: Some(usize::from(snr.is_some())),
+            worst_snr_db: snr,
+            signal_count: 10,
+            synthesis_time: Duration::ZERO,
+        };
+        let best = pick_best(vec![mk(Some(30.0), 0.1), mk(None, 0.2)], PickBy::MaxSnr);
+        assert_eq!(best.worst_snr_db, None);
+    }
+
+    #[test]
+    fn table2_shape() {
+        // XRing must be crossing-free and (nearly) noise-free at every
+        // size and setting; ORNoC must suffer noise with a finite SNR.
+        for (title, rows) in table2().expect("table2") {
+            let (ornoc, xring) = (&rows[0], &rows[1]);
+            assert!(ornoc.label.starts_with("ORNoC"), "{title}");
+            assert!(xring.label.starts_with("XRing"), "{title}");
+            assert_eq!(xring.worst_path_crossings, 0, "{title}");
+            assert!(
+                xring.noise_free_fraction().expect("evaluated") > 0.98,
+                "{title}"
+            );
+            assert!(ornoc.noisy_signal_count.expect("evaluated") > 0, "{title}");
+            assert!(ornoc.worst_snr_db.expect("noisy").is_finite(), "{title}");
+            assert!(xring.worst_il_db < ornoc.worst_il_db, "{title}");
+        }
+    }
+
+    #[test]
+    fn table3_shape() {
+        for (title, rows) in table3().expect("table3") {
+            let (oring, xring) = (&rows[0], &rows[1]);
+            assert!(oring.label.starts_with("ORing"), "{title}");
+            assert!(xring.label.starts_with("XRing"), "{title}");
+            assert_eq!(xring.worst_path_crossings, 0, "{title}");
+            assert!(oring.worst_path_crossings > 0, "{title}");
+            assert!(
+                xring.total_power_w.expect("pdn") <= oring.total_power_w.expect("pdn"),
+                "{title}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablations_have_expected_directions() {
+        // E7: the MILP ring never loses to the perimeter ring.
+        for (title, rows) in ablation_ring().expect("E7") {
+            let milp = &rows[0];
+            let perimeter = &rows[2];
+            assert!(
+                milp.worst_il_db <= perimeter.worst_il_db + 1e-9,
+                "{title}: {} vs {}",
+                milp.worst_il_db,
+                perimeter.worst_il_db
+            );
+        }
+        // E6: openings eliminate noisy signals.
+        for (_, rows) in ablation_pdn().expect("E6") {
+            let with = &rows[0];
+            let without = &rows[1];
+            assert!(
+                with.noisy_signal_count.expect("evaluated")
+                    <= without.noisy_signal_count.expect("evaluated")
+            );
+            assert_eq!(with.worst_path_crossings, 0);
+        }
+    }
+
+    #[test]
+    fn table1_shape() {
+        // The core claims of Table I: every ring router beats every
+        // crossbar on worst-case IL; XRing is the best ring router on the
+        // 16-node network (on the tiny regular 8-node grid all ring
+        // methods find the same optimum, so there we only require a tie
+        // within 0.05 dB); ring routers have zero crossings.
+        let sections = table1().expect("table1");
+        for (si, (title, rows)) in sections.iter().enumerate() {
+            assert_eq!(rows.len(), 6, "{title}");
+            let crossbars = &rows[..3];
+            let rings = &rows[3..];
+            let xring = rows.last().expect("xring row");
+            assert!(xring.label.starts_with("XRing"));
+            assert_eq!(xring.worst_path_crossings, 0);
+            for c in crossbars {
+                for r in rings {
+                    assert!(
+                        r.worst_il_db < c.worst_il_db,
+                        "{title}: ring {} ({}) not better than crossbar {} ({})",
+                        r.label,
+                        r.worst_il_db,
+                        c.label,
+                        c.worst_il_db
+                    );
+                }
+            }
+            let tolerance = if si == 0 { 0.05 } else { 1e-9 };
+            for r in rings {
+                assert!(
+                    xring.worst_il_db <= r.worst_il_db + tolerance,
+                    "{title}: XRing ({}) loses to {} ({})",
+                    xring.worst_il_db,
+                    r.label,
+                    r.worst_il_db
+                );
+            }
+        }
+    }
+}

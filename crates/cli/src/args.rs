@@ -1,0 +1,327 @@
+//! A small, dependency-free argument parser for the `xring` CLI.
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `xring synth ...`
+    Synth(SynthArgs),
+    /// `xring sweep ...` — like synth but sweeping `#wl` and printing
+    /// every point. The objective is "il", "power" or "snr".
+    Sweep(SynthArgs, String),
+    /// `xring table <1|2|3>`
+    Table(u8),
+    /// `xring ablation <shortcuts|pdn|ring|all>`
+    Ablation(String),
+    /// `xring help` / `--help`
+    Help,
+}
+
+/// Options of the `synth` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthArgs {
+    /// Grid rows (with [`SynthArgs::cols`]); mutually exclusive with
+    /// `irregular`.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Grid pitch in µm.
+    pub pitch_um: i64,
+    /// Irregular placement: `(node count, seed, die µm)`.
+    pub irregular: Option<(usize, u64, i64)>,
+    /// `#wl` cap.
+    pub wavelengths: usize,
+    /// Ring algorithm: "milp" | "heuristic" | "perimeter".
+    pub ring: String,
+    /// Disable Step 2.
+    pub no_shortcuts: bool,
+    /// Disable openings.
+    pub no_openings: bool,
+    /// Disable Step 4.
+    pub no_pdn: bool,
+    /// Write an SVG rendering here.
+    pub svg: Option<String>,
+    /// Print the full design document.
+    pub describe: bool,
+}
+
+impl Default for SynthArgs {
+    fn default() -> Self {
+        SynthArgs {
+            rows: 4,
+            cols: 4,
+            pitch_um: 2_000,
+            irregular: None,
+            wavelengths: 16,
+            ring: "milp".into(),
+            no_shortcuts: false,
+            no_openings: false,
+            no_pdn: false,
+            svg: None,
+            describe: false,
+        }
+    }
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+xring — crosstalk-aware synthesis of optical ring routers (DATE 2023 reproduction)
+
+USAGE:
+  xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
+              [--wl N] [--ring milp|heuristic|perimeter]
+              [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
+              [--describe]
+  xring sweep [synth flags] [--objective il|power|snr]
+  xring table <1|2|3>
+  xring ablation <shortcuts|pdn|ring|all>
+  xring help
+";
+
+/// Parses a full argument vector (excluding argv\[0\]).
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed argument.
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "table" => {
+            let which = it
+                .next()
+                .ok_or_else(|| ParseArgsError("table needs a number (1, 2 or 3)".into()))?;
+            match which.as_str() {
+                "1" => Ok(Command::Table(1)),
+                "2" => Ok(Command::Table(2)),
+                "3" => Ok(Command::Table(3)),
+                other => Err(ParseArgsError(format!("unknown table {other}"))),
+            }
+        }
+        "ablation" => {
+            let which = it.next().map(String::as_str).unwrap_or("all");
+            if ["shortcuts", "pdn", "ring", "all"].contains(&which) {
+                Ok(Command::Ablation(which.to_string()))
+            } else {
+                Err(ParseArgsError(format!("unknown ablation {which}")))
+            }
+        }
+        cmd @ ("synth" | "sweep") => {
+            let is_sweep = cmd == "sweep";
+            let mut objective = "power".to_string();
+            let mut out = SynthArgs::default();
+            while let Some(flag) = it.next() {
+                if flag == "--objective" {
+                    if !is_sweep {
+                        return Err(ParseArgsError(
+                            "--objective only applies to the sweep command".into(),
+                        ));
+                    }
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError("--objective needs il|power|snr".into()))?;
+                    if !["il", "power", "snr"].contains(&v.as_str()) {
+                        return Err(ParseArgsError(format!("unknown objective {v}")));
+                    }
+                    objective = v.clone();
+                    continue;
+                }
+                match flag.as_str() {
+                    "--grid" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--grid needs RxC".into()))?;
+                        let (r, c) = v
+                            .split_once(['x', 'X'])
+                            .ok_or_else(|| ParseArgsError(format!("bad grid {v}")))?;
+                        out.rows = r
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad rows {r}")))?;
+                        out.cols = c
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad cols {c}")))?;
+                    }
+                    "--pitch" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--pitch needs µm".into()))?;
+                        out.pitch_um = v
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad pitch {v}")))?;
+                    }
+                    "--irregular" => {
+                        let v = it.next().ok_or_else(|| {
+                            ParseArgsError("--irregular needs N,SEED,DIE_UM".into())
+                        })?;
+                        let parts: Vec<&str> = v.split(',').collect();
+                        if parts.len() != 3 {
+                            return Err(ParseArgsError(format!("bad irregular spec {v}")));
+                        }
+                        let n = parts[0]
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad N {}", parts[0])))?;
+                        let seed = parts[1]
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad seed {}", parts[1])))?;
+                        let die = parts[2]
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad die {}", parts[2])))?;
+                        out.irregular = Some((n, seed, die));
+                    }
+                    "--wl" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--wl needs a count".into()))?;
+                        out.wavelengths = v
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad #wl {v}")))?;
+                        if out.wavelengths == 0 {
+                            return Err(ParseArgsError("#wl must be at least 1".into()));
+                        }
+                    }
+                    "--ring" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--ring needs an algorithm".into()))?;
+                        if !["milp", "heuristic", "perimeter"].contains(&v.as_str()) {
+                            return Err(ParseArgsError(format!("unknown ring algorithm {v}")));
+                        }
+                        out.ring = v.clone();
+                    }
+                    "--describe" => out.describe = true,
+                    "--no-shortcuts" => out.no_shortcuts = true,
+                    "--no-openings" => out.no_openings = true,
+                    "--no-pdn" => out.no_pdn = true,
+                    "--svg" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--svg needs a path".into()))?;
+                        out.svg = Some(v.clone());
+                    }
+                    other => return Err(ParseArgsError(format!("unknown flag {other}"))),
+                }
+            }
+            if is_sweep {
+                Ok(Command::Sweep(out, objective))
+            } else {
+                Ok(Command::Synth(out))
+            }
+        }
+        other => Err(ParseArgsError(format!("unknown command {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&v(&["--help"])), Ok(Command::Help));
+    }
+
+    #[test]
+    fn table_parsing() {
+        assert_eq!(parse(&v(&["table", "2"])), Ok(Command::Table(2)));
+        assert!(parse(&v(&["table", "9"])).is_err());
+        assert!(parse(&v(&["table"])).is_err());
+    }
+
+    #[test]
+    fn ablation_defaults_to_all() {
+        assert_eq!(
+            parse(&v(&["ablation"])),
+            Ok(Command::Ablation("all".into()))
+        );
+        assert!(parse(&v(&["ablation", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn synth_full_flags() {
+        let cmd = parse(&v(&[
+            "synth",
+            "--grid",
+            "4x8",
+            "--pitch",
+            "2500",
+            "--wl",
+            "20",
+            "--ring",
+            "heuristic",
+            "--no-pdn",
+            "--svg",
+            "out.svg",
+        ]))
+        .expect("parses");
+        let Command::Synth(a) = cmd else { panic!("not synth") };
+        assert_eq!((a.rows, a.cols, a.pitch_um), (4, 8, 2_500));
+        assert_eq!(a.wavelengths, 20);
+        assert_eq!(a.ring, "heuristic");
+        assert!(a.no_pdn && !a.no_shortcuts && !a.no_openings);
+        assert_eq!(a.svg.as_deref(), Some("out.svg"));
+    }
+
+    #[test]
+    fn synth_irregular() {
+        let cmd = parse(&v(&["synth", "--irregular", "12,42,10000"])).expect("parses");
+        let Command::Synth(a) = cmd else { panic!("not synth") };
+        assert_eq!(a.irregular, Some((12, 42, 10_000)));
+    }
+
+    #[test]
+    fn objective_rejected_on_synth() {
+        assert!(parse(&v(&["synth", "--objective", "snr"])).is_err());
+    }
+
+    #[test]
+    fn zero_wavelengths_rejected() {
+        assert!(parse(&v(&["synth", "--wl", "0"])).is_err());
+        assert!(parse(&v(&["sweep", "--wl", "0"])).is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(parse(&v(&["synth", "--grid", "4y8"])).is_err());
+        assert!(parse(&v(&["synth", "--wl"])).is_err());
+        assert!(parse(&v(&["synth", "--bogus"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_objective() {
+        let cmd = parse(&v(&["sweep", "--grid", "4x4", "--objective", "snr"])).expect("parses");
+        let Command::Sweep(a, obj) = cmd else { panic!("not sweep") };
+        assert_eq!((a.rows, a.cols), (4, 4));
+        assert_eq!(obj, "snr");
+        assert!(parse(&v(&["sweep", "--objective", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn sweep_defaults_to_power_objective() {
+        let Command::Sweep(_, obj) = parse(&v(&["sweep"])).expect("parses") else {
+            panic!("not sweep")
+        };
+        assert_eq!(obj, "power");
+    }
+}

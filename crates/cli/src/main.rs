@@ -1,0 +1,183 @@
+//! `xring` — the command-line front end.
+//!
+//! ```text
+//! xring synth --grid 4x4 --pitch 2000 --wl 14 --svg layout.svg
+//! xring table 2
+//! xring ablation ring
+//! ```
+
+mod args;
+
+use args::{parse, Command, SynthArgs, USAGE};
+use std::process::ExitCode;
+use xring_bench::tables::{
+    ablation_pdn, ablation_ring, ablation_shortcuts, print_sections, table1, table2, table3,
+};
+use xring_core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer};
+use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+use xring_viz::{render_design, RenderOptions};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Table(which)) => run_table(which),
+        Ok(Command::Ablation(which)) => run_ablation(&which),
+        Ok(Command::Synth(args)) => run_synth(&args),
+        Ok(Command::Sweep(args, objective)) => run_sweep(&args, &objective),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_table(which: u8) -> ExitCode {
+    let result = match which {
+        1 => table1(),
+        2 => table2(),
+        _ => table3(),
+    };
+    match result {
+        Ok(sections) => {
+            print_sections(&sections);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_ablation(which: &str) -> ExitCode {
+    let runs: Vec<fn() -> _> = match which {
+        "shortcuts" => vec![ablation_shortcuts],
+        "pdn" => vec![ablation_pdn],
+        "ring" => vec![ablation_ring],
+        _ => vec![ablation_shortcuts, ablation_pdn, ablation_ring],
+    };
+    for run in runs {
+        match run() {
+            Ok(sections) => print_sections(&sections),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn network_of(args: &SynthArgs) -> Result<NetworkSpec, xring_core::SynthesisError> {
+    match args.irregular {
+        Some((n, seed, die)) => NetworkSpec::irregular(n, die, seed),
+        None => NetworkSpec::regular_grid(args.rows, args.cols, args.pitch_um),
+    }
+}
+
+fn options_of(args: &SynthArgs) -> SynthesisOptions {
+    let ring_algorithm = match args.ring.as_str() {
+        "heuristic" => RingAlgorithm::Heuristic,
+        "perimeter" => RingAlgorithm::Perimeter,
+        _ => RingAlgorithm::Milp,
+    };
+    SynthesisOptions {
+        ring_algorithm,
+        shortcuts: !args.no_shortcuts,
+        openings: !args.no_openings,
+        pdn: !args.no_pdn,
+        ..SynthesisOptions::with_wavelengths(args.wavelengths)
+    }
+}
+
+fn run_sweep(args: &SynthArgs, objective: &str) -> ExitCode {
+    use xring_core::{sweep_wavelengths, SweepObjective};
+    let net = match network_of(args) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obj = match objective {
+        "il" => SweepObjective::MinInsertionLoss,
+        "snr" => SweepObjective::MaxSnr,
+        _ => SweepObjective::MinPower,
+    };
+    let candidates: Vec<usize> = (1..=args.wavelengths.max(2))
+        .filter(|w| w.is_power_of_two() || *w == args.wavelengths)
+        .collect();
+    let result = match sweep_wavelengths(
+        &net,
+        options_of(args),
+        &candidates,
+        obj,
+        &LossParams::default(),
+        Some(&CrosstalkParams::default()),
+        &PowerParams::default(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", RouterReport::table_header());
+    for (i, p) in result.points.iter().enumerate() {
+        let marker = if i == result.best { "  <= best" } else { "" };
+        println!("{}{marker}", p.report);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_synth(args: &SynthArgs) -> ExitCode {
+    let net = match network_of(args) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = options_of(args);
+    let design = match Synthesizer::new(options).synthesize(&net) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "synthesized {} nodes: ring {:.1} mm, {} shortcuts, {} ring waveguides, {} openings",
+        net.len(),
+        design.cycle.perimeter() as f64 / 1_000.0,
+        design.shortcuts.shortcuts.len(),
+        design.plan.ring_waveguides.len(),
+        design.opening_stats.opened,
+    );
+    let report = design.report(
+        "synth",
+        &LossParams::default(),
+        Some(&CrosstalkParams::default()),
+        &PowerParams::default(),
+    );
+    println!("{}", RouterReport::table_header());
+    println!("{report}");
+
+    if args.describe {
+        println!("\n{}", design.describe());
+    }
+    if let Some(path) = &args.svg {
+        let svg = render_design(&design, &RenderOptions::default());
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("layout written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! Synthesis error type.
+
+use std::error::Error;
+use std::fmt;
+use xring_milp::SolveError;
+
+/// Errors produced by the XRing synthesis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The network has fewer than 3 nodes; a ring needs at least 3.
+    TooFewNodes {
+        /// How many nodes were supplied.
+        got: usize,
+    },
+    /// Two network nodes share the same position.
+    DuplicateNodePositions {
+        /// Indices of the colliding nodes.
+        a: usize,
+        /// Indices of the colliding nodes.
+        b: usize,
+    },
+    /// The ring-construction MILP failed.
+    RingMilp(SolveError),
+    /// A signal could not be mapped within the wavelength budget.
+    WavelengthBudgetExceeded {
+        /// The configured per-waveguide cap.
+        max_wavelengths: usize,
+        /// The configured cap on ring waveguides (0 = unlimited).
+        max_waveguides: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::TooFewNodes { got } => {
+                write!(f, "ring synthesis needs at least 3 nodes, got {got}")
+            }
+            SynthesisError::DuplicateNodePositions { a, b } => {
+                write!(f, "nodes {a} and {b} share the same position")
+            }
+            SynthesisError::RingMilp(e) => write!(f, "ring-construction MILP failed: {e}"),
+            SynthesisError::WavelengthBudgetExceeded {
+                max_wavelengths,
+                max_waveguides,
+            } => write!(
+                f,
+                "signal mapping exceeded the budget of {max_wavelengths} wavelengths x {max_waveguides} waveguides"
+            ),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::RingMilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SynthesisError {
+    fn from(e: SolveError) -> Self {
+        SynthesisError::RingMilp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert!(SynthesisError::TooFewNodes { got: 2 }
+            .to_string()
+            .contains("at least 3"));
+        assert!(SynthesisError::DuplicateNodePositions { a: 1, b: 4 }
+            .to_string()
+            .contains("1"));
+        let e = SynthesisError::WavelengthBudgetExceeded {
+            max_wavelengths: 4,
+            max_waveguides: 2,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn milp_errors_chain_as_source() {
+        use std::error::Error as _;
+        let e = SynthesisError::from(SolveError::Infeasible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("MILP"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

@@ -1,0 +1,340 @@
+//! Step 2: shortcut construction (Sec. III-B).
+//!
+//! Nodes that are physically close but far apart along the ring get
+//! dedicated point-to-point waveguides ("shortcuts"). A shortcut between
+//! nodes `a` and `b` consists of two wires (a's sender → b's receiver and
+//! b's sender → a's receiver) and is *feasible* when it can be realized as
+//! an L-route that does not touch any ring waveguide. Each node may join
+//! at most one shortcut; a shortcut may cross at most one other shortcut,
+//! in which case the crossing is implemented as a CSE that additionally
+//! serves the "swapped" node pairs (Fig. 7).
+
+use crate::netspec::{NetworkSpec, NodeId};
+use crate::ring::{Direction, RingCycle};
+use xring_geom::{LRoute, Point, Polyline, RouteOption};
+
+/// A selected shortcut between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shortcut {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Realized corridor geometry (both wires run parallel along it).
+    pub route: LRoute,
+    /// Corridor length in µm (= Manhattan distance).
+    pub length_um: i64,
+    /// The gain `g(a, b)` of the paper: ring path saved, in µm.
+    pub gain_um: i64,
+    /// Index of the crossing partner in the plan, when this shortcut is
+    /// CSE-merged with another.
+    pub crossing_partner: Option<usize>,
+    /// Distance along this corridor (from `a`) to the crossing point with
+    /// the partner, when any.
+    pub crossing_at_um: Option<i64>,
+}
+
+/// The result of shortcut planning.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShortcutPlan {
+    /// Selected shortcuts.
+    pub shortcuts: Vec<Shortcut>,
+}
+
+impl ShortcutPlan {
+    /// No shortcuts (Step 2 disabled).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The shortcut (if any) incident to `node`.
+    pub fn shortcut_of(&self, node: NodeId) -> Option<usize> {
+        self.shortcuts
+            .iter()
+            .position(|s| s.a == node || s.b == node)
+    }
+
+    /// All node pairs served *directly* by shortcuts, plus the CSE-merged
+    /// swapped pairs, as unordered pairs.
+    pub fn served_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for (i, s) in self.shortcuts.iter().enumerate() {
+            pairs.push((s.a, s.b));
+            if let Some(p) = s.crossing_partner {
+                if p > i {
+                    let t = &self.shortcuts[p];
+                    // CSE serves the swapped combinations (Fig. 7(b)).
+                    pairs.push((s.a, t.b));
+                    pairs.push((t.a, s.b));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Plans shortcuts for a realized ring.
+///
+/// Follows the paper: collect feasible options, compute gains, sort by
+/// gain, select greedily subject to (a) one shortcut per node, (b) at most
+/// one crossing partner per shortcut, (c) non-negative gain.
+pub fn plan_shortcuts(net: &NetworkSpec, cycle: &RingCycle) -> ShortcutPlan {
+    let ring = cycle.polyline();
+
+    // 1. Collect feasible candidates with positive gain.
+    struct Candidate {
+        a: NodeId,
+        b: NodeId,
+        route: LRoute,
+        length_um: i64,
+        gain_um: i64,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let n = net.len() as u32;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (NodeId(i), NodeId(j));
+            let pa = net.position(a);
+            let pb = net.position(b);
+            let Some(route) = feasible_route(pa, pb, &ring) else {
+                continue;
+            };
+            let length = pa.manhattan_distance(pb);
+            let (fa, fb) = (cycle.position_of(a), cycle.position_of(b));
+            let ring_len = cycle
+                .arc_length(fa, fb, Direction::Cw)
+                .min(cycle.arc_length(fa, fb, Direction::Ccw));
+            let gain = ring_len - length;
+            if gain > 0 {
+                candidates.push(Candidate {
+                    a,
+                    b,
+                    route,
+                    length_um: length,
+                    gain_um: gain,
+                });
+            }
+        }
+    }
+
+    // 2. Greedy selection by descending gain.
+    candidates.sort_by_key(|c| (std::cmp::Reverse(c.gain_um), c.a, c.b));
+    let mut plan = ShortcutPlan::empty();
+    for c in candidates {
+        if plan.shortcut_of(c.a).is_some() || plan.shortcut_of(c.b).is_some() {
+            continue; // at most one shortcut per node
+        }
+        // Count crossings with already selected shortcuts.
+        let crossing_with: Vec<usize> = plan
+            .shortcuts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| c.route.crosses(&s.route))
+            .map(|(k, _)| k)
+            .collect();
+        match crossing_with.as_slice() {
+            [] => {
+                plan.shortcuts.push(Shortcut {
+                    a: c.a,
+                    b: c.b,
+                    route: c.route,
+                    length_um: c.length_um,
+                    gain_um: c.gain_um,
+                    crossing_partner: None,
+                    crossing_at_um: None,
+                });
+            }
+            [k] => {
+                let k = *k;
+                if plan.shortcuts[k].crossing_partner.is_some() {
+                    continue; // partner already has a crossing
+                }
+                // CSE merge requires exactly one crossing point.
+                let Some((at_new, at_old)) = single_crossing(&c.route, &plan.shortcuts[k].route)
+                else {
+                    continue;
+                };
+                let new_idx = plan.shortcuts.len();
+                plan.shortcuts[k].crossing_partner = Some(new_idx);
+                plan.shortcuts[k].crossing_at_um = Some(at_old);
+                plan.shortcuts.push(Shortcut {
+                    a: c.a,
+                    b: c.b,
+                    route: c.route,
+                    length_um: c.length_um,
+                    gain_um: c.gain_um,
+                    crossing_partner: Some(k),
+                    crossing_at_um: Some(at_new),
+                });
+            }
+            _ => continue, // would cross 2+ shortcuts
+        }
+    }
+    plan
+}
+
+/// Finds an L-route between `a` and `b` that touches the ring only at its
+/// endpoints, preferring the option with that property.
+fn feasible_route(a: Point, b: Point, ring: &Polyline) -> Option<LRoute> {
+    for opt in RouteOption::BOTH {
+        let r = LRoute::new(a, b, opt);
+        if !ring.route_conflicts(&r, &[a, b]) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// If the two routes share exactly one point, returns the along-route
+/// distances `(on r1, on r2)` to it.
+fn single_crossing(r1: &LRoute, r2: &LRoute) -> Option<(i64, i64)> {
+    use xring_geom::SegmentIntersection;
+    let mut hits: Vec<Point> = Vec::new();
+    for s1 in r1.segments() {
+        for s2 in r2.segments() {
+            match s1.intersection(&s2) {
+                SegmentIntersection::Point(p) => {
+                    if !hits.contains(&p) {
+                        hits.push(p);
+                    }
+                }
+                SegmentIntersection::Overlap(_) => return None,
+                SegmentIntersection::None => {}
+            }
+        }
+    }
+    if hits.len() != 1 {
+        return None;
+    }
+    Some((distance_along(r1, hits[0]), distance_along(r2, hits[0])))
+}
+
+/// Distance from the start of `route` to point `p` (which must lie on it).
+fn distance_along(route: &LRoute, p: Point) -> i64 {
+    let mut acc = 0i64;
+    for seg in route.segments() {
+        if seg.contains(p) {
+            return acc + seg.start().manhattan_distance(p);
+        }
+        acc += seg.length();
+    }
+    panic!("point {p} does not lie on route");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingBuilder;
+
+    #[test]
+    fn no_shortcuts_on_a_square() {
+        // 4 nodes on a square: every pair is adjacent or diagonal; the
+        // diagonal chord cannot be routed without its corner landing on
+        // the ring, and ring paths are short anyway.
+        let net = NetworkSpec::regular_grid(2, 2, 1_000).expect("valid");
+        let out = RingBuilder::new().build(&net).expect("ring");
+        let plan = plan_shortcuts(&net, &out.cycle);
+        assert!(plan.shortcuts.is_empty(), "got {:?}", plan.shortcuts);
+    }
+
+    #[test]
+    fn serpentine_ring_gets_shortcuts() {
+        // A 4x4 grid ring is a boustrophedon; nodes on opposite sides of
+        // a serpentine fold are close in space but far along the ring.
+        let net = NetworkSpec::psion_16();
+        let out = RingBuilder::new().build(&net).expect("ring");
+        let plan = plan_shortcuts(&net, &out.cycle);
+        assert!(
+            !plan.shortcuts.is_empty(),
+            "16-node serpentine should admit shortcuts"
+        );
+        for s in &plan.shortcuts {
+            assert!(s.gain_um > 0);
+            assert_eq!(s.length_um, net.distance(s.a, s.b));
+        }
+    }
+
+    #[test]
+    fn one_shortcut_per_node() {
+        let net = NetworkSpec::psion_16();
+        let out = RingBuilder::new().build(&net).expect("ring");
+        let plan = plan_shortcuts(&net, &out.cycle);
+        let mut used = std::collections::HashSet::new();
+        for s in &plan.shortcuts {
+            assert!(used.insert(s.a), "{} in two shortcuts", s.a);
+            assert!(used.insert(s.b), "{} in two shortcuts", s.b);
+        }
+    }
+
+    #[test]
+    fn crossing_partners_are_mutual_and_single() {
+        let net = NetworkSpec::psion_32();
+        let out = RingBuilder::new()
+            .with_algorithm(crate::ring::RingAlgorithm::Heuristic)
+            .build(&net)
+            .expect("ring");
+        let plan = plan_shortcuts(&net, &out.cycle);
+        for (i, s) in plan.shortcuts.iter().enumerate() {
+            if let Some(p) = s.crossing_partner {
+                assert_eq!(plan.shortcuts[p].crossing_partner, Some(i));
+                assert!(s.crossing_at_um.expect("has crossing") >= 0);
+                assert!(s.crossing_at_um.expect("has crossing") <= s.length_um);
+            }
+        }
+        // No shortcut crosses a non-partner.
+        for i in 0..plan.shortcuts.len() {
+            for j in i + 1..plan.shortcuts.len() {
+                let si = &plan.shortcuts[i];
+                let sj = &plan.shortcuts[j];
+                if si.crossing_partner != Some(j) && si.route.crosses(&sj.route) {
+                    panic!("shortcut {i} crosses non-partner {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortcut_gain_is_real_ring_savings() {
+        let net = NetworkSpec::psion_16();
+        let out = RingBuilder::new().build(&net).expect("ring");
+        let plan = plan_shortcuts(&net, &out.cycle);
+        for s in &plan.shortcuts {
+            let (fa, fb) = (out.cycle.position_of(s.a), out.cycle.position_of(s.b));
+            let best_ring = out
+                .cycle
+                .arc_length(fa, fb, Direction::Cw)
+                .min(out.cycle.arc_length(fa, fb, Direction::Ccw));
+            assert_eq!(s.gain_um, best_ring - s.length_um);
+        }
+    }
+
+    #[test]
+    fn served_pairs_includes_cse_swaps() {
+        let mut plan = ShortcutPlan::empty();
+        let r1 = LRoute::new(Point::new(0, 0), Point::new(10, 10), RouteOption::HorizontalFirst);
+        let r2 = LRoute::new(Point::new(0, 10), Point::new(10, 0), RouteOption::HorizontalFirst);
+        plan.shortcuts.push(Shortcut {
+            a: NodeId(0),
+            b: NodeId(1),
+            route: r1,
+            length_um: 20,
+            gain_um: 5,
+            crossing_partner: Some(1),
+            crossing_at_um: Some(10),
+        });
+        plan.shortcuts.push(Shortcut {
+            a: NodeId(2),
+            b: NodeId(3),
+            route: r2,
+            length_um: 20,
+            gain_um: 5,
+            crossing_partner: Some(0),
+            crossing_at_um: Some(10),
+        });
+        let pairs = plan.served_pairs();
+        assert!(pairs.contains(&(NodeId(0), NodeId(1))));
+        assert!(pairs.contains(&(NodeId(2), NodeId(3))));
+        assert!(pairs.contains(&(NodeId(0), NodeId(3))));
+        assert!(pairs.contains(&(NodeId(2), NodeId(1))));
+    }
+}

@@ -1,0 +1,239 @@
+//! `#wl` sweeps: the operating-point search of the paper's Sec. IV
+//! ("we vary the settings of #wl and pick the one with the minimum power
+//! / maximum SNR"), packaged as a library API.
+
+use crate::design::XRingDesign;
+use crate::error::SynthesisError;
+use crate::netspec::NetworkSpec;
+use crate::synth::{SynthesisOptions, Synthesizer};
+use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+/// Selection criterion for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepObjective {
+    /// Minimize worst-case insertion loss (Table I's criterion).
+    MinInsertionLoss,
+    /// Minimize total laser power (Tables II/III).
+    MinPower,
+    /// Maximize worst-case SNR; noise-free designs rank best.
+    MaxSnr,
+}
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The `#wl` setting.
+    pub wavelengths: usize,
+    /// Its evaluation.
+    pub report: RouterReport,
+}
+
+/// The result of a sweep: every feasible point plus the winner's index.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// All evaluated points, in ascending `#wl` order.
+    pub points: Vec<SweepPoint>,
+    /// Index into [`points`](Self::points) of the best point under the
+    /// requested objective.
+    pub best: usize,
+}
+
+impl SweepResult {
+    /// The winning point.
+    pub fn best_point(&self) -> &SweepPoint {
+        &self.points[self.best]
+    }
+}
+
+/// Sweeps `#wl` over `candidates` for `net` and picks the best point.
+///
+/// `base` carries everything except `max_wavelengths`, which the sweep
+/// overrides per candidate. Candidates whose mapping fails (budget
+/// exhaustion) are skipped.
+///
+/// # Errors
+///
+/// [`SynthesisError::WavelengthBudgetExceeded`] when *no* candidate is
+/// feasible; other synthesis errors are propagated from the first
+/// candidate that raises them.
+///
+/// # Example
+///
+/// ```
+/// use xring_core::{sweep_wavelengths, NetworkSpec, SweepObjective, SynthesisOptions};
+/// use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+///
+/// let net = NetworkSpec::proton_8();
+/// let result = sweep_wavelengths(
+///     &net,
+///     SynthesisOptions::with_wavelengths(8),
+///     &[2, 4, 8],
+///     SweepObjective::MinPower,
+///     &LossParams::default(),
+///     Some(&CrosstalkParams::default()),
+///     &PowerParams::default(),
+/// )?;
+/// assert_eq!(result.points.len(), 3);
+/// # Ok::<(), xring_core::SynthesisError>(())
+/// ```
+pub fn sweep_wavelengths(
+    net: &NetworkSpec,
+    base: SynthesisOptions,
+    candidates: &[usize],
+    objective: SweepObjective,
+    loss: &LossParams,
+    xtalk: Option<&CrosstalkParams>,
+    power: &PowerParams,
+) -> Result<SweepResult, SynthesisError> {
+    assert!(!candidates.is_empty(), "sweep needs candidates");
+    let mut points = Vec::new();
+    for &wl in candidates {
+        let options = SynthesisOptions {
+            max_wavelengths: wl,
+            ..base.clone()
+        };
+        match Synthesizer::new(options).synthesize(net) {
+            Ok(design) => {
+                let report = design.report(format!("#wl={wl}"), loss, xtalk, power);
+                points.push(SweepPoint {
+                    wavelengths: wl,
+                    report,
+                });
+            }
+            Err(SynthesisError::WavelengthBudgetExceeded { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if points.is_empty() {
+        return Err(SynthesisError::WavelengthBudgetExceeded {
+            max_wavelengths: *candidates.iter().max().expect("non-empty"),
+            max_waveguides: base.max_waveguides,
+        });
+    }
+    let best = pick(&points, objective);
+    Ok(SweepResult { points, best })
+}
+
+/// Synthesizes the best design found by a sweep (re-running the winning
+/// point).
+///
+/// # Errors
+///
+/// As for [`sweep_wavelengths`].
+pub fn synthesize_best(
+    net: &NetworkSpec,
+    base: SynthesisOptions,
+    candidates: &[usize],
+    objective: SweepObjective,
+    loss: &LossParams,
+    xtalk: Option<&CrosstalkParams>,
+    power: &PowerParams,
+) -> Result<XRingDesign, SynthesisError> {
+    let result = sweep_wavelengths(net, base.clone(), candidates, objective, loss, xtalk, power)?;
+    let wl = result.best_point().wavelengths;
+    Synthesizer::new(SynthesisOptions {
+        max_wavelengths: wl,
+        ..base
+    })
+    .synthesize(net)
+}
+
+fn pick(points: &[SweepPoint], objective: SweepObjective) -> usize {
+    let key = |r: &RouterReport| match objective {
+        SweepObjective::MinInsertionLoss => r.worst_il_db,
+        SweepObjective::MinPower => r.total_power_w.unwrap_or(f64::INFINITY),
+        SweepObjective::MaxSnr => -r.worst_snr_db.unwrap_or(f64::INFINITY),
+    };
+    points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            key(&a.report)
+                .partial_cmp(&key(&b.report))
+                .expect("metrics are never NaN")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty points")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(objective: SweepObjective) -> SweepResult {
+        let net = NetworkSpec::proton_8();
+        sweep_wavelengths(
+            &net,
+            SynthesisOptions::with_wavelengths(8),
+            &[2, 4, 8],
+            objective,
+            &LossParams::default(),
+            Some(&CrosstalkParams::default()),
+            &PowerParams::default(),
+        )
+        .expect("sweep succeeds")
+    }
+
+    #[test]
+    fn all_candidates_evaluated() {
+        let r = run(SweepObjective::MinPower);
+        assert_eq!(r.points.len(), 3);
+        assert_eq!(
+            r.points.iter().map(|p| p.wavelengths).collect::<Vec<_>>(),
+            vec![2, 4, 8]
+        );
+    }
+
+    #[test]
+    fn best_point_minimizes_its_objective() {
+        let r = run(SweepObjective::MinPower);
+        let best = r.best_point().report.total_power_w.expect("pdn");
+        for p in &r.points {
+            assert!(best <= p.report.total_power_w.expect("pdn") + 1e-15);
+        }
+        let r = run(SweepObjective::MinInsertionLoss);
+        let best = r.best_point().report.worst_il_db;
+        for p in &r.points {
+            assert!(best <= p.report.worst_il_db + 1e-12);
+        }
+    }
+
+    #[test]
+    fn synthesize_best_reruns_the_winner() {
+        let net = NetworkSpec::proton_8();
+        let design = synthesize_best(
+            &net,
+            SynthesisOptions::with_wavelengths(8),
+            &[2, 4, 8],
+            SweepObjective::MinPower,
+            &LossParams::default(),
+            None,
+            &PowerParams::default(),
+        )
+        .expect("synthesis succeeds");
+        assert_eq!(design.layout.signals.len(), 56);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped() {
+        let net = NetworkSpec::proton_8();
+        let base = SynthesisOptions {
+            max_waveguides: 4,
+            ..SynthesisOptions::with_wavelengths(8)
+        };
+        // #wl=1 with only 4 waveguides cannot route 56 signals, but
+        // #wl=8 can — the sweep must skip the former and succeed.
+        let r = sweep_wavelengths(
+            &net,
+            base,
+            &[1, 8],
+            SweepObjective::MinInsertionLoss,
+            &LossParams::default(),
+            None,
+            &PowerParams::default(),
+        )
+        .expect("sweep succeeds");
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].wavelengths, 8);
+    }
+}

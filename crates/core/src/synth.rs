@@ -1,0 +1,245 @@
+//! The end-to-end synthesis pipeline.
+
+use crate::design::{realize, RingSpacing, XRingDesign};
+use crate::error::SynthesisError;
+use crate::netspec::NetworkSpec;
+use crate::opening::open_rings;
+use crate::pdn::design_pdn;
+use crate::ring::{RingAlgorithm, RingBuilder};
+use crate::shortcut::{plan_shortcuts, ShortcutPlan};
+use crate::traffic::Traffic;
+use std::time::Instant;
+use xring_geom::Point;
+use xring_phot::LossParams;
+
+/// Configuration of the synthesis pipeline. The defaults reproduce the
+/// full XRing flow; individual steps can be disabled for ablations.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Step-1 algorithm.
+    pub ring_algorithm: RingAlgorithm,
+    /// `#wl`: maximum wavelengths per ring waveguide.
+    pub max_wavelengths: usize,
+    /// Maximum ring waveguides (0 = unlimited).
+    pub max_waveguides: usize,
+    /// Enable Step 2 (shortcut construction).
+    pub shortcuts: bool,
+    /// Enable ring openings (second half of Step 3).
+    pub openings: bool,
+    /// Enable Step 4 (PDN synthesis); when false, reports omit laser
+    /// power, matching Table I's no-PDN comparison.
+    pub pdn: bool,
+    /// Ring-pair spacing constants.
+    pub spacing: RingSpacing,
+    /// On-die coupling point of the off-chip laser.
+    pub laser: Point,
+    /// Which node pairs communicate (default: the paper's all-to-all).
+    pub traffic: Traffic,
+    /// Loss parameters (used during PDN design; evaluation may use the
+    /// same or another set).
+    pub loss: LossParams,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            ring_algorithm: RingAlgorithm::Milp,
+            max_wavelengths: 16,
+            max_waveguides: 0,
+            shortcuts: true,
+            openings: true,
+            pdn: true,
+            spacing: RingSpacing::default(),
+            laser: Point::new(-1_000, -1_000),
+            traffic: Traffic::AllToAll,
+            loss: LossParams::default(),
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// The full XRing pipeline with `#wl = max_wavelengths`.
+    pub fn with_wavelengths(max_wavelengths: usize) -> Self {
+        SynthesisOptions {
+            max_wavelengths,
+            ..Self::default()
+        }
+    }
+
+    /// Table-I style options: no PDN (and hence no power column).
+    pub fn without_pdn(mut self) -> Self {
+        self.pdn = false;
+        self
+    }
+}
+
+/// The XRing synthesizer.
+///
+/// # Example
+///
+/// ```
+/// use xring_core::{NetworkSpec, Synthesizer, SynthesisOptions};
+///
+/// let net = NetworkSpec::proton_8();
+/// let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+///     .synthesize(&net)?;
+/// assert_eq!(design.layout.signals.len(), 56);
+/// # Ok::<(), xring_core::SynthesisError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Synthesizer {
+    options: SynthesisOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the given options.
+    pub fn new(options: SynthesisOptions) -> Self {
+        Synthesizer { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Runs the full pipeline on `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthesisError`] from any step (MILP failure,
+    /// wavelength budget exhaustion).
+    pub fn synthesize(&self, net: &NetworkSpec) -> Result<XRingDesign, SynthesisError> {
+        let t0 = Instant::now();
+        let o = &self.options;
+
+        // Step 1: ring construction.
+        let ring = RingBuilder::new()
+            .with_algorithm(o.ring_algorithm)
+            .build(net)?;
+
+        // Step 2: shortcuts.
+        let shortcuts = if o.shortcuts {
+            plan_shortcuts(net, &ring.cycle)
+        } else {
+            ShortcutPlan::empty()
+        };
+
+        // Step 3: mapping + openings.
+        let mut plan = crate::mapping::map_signals_with_traffic(
+            net,
+            &ring.cycle,
+            &shortcuts,
+            &o.traffic,
+            o.max_wavelengths,
+            o.max_waveguides,
+        )?;
+        let opening_stats = if o.openings {
+            open_rings(&ring.cycle, &mut plan, o.max_wavelengths)
+        } else {
+            Default::default()
+        };
+
+        // Step 4: PDN.
+        let pdn = o
+            .pdn
+            .then(|| design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser));
+
+        let layout = realize(net, &ring.cycle, &shortcuts, &plan, pdn.as_ref(), o.spacing);
+        Ok(XRingDesign {
+            net: net.clone(),
+            cycle: ring.cycle,
+            shortcuts,
+            plan,
+            pdn,
+            layout,
+            ring_stats: ring.stats,
+            opening_stats,
+            elapsed: t0.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xring_phot::{CrosstalkParams, PowerParams};
+
+    #[test]
+    fn full_pipeline_8_nodes() {
+        let net = NetworkSpec::proton_8();
+        let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&net)
+            .expect("synthesized");
+        let report = design.report(
+            "XRing",
+            &LossParams::default(),
+            Some(&CrosstalkParams::default()),
+            &PowerParams::default(),
+        );
+        assert_eq!(report.signal_count, 56);
+        assert!(report.worst_il_db > 0.0);
+        assert!(report.total_power_w.expect("pdn modelled") > 0.0);
+    }
+
+    #[test]
+    fn no_pdn_mode_omits_power() {
+        let net = NetworkSpec::proton_8();
+        let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8).without_pdn())
+            .synthesize(&net)
+            .expect("synthesized");
+        let report = design.report(
+            "XRing",
+            &LossParams::default(),
+            None,
+            &PowerParams::default(),
+        );
+        assert_eq!(report.total_power_w, None);
+    }
+
+    #[test]
+    fn shortcut_ablation_increases_worst_il_on_16_nodes() {
+        let net = NetworkSpec::psion_16();
+        let base = SynthesisOptions::with_wavelengths(14);
+        let with = Synthesizer::new(base.clone())
+            .synthesize(&net)
+            .expect("with shortcuts");
+        let without = Synthesizer::new(SynthesisOptions {
+            shortcuts: false,
+            ..base
+        })
+        .synthesize(&net)
+        .expect("without shortcuts");
+        let loss = LossParams::default();
+        let p = PowerParams::default();
+        let r_with = with.report("with", &loss, None, &p);
+        let r_without = without.report("without", &loss, None, &p);
+        assert!(
+            r_with.worst_il_db <= r_without.worst_il_db + 1e-9,
+            "shortcuts should not hurt: {} vs {}",
+            r_with.worst_il_db,
+            r_without.worst_il_db
+        );
+    }
+
+    #[test]
+    fn openings_reduce_noisy_signals() {
+        let net = NetworkSpec::psion_16();
+        let base = SynthesisOptions::with_wavelengths(14);
+        let with = Synthesizer::new(base.clone()).synthesize(&net).expect("ok");
+        let without = Synthesizer::new(SynthesisOptions {
+            openings: false,
+            ..base
+        })
+        .synthesize(&net)
+        .expect("ok");
+        let loss = LossParams::default();
+        let xt = CrosstalkParams::default();
+        let p = PowerParams::default();
+        let r_with = with.report("with", &loss, Some(&xt), &p);
+        let r_without = without.report("without", &loss, Some(&xt), &p);
+        assert!(
+            r_with.noisy_signal_count.expect("evaluated")
+                <= r_without.noisy_signal_count.expect("evaluated")
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Traffic patterns (extension beyond the paper's all-to-all assumption).
+//!
+//! The paper evaluates all-to-all traffic only ("a node sends signals to
+//! all other nodes except for itself"). Real MPSoCs often have sparser
+//! communication graphs; synthesizing only the needed signals reduces
+//! wavelengths, waveguides and laser power. [`Traffic`] plugs into
+//! [`map_signals_with_traffic`](crate::mapping::map_signals_with_traffic)
+//! and [`SynthesisOptions::traffic`](crate::SynthesisOptions).
+
+use crate::netspec::{NetworkSpec, NodeId};
+
+/// Which `(source, destination)` pairs communicate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Traffic {
+    /// Every node sends to every other node (the paper's workload).
+    #[default]
+    AllToAll,
+    /// An explicit list of directed pairs (deduplicated, self-pairs
+    /// ignored).
+    Custom(Vec<(NodeId, NodeId)>),
+    /// Each node talks to its `k` nearest neighbours (by Manhattan
+    /// distance), a common locality-dominated NoC workload.
+    NearestNeighbors(usize),
+}
+
+impl Traffic {
+    /// The directed pairs of this pattern on `net`, in deterministic
+    /// order, without self-pairs or duplicates.
+    pub fn pairs(&self, net: &NetworkSpec) -> Vec<(NodeId, NodeId)> {
+        match self {
+            Traffic::AllToAll => net.signal_pairs(),
+            Traffic::Custom(list) => {
+                let mut out = Vec::new();
+                for &(a, b) in list {
+                    if a != b
+                        && a.index() < net.len()
+                        && b.index() < net.len()
+                        && !out.contains(&(a, b))
+                    {
+                        out.push((a, b));
+                    }
+                }
+                out
+            }
+            Traffic::NearestNeighbors(k) => {
+                let mut out = Vec::new();
+                for a in net.node_ids() {
+                    let mut others: Vec<NodeId> =
+                        net.node_ids().filter(|b| *b != a).collect();
+                    others.sort_by_key(|b| (net.distance(a, *b), b.index()));
+                    for b in others.into_iter().take(*k) {
+                        out.push((a, b));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of signals this pattern produces on `net`.
+    pub fn signal_count(&self, net: &NetworkSpec) -> usize {
+        self.pairs(net).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_matches_netspec() {
+        let net = NetworkSpec::proton_8();
+        assert_eq!(Traffic::AllToAll.pairs(&net), net.signal_pairs());
+        assert_eq!(Traffic::AllToAll.signal_count(&net), 56);
+    }
+
+    #[test]
+    fn custom_filters_garbage() {
+        let net = NetworkSpec::proton_8();
+        let t = Traffic::Custom(vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(1)),   // self: dropped
+            (NodeId(0), NodeId(1)),   // duplicate: dropped
+            (NodeId(0), NodeId(200)), // out of range: dropped
+            (NodeId(2), NodeId(3)),
+        ]);
+        assert_eq!(
+            t.pairs(&net),
+            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]
+        );
+    }
+
+    #[test]
+    fn nearest_neighbors_is_local() {
+        let net = NetworkSpec::regular_grid(2, 4, 1_000).expect("valid");
+        let t = Traffic::NearestNeighbors(2);
+        let pairs = t.pairs(&net);
+        assert_eq!(pairs.len(), 8 * 2);
+        // Every chosen destination is at most 2 grid steps away.
+        for (a, b) in pairs {
+            assert!(net.distance(a, b) <= 2_000, "{a}->{b} too far");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbors_caps_at_n_minus_1() {
+        let net = NetworkSpec::regular_grid(2, 2, 500).expect("valid");
+        let t = Traffic::NearestNeighbors(99);
+        assert_eq!(t.signal_count(&net), 4 * 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Monte-Carlo fabrication-variation analysis (extension; the paper
+//! evaluates nominal parameters only).
+//!
+//! Fabricated photonic components deviate from their nominal losses;
+//! a synthesized router should keep its laser-power budget and SNR
+//! margins under that variation. [`monte_carlo`] re-evaluates a design
+//! under randomly perturbed [`LossParams`] and summarizes the spread.
+
+use crate::design::XRingDesign;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+
+/// Relative (multiplicative) 1σ variation per loss mechanism.
+///
+/// Each sample multiplies the nominal parameter by `exp(σ·z)` with
+/// `z ~ N(0, 1)` — losses stay positive and the median stays nominal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationSpec {
+    /// σ of propagation loss (default 0.10).
+    pub propagation: f64,
+    /// σ of crossing loss (default 0.15).
+    pub crossing: f64,
+    /// σ of MRR drop loss (default 0.15).
+    pub drop: f64,
+    /// σ of MRR through loss (default 0.20).
+    pub through: f64,
+    /// RNG seed (results are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        VariationSpec {
+            propagation: 0.10,
+            crossing: 0.15,
+            drop: 0.15,
+            through: 0.20,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Summary statistics over the Monte-Carlo samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationSummary {
+    /// Number of samples evaluated.
+    pub samples: usize,
+    /// Mean of the worst-case insertion loss, dB.
+    pub il_mean_db: f64,
+    /// Standard deviation of the worst-case insertion loss, dB.
+    pub il_std_db: f64,
+    /// Maximum observed worst-case insertion loss, dB.
+    pub il_max_db: f64,
+    /// Mean total laser power, W (None when the design has no PDN).
+    pub power_mean_w: Option<f64>,
+    /// Maximum total laser power, W.
+    pub power_max_w: Option<f64>,
+    /// Minimum observed worst-case SNR, dB (None when no sample had any
+    /// noisy signal).
+    pub snr_min_db: Option<f64>,
+}
+
+/// Runs `samples` Monte-Carlo evaluations of `design` under `spec`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn monte_carlo(
+    design: &XRingDesign,
+    nominal: &LossParams,
+    xtalk: &CrosstalkParams,
+    power: &PowerParams,
+    spec: &VariationSpec,
+    samples: usize,
+) -> VariationSummary {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Box-Muller-free normal: sum of 12 uniforms − 6 is N(0,1) to good
+    // approximation and keeps `rand` usage to `Rng::gen`-style calls.
+    let normal = move |rng: &mut StdRng| -> f64 {
+        (0..12).map(|_| rng.r#gen::<f64>()).sum::<f64>() - 6.0
+    };
+
+    let mut ils = Vec::with_capacity(samples);
+    let mut powers = Vec::with_capacity(samples);
+    let mut snr_min: Option<f64> = None;
+
+    for _ in 0..samples {
+        let perturbed = LossParams {
+            propagation_db_per_cm: nominal.propagation_db_per_cm
+                * (spec.propagation * normal(&mut rng)).exp(),
+            crossing_db: nominal.crossing_db * (spec.crossing * normal(&mut rng)).exp(),
+            drop_db: nominal.drop_db * (spec.drop * normal(&mut rng)).exp(),
+            through_db: nominal.through_db * (spec.through * normal(&mut rng)).exp(),
+            ..nominal.clone()
+        };
+        let report = design
+            .layout
+            .evaluate("mc", &perturbed, Some(xtalk), power, design.elapsed);
+        ils.push(report.worst_il_db);
+        if let Some(p) = report.total_power_w {
+            powers.push(p);
+        }
+        if let Some(s) = report.worst_snr_db {
+            snr_min = Some(snr_min.map_or(s, |m: f64| m.min(s)));
+        }
+    }
+
+    let mean = ils.iter().sum::<f64>() / samples as f64;
+    let var = ils.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples as f64;
+    VariationSummary {
+        samples,
+        il_mean_db: mean,
+        il_std_db: var.sqrt(),
+        il_max_db: ils.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        power_mean_w: (!powers.is_empty())
+            .then(|| powers.iter().sum::<f64>() / powers.len() as f64),
+        power_max_w: (!powers.is_empty())
+            .then(|| powers.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        snr_min_db: snr_min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkSpec, SynthesisOptions, Synthesizer};
+
+    fn design() -> XRingDesign {
+        Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&NetworkSpec::proton_8())
+            .expect("synthesis succeeds")
+    }
+
+    #[test]
+    fn summary_is_deterministic_per_seed() {
+        let d = design();
+        let run = || {
+            monte_carlo(
+                &d,
+                &LossParams::default(),
+                &CrosstalkParams::default(),
+                &PowerParams::default(),
+                &VariationSpec::default(),
+                32,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = design();
+        let base = VariationSpec::default();
+        let a = monte_carlo(
+            &d,
+            &LossParams::default(),
+            &CrosstalkParams::default(),
+            &PowerParams::default(),
+            &base,
+            32,
+        );
+        let b = monte_carlo(
+            &d,
+            &LossParams::default(),
+            &CrosstalkParams::default(),
+            &PowerParams::default(),
+            &VariationSpec { seed: 1, ..base },
+            32,
+        );
+        assert_ne!(a.il_mean_db, b.il_mean_db);
+    }
+
+    #[test]
+    fn mean_tracks_nominal_and_max_exceeds_mean() {
+        let d = design();
+        let nominal = LossParams::default();
+        let s = monte_carlo(
+            &d,
+            &nominal,
+            &CrosstalkParams::default(),
+            &PowerParams::default(),
+            &VariationSpec::default(),
+            128,
+        );
+        let nominal_report = d.layout.evaluate(
+            "nom",
+            &nominal,
+            None,
+            &PowerParams::default(),
+            d.elapsed,
+        );
+        // Multiplicative lognormal-ish perturbation keeps the mean within
+        // ~15% of nominal and the max strictly above the mean.
+        assert!(
+            (s.il_mean_db - nominal_report.worst_il_db).abs()
+                < 0.15 * nominal_report.worst_il_db,
+            "mean {} vs nominal {}",
+            s.il_mean_db,
+            nominal_report.worst_il_db
+        );
+        assert!(s.il_max_db > s.il_mean_db);
+        assert!(s.il_std_db > 0.0);
+        assert!(s.power_max_w.expect("pdn") >= s.power_mean_w.expect("pdn"));
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_spread() {
+        let d = design();
+        let s = monte_carlo(
+            &d,
+            &LossParams::default(),
+            &CrosstalkParams::default(),
+            &PowerParams::default(),
+            &VariationSpec {
+                propagation: 0.0,
+                crossing: 0.0,
+                drop: 0.0,
+                through: 0.0,
+                seed: 3,
+            },
+            16,
+        );
+        assert!(s.il_std_db < 1e-12);
+        assert!((s.il_max_db - s.il_mean_db).abs() < 1e-12);
+    }
+}

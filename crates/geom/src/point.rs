@@ -1,0 +1,138 @@
+//! Exact integer points in the chip plane.
+//!
+//! All coordinates are in **micrometres** (µm). Integer coordinates make
+//! every crossing predicate in this crate exact; the photonic loss model
+//! converts to mm/cm only when computing dB values.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the chip plane, in micrometres.
+///
+/// # Example
+///
+/// ```
+/// use xring_geom::Point;
+///
+/// let a = Point::new(100, 200);
+/// let b = Point::new(400, -200);
+/// assert_eq!(a.manhattan_distance(b), 700);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate in µm.
+    pub x: i64,
+    /// Vertical coordinate in µm.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from µm coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Manhattan (L1) distance to `other`, in µm.
+    ///
+    /// This is the length of any staircase-monotone rectilinear route
+    /// between the two points, and in particular of both L-shaped routing
+    /// options of [`LRoute`](crate::LRoute).
+    pub fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance, used only for reporting (never for predicates).
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The L-corner of the horizontal-first route from `self` to `other`:
+    /// travel along x first, then along y.
+    pub fn corner_horizontal_first(self, other: Point) -> Point {
+        Point::new(other.x, self.y)
+    }
+
+    /// The L-corner of the vertical-first route from `self` to `other`:
+    /// travel along y first, then along x.
+    pub fn corner_vertical_first(self, other: Point) -> Point {
+        Point::new(self.x, other.y)
+    }
+
+    /// True if the two points share an x or y coordinate (a single straight
+    /// axis-aligned segment connects them, and both L options degenerate).
+    pub fn is_axis_aligned_with(self, other: Point) -> bool {
+        self.x == other.x || self.y == other.y
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(3, -7);
+        let b = Point::new(-2, 11);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+        assert_eq!(a.manhattan_distance(b), 5 + 18);
+    }
+
+    #[test]
+    fn corners_are_on_the_rectangle() {
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 20);
+        assert_eq!(a.corner_horizontal_first(b), Point::new(10, 0));
+        assert_eq!(a.corner_vertical_first(b), Point::new(0, 20));
+    }
+
+    #[test]
+    fn axis_alignment() {
+        assert!(Point::new(5, 0).is_axis_aligned_with(Point::new(5, 9)));
+        assert!(Point::new(0, 7).is_axis_aligned_with(Point::new(3, 7)));
+        assert!(!Point::new(0, 0).is_axis_aligned_with(Point::new(1, 1)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(4, 5);
+        let b = Point::new(-1, 2);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+    }
+}

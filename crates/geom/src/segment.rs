@@ -1,0 +1,252 @@
+//! Axis-aligned waveguide segments with exact intersection predicates.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned segment between two points.
+///
+/// Degenerate (zero-length) segments are allowed; they arise when an
+/// L-shaped route degenerates because its endpoints share a coordinate.
+///
+/// # Example
+///
+/// ```
+/// use xring_geom::{Point, Segment, SegmentIntersection};
+///
+/// let h = Segment::new(Point::new(0, 5), Point::new(10, 5));
+/// let v = Segment::new(Point::new(4, 0), Point::new(4, 9));
+/// assert_eq!(
+///     h.intersection(&v),
+///     SegmentIntersection::Point(Point::new(4, 5))
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    a: Point,
+    b: Point,
+}
+
+/// Exact classification of how two axis-aligned segments meet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentIntersection {
+    /// The segments share no point.
+    None,
+    /// The segments share exactly one point.
+    Point(Point),
+    /// The segments are collinear and share a sub-segment of positive
+    /// length (a physical waveguide overlap — always illegal).
+    Overlap(Segment),
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are not axis-aligned (neither x nor y is
+    /// shared): only rectilinear waveguides exist in this kernel.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(
+            a.is_axis_aligned_with(b),
+            "segment endpoints must share an axis: {a} vs {b}"
+        );
+        Segment { a, b }
+    }
+
+    /// First endpoint (as constructed).
+    pub fn start(&self) -> Point {
+        self.a
+    }
+
+    /// Second endpoint (as constructed).
+    pub fn end(&self) -> Point {
+        self.b
+    }
+
+    /// Segment length in µm (Manhattan == Euclidean for axis-aligned).
+    pub fn length(&self) -> i64 {
+        self.a.manhattan_distance(self.b)
+    }
+
+    /// True if this is a zero-length (degenerate) segment.
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// True if this segment is horizontal (constant y). Degenerate segments
+    /// count as both horizontal and vertical.
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+
+    /// True if this segment is vertical (constant x).
+    pub fn is_vertical(&self) -> bool {
+        self.a.x == self.b.x
+    }
+
+    /// True if `p` lies on this segment (endpoints included).
+    pub fn contains(&self, p: Point) -> bool {
+        let (xlo, xhi) = minmax(self.a.x, self.b.x);
+        let (ylo, yhi) = minmax(self.a.y, self.b.y);
+        // An axis-aligned segment is exactly its bounding box.
+        p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi
+    }
+
+    /// Exact intersection classification of two axis-aligned segments.
+    pub fn intersection(&self, other: &Segment) -> SegmentIntersection {
+        let (axlo, axhi) = minmax(self.a.x, self.b.x);
+        let (aylo, ayhi) = minmax(self.a.y, self.b.y);
+        let (bxlo, bxhi) = minmax(other.a.x, other.b.x);
+        let (bylo, byhi) = minmax(other.a.y, other.b.y);
+
+        // Intersect bounding boxes; for axis-aligned segments the
+        // intersection of the segments is the intersection of the boxes
+        // intersected with both lines, which for any pair of axis-aligned
+        // segments is just the box intersection (each segment *is* its box).
+        let xlo = axlo.max(bxlo);
+        let xhi = axhi.min(bxhi);
+        let ylo = aylo.max(bylo);
+        let yhi = ayhi.min(byhi);
+        if xlo > xhi || ylo > yhi {
+            return SegmentIntersection::None;
+        }
+        if xlo == xhi && ylo == yhi {
+            return SegmentIntersection::Point(Point::new(xlo, ylo));
+        }
+        // A box intersection with positive extent in some axis: possible
+        // only when the segments are collinear (both horizontal on the same
+        // y, or both vertical on the same x) — a physical overlap.
+        SegmentIntersection::Overlap(Segment {
+            a: Point::new(xlo, ylo),
+            b: Point::new(xhi, yhi),
+        })
+    }
+
+    /// True if the segments share at least one point.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.intersection(other) != SegmentIntersection::None
+    }
+
+    /// True if the segments *properly cross*: they share exactly one point
+    /// that is interior to **both** segments (a real waveguide crossing,
+    /// not an endpoint contact or a bend).
+    pub fn crosses_properly(&self, other: &Segment) -> bool {
+        match self.intersection(other) {
+            SegmentIntersection::Point(p) => self.point_is_interior(p) && other.point_is_interior(p),
+            _ => false,
+        }
+    }
+
+    /// True if `p` lies on this segment strictly between the endpoints.
+    pub fn point_is_interior(&self, p: Point) -> bool {
+        self.contains(p) && p != self.a && p != self.b
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} -> {}]", self.a, self.b)
+    }
+}
+
+fn minmax(a: i64, b: i64) -> (i64, i64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: i64, ay: i64, bx: i64, by: i64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    #[should_panic(expected = "share an axis")]
+    fn diagonal_segment_panics() {
+        let _ = seg(0, 0, 1, 1);
+    }
+
+    #[test]
+    fn perpendicular_crossing() {
+        let h = seg(0, 5, 10, 5);
+        let v = seg(3, 0, 3, 10);
+        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(3, 5)));
+        assert!(h.crosses_properly(&v));
+    }
+
+    #[test]
+    fn t_junction_is_not_proper_crossing() {
+        let h = seg(0, 5, 10, 5);
+        let v = seg(3, 5, 3, 10); // touches h at its own endpoint
+        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(3, 5)));
+        assert!(!h.crosses_properly(&v));
+    }
+
+    #[test]
+    fn corner_contact_is_not_proper_crossing() {
+        let h = seg(0, 0, 5, 0);
+        let v = seg(5, 0, 5, 5);
+        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(5, 0)));
+        assert!(!h.crosses_properly(&v));
+    }
+
+    #[test]
+    fn disjoint_parallel() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(0, 1, 10, 1);
+        assert_eq!(a.intersection(&b), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(5, 0, 15, 0);
+        match a.intersection(&b) {
+            SegmentIntersection::Overlap(s) => {
+                assert_eq!(s.length(), 5);
+                assert!(s.contains(Point::new(7, 0)));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_endpoint_touch_is_a_point() {
+        let a = seg(0, 0, 10, 0);
+        let b = seg(10, 0, 20, 0);
+        assert_eq!(a.intersection(&b), SegmentIntersection::Point(Point::new(10, 0)));
+    }
+
+    #[test]
+    fn degenerate_segment_on_segment() {
+        let a = seg(0, 0, 10, 0);
+        let p = seg(4, 0, 4, 0);
+        assert_eq!(a.intersection(&p), SegmentIntersection::Point(Point::new(4, 0)));
+        assert!(p.is_degenerate());
+    }
+
+    #[test]
+    fn contains_and_interior() {
+        let a = seg(0, 0, 10, 0);
+        assert!(a.contains(Point::new(0, 0)));
+        assert!(a.contains(Point::new(10, 0)));
+        assert!(a.contains(Point::new(5, 0)));
+        assert!(!a.contains(Point::new(5, 1)));
+        assert!(a.point_is_interior(Point::new(5, 0)));
+        assert!(!a.point_is_interior(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn orientation_flags() {
+        assert!(seg(0, 0, 5, 0).is_horizontal());
+        assert!(!seg(0, 0, 5, 0).is_vertical());
+        assert!(seg(0, 0, 0, 5).is_vertical());
+        let d = seg(3, 3, 3, 3);
+        assert!(d.is_horizontal() && d.is_vertical());
+    }
+}

@@ -1,0 +1,288 @@
+//! A 2-SAT solver (implication graph + Tarjan SCC).
+//!
+//! The ring-construction MILP guarantees that every *pair* of selected
+//! edges has a crossing-free option combination, but a globally consistent
+//! assignment of one option per edge still has to be found. Encoding each
+//! edge's option as a boolean variable and each crossing combination as a
+//! forbidden pair yields a 2-SAT instance, solved here in linear time.
+//!
+//! # Example
+//!
+//! ```
+//! use xring_geom::TwoSat;
+//!
+//! let mut sat = TwoSat::new(2);
+//! // (x0 OR x1) AND (NOT x0 OR x1)  =>  x1 must be true
+//! sat.add_clause(0, true, 1, true);
+//! sat.add_clause(0, false, 1, true);
+//! let solution = sat.solve().expect("satisfiable");
+//! assert!(solution.value(1));
+//! ```
+
+/// A 2-SAT instance over `n` boolean variables.
+#[derive(Debug, Clone)]
+pub struct TwoSat {
+    n: usize,
+    /// Implication graph: 2n literal nodes. Literal `2v` is "v is true",
+    /// `2v + 1` is "v is false".
+    adj: Vec<Vec<u32>>,
+}
+
+/// A satisfying assignment returned by [`TwoSat::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoSatSolution {
+    values: Vec<bool>,
+}
+
+impl TwoSatSolution {
+    /// The value assigned to variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn value(&self, v: usize) -> bool {
+        self.values[v]
+    }
+
+    /// All assigned values, indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+fn lit(var: usize, positive: bool) -> u32 {
+    (2 * var + usize::from(!positive)) as u32
+}
+
+impl TwoSat {
+    /// Creates an instance with `n` variables and no clauses.
+    pub fn new(n: usize) -> Self {
+        TwoSat {
+            n,
+            adj: vec![Vec::new(); 2 * n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the clause `(a == a_val) OR (b == b_val)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_clause(&mut self, a: usize, a_val: bool, b: usize, b_val: bool) {
+        assert!(a < self.n && b < self.n, "variable out of range");
+        // (la OR lb)  ==  (!la -> lb) AND (!lb -> la)
+        let la = lit(a, a_val);
+        let lb = lit(b, b_val);
+        self.adj[(la ^ 1) as usize].push(lb);
+        self.adj[(lb ^ 1) as usize].push(la);
+    }
+
+    /// Forbids the combination `(a == a_val) AND (b == b_val)`, i.e. adds
+    /// the clause `(a != a_val) OR (b != b_val)`.
+    pub fn forbid_pair(&mut self, a: usize, a_val: bool, b: usize, b_val: bool) {
+        self.add_clause(a, !a_val, b, !b_val);
+    }
+
+    /// Forces variable `v` to take `val`.
+    pub fn force(&mut self, v: usize, val: bool) {
+        assert!(v < self.n, "variable out of range");
+        // (v == val) as a one-literal clause: !lit -> lit
+        let l = lit(v, val);
+        self.adj[(l ^ 1) as usize].push(l);
+    }
+
+    /// Solves the instance. Returns `None` when unsatisfiable.
+    ///
+    /// Runs Tarjan's SCC on the implication graph (iteratively, so deep
+    /// graphs cannot overflow the stack) and assigns each variable from
+    /// the reverse topological order of its literals' components.
+    pub fn solve(&self) -> Option<TwoSatSolution> {
+        let m = 2 * self.n;
+        let mut index = vec![u32::MAX; m];
+        let mut low = vec![0u32; m];
+        let mut on_stack = vec![false; m];
+        let mut comp = vec![u32::MAX; m];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut next_comp = 0u32;
+
+        // Iterative Tarjan.
+        #[derive(Clone, Copy)]
+        struct Frame {
+            v: u32,
+            child_idx: u32,
+        }
+        let mut call: Vec<Frame> = Vec::new();
+        for start in 0..m as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            call.push(Frame { v: start, child_idx: 0 });
+            index[start as usize] = next_index;
+            low[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(frame) = call.last_mut() {
+                let v = frame.v as usize;
+                if (frame.child_idx as usize) < self.adj[v].len() {
+                    let w = self.adj[v][frame.child_idx as usize];
+                    frame.child_idx += 1;
+                    let wu = w as usize;
+                    if index[wu] == u32::MAX {
+                        index[wu] = next_index;
+                        low[wu] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[wu] = true;
+                        call.push(Frame { v: w, child_idx: 0 });
+                    } else if on_stack[wu] {
+                        low[v] = low[v].min(index[wu]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = next_comp;
+                            if w as usize == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    let finished = *frame;
+                    call.pop();
+                    if let Some(parent) = call.last_mut() {
+                        let pv = parent.v as usize;
+                        low[pv] = low[pv].min(low[finished.v as usize]);
+                    }
+                }
+            }
+        }
+
+        let mut values = vec![false; self.n];
+        for v in 0..self.n {
+            let pos = comp[2 * v];
+            let neg = comp[2 * v + 1];
+            if pos == neg {
+                return None;
+            }
+            // Tarjan numbers components in reverse topological order, so a
+            // literal whose component id is SMALLER comes LATER in the
+            // topological order and should be chosen.
+            values[v] = pos < neg;
+        }
+        Some(TwoSatSolution { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivially_satisfiable() {
+        let sat = TwoSat::new(3);
+        let s = sat.solve().expect("no clauses is sat");
+        assert_eq!(s.values().len(), 3);
+    }
+
+    #[test]
+    fn forced_variable() {
+        let mut sat = TwoSat::new(2);
+        sat.force(0, true);
+        sat.force(1, false);
+        let s = sat.solve().expect("sat");
+        assert!(s.value(0));
+        assert!(!s.value(1));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut sat = TwoSat::new(1);
+        sat.force(0, true);
+        sat.force(0, false);
+        assert!(sat.solve().is_none());
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 -> x1 -> x2, and x0 forced true.
+        let mut sat = TwoSat::new(3);
+        sat.add_clause(0, false, 1, true); // !x0 or x1
+        sat.add_clause(1, false, 2, true); // !x1 or x2
+        sat.force(0, true);
+        let s = sat.solve().expect("sat");
+        assert!(s.value(0) && s.value(1) && s.value(2));
+    }
+
+    #[test]
+    fn forbid_pair_semantics() {
+        let mut sat = TwoSat::new(2);
+        sat.forbid_pair(0, true, 1, true);
+        sat.force(0, true);
+        let s = sat.solve().expect("sat");
+        assert!(s.value(0));
+        assert!(!s.value(1));
+    }
+
+    #[test]
+    fn xor_constraint() {
+        // x0 XOR x1: forbid (T,T) and (F,F).
+        let mut sat = TwoSat::new(2);
+        sat.forbid_pair(0, true, 1, true);
+        sat.forbid_pair(0, false, 1, false);
+        let s = sat.solve().expect("sat");
+        assert_ne!(s.value(0), s.value(1));
+    }
+
+    #[test]
+    fn unsat_cycle() {
+        // x0 != x1, x1 != x2, x2 != x0 — odd anti-cycle, unsat.
+        let mut sat = TwoSat::new(3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            sat.forbid_pair(a, true, b, true);
+            sat.forbid_pair(a, false, b, false);
+        }
+        assert!(sat.solve().is_none());
+    }
+
+    #[test]
+    fn satisfying_assignment_satisfies_all_clauses() {
+        // Random-ish instance, then verify by brute re-check.
+        let clauses = [
+            (0, true, 1, false),
+            (1, true, 2, true),
+            (2, false, 3, true),
+            (3, false, 0, false),
+            (1, false, 3, true),
+        ];
+        let mut sat = TwoSat::new(4);
+        for &(a, av, b, bv) in &clauses {
+            sat.add_clause(a, av, b, bv);
+        }
+        let s = sat.solve().expect("sat");
+        for &(a, av, b, bv) in &clauses {
+            assert!(s.value(a) == av || s.value(b) == bv, "clause violated");
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 50_000;
+        let mut sat = TwoSat::new(n);
+        for v in 0..n - 1 {
+            sat.add_clause(v, false, v + 1, true); // x_v -> x_{v+1}
+        }
+        sat.force(0, true);
+        let s = sat.solve().expect("sat");
+        assert!(s.value(n - 1));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000i64..1_000, -1_000i64..1_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
+    }
+
+    #[test]
+    fn both_route_options_have_manhattan_length(a in arb_point(), b in arb_point()) {
+        for opt in RouteOption::BOTH {
+            let r = LRoute::new(a, b, opt);
+            prop_assert_eq!(r.length(), a.manhattan_distance(b));
+            // Segment lengths sum to the route length.
+            let sum: i64 = r.segments().iter().map(|s| s.length()).sum();
+            prop_assert_eq!(sum, r.length());
+        }
+    }
+
+    #[test]
+    fn route_crossing_is_symmetric(
+        a1 in arb_point(), a2 in arb_point(),
+        b1 in arb_point(), b2 in arb_point(),
+        oa in prop::bool::ANY, ob in prop::bool::ANY,
+    ) {
+        let oa = if oa { RouteOption::HorizontalFirst } else { RouteOption::VerticalFirst };
+        let ob = if ob { RouteOption::HorizontalFirst } else { RouteOption::VerticalFirst };
+        let ra = LRoute::new(a1, a2, oa);
+        let rb = LRoute::new(b1, b2, ob);
+        prop_assert_eq!(ra.crosses(&rb), rb.crosses(&ra));
+    }
+
+    #[test]
+    fn conflict_classification_matches_exhaustive_check(
+        a1 in arb_point(), a2 in arb_point(),
+        b1 in arb_point(), b2 in arb_point(),
+    ) {
+        let classification = classify_edge_pair(a1, a2, b1, b2);
+        let mut all_cross = true;
+        for oa in RouteOption::BOTH {
+            for ob in RouteOption::BOTH {
+                let ra = LRoute::new(a1, a2, oa);
+                let rb = LRoute::new(b1, b2, ob);
+                if !ra.crosses(&rb) {
+                    all_cross = false;
+                }
+            }
+        }
+        prop_assert_eq!(classification.is_conflicting(), all_cross);
+    }
+
+    #[test]
+    fn segment_intersection_symmetric(
+        a1 in arb_point(), b1 in arb_point(),
+        dx in 0i64..500, dy in 0i64..500,
+    ) {
+        use xring_geom::Segment;
+        // Build two axis-aligned segments.
+        let s1 = Segment::new(a1, Point::new(a1.x + dx, a1.y));
+        let s2 = Segment::new(b1, Point::new(b1.x, b1.y + dy));
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        prop_assert_eq!(s1.crosses_properly(&s2), s2.crosses_properly(&s1));
+    }
+
+    #[test]
+    fn rectangle_ring_has_four_bends(w in 1i64..1_000, h in 1i64..1_000) {
+        let ring = Polyline::closed(vec![
+            Point::new(0, 0), Point::new(w, 0), Point::new(w, h), Point::new(0, h),
+        ]);
+        prop_assert_eq!(ring.bend_count(), 4);
+        prop_assert_eq!(ring.length(), 2 * (w + h));
+    }
+
+    #[test]
+    fn twosat_solution_satisfies_random_forbid_instances(
+        pairs in prop::collection::vec(((0usize..8, prop::bool::ANY), (0usize..8, prop::bool::ANY)), 0..20)
+    ) {
+        let mut sat = TwoSat::new(8);
+        let mut clauses = Vec::new();
+        for ((a, av), (b, bv)) in pairs {
+            if a == b { continue; }
+            sat.forbid_pair(a, av, b, bv);
+            clauses.push((a, av, b, bv));
+        }
+        if let Some(s) = sat.solve() {
+            for (a, av, b, bv) in clauses {
+                prop_assert!(!(s.value(a) == av && s.value(b) == bv), "forbidden pair taken");
+            }
+        }
+        // Pure forbid_pair instances with distinct vars are always
+        // satisfiable by at most flipping, but we do not assert that —
+        // only consistency of returned solutions.
+    }
+}

@@ -1,0 +1,608 @@
+//! Exact branch-and-bound over the binary variables.
+
+use crate::error::SolveError;
+use crate::expr::{LinExpr, VarId};
+use crate::model::{Model, Relation, VarKind};
+use crate::simplex::{LpOutcome, LpProblem, LpRow};
+
+/// Integrality tolerance: an LP value within this distance of an integer
+/// is considered integral.
+const INT_TOL: f64 = 1e-6;
+
+/// A feasible integer solution found by [`BranchAndBound::solve`].
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    values: Vec<f64>,
+    objective: f64,
+    stats: SolveStats,
+}
+
+impl MilpSolution {
+    /// Value of variable `v` (binaries are exactly 0.0 or 1.0 after
+    /// rounding within tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// True if binary variable `v` is set in this solution.
+    pub fn is_set(&self, v: VarId) -> bool {
+        self.value(v) > 0.5
+    }
+
+    /// Dense assignment vector, indexed by variable creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+}
+
+/// Statistics reported with a solution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// LP relaxations solved (≥ nodes when lazy constraints re-solve).
+    pub lp_solves: usize,
+    /// Lazy constraints added by the callback.
+    pub lazy_constraints: usize,
+    /// Binaries fixed by root presolve.
+    pub presolve_fixed: usize,
+}
+
+/// Configurable exact branch-and-bound solver.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone)]
+pub struct BranchAndBound {
+    max_nodes: usize,
+    incumbent: Option<(Vec<f64>, f64)>,
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        BranchAndBound {
+            max_nodes: 200_000,
+            incumbent: None,
+        }
+    }
+}
+
+impl BranchAndBound {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of branch-and-bound nodes. On exhaustion the best
+    /// incumbent is returned if one exists, otherwise
+    /// [`SolveError::ResourceLimit`].
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Warm-starts the search with a known feasible assignment (e.g. from
+    /// a heuristic). The assignment must be feasible for the model passed
+    /// to [`solve`](Self::solve); it is re-checked there.
+    pub fn with_incumbent(mut self, values: Vec<f64>, objective: f64) -> Self {
+        self.incumbent = Some((values, objective));
+        self
+    }
+
+    /// Solves the model exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no integer point satisfies the
+    /// constraints, [`SolveError::Unbounded`] when the relaxation is
+    /// unbounded, [`SolveError::ResourceLimit`] when limits are hit with
+    /// no incumbent, [`SolveError::Numerical`] on simplex failure.
+    pub fn solve(&self, model: &Model) -> Result<MilpSolution, SolveError> {
+        self.solve_with_lazy(model, |_| Vec::new())
+    }
+
+    /// Solves the model with a lazy-constraint callback.
+    ///
+    /// Whenever the search finds an LP-optimal **integral** assignment,
+    /// `separate` is called with the candidate values. If it returns any
+    /// cuts (each `(expr, relation, rhs)`), they are added to a global cut
+    /// pool, the candidate is rejected, and the node is re-solved. The
+    /// callback must be *consistent*: it must eventually accept any truly
+    /// feasible point, or the search cannot terminate with that point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve).
+    pub fn solve_with_lazy<F>(
+        &self,
+        model: &Model,
+        mut separate: F,
+    ) -> Result<MilpSolution, SolveError>
+    where
+        F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
+    {
+        let n = model.num_vars();
+        let mut stats = SolveStats::default();
+
+        // Dense objective.
+        let mut objective = vec![0.0f64; n];
+        for &(v, c) in model.objective.terms() {
+            objective[v.index()] += c;
+        }
+
+        // Base bounds.
+        let mut base_lb = vec![0.0f64; n];
+        let mut base_ub = vec![0.0f64; n];
+        for (j, def) in model.vars.iter().enumerate() {
+            match def.kind {
+                VarKind::Binary => {
+                    base_lb[j] = 0.0;
+                    base_ub[j] = 1.0;
+                }
+                VarKind::Continuous { lb, ub } => {
+                    base_lb[j] = lb;
+                    base_ub[j] = ub;
+                }
+            }
+        }
+
+        // Rows from model constraints + lazy pool.
+        let to_lp_row = |expr: &LinExpr, relation: Relation, rhs: f64| LpRow {
+            terms: expr.terms().iter().map(|&(v, c)| (v.index(), c)).collect(),
+            relation,
+            rhs,
+        };
+        let mut rows: Vec<LpRow> = model
+            .constraints
+            .iter()
+            .map(|c| to_lp_row(&c.expr, c.relation, c.rhs))
+            .collect();
+        let mut lazy_pool: Vec<(LinExpr, Relation, f64)> = Vec::new();
+
+        // Incumbent.
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        if let Some((vals, obj)) = &self.incumbent {
+            assert_eq!(vals.len(), n, "incumbent dimension mismatch");
+            if model.violated_constraints(vals, 1e-6).is_empty() {
+                best = Some((vals.clone(), *obj));
+            }
+        }
+
+        // Root presolve: logical fixings applied to every node.
+        let pre = crate::presolve::presolve(model);
+        if pre.infeasible {
+            return Err(SolveError::Infeasible);
+        }
+        stats.presolve_fixed = pre.fixed.len();
+
+        // DFS over nodes: each node fixes a subset of binaries.
+        #[derive(Clone)]
+        struct Node {
+            fixes: Vec<(usize, bool)>,
+        }
+        let root_fixes: Vec<(usize, bool)> =
+            pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
+        let mut stack = vec![Node { fixes: root_fixes }];
+        let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
+        let is_binary = {
+            let mut flags = vec![false; n];
+            for &b in &binaries {
+                flags[b] = true;
+            }
+            flags
+        };
+
+        // Implied-upper-bound detection: a binary x_j needs no explicit
+        // `x_j <= 1` row in the relaxation when some all-nonnegative
+        // constraint `Σ aᵢxᵢ {<=,=} rhs` with `rhs <= 1` and `a_j >= 1`
+        // already enforces it (true for the degree constraints of the
+        // ring-construction model, which makes its LP 3x smaller).
+        let implied_ub = {
+            let mut implied = vec![false; n];
+            for c in &model.constraints {
+                if !matches!(c.relation, Relation::Le | Relation::Eq) || c.rhs > 1.0 + 1e-12 {
+                    continue;
+                }
+                if c.expr.terms().iter().any(|&(_, coef)| coef < 0.0) {
+                    continue;
+                }
+                for &(v, coef) in c.expr.terms() {
+                    if coef >= 1.0 - 1e-12 && is_binary[v.index()] {
+                        implied[v.index()] = true;
+                    }
+                }
+            }
+            implied
+        };
+
+        while let Some(node) = stack.pop() {
+            stats.nodes += 1;
+            if stats.nodes > self.max_nodes {
+                return match best {
+                    Some((values, obj)) => Ok(self.finish(values, obj, stats)),
+                    None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
+                };
+            }
+
+            // Substitute fixed binaries out of the LP entirely.
+            let mut fixed: Vec<Option<f64>> = vec![None; n];
+            for &(j, val) in &node.fixes {
+                fixed[j] = Some(if val { 1.0 } else { 0.0 });
+            }
+            let free: Vec<usize> = (0..n).filter(|&j| fixed[j].is_none()).collect();
+            let mut free_of = vec![usize::MAX; n];
+            for (fi, &j) in free.iter().enumerate() {
+                free_of[j] = fi;
+            }
+            let fixed_obj: f64 = (0..n)
+                .filter_map(|j| fixed[j].map(|v| v * objective[j]))
+                .sum();
+
+            // Re-solve this node until the lazy callback accepts or the
+            // node is pruned.
+            'resolve: loop {
+                // Build the reduced LP.
+                let mut lp_rows = Vec::with_capacity(rows.len());
+                let mut node_infeasible = false;
+                for r in &rows {
+                    let mut terms = Vec::with_capacity(r.terms.len());
+                    let mut rhs = r.rhs;
+                    for &(j, c) in &r.terms {
+                        match fixed[j] {
+                            Some(v) => rhs -= c * v,
+                            None => terms.push((free_of[j], c)),
+                        }
+                    }
+                    if terms.is_empty() {
+                        let violated = match r.relation {
+                            Relation::Le => rhs < -1e-9,
+                            Relation::Ge => rhs > 1e-9,
+                            Relation::Eq => rhs.abs() > 1e-9,
+                        };
+                        if violated {
+                            node_infeasible = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    lp_rows.push(LpRow {
+                        terms,
+                        relation: r.relation,
+                        rhs,
+                    });
+                }
+                if node_infeasible {
+                    break 'resolve;
+                }
+                let lp = LpProblem {
+                    num_vars: free.len(),
+                    lb: free.iter().map(|&j| base_lb[j]).collect(),
+                    ub: free
+                        .iter()
+                        .map(|&j| {
+                            if is_binary[j] && implied_ub[j] {
+                                f64::INFINITY
+                            } else {
+                                base_ub[j]
+                            }
+                        })
+                        .collect(),
+                    objective: free.iter().map(|&j| objective[j]).collect(),
+                    rows: lp_rows,
+                };
+                stats.lp_solves += 1;
+                let outcome = lp.solve();
+                let sol = match outcome {
+                    LpOutcome::Optimal(s) => s,
+                    LpOutcome::Infeasible => break 'resolve, // prune
+                    LpOutcome::Unbounded => {
+                        // Unbounded relaxation at the root means an
+                        // unbounded MILP; in a branch it still means the
+                        // whole problem is unbounded (bounds only tighten).
+                        return Err(SolveError::Unbounded);
+                    }
+                    LpOutcome::IterationLimit => return Err(SolveError::Numerical),
+                };
+                let node_obj = sol.objective + fixed_obj;
+
+                // Bound pruning.
+                if let Some((_, best_obj)) = &best {
+                    if node_obj >= *best_obj - 1e-9 {
+                        break 'resolve;
+                    }
+                }
+
+                // Reassemble full values.
+                let mut full = vec![0.0f64; n];
+                for j in 0..n {
+                    full[j] = match fixed[j] {
+                        Some(v) => v,
+                        None => sol.values[free_of[j]],
+                    };
+                }
+
+                // Find the most fractional binary.
+                let mut branch_var = None;
+                let mut branch_frac = INT_TOL;
+                for &j in &binaries {
+                    let x = full[j];
+                    let frac = (x - x.round()).abs();
+                    if frac > branch_frac {
+                        branch_frac = frac;
+                        branch_var = Some(j);
+                    }
+                }
+
+                match branch_var {
+                    None => {
+                        // Integral: round, check lazy cuts.
+                        let mut values = full.clone();
+                        for (j, v) in values.iter_mut().enumerate() {
+                            if is_binary[j] {
+                                *v = v.round();
+                            }
+                        }
+                        let cuts = separate(&values);
+                        if cuts.is_empty() {
+                            let obj: f64 = values
+                                .iter()
+                                .zip(&objective)
+                                .map(|(x, c)| x * c)
+                                .sum();
+                            let improves = best
+                                .as_ref()
+                                .map(|(_, b)| obj < *b - 1e-9)
+                                .unwrap_or(true);
+                            if improves {
+                                best = Some((values, obj));
+                            }
+                            break 'resolve;
+                        }
+                        stats.lazy_constraints += cuts.len();
+                        for (expr, rel, rhs) in cuts {
+                            let expr = expr.normalized();
+                            // A new cut can invalidate the stored
+                            // incumbent (e.g. a warm start that the
+                            // callback had not vetted); drop it then.
+                            if let Some((bvals, _)) = &best {
+                                let lhs = expr.evaluate(bvals);
+                                let violated = match rel {
+                                    Relation::Le => lhs > rhs + 1e-6,
+                                    Relation::Ge => lhs < rhs - 1e-6,
+                                    Relation::Eq => (lhs - rhs).abs() > 1e-6,
+                                };
+                                if violated {
+                                    best = None;
+                                }
+                            }
+                            rows.push(to_lp_row(&expr, rel, rhs));
+                            lazy_pool.push((expr, rel, rhs));
+                        }
+                        continue 'resolve;
+                    }
+                    Some(j) => {
+                        // Branch: explore the side nearer the LP value
+                        // first (pushed last => popped first).
+                        let x = full[j];
+                        let mut down = node.fixes.clone();
+                        down.push((j, false));
+                        let mut up = node.fixes.clone();
+                        up.push((j, true));
+                        if x >= 0.5 {
+                            stack.push(Node { fixes: down });
+                            stack.push(Node { fixes: up });
+                        } else {
+                            stack.push(Node { fixes: up });
+                            stack.push(Node { fixes: down });
+                        }
+                        break 'resolve;
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((values, obj)) => {
+                // Final consistency check against lazy pool and model.
+                debug_assert!(model.violated_constraints(&values, 1e-5).is_empty());
+                Ok(self.finish(values, obj, stats))
+            }
+            None => Err(SolveError::Infeasible),
+        }
+    }
+
+    fn finish(&self, values: Vec<f64>, objective: f64, stats: SolveStats) -> MilpSolution {
+        MilpSolution {
+            values,
+            objective,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 6   => min negated
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            LinExpr::new() + (a, 3.0) + (b, 4.0) + (c, 2.0),
+            Relation::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::new() + (a, -10.0) + (b, -13.0) + (c, -7.0));
+        let s = BranchAndBound::new().solve(&m).expect("feasible");
+        // Best: b + c = 20 (weight 6). a + c = 17, a alone 10.
+        assert!((s.objective() + 20.0).abs() < 1e-6, "obj={}", s.objective());
+        assert!(s.is_set(b) && s.is_set(c) && !s.is_set(a));
+    }
+
+    #[test]
+    fn infeasible_model() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint(LinExpr::new() + (x, 1.0), Relation::Ge, 2.0);
+        match BranchAndBound::new().solve(&m) {
+            Err(SolveError::Infeasible) => {}
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_partition() {
+        // Choose exactly one of three options, minimize cost.
+        let mut m = Model::new();
+        let v: Vec<_> = (0..3).map(|i| m.add_binary(format!("v{i}"))).collect();
+        m.add_constraint(LinExpr::sum(v.clone()), Relation::Eq, 1.0);
+        m.set_objective(LinExpr::new() + (v[0], 5.0) + (v[1], 3.0) + (v[2], 9.0));
+        let s = BranchAndBound::new().solve(&m).expect("feasible");
+        assert!(s.is_set(v[1]));
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min y  s.t. y >= 1.5 - x, y >= x - 0.5, x binary, y >= 0.
+        // x=1 -> y >= 0.5 ; x=0 -> y >= 1.5. Optimal: x=1, y=0.5.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous(0.0, f64::INFINITY, "y");
+        m.add_constraint(LinExpr::new() + (y, 1.0) + (x, 1.0), Relation::Ge, 1.5);
+        m.add_constraint(LinExpr::new() + (y, 1.0) + (x, -1.0), Relation::Ge, -0.5);
+        m.set_objective(LinExpr::new() + (y, 1.0));
+        let s = BranchAndBound::new().solve(&m).expect("feasible");
+        assert!(s.is_set(x));
+        assert!((s.value(y) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_constraints_cut_off_candidates() {
+        // min -(a+b+c); lazily forbid "all three set".
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective(LinExpr::new() + (a, -1.0) + (b, -1.0) + (c, -1.0));
+        let s = BranchAndBound::new()
+            .solve_with_lazy(&m, |vals| {
+                if vals.iter().take(3).sum::<f64>() > 2.5 {
+                    vec![(
+                        LinExpr::sum([a, b, c]),
+                        Relation::Le,
+                        2.0,
+                    )]
+                } else {
+                    Vec::new()
+                }
+            })
+            .expect("feasible");
+        assert!((s.objective() + 2.0).abs() < 1e-6);
+        assert!(s.stats().lazy_constraints >= 1);
+    }
+
+    #[test]
+    fn incumbent_warm_start_preserved_when_optimal() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        // Incumbent x=0, obj=0 — already optimal.
+        let s = BranchAndBound::new()
+            .with_incumbent(vec![0.0], 0.0)
+            .solve(&m)
+            .expect("feasible");
+        assert!((s.objective() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // matrix-style indices
+    fn tiny_tsp_assignment_with_subtour_cuts() {
+        // 4-city symmetric TSP via assignment + lazy subtour elimination.
+        let d = [
+            [0.0, 1.0, 9.0, 9.0],
+            [1.0, 0.0, 1.0, 9.0],
+            [9.0, 1.0, 0.0, 1.0],
+            [1.0, 9.0, 1.0, 0.0],
+        ];
+        let mut m = Model::new();
+        let mut var = vec![vec![None; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    var[i][j] = Some(m.add_binary(format!("e{i}{j}")));
+                }
+            }
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..4 {
+            let out: Vec<_> = (0..4).filter_map(|j| var[i][j]).collect();
+            let inn: Vec<_> = (0..4).filter_map(|j| var[j][i]).collect();
+            m.add_constraint(LinExpr::sum(out), Relation::Eq, 1.0);
+            m.add_constraint(LinExpr::sum(inn), Relation::Eq, 1.0);
+            for j in 0..4 {
+                if let Some(v) = var[i][j] {
+                    obj += (v, d[i][j]);
+                }
+            }
+        }
+        m.set_objective(obj);
+        let var_clone = var.clone();
+        let s = BranchAndBound::new()
+            .solve_with_lazy(&m, move |vals| {
+                // Find a subtour; forbid it.
+                let next = |i: usize| {
+                    (0..4).find(|&j| {
+                        var_clone[i][j]
+                            .map(|v| vals[v.index()] > 0.5)
+                            .unwrap_or(false)
+                    })
+                };
+                let mut seen = [false; 4];
+                let mut tour = vec![0usize];
+                seen[0] = true;
+                let mut cur = 0usize;
+                while let Some(nx) = next(cur) {
+                    if seen[nx] {
+                        break;
+                    }
+                    seen[nx] = true;
+                    tour.push(nx);
+                    cur = nx;
+                }
+                if tour.len() == 4 {
+                    return Vec::new();
+                }
+                // Cut: sum of edges inside `tour` <= |tour| - 1.
+                let mut cut = LinExpr::new();
+                for &i in &tour {
+                    for &j in &tour {
+                        if let Some(v) = var_clone[i][j] {
+                            cut += (v, 1.0);
+                        }
+                    }
+                }
+                vec![(cut, Relation::Le, tour.len() as f64 - 1.0)]
+            })
+            .expect("feasible");
+        // Optimal tour 0->1->2->3->0 = 1+1+1+1 = 4.
+        assert!((s.objective() - 4.0).abs() < 1e-6, "obj={}", s.objective());
+    }
+}

@@ -1,0 +1,62 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`BranchAndBound`](crate::BranchAndBound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The model has no feasible integer solution.
+    Infeasible,
+    /// The LP relaxation is unbounded below (the MILP is unbounded or
+    /// mis-modelled).
+    Unbounded,
+    /// The node or simplex-iteration budget was exhausted before the
+    /// search could be completed.
+    ResourceLimit {
+        /// Nodes explored when the limit hit.
+        nodes: usize,
+    },
+    /// The simplex ran into numerical trouble it could not recover from.
+    Numerical,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "model is unbounded"),
+            SolveError::ResourceLimit { nodes } => {
+                write!(f, "resource limit exhausted after {nodes} nodes")
+            }
+            SolveError::Numerical => write!(f, "simplex failed numerically"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        for (e, needle) in [
+            (SolveError::Infeasible, "infeasible"),
+            (SolveError::Unbounded, "unbounded"),
+            (SolveError::ResourceLimit { nodes: 7 }, "7"),
+            (SolveError::Numerical, "numerically"),
+        ] {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s}");
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

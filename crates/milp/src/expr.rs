@@ -1,0 +1,175 @@
+//! Linear expressions over model variables.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Opaque handle to a model variable.
+///
+/// Obtained from [`Model::add_binary`](crate::Model::add_binary) or
+/// [`Model::add_continuous`](crate::Model::add_continuous); only valid for
+/// the model that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Index of this variable in the owning model (creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ coeffᵢ · xᵢ`, built incrementally with `+`.
+///
+/// Repeated terms on the same variable are merged on
+/// [`LinExpr::normalized`] (and automatically before a constraint is stored
+/// in a model).
+///
+/// # Example
+///
+/// ```
+/// use xring_milp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let e = LinExpr::new() + (x, 1.0) + (y, 2.0) + (x, 0.5);
+/// let n = e.normalized();
+/// assert_eq!(n.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// The empty expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs.
+    pub fn from_terms<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> Self {
+        LinExpr {
+            terms: iter.into_iter().collect(),
+        }
+    }
+
+    /// Sum of the given variables with coefficient 1 (common for degree
+    /// and packing constraints).
+    pub fn sum<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        LinExpr {
+            terms: vars.into_iter().map(|v| (v, 1.0)).collect(),
+        }
+    }
+
+    /// Adds a term in place.
+    pub fn push(&mut self, var: VarId, coeff: f64) {
+        self.terms.push((var, coeff));
+    }
+
+    /// The raw (possibly duplicated) terms.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// True if there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns a copy with duplicate variables merged and zero
+    /// coefficients dropped, sorted by variable index.
+    pub fn normalized(&self) -> LinExpr {
+        let mut sorted = self.terms.clone();
+        sorted.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(sorted.len());
+        for (v, c) in sorted {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| c.abs() > 0.0);
+        LinExpr { terms: out }
+    }
+
+    /// Evaluates the expression against a dense assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index exceeds `values.len()`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(v, c)| c * values[v.index()])
+            .sum()
+    }
+}
+
+impl Add<(VarId, f64)> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, term: (VarId, f64)) -> LinExpr {
+        self.terms.push(term);
+        self
+    }
+}
+
+impl AddAssign<(VarId, f64)> for LinExpr {
+    fn add_assign(&mut self, term: (VarId, f64)) {
+        self.terms.push(term);
+    }
+}
+
+impl Add<LinExpr> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (VarId, f64)>>(iter: T) -> Self {
+        LinExpr::from_terms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn normalization_merges_and_drops_zeros() {
+        let e = LinExpr::new() + (v(1), 2.0) + (v(0), 1.0) + (v(1), -2.0) + (v(2), 3.0);
+        let n = e.normalized();
+        assert_eq!(n.terms(), &[(v(0), 1.0), (v(2), 3.0)]);
+    }
+
+    #[test]
+    fn evaluate_dot_product() {
+        let e = LinExpr::new() + (v(0), 2.0) + (v(2), -1.0);
+        assert_eq!(e.evaluate(&[3.0, 99.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn sum_builder() {
+        let e = LinExpr::sum([v(0), v(3)]);
+        assert_eq!(e.terms(), &[(v(0), 1.0), (v(3), 1.0)]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let e: LinExpr = [(v(0), 1.0), (v(1), 2.0)].into_iter().collect();
+        assert_eq!(e.terms().len(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! A from-scratch 0/1 mixed-integer linear programming solver.
+//!
+//! The XRing paper solves its ring-construction model (constraints (1)–(3),
+//! objective (4)) with Gurobi. No mature, offline-friendly Rust bindings to
+//! an industrial MILP solver exist, so this crate provides the substrate:
+//!
+//! * [`Model`] — a declarative model API (binary/continuous variables,
+//!   linear constraints, linear objective),
+//! * [`simplex`] — a dense two-phase primal simplex solver for the LP
+//!   relaxation (Dantzig pricing with a Bland's-rule anti-cycling fallback),
+//! * [`BranchAndBound`] — an exact branch-and-bound search over the binary
+//!   variables, with warm-start incumbents and lazy-constraint callbacks
+//!   (the mechanism the ring builder uses to separate conflict constraints
+//!   on demand instead of enumerating all `O(|E|²)` pairs up front).
+//!
+//! # Example
+//!
+//! ```
+//! use xring_milp::{BranchAndBound, LinExpr, Model, Relation};
+//!
+//! // maximize x + 2y  s.t.  x + y <= 1, binaries  =>  minimize -(x + 2y)
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_constraint(LinExpr::new() + (x, 1.0) + (y, 1.0), Relation::Le, 1.0);
+//! m.set_objective(LinExpr::new() + (x, -1.0) + (y, -2.0));
+//!
+//! let solution = BranchAndBound::new().solve(&m)?;
+//! assert_eq!(solution.value(y).round() as i64, 1);
+//! assert_eq!(solution.value(x).round() as i64, 0);
+//! # Ok::<(), xring_milp::SolveError>(())
+//! ```
+
+pub mod bnb;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use bnb::{BranchAndBound, MilpSolution, SolveStats};
+pub use presolve::{presolve, PresolveResult};
+pub use error::SolveError;
+pub use expr::{LinExpr, VarId};
+pub use model::{Model, Relation, VarKind};
+pub use simplex::{LpOutcome, LpProblem, LpSolution};

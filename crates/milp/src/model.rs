@@ -1,0 +1,232 @@
+//! The declarative MILP model.
+
+use crate::expr::{LinExpr, VarId};
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Kind (and domain) of a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// Binary variable in `{0, 1}`.
+    Binary,
+    /// Continuous variable in `[lb, ub]` (`ub` may be `f64::INFINITY`).
+    Continuous {
+        /// Lower bound (finite).
+        lb: f64,
+        /// Upper bound; `f64::INFINITY` for unbounded.
+        ub: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub(crate) kind: VarKind,
+    pub(crate) name: String,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A mixed 0/1 linear program: minimize a linear objective subject to
+/// linear constraints.
+///
+/// The solver convention is **minimization**; to maximize, negate the
+/// objective coefficients.
+///
+/// # Example
+///
+/// ```
+/// use xring_milp::{LinExpr, Model, Relation};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// m.add_constraint(LinExpr::new() + (x, 1.0), Relation::Ge, 1.0);
+/// m.set_objective(LinExpr::new() + (x, 5.0));
+/// assert_eq!(m.num_vars(), 1);
+/// assert_eq!(m.num_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a binary variable and returns its handle.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarDef {
+            kind: VarKind::Binary,
+            name: name.into(),
+        });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb` is not finite, `ub < lb`, or `ub` is NaN.
+    pub fn add_continuous(&mut self, lb: f64, ub: f64, name: impl Into<String>) -> VarId {
+        assert!(lb.is_finite(), "lower bound must be finite");
+        assert!(!ub.is_nan() && ub >= lb, "upper bound must be >= lower bound");
+        self.vars.push(VarDef {
+            kind: VarKind::Continuous { lb, ub },
+            name: name.into(),
+        });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Adds the constraint `expr (relation) rhs`. The expression is
+    /// normalized (duplicate terms merged) before storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not belong to this model or
+    /// if a coefficient or the rhs is non-finite.
+    pub fn add_constraint(&mut self, expr: LinExpr, relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let expr = expr.normalized();
+        for &(v, c) in expr.terms() {
+            assert!(v.index() < self.vars.len(), "variable {v} not in model");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+        }
+        self.constraints.push(Constraint { expr, relation, rhs });
+    }
+
+    /// Sets the (minimization) objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not belong to this model.
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        let expr = expr.normalized();
+        for &(v, _) in expr.terms() {
+            assert!(v.index() < self.vars.len(), "variable {v} not in model");
+        }
+        self.objective = expr;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Handles of all binary variables.
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == VarKind::Binary)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// The name given to a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this model.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// The kind of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this model.
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Checks a dense assignment against every constraint, returning the
+    /// indices of violated constraints (within `tol`).
+    pub fn violated_constraints(&self, values: &[f64], tol: f64) -> Vec<usize> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                let lhs = c.expr.evaluate(values);
+                match c.relation {
+                    Relation::Le => lhs > c.rhs + tol,
+                    Relation::Ge => lhs < c.rhs - tol,
+                    Relation::Eq => (lhs - c.rhs).abs() > tol,
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_building() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous(0.0, 10.0, "y");
+        m.add_constraint(LinExpr::new() + (x, 1.0) + (y, 1.0), Relation::Le, 5.0);
+        m.set_objective(LinExpr::new() + (y, -1.0));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.binary_vars(), vec![x]);
+        assert_eq!(m.var_name(y), "y");
+        assert_eq!(m.var_kind(x), VarKind::Binary);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in model")]
+    fn foreign_variable_rejected() {
+        let mut m1 = Model::new();
+        let _ = m1.add_binary("a");
+        let mut m2 = Model::new();
+        let b = m2.add_binary("b");
+        let mut m3 = Model::new();
+        // b has index 0 which exists in m3 only if m3 has vars; it doesn't.
+        m3.add_constraint(LinExpr::new() + (b, 1.0), Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn violation_check() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::new() + (x, 1.0) + (y, 1.0), Relation::Le, 1.0);
+        m.add_constraint(LinExpr::new() + (x, 1.0), Relation::Ge, 1.0);
+        assert!(m.violated_constraints(&[1.0, 0.0], 1e-9).is_empty());
+        assert_eq!(m.violated_constraints(&[1.0, 1.0], 1e-9), vec![0]);
+        assert_eq!(m.violated_constraints(&[0.0, 1.0], 1e-9), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn bad_bounds_rejected() {
+        let mut m = Model::new();
+        let _ = m.add_continuous(1.0, 0.0, "bad");
+    }
+}

@@ -1,0 +1,291 @@
+//! Root presolve: cheap logical reductions applied before branch and
+//! bound.
+//!
+//! Three conservative rules, iterated to a fixed point:
+//!
+//! 1. **Singleton rows** — a constraint with one remaining variable
+//!    tightens that variable's bounds (and fixes binaries when the bounds
+//!    meet).
+//! 2. **Knapsack fixing** — in an all-nonnegative `≤` row, any binary
+//!    whose coefficient alone exceeds the remaining rhs must be 0.
+//! 3. **Forcing rows** — when a row's minimum activity equals its rhs
+//!    (for `≤`/`=`) every variable must sit at the bound achieving it;
+//!    when its maximum activity is below the rhs of a `≥`/`=` row the
+//!    model is infeasible.
+//!
+//! The reductions are sound for the mixed binary/continuous models this
+//! crate targets; anything unproven is simply left to the search.
+
+use crate::model::{Model, Relation, VarKind};
+
+/// Outcome of presolving a model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PresolveResult {
+    /// Variables proven to take a fixed value (binaries: 0.0 or 1.0).
+    pub fixed: Vec<(usize, f64)>,
+    /// True when presolve proved the model infeasible.
+    pub infeasible: bool,
+    /// Fixed-point iterations performed.
+    pub rounds: usize,
+}
+
+/// Runs presolve on `model`.
+pub fn presolve(model: &Model) -> PresolveResult {
+    let n = model.num_vars();
+    let mut lb = vec![0.0f64; n];
+    let mut ub = vec![0.0f64; n];
+    let mut binary = vec![false; n];
+    for (j, def) in model.vars.iter().enumerate() {
+        match def.kind {
+            VarKind::Binary => {
+                ub[j] = 1.0;
+                binary[j] = true;
+            }
+            VarKind::Continuous { lb: l, ub: u } => {
+                lb[j] = l;
+                ub[j] = u;
+            }
+        }
+    }
+
+    let mut result = PresolveResult::default();
+    let eps = 1e-9;
+    loop {
+        result.rounds += 1;
+        let mut changed = false;
+        for c in &model.constraints {
+            // Remaining activity bounds.
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            for &(v, coef) in c.expr.terms() {
+                let j = v.index();
+                if coef >= 0.0 {
+                    min_act += coef * lb[j];
+                    max_act += coef * ub[j];
+                } else {
+                    min_act += coef * ub[j];
+                    max_act += coef * lb[j];
+                }
+            }
+            if max_act.is_nan() || min_act.is_nan() {
+                continue;
+            }
+            // Infeasibility / forcing detection.
+            match c.relation {
+                Relation::Le => {
+                    if min_act > c.rhs + eps {
+                        result.infeasible = true;
+                        return result;
+                    }
+                    if (min_act - c.rhs).abs() <= eps && max_act > c.rhs + eps {
+                        // Every variable must sit at its activity-minimizing bound.
+                        for &(v, coef) in c.expr.terms() {
+                            let j = v.index();
+                            let target = if coef >= 0.0 { lb[j] } else { ub[j] };
+                            if (ub[j] - lb[j]).abs() > eps {
+                                lb[j] = target;
+                                ub[j] = target;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Relation::Ge => {
+                    if max_act < c.rhs - eps {
+                        result.infeasible = true;
+                        return result;
+                    }
+                    if (max_act - c.rhs).abs() <= eps && min_act < c.rhs - eps {
+                        for &(v, coef) in c.expr.terms() {
+                            let j = v.index();
+                            let target = if coef >= 0.0 { ub[j] } else { lb[j] };
+                            if (ub[j] - lb[j]).abs() > eps {
+                                lb[j] = target;
+                                ub[j] = target;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Relation::Eq => {
+                    if min_act > c.rhs + eps || max_act < c.rhs - eps {
+                        result.infeasible = true;
+                        return result;
+                    }
+                }
+            }
+            // Singleton rows tighten bounds directly.
+            let free: Vec<&(crate::expr::VarId, f64)> = c
+                .expr
+                .terms()
+                .iter()
+                .filter(|(v, _)| (ub[v.index()] - lb[v.index()]).abs() > eps)
+                .collect();
+            if free.len() == 1 {
+                let (v, coef) = *free[0];
+                let j = v.index();
+                // Activity contributed by the fixed part.
+                let fixed_part: f64 = c
+                    .expr
+                    .terms()
+                    .iter()
+                    .filter(|(w, _)| w.index() != j)
+                    .map(|&(w, cf)| cf * lb[w.index()])
+                    .sum();
+                let slack = c.rhs - fixed_part;
+                match (c.relation, coef > 0.0) {
+                    (Relation::Le, true) => {
+                        let bound = slack / coef;
+                        if bound < ub[j] - eps {
+                            ub[j] = if binary[j] { bound.floor().max(0.0) } else { bound };
+                            changed = true;
+                        }
+                    }
+                    (Relation::Ge, true) => {
+                        let bound = slack / coef;
+                        if bound > lb[j] + eps {
+                            lb[j] = if binary[j] { bound.ceil().min(1.0) } else { bound };
+                            changed = true;
+                        }
+                    }
+                    (Relation::Eq, _) => {
+                        let value = slack / coef;
+                        if (value - lb[j]).abs() > eps || (value - ub[j]).abs() > eps {
+                            if binary[j] && (value - value.round()).abs() > 1e-6 {
+                                result.infeasible = true;
+                                return result;
+                            }
+                            lb[j] = value;
+                            ub[j] = value;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+                if lb[j] > ub[j] + eps {
+                    result.infeasible = true;
+                    return result;
+                }
+            }
+            // Knapsack fixing on all-nonnegative <= rows.
+            if c.relation == Relation::Le
+                && c.expr.terms().iter().all(|&(_, coef)| coef >= 0.0)
+            {
+                for &(v, coef) in c.expr.terms() {
+                    let j = v.index();
+                    if binary[j]
+                        && (ub[j] - lb[j]).abs() > eps
+                        && min_act - coef * lb[j] + coef > c.rhs + eps
+                    {
+                        ub[j] = 0.0;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed || result.rounds > 50 {
+            break;
+        }
+    }
+
+    for j in 0..n {
+        if binary[j] && (ub[j] - lb[j]).abs() <= eps {
+            result.fixed.push((j, lb[j].round()));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Model};
+
+    #[test]
+    fn knapsack_rule_fixes_oversized_items() {
+        // 5x + y <= 4: x must be 0.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::new() + (x, 5.0) + (y, 1.0), Relation::Le, 4.0);
+        let r = presolve(&m);
+        assert!(!r.infeasible);
+        assert_eq!(r.fixed, vec![(x.index(), 0.0)]);
+        let _ = y;
+    }
+
+    #[test]
+    fn singleton_eq_fixes_variable() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint(LinExpr::new() + (x, 2.0), Relation::Eq, 2.0);
+        let r = presolve(&m);
+        assert_eq!(r.fixed, vec![(x.index(), 1.0)]);
+    }
+
+    #[test]
+    fn fractional_singleton_eq_on_binary_is_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint(LinExpr::new() + (x, 2.0), Relation::Eq, 1.0);
+        assert!(presolve(&m).infeasible);
+    }
+
+    #[test]
+    fn forcing_le_row_pins_everything_down() {
+        // x + y <= 0 over binaries: both must be 0.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::sum([x, y]), Relation::Le, 0.0);
+        let mut r = presolve(&m);
+        r.fixed.sort_unstable_by_key(|a| a.0);
+        assert_eq!(r.fixed, vec![(x.index(), 0.0), (y.index(), 0.0)]);
+    }
+
+    #[test]
+    fn forcing_ge_row_pins_everything_up() {
+        // x + y >= 2 over binaries: both must be 1.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::sum([x, y]), Relation::Ge, 2.0);
+        let mut r = presolve(&m);
+        r.fixed.sort_unstable_by_key(|a| a.0);
+        assert_eq!(r.fixed, vec![(x.index(), 1.0), (y.index(), 1.0)]);
+    }
+
+    #[test]
+    fn obvious_infeasibility_detected() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint(LinExpr::new() + (x, 1.0), Relation::Ge, 3.0);
+        assert!(presolve(&m).infeasible);
+    }
+
+    #[test]
+    fn feasible_model_without_reductions_is_untouched() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::sum([x, y]), Relation::Le, 1.0);
+        let r = presolve(&m);
+        assert!(!r.infeasible);
+        assert!(r.fixed.is_empty());
+    }
+
+    #[test]
+    fn chained_implications_reach_fixed_point() {
+        // x = 1 (singleton), then x + y <= 1 forces y = 0 via knapsack
+        // (remaining slack 0 < coefficient 1).
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::new() + (x, 1.0), Relation::Ge, 1.0);
+        m.add_constraint(LinExpr::sum([x, y]), Relation::Le, 1.0);
+        let mut r = presolve(&m);
+        r.fixed.sort_unstable_by_key(|a| a.0);
+        assert_eq!(r.fixed, vec![(x.index(), 1.0), (y.index(), 0.0)]);
+        assert!(r.rounds >= 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests: the branch-and-bound solver against brute-force
+//! enumeration on random small 0/1 programs.
+
+use proptest::prelude::*;
+use xring_milp::{BranchAndBound, LinExpr, Model, Relation, SolveError, VarId};
+
+/// A randomly generated small binary program.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    num_vars: usize,
+    /// (coefficients, relation, rhs) triples.
+    constraints: Vec<(Vec<i8>, u8, i8)>,
+    objective: Vec<i8>,
+}
+
+fn arb_bip() -> impl Strategy<Value = RandomBip> {
+    (2usize..7).prop_flat_map(|num_vars| {
+        let constraint = (
+            prop::collection::vec(-3i8..=3, num_vars),
+            0u8..3,
+            -4i8..=6,
+        );
+        (
+            prop::collection::vec(constraint, 0..5),
+            prop::collection::vec(-5i8..=5, num_vars),
+        )
+            .prop_map(move |(constraints, objective)| RandomBip {
+                num_vars,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn build(bip: &RandomBip) -> (Model, Vec<VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..bip.num_vars)
+        .map(|i| m.add_binary(format!("x{i}")))
+        .collect();
+    for (coeffs, rel, rhs) in &bip.constraints {
+        let expr = LinExpr::from_terms(
+            coeffs
+                .iter()
+                .zip(&vars)
+                .map(|(&c, &v)| (v, c as f64)),
+        );
+        let rel = match rel {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        m.add_constraint(expr, rel, *rhs as f64);
+    }
+    m.set_objective(LinExpr::from_terms(
+        bip.objective
+            .iter()
+            .zip(&vars)
+            .map(|(&c, &v)| (v, c as f64)),
+    ));
+    (m, vars)
+}
+
+/// Brute force: best objective over all 2^n assignments, or None.
+fn brute_force(bip: &RandomBip) -> Option<f64> {
+    let n = bip.num_vars;
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+        let feasible = bip.constraints.iter().all(|(coeffs, rel, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, v)| c as f64 * v).sum();
+            match rel {
+                0 => lhs <= *rhs as f64 + 1e-9,
+                1 => lhs >= *rhs as f64 - 1e-9,
+                _ => (lhs - *rhs as f64).abs() < 1e-9,
+            }
+        });
+        if feasible {
+            let obj: f64 = bip
+                .objective
+                .iter()
+                .zip(&x)
+                .map(|(&c, v)| c as f64 * v)
+                .sum();
+            if best.map(|b| obj < b).unwrap_or(true) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bnb_matches_brute_force(bip in arb_bip()) {
+        let (model, _) = build(&bip);
+        let expected = brute_force(&bip);
+        match (BranchAndBound::new().solve(&model), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(
+                    (sol.objective() - best).abs() < 1e-6,
+                    "solver {} vs brute force {best}",
+                    sol.objective()
+                );
+                // The returned assignment must itself be feasible.
+                prop_assert!(model.violated_constraints(sol.values(), 1e-6).is_empty());
+                // And binaries must be integral.
+                for v in sol.values() {
+                    prop_assert!((v - v.round()).abs() < 1e-6);
+                }
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => prop_assert!(
+                false,
+                "solver disagreed with brute force: {got:?} vs {want:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn warm_start_never_changes_the_optimum(bip in arb_bip()) {
+        let (model, _) = build(&bip);
+        let Some(best) = brute_force(&bip) else { return Ok(()) };
+        // Use the brute-force optimum itself as the incumbent.
+        let n = bip.num_vars;
+        let mut incumbent = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+            if model.violated_constraints(&x, 1e-9).is_empty() {
+                let obj: f64 = bip
+                    .objective
+                    .iter()
+                    .zip(&x)
+                    .map(|(&c, v)| c as f64 * v)
+                    .sum();
+                if (obj - best).abs() < 1e-9 {
+                    incumbent = Some(x);
+                    break;
+                }
+            }
+        }
+        let incumbent = incumbent.expect("brute force found it");
+        let sol = BranchAndBound::new()
+            .with_incumbent(incumbent, best)
+            .solve(&model)
+            .expect("feasible");
+        prop_assert!((sol.objective() - best).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_cuts_respected_in_final_solution(bip in arb_bip()) {
+        // Add a lazy "at most half the variables set" rule and verify the
+        // final solution honours it.
+        let (model, vars) = build(&bip);
+        let cap = (bip.num_vars / 2) as f64;
+        let vars2 = vars.clone();
+        let result = BranchAndBound::new().solve_with_lazy(&model, move |values| {
+            let set: f64 = vars2.iter().map(|v| values[v.index()]).sum();
+            if set > cap + 1e-9 {
+                vec![(LinExpr::sum(vars2.clone()), Relation::Le, cap)]
+            } else {
+                Vec::new()
+            }
+        });
+        if let Ok(sol) = result {
+            let set: f64 = vars.iter().map(|v| sol.value(*v)).sum();
+            prop_assert!(set <= cap + 1e-6, "lazy cap violated: {set} > {cap}");
+        }
+    }
+}

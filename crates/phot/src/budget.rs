@@ -1,0 +1,178 @@
+//! Per-mechanism insertion-loss budgets.
+//!
+//! Decomposes a signal's total insertion loss into the contributions of
+//! each physical mechanism — the standard way photonic designers review
+//! where a link budget goes.
+
+use crate::elements::{PathElement, SPLIT_3DB};
+use crate::params::LossParams;
+use crate::units::UM_PER_CM;
+use std::fmt;
+
+/// The insertion loss of one trace, split by mechanism (all dB).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LossBreakdown {
+    /// Waveguide propagation.
+    pub propagation_db: f64,
+    /// Waveguide crossings.
+    pub crossing_db: f64,
+    /// On-resonance MRR drops.
+    pub drop_db: f64,
+    /// Off-resonance MRR passes.
+    pub through_db: f64,
+    /// 90° bends.
+    pub bend_db: f64,
+    /// Photodetector insertion.
+    pub photodetector_db: f64,
+    /// PDN splitter levels (3 dB + excess each).
+    pub splitter_db: f64,
+}
+
+impl LossBreakdown {
+    /// Computes the breakdown of a trace.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xring_phot::{budget::LossBreakdown, LossParams, PathElement};
+    ///
+    /// let b = LossBreakdown::of(
+    ///     &[
+    ///         PathElement::Propagate { length_um: 10_000 },
+    ///         PathElement::Crossing,
+    ///         PathElement::MrrDrop,
+    ///     ],
+    ///     &LossParams::default(),
+    /// );
+    /// assert!((b.propagation_db - 0.274).abs() < 1e-12);
+    /// assert!((b.total_db() - (0.274 + 0.04 + 0.5)).abs() < 1e-12);
+    /// ```
+    pub fn of(trace: &[PathElement], params: &LossParams) -> Self {
+        let mut b = LossBreakdown::default();
+        for e in trace {
+            match *e {
+                PathElement::Propagate { length_um } => {
+                    b.propagation_db +=
+                        params.propagation_db_per_cm * (length_um as f64 / UM_PER_CM);
+                }
+                PathElement::Crossing => b.crossing_db += params.crossing_db,
+                PathElement::MrrDrop => b.drop_db += params.drop_db,
+                PathElement::MrrThrough => b.through_db += params.through_db,
+                PathElement::Bend => b.bend_db += params.bend_db,
+                PathElement::Photodetector => b.photodetector_db += params.photodetector_db,
+                PathElement::SplitterLevel => {
+                    b.splitter_db += SPLIT_3DB + params.splitter_excess_db;
+                }
+            }
+        }
+        b
+    }
+
+    /// Sum of all mechanisms — equal to
+    /// [`insertion_loss_db`](crate::insertion_loss_db) for the same trace.
+    pub fn total_db(&self) -> f64 {
+        self.propagation_db
+            + self.crossing_db
+            + self.drop_db
+            + self.through_db
+            + self.bend_db
+            + self.photodetector_db
+            + self.splitter_db
+    }
+
+    /// The dominant mechanism and its share of the total (0 when the
+    /// trace is lossless).
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let entries = [
+            ("propagation", self.propagation_db),
+            ("crossing", self.crossing_db),
+            ("drop", self.drop_db),
+            ("through", self.through_db),
+            ("bend", self.bend_db),
+            ("photodetector", self.photodetector_db),
+            ("splitter", self.splitter_db),
+        ];
+        let total = self.total_db();
+        let &(name, value) = entries
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("losses are never NaN"))
+            .expect("non-empty entries");
+        if total <= 0.0 {
+            (name, 0.0)
+        } else {
+            (name, value / total)
+        }
+    }
+}
+
+impl fmt::Display for LossBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prop {:.3} + cross {:.3} + drop {:.3} + through {:.3} + bend {:.3} + pd {:.3} + split {:.3} = {:.3} dB",
+            self.propagation_db,
+            self.crossing_db,
+            self.drop_db,
+            self.through_db,
+            self.bend_db,
+            self.photodetector_db,
+            self.splitter_db,
+            self.total_db()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion_loss_db;
+
+    fn sample_trace() -> Vec<PathElement> {
+        vec![
+            PathElement::Propagate { length_um: 25_000 },
+            PathElement::Bend,
+            PathElement::Bend,
+            PathElement::Crossing,
+            PathElement::MrrThrough,
+            PathElement::MrrThrough,
+            PathElement::MrrThrough,
+            PathElement::MrrDrop,
+            PathElement::Photodetector,
+        ]
+    }
+
+    #[test]
+    fn breakdown_total_matches_insertion_loss() {
+        let p = LossParams::default();
+        let t = sample_trace();
+        let b = LossBreakdown::of(&t, &p);
+        assert!((b.total_db() - insertion_loss_db(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_mechanism_for_long_paths_is_propagation() {
+        let p = LossParams::default();
+        let t = vec![
+            PathElement::Propagate { length_um: 400_000 }, // 40 cm
+            PathElement::MrrDrop,
+        ];
+        let (name, share) = LossBreakdown::of(&t, &p).dominant();
+        assert_eq!(name, "propagation");
+        assert!(share > 0.9);
+    }
+
+    #[test]
+    fn dominant_of_empty_trace_is_zero_share() {
+        let (_, share) = LossBreakdown::of(&[], &LossParams::default()).dominant();
+        assert_eq!(share, 0.0);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let p = LossParams::default();
+        let b = LossBreakdown::of(&sample_trace(), &p);
+        let s = b.to_string();
+        assert!(s.contains("dB"));
+        assert!(s.contains("prop"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Signal path traces and the insertion-loss engine.
+
+use crate::params::LossParams;
+use crate::units::UM_PER_CM;
+
+/// One loss-incurring element on a signal's path, in traversal order.
+///
+/// A synthesis backend converts the realized layout of each signal into a
+/// trace of these elements; [`insertion_loss_db`] then implements the
+/// "total insertion loss = sum of all losses" model of Sec. II-B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathElement {
+    /// Travel `length_um` µm along a waveguide (propagation loss).
+    Propagate {
+        /// Distance travelled in µm.
+        length_um: i64,
+    },
+    /// Pass through a waveguide crossing (crossing loss).
+    Crossing,
+    /// Couple into an on-resonance MRR — a drop event (drop loss). Occurs
+    /// at CSEs/PSEs that redirect the signal and at the receiver MRR.
+    MrrDrop,
+    /// Pass an off-resonance MRR on the same waveguide (through loss).
+    MrrThrough,
+    /// Take a 90° waveguide bend (bend loss).
+    Bend,
+    /// Terminate at a photodetector (detector insertion loss).
+    Photodetector,
+    /// Pass through one level of a 50/50 Y-splitter in the PDN: 3.01 dB
+    /// intrinsic split + excess loss.
+    SplitterLevel,
+}
+
+/// Intrinsic loss of an ideal 50/50 power split, in dB.
+pub const SPLIT_3DB: f64 = 3.010_299_956_639_812;
+
+/// Computes the total insertion loss of a trace, in dB.
+///
+/// # Example
+///
+/// ```
+/// use xring_phot::{insertion_loss_db, LossParams, PathElement};
+///
+/// let il = insertion_loss_db(
+///     &[PathElement::Propagate { length_um: 20_000 }, PathElement::Bend],
+///     &LossParams::default(),
+/// );
+/// assert!((il - (2.0 * 0.274 + 0.005)).abs() < 1e-12);
+/// ```
+pub fn insertion_loss_db(trace: &[PathElement], params: &LossParams) -> f64 {
+    let mut il = 0.0;
+    for e in trace {
+        il += match *e {
+            PathElement::Propagate { length_um } => {
+                params.propagation_db_per_cm * (length_um as f64 / UM_PER_CM)
+            }
+            PathElement::Crossing => params.crossing_db,
+            PathElement::MrrDrop => params.drop_db,
+            PathElement::MrrThrough => params.through_db,
+            PathElement::Bend => params.bend_db,
+            PathElement::Photodetector => params.photodetector_db,
+            PathElement::SplitterLevel => SPLIT_3DB + params.splitter_excess_db,
+        };
+    }
+    il
+}
+
+/// Summary statistics of a trace that the paper's tables report alongside
+/// insertion loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total propagation length in µm.
+    pub length_um: i64,
+    /// Number of waveguide crossings passed.
+    pub crossings: usize,
+    /// Number of off-resonance MRRs passed.
+    pub mrr_throughs: usize,
+    /// Number of drop events.
+    pub mrr_drops: usize,
+    /// Number of bends.
+    pub bends: usize,
+}
+
+impl TraceStats {
+    /// Computes the stats of a trace.
+    pub fn of(trace: &[PathElement]) -> Self {
+        let mut s = TraceStats::default();
+        for e in trace {
+            match *e {
+                PathElement::Propagate { length_um } => s.length_um += length_um,
+                PathElement::Crossing => s.crossings += 1,
+                PathElement::MrrThrough => s.mrr_throughs += 1,
+                PathElement::MrrDrop => s.mrr_drops += 1,
+                PathElement::Bend => s.bends += 1,
+                PathElement::Photodetector | PathElement::SplitterLevel => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_lossless() {
+        assert_eq!(insertion_loss_db(&[], &LossParams::default()), 0.0);
+    }
+
+    #[test]
+    fn each_element_contributes_its_parameter() {
+        let p = LossParams::default();
+        assert_eq!(insertion_loss_db(&[PathElement::Crossing], &p), p.crossing_db);
+        assert_eq!(insertion_loss_db(&[PathElement::MrrDrop], &p), p.drop_db);
+        assert_eq!(insertion_loss_db(&[PathElement::MrrThrough], &p), p.through_db);
+        assert_eq!(insertion_loss_db(&[PathElement::Bend], &p), p.bend_db);
+        assert_eq!(
+            insertion_loss_db(&[PathElement::Photodetector], &p),
+            p.photodetector_db
+        );
+        let split = insertion_loss_db(&[PathElement::SplitterLevel], &p);
+        assert!((split - (SPLIT_3DB + p.splitter_excess_db)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_scales_with_length() {
+        let p = LossParams::default();
+        let one_cm = insertion_loss_db(&[PathElement::Propagate { length_um: 10_000 }], &p);
+        let two_cm = insertion_loss_db(&[PathElement::Propagate { length_um: 20_000 }], &p);
+        assert!((two_cm - 2.0 * one_cm).abs() < 1e-12);
+        assert!((one_cm - 0.274).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_additive_over_concatenation() {
+        let p = LossParams::default();
+        let a = vec![PathElement::Propagate { length_um: 5_000 }, PathElement::Crossing];
+        let b = vec![PathElement::MrrDrop, PathElement::Photodetector];
+        let mut ab = a.clone();
+        ab.extend(b.iter().copied());
+        let sum = insertion_loss_db(&a, &p) + insertion_loss_db(&b, &p);
+        assert!((insertion_loss_db(&ab, &p) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_stats_counts() {
+        let t = vec![
+            PathElement::Propagate { length_um: 100 },
+            PathElement::Propagate { length_um: 200 },
+            PathElement::Crossing,
+            PathElement::Crossing,
+            PathElement::MrrThrough,
+            PathElement::MrrDrop,
+            PathElement::Bend,
+            PathElement::Photodetector,
+        ];
+        let s = TraceStats::of(&t);
+        assert_eq!(s.length_um, 300);
+        assert_eq!(s.crossings, 2);
+        assert_eq!(s.mrr_throughs, 1);
+        assert_eq!(s.mrr_drops, 1);
+        assert_eq!(s.bends, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Photonic device and performance models for WRONoC routers.
+//!
+//! Implements Sec. II-B of the XRing paper (DATE 2023): the four insertion
+//! loss mechanisms (propagation, drop, through, crossing — plus bends and
+//! photodetectors), first-order crosstalk-noise bookkeeping, per-wavelength
+//! laser power, and SNR.
+//!
+//! The crate is layout-agnostic: synthesis crates translate a realized
+//! layout into per-signal [`PathElement`] traces and first-order
+//! [`noise`] contributions; this crate turns those into dB/mW numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use xring_phot::{insertion_loss_db, LossParams, PathElement};
+//!
+//! let params = LossParams::default();
+//! let trace = vec![
+//!     PathElement::Propagate { length_um: 10_000 }, // 1 cm
+//!     PathElement::Crossing,
+//!     PathElement::MrrDrop,
+//!     PathElement::Photodetector,
+//! ];
+//! let il = insertion_loss_db(&trace, &params);
+//! assert!((il - (0.274 + 0.04 + 0.5 + 0.1)).abs() < 1e-9);
+//! ```
+
+pub mod budget;
+pub mod elements;
+pub mod noise;
+pub mod params;
+pub mod power;
+pub mod report;
+pub mod units;
+pub mod wavelength;
+
+pub use budget::LossBreakdown;
+pub use elements::{insertion_loss_db, PathElement};
+pub use noise::{NoiseLedger, SignalId};
+pub use params::{CrosstalkParams, LossParams, PowerParams};
+pub use power::{laser_power_mw, total_laser_power_w, PerWavelengthDemand};
+pub use report::RouterReport;
+pub use units::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
+pub use wavelength::Wavelength;

@@ -1,0 +1,163 @@
+//! First-order crosstalk-noise bookkeeping and SNR.
+//!
+//! Noise is generated when a *signal* passes a crossing or an MRR (the
+//! paper ignores noise-generated noise — second order — as its power is
+//! negligible, Sec. II-B). A synthesis backend decides *where* each leak
+//! goes and how much it is attenuated before reaching a photodetector on
+//! the same wavelength; this module only sums powers and computes SNRs.
+//!
+//! All powers are *relative* to a common 0 dBm launch power per signal.
+//! Because first-order noise at a detector comes only from signals on the
+//! **same wavelength** — which share the same per-wavelength launch power —
+//! SNR values are independent of the actual launch power, so relative
+//! bookkeeping is exact.
+
+use crate::units::db_to_linear;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a signal (sender→receiver pair), assigned by the
+/// synthesis backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub u32);
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Accumulates first-order noise contributions per victim signal.
+///
+/// # Example
+///
+/// ```
+/// use xring_phot::{NoiseLedger, SignalId};
+///
+/// let mut ledger = NoiseLedger::new();
+/// let victim = SignalId(0);
+/// ledger.add_contribution(victim, -45.0); // one leak, −45 dB(rel)
+/// let snr = ledger.snr_db(victim, 5.0).expect("victim has noise");
+/// // signal at −5 dB(rel), noise at −45 dB(rel) → SNR = 40 dB
+/// assert!((snr - 40.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NoiseLedger {
+    /// Linear (mW, relative to 1 mW launch) noise sums per victim.
+    noise_linear: HashMap<SignalId, f64>,
+    /// Number of contributions per victim (diagnostics).
+    contributions: HashMap<SignalId, usize>,
+}
+
+impl NoiseLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one first-order noise contribution reaching `victim`'s
+    /// photodetector, with total path gain `power_rel_db` (launch power of
+    /// the aggressor = 0 dB; the value is negative: leak coefficient plus
+    /// all insertion losses en route).
+    pub fn add_contribution(&mut self, victim: SignalId, power_rel_db: f64) {
+        *self.noise_linear.entry(victim).or_insert(0.0) += db_to_linear(power_rel_db);
+        *self.contributions.entry(victim).or_insert(0) += 1;
+    }
+
+    /// Total relative noise power at `victim`'s detector in dB, or `None`
+    /// if the victim receives no first-order noise.
+    pub fn noise_rel_db(&self, victim: SignalId) -> Option<f64> {
+        self.noise_linear
+            .get(&victim)
+            .map(|lin| 10.0 * lin.log10())
+    }
+
+    /// SNR of `victim` in dB, given the insertion loss of its own data
+    /// path (`signal_il_db`, so the signal arrives at −`signal_il_db`
+    /// dB(rel)). Returns `None` when the victim has no noise (its SNR is
+    /// unbounded; the paper prints "–" in that case).
+    pub fn snr_db(&self, victim: SignalId, signal_il_db: f64) -> Option<f64> {
+        self.noise_rel_db(victim)
+            .map(|noise_db| -signal_il_db - noise_db)
+    }
+
+    /// Number of distinct signals that receive any first-order noise
+    /// (column `#s` of Tables II/III).
+    pub fn affected_signal_count(&self) -> usize {
+        self.noise_linear.len()
+    }
+
+    /// Number of recorded contributions for `victim`.
+    pub fn contribution_count(&self, victim: SignalId) -> usize {
+        self.contributions.get(&victim).copied().unwrap_or(0)
+    }
+
+    /// Worst (minimum) SNR over `signals`, given each signal's insertion
+    /// loss. Returns `None` if no listed signal suffers noise.
+    pub fn worst_snr_db<'a, I>(&self, signals: I) -> Option<f64>
+    where
+        I: IntoIterator<Item = (&'a SignalId, &'a f64)>,
+    {
+        signals
+            .into_iter()
+            .filter_map(|(id, il)| self.snr_db(*id, *il))
+            .min_by(|a, b| a.partial_cmp(b).expect("SNR is never NaN"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_reports_no_noise() {
+        let ledger = NoiseLedger::new();
+        assert_eq!(ledger.affected_signal_count(), 0);
+        assert_eq!(ledger.noise_rel_db(SignalId(0)), None);
+        assert_eq!(ledger.snr_db(SignalId(0), 3.0), None);
+    }
+
+    #[test]
+    fn contributions_sum_linearly() {
+        let mut ledger = NoiseLedger::new();
+        let v = SignalId(7);
+        ledger.add_contribution(v, -43.0103); // ≈ half of -40 dB
+        ledger.add_contribution(v, -43.0103);
+        let total = ledger.noise_rel_db(v).expect("has noise");
+        assert!((total + 40.0).abs() < 1e-3, "total = {total}");
+        assert_eq!(ledger.contribution_count(v), 2);
+        assert_eq!(ledger.affected_signal_count(), 1);
+    }
+
+    #[test]
+    fn snr_matches_formula() {
+        // SNR = 10 log10(P_sig / P_noise) = (sig dB) − (noise dB).
+        let mut ledger = NoiseLedger::new();
+        let v = SignalId(1);
+        ledger.add_contribution(v, -50.0);
+        let snr = ledger.snr_db(v, 4.0).expect("has noise");
+        assert!((snr - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_snr_selects_minimum() {
+        let mut ledger = NoiseLedger::new();
+        ledger.add_contribution(SignalId(0), -50.0);
+        ledger.add_contribution(SignalId(1), -30.0);
+        let ils: HashMap<SignalId, f64> =
+            [(SignalId(0), 2.0), (SignalId(1), 2.0), (SignalId(2), 9.0)].into();
+        let worst = ledger.worst_snr_db(ils.iter()).expect("some noise");
+        assert!((worst - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_noise_means_lower_snr() {
+        let mut a = NoiseLedger::new();
+        a.add_contribution(SignalId(0), -45.0);
+        let mut b = a.clone();
+        b.add_contribution(SignalId(0), -45.0);
+        let snr_a = a.snr_db(SignalId(0), 1.0).expect("noise");
+        let snr_b = b.snr_db(SignalId(0), 1.0).expect("noise");
+        assert!(snr_b < snr_a);
+    }
+}

@@ -1,0 +1,133 @@
+//! Loss, crosstalk and power parameter sets.
+//!
+//! Defaults follow the parameter sources the paper cites: insertion-loss
+//! values from Proton+ \[15\] / ORing \[17\], crosstalk coefficients from
+//! Nikdast et al. \[14\], receiver sensitivity from \[15\].
+
+/// Per-mechanism insertion-loss parameters (all dB except propagation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossParams {
+    /// Waveguide propagation loss in dB/cm (default 0.274).
+    pub propagation_db_per_cm: f64,
+    /// Loss per waveguide crossing in dB (default 0.04).
+    pub crossing_db: f64,
+    /// Loss when a signal is coupled into an on-resonance MRR (drop port),
+    /// in dB (default 0.5).
+    pub drop_db: f64,
+    /// Loss when a signal passes an off-resonance MRR (through port), in
+    /// dB (default 0.005).
+    pub through_db: f64,
+    /// Loss per 90° waveguide bend in dB (default 0.005).
+    pub bend_db: f64,
+    /// Photodetector insertion loss in dB (default 0.1).
+    pub photodetector_db: f64,
+    /// Excess (non-splitting) loss of a Y-splitter in dB (default 0.1).
+    /// The intrinsic 3.01 dB of a 50/50 split is added separately per
+    /// traversed splitter level.
+    pub splitter_excess_db: f64,
+}
+
+impl Default for LossParams {
+    fn default() -> Self {
+        LossParams {
+            propagation_db_per_cm: 0.274,
+            crossing_db: 0.04,
+            drop_db: 0.5,
+            through_db: 0.005,
+            bend_db: 0.005,
+            photodetector_db: 0.1,
+            splitter_excess_db: 0.1,
+        }
+    }
+}
+
+impl LossParams {
+    /// The parameter set used in the paper's Table I experiments
+    /// (values as applied by Proton+ \[15\]).
+    pub fn proton_plus() -> Self {
+        Self::default()
+    }
+
+    /// The parameter set of the ORing TVLSI paper \[17\] (used in Tables II
+    /// and III): slightly higher crossing loss, same propagation loss.
+    pub fn oring() -> Self {
+        LossParams {
+            crossing_db: 0.05,
+            ..Self::default()
+        }
+    }
+}
+
+/// First-order crosstalk coefficients (fraction of power leaked, in dB —
+/// all values are negative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrosstalkParams {
+    /// Power leaked into the crossing waveguide when a signal passes a
+    /// waveguide crossing (default −40 dB, Nikdast et al. \[14\]).
+    pub crossing_leak_db: f64,
+    /// Power leaked into an off-resonance MRR when a signal passes its
+    /// through port (intraband crosstalk, default −25 dB \[14\]).
+    pub through_leak_db: f64,
+    /// Power continuing past an on-resonance MRR instead of being fully
+    /// dropped (default −20 dB \[14\]).
+    pub drop_leak_db: f64,
+}
+
+impl Default for CrosstalkParams {
+    fn default() -> Self {
+        CrosstalkParams {
+            crossing_leak_db: -40.0,
+            through_leak_db: -25.0,
+            drop_leak_db: -20.0,
+        }
+    }
+}
+
+impl CrosstalkParams {
+    /// The coefficient set of Nikdast et al. \[14\], as used by the paper.
+    pub fn nikdast() -> Self {
+        Self::default()
+    }
+}
+
+/// Laser-power model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Receiver (photodetector) sensitivity in dBm (default −26.0, \[15\]).
+    /// The minimum optical power a detector needs to close the link.
+    pub sensitivity_dbm: f64,
+    /// Wall-plug efficiency of the laser source as a fraction (default
+    /// 1.0 = report optical power; set <1.0 to report electrical power).
+    pub laser_efficiency: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            sensitivity_dbm: -26.0,
+            laser_efficiency: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_literature_values() {
+        let l = LossParams::default();
+        assert_eq!(l.propagation_db_per_cm, 0.274);
+        assert_eq!(l.crossing_db, 0.04);
+        assert_eq!(l.drop_db, 0.5);
+        let x = CrosstalkParams::default();
+        assert!(x.crossing_leak_db < 0.0 && x.through_leak_db < 0.0 && x.drop_leak_db < 0.0);
+        let p = PowerParams::default();
+        assert_eq!(p.sensitivity_dbm, -26.0);
+    }
+
+    #[test]
+    fn oring_preset_differs_in_crossing_loss() {
+        assert!(LossParams::oring().crossing_db > LossParams::proton_plus().crossing_db);
+    }
+}

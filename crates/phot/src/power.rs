@@ -1,0 +1,125 @@
+//! Laser-power model.
+//!
+//! Sec. II-B of the paper: the laser power of a wavelength λₓ is
+//! `P^λₓ = 10^((il_w^λₓ + S)/10)` (mW), where `il_w^λₓ` is the worst-case
+//! insertion loss among signals on λₓ — including the PDN losses up to the
+//! sender when a PDN is modelled — and `S` is the receiver sensitivity in
+//! dBm. Total laser power sums over wavelengths (and over independent
+//! laser sources, which here means per-wavelength demands already merged
+//! by `max` by the caller).
+
+use crate::params::PowerParams;
+use crate::units::dbm_to_mw;
+use crate::wavelength::Wavelength;
+use std::collections::BTreeMap;
+
+/// Worst-case end-to-end loss per wavelength: PDN loss to the sender plus
+/// data-path insertion loss to the receiver.
+#[derive(Debug, Clone, Default)]
+pub struct PerWavelengthDemand {
+    worst_total_il_db: BTreeMap<Wavelength, f64>,
+}
+
+impl PerWavelengthDemand {
+    /// An empty demand table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a signal on `wl` whose end-to-end loss (laser → sender →
+    /// detector) is `total_il_db`; keeps the per-wavelength maximum.
+    pub fn register(&mut self, wl: Wavelength, total_il_db: f64) {
+        let entry = self.worst_total_il_db.entry(wl).or_insert(f64::NEG_INFINITY);
+        if total_il_db > *entry {
+            *entry = total_il_db;
+        }
+    }
+
+    /// Worst registered loss for `wl`, if any signal uses it.
+    pub fn worst_il_db(&self, wl: Wavelength) -> Option<f64> {
+        self.worst_total_il_db.get(&wl).copied()
+    }
+
+    /// Number of wavelengths with at least one registered signal.
+    pub fn wavelength_count(&self) -> usize {
+        self.worst_total_il_db.len()
+    }
+
+    /// Iterates `(wavelength, worst loss)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Wavelength, f64)> + '_ {
+        self.worst_total_il_db.iter().map(|(w, il)| (*w, *il))
+    }
+}
+
+/// Laser power (mW) required for one wavelength with worst-case loss
+/// `il_db`, per the paper's formula.
+///
+/// # Example
+///
+/// ```
+/// use xring_phot::{laser_power_mw, PowerParams};
+///
+/// let p = laser_power_mw(6.0, &PowerParams::default());
+/// // 10^((6 - 26)/10) = 0.01 mW
+/// assert!((p - 0.01).abs() < 1e-12);
+/// ```
+pub fn laser_power_mw(il_db: f64, params: &PowerParams) -> f64 {
+    dbm_to_mw(il_db + params.sensitivity_dbm) / params.laser_efficiency
+}
+
+/// Total laser power in **watts** for a demand table.
+pub fn total_laser_power_w(demand: &PerWavelengthDemand, params: &PowerParams) -> f64 {
+    demand
+        .iter()
+        .map(|(_, il)| laser_power_mw(il, params))
+        .sum::<f64>()
+        / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_grows_exponentially_with_loss() {
+        let p = PowerParams::default();
+        let a = laser_power_mw(10.0, &p);
+        let b = laser_power_mw(20.0, &p);
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_keeps_worst_loss() {
+        let mut d = PerWavelengthDemand::new();
+        let wl = Wavelength::new(0);
+        d.register(wl, 3.0);
+        d.register(wl, 7.5);
+        d.register(wl, 5.0);
+        assert_eq!(d.worst_il_db(wl), Some(7.5));
+        assert_eq!(d.wavelength_count(), 1);
+    }
+
+    #[test]
+    fn total_power_sums_over_wavelengths() {
+        let params = PowerParams::default();
+        let mut d = PerWavelengthDemand::new();
+        d.register(Wavelength::new(0), 6.0);
+        d.register(Wavelength::new(1), 6.0);
+        let total = total_laser_power_w(&d, &params);
+        let single = laser_power_mw(6.0, &params) / 1_000.0;
+        assert!((total - 2.0 * single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn efficiency_scales_power() {
+        let optical = laser_power_mw(5.0, &PowerParams::default());
+        let electrical = laser_power_mw(
+            5.0,
+            &PowerParams {
+                laser_efficiency: 0.1,
+                ..PowerParams::default()
+            },
+        );
+        assert!((electrical / optical - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! The per-router evaluation report shared by all experiments.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Evaluation results for one synthesized router, matching the columns of
+/// the paper's Tables I–III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterReport {
+    /// Label for printing (tool/method + router).
+    pub label: String,
+    /// `#wl`: number of wavelengths used.
+    pub num_wavelengths: usize,
+    /// `il_w` / `il*_w`: worst-case insertion loss in dB (PDN excluded,
+    /// per the tables' definition of `il*`).
+    pub worst_il_db: f64,
+    /// `L`: path length of the worst-loss signal in mm.
+    pub worst_path_len_mm: f64,
+    /// `C`: crossings passed by the worst-loss signal.
+    pub worst_path_crossings: usize,
+    /// `P`: total laser power in W (`None` when no PDN is modelled).
+    pub total_power_w: Option<f64>,
+    /// `#s`: signals that suffer any first-order noise (`None` when noise
+    /// is not evaluated).
+    pub noisy_signal_count: Option<usize>,
+    /// `SNR_w`: worst-case SNR in dB (`None` when no signal suffers noise,
+    /// printed as "–" like the paper).
+    pub worst_snr_db: Option<f64>,
+    /// Total number of signals routed.
+    pub signal_count: usize,
+    /// `T`: synthesis/optimization time.
+    pub synthesis_time: Duration,
+}
+
+impl RouterReport {
+    /// Fraction of signals free of first-order noise (the paper's ">98%"
+    /// headline metric), if noise was evaluated.
+    pub fn noise_free_fraction(&self) -> Option<f64> {
+        self.noisy_signal_count.map(|noisy| {
+            if self.signal_count == 0 {
+                1.0
+            } else {
+                1.0 - noisy as f64 / self.signal_count as f64
+            }
+        })
+    }
+
+    /// Formats one table row: `#wl  il  L  C  P  #s  SNR  T`.
+    pub fn table_row(&self) -> String {
+        let p = self
+            .total_power_w
+            .map(|p| format!("{p:.3}"))
+            .unwrap_or_else(|| "-".into());
+        let s = self
+            .noisy_signal_count
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "-".into());
+        let snr = self
+            .worst_snr_db
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| "-".into());
+        format!(
+            "{:<24} {:>4} {:>7.2} {:>7.1} {:>4} {:>8} {:>5} {:>7} {:>8.2}",
+            self.label,
+            self.num_wavelengths,
+            self.worst_il_db,
+            self.worst_path_len_mm,
+            self.worst_path_crossings,
+            p,
+            s,
+            snr,
+            self.synthesis_time.as_secs_f64(),
+        )
+    }
+
+    /// The table header matching [`table_row`](Self::table_row).
+    pub fn table_header() -> String {
+        format!(
+            "{:<24} {:>4} {:>7} {:>7} {:>4} {:>8} {:>5} {:>7} {:>8}",
+            "method/router", "#wl", "il_w", "L(mm)", "C", "P(W)", "#s", "SNR_w", "T(s)"
+        )
+    }
+}
+
+impl fmt::Display for RouterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RouterReport {
+        RouterReport {
+            label: "XRing".into(),
+            num_wavelengths: 14,
+            worst_il_db: 4.87,
+            worst_path_len_mm: 13.6,
+            worst_path_crossings: 0,
+            total_power_w: Some(0.46),
+            noisy_signal_count: Some(2),
+            worst_snr_db: Some(35.9),
+            signal_count: 240,
+            synthesis_time: Duration::from_millis(120),
+        }
+    }
+
+    #[test]
+    fn noise_free_fraction_headline() {
+        let r = sample();
+        let f = r.noise_free_fraction().expect("noise evaluated");
+        assert!(f > 0.98, "fraction = {f}");
+    }
+
+    #[test]
+    fn table_row_formats_dashes_for_missing() {
+        let mut r = sample();
+        r.total_power_w = None;
+        r.worst_snr_db = None;
+        r.noisy_signal_count = None;
+        let row = r.table_row();
+        assert!(row.contains('-'));
+        assert!(!row.is_empty());
+    }
+
+    #[test]
+    fn display_matches_row() {
+        let r = sample();
+        assert_eq!(r.to_string(), r.table_row());
+    }
+
+    #[test]
+    fn zero_signals_is_fully_noise_free() {
+        let mut r = sample();
+        r.signal_count = 0;
+        r.noisy_signal_count = Some(0);
+        assert_eq!(r.noise_free_fraction(), Some(1.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Power/loss unit conversions.
+//!
+//! All losses are decibels (dB), absolute powers are milliwatts (mW) or
+//! dBm, geometric lengths arrive in µm and are converted to cm inside the
+//! propagation-loss computation.
+
+/// Converts a dB ratio to a linear power ratio.
+///
+/// # Example
+///
+/// ```
+/// use xring_phot::db_to_linear;
+/// assert!((db_to_linear(3.0103) - 2.0).abs() < 1e-4);
+/// ```
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to dB.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not positive.
+pub fn linear_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "power ratio must be positive, got {ratio}");
+    10.0 * ratio.log10()
+}
+
+/// Converts an absolute power in dBm to mW.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts an absolute power in mW to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive, got {mw}");
+    10.0 * mw.log10()
+}
+
+/// Micrometres per centimetre (length-unit bridge for propagation loss).
+pub const UM_PER_CM: f64 = 10_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for db in [-40.0, -3.0, 0.0, 2.5, 17.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+        for mw in [0.001, 1.0, 250.0] {
+            assert!((dbm_to_mw(mw_to_dbm(mw)) - mw).abs() < 1e-9 * mw.max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_db_is_unity() {
+        assert_eq!(db_to_linear(0.0), 1.0);
+        assert_eq!(mw_to_dbm(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_ratio_panics() {
+        let _ = linear_to_db(-1.0);
+    }
+}

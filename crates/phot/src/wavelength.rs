@@ -1,0 +1,62 @@
+//! WDM wavelength identifiers.
+
+use std::fmt;
+
+/// A WDM channel index (λ₀, λ₁, …).
+///
+/// WRONoC routing is wavelength-based: a signal keeps its wavelength for
+/// its whole life, and two signals interfere only when they share one.
+///
+/// # Example
+///
+/// ```
+/// use xring_phot::Wavelength;
+///
+/// let l0 = Wavelength::new(0);
+/// assert_eq!(l0.to_string(), "λ0");
+/// assert!(l0 < Wavelength::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Wavelength(u16);
+
+impl Wavelength {
+    /// Creates channel `index`.
+    pub const fn new(index: u16) -> Self {
+        Wavelength(index)
+    }
+
+    /// The channel index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Iterator over the first `count` channels.
+    pub fn first(count: u16) -> impl Iterator<Item = Wavelength> {
+        (0..count).map(Wavelength)
+    }
+}
+
+impl fmt::Display for Wavelength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+impl From<u16> for Wavelength {
+    fn from(i: u16) -> Self {
+        Wavelength(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_iteration() {
+        let all: Vec<_> = Wavelength::first(4).collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all[2].index(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! SVG rendering of synthesized XRing layouts.
+//!
+//! Renders the geometric artifacts of a synthesis run — node positions,
+//! the realized ring (with one concentric offset track per ring
+//! waveguide), shortcut corridors, ring openings and PDN sender taps —
+//! into a standalone SVG string, for design review and documentation.
+//!
+//! # Example
+//!
+//! ```
+//! use xring_core::{NetworkSpec, SynthesisOptions, Synthesizer};
+//! use xring_viz::{render_design, RenderOptions};
+//!
+//! let net = NetworkSpec::proton_8();
+//! let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+//!     .synthesize(&net)?;
+//! let svg = render_design(&design, &RenderOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! # Ok::<(), xring_core::SynthesisError>(())
+//! ```
+
+pub mod render;
+pub mod svg;
+
+pub use render::{render_design, RenderOptions};
+pub use svg::SvgBuilder;

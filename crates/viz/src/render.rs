@@ -1,0 +1,208 @@
+//! Rendering a synthesized design to SVG.
+
+use crate::svg::SvgBuilder;
+use xring_core::{Direction, XRingDesign};
+use xring_geom::Point;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Offset between concentric ring-waveguide tracks, in µm.
+    pub track_pitch_um: f64,
+    /// Node marker half-size in µm.
+    pub node_size_um: f64,
+    /// Draw node index labels.
+    pub labels: bool,
+    /// Draw shortcut corridors.
+    pub shortcuts: bool,
+    /// Mark ring openings.
+    pub openings: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            track_pitch_um: 120.0,
+            node_size_um: 220.0,
+            labels: true,
+            shortcuts: true,
+            openings: true,
+        }
+    }
+}
+
+/// Colour palette for ring tracks (cycled).
+const TRACK_COLORS: [&str; 6] = [
+    "#1f77b4", "#2ca02c", "#9467bd", "#17becf", "#8c564b", "#e377c2",
+];
+
+fn to_xy(p: Point) -> (f64, f64) {
+    // SVG's y axis points down; flip so the layout reads like the paper.
+    (p.x as f64, -(p.y as f64))
+}
+
+/// Renders a complete design.
+///
+/// One polyline track per ring waveguide (offset outward by
+/// [`RenderOptions::track_pitch_um`] per level), red corridors for
+/// shortcuts, white gaps + markers at ring openings, and square node
+/// markers.
+pub fn render_design(design: &XRingDesign, options: &RenderOptions) -> String {
+    let mut svg = SvgBuilder::new();
+    let cycle = &design.cycle;
+    let n = cycle.len();
+
+    // Layout centroid, for outward offsets.
+    let (mut cx, mut cy) = (0.0f64, 0.0f64);
+    for p in design.net.positions() {
+        cx += p.x as f64;
+        cy += p.y as f64;
+    }
+    cx /= design.net.len() as f64;
+    cy /= design.net.len() as f64;
+
+    // Ring waveguide tracks.
+    for (wi, wg) in design.plan.ring_waveguides.iter().enumerate() {
+        let color = TRACK_COLORS[wi % TRACK_COLORS.len()];
+        let dash = match wg.direction {
+            Direction::Cw => "",
+            Direction::Ccw => "stroke-dasharray:60,30;",
+        };
+        let style = format!("stroke:{color};stroke-width:25;{dash}");
+        let offset = options.track_pitch_um * wi as f64;
+
+        // Draw each edge as its realized L-route, offset outward from the
+        // centroid; skip the opened segment.
+        for e in 0..n {
+            let route = cycle.edge_route(e);
+            let pts_raw = [route.from(), route.corner(), route.to()];
+            let pts: Vec<(f64, f64)> = pts_raw
+                .iter()
+                .map(|p| {
+                    let (x, y) = to_xy(*p);
+                    // Push outward from the centroid.
+                    let dx = x - cx;
+                    let dy = y - (-cy);
+                    let len = (dx * dx + dy * dy).sqrt().max(1.0);
+                    (x + offset * dx / len, y + offset * dy / len)
+                })
+                .collect();
+            svg.polyline(&pts, &style);
+        }
+        // Opening marker.
+        if options.openings {
+            if let Some(pos) = wg.opening {
+                let (x, y) = to_xy(design.net.position(cycle.order()[pos]));
+                svg.circle(
+                    x,
+                    y,
+                    options.node_size_um * 0.75 + offset,
+                    "stroke:#d62728;stroke-width:12;fill:none;stroke-dasharray:20,20",
+                );
+            }
+        }
+    }
+
+    // Shortcut corridors.
+    if options.shortcuts {
+        for s in &design.shortcuts.shortcuts {
+            let route = &s.route;
+            let pts: Vec<(f64, f64)> = [route.from(), route.corner(), route.to()]
+                .iter()
+                .map(|p| to_xy(*p))
+                .collect();
+            let style = if s.crossing_partner.is_some() {
+                "stroke:#ff7f0e;stroke-width:35"
+            } else {
+                "stroke:#d62728;stroke-width:35"
+            };
+            svg.polyline(&pts, style);
+        }
+    }
+
+    // Nodes on top.
+    for (i, p) in design.net.positions().iter().enumerate() {
+        let (x, y) = to_xy(*p);
+        svg.rect_centered(
+            x,
+            y,
+            options.node_size_um,
+            options.node_size_um,
+            "fill:#ffffff;stroke:#333;stroke-width:14",
+        );
+        if options.labels {
+            svg.text(
+                x + options.node_size_um * 0.7,
+                y - options.node_size_um * 0.7,
+                options.node_size_um,
+                &format!("n{i}"),
+                "fill:#333;font-family:sans-serif",
+            );
+        }
+    }
+
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xring_core::{NetworkSpec, SynthesisOptions, Synthesizer};
+
+    fn sample_design() -> XRingDesign {
+        let net = NetworkSpec::proton_8();
+        Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&net)
+            .expect("synthesis succeeds")
+    }
+
+    #[test]
+    fn render_produces_valid_svg() {
+        let design = sample_design();
+        let svg = render_design(&design, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // Balanced: exactly one opening and one closing svg tag.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn every_node_is_drawn() {
+        let design = sample_design();
+        let svg = render_design(&design, &RenderOptions::default());
+        assert_eq!(svg.matches("<rect").count(), design.net.len());
+        for i in 0..design.net.len() {
+            assert!(svg.contains(&format!(">n{i}</text>")), "missing label n{i}");
+        }
+    }
+
+    #[test]
+    fn ring_tracks_scale_with_waveguides() {
+        let design = sample_design();
+        let svg = render_design(&design, &RenderOptions::default());
+        let polylines = svg.matches("<polyline").count();
+        let expected_ring_lines = design.plan.ring_waveguides.len() * design.cycle.len();
+        assert!(
+            polylines >= expected_ring_lines,
+            "{polylines} < {expected_ring_lines}"
+        );
+    }
+
+    #[test]
+    fn options_toggle_layers() {
+        let design = sample_design();
+        let bare = render_design(
+            &design,
+            &RenderOptions {
+                labels: false,
+                shortcuts: false,
+                openings: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(bare.matches("<text").count(), 0);
+        let full = render_design(&design, &RenderOptions::default());
+        assert!(full.len() >= bare.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal, dependency-free SVG document builder.
+
+use std::fmt::Write as _;
+
+/// Builds an SVG document incrementally.
+///
+/// Coordinates are given in the caller's unit (µm for layouts); the
+/// builder tracks the bounding box and emits a `viewBox` with a margin,
+/// so callers never scale anything themselves.
+///
+/// # Example
+///
+/// ```
+/// use xring_viz::SvgBuilder;
+///
+/// let mut svg = SvgBuilder::new();
+/// svg.line(0.0, 0.0, 100.0, 0.0, "stroke:#000;stroke-width:2");
+/// svg.circle(50.0, 0.0, 4.0, "fill:#c33");
+/// let doc = svg.finish();
+/// assert!(doc.contains("<line"));
+/// assert!(doc.contains("<circle"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SvgBuilder {
+    body: String,
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    empty: bool,
+}
+
+impl SvgBuilder {
+    /// An empty document.
+    pub fn new() -> Self {
+        SvgBuilder {
+            body: String::new(),
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+            empty: true,
+        }
+    }
+
+    fn cover(&mut self, x: f64, y: f64) {
+        self.min_x = self.min_x.min(x);
+        self.min_y = self.min_y.min(y);
+        self.max_x = self.max_x.max(x);
+        self.max_y = self.max_y.max(y);
+        self.empty = false;
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, style: &str) {
+        self.cover(x1, y1);
+        self.cover(x2, y2);
+        writeln!(
+            self.body,
+            r#"  <line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" style="{style}"/>"#
+        )
+        .expect("string writes cannot fail");
+    }
+
+    /// Adds an open polyline through the points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], style: &str) {
+        if points.len() < 2 {
+            return;
+        }
+        let mut attr = String::new();
+        for &(x, y) in points {
+            self.cover(x, y);
+            write!(attr, "{x:.1},{y:.1} ").expect("string writes cannot fail");
+        }
+        writeln!(
+            self.body,
+            r#"  <polyline points="{}" fill="none" style="{style}"/>"#,
+            attr.trim_end()
+        )
+        .expect("string writes cannot fail");
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, style: &str) {
+        self.cover(cx - r, cy - r);
+        self.cover(cx + r, cy + r);
+        writeln!(
+            self.body,
+            r#"  <circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" style="{style}"/>"#
+        )
+        .expect("string writes cannot fail");
+    }
+
+    /// Adds an axis-aligned rectangle centred at `(cx, cy)`.
+    pub fn rect_centered(&mut self, cx: f64, cy: f64, w: f64, h: f64, style: &str) {
+        let x = cx - w / 2.0;
+        let y = cy - h / 2.0;
+        self.cover(x, y);
+        self.cover(x + w, y + h);
+        writeln!(
+            self.body,
+            r#"  <rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" style="{style}"/>"#
+        )
+        .expect("string writes cannot fail");
+    }
+
+    /// Adds a text label (XML-escaped).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str, style: &str) {
+        self.cover(x, y);
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        writeln!(
+            self.body,
+            r#"  <text x="{x:.1}" y="{y:.1}" font-size="{size:.1}" style="{style}">{escaped}</text>"#
+        )
+        .expect("string writes cannot fail");
+    }
+
+    /// Number of emitted elements (lines in the body).
+    pub fn element_count(&self) -> usize {
+        self.body.lines().count()
+    }
+
+    /// Finalizes the document, wrapping the body in an `<svg>` element
+    /// with a `viewBox` that covers everything plus a 5% margin.
+    pub fn finish(self) -> String {
+        let (min_x, min_y, w, h) = if self.empty {
+            (0.0, 0.0, 1.0, 1.0)
+        } else {
+            let w = (self.max_x - self.min_x).max(1.0);
+            let h = (self.max_y - self.min_y).max(1.0);
+            let margin = 0.05 * w.max(h);
+            (
+                self.min_x - margin,
+                self.min_y - margin,
+                w + 2.0 * margin,
+                h + 2.0 * margin,
+            )
+        };
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{min_x:.1} {min_y:.1} {w:.1} {h:.1}\">\n{}</svg>\n",
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_valid() {
+        let doc = SvgBuilder::new().finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn viewbox_covers_elements() {
+        let mut svg = SvgBuilder::new();
+        svg.line(-10.0, -20.0, 30.0, 40.0, "stroke:#000");
+        let doc = svg.finish();
+        // viewBox must start at or before (-10, -20) and span past (30, 40).
+        let vb = doc
+            .split("viewBox=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("has viewBox");
+        let nums: Vec<f64> = vb.split(' ').map(|x| x.parse().expect("number")).collect();
+        assert!(nums[0] <= -10.0 && nums[1] <= -20.0);
+        assert!(nums[0] + nums[2] >= 30.0 && nums[1] + nums[3] >= 40.0);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut svg = SvgBuilder::new();
+        svg.text(0.0, 0.0, 10.0, "a<b&c>", "fill:#000");
+        let doc = svg.finish();
+        assert!(doc.contains("a&lt;b&amp;c&gt;"));
+        assert!(!doc.contains("a<b"));
+    }
+
+    #[test]
+    fn short_polyline_is_ignored() {
+        let mut svg = SvgBuilder::new();
+        svg.polyline(&[(0.0, 0.0)], "stroke:#000");
+        assert_eq!(svg.element_count(), 0);
+    }
+
+    #[test]
+    fn element_count_tracks_additions() {
+        let mut svg = SvgBuilder::new();
+        svg.line(0.0, 0.0, 1.0, 1.0, "s");
+        svg.circle(0.0, 0.0, 1.0, "s");
+        svg.rect_centered(0.0, 0.0, 2.0, 2.0, "s");
+        assert_eq!(svg.element_count(), 3);
+    }
+}

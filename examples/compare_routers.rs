@@ -1,0 +1,61 @@
+//! Head-to-head router comparison on one network: XRing vs the ORNoC and
+//! ORing baselines vs the crossbar families — a miniature of the paper's
+//! whole evaluation on a single floorplan.
+//!
+//! Run with: `cargo run --release --example compare_routers [N]`
+//! where `N` is 8, 16 (default) or 32.
+
+use xring::baselines::{
+    crossbar_report, synthesize_oring, synthesize_ornoc, CrossbarKind, LayoutStyle,
+};
+use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16);
+    let (net, wl) = match n {
+        8 => (NetworkSpec::psion_8(), 8),
+        16 => (NetworkSpec::psion_16(), 14),
+        32 => (NetworkSpec::psion_32(), 24),
+        other => return Err(format!("unsupported size {other}: use 8, 16 or 32").into()),
+    };
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+
+    println!("Router comparison on the {n}-node network (#wl = {wl}):\n");
+    println!("{}", RouterReport::table_header());
+
+    // Crossbars (analytic, no PDN — see DESIGN.md §2).
+    for (kind, style) in [
+        (CrossbarKind::LambdaRouter, LayoutStyle::ProtonPlus),
+        (CrossbarKind::LambdaRouter, LayoutStyle::PlanarOnoc),
+        (CrossbarKind::Gwor, LayoutStyle::ToPro),
+        (CrossbarKind::Light, LayoutStyle::ToPro),
+    ] {
+        println!("{}", crossbar_report(kind, style, &net, &loss));
+    }
+
+    // Ring baselines with their crossing PDNs.
+    let ornoc = synthesize_ornoc(&net, wl, true, &loss, &xtalk)?;
+    println!("{}", ornoc.report("ORNoC", &loss, Some(&xtalk), &power));
+    let oring = synthesize_oring(&net, wl, true, &loss, &xtalk)?;
+    println!("{}", oring.report("ORing", &loss, Some(&xtalk), &power));
+
+    // XRing with its crossing-free PDN.
+    let xr = Synthesizer::new(SynthesisOptions::with_wavelengths(wl)).synthesize(&net)?;
+    let report = xr.report("XRing", &loss, Some(&xtalk), &power);
+    println!("{report}");
+    println!(
+        "\nXRing: {} shortcuts, {} ring waveguides (all opened: {}), {:.1}% noise-free signals",
+        xr.shortcuts.shortcuts.len(),
+        xr.plan.ring_waveguides.len(),
+        xr.opening_stats.unopened == 0,
+        report.noise_free_fraction().unwrap_or(1.0) * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Robustness under fabrication variation (extension beyond the paper).
+//!
+//! Re-evaluates a synthesized 16-node XRing router under Monte-Carlo
+//! perturbed loss parameters and reports the insertion-loss and laser-
+//! power spread — the margin a designer would add to the link budget.
+//!
+//! Run with: `cargo run --release --example fabrication_variation`
+
+use xring::core::{monte_carlo, NetworkSpec, SynthesisOptions, Synthesizer, VariationSpec};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetworkSpec::psion_16();
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14)).synthesize(&net)?;
+    let nominal = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+
+    let nominal_report = design.report("nominal", &nominal, Some(&xtalk), &power);
+    println!(
+        "nominal: il_w = {:.3} dB, P = {:.4} W",
+        nominal_report.worst_il_db,
+        nominal_report.total_power_w.unwrap_or(f64::NAN)
+    );
+
+    for (label, scale) in [("loose fab (1x)", 1.0), ("sloppy fab (2x)", 2.0)] {
+        let spec = VariationSpec {
+            propagation: 0.10 * scale,
+            crossing: 0.15 * scale,
+            drop: 0.15 * scale,
+            through: 0.20 * scale,
+            seed: 42,
+        };
+        let s = monte_carlo(&design, &nominal, &xtalk, &power, &spec, 500);
+        println!(
+            "{label}: il_w mean {:.3} ± {:.3} dB (max {:.3}), P mean {:.4} W (max {:.4}), SNR min {}",
+            s.il_mean_db,
+            s.il_std_db,
+            s.il_max_db,
+            s.power_mean_w.unwrap_or(f64::NAN),
+            s.power_max_w.unwrap_or(f64::NAN),
+            s.snr_min_db
+                .map(|v| format!("{v:.1} dB"))
+                .unwrap_or_else(|| "unbounded (no noisy signal)".into()),
+        );
+    }
+    println!("\nXRing's crossing-free structure keeps the spread narrow: the");
+    println!("budget is dominated by drop loss, not by crossing-count jitter.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Link-budget review: decompose the worst signal's insertion loss by
+//! physical mechanism, the way a photonic designer would audit a link.
+//!
+//! Run with: `cargo run --release --example link_budget`
+
+use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring::phot::{insertion_loss_db, LossBreakdown, LossParams, SignalId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetworkSpec::psion_16();
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14)).synthesize(&net)?;
+    let loss = LossParams::oring();
+
+    // Find the worst signal.
+    let mut worst = (0usize, f64::NEG_INFINITY);
+    for i in 0..design.layout.signals.len() {
+        let trace = design.layout.trace(SignalId(i as u32));
+        let il = insertion_loss_db(&trace, &loss);
+        if il > worst.1 {
+            worst = (i, il);
+        }
+    }
+    let (wi, il) = worst;
+    let sig = &design.layout.signals[wi];
+    let trace = design.layout.trace(SignalId(wi as u32));
+    let breakdown = LossBreakdown::of(&trace, &loss);
+
+    println!("worst signal: {} -> {} on {}", sig.from, sig.to, sig.wavelength);
+    println!("total insertion loss: {il:.3} dB");
+    println!("budget: {breakdown}");
+    let (mechanism, share) = breakdown.dominant();
+    println!("dominant mechanism: {mechanism} ({:.0}% of the budget)", share * 100.0);
+    println!("PDN loss to its sender: {:.2} dB", sig.pdn_loss_db);
+
+    // Distribution of dominant mechanisms across all signals.
+    let mut counts = std::collections::BTreeMap::<&str, usize>::new();
+    for i in 0..design.layout.signals.len() {
+        let t = design.layout.trace(SignalId(i as u32));
+        let (m, _) = LossBreakdown::of(&t, &loss).dominant();
+        *counts.entry(m).or_insert(0) += 1;
+    }
+    println!("\ndominant mechanism across all {} signals:", design.layout.signals.len());
+    for (m, c) in counts {
+        println!("  {m:<14} {c}");
+    }
+    Ok(())
+}

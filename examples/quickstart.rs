@@ -1,0 +1,43 @@
+//! Quickstart: synthesize an XRing router for a 16-node network and print
+//! its evaluation report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 16-node floorplan used in the paper's Table II/III experiments.
+    let net = NetworkSpec::psion_16();
+
+    // Full XRing pipeline: MILP ring construction, shortcuts, signal
+    // mapping with ring openings, and a crossing-free PDN.
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14)).synthesize(&net)?;
+
+    println!("ring order        : {:?}", design.cycle.order());
+    println!("ring perimeter    : {:.1} mm", design.cycle.perimeter() as f64 / 1000.0);
+    println!("shortcuts         : {}", design.shortcuts.shortcuts.len());
+    println!(
+        "ring waveguides   : {} (cw, ccw) = {:?}",
+        design.plan.ring_waveguides.len(),
+        design.plan.waveguide_counts()
+    );
+    println!("openings          : {} opened / {} unopened", design.opening_stats.opened, design.opening_stats.unopened);
+    println!("milp nodes        : {}", design.ring_stats.milp_nodes);
+    println!("lazy conflict cuts: {}", design.ring_stats.lazy_cuts);
+    println!();
+
+    let report = design.report(
+        "XRing/16",
+        &LossParams::oring(),
+        Some(&CrosstalkParams::nikdast()),
+        &PowerParams::default(),
+    );
+    println!("{}", RouterReport::table_header());
+    println!("{report}");
+    println!(
+        "\nnoise-free signals: {:.1}%",
+        report.noise_free_fraction().unwrap_or(1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Renders synthesized layouts to SVG files for design review.
+//!
+//! Run with: `cargo run --release --example render_layout [out_dir]`
+//! (default output directory: `target/layouts`)
+
+use std::fs;
+use std::path::PathBuf;
+use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring::viz::{render_design, RenderOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/layouts".to_string())
+        .into();
+    fs::create_dir_all(&out_dir)?;
+
+    for (name, net, wl) in [
+        ("xring_8", NetworkSpec::proton_8(), 8),
+        ("xring_16", NetworkSpec::psion_16(), 14),
+        ("xring_irregular_12", NetworkSpec::irregular(12, 10_000, 42)?, 12),
+    ] {
+        let design = Synthesizer::new(SynthesisOptions::with_wavelengths(wl)).synthesize(&net)?;
+        let svg = render_design(&design, &RenderOptions::default());
+        let path = out_dir.join(format!("{name}.svg"));
+        fs::write(&path, &svg)?;
+        println!(
+            "{} -> {} ({} ring waveguides, {} shortcuts, {} bytes)",
+            name,
+            path.display(),
+            design.plan.ring_waveguides.len(),
+            design.shortcuts.shortcuts.len(),
+            svg.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! XRing — crosstalk-aware synthesis of wavelength-routed optical ring
+//! routers (reproduction of Zheng et al., DATE 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geom`] — exact Manhattan geometry, crossing predicates, 2-SAT,
+//! * [`milp`] — the 0/1 MILP solver (simplex + branch & bound),
+//! * [`phot`] — photonic loss/crosstalk/SNR/laser-power models,
+//! * [`core`] — the four-step XRing synthesis pipeline,
+//! * [`baselines`] — ORNoC, ORing and crossbar comparison routers,
+//! * [`viz`] — SVG rendering of synthesized layouts.
+//!
+//! # Example
+//!
+//! Synthesize the paper's 16-node router and check its headline property
+//! (more than 98 % of signals free of first-order crosstalk noise):
+//!
+//! ```
+//! use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+//! use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+//!
+//! let net = NetworkSpec::psion_16();
+//! let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14))
+//!     .synthesize(&net)?;
+//! let report = design.report(
+//!     "XRing/16",
+//!     &LossParams::oring(),
+//!     Some(&CrosstalkParams::nikdast()),
+//!     &PowerParams::default(),
+//! );
+//! assert!(report.noise_free_fraction().expect("noise evaluated") > 0.98);
+//! assert_eq!(report.worst_path_crossings, 0);
+//! # Ok::<(), xring::core::SynthesisError>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-code inventory and `EXPERIMENTS.md` for reproduction results.
+
+pub use xring_baselines as baselines;
+pub use xring_core as core;
+pub use xring_geom as geom;
+pub use xring_milp as milp;
+pub use xring_phot as phot;
+pub use xring_viz as viz;

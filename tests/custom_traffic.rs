@@ -1,0 +1,79 @@
+//! Integration tests for the custom-traffic extension (the paper assumes
+//! all-to-all; sparse workloads should need strictly fewer resources).
+
+use xring::core::{NetworkSpec, NodeId, SynthesisOptions, Synthesizer, Traffic};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+
+fn synth(net: &NetworkSpec, traffic: Traffic, wl: usize) -> xring::core::XRingDesign {
+    Synthesizer::new(SynthesisOptions {
+        traffic,
+        ..SynthesisOptions::with_wavelengths(wl)
+    })
+    .synthesize(net)
+    .expect("synthesis succeeds")
+}
+
+#[test]
+fn custom_traffic_routes_exactly_the_requested_pairs() {
+    let net = NetworkSpec::psion_16();
+    let pairs = vec![
+        (NodeId(0), NodeId(15)),
+        (NodeId(15), NodeId(0)),
+        (NodeId(3), NodeId(12)),
+        (NodeId(7), NodeId(8)),
+    ];
+    let design = synth(&net, Traffic::Custom(pairs.clone()), 8);
+    assert_eq!(design.layout.signals.len(), pairs.len());
+    for sig in &design.layout.signals {
+        assert!(pairs.contains(&(sig.from, sig.to)));
+    }
+    assert_eq!(design.layout.validate(), Ok(()));
+}
+
+#[test]
+fn sparse_traffic_needs_fewer_resources_than_all_to_all() {
+    let net = NetworkSpec::psion_16();
+    let loss = LossParams::oring();
+    let power = PowerParams::default();
+
+    let full = synth(&net, Traffic::AllToAll, 8);
+    let sparse = synth(&net, Traffic::NearestNeighbors(3), 8);
+
+    assert!(sparse.plan.ring_waveguides.len() <= full.plan.ring_waveguides.len());
+    let r_full = full.report("full", &loss, None, &power);
+    let r_sparse = sparse.report("sparse", &loss, None, &power);
+    assert!(
+        r_sparse.total_power_w.expect("pdn") < r_full.total_power_w.expect("pdn"),
+        "sparse traffic should cost less laser power"
+    );
+    assert!(r_sparse.num_wavelengths <= r_full.num_wavelengths);
+}
+
+#[test]
+fn nearest_neighbor_traffic_is_noise_free_and_crossing_free() {
+    let net = NetworkSpec::psion_16();
+    let design = synth(&net, Traffic::NearestNeighbors(4), 8);
+    let report = design.report(
+        "nn4",
+        &LossParams::oring(),
+        Some(&CrosstalkParams::nikdast()),
+        &PowerParams::default(),
+    );
+    assert_eq!(report.worst_path_crossings, 0);
+    assert_eq!(report.noisy_signal_count, Some(0));
+}
+
+#[test]
+fn empty_custom_traffic_produces_an_empty_router() {
+    let net = NetworkSpec::proton_8();
+    let design = synth(&net, Traffic::Custom(Vec::new()), 4);
+    assert_eq!(design.layout.signals.len(), 0);
+    let report = design.report(
+        "empty",
+        &LossParams::default(),
+        Some(&CrosstalkParams::default()),
+        &PowerParams::default(),
+    );
+    assert_eq!(report.signal_count, 0);
+    assert_eq!(report.noise_free_fraction(), Some(1.0));
+}

@@ -1,0 +1,118 @@
+//! Golden-value regression tests: tiny designs whose physics can be
+//! computed by hand, asserted to ~1e-9 dB so any change to the evaluation
+//! engine's arithmetic is caught immediately.
+
+use xring::core::{NetworkSpec, NodeId, SynthesisOptions, Synthesizer, Traffic};
+use xring::phot::{
+    insertion_loss_db, LossBreakdown, LossParams, PathElement, PowerParams, SignalId,
+};
+
+/// 2x2 square, 1 mm pitch, a single diagonal signal, no PDN.
+fn square_single_signal() -> xring::core::XRingDesign {
+    let net = NetworkSpec::regular_grid(2, 2, 1_000).expect("valid");
+    Synthesizer::new(SynthesisOptions {
+        traffic: Traffic::Custom(vec![(NodeId(0), NodeId(3))]),
+        shortcuts: false,
+        pdn: false,
+        ..SynthesisOptions::with_wavelengths(4)
+    })
+    .synthesize(&net)
+    .expect("synthesis succeeds")
+}
+
+#[test]
+fn single_diagonal_signal_loss_matches_hand_computation() {
+    let design = square_single_signal();
+    let trace = design.layout.trace(SignalId(0));
+    let p = LossParams::default();
+    let il = insertion_loss_db(&trace, &p);
+
+    // Hand computation: the ring is the 4 mm square; nodes 0 and 3 are
+    // ring-diagonal, so the signal travels two 1 mm edges. Each edge is a
+    // straight segment whose station carries the junction turn into the
+    // next edge (1 bend each). No other signal exists, so no through
+    // MRRs; then the receiver drop and the photodetector.
+    let b = LossBreakdown::of(&trace, &p);
+    assert!((b.propagation_db - 0.274 * 0.2).abs() < 1e-12, "{b}");
+    assert!((b.bend_db - 2.0 * 0.005).abs() < 1e-12, "{b}");
+    assert_eq!(b.crossing_db, 0.0);
+    assert_eq!(b.through_db, 0.0);
+    assert!((b.drop_db - 0.5).abs() < 1e-12);
+    assert!((b.photodetector_db - 0.1).abs() < 1e-12);
+    let expect = 0.274 * 0.2 + 2.0 * 0.005 + 0.5 + 0.1;
+    assert!((il - expect).abs() < 1e-12, "il = {il}, expect = {expect}");
+}
+
+#[test]
+fn single_signal_report_columns_are_exact() {
+    let design = square_single_signal();
+    let report = design.report(
+        "golden",
+        &LossParams::default(),
+        None,
+        &PowerParams::default(),
+    );
+    assert_eq!(report.signal_count, 1);
+    assert_eq!(report.num_wavelengths, 1);
+    assert!((report.worst_path_len_mm - 2.0).abs() < 1e-12);
+    assert_eq!(report.worst_path_crossings, 0);
+}
+
+#[test]
+fn two_opposed_signals_share_a_wavelength_without_noise() {
+    // 0 -> 3 and 3 -> 0 take complementary halves of the ring (or
+    // opposite directions); either way they are arc-disjoint or on
+    // different waveguides and must not interfere.
+    let net = NetworkSpec::regular_grid(2, 2, 1_000).expect("valid");
+    let design = Synthesizer::new(SynthesisOptions {
+        traffic: Traffic::Custom(vec![(NodeId(0), NodeId(3)), (NodeId(3), NodeId(0))]),
+        shortcuts: false,
+        pdn: false,
+        ..SynthesisOptions::with_wavelengths(4)
+    })
+    .synthesize(&net)
+    .expect("synthesis succeeds");
+    let ledger = design.layout.evaluate_noise(
+        &LossParams::default(),
+        &xring::phot::CrosstalkParams::default(),
+    );
+    assert_eq!(ledger.affected_signal_count(), 0);
+    // Both signals travel exactly half the ring.
+    for i in 0..2 {
+        let len: i64 = design
+            .layout
+            .trace(SignalId(i))
+            .iter()
+            .map(|e| match e {
+                PathElement::Propagate { length_um } => *length_um,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(len, 2_000, "signal {i}");
+    }
+}
+
+#[test]
+fn laser_power_formula_is_exact_for_one_signal() {
+    // With a PDN, P = 10^((il_total + S)/10) mW for the single signal's
+    // wavelength, where il_total includes the PDN loss to the sender.
+    let net = NetworkSpec::regular_grid(2, 2, 1_000).expect("valid");
+    let design = Synthesizer::new(SynthesisOptions {
+        traffic: Traffic::Custom(vec![(NodeId(0), NodeId(3))]),
+        shortcuts: false,
+        ..SynthesisOptions::with_wavelengths(4)
+    })
+    .synthesize(&net)
+    .expect("synthesis succeeds");
+    let p = LossParams::default();
+    let power = PowerParams::default();
+    let report = design.report("golden", &p, None, &power);
+    let il = insertion_loss_db(&design.layout.trace(SignalId(0)), &p);
+    let pdn_loss = design.layout.signals[0].pdn_loss_db;
+    let expect_w = 10f64.powf((il + pdn_loss + power.sensitivity_dbm) / 10.0) / 1_000.0;
+    let got = report.total_power_w.expect("pdn modelled");
+    assert!(
+        (got - expect_w).abs() < 1e-15,
+        "got {got}, expect {expect_w}"
+    );
+}

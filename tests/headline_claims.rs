@@ -1,0 +1,137 @@
+//! Experiment E4 and the paper's headline comparative claims, asserted as
+//! tests so regressions in any crate surface immediately.
+
+use xring::core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+fn xring_report(net: &NetworkSpec, wl: usize) -> RouterReport {
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(wl))
+        .synthesize(net)
+        .expect("synthesis succeeds");
+    design.report(
+        "XRing",
+        &LossParams::oring(),
+        Some(&CrosstalkParams::nikdast()),
+        &PowerParams::default(),
+    )
+}
+
+#[test]
+fn more_than_98_percent_of_signals_are_noise_free() {
+    // "more than 98% of signals in XRing do not suffer first-order
+    // crosstalk noise" — checked on all three paper sizes.
+    for (net, wl) in [
+        (NetworkSpec::psion_8(), 8),
+        (NetworkSpec::psion_16(), 14),
+        (NetworkSpec::psion_32(), 24),
+    ] {
+        let r = xring_report(&net, wl);
+        let f = r.noise_free_fraction().expect("noise evaluated");
+        assert!(f > 0.98, "n={}: only {:.1}% noise-free", net.len(), f * 100.0);
+    }
+}
+
+#[test]
+fn xring_beats_ornoc_on_power_and_snr() {
+    // Table II's qualitative claim: "for both ring routers, we vary the
+    // settings of #wl and pick the one with the minimum power and maximum
+    // SNR" — so the comparison runs at each router's best sweep setting,
+    // exactly like the table harness.
+    let sections = xring_bench::table2().expect("table2");
+    for (title, rows) in &sections {
+        let ornoc = &rows[0];
+        let xring = &rows[1];
+        assert!(ornoc.label.starts_with("ORNoC") && xring.label.starts_with("XRing"));
+        if title.contains("min. power") {
+            // The paper's own 8-node rows tie on power (both 0.04 W);
+            // allow a 10% band there, require a strict win at 16/32.
+            let slack = if title.contains("8-node") { 1.10 } else { 1.0 };
+            assert!(
+                xring.total_power_w.expect("pdn")
+                    <= ornoc.total_power_w.expect("pdn") * slack,
+                "{title}: XRing power not lower"
+            );
+        }
+        let xr_snr = xring.worst_snr_db.unwrap_or(f64::INFINITY);
+        let or_snr = ornoc.worst_snr_db.expect("ornoc suffers noise");
+        assert!(xr_snr > or_snr, "{title}: SNR not better");
+        assert!(
+            xring.noisy_signal_count.expect("evaluated")
+                < ornoc.noisy_signal_count.expect("evaluated"),
+            "{title}: #s not lower"
+        );
+    }
+}
+
+#[test]
+fn xring_beats_oring_on_the_16_node_network() {
+    // Table III's qualitative claim, at each router's best sweep setting.
+    let sections = xring_bench::table3().expect("table3");
+    for (title, rows) in &sections {
+        let oring = &rows[0];
+        let xring = &rows[1];
+        assert!(oring.label.starts_with("ORing") && xring.label.starts_with("XRing"));
+        if title.contains("min. power") {
+            assert!(
+                xring.total_power_w.expect("pdn") <= oring.total_power_w.expect("pdn"),
+                "{title}: XRing power not lower"
+            );
+        }
+        assert!(
+            xring.worst_snr_db.unwrap_or(f64::INFINITY)
+                > oring.worst_snr_db.expect("oring suffers noise"),
+            "{title}: SNR not better"
+        );
+        // "87% of signals [in ORing] suffer the first-order noise power,
+        // while only 1% of signals in XRing are affected" — we require
+        // the same order-of-magnitude separation.
+        let or_frac = 1.0 - oring.noise_free_fraction().expect("evaluated");
+        let xr_frac = 1.0 - xring.noise_free_fraction().expect("evaluated");
+        assert!(or_frac > 0.5, "{title}: ORing noisy fraction {or_frac}");
+        assert!(xr_frac < 0.02, "{title}: XRing noisy fraction {xr_frac}");
+    }
+}
+
+#[test]
+fn xring_synthesizes_16_nodes_within_one_second() {
+    // "XRing automatically synthesizes the 16-node ring router within one
+    // second."
+    let net = NetworkSpec::psion_16();
+    let t0 = std::time::Instant::now();
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14))
+        .synthesize(&net)
+        .expect("synthesis succeeds");
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "took {elapsed:?} (paper: < 1 s)"
+    );
+    assert_eq!(design.layout.signals.len(), 240);
+}
+
+#[test]
+fn worst_case_il_reduction_vs_crossbars_exceeds_40_percent() {
+    // "Compared to the design tools for crossbar routers, XRing decreases
+    // the worst-case insertion loss by more than 40%."
+    use xring::baselines::{crossbar_report, CrossbarKind, LayoutStyle};
+    let net = NetworkSpec::proton_16();
+    let loss = LossParams::proton_plus();
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14).without_pdn())
+        .synthesize(&net)
+        .expect("synthesis succeeds");
+    let xr = design.report("XRing", &loss, None, &PowerParams::default());
+    for (kind, style) in [
+        (CrossbarKind::LambdaRouter, LayoutStyle::ProtonPlus),
+        (CrossbarKind::LambdaRouter, LayoutStyle::PlanarOnoc),
+        (CrossbarKind::Light, LayoutStyle::ToPro),
+    ] {
+        let cb = crossbar_report(kind, style, &net, &loss);
+        let reduction = 1.0 - xr.worst_il_db / cb.worst_il_db;
+        assert!(
+            reduction > 0.40,
+            "vs {}: only {:.0}% reduction",
+            cb.label,
+            reduction * 100.0
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Failure-injection tests: the layout validator must catch every class
+//! of malformed layout, and every synthesized layout must pass it.
+
+use xring::core::layout::{Hop, LayoutModel, SignalSpec, Station, Waveguide};
+use xring::core::{NetworkSpec, NodeId, SynthesisOptions, Synthesizer};
+use xring::phot::{SignalId, Wavelength};
+
+fn minimal_layout() -> LayoutModel {
+    let wl = Wavelength::new(0);
+    LayoutModel {
+        waveguides: vec![Waveguide {
+            closed: false,
+            stations: vec![
+                Station::SenderTap { node: NodeId(0) },
+                Station::Segment {
+                    length_um: 1_000,
+                    bends: 0,
+                },
+                Station::NodeTap {
+                    node: NodeId(1),
+                    drops: vec![(wl, SignalId(0))],
+                },
+            ],
+        }],
+        signals: vec![SignalSpec {
+            from: NodeId(0),
+            to: NodeId(1),
+            wavelength: wl,
+            hops: vec![Hop {
+                waveguide: 0,
+                from_station: 0,
+                to_station: 2,
+            }],
+            pdn_loss_db: 0.0,
+        }],
+        pdn_modelled: false,
+    }
+}
+
+#[test]
+fn valid_minimal_layout_passes() {
+    assert_eq!(minimal_layout().validate(), Ok(()));
+}
+
+#[test]
+fn synthesized_layouts_pass_validation() {
+    for (net, wl) in [
+        (NetworkSpec::proton_8(), 8),
+        (NetworkSpec::psion_16(), 14),
+        (NetworkSpec::irregular(11, 9_000, 5).expect("valid"), 8),
+    ] {
+        let design = Synthesizer::new(SynthesisOptions::with_wavelengths(wl))
+            .synthesize(&net)
+            .expect("synthesis succeeds");
+        assert_eq!(design.layout.validate(), Ok(()), "n = {}", net.len());
+    }
+}
+
+#[test]
+fn missing_drop_mrr_is_caught() {
+    let mut m = minimal_layout();
+    if let Station::NodeTap { drops, .. } = &mut m.waveguides[0].stations[2] {
+        drops.clear();
+    }
+    let err = m.validate().expect_err("must fail");
+    assert!(err.contains("drop MRR missing"), "{err}");
+}
+
+#[test]
+fn hop_from_wrong_station_kind_is_caught() {
+    let mut m = minimal_layout();
+    m.signals[0].hops[0].from_station = 1; // a Segment, not a SenderTap
+    let err = m.validate().expect_err("must fail");
+    assert!(err.contains("non-sender"), "{err}");
+}
+
+#[test]
+fn hop_across_opening_is_caught() {
+    let mut m = minimal_layout();
+    m.waveguides[0]
+        .stations
+        .insert(1, Station::Opening);
+    // to_station shifted by the insertion.
+    m.signals[0].hops[0].to_station = 3;
+    let err = m.validate().expect_err("must fail");
+    assert!(err.contains("opening"), "{err}");
+}
+
+#[test]
+fn same_wavelength_passthrough_is_caught() {
+    let wl = Wavelength::new(0);
+    let mut m = minimal_layout();
+    // Insert a foreign same-λ drop between sender and receiver.
+    m.waveguides[0].stations.insert(
+        1,
+        Station::NodeTap {
+            node: NodeId(9),
+            drops: vec![(wl, SignalId(7))],
+        },
+    );
+    m.signals[0].hops[0].to_station = 3;
+    let err = m.validate().expect_err("must fail");
+    assert!(err.contains("same-wavelength"), "{err}");
+}
+
+#[test]
+fn empty_hops_are_caught() {
+    let mut m = minimal_layout();
+    m.signals[0].hops.clear();
+    let err = m.validate().expect_err("must fail");
+    assert!(err.contains("no hops"), "{err}");
+}
+
+#[test]
+fn out_of_range_indices_are_caught() {
+    let mut m = minimal_layout();
+    m.signals[0].hops[0].waveguide = 5;
+    assert!(m.validate().is_err());
+
+    let mut m = minimal_layout();
+    m.signals[0].hops[0].to_station = 99;
+    assert!(m.validate().is_err());
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration tests across all crates: synthesize full
+//! routers on several floorplans and check the structural invariants the
+//! paper claims.
+
+use xring::core::{
+    NetworkSpec, RingAlgorithm, RouteKind, Station, SynthesisOptions, Synthesizer,
+};
+use xring::phot::{CrosstalkParams, LossParams, PathElement, PowerParams, SignalId};
+
+fn synthesize(net: &NetworkSpec, wl: usize) -> xring::core::XRingDesign {
+    Synthesizer::new(SynthesisOptions::with_wavelengths(wl))
+        .synthesize(net)
+        .expect("synthesis succeeds")
+}
+
+#[test]
+fn every_floorplan_routes_all_signals() {
+    for (net, wl) in [
+        (NetworkSpec::proton_8(), 8),
+        (NetworkSpec::psion_16(), 14),
+        (NetworkSpec::irregular(10, 10_000, 3).expect("valid"), 10),
+        (NetworkSpec::regular_grid(3, 4, 1_500).expect("valid"), 12),
+    ] {
+        let design = synthesize(&net, wl);
+        assert_eq!(design.layout.signals.len(), net.signal_count());
+        assert_eq!(design.plan.validate(), Ok(()));
+    }
+}
+
+#[test]
+fn all_traces_end_at_a_photodetector() {
+    let net = NetworkSpec::psion_16();
+    let design = synthesize(&net, 14);
+    for i in 0..design.layout.signals.len() {
+        let trace = design.layout.trace(SignalId(i as u32));
+        assert!(
+            matches!(trace.last(), Some(PathElement::Photodetector)),
+            "signal {i} does not terminate at a detector"
+        );
+        let drops = trace
+            .iter()
+            .filter(|e| matches!(e, PathElement::MrrDrop))
+            .count();
+        assert!((1..=2).contains(&drops), "signal {i} has {drops} drops");
+    }
+}
+
+#[test]
+fn xring_ring_paths_are_crossing_free() {
+    // The realized XRing layout must contain no Crossing stations on any
+    // ring waveguide (shortcut CSEs are the only crossings allowed).
+    let net = NetworkSpec::psion_16();
+    let design = synthesize(&net, 14);
+    for (wi, w) in design.layout.waveguides.iter().enumerate() {
+        if !w.closed {
+            continue; // shortcut wires may host a CSE crossing
+        }
+        for s in &w.stations {
+            assert!(
+                !matches!(s, Station::Crossing { .. }),
+                "ring waveguide {wi} contains a crossing"
+            );
+        }
+    }
+    assert_eq!(design.cycle.residual_crossings(), 0);
+}
+
+#[test]
+fn every_ring_waveguide_is_opened() {
+    for (net, wl) in [
+        (NetworkSpec::proton_8(), 8),
+        (NetworkSpec::psion_16(), 14),
+        (NetworkSpec::psion_32(), 24),
+    ] {
+        let design = synthesize(&net, wl);
+        assert_eq!(design.opening_stats.unopened, 0, "n={}", net.len());
+        assert!(design
+            .plan
+            .ring_waveguides
+            .iter()
+            .all(|w| w.opening.is_some()));
+    }
+}
+
+#[test]
+fn pdn_reaches_every_sender_without_crossings() {
+    let net = NetworkSpec::psion_16();
+    let design = synthesize(&net, 14);
+    let pdn = design.pdn.as_ref().expect("pdn synthesized");
+    assert!(pdn.crossed_waveguides.is_empty());
+    for sig in &design.layout.signals {
+        assert!(
+            sig.pdn_loss_db > 0.0,
+            "sender of {} -> {} unsupplied",
+            sig.from,
+            sig.to
+        );
+    }
+}
+
+#[test]
+fn report_columns_are_consistent() {
+    let net = NetworkSpec::psion_16();
+    let design = synthesize(&net, 14);
+    let report = design.report(
+        "XRing/16",
+        &LossParams::oring(),
+        Some(&CrosstalkParams::nikdast()),
+        &PowerParams::default(),
+    );
+    assert_eq!(report.signal_count, 240);
+    assert!(report.num_wavelengths <= 14);
+    assert!(report.worst_il_db > 0.0);
+    assert!(report.worst_path_len_mm > 0.0);
+    assert_eq!(report.worst_path_crossings, 0);
+    assert!(report.total_power_w.expect("pdn modelled") > 0.0);
+    let f = report.noise_free_fraction().expect("noise evaluated");
+    assert!(f > 0.98, "headline claim violated: {f}");
+}
+
+#[test]
+fn heuristic_pipeline_handles_large_networks() {
+    // 64 nodes is beyond the paper's experiments; the heuristic ring
+    // keeps it tractable.
+    let net = NetworkSpec::regular_grid(8, 8, 1_000).expect("valid");
+    let design = Synthesizer::new(SynthesisOptions {
+        ring_algorithm: RingAlgorithm::Heuristic,
+        ..SynthesisOptions::with_wavelengths(32)
+    })
+    .synthesize(&net)
+    .expect("synthesis succeeds");
+    assert_eq!(design.layout.signals.len(), 64 * 63);
+    assert_eq!(design.plan.validate(), Ok(()));
+}
+
+#[test]
+fn shortcut_signals_use_shortcut_routes() {
+    let net = NetworkSpec::psion_16();
+    let design = synthesize(&net, 14);
+    for (i, r) in design.plan.routes.iter().enumerate() {
+        if let RouteKind::ShortcutDirect { shortcut } = r.kind {
+            let s = &design.shortcuts.shortcuts[shortcut];
+            assert!(
+                (s.a == r.from && s.b == r.to) || (s.b == r.from && s.a == r.to),
+                "signal {i} on foreign shortcut"
+            );
+            // The realized trace must be as long as the corridor, not the
+            // ring arc it replaced.
+            let trace = design.layout.trace(SignalId(i as u32));
+            let len: i64 = trace
+                .iter()
+                .map(|e| match e {
+                    PathElement::Propagate { length_um } => *length_um,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(len, s.length_um, "signal {i} length mismatch");
+        }
+    }
+}
+
+#[test]
+fn disabling_steps_still_yields_valid_designs() {
+    let net = NetworkSpec::proton_8();
+    for (shortcuts, openings, pdn) in [
+        (false, false, false),
+        (true, false, false),
+        (false, true, true),
+        (true, true, false),
+    ] {
+        let design = Synthesizer::new(SynthesisOptions {
+            shortcuts,
+            openings,
+            pdn,
+            ..SynthesisOptions::with_wavelengths(8)
+        })
+        .synthesize(&net)
+        .expect("synthesis succeeds");
+        assert_eq!(design.layout.signals.len(), 56);
+        assert_eq!(design.layout.pdn_modelled, pdn);
+        assert_eq!(design.plan.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Randomized stress: many seeds × sizes × options through the whole
+//! pipeline, checking only invariants (never absolute numbers).
+
+use xring::core::{
+    NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer, Traffic,
+};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+use xring::viz::{render_design, RenderOptions};
+
+#[test]
+fn forty_random_configurations_synthesize_cleanly() {
+    let loss = LossParams::default();
+    let xtalk = CrosstalkParams::default();
+    let power = PowerParams::default();
+    let mut checked = 0usize;
+
+    for seed in 0..10u64 {
+        for (n, wl) in [(6usize, 4usize), (9, 6), (12, 8), (15, 10)] {
+            let net = NetworkSpec::irregular(n, 9_000, seed * 31 + 7).expect("valid");
+            let algorithm = match seed % 3 {
+                0 => RingAlgorithm::Milp,
+                1 => RingAlgorithm::Heuristic,
+                _ => RingAlgorithm::Perimeter,
+            };
+            let traffic = match seed % 2 {
+                0 => Traffic::AllToAll,
+                _ => Traffic::NearestNeighbors(3),
+            };
+            let design = Synthesizer::new(SynthesisOptions {
+                ring_algorithm: algorithm,
+                traffic: traffic.clone(),
+                shortcuts: seed % 2 == 0,
+                ..SynthesisOptions::with_wavelengths(wl)
+            })
+            .synthesize(&net)
+            .unwrap_or_else(|e| panic!("seed {seed} n {n}: {e}"));
+
+            // Invariants.
+            assert_eq!(design.layout.signals.len(), traffic.signal_count(&net));
+            assert_eq!(design.plan.validate(), Ok(()), "seed {seed} n {n}");
+            assert_eq!(design.layout.validate(), Ok(()), "seed {seed} n {n}");
+            let report = design.report("stress", &loss, Some(&xtalk), &power);
+            assert!(report.worst_il_db.is_finite());
+            if design.layout.signals.is_empty() {
+                continue;
+            }
+            assert!(report.total_power_w.expect("pdn").is_finite());
+            // Rendering never panics and stays well-formed.
+            let svg = render_design(&design, &RenderOptions::default());
+            assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+            checked += 1;
+        }
+    }
+    assert!(checked >= 36, "only {checked} configs checked");
+}
+
+#[test]
+fn degenerate_three_node_network_works() {
+    let net = NetworkSpec::new(vec![
+        xring::geom::Point::new(0, 0),
+        xring::geom::Point::new(5_000, 0),
+        xring::geom::Point::new(0, 5_000),
+    ])
+    .expect("valid");
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(4))
+        .synthesize(&net)
+        .expect("synthesis succeeds");
+    assert_eq!(design.layout.signals.len(), 6);
+    assert_eq!(design.layout.validate(), Ok(()));
+}
+
+#[test]
+fn collinear_nodes_work() {
+    // All nodes on one line: the "ring" degenerates to an out-and-back
+    // corridor; everything must still route.
+    let net = NetworkSpec::new(
+        (0..6)
+            .map(|i| xring::geom::Point::new(i * 2_000, 0))
+            .collect(),
+    )
+    .expect("valid");
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(6))
+        .synthesize(&net)
+        .expect("synthesis succeeds");
+    assert_eq!(design.layout.signals.len(), 30);
+    assert_eq!(design.layout.validate(), Ok(()));
+    let report = design.report(
+        "collinear",
+        &LossParams::default(),
+        Some(&CrosstalkParams::default()),
+        &PowerParams::default(),
+    );
+    assert!(report.worst_il_db > 0.0);
+}

@@ -1,0 +1,89 @@
+//! Behaviour of the `#wl` sweep: the knob the paper turns to find each
+//! router's best operating point.
+
+use xring::core::{
+    map_signals, plan_shortcuts, NetworkSpec, RingBuilder, ShortcutPlan, SynthesisError,
+    SynthesisOptions, Synthesizer,
+};
+use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+
+#[test]
+fn waveguide_count_is_monotone_in_wavelength_cap() {
+    let net = NetworkSpec::psion_16();
+    let ring = RingBuilder::new().build(&net).expect("ring");
+    let sc = plan_shortcuts(&net, &ring.cycle);
+    let mut last = usize::MAX;
+    for wl in [2usize, 4, 8, 16] {
+        let plan = map_signals(&net, &ring.cycle, &sc, wl, 0).expect("mapped");
+        let count = plan.ring_waveguides.len();
+        assert!(
+            count <= last,
+            "#wl={wl}: {count} waveguides > previous {last}"
+        );
+        last = count;
+    }
+}
+
+#[test]
+fn every_sweep_point_is_synthesizable() {
+    let net = NetworkSpec::psion_16();
+    for wl in 1..=16 {
+        let result = Synthesizer::new(SynthesisOptions::with_wavelengths(wl)).synthesize(&net);
+        assert!(result.is_ok(), "#wl={wl} failed: {result:?}");
+        let design = result.expect("checked");
+        assert!(design.plan.wavelengths_used() <= wl.max(4));
+    }
+}
+
+#[test]
+fn wavelength_budget_error_is_reported_cleanly() {
+    let net = NetworkSpec::psion_16();
+    let ring = RingBuilder::new().build(&net).expect("ring");
+    // 1 wavelength x 1 waveguide cannot carry 240 signals.
+    let err = map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 1, 1);
+    match err {
+        Err(SynthesisError::WavelengthBudgetExceeded {
+            max_wavelengths: 1,
+            max_waveguides: 1,
+        }) => {}
+        other => panic!("expected budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    // The whole pipeline is deterministic: synthesizing twice must give
+    // identical metrics (times aside).
+    let net = NetworkSpec::psion_16();
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    let power = PowerParams::default();
+    let mk = || {
+        Synthesizer::new(SynthesisOptions::with_wavelengths(14))
+            .synthesize(&net)
+            .expect("synthesis succeeds")
+            .report("d", &loss, Some(&xtalk), &power)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.num_wavelengths, b.num_wavelengths);
+    assert_eq!(a.worst_il_db, b.worst_il_db);
+    assert_eq!(a.worst_path_len_mm, b.worst_path_len_mm);
+    assert_eq!(a.worst_path_crossings, b.worst_path_crossings);
+    assert_eq!(a.total_power_w, b.total_power_w);
+    assert_eq!(a.noisy_signal_count, b.noisy_signal_count);
+    assert_eq!(a.worst_snr_db, b.worst_snr_db);
+}
+
+#[test]
+fn single_wavelength_forces_one_signal_per_lane_pair() {
+    let net = NetworkSpec::proton_8();
+    let ring = RingBuilder::new().build(&net).expect("ring");
+    let plan =
+        map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 1, 0).expect("mapped");
+    for wg in &plan.ring_waveguides {
+        assert_eq!(wg.lanes.len(), 1);
+    }
+    // All 56 signals still routed.
+    assert_eq!(plan.routes.len(), 56);
+}
