@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, tier-1 build + tests.
+# Everything runs with --offline; the workspace has no third-party deps.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "ci: all green"

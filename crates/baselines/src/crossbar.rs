@@ -175,8 +175,18 @@ mod tests {
     fn proton_plus_has_most_crossings() {
         let net = NetworkSpec::proton_8();
         let loss = LossParams::proton_plus();
-        let p = crossbar_report(CrossbarKind::LambdaRouter, LayoutStyle::ProtonPlus, &net, &loss);
-        let pl = crossbar_report(CrossbarKind::LambdaRouter, LayoutStyle::PlanarOnoc, &net, &loss);
+        let p = crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::ProtonPlus,
+            &net,
+            &loss,
+        );
+        let pl = crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::PlanarOnoc,
+            &net,
+            &loss,
+        );
         let t = crossbar_report(CrossbarKind::Gwor, LayoutStyle::ToPro, &net, &loss);
         assert!(p.worst_path_crossings > pl.worst_path_crossings);
         assert!(p.worst_path_crossings > t.worst_path_crossings);
@@ -186,8 +196,18 @@ mod tests {
     fn planaronoc_has_longest_paths() {
         let net = NetworkSpec::proton_16();
         let loss = LossParams::proton_plus();
-        let p = crossbar_report(CrossbarKind::LambdaRouter, LayoutStyle::ProtonPlus, &net, &loss);
-        let pl = crossbar_report(CrossbarKind::LambdaRouter, LayoutStyle::PlanarOnoc, &net, &loss);
+        let p = crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::ProtonPlus,
+            &net,
+            &loss,
+        );
+        let pl = crossbar_report(
+            CrossbarKind::LambdaRouter,
+            LayoutStyle::PlanarOnoc,
+            &net,
+            &loss,
+        );
         assert!(pl.worst_path_len_mm > p.worst_path_len_mm);
     }
 
@@ -198,8 +218,16 @@ mod tests {
         // sub-perimeter worst path.
         let net = NetworkSpec::proton_16();
         let loss = LossParams::proton_plus();
-        for kind in [CrossbarKind::LambdaRouter, CrossbarKind::Gwor, CrossbarKind::Light] {
-            for style in [LayoutStyle::ProtonPlus, LayoutStyle::PlanarOnoc, LayoutStyle::ToPro] {
+        for kind in [
+            CrossbarKind::LambdaRouter,
+            CrossbarKind::Gwor,
+            CrossbarKind::Light,
+        ] {
+            for style in [
+                LayoutStyle::ProtonPlus,
+                LayoutStyle::PlanarOnoc,
+                LayoutStyle::ToPro,
+            ] {
                 let r = crossbar_report(kind, style, &net, &loss);
                 assert!(r.worst_il_db > 1.0, "{} unexpectedly cheap", r.label);
                 assert!(r.worst_path_len_mm > 0.0);

@@ -119,9 +119,8 @@ mod tests {
     #[test]
     fn non_blocking_for_paper_sizes() {
         for n in [2usize, 4, 8, 16, 32] {
-            verify_non_blocking(n).unwrap_or_else(|(a, b)| {
-                panic!("collision between {a:?} and {b:?} for n={n}")
-            });
+            verify_non_blocking(n)
+                .unwrap_or_else(|(a, b)| panic!("collision between {a:?} and {b:?} for n={n}"));
         }
     }
 

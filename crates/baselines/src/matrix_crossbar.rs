@@ -222,9 +222,8 @@ mod tests {
     #[test]
     fn geometric_non_blocking_proof_for_paper_sizes() {
         for n in [2usize, 4, 8, 16, 32] {
-            verify_non_blocking(n).unwrap_or_else(|(a, b)| {
-                panic!("n={n}: signals {a:?} and {b:?} collide")
-            });
+            verify_non_blocking(n)
+                .unwrap_or_else(|(a, b)| panic!("n={n}: signals {a:?} and {b:?} collide"));
         }
     }
 

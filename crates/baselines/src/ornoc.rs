@@ -69,7 +69,11 @@ pub fn ornoc_map(_net: &NetworkSpec, cycle: &RingCycle, max_wavelengths: usize) 
         let fb = cycle.position_of(to);
         let cw = cycle.arc_length(fa, fb, Direction::Cw);
         let ccw = cycle.arc_length(fa, fb, Direction::Ccw);
-        let short_dir = if cw <= ccw { Direction::Cw } else { Direction::Ccw };
+        let short_dir = if cw <= ccw {
+            Direction::Cw
+        } else {
+            Direction::Ccw
+        };
         let mk_arc = |dir: Direction, signal: usize| LaneArc {
             signal,
             from_pos: fa,
@@ -107,7 +111,9 @@ pub fn ornoc_map(_net: &NetworkSpec, cycle: &RingCycle, max_wavelengths: usize) 
                 .find(|(_, w)| w.direction == short_dir && w.lanes.len() < max_wavelengths)
             {
                 let li = plan.ring_waveguides[wi].lanes.len();
-                plan.ring_waveguides[wi].lanes.push(Lane { arcs: vec![arc] });
+                plan.ring_waveguides[wi]
+                    .lanes
+                    .push(Lane { arcs: vec![arc] });
                 (wi, li)
             } else {
                 let level = plan

@@ -14,9 +14,7 @@ use xring_core::layout::{Hop, LayoutModel, NoiseSource, Station, StationIdx, Wav
 use xring_core::mapping::{MappingPlan, RouteKind};
 use xring_core::{design_pdn, Direction, NetworkSpec, RingCycle, RingSpacing, ShortcutPlan};
 use xring_geom::Point;
-use xring_phot::{
-    CrosstalkParams, LossParams, PowerParams, RouterReport, SignalId, Wavelength,
-};
+use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport, SignalId, Wavelength};
 
 /// A synthesized baseline ring router.
 #[derive(Debug, Clone)]
@@ -40,7 +38,8 @@ impl BaselineDesign {
         xtalk: Option<&CrosstalkParams>,
         power: &PowerParams,
     ) -> RouterReport {
-        self.layout.evaluate(label, loss, xtalk, power, self.elapsed)
+        self.layout
+            .evaluate(label, loss, xtalk, power, self.elapsed)
     }
 }
 
@@ -235,7 +234,11 @@ pub fn first_fit_map(
             let fb = cycle.position_of(to);
             let cw = cycle.arc_length(fa, fb, Direction::Cw);
             let ccw = cycle.arc_length(fa, fb, Direction::Ccw);
-            let dir = if cw <= ccw { Direction::Cw } else { Direction::Ccw };
+            let dir = if cw <= ccw {
+                Direction::Cw
+            } else {
+                Direction::Ccw
+            };
             let arc = LaneArc {
                 signal: plan.routes.len(),
                 from_pos: fa,
@@ -257,7 +260,9 @@ pub fn first_fit_map(
                 }
                 if wg.lanes.len() < max_wavelengths {
                     let li = wg.lanes.len();
-                    wg.lanes.push(Lane { arcs: vec![arc.clone()] });
+                    wg.lanes.push(Lane {
+                        arcs: vec![arc.clone()],
+                    });
                     placed = Some((wi, li));
                     break 'outer;
                 }
@@ -297,8 +302,7 @@ mod tests {
     fn baseline_without_pdn_has_no_crossings() {
         let net = NetworkSpec::proton_8();
         let ring = RingBuilder::new().build(&net).expect("ring");
-        let plan =
-            map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 8, 0).expect("mapped");
+        let plan = map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 8, 0).expect("mapped");
         let layout = realize_ring_baseline(
             &net,
             &ring.cycle,
@@ -320,8 +324,7 @@ mod tests {
     fn crossing_pdn_adds_crossings_and_noise() {
         let net = NetworkSpec::proton_8();
         let ring = RingBuilder::new().build(&net).expect("ring");
-        let plan =
-            map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 4, 0).expect("mapped");
+        let plan = map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 4, 0).expect("mapped");
         assert!(plan.ring_waveguides.len() >= 2, "need a ring stack");
         let loss = LossParams::default();
         let layout = realize_ring_baseline(
@@ -345,8 +348,7 @@ mod tests {
             })
             .sum();
         assert!(crossing_count > 0, "expected PDN crossings");
-        let ledger =
-            layout.evaluate_noise(&loss, &CrosstalkParams::default());
+        let ledger = layout.evaluate_noise(&loss, &CrosstalkParams::default());
         assert!(
             ledger.affected_signal_count() > 0,
             "PDN leakage should corrupt some signals"

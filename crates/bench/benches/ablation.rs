@@ -1,25 +1,26 @@
 //! Criterion bench for the design-choice ablations (experiments E5–E7).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use xring_bench::tables::{
-    ablation_pdn, ablation_ring, ablation_shortcuts, print_sections,
-};
+use xring_bench::tables::{ablation_pdn, ablation_ring, ablation_shortcuts, print_sections};
+use xring_engine::Engine;
 
 fn bench_ablation(c: &mut Criterion) {
-    print_sections(&ablation_shortcuts().expect("E5"));
-    print_sections(&ablation_pdn().expect("E6"));
-    print_sections(&ablation_ring().expect("E7"));
+    let engine = Engine::new();
+    print_sections(&ablation_shortcuts(&engine).expect("E5"));
+    print_sections(&ablation_pdn(&engine).expect("E6"));
+    print_sections(&ablation_ring(&engine).expect("E7"));
 
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     g.bench_function("shortcuts_e5", |b| {
-        b.iter(|| ablation_shortcuts().expect("E5"));
+        // Fresh engines per iteration: time synthesis, not cache hits.
+        b.iter(|| ablation_shortcuts(&Engine::new()).expect("E5"));
     });
     g.bench_function("pdn_e6", |b| {
-        b.iter(|| ablation_pdn().expect("E6"));
+        b.iter(|| ablation_pdn(&Engine::new()).expect("E6"));
     });
     g.bench_function("ring_e7", |b| {
-        b.iter(|| ablation_ring().expect("E7"));
+        b.iter(|| ablation_ring(&Engine::new()).expect("E7"));
     });
     g.finish();
 }

@@ -46,8 +46,7 @@ fn bench_geom(c: &mut Criterion) {
             let mut conflicting = 0usize;
             for i in 0..32 {
                 for j in 32..64 {
-                    if classify_edge_pair(pts[i], pts[63 - i], pts[j], pts[95 - j])
-                        .is_conflicting()
+                    if classify_edge_pair(pts[i], pts[63 - i], pts[j], pts[95 - j]).is_conflicting()
                     {
                         conflicting += 1;
                     }

@@ -18,13 +18,17 @@ fn bench_synthesis_time(c: &mut Criterion) {
             let synth = Synthesizer::new(SynthesisOptions::with_wavelengths(wl));
             b.iter(|| synth.synthesize(net).expect("synthesis"));
         });
-        g.bench_with_input(BenchmarkId::new("heuristic_full_pipeline", n), &net, |b, net| {
-            let synth = Synthesizer::new(SynthesisOptions {
-                ring_algorithm: RingAlgorithm::Heuristic,
-                ..SynthesisOptions::with_wavelengths(wl)
-            });
-            b.iter(|| synth.synthesize(net).expect("synthesis"));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("heuristic_full_pipeline", n),
+            &net,
+            |b, net| {
+                let synth = Synthesizer::new(SynthesisOptions {
+                    ring_algorithm: RingAlgorithm::Heuristic,
+                    ..SynthesisOptions::with_wavelengths(wl)
+                });
+                b.iter(|| synth.synthesize(net).expect("synthesis"));
+            },
+        );
     }
     g.finish();
 }

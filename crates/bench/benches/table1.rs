@@ -4,17 +4,20 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use xring_bench::tables::{print_sections, table1, xring_report, RingContext};
 use xring_core::NetworkSpec;
+use xring_engine::Engine;
 use xring_phot::{LossParams, PowerParams};
 
 fn bench_table1(c: &mut Criterion) {
     // Print the regenerated table once so bench logs double as results.
-    print_sections(&table1().expect("table1"));
+    let engine = Engine::new();
+    print_sections(&table1(&engine).expect("table1"));
 
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
 
     g.bench_function("full_table", |b| {
-        b.iter(|| table1().expect("table1"));
+        // Fresh engine per iteration: time synthesis, not cache hits.
+        b.iter(|| table1(&Engine::new()).expect("table1"));
     });
 
     for (name, net, wl) in [

@@ -4,10 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use xring_bench::tables::{ornoc_report, print_sections, table2, xring_report, RingContext};
 use xring_core::NetworkSpec;
+use xring_engine::Engine;
 use xring_phot::{CrosstalkParams, LossParams, PowerParams};
 
 fn bench_table2(c: &mut Criterion) {
-    print_sections(&table2().expect("table2"));
+    print_sections(&table2(&Engine::new()).expect("table2"));
 
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
@@ -22,9 +23,7 @@ fn bench_table2(c: &mut Criterion) {
         let xtalk = CrosstalkParams::nikdast();
         let power = PowerParams::default();
         g.bench_function(format!("xring_{name}_with_pdn"), |b| {
-            b.iter(|| {
-                xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).expect("xring")
-            });
+            b.iter(|| xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).expect("xring"));
         });
         g.bench_function(format!("ornoc_{name}_with_pdn"), |b| {
             b.iter(|| ornoc_report(&ctx, wl, true, &loss, Some(&xtalk), &power));

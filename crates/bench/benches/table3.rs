@@ -4,15 +4,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use xring_bench::tables::{oring_report, print_sections, table3};
 use xring_core::NetworkSpec;
+use xring_engine::Engine;
 use xring_phot::{CrosstalkParams, LossParams, PowerParams};
 
 fn bench_table3(c: &mut Criterion) {
-    print_sections(&table3().expect("table3"));
+    let engine = Engine::new();
+    print_sections(&table3(&engine).expect("table3"));
 
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
     g.bench_function("full_table", |b| {
-        b.iter(|| table3().expect("table3"));
+        // Fresh engine per iteration: time synthesis, not cache hits.
+        b.iter(|| table3(&Engine::new()).expect("table3"));
     });
     let net = NetworkSpec::psion_16();
     let loss = LossParams::oring();

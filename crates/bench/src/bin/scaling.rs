@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ornoc_report(&ctx, wl, true, &loss, Some(&xtalk), &power),
         ];
         for r in rows_out {
-            let router = if r.label.starts_with("XRing") { "xring" } else { "ornoc" };
+            let router = if r.label.starts_with("XRing") {
+                "xring"
+            } else {
+                "ornoc"
+            };
             println!(
                 "{n},{router},{},{:.3},{:.2},{},{:.6},{},{},{:.3}",
                 r.num_wavelengths,

@@ -3,10 +3,11 @@
 //! Run with: `cargo run --release -p xring-bench --bin table1`
 
 use xring_bench::tables::{print_sections, table1};
+use xring_engine::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TABLE I — results for 8-, 16-node WRONoC routers without PDNs");
     println!("(crossbar rows are analytic models; see DESIGN.md §2)\n");
-    print_sections(&table1()?);
+    print_sections(&table1(&Engine::new())?);
     Ok(())
 }

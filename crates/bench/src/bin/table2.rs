@@ -4,10 +4,11 @@
 //! Run with: `cargo run --release -p xring-bench --bin table2`
 
 use xring_bench::tables::{print_sections, table2};
+use xring_engine::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TABLE II — ORNoC vs XRing for 8-, 16-, 32-node networks (with PDNs)\n");
-    let sections = table2()?;
+    let sections = table2(&Engine::new())?;
     print_sections(&sections);
     // Headline claim (E4): >98% of XRing signals suffer no first-order
     // noise.

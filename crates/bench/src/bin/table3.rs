@@ -4,9 +4,10 @@
 //! Run with: `cargo run --release -p xring-bench --bin table3`
 
 use xring_bench::tables::{print_sections, table3};
+use xring_engine::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TABLE III — ORing vs XRing for a 16-node network (with PDNs)\n");
-    print_sections(&table3()?);
+    print_sections(&table3(&Engine::new())?);
     Ok(())
 }

@@ -1,16 +1,59 @@
 //! Row generators for every table of the paper, plus ablations.
+//!
+//! Every table/ablation function takes an [`Engine`]: the per-`#wl`
+//! sweeps run on its worker pool, and whole-pipeline rows go through its
+//! design cache (so e.g. `ablation all` synthesizes shared
+//! configurations once).
 
 use std::time::{Duration, Instant};
 use xring_baselines::ornoc::ornoc_map;
 use xring_baselines::ring_common::realize_ring_baseline;
 use xring_baselines::{crossbar_report, synthesize_oring, CrossbarKind, LayoutStyle};
 use xring_core::{
-    design_pdn, map_signals, open_rings, plan_shortcuts, NetworkSpec, RingAlgorithm,
-    RingBuilder, RingCycle, RingSpacing, RingStats, SynthesisError,
-    SynthesisOptions, Synthesizer,
+    design_pdn, map_signals, open_rings, plan_shortcuts, NetworkSpec, RingAlgorithm, RingBuilder,
+    RingCycle, RingSpacing, RingStats, SynthesisError, SynthesisOptions,
 };
+use xring_engine::{Engine, JobError, SynthesisJob};
 use xring_geom::Point;
 use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
+
+/// Runs `count` fallible report closures on the engine's worker pool,
+/// dropping failed candidates exactly like the serial
+/// `filter_map(|..| ...ok())` sweeps did. Panics inside a task resume
+/// here.
+fn sweep_reports<F>(engine: &Engine, count: usize, task: F) -> Vec<RouterReport>
+where
+    F: Fn(usize) -> Result<RouterReport, SynthesisError> + Sync,
+{
+    engine
+        .run_tasks(count, |i| task(i).map_err(JobError::from))
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(report) => Some(report),
+            Err(JobError::Panicked(msg)) => panic!("sweep task panicked: {msg}"),
+            Err(_) => None,
+        })
+        .collect()
+}
+
+/// Runs whole-pipeline jobs as an engine batch and unwraps the reports,
+/// propagating the first failure in job order.
+fn batch_reports(
+    engine: &Engine,
+    jobs: Vec<SynthesisJob>,
+) -> Result<Vec<RouterReport>, SynthesisError> {
+    engine
+        .run_batch(jobs)
+        .outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            Ok(out) => Ok(out.report),
+            Err(JobError::Synthesis(e)) => Err(e),
+            Err(JobError::DeadlineExceeded) => Err(SynthesisError::DeadlineExceeded),
+            Err(JobError::Panicked(msg)) => panic!("batch job panicked: {msg}"),
+        })
+        .collect()
+}
 
 /// A network with its (expensive, `#wl`-independent) MILP ring, shared
 /// between XRing and ORNoC exactly as the paper does in Sec. IV-B.
@@ -118,7 +161,13 @@ pub fn xring_report(
         RingSpacing::default(),
     );
     let elapsed = ctx.ring_time + t0.elapsed();
-    Ok(layout.evaluate(format!("XRing (#wl={max_wavelengths})"), loss, xtalk, power, elapsed))
+    Ok(layout.evaluate(
+        format!("XRing (#wl={max_wavelengths})"),
+        loss,
+        xtalk,
+        power,
+        elapsed,
+    ))
 }
 
 /// Runs ORNoC (on the shared ring) for one `#wl`.
@@ -142,7 +191,13 @@ pub fn ornoc_report(
         RingSpacing::default(),
     );
     let elapsed = ctx.ring_time + t0.elapsed();
-    layout.evaluate(format!("ORNoC (#wl={max_wavelengths})"), loss, xtalk, power, elapsed)
+    layout.evaluate(
+        format!("ORNoC (#wl={max_wavelengths})"),
+        loss,
+        xtalk,
+        power,
+        elapsed,
+    )
 }
 
 /// Runs ORing for one `#wl`.
@@ -182,13 +237,21 @@ fn wl_candidates(n: usize) -> Vec<usize> {
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn table1() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+pub fn table1(engine: &Engine) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let loss = LossParams::proton_plus();
     let power = PowerParams::default();
     let mut out = Vec::new();
     for (title, net, topro_kind) in [
-        ("8-node network", NetworkSpec::proton_8(), CrossbarKind::Gwor),
-        ("16-node network", NetworkSpec::proton_16(), CrossbarKind::Light),
+        (
+            "8-node network",
+            NetworkSpec::proton_8(),
+            CrossbarKind::Gwor,
+        ),
+        (
+            "16-node network",
+            NetworkSpec::proton_16(),
+            CrossbarKind::Light,
+        ),
     ] {
         let n = net.len();
         let mut rows = Vec::new();
@@ -207,27 +270,25 @@ pub fn table1() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
         rows.push(crossbar_report(topro_kind, LayoutStyle::ToPro, &net, &loss));
 
         let ctx = RingContext::milp(net.clone())?;
+        let wls = wl_candidates(n);
         let ornoc = pick_best(
-            wl_candidates(n)
-                .into_iter()
-                .map(|wl| ornoc_report(&ctx, wl, false, &loss, None, &power))
-                .collect(),
+            sweep_reports(engine, wls.len(), |i| {
+                Ok(ornoc_report(&ctx, wls[i], false, &loss, None, &power))
+            }),
             PickBy::MinIl,
         );
         rows.push(relabel(ornoc, "ORNoC"));
         let oring = pick_best(
-            wl_candidates(n)
-                .into_iter()
-                .filter_map(|wl| oring_report(&net, wl, false, &loss, None, &power).ok())
-                .collect(),
+            sweep_reports(engine, wls.len(), |i| {
+                oring_report(&net, wls[i], false, &loss, None, &power)
+            }),
             PickBy::MinIl,
         );
         rows.push(relabel(oring, "ORing"));
         let xr = pick_best(
-            wl_candidates(n)
-                .into_iter()
-                .filter_map(|wl| xring_report(&ctx, wl, false, &loss, None, &power).ok())
-                .collect(),
+            sweep_reports(engine, wls.len(), |i| {
+                xring_report(&ctx, wls[i], false, &loss, None, &power)
+            }),
             PickBy::MinIl,
         );
         rows.push(relabel(xr, "XRing"));
@@ -237,7 +298,14 @@ pub fn table1() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
 }
 
 fn relabel(mut r: RouterReport, prefix: &str) -> RouterReport {
-    r.label = format!("{prefix} {}", r.label.split('(').nth(1).map(|s| format!("({s}")).unwrap_or_default());
+    r.label = format!(
+        "{prefix} {}",
+        r.label
+            .split('(')
+            .nth(1)
+            .map(|s| format!("({s}"))
+            .unwrap_or_default()
+    );
     if !r.label.contains('(') {
         r.label = prefix.to_string();
     }
@@ -250,7 +318,7 @@ fn relabel(mut r: RouterReport, prefix: &str) -> RouterReport {
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn table2() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+pub fn table2(engine: &Engine) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let loss = LossParams::oring();
     let xtalk = CrosstalkParams::nikdast();
     let power = PowerParams::default();
@@ -262,15 +330,24 @@ pub fn table2() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     ] {
         let n = net.len();
         let ctx = RingContext::milp(net.clone())?;
-        let ornoc_sweep: Vec<RouterReport> = wl_candidates(n)
-            .into_iter()
-            .map(|wl| ornoc_report(&ctx, wl, true, &loss, Some(&xtalk), &power))
-            .collect();
-        let xring_sweep: Vec<RouterReport> = wl_candidates(n)
-            .into_iter()
-            .filter_map(|wl| xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).ok())
-            .collect();
-        for (setting, by) in [("min. power", PickBy::MinPower), ("max. SNR", PickBy::MaxSnr)] {
+        let wls = wl_candidates(n);
+        let ornoc_sweep = sweep_reports(engine, wls.len(), |i| {
+            Ok(ornoc_report(
+                &ctx,
+                wls[i],
+                true,
+                &loss,
+                Some(&xtalk),
+                &power,
+            ))
+        });
+        let xring_sweep = sweep_reports(engine, wls.len(), |i| {
+            xring_report(&ctx, wls[i], true, &loss, Some(&xtalk), &power)
+        });
+        for (setting, by) in [
+            ("min. power", PickBy::MinPower),
+            ("max. SNR", PickBy::MaxSnr),
+        ] {
             let rows = vec![
                 relabel(pick_best(ornoc_sweep.clone(), by), "ORNoC"),
                 relabel(pick_best(xring_sweep.clone(), by), "XRing"),
@@ -286,22 +363,24 @@ pub fn table2() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn table3() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+pub fn table3(engine: &Engine) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let loss = LossParams::oring();
     let xtalk = CrosstalkParams::nikdast();
     let power = PowerParams::default();
     let net = NetworkSpec::psion_16();
     let ctx = RingContext::milp(net.clone())?;
-    let oring_sweep: Vec<RouterReport> = wl_candidates(16)
-        .into_iter()
-        .filter_map(|wl| oring_report(&net, wl, true, &loss, Some(&xtalk), &power).ok())
-        .collect();
-    let xring_sweep: Vec<RouterReport> = wl_candidates(16)
-        .into_iter()
-        .filter_map(|wl| xring_report(&ctx, wl, true, &loss, Some(&xtalk), &power).ok())
-        .collect();
+    let wls = wl_candidates(16);
+    let oring_sweep = sweep_reports(engine, wls.len(), |i| {
+        oring_report(&net, wls[i], true, &loss, Some(&xtalk), &power)
+    });
+    let xring_sweep = sweep_reports(engine, wls.len(), |i| {
+        xring_report(&ctx, wls[i], true, &loss, Some(&xtalk), &power)
+    });
     let mut out = Vec::new();
-    for (setting, by) in [("min. power", PickBy::MinPower), ("max. SNR", PickBy::MaxSnr)] {
+    for (setting, by) in [
+        ("min. power", PickBy::MinPower),
+        ("max. SNR", PickBy::MaxSnr),
+    ] {
         let rows = vec![
             relabel(pick_best(oring_sweep.clone(), by), "ORing"),
             relabel(pick_best(xring_sweep.clone(), by), "XRing"),
@@ -316,26 +395,36 @@ pub fn table3() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn ablation_shortcuts() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+pub fn ablation_shortcuts(
+    engine: &Engine,
+) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let loss = LossParams::oring();
-    let power = PowerParams::default();
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
+    let mut sections = Vec::new();
     for (label, net, wl) in [
         ("16-node", NetworkSpec::psion_16(), 14),
         ("32-node", NetworkSpec::psion_32(), 24),
     ] {
-        let mut rows = Vec::new();
+        sections.push(format!("shortcut ablation, {label}"));
         for (name, shortcuts) in [("with shortcuts", true), ("without shortcuts", false)] {
-            let design = Synthesizer::new(SynthesisOptions {
-                shortcuts,
-                ..SynthesisOptions::with_wavelengths(wl)
-            })
-            .synthesize(&net)?;
-            rows.push(design.report(name, &loss, None, &power));
+            let mut job = SynthesisJob::new(
+                name,
+                net.clone(),
+                SynthesisOptions {
+                    shortcuts,
+                    ..SynthesisOptions::with_wavelengths(wl)
+                },
+            )
+            .without_crosstalk();
+            job.loss = loss.clone();
+            jobs.push(job);
         }
-        out.push((format!("shortcut ablation, {label}"), rows));
     }
-    Ok(out)
+    let mut reports = batch_reports(engine, jobs)?.into_iter();
+    Ok(sections
+        .into_iter()
+        .map(|title| (title, reports.by_ref().take(2).collect()))
+        .collect())
 }
 
 /// **Ablation E6**: ring openings + crossing-free PDN vs no openings
@@ -344,20 +433,28 @@ pub fn ablation_shortcuts() -> Result<Vec<(String, Vec<RouterReport>)>, Synthesi
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn ablation_pdn() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
-    let loss = LossParams::oring();
-    let xtalk = CrosstalkParams::nikdast();
-    let power = PowerParams::default();
+pub fn ablation_pdn(engine: &Engine) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let net = NetworkSpec::psion_16();
-    let mut rows = Vec::new();
-    for (name, openings) in [("openings + crossing-free PDN", true), ("no openings", false)] {
-        let design = Synthesizer::new(SynthesisOptions {
-            openings,
-            ..SynthesisOptions::with_wavelengths(14)
-        })
-        .synthesize(&net)?;
-        rows.push(design.report(name, &loss, Some(&xtalk), &power));
-    }
+    let jobs = [
+        ("openings + crossing-free PDN", true),
+        ("no openings", false),
+    ]
+    .into_iter()
+    .map(|(name, openings)| {
+        let mut job = SynthesisJob::new(
+            name,
+            net.clone(),
+            SynthesisOptions {
+                openings,
+                ..SynthesisOptions::with_wavelengths(14)
+            },
+        );
+        job.loss = LossParams::oring();
+        job.xtalk = Some(CrosstalkParams::nikdast());
+        job
+    })
+    .collect();
+    let rows = batch_reports(engine, jobs)?;
     Ok(vec![("PDN/opening ablation, 16-node".to_string(), rows)])
 }
 
@@ -366,31 +463,39 @@ pub fn ablation_pdn() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError
 /// # Errors
 ///
 /// Propagates synthesis failures.
-pub fn ablation_ring() -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
+pub fn ablation_ring(engine: &Engine) -> Result<Vec<(String, Vec<RouterReport>)>, SynthesisError> {
     let loss = LossParams::oring();
-    let power = PowerParams::default();
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
+    let mut sections = Vec::new();
     for (label, net, wl) in [
         ("8-node", NetworkSpec::psion_8(), 8),
         ("16-node", NetworkSpec::psion_16(), 14),
         ("32-node", NetworkSpec::psion_32(), 24),
     ] {
-        let mut rows = Vec::new();
+        sections.push(format!("ring-construction ablation, {label}"));
         for (name, algorithm) in [
             ("MILP ring", RingAlgorithm::Milp),
             ("heuristic ring", RingAlgorithm::Heuristic),
             ("perimeter ring", RingAlgorithm::Perimeter),
         ] {
-            let design = Synthesizer::new(SynthesisOptions {
-                ring_algorithm: algorithm,
-                ..SynthesisOptions::with_wavelengths(wl)
-            })
-            .synthesize(&net)?;
-            rows.push(design.report(name, &loss, None, &power));
+            let mut job = SynthesisJob::new(
+                name,
+                net.clone(),
+                SynthesisOptions {
+                    ring_algorithm: algorithm,
+                    ..SynthesisOptions::with_wavelengths(wl)
+                },
+            )
+            .without_crosstalk();
+            job.loss = loss.clone();
+            jobs.push(job);
         }
-        out.push((format!("ring-construction ablation, {label}"), rows));
     }
-    Ok(out)
+    let mut reports = batch_reports(engine, jobs)?.into_iter();
+    Ok(sections
+        .into_iter()
+        .map(|title| (title, reports.by_ref().take(3).collect()))
+        .collect())
 }
 
 /// Prints sections of rows in the paper's tabular style.
@@ -456,7 +561,7 @@ mod tests {
     fn table2_shape() {
         // XRing must be crossing-free and (nearly) noise-free at every
         // size and setting; ORNoC must suffer noise with a finite SNR.
-        for (title, rows) in table2().expect("table2") {
+        for (title, rows) in table2(&Engine::new()).expect("table2") {
             let (ornoc, xring) = (&rows[0], &rows[1]);
             assert!(ornoc.label.starts_with("ORNoC"), "{title}");
             assert!(xring.label.starts_with("XRing"), "{title}");
@@ -473,7 +578,7 @@ mod tests {
 
     #[test]
     fn table3_shape() {
-        for (title, rows) in table3().expect("table3") {
+        for (title, rows) in table3(&Engine::new()).expect("table3") {
             let (oring, xring) = (&rows[0], &rows[1]);
             assert!(oring.label.starts_with("ORing"), "{title}");
             assert!(xring.label.starts_with("XRing"), "{title}");
@@ -488,8 +593,9 @@ mod tests {
 
     #[test]
     fn ablations_have_expected_directions() {
+        let engine = Engine::new();
         // E7: the MILP ring never loses to the perimeter ring.
-        for (title, rows) in ablation_ring().expect("E7") {
+        for (title, rows) in ablation_ring(&engine).expect("E7") {
             let milp = &rows[0];
             let perimeter = &rows[2];
             assert!(
@@ -500,7 +606,7 @@ mod tests {
             );
         }
         // E6: openings eliminate noisy signals.
-        for (_, rows) in ablation_pdn().expect("E6") {
+        for (_, rows) in ablation_pdn(&engine).expect("E6") {
             let with = &rows[0];
             let without = &rows[1];
             assert!(
@@ -512,13 +618,26 @@ mod tests {
     }
 
     #[test]
+    fn repeated_ablations_reuse_cached_designs() {
+        let engine = Engine::new();
+        let first = ablation_pdn(&engine).expect("E6");
+        assert_eq!(engine.cache().hits(), 0);
+        let second = ablation_pdn(&engine).expect("E6 again");
+        assert_eq!(engine.cache().hits(), 2);
+        assert_eq!(first[0].1.len(), second[0].1.len());
+        for (a, b) in first[0].1.iter().zip(&second[0].1) {
+            assert_eq!(a, b, "cached rows must be identical");
+        }
+    }
+
+    #[test]
     fn table1_shape() {
         // The core claims of Table I: every ring router beats every
         // crossbar on worst-case IL; XRing is the best ring router on the
         // 16-node network (on the tiny regular 8-node grid all ring
         // methods find the same optimum, so there we only require a tie
         // within 0.05 dB); ring routers have zero crossings.
-        let sections = table1().expect("table1");
+        let sections = table1(&Engine::new()).expect("table1");
         for (si, (title, rows)) in sections.iter().enumerate() {
             assert_eq!(rows.len(), 6, "{title}");
             let crossbars = &rows[..3];

@@ -2,7 +2,16 @@
 
 use std::fmt;
 
-/// Parsed command line.
+/// A fully parsed command line: the global flags plus the subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// `--jobs N`: engine worker count (default: one per core).
+    pub jobs: Option<usize>,
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// Parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `xring synth ...`
@@ -10,6 +19,9 @@ pub enum Command {
     /// `xring sweep ...` — like synth but sweeping `#wl` and printing
     /// every point. The objective is "il", "power" or "snr".
     Sweep(SynthArgs, String),
+    /// `xring batch ...` — run a whole batch of synthesis jobs on the
+    /// engine, with per-job deadlines and metrics.
+    Batch(BatchArgs),
     /// `xring table <1|2|3>`
     Table(u8),
     /// `xring ablation <shortcuts|pdn|ring|all>`
@@ -64,6 +76,35 @@ impl Default for SynthArgs {
     }
 }
 
+/// Options of the `batch` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchArgs {
+    /// The shared network/pipeline flags.
+    pub synth: SynthArgs,
+    /// `--wl-list a,b,c`: explicit `#wl` candidates (default: the sweep's
+    /// power-of-two ladder up to `--wl`).
+    pub wl_list: Vec<usize>,
+    /// `--deadline-ms N`: per-job synthesis deadline.
+    pub deadline_ms: Option<u64>,
+    /// `--repeat K`: submit the candidate list K times (repeats hit the
+    /// design cache).
+    pub repeat: usize,
+    /// `--metrics-jsonl FILE`: write engine events as JSON lines.
+    pub metrics_jsonl: Option<String>,
+}
+
+impl Default for BatchArgs {
+    fn default() -> Self {
+        BatchArgs {
+            synth: SynthArgs::default(),
+            wl_list: Vec::new(),
+            deadline_ms: None,
+            repeat: 1,
+            metrics_jsonl: None,
+        }
+    }
+}
+
 /// Errors from argument parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseArgsError(pub String);
@@ -81,22 +122,152 @@ pub const USAGE: &str = "\
 xring — crosstalk-aware synthesis of optical ring routers (DATE 2023 reproduction)
 
 USAGE:
+  xring [--jobs N] <command>
+
   xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
               [--wl N] [--ring milp|heuristic|perimeter]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
               [--describe]
   xring sweep [synth flags] [--objective il|power|snr]
+  xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
+              [--repeat K] [--metrics-jsonl FILE]
   xring table <1|2|3>
   xring ablation <shortcuts|pdn|ring|all>
   xring help
+
+GLOBAL FLAGS:
+  --jobs N   worker threads for sweeps, batches, tables and ablations
+             (default: one per core)
 ";
+
+/// Applies one shared synth/network flag. Returns `Ok(false)` when the
+/// flag is not a synth flag (so the caller can try its own flags).
+///
+/// # Errors
+///
+/// Returns a message describing the malformed flag value.
+fn apply_synth_flag<'a, I>(
+    flag: &str,
+    it: &mut I,
+    out: &mut SynthArgs,
+) -> Result<bool, ParseArgsError>
+where
+    I: Iterator<Item = &'a String>,
+{
+    match flag {
+        "--grid" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--grid needs RxC".into()))?;
+            let (r, c) = v
+                .split_once(['x', 'X'])
+                .ok_or_else(|| ParseArgsError(format!("bad grid {v}")))?;
+            out.rows = r
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad rows {r}")))?;
+            out.cols = c
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad cols {c}")))?;
+        }
+        "--pitch" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--pitch needs µm".into()))?;
+            out.pitch_um = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad pitch {v}")))?;
+        }
+        "--irregular" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--irregular needs N,SEED,DIE_UM".into()))?;
+            let parts: Vec<&str> = v.split(',').collect();
+            if parts.len() != 3 {
+                return Err(ParseArgsError(format!("bad irregular spec {v}")));
+            }
+            let n = parts[0]
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad N {}", parts[0])))?;
+            let seed = parts[1]
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad seed {}", parts[1])))?;
+            let die = parts[2]
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad die {}", parts[2])))?;
+            out.irregular = Some((n, seed, die));
+        }
+        "--wl" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--wl needs a count".into()))?;
+            out.wavelengths = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad #wl {v}")))?;
+            if out.wavelengths == 0 {
+                return Err(ParseArgsError("#wl must be at least 1".into()));
+            }
+        }
+        "--ring" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--ring needs an algorithm".into()))?;
+            if !["milp", "heuristic", "perimeter"].contains(&v.as_str()) {
+                return Err(ParseArgsError(format!("unknown ring algorithm {v}")));
+            }
+            out.ring = v.clone();
+        }
+        "--describe" => out.describe = true,
+        "--no-shortcuts" => out.no_shortcuts = true,
+        "--no-openings" => out.no_openings = true,
+        "--no-pdn" => out.no_pdn = true,
+        "--svg" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--svg needs a path".into()))?;
+            out.svg = Some(v.clone());
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Extracts the global `--jobs N` flag (valid anywhere in the argument
+/// vector), returning the remaining arguments.
+fn extract_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), ParseArgsError> {
+    let mut jobs = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--jobs needs a worker count".into()))?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad worker count {v}")))?;
+            if n == 0 {
+                return Err(ParseArgsError("--jobs must be at least 1".into()));
+            }
+            jobs = Some(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((jobs, rest))
+}
 
 /// Parses a full argument vector (excluding argv\[0\]).
 ///
 /// # Errors
 ///
 /// Returns a message describing the first malformed argument.
-pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+pub fn parse(args: &[String]) -> Result<Cli, ParseArgsError> {
+    let (jobs, args) = extract_jobs(args)?;
+    let command = parse_command(&args)?;
+    Ok(Cli { jobs, command })
+}
+
+fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
@@ -122,6 +293,67 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 Err(ParseArgsError(format!("unknown ablation {which}")))
             }
         }
+        "batch" => {
+            let mut out = BatchArgs::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--wl-list" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--wl-list needs A,B,C".into()))?;
+                        out.wl_list = v
+                            .split(',')
+                            .map(|p| {
+                                p.parse::<usize>()
+                                    .map_err(|_| ParseArgsError(format!("bad #wl {p}")))
+                                    .and_then(|n| {
+                                        if n == 0 {
+                                            Err(ParseArgsError("#wl must be at least 1".into()))
+                                        } else {
+                                            Ok(n)
+                                        }
+                                    })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if out.wl_list.is_empty() {
+                            return Err(ParseArgsError("--wl-list needs A,B,C".into()));
+                        }
+                    }
+                    "--deadline-ms" => {
+                        let v = it.next().ok_or_else(|| {
+                            ParseArgsError("--deadline-ms needs milliseconds".into())
+                        })?;
+                        out.deadline_ms = Some(
+                            v.parse()
+                                .map_err(|_| ParseArgsError(format!("bad deadline {v}")))?,
+                        );
+                    }
+                    "--repeat" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--repeat needs a count".into()))?;
+                        out.repeat = v
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad repeat {v}")))?;
+                        if out.repeat == 0 {
+                            return Err(ParseArgsError("--repeat must be at least 1".into()));
+                        }
+                    }
+                    "--metrics-jsonl" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--metrics-jsonl needs a path".into()))?;
+                        out.metrics_jsonl = Some(v.clone());
+                    }
+                    other => {
+                        if !apply_synth_flag(other, &mut it, &mut out.synth)? {
+                            return Err(ParseArgsError(format!("unknown flag {other}")));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Batch(out))
+        }
         cmd @ ("synth" | "sweep") => {
             let is_sweep = cmd == "sweep";
             let mut objective = "power".to_string();
@@ -142,79 +374,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                     objective = v.clone();
                     continue;
                 }
-                match flag.as_str() {
-                    "--grid" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ParseArgsError("--grid needs RxC".into()))?;
-                        let (r, c) = v
-                            .split_once(['x', 'X'])
-                            .ok_or_else(|| ParseArgsError(format!("bad grid {v}")))?;
-                        out.rows = r
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad rows {r}")))?;
-                        out.cols = c
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad cols {c}")))?;
-                    }
-                    "--pitch" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ParseArgsError("--pitch needs µm".into()))?;
-                        out.pitch_um = v
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad pitch {v}")))?;
-                    }
-                    "--irregular" => {
-                        let v = it.next().ok_or_else(|| {
-                            ParseArgsError("--irregular needs N,SEED,DIE_UM".into())
-                        })?;
-                        let parts: Vec<&str> = v.split(',').collect();
-                        if parts.len() != 3 {
-                            return Err(ParseArgsError(format!("bad irregular spec {v}")));
-                        }
-                        let n = parts[0]
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad N {}", parts[0])))?;
-                        let seed = parts[1]
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad seed {}", parts[1])))?;
-                        let die = parts[2]
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad die {}", parts[2])))?;
-                        out.irregular = Some((n, seed, die));
-                    }
-                    "--wl" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ParseArgsError("--wl needs a count".into()))?;
-                        out.wavelengths = v
-                            .parse()
-                            .map_err(|_| ParseArgsError(format!("bad #wl {v}")))?;
-                        if out.wavelengths == 0 {
-                            return Err(ParseArgsError("#wl must be at least 1".into()));
-                        }
-                    }
-                    "--ring" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ParseArgsError("--ring needs an algorithm".into()))?;
-                        if !["milp", "heuristic", "perimeter"].contains(&v.as_str()) {
-                            return Err(ParseArgsError(format!("unknown ring algorithm {v}")));
-                        }
-                        out.ring = v.clone();
-                    }
-                    "--describe" => out.describe = true,
-                    "--no-shortcuts" => out.no_shortcuts = true,
-                    "--no-openings" => out.no_openings = true,
-                    "--no-pdn" => out.no_pdn = true,
-                    "--svg" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| ParseArgsError("--svg needs a path".into()))?;
-                        out.svg = Some(v.clone());
-                    }
-                    other => return Err(ParseArgsError(format!("unknown flag {other}"))),
+                if !apply_synth_flag(flag, &mut it, &mut out)? {
+                    return Err(ParseArgsError(format!("unknown flag {flag}")));
                 }
             }
             if is_sweep {
@@ -235,31 +396,54 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    fn cmd(args: &[&str]) -> Command {
+        parse(&v(args)).expect("parses").command
+    }
+
     #[test]
     fn empty_is_help() {
-        assert_eq!(parse(&[]), Ok(Command::Help));
-        assert_eq!(parse(&v(&["--help"])), Ok(Command::Help));
+        assert_eq!(cmd(&[]), Command::Help);
+        assert_eq!(cmd(&["--help"]), Command::Help);
     }
 
     #[test]
     fn table_parsing() {
-        assert_eq!(parse(&v(&["table", "2"])), Ok(Command::Table(2)));
+        assert_eq!(cmd(&["table", "2"]), Command::Table(2));
         assert!(parse(&v(&["table", "9"])).is_err());
         assert!(parse(&v(&["table"])).is_err());
     }
 
     #[test]
     fn ablation_defaults_to_all() {
-        assert_eq!(
-            parse(&v(&["ablation"])),
-            Ok(Command::Ablation("all".into()))
-        );
+        assert_eq!(cmd(&["ablation"]), Command::Ablation("all".into()));
         assert!(parse(&v(&["ablation", "bogus"])).is_err());
     }
 
     #[test]
+    fn jobs_flag_is_global() {
+        let cli = parse(&v(&["--jobs", "4", "table", "1"])).expect("parses");
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.command, Command::Table(1));
+        // Anywhere in the vector, including after the subcommand.
+        let cli = parse(&v(&["sweep", "--jobs", "2", "--wl", "8"])).expect("parses");
+        assert_eq!(cli.jobs, Some(2));
+        let Command::Sweep(a, _) = cli.command else {
+            panic!("not sweep")
+        };
+        assert_eq!(a.wavelengths, 8);
+        assert_eq!(parse(&v(&["table", "1"])).expect("parses").jobs, None);
+    }
+
+    #[test]
+    fn bad_jobs_values_are_rejected() {
+        assert!(parse(&v(&["--jobs", "0", "table", "1"])).is_err());
+        assert!(parse(&v(&["--jobs", "zero", "table", "1"])).is_err());
+        assert!(parse(&v(&["table", "1", "--jobs"])).is_err());
+    }
+
+    #[test]
     fn synth_full_flags() {
-        let cmd = parse(&v(&[
+        let c = cmd(&[
             "synth",
             "--grid",
             "4x8",
@@ -272,9 +456,10 @@ mod tests {
             "--no-pdn",
             "--svg",
             "out.svg",
-        ]))
-        .expect("parses");
-        let Command::Synth(a) = cmd else { panic!("not synth") };
+        ]);
+        let Command::Synth(a) = c else {
+            panic!("not synth")
+        };
         assert_eq!((a.rows, a.cols, a.pitch_um), (4, 8, 2_500));
         assert_eq!(a.wavelengths, 20);
         assert_eq!(a.ring, "heuristic");
@@ -284,9 +469,60 @@ mod tests {
 
     #[test]
     fn synth_irregular() {
-        let cmd = parse(&v(&["synth", "--irregular", "12,42,10000"])).expect("parses");
-        let Command::Synth(a) = cmd else { panic!("not synth") };
+        let Command::Synth(a) = cmd(&["synth", "--irregular", "12,42,10000"]) else {
+            panic!("not synth")
+        };
         assert_eq!(a.irregular, Some((12, 42, 10_000)));
+    }
+
+    #[test]
+    fn batch_full_flags() {
+        let c = cmd(&[
+            "batch",
+            "--grid",
+            "2x4",
+            "--pitch",
+            "1500",
+            "--wl-list",
+            "2,4,8",
+            "--deadline-ms",
+            "250",
+            "--repeat",
+            "3",
+            "--metrics-jsonl",
+            "events.jsonl",
+        ]);
+        let Command::Batch(b) = c else {
+            panic!("not batch")
+        };
+        assert_eq!(
+            (b.synth.rows, b.synth.cols, b.synth.pitch_um),
+            (2, 4, 1_500)
+        );
+        assert_eq!(b.wl_list, vec![2, 4, 8]);
+        assert_eq!(b.deadline_ms, Some(250));
+        assert_eq!(b.repeat, 3);
+        assert_eq!(b.metrics_jsonl.as_deref(), Some("events.jsonl"));
+    }
+
+    #[test]
+    fn batch_defaults() {
+        let Command::Batch(b) = cmd(&["batch"]) else {
+            panic!("not batch")
+        };
+        assert!(b.wl_list.is_empty());
+        assert_eq!(b.repeat, 1);
+        assert_eq!(b.deadline_ms, None);
+        assert_eq!(b.metrics_jsonl, None);
+    }
+
+    #[test]
+    fn batch_rejects_bad_values() {
+        assert!(parse(&v(&["batch", "--wl-list", "2,zero"])).is_err());
+        assert!(parse(&v(&["batch", "--wl-list", "0"])).is_err());
+        assert!(parse(&v(&["batch", "--repeat", "0"])).is_err());
+        assert!(parse(&v(&["batch", "--deadline-ms", "soon"])).is_err());
+        assert!(parse(&v(&["batch", "--objective", "snr"])).is_err());
     }
 
     #[test]
@@ -298,6 +534,7 @@ mod tests {
     fn zero_wavelengths_rejected() {
         assert!(parse(&v(&["synth", "--wl", "0"])).is_err());
         assert!(parse(&v(&["sweep", "--wl", "0"])).is_err());
+        assert!(parse(&v(&["batch", "--wl", "0"])).is_err());
     }
 
     #[test]
@@ -310,8 +547,10 @@ mod tests {
 
     #[test]
     fn sweep_parses_objective() {
-        let cmd = parse(&v(&["sweep", "--grid", "4x4", "--objective", "snr"])).expect("parses");
-        let Command::Sweep(a, obj) = cmd else { panic!("not sweep") };
+        let c = cmd(&["sweep", "--grid", "4x4", "--objective", "snr"]);
+        let Command::Sweep(a, obj) = c else {
+            panic!("not sweep")
+        };
         assert_eq!((a.rows, a.cols), (4, 4));
         assert_eq!(obj, "snr");
         assert!(parse(&v(&["sweep", "--objective", "bogus"])).is_err());
@@ -319,7 +558,7 @@ mod tests {
 
     #[test]
     fn sweep_defaults_to_power_objective() {
-        let Command::Sweep(_, obj) = parse(&v(&["sweep"])).expect("parses") else {
+        let Command::Sweep(_, obj) = cmd(&["sweep"]) else {
             panic!("not sweep")
         };
         assert_eq!(obj, "power");

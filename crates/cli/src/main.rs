@@ -2,44 +2,55 @@
 //!
 //! ```text
 //! xring synth --grid 4x4 --pitch 2000 --wl 14 --svg layout.svg
-//! xring table 2
-//! xring ablation ring
+//! xring --jobs 4 table 2
+//! xring batch --grid 4x4 --wl-list 4,8,14 --repeat 2 --metrics-jsonl events.jsonl
 //! ```
 
 mod args;
 
-use args::{parse, Command, SynthArgs, USAGE};
+use args::{parse, BatchArgs, Command, SynthArgs, USAGE};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 use xring_bench::tables::{
     ablation_pdn, ablation_ring, ablation_shortcuts, print_sections, table1, table2, table3,
 };
 use xring_core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer};
+use xring_engine::{Engine, JsonlSink, SynthesisJob};
 use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
 use xring_viz::{render_design, RenderOptions};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&argv) {
-        Ok(Command::Help) => {
+    let cli = match parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = Engine::new();
+    if let Some(jobs) = cli.jobs {
+        engine = engine.with_workers(jobs);
+    }
+    match cli.command {
+        Command::Help => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Ok(Command::Table(which)) => run_table(which),
-        Ok(Command::Ablation(which)) => run_ablation(&which),
-        Ok(Command::Synth(args)) => run_synth(&args),
-        Ok(Command::Sweep(args, objective)) => run_sweep(&args, &objective),
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            ExitCode::FAILURE
-        }
+        Command::Table(which) => run_table(which, &engine),
+        Command::Ablation(which) => run_ablation(&which, &engine),
+        Command::Synth(args) => run_synth(&args),
+        Command::Sweep(args, objective) => run_sweep(&args, &objective, &engine),
+        Command::Batch(args) => run_batch_cmd(&args, engine),
     }
 }
 
-fn run_table(which: u8) -> ExitCode {
+fn run_table(which: u8, engine: &Engine) -> ExitCode {
     let result = match which {
-        1 => table1(),
-        2 => table2(),
-        _ => table3(),
+        1 => table1(engine),
+        2 => table2(engine),
+        _ => table3(engine),
     };
     match result {
         Ok(sections) => {
@@ -53,21 +64,30 @@ fn run_table(which: u8) -> ExitCode {
     }
 }
 
-fn run_ablation(which: &str) -> ExitCode {
-    let runs: Vec<fn() -> _> = match which {
+fn run_ablation(which: &str, engine: &Engine) -> ExitCode {
+    type Ablation =
+        fn(&Engine) -> Result<Vec<(String, Vec<RouterReport>)>, xring_core::SynthesisError>;
+    let runs: Vec<Ablation> = match which {
         "shortcuts" => vec![ablation_shortcuts],
         "pdn" => vec![ablation_pdn],
         "ring" => vec![ablation_ring],
         _ => vec![ablation_shortcuts, ablation_pdn, ablation_ring],
     };
     for run in runs {
-        match run() {
+        match run(engine) {
             Ok(sections) => print_sections(&sections),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if engine.cache().hits() > 0 {
+        println!(
+            "engine cache: {} hits, {} misses",
+            engine.cache().hits(),
+            engine.cache().misses()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -94,8 +114,16 @@ fn options_of(args: &SynthArgs) -> SynthesisOptions {
     }
 }
 
-fn run_sweep(args: &SynthArgs, objective: &str) -> ExitCode {
-    use xring_core::{sweep_wavelengths, SweepObjective};
+/// The sweep's default candidate ladder: the powers of two up to `--wl`,
+/// plus `--wl` itself.
+fn wl_ladder(max: usize) -> Vec<usize> {
+    (1..=max.max(2))
+        .filter(|w| w.is_power_of_two() || *w == max)
+        .collect()
+}
+
+fn run_sweep(args: &SynthArgs, objective: &str, engine: &Engine) -> ExitCode {
+    use xring_core::SweepObjective;
     let net = match network_of(args) {
         Ok(net) => net,
         Err(e) => {
@@ -108,10 +136,8 @@ fn run_sweep(args: &SynthArgs, objective: &str) -> ExitCode {
         "snr" => SweepObjective::MaxSnr,
         _ => SweepObjective::MinPower,
     };
-    let candidates: Vec<usize> = (1..=args.wavelengths.max(2))
-        .filter(|w| w.is_power_of_two() || *w == args.wavelengths)
-        .collect();
-    let result = match sweep_wavelengths(
+    let candidates = wl_ladder(args.wavelengths);
+    let result = match engine.sweep_wavelengths(
         &net,
         options_of(args),
         &candidates,
@@ -132,6 +158,70 @@ fn run_sweep(args: &SynthArgs, objective: &str) -> ExitCode {
         println!("{}{marker}", p.report);
     }
     ExitCode::SUCCESS
+}
+
+fn run_batch_cmd(args: &BatchArgs, mut engine: Engine) -> ExitCode {
+    let net = match network_of(&args.synth) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.metrics_jsonl {
+        match std::fs::File::create(path) {
+            Ok(file) => engine = engine.with_sink(Arc::new(JsonlSink::new(file))),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let candidates = if args.wl_list.is_empty() {
+        wl_ladder(args.synth.wavelengths)
+    } else {
+        args.wl_list.clone()
+    };
+    let base = options_of(&args.synth);
+    let mut jobs = Vec::with_capacity(candidates.len() * args.repeat);
+    for round in 0..args.repeat {
+        for &wl in &candidates {
+            let mut job = SynthesisJob::new(
+                format!("r{round} #wl={wl}"),
+                net.clone(),
+                SynthesisOptions {
+                    max_wavelengths: wl,
+                    ..base.clone()
+                },
+            );
+            if let Some(ms) = args.deadline_ms {
+                job = job.with_deadline(Duration::from_millis(ms));
+            }
+            jobs.push(job);
+        }
+    }
+
+    let batch = engine.run_batch(jobs);
+    println!("{}", RouterReport::table_header());
+    let mut failed = false;
+    for outcome in &batch.outcomes {
+        match outcome {
+            Ok(out) => {
+                let hit = if out.cache_hit { "  [cache]" } else { "" };
+                println!("{}{hit}", out.report);
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("job failed: {e}");
+            }
+        }
+    }
+    println!("batch: {}", batch.metrics.summary());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn run_synth(args: &SynthArgs) -> ExitCode {

@@ -16,8 +16,13 @@ impl XRingDesign {
         let mut out = String::new();
         let w = &mut out;
 
-        writeln!(w, "XRing design — {} nodes, {} signals", self.net.len(), self.layout.signals.len())
-            .expect("string writes cannot fail");
+        writeln!(
+            w,
+            "XRing design — {} nodes, {} signals",
+            self.net.len(),
+            self.layout.signals.len()
+        )
+        .expect("string writes cannot fail");
         writeln!(w, "=================================================").expect("write");
 
         // Ring.
@@ -147,7 +152,13 @@ mod tests {
             .synthesize(&NetworkSpec::proton_8())
             .expect("synthesis succeeds");
         let doc = design.describe();
-        for section in ["[ring]", "[ring waveguides]", "[shortcuts]", "[signals]", "[pdn]"] {
+        for section in [
+            "[ring]",
+            "[ring waveguides]",
+            "[shortcuts]",
+            "[signals]",
+            "[pdn]",
+        ] {
             assert!(doc.contains(section), "missing {section}\n{doc}");
         }
         // Every waveguide appears.

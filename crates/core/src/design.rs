@@ -10,9 +10,7 @@ use crate::ring::{Direction, RingCycle, RingStats};
 use crate::shortcut::ShortcutPlan;
 use std::collections::HashMap;
 use std::time::Duration;
-use xring_phot::{
-    CrosstalkParams, LossParams, PowerParams, RouterReport, SignalId, Wavelength,
-};
+use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport, SignalId, Wavelength};
 
 /// Geometry constants for concentric ring spacing (Sec. III-D): the
 /// spacing between paired ring waveguides is `A₁ + ⌈log₂N⌉·A₂` where `A₁`
@@ -27,7 +25,10 @@ pub struct RingSpacing {
 
 impl Default for RingSpacing {
     fn default() -> Self {
-        RingSpacing { a1_um: 50, a2_um: 20 }
+        RingSpacing {
+            a1_um: 50,
+            a2_um: 20,
+        }
     }
 }
 
@@ -71,7 +72,8 @@ impl XRingDesign {
         xtalk: Option<&CrosstalkParams>,
         power: &PowerParams,
     ) -> RouterReport {
-        self.layout.evaluate(label, loss, xtalk, power, self.elapsed)
+        self.layout
+            .evaluate(label, loss, xtalk, power, self.elapsed)
     }
 }
 
@@ -288,10 +290,7 @@ pub fn realize(
             RouteKind::ShortcutCse { enter, exit } => {
                 let fwd1 = shortcuts.shortcuts[enter].a == route.from;
                 let fwd2 = shortcuts.shortcuts[exit].b == route.to;
-                debug_assert_eq!(
-                    fwd1, fwd2,
-                    "CSE service must stay on same-parity wires"
-                );
+                debug_assert_eq!(fwd1, fwd2, "CSE service must stay on same-parity wires");
                 let w1 = wire_of[&(enter, fwd1)];
                 let w2 = wire_of[&(exit, fwd2)];
                 let c1 = wire_crossing[&(enter, fwd1)];
@@ -367,7 +366,14 @@ mod tests {
             &LossParams::default(),
             Point::new(-1_000, -1_000),
         );
-        let layout = realize(&net, &ring.cycle, &sc, &plan, Some(&pdn), RingSpacing::default());
+        let layout = realize(
+            &net,
+            &ring.cycle,
+            &sc,
+            &plan,
+            Some(&pdn),
+            RingSpacing::default(),
+        );
         assert_eq!(layout.signals.len(), net.signal_count());
         // Every signal must produce a finite trace ending in a detector.
         for i in 0..layout.signals.len() {

@@ -28,6 +28,11 @@ pub enum SynthesisError {
         /// The configured cap on ring waveguides (0 = unlimited).
         max_waveguides: usize,
     },
+    /// The synthesis wall-clock budget
+    /// ([`SynthesisOptions::deadline`](crate::SynthesisOptions::deadline))
+    /// expired before the pipeline completed. Checked cooperatively
+    /// between pipeline steps and inside the ring-construction MILP.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SynthesisError {
@@ -47,6 +52,9 @@ impl fmt::Display for SynthesisError {
                 f,
                 "signal mapping exceeded the budget of {max_wavelengths} wavelengths x {max_waveguides} waveguides"
             ),
+            SynthesisError::DeadlineExceeded => {
+                write!(f, "synthesis deadline expired before the pipeline completed")
+            }
         }
     }
 }
@@ -62,7 +70,12 @@ impl Error for SynthesisError {
 
 impl From<SolveError> for SynthesisError {
     fn from(e: SolveError) -> Self {
-        SynthesisError::RingMilp(e)
+        match e {
+            // A deadline interrupt inside the MILP is the pipeline's
+            // deadline expiring, not a solver failure.
+            SolveError::Interrupted { .. } => SynthesisError::DeadlineExceeded,
+            e => SynthesisError::RingMilp(e),
+        }
     }
 }
 
@@ -92,6 +105,13 @@ mod tests {
         let e = SynthesisError::from(SolveError::Infeasible);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("MILP"));
+    }
+
+    #[test]
+    fn interrupted_solves_map_to_deadline_exceeded() {
+        let e = SynthesisError::from(SolveError::Interrupted { nodes: 3 });
+        assert_eq!(e, SynthesisError::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use crate::netspec::NodeId;
 use std::time::Duration;
 use xring_phot::{
-    insertion_loss_db, total_laser_power_w, CrosstalkParams, LossParams, NoiseLedger,
-    PathElement, PerWavelengthDemand, PowerParams, RouterReport, SignalId, Wavelength,
+    insertion_loss_db, total_laser_power_w, CrosstalkParams, LossParams, NoiseLedger, PathElement,
+    PerWavelengthDemand, PowerParams, RouterReport, SignalId, Wavelength,
 };
 
 /// Index of a waveguide within a [`LayoutModel`].
@@ -199,9 +199,7 @@ impl LayoutModel {
                             .iter()
                             .any(|(wl, id)| *wl == sig.wavelength && id.0 as usize == si)
                         {
-                            return Err(format!(
-                                "signal {si}: drop MRR missing at its receiver"
-                            ));
+                            return Err(format!("signal {si}: drop MRR missing at its receiver"));
                         }
                     }
                     (false, Station::Crossing { .. }) => {}
@@ -222,11 +220,12 @@ impl LayoutModel {
                             return Err(format!("signal {si} hop {h} crosses an opening"))
                         }
                         Station::NodeTap { drops, .. }
-                            if drops.iter().any(|(wl, _)| *wl == sig.wavelength) => {
-                                return Err(format!(
-                                    "signal {si} hop {h} passes a same-wavelength drop"
-                                ));
-                            }
+                            if drops.iter().any(|(wl, _)| *wl == sig.wavelength) =>
+                        {
+                            return Err(format!(
+                                "signal {si} hop {h} passes a same-wavelength drop"
+                            ));
+                        }
                         _ => {}
                     }
                 }
@@ -300,11 +299,7 @@ impl LayoutModel {
     }
 
     /// Propagates all first-order noise and returns the ledger.
-    pub fn evaluate_noise(
-        &self,
-        loss: &LossParams,
-        xtalk: &CrosstalkParams,
-    ) -> NoiseLedger {
+    pub fn evaluate_noise(&self, loss: &LossParams, xtalk: &CrosstalkParams) -> NoiseLedger {
         let mut ledger = NoiseLedger::new();
 
         // 1. Externally injected sources (PDN light at crossings).
@@ -536,17 +531,23 @@ mod tests {
         let wl0 = Wavelength::new(0);
         let wl1 = Wavelength::new(1);
         let stations = vec![
-            Station::SenderTap { node: NodeId(0) },                  // 0
-            Station::Segment { length_um: 1_000, bends: 0 },         // 1
+            Station::SenderTap { node: NodeId(0) }, // 0
+            Station::Segment {
+                length_um: 1_000,
+                bends: 0,
+            }, // 1
             Station::NodeTap {
                 node: NodeId(1),
                 drops: vec![(wl1, SignalId(1))],
-            },                                                        // 2
-            Station::Segment { length_um: 1_000, bends: 1 },          // 3
+            }, // 2
+            Station::Segment {
+                length_um: 1_000,
+                bends: 1,
+            }, // 3
             Station::NodeTap {
                 node: NodeId(2),
                 drops: vec![(wl0, SignalId(0))],
-            },                                                        // 4
+            }, // 4
         ];
         LayoutModel {
             waveguides: vec![Waveguide {
@@ -610,9 +611,7 @@ mod tests {
     fn short_signal_sees_no_through_loss() {
         let m = linear_layout();
         let trace = m.trace(SignalId(1));
-        assert!(trace
-            .iter()
-            .all(|e| !matches!(e, PathElement::MrrThrough)));
+        assert!(trace.iter().all(|e| !matches!(e, PathElement::MrrThrough)));
     }
 
     #[test]
@@ -640,18 +639,24 @@ mod tests {
         // stays clean.
         let wl = Wavelength::new(0);
         let stations = vec![
-            Station::SenderTap { node: NodeId(0) },               // 0
-            Station::Segment { length_um: 1_000, bends: 0 },      // 1
+            Station::SenderTap { node: NodeId(0) }, // 0
+            Station::Segment {
+                length_um: 1_000,
+                bends: 0,
+            }, // 1
             Station::NodeTap {
                 node: NodeId(1),
                 drops: vec![(wl, SignalId(0))],
-            },                                                     // 2
-            Station::SenderTap { node: NodeId(1) },               // 3
-            Station::Segment { length_um: 1_000, bends: 0 },      // 4
+            }, // 2
+            Station::SenderTap { node: NodeId(1) }, // 3
+            Station::Segment {
+                length_um: 1_000,
+                bends: 0,
+            }, // 4
             Station::NodeTap {
                 node: NodeId(2),
                 drops: vec![(wl, SignalId(1))],
-            },                                                     // 5
+            }, // 5
         ];
         let m = LayoutModel {
             waveguides: vec![Waveguide {
@@ -663,14 +668,22 @@ mod tests {
                     from: NodeId(0),
                     to: NodeId(1),
                     wavelength: wl,
-                    hops: vec![Hop { waveguide: 0, from_station: 0, to_station: 2 }],
+                    hops: vec![Hop {
+                        waveguide: 0,
+                        from_station: 0,
+                        to_station: 2,
+                    }],
                     pdn_loss_db: 0.0,
                 },
                 SignalSpec {
                     from: NodeId(1),
                     to: NodeId(2),
                     wavelength: wl,
-                    hops: vec![Hop { waveguide: 0, from_station: 3, to_station: 5 }],
+                    hops: vec![Hop {
+                        waveguide: 0,
+                        from_station: 3,
+                        to_station: 5,
+                    }],
                     pdn_loss_db: 0.0,
                 },
             ],
@@ -686,7 +699,7 @@ mod tests {
         // reaches receivers behind the opening.
         let wl = Wavelength::new(0);
         let stations = vec![
-            Station::SenderTap { node: NodeId(0) },                // 0
+            Station::SenderTap { node: NodeId(0) }, // 0
             Station::Crossing {
                 injected: vec![NoiseSource {
                     wavelength: wl,
@@ -694,13 +707,16 @@ mod tests {
                 }],
                 peer: None,
                 through_mrrs: 0,
-            },                                                      // 1
-            Station::Opening,                                       // 2
-            Station::Segment { length_um: 1_000, bends: 0 },        // 3
+            }, // 1
+            Station::Opening,                       // 2
+            Station::Segment {
+                length_um: 1_000,
+                bends: 0,
+            }, // 3
             Station::NodeTap {
                 node: NodeId(1),
                 drops: vec![(wl, SignalId(0))],
-            },                                                      // 4
+            }, // 4
         ];
         let m = LayoutModel {
             waveguides: vec![Waveguide {
@@ -712,7 +728,11 @@ mod tests {
                 to: NodeId(1),
                 wavelength: wl,
                 // The signal enters after the opening (station 2).
-                hops: vec![Hop { waveguide: 0, from_station: 2, to_station: 4 }],
+                hops: vec![Hop {
+                    waveguide: 0,
+                    from_station: 2,
+                    to_station: 4,
+                }],
                 pdn_loss_db: 0.0,
             }],
             pdn_modelled: false,
@@ -734,7 +754,10 @@ mod tests {
                 peer: None,
                 through_mrrs: 0,
             },
-            Station::Segment { length_um: 500, bends: 0 },
+            Station::Segment {
+                length_um: 500,
+                bends: 0,
+            },
             Station::NodeTap {
                 node: NodeId(1),
                 drops: vec![(wl, SignalId(0))],
@@ -749,7 +772,11 @@ mod tests {
                 from: NodeId(0),
                 to: NodeId(1),
                 wavelength: wl,
-                hops: vec![Hop { waveguide: 0, from_station: 0, to_station: 3 }],
+                hops: vec![Hop {
+                    waveguide: 0,
+                    from_station: 0,
+                    to_station: 3,
+                }],
                 pdn_loss_db: 1.0,
             }],
             pdn_modelled: true,
@@ -779,7 +806,11 @@ mod tests {
             closed: false,
             stations: vec![
                 Station::SenderTap { node: NodeId(0) },
-                Station::Crossing { injected: vec![], peer: Some((1, 1)), through_mrrs: 0 },
+                Station::Crossing {
+                    injected: vec![],
+                    peer: Some((1, 1)),
+                    through_mrrs: 0,
+                },
                 Station::NodeTap {
                     node: NodeId(1),
                     drops: vec![(wl, SignalId(0))],
@@ -790,7 +821,11 @@ mod tests {
             closed: false,
             stations: vec![
                 Station::SenderTap { node: NodeId(2) },
-                Station::Crossing { injected: vec![], peer: Some((0, 1)), through_mrrs: 0 },
+                Station::Crossing {
+                    injected: vec![],
+                    peer: Some((0, 1)),
+                    through_mrrs: 0,
+                },
                 Station::NodeTap {
                     node: NodeId(3),
                     drops: vec![(wl, SignalId(1))],
@@ -804,14 +839,22 @@ mod tests {
                     from: NodeId(0),
                     to: NodeId(1),
                     wavelength: wl,
-                    hops: vec![Hop { waveguide: 0, from_station: 0, to_station: 2 }],
+                    hops: vec![Hop {
+                        waveguide: 0,
+                        from_station: 0,
+                        to_station: 2,
+                    }],
                     pdn_loss_db: 0.0,
                 },
                 SignalSpec {
                     from: NodeId(2),
                     to: NodeId(3),
                     wavelength: wl,
-                    hops: vec![Hop { waveguide: 1, from_station: 0, to_station: 2 }],
+                    hops: vec![Hop {
+                        waveguide: 1,
+                        from_station: 0,
+                        to_station: 2,
+                    }],
                     pdn_loss_db: 0.0,
                 },
             ],
@@ -829,21 +872,37 @@ mod tests {
             Station::NodeTap {
                 node: NodeId(0),
                 drops: vec![(wl, SignalId(0))],
-            },                                                  // 0
-            Station::SenderTap { node: NodeId(0) },             // 1
-            Station::Segment { length_um: 700, bends: 0 },      // 2
-            Station::NodeTap { node: NodeId(1), drops: vec![] },// 3
-            Station::SenderTap { node: NodeId(1) },             // 4
-            Station::Segment { length_um: 300, bends: 0 },      // 5
+            }, // 0
+            Station::SenderTap { node: NodeId(0) }, // 1
+            Station::Segment {
+                length_um: 700,
+                bends: 0,
+            }, // 2
+            Station::NodeTap {
+                node: NodeId(1),
+                drops: vec![],
+            }, // 3
+            Station::SenderTap { node: NodeId(1) }, // 4
+            Station::Segment {
+                length_um: 300,
+                bends: 0,
+            }, // 5
         ];
         let m = LayoutModel {
-            waveguides: vec![Waveguide { closed: true, stations }],
+            waveguides: vec![Waveguide {
+                closed: true,
+                stations,
+            }],
             signals: vec![SignalSpec {
                 from: NodeId(1),
                 to: NodeId(0),
                 wavelength: wl,
                 // From n1's sender (4) wrapping to n0's tap (0).
-                hops: vec![Hop { waveguide: 0, from_station: 4, to_station: 0 }],
+                hops: vec![Hop {
+                    waveguide: 0,
+                    from_station: 4,
+                    to_station: 0,
+                }],
                 pdn_loss_db: 0.0,
             }],
             pdn_modelled: false,

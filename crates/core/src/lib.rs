@@ -62,7 +62,9 @@ pub use opening::{open_rings, OpeningStats};
 pub use pdn::{design_pdn, PdnDesign, SHORTCUT_GROUP};
 pub use ring::{Direction, RingAlgorithm, RingBuilder, RingCycle, RingOutcome, RingStats};
 pub use shortcut::{plan_shortcuts, Shortcut, ShortcutPlan};
-pub use sweep::{sweep_wavelengths, synthesize_best, SweepObjective, SweepResult};
+pub use sweep::{
+    pick_best_index, sweep_wavelengths, synthesize_best, SweepObjective, SweepPoint, SweepResult,
+};
 pub use synth::{SynthesisOptions, Synthesizer};
 pub use traffic::Traffic;
 pub use variation::{monte_carlo, VariationSpec, VariationSummary};

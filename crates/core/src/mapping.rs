@@ -111,7 +111,9 @@ pub struct RingWaveguide {
 impl RingWaveguide {
     /// Signals currently assigned to this waveguide (global indices).
     pub fn signals(&self) -> impl Iterator<Item = usize> + '_ {
-        self.lanes.iter().flat_map(|l| l.arcs.iter().map(|a| a.signal))
+        self.lanes
+            .iter()
+            .flat_map(|l| l.arcs.iter().map(|a| a.signal))
     }
 }
 
@@ -184,9 +186,7 @@ impl MappingPlan {
             if let RouteKind::Ring { waveguide } = r.kind {
                 let wg = &self.ring_waveguides[waveguide];
                 let li = r.wavelength.index() as usize;
-                if li >= wg.lanes.len()
-                    || !wg.lanes[li].arcs.iter().any(|a| a.signal == si)
-                {
+                if li >= wg.lanes.len() || !wg.lanes[li].arcs.iter().any(|a| a.signal == si) {
                     return Err(format!("signal {si} not resident on its lane"));
                 }
             }
@@ -269,7 +269,11 @@ pub fn map_signals_with_traffic(
             let fb = cycle.position_of(to);
             let cw = cycle.arc_length(fa, fb, Direction::Cw);
             let ccw = cycle.arc_length(fa, fb, Direction::Ccw);
-            let dir = if cw <= ccw { Direction::Cw } else { Direction::Ccw };
+            let dir = if cw <= ccw {
+                Direction::Cw
+            } else {
+                Direction::Ccw
+            };
             (from, to, fa, fb, dir, cw.min(ccw))
         })
         .collect();
@@ -518,8 +522,7 @@ mod tests {
         // (more arcs than lanes on at least one waveguide).
         let (_, cycle, _) = setup(false);
         let net = NetworkSpec::psion_16();
-        let plan =
-            map_signals(&net, &cycle, &ShortcutPlan::empty(), 16, 0).expect("mapped");
+        let plan = map_signals(&net, &cycle, &ShortcutPlan::empty(), 16, 0).expect("mapped");
         let reused = plan
             .ring_waveguides
             .iter()

@@ -222,11 +222,7 @@ mod tests {
 
     #[test]
     fn duplicate_positions_rejected() {
-        let err = NetworkSpec::new(vec![
-            Point::new(0, 0),
-            Point::new(5, 5),
-            Point::new(0, 0),
-        ]);
+        let err = NetworkSpec::new(vec![Point::new(0, 0), Point::new(5, 5), Point::new(0, 0)]);
         assert!(matches!(
             err,
             Err(SynthesisError::DuplicateNodePositions { a: 0, b: 2 })

@@ -23,7 +23,11 @@ pub struct OpeningStats {
 }
 
 /// Opens every ring waveguide where possible, mutating `plan` in place.
-pub fn open_rings(cycle: &RingCycle, plan: &mut MappingPlan, max_wavelengths: usize) -> OpeningStats {
+pub fn open_rings(
+    cycle: &RingCycle,
+    plan: &mut MappingPlan,
+    max_wavelengths: usize,
+) -> OpeningStats {
     let mut stats = OpeningStats::default();
     let n = cycle.len();
 
@@ -97,9 +101,7 @@ pub fn open_rings(cycle: &RingCycle, plan: &mut MappingPlan, max_wavelengths: us
                         let covered: usize = dlane.arcs.iter().map(|a| a.edges.len()).sum();
                         let better = match best {
                             None => true,
-                            Some((bwi, _, bcov)) => {
-                                dwi < bwi || (dwi == bwi && covered > bcov)
-                            }
+                            Some((bwi, _, bcov)) => dwi < bwi || (dwi == bwi && covered > bcov),
                         };
                         if better {
                             best = Some((dwi, dli, covered));
@@ -165,7 +167,12 @@ pub fn open_rings(cycle: &RingCycle, plan: &mut MappingPlan, max_wavelengths: us
                 }
             }
             if !placed {
-                placements.push((real_count + fresh_lane_counts.len(), 0, arc.clone(), *src_lane));
+                placements.push((
+                    real_count + fresh_lane_counts.len(),
+                    0,
+                    arc.clone(),
+                    *src_lane,
+                ));
                 fresh_lane_counts.push(1);
             }
         }
@@ -241,10 +248,7 @@ mod tests {
             if let Some(open) = wg.opening {
                 for lane in &wg.lanes {
                     for arc in &lane.arcs {
-                        assert!(
-                            !arc.interior.contains(&open),
-                            "arc still passes opening"
-                        );
+                        assert!(!arc.interior.contains(&open), "arc still passes opening");
                     }
                 }
             }

@@ -143,7 +143,6 @@ pub fn design_pdn(
         }
     }
 
-
     // Distribution stage: from the laser to every tree root. The
     // within-tree splitters are 50/50 (paper: "complete binary tree"),
     // but the inter-tree distribution uses ideal asymmetric taps — an
@@ -262,10 +261,7 @@ mod tests {
     use crate::ring::RingBuilder;
     use crate::shortcut::plan_shortcuts;
 
-    fn full_plan(
-        net: &NetworkSpec,
-        wl: usize,
-    ) -> (RingCycle, ShortcutPlan, MappingPlan) {
+    fn full_plan(net: &NetworkSpec, wl: usize) -> (RingCycle, ShortcutPlan, MappingPlan) {
         let ring = RingBuilder::new().build(net).expect("ring");
         let sc = plan_shortcuts(net, &ring.cycle);
         let mut plan = map_signals(net, &ring.cycle, &sc, wl, 0).expect("mapped");

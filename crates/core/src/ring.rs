@@ -56,6 +56,8 @@ pub enum RingAlgorithm {
 pub struct RingStats {
     /// Branch-and-bound nodes (0 for heuristic algorithms).
     pub milp_nodes: usize,
+    /// LP relaxations solved (0 for heuristic algorithms).
+    pub lp_solves: usize,
     /// Lazy conflict constraints separated.
     pub lazy_cuts: usize,
     /// Sub-cycles merged after optimization.
@@ -85,12 +87,7 @@ impl RingCycle {
         let n = order.len();
         assert!(n >= 3, "a ring needs at least 3 nodes");
         let endpoints: Vec<(Point, Point)> = (0..n)
-            .map(|i| {
-                (
-                    net.position(order[i]),
-                    net.position(order[(i + 1) % n]),
-                )
-            })
+            .map(|i| (net.position(order[i]), net.position(order[(i + 1) % n])))
             .collect();
 
         // 2-SAT: variable i == true  <=>  edge i routes VerticalFirst.
@@ -346,6 +343,7 @@ fn count_crossings(routes: &[LRoute]) -> usize {
 pub struct RingBuilder {
     algorithm: RingAlgorithm,
     max_milp_nodes: usize,
+    deadline: Option<std::time::Instant>,
 }
 
 impl Default for RingBuilder {
@@ -353,6 +351,7 @@ impl Default for RingBuilder {
         RingBuilder {
             algorithm: RingAlgorithm::Milp,
             max_milp_nodes: 50_000,
+            deadline: None,
         }
     }
 }
@@ -381,6 +380,16 @@ impl RingBuilder {
     /// Caps branch-and-bound nodes (MILP algorithm only).
     pub fn with_max_milp_nodes(mut self, max: usize) -> Self {
         self.max_milp_nodes = max;
+        self
+    }
+
+    /// Sets a cooperative wall-clock deadline for the MILP search (see
+    /// [`BranchAndBound::with_deadline`]); expiry surfaces as
+    /// [`SynthesisError::DeadlineExceeded`]. The heuristic algorithms run
+    /// to completion regardless — they are fast and have no node loop to
+    /// interrupt.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -445,23 +454,24 @@ impl RingBuilder {
         // Constraint (2): no 2-cycles.
         for i in 0..n {
             for j in i + 1..n {
-                model.add_constraint(
-                    LinExpr::sum([v(i, j), v(j, i)]),
-                    Relation::Le,
-                    1.0,
-                );
+                model.add_constraint(LinExpr::sum([v(i, j), v(j, i)]), Relation::Le, 1.0);
             }
         }
         // Objective (4): total Manhattan length.
         let mut obj = LinExpr::new();
         for &(i, j) in &edges {
-            obj += (v(i, j), net.distance(NodeId(i as u32), NodeId(j as u32)) as f64);
+            obj += (
+                v(i, j),
+                net.distance(NodeId(i as u32), NodeId(j as u32)) as f64,
+            );
         }
         model.set_objective(obj);
 
         // Warm start with the heuristic tour when it is conflict-free.
         let tour = heuristic_tour(net);
-        let mut solver = BranchAndBound::new().with_max_nodes(self.max_milp_nodes);
+        let mut solver = BranchAndBound::new()
+            .with_max_nodes(self.max_milp_nodes)
+            .with_deadline(self.deadline);
         if tour_is_conflict_free(net, &tour) {
             let mut values = vec![0.0f64; model.num_vars()];
             for k in 0..n {
@@ -547,6 +557,7 @@ impl RingBuilder {
             cycle,
             stats: RingStats {
                 milp_nodes: solution.stats().nodes,
+                lp_solves: solution.stats().lp_solves,
                 lazy_cuts: solution.stats().lazy_constraints,
                 subcycles_merged: merged,
                 twosat_fallback: fb,
@@ -591,9 +602,7 @@ fn merge_cycles(
         // Current full edge set (for conflict checks of candidate edges).
         let all_edges: Vec<(usize, usize)> = cycles
             .iter()
-            .flat_map(|c| {
-                (0..c.len()).map(move |k| (c[k], c[(k + 1) % c.len()]))
-            })
+            .flat_map(|c| (0..c.len()).map(move |k| (c[k], c[(k + 1) % c.len()])))
             .collect();
 
         let mut best: Option<(i64, usize, usize, usize, usize, bool)> = None;
@@ -607,11 +616,11 @@ fn merge_cycles(
                         let b = cycles[ca][(ea + 1) % cycles[ca].len()];
                         let c = cycles[cb][eb];
                         let d = cycles[cb][(eb + 1) % cycles[cb].len()];
-                        let dist = |x: usize, y: usize| {
-                            net.distance(NodeId(x as u32), NodeId(y as u32))
-                        };
+                        let dist =
+                            |x: usize, y: usize| net.distance(NodeId(x as u32), NodeId(y as u32));
                         let delta = dist(a, d) + dist(c, b) - dist(a, b) - dist(c, d);
-                        let free = edges_conflict_free(net, (a, d), (c, b), &all_edges, (a, b), (c, d));
+                        let free =
+                            edges_conflict_free(net, (a, d), (c, b), &all_edges, (a, b), (c, d));
                         match &best {
                             Some((bd, .., bfree)) => {
                                 // Prefer conflict-free merges; among equal
@@ -657,9 +666,8 @@ fn edges_conflict_free(
     removed2: (usize, usize),
 ) -> bool {
     let pos = |i: usize| net.position(NodeId(i as u32));
-    let disjoint = |x: (usize, usize), y: (usize, usize)| {
-        x.0 != y.0 && x.0 != y.1 && x.1 != y.0 && x.1 != y.1
-    };
+    let disjoint =
+        |x: (usize, usize), y: (usize, usize)| x.0 != y.0 && x.0 != y.1 && x.1 != y.0 && x.1 != y.1;
     let conflicting = |x: (usize, usize), y: (usize, usize)| {
         disjoint(x, y)
             && classify_edge_pair(pos(x.0), pos(x.1), pos(y.0), pos(y.1)).is_conflicting()
@@ -770,7 +778,10 @@ mod tests {
         let out = RingBuilder::new().build(&net).expect("solved");
         let ints = out.cycle.interior_positions(0, 3, Direction::Cw);
         assert_eq!(ints, vec![1, 2]);
-        assert_eq!(out.cycle.interior_positions(0, 1, Direction::Cw), Vec::<usize>::new());
+        assert_eq!(
+            out.cycle.interior_positions(0, 1, Direction::Cw),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -311,8 +311,16 @@ mod tests {
     #[test]
     fn served_pairs_includes_cse_swaps() {
         let mut plan = ShortcutPlan::empty();
-        let r1 = LRoute::new(Point::new(0, 0), Point::new(10, 10), RouteOption::HorizontalFirst);
-        let r2 = LRoute::new(Point::new(0, 10), Point::new(10, 0), RouteOption::HorizontalFirst);
+        let r1 = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 10),
+            RouteOption::HorizontalFirst,
+        );
+        let r2 = LRoute::new(
+            Point::new(0, 10),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
         plan.shortcuts.push(Shortcut {
             a: NodeId(0),
             b: NodeId(1),

@@ -26,6 +26,9 @@ pub struct SweepPoint {
     pub wavelengths: usize,
     /// Its evaluation.
     pub report: RouterReport,
+    /// The synthesized design itself, carried so that the sweep winner
+    /// never has to be re-synthesized (see [`synthesize_best`]).
+    pub design: XRingDesign,
 }
 
 /// The result of a sweep: every feasible point plus the winner's index.
@@ -98,6 +101,7 @@ pub fn sweep_wavelengths(
                 points.push(SweepPoint {
                     wavelengths: wl,
                     report,
+                    design,
                 });
             }
             Err(SynthesisError::WavelengthBudgetExceeded { .. }) => continue,
@@ -110,12 +114,12 @@ pub fn sweep_wavelengths(
             max_waveguides: base.max_waveguides,
         });
     }
-    let best = pick(&points, objective);
+    let best = pick_best_index(&points, objective);
     Ok(SweepResult { points, best })
 }
 
-/// Synthesizes the best design found by a sweep (re-running the winning
-/// point).
+/// Returns the best design found by a sweep. The design is taken straight
+/// from the winning [`SweepPoint`] — nothing is synthesized twice.
 ///
 /// # Errors
 ///
@@ -129,16 +133,19 @@ pub fn synthesize_best(
     xtalk: Option<&CrosstalkParams>,
     power: &PowerParams,
 ) -> Result<XRingDesign, SynthesisError> {
-    let result = sweep_wavelengths(net, base.clone(), candidates, objective, loss, xtalk, power)?;
-    let wl = result.best_point().wavelengths;
-    Synthesizer::new(SynthesisOptions {
-        max_wavelengths: wl,
-        ..base
-    })
-    .synthesize(net)
+    let SweepResult { mut points, best } =
+        sweep_wavelengths(net, base, candidates, objective, loss, xtalk, power)?;
+    Ok(points.swap_remove(best).design)
 }
 
-fn pick(points: &[SweepPoint], objective: SweepObjective) -> usize {
+/// Index of the best point under `objective` (shared with the parallel
+/// sweep in `xring-engine`, which must pick identically to the serial
+/// path).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn pick_best_index(points: &[SweepPoint], objective: SweepObjective) -> usize {
     let key = |r: &RouterReport| match objective {
         SweepObjective::MinInsertionLoss => r.worst_il_db,
         SweepObjective::MinPower => r.total_power_w.unwrap_or(f64::INFINITY),
@@ -199,7 +206,23 @@ mod tests {
     }
 
     #[test]
-    fn synthesize_best_reruns_the_winner() {
+    fn sweep_points_carry_their_designs() {
+        let r = run(SweepObjective::MinPower);
+        for p in &r.points {
+            assert_eq!(p.design.layout.signals.len(), p.report.signal_count);
+            // The carried design re-evaluates to the carried report.
+            let again = p.design.report(
+                format!("#wl={}", p.wavelengths),
+                &LossParams::default(),
+                Some(&CrosstalkParams::default()),
+                &PowerParams::default(),
+            );
+            assert_eq!(again, p.report);
+        }
+    }
+
+    #[test]
+    fn synthesize_best_returns_the_winning_design() {
         let net = NetworkSpec::proton_8();
         let design = synthesize_best(
             &net,

@@ -8,7 +8,7 @@ use crate::pdn::design_pdn;
 use crate::ring::{RingAlgorithm, RingBuilder};
 use crate::shortcut::{plan_shortcuts, ShortcutPlan};
 use crate::traffic::Traffic;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xring_geom::Point;
 use xring_phot::LossParams;
 
@@ -38,6 +38,12 @@ pub struct SynthesisOptions {
     /// Loss parameters (used during PDN design; evaluation may use the
     /// same or another set).
     pub loss: LossParams,
+    /// Wall-clock budget for the whole pipeline (`None` = unbounded).
+    /// Checked cooperatively between steps and, most importantly, once
+    /// per node inside the ring-construction branch-and-bound; expiry
+    /// aborts with [`SynthesisError::DeadlineExceeded`]. The budget does
+    /// not change the result of a synthesis that completes within it.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SynthesisOptions {
@@ -53,6 +59,7 @@ impl Default for SynthesisOptions {
             laser: Point::new(-1_000, -1_000),
             traffic: Traffic::AllToAll,
             loss: LossParams::default(),
+            deadline: None,
         }
     }
 }
@@ -69,6 +76,13 @@ impl SynthesisOptions {
     /// Table-I style options: no PDN (and hence no power column).
     pub fn without_pdn(mut self) -> Self {
         self.pdn = false;
+        self
+    }
+
+    /// Caps the pipeline's wall-clock time (see
+    /// [`deadline`](Self::deadline)).
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 }
@@ -111,13 +125,21 @@ impl Synthesizer {
     pub fn synthesize(&self, net: &NetworkSpec) -> Result<XRingDesign, SynthesisError> {
         let t0 = Instant::now();
         let o = &self.options;
+        let deadline = o.deadline.map(|budget| t0 + budget);
+        let check_deadline = || match deadline {
+            Some(d) if Instant::now() >= d => Err(SynthesisError::DeadlineExceeded),
+            _ => Ok(()),
+        };
 
         // Step 1: ring construction.
+        check_deadline()?;
         let ring = RingBuilder::new()
             .with_algorithm(o.ring_algorithm)
+            .with_deadline(deadline)
             .build(net)?;
 
         // Step 2: shortcuts.
+        check_deadline()?;
         let shortcuts = if o.shortcuts {
             plan_shortcuts(net, &ring.cycle)
         } else {
@@ -125,6 +147,7 @@ impl Synthesizer {
         };
 
         // Step 3: mapping + openings.
+        check_deadline()?;
         let mut plan = crate::mapping::map_signals_with_traffic(
             net,
             &ring.cycle,
@@ -140,6 +163,7 @@ impl Synthesizer {
         };
 
         // Step 4: PDN.
+        check_deadline()?;
         let pdn = o
             .pdn
             .then(|| design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser));
@@ -219,6 +243,31 @@ mod tests {
             r_with.worst_il_db,
             r_without.worst_il_db
         );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_synthesis() {
+        let net = NetworkSpec::proton_8();
+        let options = SynthesisOptions::with_wavelengths(8).with_deadline(Duration::ZERO);
+        match Synthesizer::new(options).synthesize(&net) {
+            Err(SynthesisError::DeadlineExceeded) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_result() {
+        let net = NetworkSpec::proton_8();
+        let bounded = Synthesizer::new(
+            SynthesisOptions::with_wavelengths(8).with_deadline(Duration::from_secs(3_600)),
+        )
+        .synthesize(&net)
+        .expect("completes within budget");
+        let unbounded = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&net)
+            .expect("completes");
+        assert_eq!(bounded.cycle, unbounded.cycle);
+        assert_eq!(bounded.plan, unbounded.plan);
     }
 
     #[test]

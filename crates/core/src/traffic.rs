@@ -45,8 +45,7 @@ impl Traffic {
             Traffic::NearestNeighbors(k) => {
                 let mut out = Vec::new();
                 for a in net.node_ids() {
-                    let mut others: Vec<NodeId> =
-                        net.node_ids().filter(|b| *b != a).collect();
+                    let mut others: Vec<NodeId> = net.node_ids().filter(|b| *b != a).collect();
                     others.sort_by_key(|b| (net.distance(a, *b), b.index()));
                     for b in others.into_iter().take(*k) {
                         out.push((a, b));

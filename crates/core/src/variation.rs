@@ -7,9 +7,34 @@
 //! under randomly perturbed [`LossParams`] and summarizes the spread.
 
 use crate::design::XRingDesign;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+
+/// SplitMix64 (Steele et al., public-domain algorithm): a tiny 64-bit
+/// PRNG with excellent statistical quality for Monte-Carlo use, kept
+/// internal so the crate needs no RNG dependency.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Relative (multiplicative) 1σ variation per loss mechanism.
 ///
@@ -75,12 +100,11 @@ pub fn monte_carlo(
     samples: usize,
 ) -> VariationSummary {
     assert!(samples > 0, "need at least one sample");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     // Box-Muller-free normal: sum of 12 uniforms − 6 is N(0,1) to good
-    // approximation and keeps `rand` usage to `Rng::gen`-style calls.
-    let normal = move |rng: &mut StdRng| -> f64 {
-        (0..12).map(|_| rng.r#gen::<f64>()).sum::<f64>() - 6.0
-    };
+    // approximation (Irwin–Hall).
+    let normal =
+        move |rng: &mut SplitMix64| -> f64 { (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0 };
 
     let mut ils = Vec::with_capacity(samples);
     let mut powers = Vec::with_capacity(samples);
@@ -184,18 +208,13 @@ mod tests {
             &VariationSpec::default(),
             128,
         );
-        let nominal_report = d.layout.evaluate(
-            "nom",
-            &nominal,
-            None,
-            &PowerParams::default(),
-            d.elapsed,
-        );
+        let nominal_report =
+            d.layout
+                .evaluate("nom", &nominal, None, &PowerParams::default(), d.elapsed);
         // Multiplicative lognormal-ish perturbation keeps the mean within
         // ~15% of nominal and the max strictly above the mean.
         assert!(
-            (s.il_mean_db - nominal_report.worst_il_db).abs()
-                < 0.15 * nominal_report.worst_il_db,
+            (s.il_mean_db - nominal_report.worst_il_db).abs() < 0.15 * nominal_report.worst_il_db,
             "mean {} vs nominal {}",
             s.il_mean_db,
             nominal_report.worst_il_db

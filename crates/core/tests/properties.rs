@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use xring_core::{
-    map_signals, open_rings, plan_shortcuts, Direction, NetworkSpec, RingAlgorithm,
-    RingBuilder, RouteKind, ShortcutPlan, SynthesisOptions, Synthesizer,
+    map_signals, open_rings, plan_shortcuts, Direction, NetworkSpec, RingAlgorithm, RingBuilder,
+    RouteKind, ShortcutPlan, SynthesisOptions, Synthesizer,
 };
 use xring_phot::{CrosstalkParams, LossParams, PowerParams};
 

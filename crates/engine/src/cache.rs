@@ -1,0 +1,222 @@
+//! Content-addressed design cache.
+//!
+//! Two jobs produce the same design and report whenever their network,
+//! synthesis options and evaluation parameters agree — synthesis is
+//! deterministic. The cache keys on a *canonical byte encoding* of those
+//! inputs (no hashing, so no collision risk): every integer little-endian,
+//! every float via [`f64::to_bits`], every enum as a tag byte plus
+//! payload. Two fields are deliberately excluded:
+//!
+//! * the job **label** — it only decorates the report, so hits are
+//!   relabelled on the way out;
+//! * the **deadline** — a deadline is a hard stop that never alters a
+//!   synthesis that completes within it, and only completed syntheses are
+//!   cached, so cached results are deadline-independent. A consequence:
+//!   a job whose key is already cached succeeds even with an expired
+//!   deadline, because the budget caps synthesis work and a hit costs
+//!   none.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use xring_core::{Traffic, XRingDesign};
+use xring_phot::RouterReport;
+
+use crate::job::SynthesisJob;
+
+/// The canonical cache key of a job: its full synthesis + evaluation
+/// input, byte-encoded. Equal keys imply equal designs and (label aside)
+/// equal reports.
+pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
+    let mut k = Vec::with_capacity(256);
+    let f = |k: &mut Vec<u8>, v: f64| k.extend_from_slice(&v.to_bits().to_le_bytes());
+    let u = |k: &mut Vec<u8>, v: usize| k.extend_from_slice(&(v as u64).to_le_bytes());
+
+    // Network: node count then positions in index order.
+    u(&mut k, job.net.len());
+    for p in job.net.positions() {
+        k.extend_from_slice(&p.x.to_le_bytes());
+        k.extend_from_slice(&p.y.to_le_bytes());
+    }
+
+    // Synthesis options (deadline deliberately excluded, see module docs).
+    let o = &job.options;
+    k.push(o.ring_algorithm as u8);
+    u(&mut k, o.max_wavelengths);
+    u(&mut k, o.max_waveguides);
+    k.push(u8::from(o.shortcuts));
+    k.push(u8::from(o.openings));
+    k.push(u8::from(o.pdn));
+    k.extend_from_slice(&o.spacing.a1_um.to_le_bytes());
+    k.extend_from_slice(&o.spacing.a2_um.to_le_bytes());
+    k.extend_from_slice(&o.laser.x.to_le_bytes());
+    k.extend_from_slice(&o.laser.y.to_le_bytes());
+    match &o.traffic {
+        Traffic::AllToAll => k.push(0),
+        Traffic::Custom(pairs) => {
+            k.push(1);
+            u(&mut k, pairs.len());
+            for (a, b) in pairs {
+                k.extend_from_slice(&a.0.to_le_bytes());
+                k.extend_from_slice(&b.0.to_le_bytes());
+            }
+        }
+        Traffic::NearestNeighbors(n) => {
+            k.push(2);
+            u(&mut k, *n);
+        }
+    }
+    for loss in [&o.loss, &job.loss] {
+        f(&mut k, loss.propagation_db_per_cm);
+        f(&mut k, loss.crossing_db);
+        f(&mut k, loss.drop_db);
+        f(&mut k, loss.through_db);
+        f(&mut k, loss.bend_db);
+        f(&mut k, loss.photodetector_db);
+        f(&mut k, loss.splitter_excess_db);
+    }
+
+    // Evaluation parameters.
+    match &job.xtalk {
+        None => k.push(0),
+        Some(x) => {
+            k.push(1);
+            f(&mut k, x.crossing_leak_db);
+            f(&mut k, x.through_leak_db);
+            f(&mut k, x.drop_leak_db);
+        }
+    }
+    f(&mut k, job.power.sensitivity_dbm);
+    f(&mut k, job.power.laser_efficiency);
+    k
+}
+
+/// A cached outcome: the synthesized design plus its evaluated report.
+type CachedDesign = (Arc<XRingDesign>, RouterReport);
+
+/// An in-memory, thread-safe design cache shared by every job an
+/// [`Engine`](crate::Engine) runs. Only successful syntheses are stored;
+/// designs are handed out as [`Arc`]s so hits cost a pointer clone.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    entries: Mutex<HashMap<Vec<u8>, CachedDesign>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DesignCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, counting a hit or miss. On a hit the cached report
+    /// is relabelled to `label` (the label is not part of the key).
+    pub fn lookup(&self, key: &[u8], label: &str) -> Option<(Arc<XRingDesign>, RouterReport)> {
+        let entries = self.entries.lock().expect("cache lock");
+        match entries.get(key) {
+            Some((design, report)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut report = report.clone();
+                report.label = label.to_owned();
+                Some((Arc::clone(design), report))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly synthesized design. Concurrent duplicate inserts
+    /// (two workers racing on the same key) keep the first entry so
+    /// already-shared `Arc`s stay canonical.
+    pub fn insert(&self, key: Vec<u8>, design: Arc<XRingDesign>, report: RouterReport) {
+        let mut entries = self.entries.lock().expect("cache lock");
+        entries.entry(key).or_insert((design, report));
+    }
+
+    /// Cache hits counted so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses counted so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct designs stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use xring_core::{NetworkSpec, SynthesisOptions};
+
+    fn job(label: &str, wl: usize) -> SynthesisJob {
+        SynthesisJob::new(
+            label,
+            NetworkSpec::proton_8(),
+            SynthesisOptions::with_wavelengths(wl),
+        )
+    }
+
+    #[test]
+    fn label_and_deadline_do_not_affect_the_key() {
+        let a = canonical_key(&job("a", 8));
+        let b = canonical_key(&job("b", 8));
+        let c = canonical_key(&job("a", 8).with_deadline(Duration::from_secs(1)));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn every_synthesis_input_perturbs_the_key() {
+        let base = canonical_key(&job("x", 8));
+        assert_ne!(base, canonical_key(&job("x", 4)));
+        let mut other = job("x", 8);
+        other.options.shortcuts = false;
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.net = NetworkSpec::psion_16();
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.loss.crossing_db *= 2.0;
+        assert_ne!(base, canonical_key(&other));
+        let other = job("x", 8).without_crosstalk();
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.traffic = Traffic::NearestNeighbors(3);
+        assert_ne!(base, canonical_key(&other));
+    }
+
+    #[test]
+    fn hits_relabel_and_count() {
+        let cache = DesignCache::new();
+        let j = job("first", 4);
+        let key = canonical_key(&j);
+        assert!(cache.lookup(&key, "first").is_none());
+        let design = Arc::new(
+            xring_core::Synthesizer::new(j.options.clone())
+                .synthesize(&j.net)
+                .expect("synthesized"),
+        );
+        let report = design.report("first", &j.loss, j.xtalk.as_ref(), &j.power);
+        cache.insert(key.clone(), design, report);
+        let (_, hit) = cache.lookup(&key, "second").expect("hit");
+        assert_eq!(hit.label, "second");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! The worker-pool executor.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+use xring_core::Synthesizer;
+
+use crate::cache::{canonical_key, DesignCache};
+use crate::job::{BatchResult, JobError, JobOutput, SynthesisJob};
+use crate::metrics::{BatchMetrics, EngineEvent, EventSink};
+
+/// A batch executor: a scoped worker pool sharing a [`DesignCache`] and
+/// an optional [`EventSink`].
+///
+/// Determinism contract: for the same submitted jobs, the outcomes are
+/// identical (wall-clock fields aside) for any worker count — results are
+/// returned in submission order and every job's synthesis depends only on
+/// its own inputs.
+pub struct Engine {
+    workers: usize,
+    cache: DesignCache,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("cache", &self.cache)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn EventSink"))
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per available core and a fresh cache.
+    pub fn new() -> Self {
+        Engine {
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
+            cache: DesignCache::new(),
+            sink: None,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches an event sink; every job start/finish and batch summary
+    /// is emitted to it.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The engine's design cache (for inspecting hit/miss counters).
+    pub fn cache(&self) -> &DesignCache {
+        &self.cache
+    }
+
+    fn emit(&self, event: EngineEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Runs `count` closures on the worker pool and returns their results
+    /// in index order. A panicking task becomes
+    /// [`JobError::Panicked`]; the worker survives and takes the next
+    /// task. This is the generic substrate under
+    /// [`run_batch`](Self::run_batch), exposed for callers (the bench
+    /// tables) whose units of work are not whole [`SynthesisJob`]s.
+    pub fn run_tasks<T, F>(&self, count: usize, task: F) -> Vec<Result<T, JobError>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, JobError> + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(count);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| task(i)))
+                        .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every task index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// Runs a batch of synthesis jobs and returns per-job outcomes in
+    /// submission order plus aggregated [`BatchMetrics`].
+    pub fn run_batch(&self, jobs: Vec<SynthesisJob>) -> BatchResult {
+        let t0 = Instant::now();
+        let outcomes = self.run_tasks(jobs.len(), |i| self.run_job(i, &jobs[i]));
+        let mut metrics = BatchMetrics::default();
+        for outcome in &outcomes {
+            metrics.record(outcome);
+        }
+        metrics.batch_wall = t0.elapsed();
+        self.emit(EngineEvent::BatchFinished {
+            metrics: metrics.clone(),
+        });
+        BatchResult { outcomes, metrics }
+    }
+
+    /// Runs one job: cache lookup, else synthesize + evaluate + insert.
+    /// Panics inside the synthesis are caught here so the job-finished
+    /// event is still emitted.
+    fn run_job(&self, index: usize, job: &SynthesisJob) -> Result<JobOutput, JobError> {
+        self.emit(EngineEvent::JobStarted {
+            index,
+            label: job.label.clone(),
+        });
+        let t0 = Instant::now();
+        let mut result = catch_unwind(AssertUnwindSafe(|| self.synthesize_job(job)))
+            .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
+        let wall = t0.elapsed();
+        let (status, cache_hit) = match &mut result {
+            Ok(out) => {
+                out.wall = wall;
+                ("ok", out.cache_hit)
+            }
+            Err(JobError::DeadlineExceeded) => ("deadline", false),
+            Err(JobError::Synthesis(_)) => ("error", false),
+            Err(JobError::Panicked(_)) => ("panic", false),
+        };
+        self.emit(EngineEvent::JobFinished {
+            index,
+            label: job.label.clone(),
+            status,
+            cache_hit,
+            wall,
+        });
+        result
+    }
+
+    fn synthesize_job(&self, job: &SynthesisJob) -> Result<JobOutput, JobError> {
+        let key = canonical_key(job);
+        if let Some((design, report)) = self.cache.lookup(&key, &job.label) {
+            return Ok(JobOutput {
+                label: job.label.clone(),
+                design,
+                report,
+                wall: Default::default(),
+                cache_hit: true,
+            });
+        }
+        let design = Arc::new(Synthesizer::new(job.options.clone()).synthesize(&job.net)?);
+        let report = design.report(job.label.clone(), &job.loss, job.xtalk.as_ref(), &job.power);
+        self.cache.insert(key, Arc::clone(&design), report.clone());
+        Ok(JobOutput {
+            label: job.label.clone(),
+            design,
+            report,
+            wall: Default::default(),
+            cache_hit: false,
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_return_in_index_order() {
+        let engine = Engine::new().with_workers(4);
+        let results = engine.run_tasks(16, |i| Ok(i * i));
+        let values: Vec<usize> = results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let engine = Engine::new();
+        assert!(engine.run_tasks(0, |_| Ok(())).is_empty());
+        let batch = engine.run_batch(Vec::new());
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.metrics.jobs, 0);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_poison_its_neighbours() {
+        let engine = Engine::new().with_workers(2);
+        let results = engine.run_tasks(5, |i| {
+            if i == 2 {
+                panic!("task {i} exploded");
+            }
+            Ok(i)
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(r, &Err(JobError::Panicked("task 2 exploded".to_owned())));
+            } else {
+                assert_eq!(r, &Ok(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Batch metrics aggregation and the optional event stream.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::job::{JobError, JobOutput};
+
+/// Aggregated statistics for one [`run_batch`](crate::Engine::run_batch)
+/// call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that produced a design.
+    pub succeeded: usize,
+    /// Jobs that failed (deadline, synthesis error or panic).
+    pub failed: usize,
+    /// Jobs served from the design cache.
+    pub cache_hits: usize,
+    /// Jobs that had to synthesize.
+    pub cache_misses: usize,
+    /// Wall-clock time of the whole batch.
+    pub batch_wall: Duration,
+    /// Sum of per-job wall times (≥ `batch_wall` under parallelism).
+    pub total_job_wall: Duration,
+    /// The slowest single job.
+    pub max_job_wall: Duration,
+    /// Branch-and-bound nodes explored, summed over fresh (non-cached)
+    /// successful jobs.
+    pub milp_nodes: usize,
+    /// LP relaxations solved, summed over fresh successful jobs.
+    pub milp_lp_solves: usize,
+    /// Lazy conflict constraints separated, summed over fresh successful
+    /// jobs.
+    pub milp_lazy_cuts: usize,
+}
+
+impl BatchMetrics {
+    /// Folds one job outcome into the aggregate.
+    pub(crate) fn record(&mut self, outcome: &Result<JobOutput, JobError>) {
+        self.jobs += 1;
+        match outcome {
+            Ok(out) => {
+                self.succeeded += 1;
+                self.total_job_wall += out.wall;
+                self.max_job_wall = self.max_job_wall.max(out.wall);
+                if out.cache_hit {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                    let s = &out.design.ring_stats;
+                    self.milp_nodes += s.milp_nodes;
+                    self.milp_lp_solves += s.lp_solves;
+                    self.milp_lazy_cuts += s.lazy_cuts;
+                }
+            }
+            Err(_) => {
+                self.failed += 1;
+                self.cache_misses += 1;
+            }
+        }
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs ({} ok, {} failed) in {:.3}s; cache {}/{} hit; \
+             milp: {} nodes, {} lp solves, {} lazy cuts",
+            self.jobs,
+            self.succeeded,
+            self.failed,
+            self.batch_wall.as_secs_f64(),
+            self.cache_hits,
+            self.jobs,
+            self.milp_nodes,
+            self.milp_lp_solves,
+            self.milp_lazy_cuts,
+        )
+    }
+}
+
+/// One engine event, emitted as jobs progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A worker picked up job `index`.
+    JobStarted {
+        /// Submission index of the job.
+        index: usize,
+        /// The job's label.
+        label: String,
+    },
+    /// Job `index` finished (either way).
+    JobFinished {
+        /// Submission index of the job.
+        index: usize,
+        /// The job's label.
+        label: String,
+        /// `"ok"`, `"deadline"`, `"error"` or `"panic"`.
+        status: &'static str,
+        /// Whether the cache served the design.
+        cache_hit: bool,
+        /// Wall-clock time spent on this job.
+        wall: Duration,
+    },
+    /// The whole batch completed.
+    BatchFinished {
+        /// The final aggregate.
+        metrics: BatchMetrics,
+    },
+}
+
+/// Receiver for [`EngineEvent`]s. Implementations must be thread-safe:
+/// workers emit concurrently.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &EngineEvent);
+}
+
+/// An [`EventSink`] writing one JSON object per line, suitable for
+/// `xring batch --metrics-jsonl`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("sink lock")
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &EngineEvent) {
+        let line = match event {
+            EngineEvent::JobStarted { index, label } => format!(
+                r#"{{"event":"job_started","index":{index},"label":"{}"}}"#,
+                json_escape(label)
+            ),
+            EngineEvent::JobFinished {
+                index,
+                label,
+                status,
+                cache_hit,
+                wall,
+            } => format!(
+                r#"{{"event":"job_finished","index":{index},"label":"{}","status":"{status}","cache_hit":{cache_hit},"wall_s":{}}}"#,
+                json_escape(label),
+                wall.as_secs_f64()
+            ),
+            EngineEvent::BatchFinished { metrics: m } => format!(
+                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{}}}"#,
+                m.jobs,
+                m.succeeded,
+                m.failed,
+                m.cache_hits,
+                m.cache_misses,
+                m.batch_wall.as_secs_f64(),
+                m.total_job_wall.as_secs_f64(),
+                m.max_job_wall.as_secs_f64(),
+                m.milp_nodes,
+                m.milp_lp_solves,
+                m.milp_lazy_cuts,
+            ),
+        };
+        let mut w = self.writer.lock().expect("sink lock");
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&EngineEvent::JobStarted {
+            index: 0,
+            label: "a \"quoted\"\nlabel".into(),
+        });
+        sink.emit(&EngineEvent::JobFinished {
+            index: 0,
+            label: "x".into(),
+            status: "ok",
+            cache_hit: true,
+            wall: Duration::from_millis(2),
+        });
+        sink.emit(&EngineEvent::BatchFinished {
+            metrics: BatchMetrics {
+                jobs: 1,
+                succeeded: 1,
+                ..Default::default()
+            },
+        });
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#"\"quoted\"\n"#));
+        assert!(lines[1].contains(r#""status":"ok""#));
+        assert!(lines[2].contains(r#""event":"batch_finished""#));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            // Balanced quotes: an even count of unescaped '"'.
+            let unescaped = l
+                .replace("\\\\", "")
+                .replace("\\\"", "")
+                .matches('"')
+                .count();
+            assert_eq!(unescaped % 2, 0, "line: {l}");
+        }
+    }
+
+    #[test]
+    fn record_aggregates_both_ways() {
+        let mut m = BatchMetrics::default();
+        m.record(&Err(JobError::DeadlineExceeded));
+        assert_eq!(m.jobs, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!(m.summary().contains("1 jobs"));
+    }
+}

@@ -130,7 +130,10 @@ mod tests {
         match classify_edge_pair(p(0, 0), p(10, 10), p(5, -5), p(5, 15)) {
             EdgeConflict::Conflicting => {}
             EdgeConflict::ConflictFree(m) => {
-                panic!("expected conflict, free combos: {:?}", m.free_combinations())
+                panic!(
+                    "expected conflict, free combos: {:?}",
+                    m.free_combinations()
+                )
             }
         }
     }

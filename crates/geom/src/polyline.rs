@@ -139,7 +139,11 @@ impl Polyline {
             return 0;
         }
         let mut bends = 0;
-        let pairs = if self.closed { segs.len() } else { segs.len() - 1 };
+        let pairs = if self.closed {
+            segs.len()
+        } else {
+            segs.len() - 1
+        };
         for i in 0..pairs {
             let a = &segs[i];
             let b = &segs[(i + 1) % segs.len()];

@@ -151,17 +151,29 @@ mod tests {
 
     #[test]
     fn degenerate_straight_route() {
-        let r = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::HorizontalFirst);
+        let r = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
         assert_eq!(r.segments().len(), 1);
         assert_eq!(r.bend_count(), 0);
-        let r2 = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::VerticalFirst);
+        let r2 = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::VerticalFirst,
+        );
         assert_eq!(r2.segments().len(), 1);
         assert_eq!(r.length(), r2.length());
     }
 
     #[test]
     fn zero_length_route() {
-        let r = LRoute::new(Point::new(5, 5), Point::new(5, 5), RouteOption::HorizontalFirst);
+        let r = LRoute::new(
+            Point::new(5, 5),
+            Point::new(5, 5),
+            RouteOption::HorizontalFirst,
+        );
         assert_eq!(r.length(), 0);
         assert_eq!(r.segments().len(), 1);
         assert!(r.segments()[0].is_degenerate());
@@ -183,16 +195,32 @@ mod tests {
     fn crossing_detection_proper() {
         // Route A: (0,0) -> (10,10) horizontal-first: corner at (10,0)
         // Route B: (5,-5) -> (15,5) vertical-first: corner at (5,5)
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 10), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(5, -5), Point::new(15, 5), RouteOption::VerticalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 10),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(5, -5),
+            Point::new(15, 5),
+            RouteOption::VerticalFirst,
+        );
         assert!(a.crosses(&b));
     }
 
     #[test]
     fn shared_endpoint_is_not_a_crossing() {
         // Two ring edges sharing node (10, 0).
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(10, 0), Point::new(20, 5), RouteOption::HorizontalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(10, 0),
+            Point::new(20, 5),
+            RouteOption::HorizontalFirst,
+        );
         assert!(!a.crosses(&b));
     }
 
@@ -200,8 +228,16 @@ mod tests {
     fn overlap_is_not_a_crossing() {
         // Both leave (0,0) heading right along y=0: they run side by side
         // at a small offset — no transversal crossing.
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(0, 0), Point::new(5, 3), RouteOption::HorizontalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(0, 0),
+            Point::new(5, 3),
+            RouteOption::HorizontalFirst,
+        );
         assert!(!a.crosses(&b));
     }
 
@@ -209,30 +245,58 @@ mod tests {
     fn t_touch_is_not_a_crossing() {
         // B's endpoint lands in the middle of A: a tap/turn-away, which
         // offset routing resolves without crossing A.
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(5, 5), Point::new(5, 0), RouteOption::VerticalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(5, 5),
+            Point::new(5, 0),
+            RouteOption::VerticalFirst,
+        );
         assert!(!a.crosses(&b));
     }
 
     #[test]
     fn transversal_crossing_detected() {
         // B passes straight through the middle of A.
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 0), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(5, -5), Point::new(5, 5), RouteOption::VerticalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 0),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(5, -5),
+            Point::new(5, 5),
+            RouteOption::VerticalFirst,
+        );
         assert!(a.crosses(&b));
         assert!(b.crosses(&a));
     }
 
     #[test]
     fn disjoint_routes_do_not_cross() {
-        let a = LRoute::new(Point::new(0, 0), Point::new(10, 10), RouteOption::HorizontalFirst);
-        let b = LRoute::new(Point::new(100, 100), Point::new(120, 140), RouteOption::VerticalFirst);
+        let a = LRoute::new(
+            Point::new(0, 0),
+            Point::new(10, 10),
+            RouteOption::HorizontalFirst,
+        );
+        let b = LRoute::new(
+            Point::new(100, 100),
+            Point::new(120, 140),
+            RouteOption::VerticalFirst,
+        );
         assert!(!a.crosses(&b));
     }
 
     #[test]
     fn proper_crossing_count() {
-        let r = LRoute::new(Point::new(0, 5), Point::new(20, 5), RouteOption::HorizontalFirst);
+        let r = LRoute::new(
+            Point::new(0, 5),
+            Point::new(20, 5),
+            RouteOption::HorizontalFirst,
+        );
         let walls = vec![
             Segment::new(Point::new(5, 0), Point::new(5, 10)),
             Segment::new(Point::new(10, 0), Point::new(10, 10)),
@@ -243,6 +307,9 @@ mod tests {
 
     #[test]
     fn option_flip_roundtrip() {
-        assert_eq!(RouteOption::HorizontalFirst.flipped().flipped(), RouteOption::HorizontalFirst);
+        assert_eq!(
+            RouteOption::HorizontalFirst.flipped().flipped(),
+            RouteOption::HorizontalFirst
+        );
     }
 }

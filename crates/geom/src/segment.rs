@@ -132,7 +132,9 @@ impl Segment {
     /// not an endpoint contact or a bend).
     pub fn crosses_properly(&self, other: &Segment) -> bool {
         match self.intersection(other) {
-            SegmentIntersection::Point(p) => self.point_is_interior(p) && other.point_is_interior(p),
+            SegmentIntersection::Point(p) => {
+                self.point_is_interior(p) && other.point_is_interior(p)
+            }
             _ => false,
         }
     }
@@ -175,7 +177,10 @@ mod tests {
     fn perpendicular_crossing() {
         let h = seg(0, 5, 10, 5);
         let v = seg(3, 0, 3, 10);
-        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(3, 5)));
+        assert_eq!(
+            h.intersection(&v),
+            SegmentIntersection::Point(Point::new(3, 5))
+        );
         assert!(h.crosses_properly(&v));
     }
 
@@ -183,7 +188,10 @@ mod tests {
     fn t_junction_is_not_proper_crossing() {
         let h = seg(0, 5, 10, 5);
         let v = seg(3, 5, 3, 10); // touches h at its own endpoint
-        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(3, 5)));
+        assert_eq!(
+            h.intersection(&v),
+            SegmentIntersection::Point(Point::new(3, 5))
+        );
         assert!(!h.crosses_properly(&v));
     }
 
@@ -191,7 +199,10 @@ mod tests {
     fn corner_contact_is_not_proper_crossing() {
         let h = seg(0, 0, 5, 0);
         let v = seg(5, 0, 5, 5);
-        assert_eq!(h.intersection(&v), SegmentIntersection::Point(Point::new(5, 0)));
+        assert_eq!(
+            h.intersection(&v),
+            SegmentIntersection::Point(Point::new(5, 0))
+        );
         assert!(!h.crosses_properly(&v));
     }
 
@@ -219,14 +230,20 @@ mod tests {
     fn collinear_endpoint_touch_is_a_point() {
         let a = seg(0, 0, 10, 0);
         let b = seg(10, 0, 20, 0);
-        assert_eq!(a.intersection(&b), SegmentIntersection::Point(Point::new(10, 0)));
+        assert_eq!(
+            a.intersection(&b),
+            SegmentIntersection::Point(Point::new(10, 0))
+        );
     }
 
     #[test]
     fn degenerate_segment_on_segment() {
         let a = seg(0, 0, 10, 0);
         let p = seg(4, 0, 4, 0);
-        assert_eq!(a.intersection(&p), SegmentIntersection::Point(Point::new(4, 0)));
+        assert_eq!(
+            a.intersection(&p),
+            SegmentIntersection::Point(Point::new(4, 0))
+        );
         assert!(p.is_degenerate());
     }
 

@@ -122,7 +122,10 @@ impl TwoSat {
             if index[start as usize] != u32::MAX {
                 continue;
             }
-            call.push(Frame { v: start, child_idx: 0 });
+            call.push(Frame {
+                v: start,
+                child_idx: 0,
+            });
             index[start as usize] = next_index;
             low[start as usize] = next_index;
             next_index += 1;

@@ -4,6 +4,7 @@ use crate::error::SolveError;
 use crate::expr::{LinExpr, VarId};
 use crate::model::{Model, Relation, VarKind};
 use crate::simplex::{LpOutcome, LpProblem, LpRow};
+use std::time::Instant;
 
 /// Integrality tolerance: an LP value within this distance of an integer
 /// is considered integral.
@@ -68,6 +69,7 @@ pub struct SolveStats {
 #[derive(Debug, Clone)]
 pub struct BranchAndBound {
     max_nodes: usize,
+    deadline: Option<Instant>,
     incumbent: Option<(Vec<f64>, f64)>,
 }
 
@@ -75,6 +77,7 @@ impl Default for BranchAndBound {
     fn default() -> Self {
         BranchAndBound {
             max_nodes: 200_000,
+            deadline: None,
             incumbent: None,
         }
     }
@@ -91,6 +94,17 @@ impl BranchAndBound {
     /// [`SolveError::ResourceLimit`].
     pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
         self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets a cooperative wall-clock deadline, checked once per
+    /// branch-and-bound node alongside the node limit. When the deadline
+    /// passes mid-search the solve aborts with
+    /// [`SolveError::Interrupted`] — a hard stop (no incumbent fallback),
+    /// since the caller's time budget is already spent. `None` clears a
+    /// previously set deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -193,8 +207,7 @@ impl BranchAndBound {
         struct Node {
             fixes: Vec<(usize, bool)>,
         }
-        let root_fixes: Vec<(usize, bool)> =
-            pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
+        let root_fixes: Vec<(usize, bool)> = pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
         let mut stack = vec![Node { fixes: root_fixes }];
         let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
         let is_binary = {
@@ -235,6 +248,11 @@ impl BranchAndBound {
                     Some((values, obj)) => Ok(self.finish(values, obj, stats)),
                     None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
                 };
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(SolveError::Interrupted { nodes: stats.nodes });
+                }
             }
 
             // Substitute fixed binaries out of the LP entirely.
@@ -357,15 +375,9 @@ impl BranchAndBound {
                         }
                         let cuts = separate(&values);
                         if cuts.is_empty() {
-                            let obj: f64 = values
-                                .iter()
-                                .zip(&objective)
-                                .map(|(x, c)| x * c)
-                                .sum();
-                            let improves = best
-                                .as_ref()
-                                .map(|(_, b)| obj < *b - 1e-9)
-                                .unwrap_or(true);
+                            let obj: f64 = values.iter().zip(&objective).map(|(x, c)| x * c).sum();
+                            let improves =
+                                best.as_ref().map(|(_, b)| obj < *b - 1e-9).unwrap_or(true);
                             if improves {
                                 best = Some((values, obj));
                             }
@@ -505,11 +517,7 @@ mod tests {
         let s = BranchAndBound::new()
             .solve_with_lazy(&m, |vals| {
                 if vals.iter().take(3).sum::<f64>() > 2.5 {
-                    vec![(
-                        LinExpr::sum([a, b, c]),
-                        Relation::Le,
-                        2.0,
-                    )]
+                    vec![(LinExpr::sum([a, b, c]), Relation::Le, 2.0)]
                 } else {
                     Vec::new()
                 }
@@ -517,6 +525,33 @@ mod tests {
             .expect("feasible");
         assert!((s.objective() + 2.0).abs() < 1e-6);
         assert!(s.stats().lazy_constraints >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_even_with_incumbent() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        let solver = BranchAndBound::new()
+            .with_incumbent(vec![0.0], 0.0)
+            .with_deadline(Some(Instant::now()));
+        match solver.solve(&m) {
+            Err(SolveError::Interrupted { nodes }) => assert!(nodes <= 1),
+            other => panic!("expected interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interrupt() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        let far = Instant::now() + std::time::Duration::from_secs(3_600);
+        let s = BranchAndBound::new()
+            .with_deadline(Some(far))
+            .solve(&m)
+            .expect("feasible");
+        assert!((s.objective() - 0.0).abs() < 1e-9);
     }
 
     #[test]

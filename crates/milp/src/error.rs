@@ -17,6 +17,15 @@ pub enum SolveError {
         /// Nodes explored when the limit hit.
         nodes: usize,
     },
+    /// The solver was interrupted by its cooperative deadline (see
+    /// [`BranchAndBound::with_deadline`](crate::BranchAndBound::with_deadline))
+    /// before the search could be completed. Unlike [`ResourceLimit`]
+    /// (which falls back to the incumbent), a deadline is a hard stop:
+    /// the caller's time budget is spent, so no solution is returned.
+    Interrupted {
+        /// Nodes explored when the deadline hit.
+        nodes: usize,
+    },
     /// The simplex ran into numerical trouble it could not recover from.
     Numerical,
 }
@@ -28,6 +37,9 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "model is unbounded"),
             SolveError::ResourceLimit { nodes } => {
                 write!(f, "resource limit exhausted after {nodes} nodes")
+            }
+            SolveError::Interrupted { nodes } => {
+                write!(f, "solve interrupted by deadline after {nodes} nodes")
             }
             SolveError::Numerical => write!(f, "simplex failed numerically"),
         }
@@ -46,6 +58,7 @@ mod tests {
             (SolveError::Infeasible, "infeasible"),
             (SolveError::Unbounded, "unbounded"),
             (SolveError::ResourceLimit { nodes: 7 }, "7"),
+            (SolveError::Interrupted { nodes: 9 }, "deadline"),
             (SolveError::Numerical, "numerically"),
         ] {
             let s = e.to_string();

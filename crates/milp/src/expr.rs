@@ -105,10 +105,7 @@ impl LinExpr {
     ///
     /// Panics if a variable index exceeds `values.len()`.
     pub fn evaluate(&self, values: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(v, c)| c * values[v.index()])
-            .sum()
+        self.terms.iter().map(|(v, c)| c * values[v.index()]).sum()
     }
 }
 

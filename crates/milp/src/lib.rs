@@ -39,8 +39,8 @@ pub mod presolve;
 pub mod simplex;
 
 pub use bnb::{BranchAndBound, MilpSolution, SolveStats};
-pub use presolve::{presolve, PresolveResult};
 pub use error::SolveError;
 pub use expr::{LinExpr, VarId};
 pub use model::{Model, Relation, VarKind};
+pub use presolve::{presolve, PresolveResult};
 pub use simplex::{LpOutcome, LpProblem, LpSolution};

@@ -87,7 +87,10 @@ impl Model {
     /// Panics if `lb` is not finite, `ub < lb`, or `ub` is NaN.
     pub fn add_continuous(&mut self, lb: f64, ub: f64, name: impl Into<String>) -> VarId {
         assert!(lb.is_finite(), "lower bound must be finite");
-        assert!(!ub.is_nan() && ub >= lb, "upper bound must be >= lower bound");
+        assert!(
+            !ub.is_nan() && ub >= lb,
+            "upper bound must be >= lower bound"
+        );
         self.vars.push(VarDef {
             kind: VarKind::Continuous { lb, ub },
             name: name.into(),
@@ -109,7 +112,11 @@ impl Model {
             assert!(v.index() < self.vars.len(), "variable {v} not in model");
             assert!(c.is_finite(), "constraint coefficient must be finite");
         }
-        self.constraints.push(Constraint { expr, relation, rhs });
+        self.constraints.push(Constraint {
+            expr,
+            relation,
+            rhs,
+        });
     }
 
     /// Sets the (minimization) objective.

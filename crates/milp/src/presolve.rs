@@ -137,14 +137,22 @@ pub fn presolve(model: &Model) -> PresolveResult {
                     (Relation::Le, true) => {
                         let bound = slack / coef;
                         if bound < ub[j] - eps {
-                            ub[j] = if binary[j] { bound.floor().max(0.0) } else { bound };
+                            ub[j] = if binary[j] {
+                                bound.floor().max(0.0)
+                            } else {
+                                bound
+                            };
                             changed = true;
                         }
                     }
                     (Relation::Ge, true) => {
                         let bound = slack / coef;
                         if bound > lb[j] + eps {
-                            lb[j] = if binary[j] { bound.ceil().min(1.0) } else { bound };
+                            lb[j] = if binary[j] {
+                                bound.ceil().min(1.0)
+                            } else {
+                                bound
+                            };
                             changed = true;
                         }
                     }
@@ -168,9 +176,7 @@ pub fn presolve(model: &Model) -> PresolveResult {
                 }
             }
             // Knapsack fixing on all-nonnegative <= rows.
-            if c.relation == Relation::Le
-                && c.expr.terms().iter().all(|&(_, coef)| coef >= 0.0)
-            {
+            if c.relation == Relation::Le && c.expr.terms().iter().all(|&(_, coef)| coef >= 0.0) {
                 for &(v, coef) in c.expr.terms() {
                     let j = v.index();
                     if binary[j]

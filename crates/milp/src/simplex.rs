@@ -249,10 +249,10 @@ impl LpProblem {
         // --- Simplex loop over a given cost row, restricted columns. ---
         // allowed_cols: phase 1 uses all columns; phase 2 excludes artificials.
         let run_phase = |tab: &mut Vec<f64>,
-                             basis: &mut Vec<usize>,
-                             cost_row: usize,
-                             col_limit: usize,
-                             iterations: &mut usize|
+                         basis: &mut Vec<usize>,
+                         cost_row: usize,
+                         col_limit: usize,
+                         iterations: &mut usize|
          -> Result<(), LpOutcome> {
             let bland_threshold = 5_000 + 20 * (m + n);
             loop {
@@ -396,11 +396,7 @@ impl LpProblem {
                 values[j] = self.ub[j];
             }
         }
-        let objective: f64 = values
-            .iter()
-            .zip(&self.objective)
-            .map(|(x, c)| x * c)
-            .sum();
+        let objective: f64 = values.iter().zip(&self.objective).map(|(x, c)| x * c).sum();
         let _ = obj_const;
         LpOutcome::Optimal(LpSolution { values, objective })
     }
@@ -411,7 +407,11 @@ mod tests {
     use super::*;
 
     fn row(terms: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> LpRow {
-        LpRow { terms, relation, rhs }
+        LpRow {
+            terms,
+            relation,
+            rhs,
+        }
     }
 
     fn optimal(o: LpOutcome) -> LpSolution {
@@ -436,7 +436,11 @@ mod tests {
         };
         let s = optimal(p.solve());
         // Optimum at intersection: x = 8/5, y = 6/5, obj = -14/5.
-        assert!((s.objective + 14.0 / 5.0).abs() < 1e-6, "obj = {}", s.objective);
+        assert!(
+            (s.objective + 14.0 / 5.0).abs() < 1e-6,
+            "obj = {}",
+            s.objective
+        );
         assert!((s.values[0] - 1.6).abs() < 1e-6);
         assert!((s.values[1] - 1.2).abs() < 1e-6);
     }
@@ -538,14 +542,24 @@ mod tests {
         let var = |i: usize, j: usize| i * 3 + j;
         let mut rows = Vec::new();
         for i in 0..3 {
-            rows.push(row((0..3).map(|j| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0));
-            rows.push(row((0..3).map(|j| (var(j, i), 1.0)).collect(), Relation::Eq, 1.0));
+            rows.push(row(
+                (0..3).map(|j| (var(i, j), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            ));
+            rows.push(row(
+                (0..3).map(|j| (var(j, i), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            ));
         }
         let p = LpProblem {
             num_vars: nv,
             lb: vec![0.0; nv],
             ub: vec![1.0; nv],
-            objective: (0..3).flat_map(|i| (0..3).map(move |j| cost[i][j])).collect(),
+            objective: (0..3)
+                .flat_map(|i| (0..3).map(move |j| cost[i][j]))
+                .collect(),
             rows,
         };
         let s = optimal(p.solve());

@@ -15,11 +15,7 @@ struct RandomBip {
 
 fn arb_bip() -> impl Strategy<Value = RandomBip> {
     (2usize..7).prop_flat_map(|num_vars| {
-        let constraint = (
-            prop::collection::vec(-3i8..=3, num_vars),
-            0u8..3,
-            -4i8..=6,
-        );
+        let constraint = (prop::collection::vec(-3i8..=3, num_vars), 0u8..3, -4i8..=6);
         (
             prop::collection::vec(constraint, 0..5),
             prop::collection::vec(-5i8..=5, num_vars),
@@ -38,12 +34,7 @@ fn build(bip: &RandomBip) -> (Model, Vec<VarId>) {
         .map(|i| m.add_binary(format!("x{i}")))
         .collect();
     for (coeffs, rel, rhs) in &bip.constraints {
-        let expr = LinExpr::from_terms(
-            coeffs
-                .iter()
-                .zip(&vars)
-                .map(|(&c, &v)| (v, c as f64)),
-        );
+        let expr = LinExpr::from_terms(coeffs.iter().zip(&vars).map(|(&c, &v)| (v, c as f64)));
         let rel = match rel {
             0 => Relation::Le,
             1 => Relation::Ge,

@@ -111,9 +111,15 @@ mod tests {
     #[test]
     fn each_element_contributes_its_parameter() {
         let p = LossParams::default();
-        assert_eq!(insertion_loss_db(&[PathElement::Crossing], &p), p.crossing_db);
+        assert_eq!(
+            insertion_loss_db(&[PathElement::Crossing], &p),
+            p.crossing_db
+        );
         assert_eq!(insertion_loss_db(&[PathElement::MrrDrop], &p), p.drop_db);
-        assert_eq!(insertion_loss_db(&[PathElement::MrrThrough], &p), p.through_db);
+        assert_eq!(
+            insertion_loss_db(&[PathElement::MrrThrough], &p),
+            p.through_db
+        );
         assert_eq!(insertion_loss_db(&[PathElement::Bend], &p), p.bend_db);
         assert_eq!(
             insertion_loss_db(&[PathElement::Photodetector], &p),
@@ -135,7 +141,10 @@ mod tests {
     #[test]
     fn loss_is_additive_over_concatenation() {
         let p = LossParams::default();
-        let a = vec![PathElement::Propagate { length_um: 5_000 }, PathElement::Crossing];
+        let a = vec![
+            PathElement::Propagate { length_um: 5_000 },
+            PathElement::Crossing,
+        ];
         let b = vec![PathElement::MrrDrop, PathElement::Photodetector];
         let mut ab = a.clone();
         ab.extend(b.iter().copied());

@@ -67,9 +67,7 @@ impl NoiseLedger {
     /// Total relative noise power at `victim`'s detector in dB, or `None`
     /// if the victim receives no first-order noise.
     pub fn noise_rel_db(&self, victim: SignalId) -> Option<f64> {
-        self.noise_linear
-            .get(&victim)
-            .map(|lin| 10.0 * lin.log10())
+        self.noise_linear.get(&victim).map(|lin| 10.0 * lin.log10())
     }
 
     /// SNR of `victim` in dB, given the insertion loss of its own data

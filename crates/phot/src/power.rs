@@ -29,7 +29,10 @@ impl PerWavelengthDemand {
     /// Registers a signal on `wl` whose end-to-end loss (laser → sender →
     /// detector) is `total_il_db`; keeps the per-wavelength maximum.
     pub fn register(&mut self, wl: Wavelength, total_il_db: f64) {
-        let entry = self.worst_total_il_db.entry(wl).or_insert(f64::NEG_INFINITY);
+        let entry = self
+            .worst_total_il_db
+            .entry(wl)
+            .or_insert(f64::NEG_INFINITY);
         if total_il_db > *entry {
             *entry = total_il_db;
         }

@@ -45,6 +45,18 @@ impl RouterReport {
         })
     }
 
+    /// This report with [`synthesis_time`](Self::synthesis_time) zeroed:
+    /// every other field is a pure function of the design and the
+    /// evaluation parameters, so two normalized reports of the same
+    /// design are identical. Used to assert determinism across serial,
+    /// parallel and cached synthesis paths.
+    pub fn normalized(&self) -> RouterReport {
+        RouterReport {
+            synthesis_time: Duration::ZERO,
+            ..self.clone()
+        }
+    }
+
     /// Formats one table row: `#wl  il  L  C  P  #s  SNR  T`.
     pub fn table_row(&self) -> String {
         let p = self
@@ -129,6 +141,20 @@ mod tests {
     fn display_matches_row() {
         let r = sample();
         assert_eq!(r.to_string(), r.table_row());
+    }
+
+    #[test]
+    fn normalized_differs_only_in_time() {
+        let r = sample();
+        let n = r.normalized();
+        assert_eq!(n.synthesis_time, Duration::ZERO);
+        assert_eq!(
+            n,
+            RouterReport {
+                synthesis_time: Duration::ZERO,
+                ..r
+            }
+        );
     }
 
     #[test]

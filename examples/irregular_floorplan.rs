@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example irregular_floorplan`
 
-use xring::core::{
-    NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer,
-};
+use xring::core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer};
 use xring::phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,12 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..SynthesisOptions::with_wavelengths(12)
             })
             .synthesize(&net)?;
-            let report = design.report(
-                format!("seed {seed}: {name}"),
-                &loss,
-                Some(&xtalk),
-                &power,
-            );
+            let report = design.report(format!("seed {seed}: {name}"), &loss, Some(&xtalk), &power);
             println!(
                 "{report}   (ring {:.1} mm, {} shortcuts)",
                 design.cycle.perimeter() as f64 / 1_000.0,

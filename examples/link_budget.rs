@@ -25,11 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = design.layout.trace(SignalId(wi as u32));
     let breakdown = LossBreakdown::of(&trace, &loss);
 
-    println!("worst signal: {} -> {} on {}", sig.from, sig.to, sig.wavelength);
+    println!(
+        "worst signal: {} -> {} on {}",
+        sig.from, sig.to, sig.wavelength
+    );
     println!("total insertion loss: {il:.3} dB");
     println!("budget: {breakdown}");
     let (mechanism, share) = breakdown.dominant();
-    println!("dominant mechanism: {mechanism} ({:.0}% of the budget)", share * 100.0);
+    println!(
+        "dominant mechanism: {mechanism} ({:.0}% of the budget)",
+        share * 100.0
+    );
     println!("PDN loss to its sender: {:.2} dB", sig.pdn_loss_db);
 
     // Distribution of dominant mechanisms across all signals.
@@ -39,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (m, _) = LossBreakdown::of(&t, &loss).dominant();
         *counts.entry(m).or_insert(0) += 1;
     }
-    println!("\ndominant mechanism across all {} signals:", design.layout.signals.len());
+    println!(
+        "\ndominant mechanism across all {} signals:",
+        design.layout.signals.len()
+    );
     for (m, c) in counts {
         println!("  {m:<14} {c}");
     }

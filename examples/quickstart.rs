@@ -15,14 +15,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = Synthesizer::new(SynthesisOptions::with_wavelengths(14)).synthesize(&net)?;
 
     println!("ring order        : {:?}", design.cycle.order());
-    println!("ring perimeter    : {:.1} mm", design.cycle.perimeter() as f64 / 1000.0);
+    println!(
+        "ring perimeter    : {:.1} mm",
+        design.cycle.perimeter() as f64 / 1000.0
+    );
     println!("shortcuts         : {}", design.shortcuts.shortcuts.len());
     println!(
         "ring waveguides   : {} (cw, ccw) = {:?}",
         design.plan.ring_waveguides.len(),
         design.plan.waveguide_counts()
     );
-    println!("openings          : {} opened / {} unopened", design.opening_stats.opened, design.opening_stats.unopened);
+    println!(
+        "openings          : {} opened / {} unopened",
+        design.opening_stats.opened, design.opening_stats.unopened
+    );
     println!("milp nodes        : {}", design.ring_stats.milp_nodes);
     println!("lazy conflict cuts: {}", design.ring_stats.lazy_cuts);
     println!();

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, net, wl) in [
         ("xring_8", NetworkSpec::proton_8(), 8),
         ("xring_16", NetworkSpec::psion_16(), 14),
-        ("xring_irregular_12", NetworkSpec::irregular(12, 10_000, 42)?, 12),
+        (
+            "xring_irregular_12",
+            NetworkSpec::irregular(12, 10_000, 42)?,
+            12,
+        ),
     ] {
         let design = Synthesizer::new(SynthesisOptions::with_wavelengths(wl)).synthesize(&net)?;
         let svg = render_design(&design, &RenderOptions::default());

@@ -7,6 +7,7 @@
 //! * [`milp`] — the 0/1 MILP solver (simplex + branch & bound),
 //! * [`phot`] — photonic loss/crosstalk/SNR/laser-power models,
 //! * [`core`] — the four-step XRing synthesis pipeline,
+//! * [`engine`] — parallel, cached, deadline-aware batch execution,
 //! * [`baselines`] — ORNoC, ORing and crossbar comparison routers,
 //! * [`viz`] — SVG rendering of synthesized layouts.
 //!
@@ -38,6 +39,7 @@
 
 pub use xring_baselines as baselines;
 pub use xring_core as core;
+pub use xring_engine as engine;
 pub use xring_geom as geom;
 pub use xring_milp as milp;
 pub use xring_phot as phot;

@@ -27,7 +27,12 @@ fn more_than_98_percent_of_signals_are_noise_free() {
     ] {
         let r = xring_report(&net, wl);
         let f = r.noise_free_fraction().expect("noise evaluated");
-        assert!(f > 0.98, "n={}: only {:.1}% noise-free", net.len(), f * 100.0);
+        assert!(
+            f > 0.98,
+            "n={}: only {:.1}% noise-free",
+            net.len(),
+            f * 100.0
+        );
     }
 }
 
@@ -37,7 +42,7 @@ fn xring_beats_ornoc_on_power_and_snr() {
     // settings of #wl and pick the one with the minimum power and maximum
     // SNR" — so the comparison runs at each router's best sweep setting,
     // exactly like the table harness.
-    let sections = xring_bench::table2().expect("table2");
+    let sections = xring_bench::table2(&xring::engine::Engine::new()).expect("table2");
     for (title, rows) in &sections {
         let ornoc = &rows[0];
         let xring = &rows[1];
@@ -47,8 +52,7 @@ fn xring_beats_ornoc_on_power_and_snr() {
             // allow a 10% band there, require a strict win at 16/32.
             let slack = if title.contains("8-node") { 1.10 } else { 1.0 };
             assert!(
-                xring.total_power_w.expect("pdn")
-                    <= ornoc.total_power_w.expect("pdn") * slack,
+                xring.total_power_w.expect("pdn") <= ornoc.total_power_w.expect("pdn") * slack,
                 "{title}: XRing power not lower"
             );
         }
@@ -66,7 +70,7 @@ fn xring_beats_ornoc_on_power_and_snr() {
 #[test]
 fn xring_beats_oring_on_the_16_node_network() {
     // Table III's qualitative claim, at each router's best sweep setting.
-    let sections = xring_bench::table3().expect("table3");
+    let sections = xring_bench::table3(&xring::engine::Engine::new()).expect("table3");
     for (title, rows) in &sections {
         let oring = &rows[0];
         let xring = &rows[1];

@@ -77,9 +77,7 @@ fn hop_from_wrong_station_kind_is_caught() {
 #[test]
 fn hop_across_opening_is_caught() {
     let mut m = minimal_layout();
-    m.waveguides[0]
-        .stations
-        .insert(1, Station::Opening);
+    m.waveguides[0].stations.insert(1, Station::Opening);
     // to_station shifted by the insertion.
     m.signals[0].hops[0].to_station = 3;
     let err = m.validate().expect_err("must fail");

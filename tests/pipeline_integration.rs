@@ -2,9 +2,7 @@
 //! routers on several floorplans and check the structural invariants the
 //! paper claims.
 
-use xring::core::{
-    NetworkSpec, RingAlgorithm, RouteKind, Station, SynthesisOptions, Synthesizer,
-};
+use xring::core::{NetworkSpec, RingAlgorithm, RouteKind, Station, SynthesisOptions, Synthesizer};
 use xring::phot::{CrosstalkParams, LossParams, PathElement, PowerParams, SignalId};
 
 fn synthesize(net: &NetworkSpec, wl: usize) -> xring::core::XRingDesign {

@@ -1,9 +1,7 @@
 //! Randomized stress: many seeds × sizes × options through the whole
 //! pipeline, checking only invariants (never absolute numbers).
 
-use xring::core::{
-    NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer, Traffic,
-};
+use xring::core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer, Traffic};
 use xring::phot::{CrosstalkParams, LossParams, PowerParams};
 use xring::viz::{render_design, RenderOptions};
 

@@ -79,8 +79,7 @@ fn reports_are_deterministic() {
 fn single_wavelength_forces_one_signal_per_lane_pair() {
     let net = NetworkSpec::proton_8();
     let ring = RingBuilder::new().build(&net).expect("ring");
-    let plan =
-        map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 1, 0).expect("mapped");
+    let plan = map_signals(&net, &ring.cycle, &ShortcutPlan::empty(), 1, 0).expect("mapped");
     for wg in &plan.ring_waveguides {
         assert_eq!(wg.lanes.len(), 1);
     }
