@@ -20,4 +20,8 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
+echo "==> cargo test -q --features fault-inject (robustness suite)"
+cargo test -q --features fault-inject --offline
+cargo test -q -p xring-engine -p xring-milp --features fault-inject --offline
+
 echo "ci: all green"

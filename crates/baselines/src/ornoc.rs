@@ -38,11 +38,24 @@ pub fn synthesize_ornoc(
         with_pdn,
         RingSpacing::default(),
     );
+    let audit = xring_core::audit_structure(
+        net,
+        &ring.cycle,
+        &plan,
+        &layout,
+        &xring_core::Traffic::AllToAll.pairs(net),
+    );
+    if !audit.is_clean() {
+        return Err(SynthesisError::AuditFailed {
+            summary: audit.summary(),
+        });
+    }
     Ok(BaselineDesign {
         cycle: ring.cycle,
         plan,
         layout,
         elapsed: t0.elapsed(),
+        audit,
     })
 }
 

@@ -27,6 +27,11 @@ pub struct BaselineDesign {
     pub layout: LayoutModel,
     /// Synthesis wall-clock time.
     pub elapsed: Duration,
+    /// Structural audit of the produced design (same invariants the
+    /// XRing pipeline enforces on its own output). Baselines are built
+    /// for comparison tables; a baseline that silently violated an
+    /// invariant would corrupt every table it appears in.
+    pub audit: xring_core::AuditReport,
 }
 
 impl BaselineDesign {

@@ -46,6 +46,8 @@ pub struct SynthArgs {
     pub wavelengths: usize,
     /// Ring algorithm: "milp" | "heuristic" | "perimeter".
     pub ring: String,
+    /// Degradation policy: "forbid" | "allow" | "force-heuristic".
+    pub degradation: String,
     /// Disable Step 2.
     pub no_shortcuts: bool,
     /// Disable openings.
@@ -67,6 +69,7 @@ impl Default for SynthArgs {
             irregular: None,
             wavelengths: 16,
             ring: "milp".into(),
+            degradation: "forbid".into(),
             no_shortcuts: false,
             no_openings: false,
             no_pdn: false,
@@ -126,6 +129,7 @@ USAGE:
 
   xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
               [--wl N] [--ring milp|heuristic|perimeter]
+              [--degradation forbid|allow|force-heuristic]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
               [--describe]
   xring sweep [synth flags] [--objective il|power|snr]
@@ -138,7 +142,27 @@ USAGE:
 GLOBAL FLAGS:
   --jobs N   worker threads for sweeps, batches, tables and ablations
              (default: one per core)
+
+DEGRADATION (synth, sweep, batch):
+  --degradation forbid           any failure is fatal (default)
+  --degradation allow            on a recoverable MILP/deadline/audit
+                                 failure, retry with a perturbed
+                                 objective, then fall back to the
+                                 heuristic ring; the result's provenance
+                                 records the degradation level
+  --degradation force-heuristic  skip the MILP entirely
 ";
+
+/// Validates and stores a `--degradation` policy value.
+fn set_degradation(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
+    if !["forbid", "allow", "force-heuristic"].contains(&v) {
+        return Err(ParseArgsError(format!(
+            "unknown degradation policy {v} (expected forbid, allow or force-heuristic)"
+        )));
+    }
+    out.degradation = v.to_owned();
+    Ok(())
+}
 
 /// Applies one shared synth/network flag. Returns `Ok(false)` when the
 /// flag is not a synth flag (so the caller can try its own flags).
@@ -215,6 +239,16 @@ where
                 return Err(ParseArgsError(format!("unknown ring algorithm {v}")));
             }
             out.ring = v.clone();
+        }
+        "--degradation" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--degradation needs a policy".into()))?;
+            set_degradation(v, out)?;
+        }
+        _ if flag.starts_with("--degradation=") => {
+            let v = &flag["--degradation=".len()..];
+            set_degradation(v, out)?;
         }
         "--describe" => out.describe = true,
         "--no-shortcuts" => out.no_shortcuts = true,
@@ -528,6 +562,30 @@ mod tests {
     #[test]
     fn objective_rejected_on_synth() {
         assert!(parse(&v(&["synth", "--objective", "snr"])).is_err());
+    }
+
+    #[test]
+    fn degradation_flag_both_forms() {
+        let Command::Synth(a) = cmd(&["synth", "--degradation", "allow"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.degradation, "allow");
+        let Command::Synth(a) = cmd(&["synth", "--degradation=force-heuristic"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.degradation, "force-heuristic");
+        let Command::Batch(b) = cmd(&["batch", "--degradation=allow"]) else {
+            panic!("not batch")
+        };
+        assert_eq!(b.synth.degradation, "allow");
+        // Default and rejects.
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.degradation, "forbid");
+        assert!(parse(&v(&["synth", "--degradation", "sometimes"])).is_err());
+        assert!(parse(&v(&["synth", "--degradation=bogus"])).is_err());
+        assert!(parse(&v(&["synth", "--degradation"])).is_err());
     }
 
     #[test]

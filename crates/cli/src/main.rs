@@ -15,7 +15,9 @@ use std::time::Duration;
 use xring_bench::tables::{
     ablation_pdn, ablation_ring, ablation_shortcuts, print_sections, table1, table2, table3,
 };
-use xring_core::{NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer};
+use xring_core::{
+    DegradationLevel, DegradationPolicy, NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer,
+};
 use xring_engine::{Engine, JsonlSink, SynthesisJob};
 use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
 use xring_viz::{render_design, RenderOptions};
@@ -105,8 +107,14 @@ fn options_of(args: &SynthArgs) -> SynthesisOptions {
         "perimeter" => RingAlgorithm::Perimeter,
         _ => RingAlgorithm::Milp,
     };
+    // The parser validated the policy string already.
+    let degradation = args
+        .degradation
+        .parse::<DegradationPolicy>()
+        .unwrap_or_default();
     SynthesisOptions {
         ring_algorithm,
+        degradation,
         shortcuts: !args.no_shortcuts,
         openings: !args.no_openings,
         pdn: !args.no_pdn,
@@ -208,7 +216,12 @@ fn run_batch_cmd(args: &BatchArgs, mut engine: Engine) -> ExitCode {
         match outcome {
             Ok(out) => {
                 let hit = if out.cache_hit { "  [cache]" } else { "" };
-                println!("{}{hit}", out.report);
+                let degraded = match out.design.provenance.degradation {
+                    DegradationLevel::Exact => "",
+                    DegradationLevel::RetriedPerturbed => "  [retried]",
+                    DegradationLevel::Heuristic => "  [heuristic]",
+                };
+                println!("{}{hit}{degraded}", out.report);
             }
             Err(e) => {
                 failed = true;
@@ -249,6 +262,17 @@ fn run_synth(args: &SynthArgs) -> ExitCode {
         design.plan.ring_waveguides.len(),
         design.opening_stats.opened,
     );
+    if design.provenance.degradation != DegradationLevel::Exact {
+        println!(
+            "degraded: {} ({})",
+            design.provenance.degradation.as_str(),
+            design
+                .provenance
+                .fallback_reason
+                .as_deref()
+                .unwrap_or("no reason recorded"),
+        );
+    }
     let report = design.report(
         "synth",
         &LossParams::default(),

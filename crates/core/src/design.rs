@@ -1,6 +1,7 @@
 //! Realization: lowering a mapped plan to a [`LayoutModel`] and packaging
 //! the final [`XRingDesign`].
 
+use crate::audit::AuditReport;
 use crate::layout::{Hop, LayoutModel, NoiseSource, Station, StationIdx, Waveguide};
 use crate::mapping::{MappingPlan, RouteKind};
 use crate::netspec::NetworkSpec;
@@ -40,6 +41,49 @@ impl RingSpacing {
     }
 }
 
+/// How far synthesis had to degrade from the exact, as-requested flow to
+/// produce a design (Sec. III pipeline with the fallback chain
+/// `ExactMilp → RetryWithPerturbation → HeuristicRing → Err`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationLevel {
+    /// The as-requested synthesis succeeded on the first attempt.
+    #[default]
+    Exact,
+    /// The exact attempt failed, but a MILP retry with a deterministically
+    /// perturbed objective succeeded. The result is still an optimal ring
+    /// up to the ≤ 1e-6 relative objective tilt.
+    RetriedPerturbed,
+    /// Exact synthesis (and any retry) failed; the ring was built by the
+    /// nearest-neighbour + 2-opt heuristic instead of the MILP.
+    Heuristic,
+}
+
+impl DegradationLevel {
+    /// Stable lowercase name (used in metrics and event streams).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradationLevel::Exact => "exact",
+            DegradationLevel::RetriedPerturbed => "retried",
+            DegradationLevel::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// How a design came to be: its degradation level, the failure that
+/// forced any degradation, and the audit verdicts it was released with.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Provenance {
+    /// How far synthesis degraded to produce this design.
+    pub degradation: DegradationLevel,
+    /// The error that triggered degradation (`None` at
+    /// [`DegradationLevel::Exact`]).
+    pub fallback_reason: Option<String>,
+    /// The post-synthesis audit this design was released with. Always
+    /// audited and clean for designs returned by
+    /// [`Synthesizer::synthesize`](crate::Synthesizer::synthesize).
+    pub audit: AuditReport,
+}
+
 /// A fully synthesized XRing router.
 #[derive(Debug, Clone)]
 pub struct XRingDesign {
@@ -61,6 +105,8 @@ pub struct XRingDesign {
     pub opening_stats: OpeningStats,
     /// Wall-clock synthesis time.
     pub elapsed: Duration,
+    /// How the design was produced (degradation level + audit verdicts).
+    pub provenance: Provenance,
 }
 
 impl XRingDesign {

@@ -33,6 +33,21 @@ pub enum SynthesisError {
     /// expired before the pipeline completed. Checked cooperatively
     /// between pipeline steps and inside the ring-construction MILP.
     DeadlineExceeded,
+    /// Ring construction broke down outside the MILP solver proper
+    /// (solution decoding or sub-cycle merging) — a structural failure
+    /// that the degradation chain can recover from heuristically.
+    RingConstruction {
+        /// What broke.
+        detail: String,
+    },
+    /// The post-synthesis auditor rejected the produced design. A design
+    /// that fails its audit is never returned; under
+    /// [`DegradationPolicy::Allow`](crate::DegradationPolicy::Allow) the
+    /// chain falls back, otherwise this error surfaces.
+    AuditFailed {
+        /// The audit's failure summary.
+        summary: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -54,6 +69,12 @@ impl fmt::Display for SynthesisError {
             ),
             SynthesisError::DeadlineExceeded => {
                 write!(f, "synthesis deadline expired before the pipeline completed")
+            }
+            SynthesisError::RingConstruction { detail } => {
+                write!(f, "ring construction failed: {detail}")
+            }
+            SynthesisError::AuditFailed { summary } => {
+                write!(f, "design audit failed: {summary}")
             }
         }
     }
@@ -97,6 +118,19 @@ mod tests {
         };
         assert!(e.to_string().contains("4"));
         assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn robustness_errors_are_descriptive() {
+        let e = SynthesisError::RingConstruction {
+            detail: "zero cycles".to_owned(),
+        };
+        assert!(e.to_string().contains("zero cycles"));
+        let e = SynthesisError::AuditFailed {
+            summary: "ring-closed-cycle: edge 0 does not chain".to_owned(),
+        };
+        assert!(e.to_string().contains("audit"));
+        assert!(e.to_string().contains("ring-closed-cycle"));
     }
 
     #[test]

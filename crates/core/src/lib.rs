@@ -37,6 +37,7 @@
 //! # Ok::<(), xring_core::SynthesisError>(())
 //! ```
 
+pub mod audit;
 pub mod describe;
 pub mod design;
 pub mod error;
@@ -53,7 +54,8 @@ pub mod synth;
 pub mod traffic;
 pub mod variation;
 
-pub use design::{RingSpacing, XRingDesign};
+pub use audit::{audit_design, audit_report_bounds, audit_structure, AuditReport, Invariant};
+pub use design::{DegradationLevel, Provenance, RingSpacing, XRingDesign};
 pub use error::SynthesisError;
 pub use layout::{Hop, LayoutModel, NoiseSource, Station, Waveguide};
 pub use mapping::{map_signals, map_signals_with_traffic, MappingPlan, RouteKind, SignalRoute};
@@ -65,6 +67,6 @@ pub use shortcut::{plan_shortcuts, Shortcut, ShortcutPlan};
 pub use sweep::{
     pick_best_index, sweep_wavelengths, synthesize_best, SweepObjective, SweepPoint, SweepResult,
 };
-pub use synth::{SynthesisOptions, Synthesizer};
+pub use synth::{DegradationPolicy, SynthesisOptions, Synthesizer};
 pub use traffic::Traffic;
-pub use variation::{monte_carlo, VariationSpec, VariationSummary};
+pub use variation::{monte_carlo, SplitMix64, VariationSpec, VariationSummary};

@@ -16,6 +16,7 @@
 use crate::error::SynthesisError;
 use crate::heuristics::{heuristic_tour, perimeter_tour, tour_length};
 use crate::netspec::{NetworkSpec, NodeId};
+use crate::variation::SplitMix64;
 use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
 use xring_milp::{BranchAndBound, LinExpr, Model, Relation, VarId};
 
@@ -344,6 +345,7 @@ pub struct RingBuilder {
     algorithm: RingAlgorithm,
     max_milp_nodes: usize,
     deadline: Option<std::time::Instant>,
+    objective_perturbation: Option<u64>,
 }
 
 impl Default for RingBuilder {
@@ -352,6 +354,7 @@ impl Default for RingBuilder {
             algorithm: RingAlgorithm::Milp,
             max_milp_nodes: 50_000,
             deadline: None,
+            objective_perturbation: None,
         }
     }
 }
@@ -393,12 +396,28 @@ impl RingBuilder {
         self
     }
 
+    /// Perturbs each MILP objective coefficient by a deterministic,
+    /// seed-derived relative factor in `[1, 1 + 1e-6)` (MILP algorithm
+    /// only). Used by the degradation chain's retry step: the tiny tilt
+    /// breaks objective ties and steers branch-and-bound down a different
+    /// search path after a numerical failure, while keeping any optimum
+    /// within a negligible length of the unperturbed one. The warm-start
+    /// incumbent is skipped when perturbing, both because its objective
+    /// would no longer match and because the retry *wants* a fresh
+    /// search. `None` (the default) solves the exact objective.
+    pub fn with_objective_perturbation(mut self, seed: Option<u64>) -> Self {
+        self.objective_perturbation = seed;
+        self
+    }
+
     /// Constructs the ring for `net`.
     ///
     /// # Errors
     ///
     /// [`SynthesisError::RingMilp`] when the MILP solver fails
-    /// unrecoverably (the heuristic algorithms cannot fail).
+    /// unrecoverably, [`SynthesisError::RingConstruction`] when solution
+    /// decoding or sub-cycle merging breaks down (the heuristic
+    /// algorithms cannot fail).
     pub fn build(&self, net: &NetworkSpec) -> Result<RingOutcome, SynthesisError> {
         match self.algorithm {
             RingAlgorithm::Perimeter => {
@@ -441,43 +460,56 @@ impl RingBuilder {
                 }
             }
         }
-        let v = |i: usize, j: usize| var[i][j].expect("edge variable exists");
+        let v = |i: usize, j: usize| -> Result<VarId, SynthesisError> {
+            var[i][j].ok_or_else(|| SynthesisError::RingConstruction {
+                detail: format!("edge variable b_{i}_{j} missing from the model"),
+            })
+        };
 
         // Constraint (1): every vertex has exactly one incoming and one
         // outgoing selected edge.
         for i in 0..n {
-            let outgoing: Vec<VarId> = (0..n).filter(|&j| j != i).map(|j| v(i, j)).collect();
-            let incoming: Vec<VarId> = (0..n).filter(|&j| j != i).map(|j| v(j, i)).collect();
+            let outgoing: Vec<VarId> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| v(i, j))
+                .collect::<Result<_, _>>()?;
+            let incoming: Vec<VarId> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| v(j, i))
+                .collect::<Result<_, _>>()?;
             model.add_constraint(LinExpr::sum(outgoing), Relation::Eq, 1.0);
             model.add_constraint(LinExpr::sum(incoming), Relation::Eq, 1.0);
         }
         // Constraint (2): no 2-cycles.
         for i in 0..n {
             for j in i + 1..n {
-                model.add_constraint(LinExpr::sum([v(i, j), v(j, i)]), Relation::Le, 1.0);
+                model.add_constraint(LinExpr::sum([v(i, j)?, v(j, i)?]), Relation::Le, 1.0);
             }
         }
-        // Objective (4): total Manhattan length.
+        // Objective (4): total Manhattan length, optionally tilted by a
+        // deterministic relative perturbation (degradation retry).
         let mut obj = LinExpr::new();
         for &(i, j) in &edges {
-            obj += (
-                v(i, j),
-                net.distance(NodeId(i as u32), NodeId(j as u32)) as f64,
-            );
+            let mut coeff = net.distance(NodeId(i as u32), NodeId(j as u32)) as f64;
+            if let Some(seed) = self.objective_perturbation {
+                coeff *= perturbation_factor(seed, i, j);
+            }
+            obj += (v(i, j)?, coeff);
         }
         model.set_objective(obj);
 
-        // Warm start with the heuristic tour when it is conflict-free.
+        // Warm start with the heuristic tour when it is conflict-free and
+        // the objective is exact (a perturbed retry wants a fresh search).
         let tour = heuristic_tour(net);
         let mut solver = BranchAndBound::new()
             .with_max_nodes(self.max_milp_nodes)
             .with_deadline(self.deadline);
-        if tour_is_conflict_free(net, &tour) {
+        if self.objective_perturbation.is_none() && tour_is_conflict_free(net, &tour) {
             let mut values = vec![0.0f64; model.num_vars()];
             for k in 0..n {
                 let a = tour[k].index();
                 let b = tour[(k + 1) % n].index();
-                values[v(a, b).index()] = 1.0;
+                values[v(a, b)?.index()] = 1.0;
             }
             solver = solver.with_incumbent(values, tour_length(net, &tour) as f64);
         }
@@ -512,10 +544,14 @@ impl RingBuilder {
                     );
                     if c.is_conflicting() {
                         // Forbid both directed orientations of the
-                        // conflicting geometric pair at once.
-                        let e1 = var_snapshot[i1][j1].expect("edge exists");
-                        let e2 = var_snapshot[i2][j2].expect("edge exists");
-                        cuts.push((LinExpr::sum([e1, e2]), Relation::Le, 1.0));
+                        // conflicting geometric pair at once. Selected
+                        // pairs always have i != j, so both variables
+                        // exist; an absent one (impossible by
+                        // construction) just skips the cut rather than
+                        // panicking the worker.
+                        if let (Some(e1), Some(e2)) = (var_snapshot[i1][j1], var_snapshot[i2][j2]) {
+                            cuts.push((LinExpr::sum([e1, e2]), Relation::Le, 1.0));
+                        }
                     }
                 }
             }
@@ -525,9 +561,14 @@ impl RingBuilder {
         // Decode selected edges into successor pointers.
         let mut succ = vec![usize::MAX; n];
         for &(i, j) in &edges {
-            if solution.is_set(v(i, j)) {
+            if solution.is_set(v(i, j)?) {
                 succ[i] = j;
             }
+        }
+        if let Some(orphan) = (0..n).find(|&i| succ[i] == usize::MAX) {
+            return Err(SynthesisError::RingConstruction {
+                detail: format!("node {orphan} has no outgoing edge in the MILP solution"),
+            });
         }
 
         // Extract sub-cycles (Fig. 6(e)).
@@ -550,7 +591,7 @@ impl RingBuilder {
 
         // Merge sub-cycles (Fig. 6(f)).
         let mut merged = 0usize;
-        let order = merge_cycles(net, &mut cycles, &mut merged);
+        let order = merge_cycles(net, &mut cycles, &mut merged)?;
 
         let (cycle, fb) = RingCycle::from_order(net, order);
         Ok(RingOutcome {
@@ -591,13 +632,27 @@ fn tour_is_conflict_free(net: &NetworkSpec, tour: &[NodeId]) -> bool {
     true
 }
 
+/// Deterministic relative perturbation factor for the objective
+/// coefficient of edge `(i, j)` under `seed`: `1 + 1e-6 * u` with
+/// `u ∈ [0, 1)` drawn from a SplitMix64 stream keyed on the edge, so the
+/// factor is independent of iteration order.
+fn perturbation_factor(seed: u64, i: usize, j: usize) -> f64 {
+    let edge_key = ((i as u64) << 32 | j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    1.0 + 1.0e-6 * SplitMix64::new(seed ^ edge_key).next_f64()
+}
+
 /// Repeatedly combines the two cycles admitting the cheapest conflict-free
 /// 2-exchange until one cycle remains, then returns its node order.
 fn merge_cycles(
     net: &NetworkSpec,
     cycles: &mut Vec<Vec<usize>>,
     merged: &mut usize,
-) -> Vec<NodeId> {
+) -> Result<Vec<NodeId>, SynthesisError> {
+    if cycles.is_empty() {
+        return Err(SynthesisError::RingConstruction {
+            detail: "MILP solution decoded to zero cycles".to_owned(),
+        });
+    }
     while cycles.len() > 1 {
         // Current full edge set (for conflict checks of candidate edges).
         let all_edges: Vec<(usize, usize)> = cycles
@@ -635,7 +690,11 @@ fn merge_cycles(
                 }
             }
         }
-        let (_, ca, cb, ea, eb, _) = best.expect("at least one merge candidate");
+        let Some((_, ca, cb, ea, eb, _)) = best else {
+            return Err(SynthesisError::RingConstruction {
+                detail: "sub-cycle merge found no 2-exchange candidate".to_owned(),
+            });
+        };
         // Stitch: ca = [.., a] ++ [d, .. rotate cb ..] ++ [.., back to ca]
         let cyc_b = cycles.remove(cb);
         let cyc_a = &mut cycles[ca];
@@ -652,7 +711,7 @@ fn merge_cycles(
         *cyc_a = stitched;
         *merged += 1;
     }
-    cycles[0].iter().map(|&i| NodeId(i as u32)).collect()
+    Ok(cycles[0].iter().map(|&i| NodeId(i as u32)).collect())
 }
 
 /// True if the two replacement edges are conflict-free against each other
@@ -755,6 +814,22 @@ mod tests {
         // 2x4 grid, pitch 1.5mm: optimal tour = 8 edges = 12 mm.
         assert_eq!(out.cycle.perimeter(), 12_000);
         assert_eq!(out.cycle.residual_crossings(), 0);
+    }
+
+    #[test]
+    fn perturbed_objective_still_finds_an_optimal_ring() {
+        // The perturbation is ≤ 1e-6 relative while tour lengths differ by
+        // ≥ 1 µm, so a perturbed solve must land on a tour of exactly
+        // optimal length — just possibly a different one.
+        let net = NetworkSpec::proton_8();
+        let plain = RingBuilder::new().build(&net).expect("solved");
+        let perturbed = RingBuilder::new()
+            .with_objective_perturbation(Some(0xDEAD_BEEF))
+            .build(&net)
+            .expect("solved");
+        assert_valid_cycle(&net, &perturbed.cycle);
+        assert_eq!(perturbed.cycle.perimeter(), plain.cycle.perimeter());
+        assert_eq!(perturbed.cycle.residual_crossings(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! ("we vary the settings of #wl and pick the one with the minimum power
 //! / maximum SNR"), packaged as a library API.
 
-use crate::design::XRingDesign;
+use crate::design::{DegradationLevel, XRingDesign};
 use crate::error::SynthesisError;
 use crate::netspec::NetworkSpec;
 use crate::synth::{SynthesisOptions, Synthesizer};
@@ -29,6 +29,10 @@ pub struct SweepPoint {
     /// The synthesized design itself, carried so that the sweep winner
     /// never has to be re-synthesized (see [`synthesize_best`]).
     pub design: XRingDesign,
+    /// How far synthesis degraded at this point (mirrors the design's
+    /// provenance, surfaced here so sweep consumers can filter or report
+    /// without digging into the design).
+    pub degradation: DegradationLevel,
 }
 
 /// The result of a sweep: every feasible point plus the winner's index.
@@ -98,10 +102,12 @@ pub fn sweep_wavelengths(
         match Synthesizer::new(options).synthesize(net) {
             Ok(design) => {
                 let report = design.report(format!("#wl={wl}"), loss, xtalk, power);
+                let degradation = design.provenance.degradation;
                 points.push(SweepPoint {
                     wavelengths: wl,
                     report,
                     design,
+                    degradation,
                 });
             }
             Err(SynthesisError::WavelengthBudgetExceeded { .. }) => continue,
@@ -209,6 +215,8 @@ mod tests {
     fn sweep_points_carry_their_designs() {
         let r = run(SweepObjective::MinPower);
         for p in &r.points {
+            assert_eq!(p.degradation, DegradationLevel::Exact);
+            assert!(p.design.provenance.audit.is_clean());
             assert_eq!(p.design.layout.signals.len(), p.report.signal_count);
             // The carried design re-evaluates to the carried report.
             let again = p.design.report(

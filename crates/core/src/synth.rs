@@ -1,6 +1,6 @@
 //! The end-to-end synthesis pipeline.
 
-use crate::design::{realize, RingSpacing, XRingDesign};
+use crate::design::{realize, DegradationLevel, Provenance, RingSpacing, XRingDesign};
 use crate::error::SynthesisError;
 use crate::netspec::NetworkSpec;
 use crate::opening::open_rings;
@@ -11,6 +11,58 @@ use crate::traffic::Traffic;
 use std::time::{Duration, Instant};
 use xring_geom::Point;
 use xring_phot::LossParams;
+
+/// Seed of the deterministic objective perturbation used by the
+/// degradation chain's retry step (see
+/// [`RingBuilder::with_objective_perturbation`]).
+const RETRY_PERTURBATION_SEED: u64 = 0x5EED_0FFA_11BA_CC01;
+
+/// Whether [`Synthesizer::synthesize`] may fall back when exact synthesis
+/// fails. The fallback chain is
+/// `ExactMilp → RetryWithPerturbation → HeuristicRing → Err`, and every
+/// produced design records the level reached in its
+/// [`Provenance`](crate::design::Provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Never degrade: any failure surfaces as its [`SynthesisError`]
+    /// (the default — existing callers see unchanged behaviour).
+    #[default]
+    Forbid,
+    /// Walk the fallback chain on recoverable failures (MILP failure,
+    /// deadline expiry, ring-construction breakdown, audit rejection).
+    /// Non-recoverable failures (invalid network, wavelength budget
+    /// exhaustion) still surface immediately.
+    Allow,
+    /// Skip the MILP entirely and build the ring heuristically; the
+    /// design always records [`DegradationLevel::Heuristic`].
+    ForceHeuristic,
+}
+
+impl DegradationPolicy {
+    /// Stable lowercase name (the CLI flag spelling).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradationPolicy::Forbid => "forbid",
+            DegradationPolicy::Allow => "allow",
+            DegradationPolicy::ForceHeuristic => "force-heuristic",
+        }
+    }
+}
+
+impl std::str::FromStr for DegradationPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "forbid" => Ok(DegradationPolicy::Forbid),
+            "allow" => Ok(DegradationPolicy::Allow),
+            "force-heuristic" => Ok(DegradationPolicy::ForceHeuristic),
+            other => Err(format!(
+                "unknown degradation policy '{other}' (expected forbid, allow or force-heuristic)"
+            )),
+        }
+    }
+}
 
 /// Configuration of the synthesis pipeline. The defaults reproduce the
 /// full XRing flow; individual steps can be disabled for ablations.
@@ -44,6 +96,11 @@ pub struct SynthesisOptions {
     /// aborts with [`SynthesisError::DeadlineExceeded`]. The budget does
     /// not change the result of a synthesis that completes within it.
     pub deadline: Option<Duration>,
+    /// Whether failures may degrade to the fallback chain (default:
+    /// [`DegradationPolicy::Forbid`]). The heuristic recovery step runs
+    /// with the deadline waived — the budget is already spent and the
+    /// heuristic is fast and bounded.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for SynthesisOptions {
@@ -60,6 +117,7 @@ impl Default for SynthesisOptions {
             traffic: Traffic::AllToAll,
             loss: LossParams::default(),
             deadline: None,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -83,6 +141,12 @@ impl SynthesisOptions {
     /// [`deadline`](Self::deadline)).
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the degradation policy (see [`DegradationPolicy`]).
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
         self
     }
 }
@@ -118,14 +182,91 @@ impl Synthesizer {
 
     /// Runs the full pipeline on `net`.
     ///
+    /// Under the default [`DegradationPolicy::Forbid`] a failure in any
+    /// step surfaces directly. Under [`DegradationPolicy::Allow`] a
+    /// recoverable failure walks the fallback chain
+    /// `ExactMilp → RetryWithPerturbation → HeuristicRing → Err`; the
+    /// level reached is recorded in the design's
+    /// [`Provenance`](crate::design::Provenance). Every returned design
+    /// — exact or degraded — has passed the post-synthesis audit
+    /// ([`crate::audit`]); a design the auditor rejects is never
+    /// returned.
+    ///
     /// # Errors
     ///
     /// Propagates [`SynthesisError`] from any step (MILP failure,
-    /// wavelength budget exhaustion).
+    /// wavelength budget exhaustion, audit rejection) once the policy's
+    /// chain is exhausted.
     pub fn synthesize(&self, net: &NetworkSpec) -> Result<XRingDesign, SynthesisError> {
+        match self.options.degradation {
+            DegradationPolicy::Forbid => self.synthesize_attempt(net, &Attempt::requested(self)),
+            DegradationPolicy::ForceHeuristic => self.synthesize_attempt(
+                net,
+                &Attempt {
+                    algorithm: RingAlgorithm::Heuristic,
+                    perturbation: None,
+                    waive_deadline: false,
+                    level: DegradationLevel::Heuristic,
+                    reason: Some("forced by degradation policy".to_owned()),
+                },
+            ),
+            DegradationPolicy::Allow => {
+                let err = match self.synthesize_attempt(net, &Attempt::requested(self)) {
+                    Ok(design) => return Ok(design),
+                    Err(e) => e,
+                };
+                if !degradable(&err) {
+                    return Err(err);
+                }
+                // Retry the MILP with a perturbed objective — unless the
+                // deadline is already spent (a retry would just expire
+                // again) or the request never used the MILP.
+                if !matches!(err, SynthesisError::DeadlineExceeded)
+                    && self.options.ring_algorithm == RingAlgorithm::Milp
+                {
+                    let retry = Attempt {
+                        algorithm: RingAlgorithm::Milp,
+                        perturbation: Some(RETRY_PERTURBATION_SEED),
+                        waive_deadline: false,
+                        level: DegradationLevel::RetriedPerturbed,
+                        reason: Some(err.to_string()),
+                    };
+                    if let Ok(design) = self.synthesize_attempt(net, &retry) {
+                        return Ok(design);
+                    }
+                }
+                // Last resort: heuristic ring, deadline waived (the
+                // budget is spent; the heuristic is fast and bounded).
+                self.synthesize_attempt(
+                    net,
+                    &Attempt {
+                        algorithm: RingAlgorithm::Heuristic,
+                        perturbation: None,
+                        waive_deadline: true,
+                        level: DegradationLevel::Heuristic,
+                        reason: Some(err.to_string()),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Runs the four pipeline steps once under `attempt`'s overrides,
+    /// audits the result, and stamps its provenance. A design that fails
+    /// its audit is discarded and reported as
+    /// [`SynthesisError::AuditFailed`].
+    fn synthesize_attempt(
+        &self,
+        net: &NetworkSpec,
+        attempt: &Attempt,
+    ) -> Result<XRingDesign, SynthesisError> {
         let t0 = Instant::now();
         let o = &self.options;
-        let deadline = o.deadline.map(|budget| t0 + budget);
+        let deadline = if attempt.waive_deadline {
+            None
+        } else {
+            o.deadline.map(|budget| t0 + budget)
+        };
         let check_deadline = || match deadline {
             Some(d) if Instant::now() >= d => Err(SynthesisError::DeadlineExceeded),
             _ => Ok(()),
@@ -134,8 +275,9 @@ impl Synthesizer {
         // Step 1: ring construction.
         check_deadline()?;
         let ring = RingBuilder::new()
-            .with_algorithm(o.ring_algorithm)
+            .with_algorithm(attempt.algorithm)
             .with_deadline(deadline)
+            .with_objective_perturbation(attempt.perturbation)
             .build(net)?;
 
         // Step 2: shortcuts.
@@ -169,7 +311,7 @@ impl Synthesizer {
             .then(|| design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser));
 
         let layout = realize(net, &ring.cycle, &shortcuts, &plan, pdn.as_ref(), o.spacing);
-        Ok(XRingDesign {
+        let mut design = XRingDesign {
             net: net.clone(),
             cycle: ring.cycle,
             shortcuts,
@@ -179,8 +321,60 @@ impl Synthesizer {
             ring_stats: ring.stats,
             opening_stats,
             elapsed: t0.elapsed(),
-        })
+            provenance: Provenance::default(),
+        };
+
+        // Audit before release: a dirty design is never returned.
+        let audit = crate::audit::audit_design(&design, &o.traffic, &o.loss);
+        if !audit.is_clean() {
+            return Err(SynthesisError::AuditFailed {
+                summary: audit.summary(),
+            });
+        }
+        design.provenance = Provenance {
+            degradation: attempt.level,
+            fallback_reason: attempt.reason.clone(),
+            audit,
+        };
+        Ok(design)
     }
+}
+
+/// One run of the pipeline within the fallback chain.
+struct Attempt {
+    algorithm: RingAlgorithm,
+    perturbation: Option<u64>,
+    waive_deadline: bool,
+    level: DegradationLevel,
+    reason: Option<String>,
+}
+
+impl Attempt {
+    /// The as-requested attempt (no overrides).
+    fn requested(synth: &Synthesizer) -> Attempt {
+        Attempt {
+            algorithm: synth.options.ring_algorithm,
+            perturbation: None,
+            waive_deadline: false,
+            level: DegradationLevel::Exact,
+            reason: None,
+        }
+    }
+}
+
+/// True when the fallback chain can recover from `e`: solver failures,
+/// deadline expiry, construction breakdown and audit rejection are
+/// recoverable; spec-level errors (too few nodes, duplicate positions,
+/// wavelength budget exhaustion) are not — a different ring cannot fix
+/// them honestly.
+fn degradable(e: &SynthesisError) -> bool {
+    matches!(
+        e,
+        SynthesisError::RingMilp(_)
+            | SynthesisError::DeadlineExceeded
+            | SynthesisError::RingConstruction { .. }
+            | SynthesisError::AuditFailed { .. }
+    )
 }
 
 #[cfg(test)]
@@ -253,6 +447,110 @@ mod tests {
             Err(SynthesisError::DeadlineExceeded) => {}
             other => panic!("expected deadline error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn exact_synthesis_records_clean_exact_provenance() {
+        let net = NetworkSpec::proton_8();
+        let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&net)
+            .expect("synthesized");
+        let p = &design.provenance;
+        assert_eq!(p.degradation, crate::design::DegradationLevel::Exact);
+        assert_eq!(p.fallback_reason, None);
+        assert!(p.audit.is_clean(), "{}", p.audit.summary());
+    }
+
+    #[test]
+    fn tiny_deadline_with_allow_policy_falls_back_to_heuristic() {
+        // Satellite requirement: DeadlineExceeded triggers the heuristic
+        // fallback and yields an audited, provenance-marked design.
+        let net = NetworkSpec::proton_8();
+        let options = SynthesisOptions::with_wavelengths(8)
+            .with_deadline(Duration::ZERO)
+            .with_degradation(DegradationPolicy::Allow);
+        let design = Synthesizer::new(options)
+            .synthesize(&net)
+            .expect("fallback must produce a design");
+        let p = &design.provenance;
+        assert_eq!(p.degradation, crate::design::DegradationLevel::Heuristic);
+        assert!(
+            p.fallback_reason
+                .as_deref()
+                .unwrap_or("")
+                .contains("deadline"),
+            "{:?}",
+            p.fallback_reason
+        );
+        assert!(p.audit.is_clean(), "{}", p.audit.summary());
+        assert_eq!(design.layout.signals.len(), 56);
+    }
+
+    #[test]
+    fn force_heuristic_policy_always_marks_heuristic_provenance() {
+        let net = NetworkSpec::proton_8();
+        let options = SynthesisOptions::with_wavelengths(8)
+            .with_degradation(DegradationPolicy::ForceHeuristic);
+        let design = Synthesizer::new(options).synthesize(&net).expect("ok");
+        let p = &design.provenance;
+        assert_eq!(p.degradation, crate::design::DegradationLevel::Heuristic);
+        assert!(p.audit.is_clean());
+        // Forcing the heuristic must match a direct heuristic-ring run.
+        let direct = Synthesizer::new(SynthesisOptions {
+            ring_algorithm: RingAlgorithm::Heuristic,
+            ..SynthesisOptions::with_wavelengths(8)
+        })
+        .synthesize(&net)
+        .expect("ok");
+        assert_eq!(design.cycle, direct.cycle);
+    }
+
+    #[test]
+    fn allow_policy_does_not_change_successful_exact_synthesis() {
+        let net = NetworkSpec::proton_8();
+        let exact = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+            .synthesize(&net)
+            .expect("ok");
+        let allowed = Synthesizer::new(
+            SynthesisOptions::with_wavelengths(8).with_degradation(DegradationPolicy::Allow),
+        )
+        .synthesize(&net)
+        .expect("ok");
+        assert_eq!(exact.cycle, allowed.cycle);
+        assert_eq!(exact.plan, allowed.plan);
+        assert_eq!(
+            allowed.provenance.degradation,
+            crate::design::DegradationLevel::Exact
+        );
+    }
+
+    #[test]
+    fn non_degradable_errors_surface_even_under_allow() {
+        // Wavelength budget exhaustion is a spec-level error the chain
+        // must not mask with a heuristic ring.
+        let net = NetworkSpec::psion_16();
+        let options = SynthesisOptions {
+            max_wavelengths: 1,
+            max_waveguides: 1,
+            ..SynthesisOptions::default()
+        }
+        .with_degradation(DegradationPolicy::Allow);
+        match Synthesizer::new(options).synthesize(&net) {
+            Err(SynthesisError::WavelengthBudgetExceeded { .. }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degradation_policy_round_trips_through_strings() {
+        for policy in [
+            DegradationPolicy::Forbid,
+            DegradationPolicy::Allow,
+            DegradationPolicy::ForceHeuristic,
+        ] {
+            assert_eq!(policy.as_str().parse::<DegradationPolicy>(), Ok(policy));
+        }
+        assert!("exact".parse::<DegradationPolicy>().is_err());
     }
 
     #[test]

@@ -10,19 +10,23 @@ use crate::design::XRingDesign;
 use xring_phot::{CrosstalkParams, LossParams, PowerParams};
 
 /// SplitMix64 (Steele et al., public-domain algorithm): a tiny 64-bit
-/// PRNG with excellent statistical quality for Monte-Carlo use, kept
-/// internal so the crate needs no RNG dependency.
+/// PRNG with excellent statistical quality, kept in-crate so no RNG
+/// dependency is needed. Shared by Monte-Carlo variation analysis, the
+/// MILP objective-perturbation retry, and the engine's deterministic
+/// fault-injection plans.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    /// A generator seeded with `seed` (every seed is valid).
+    pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -31,7 +35,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)` with 53 bits of precision.
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }

@@ -42,6 +42,7 @@ pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
     // Synthesis options (deadline deliberately excluded, see module docs).
     let o = &job.options;
     k.push(o.ring_algorithm as u8);
+    k.push(o.degradation as u8);
     u(&mut k, o.max_wavelengths);
     u(&mut k, o.max_waveguides);
     k.push(u8::from(o.shortcuts));
@@ -102,6 +103,16 @@ pub struct DesignCache {
     entries: Mutex<HashMap<Vec<u8>, CachedDesign>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Whether a cached design still satisfies the invariants it was stored
+/// with. Entries are validated on every read — a corrupted design (bit
+/// rot, an injected fault, a bug elsewhere) must never be served.
+fn entry_is_intact(design: &XRingDesign) -> bool {
+    design.provenance.audit.is_clean()
+        && design.layout.signals.len() == design.plan.routes.len()
+        && design.layout.validate().is_ok()
 }
 
 impl DesignCache {
@@ -112,14 +123,25 @@ impl DesignCache {
 
     /// Looks up `key`, counting a hit or miss. On a hit the cached report
     /// is relabelled to `label` (the label is not part of the key).
+    ///
+    /// The entry is validated before it is served: a design whose audit
+    /// is not clean or whose layout no longer self-validates is *evicted*
+    /// and the lookup counts as a miss, so the caller re-synthesizes and
+    /// re-inserts a good entry.
     pub fn lookup(&self, key: &[u8], label: &str) -> Option<(Arc<XRingDesign>, RouterReport)> {
-        let entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries.lock().expect("cache lock");
         match entries.get(key) {
-            Some((design, report)) => {
+            Some((design, report)) if entry_is_intact(design) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let mut report = report.clone();
                 report.label = label.to_owned();
                 Some((Arc::clone(design), report))
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -130,8 +152,13 @@ impl DesignCache {
 
     /// Stores a freshly synthesized design. Concurrent duplicate inserts
     /// (two workers racing on the same key) keep the first entry so
-    /// already-shared `Arc`s stay canonical.
+    /// already-shared `Arc`s stay canonical. Designs that fail the
+    /// intactness check (unaudited, dirty audit, misaligned layout) are
+    /// refused — the cache never holds an entry it would evict on read.
     pub fn insert(&self, key: Vec<u8>, design: Arc<XRingDesign>, report: RouterReport) {
+        if !entry_is_intact(&design) {
+            return;
+        }
         let mut entries = self.entries.lock().expect("cache lock");
         entries.entry(key).or_insert((design, report));
     }
@@ -144,6 +171,29 @@ impl DesignCache {
     /// Cache misses counted so far.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Corrupted entries evicted on read so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Corrupts the entry at `key` in place (its mapped signals are
+    /// cleared, desynchronizing layout and plan) and reports whether an
+    /// entry was there. Fault-injection hook: the next lookup must detect
+    /// the damage, evict the entry and fall through to re-synthesis.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn corrupt(&self, key: &[u8]) -> bool {
+        let mut entries = self.entries.lock().expect("cache lock");
+        match entries.get_mut(key) {
+            Some((design, _)) => {
+                let mut broken = (**design).clone();
+                broken.layout.signals.clear();
+                *design = Arc::new(broken);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of distinct designs stored.
@@ -198,6 +248,49 @@ mod tests {
         let mut other = job("x", 8);
         other.options.traffic = Traffic::NearestNeighbors(3);
         assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.degradation = xring_core::DegradationPolicy::Allow;
+        assert_ne!(base, canonical_key(&other));
+    }
+
+    #[test]
+    fn corrupted_entries_are_evicted_on_read() {
+        let cache = DesignCache::new();
+        let j = job("j", 4);
+        let key = canonical_key(&j);
+        let design = Arc::new(
+            xring_core::Synthesizer::new(j.options.clone())
+                .synthesize(&j.net)
+                .expect("synthesized"),
+        );
+        let report = design.report("j", &j.loss, j.xtalk.as_ref(), &j.power);
+        cache.insert(key.clone(), Arc::clone(&design), report.clone());
+        assert!(cache.lookup(&key, "j").is_some());
+
+        assert!(cache.corrupt(&key));
+        assert!(cache.lookup(&key, "j").is_none(), "corrupt entry served");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 0, "corrupt entry not removed");
+
+        // Re-inserting a good design heals the slot.
+        cache.insert(key.clone(), design, report);
+        assert!(cache.lookup(&key, "j").is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn unaudited_designs_are_refused() {
+        let cache = DesignCache::new();
+        let j = job("j", 4);
+        let key = canonical_key(&j);
+        let mut design = xring_core::Synthesizer::new(j.options.clone())
+            .synthesize(&j.net)
+            .expect("synthesized");
+        let report = design.report("j", &j.loss, j.xtalk.as_ref(), &j.power);
+        design.provenance.audit = Default::default(); // strip the audit
+        cache.insert(key.clone(), Arc::new(design), report);
+        assert_eq!(cache.len(), 0, "unaudited design was cached");
+        assert!(cache.lookup(&key, "j").is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
-use xring_core::Synthesizer;
+use xring_core::{audit_report_bounds, SynthesisError, Synthesizer};
 
 use crate::cache::{canonical_key, DesignCache};
 use crate::job::{BatchResult, JobError, JobOutput, SynthesisJob};
@@ -23,6 +23,13 @@ pub struct Engine {
     workers: usize,
     cache: DesignCache,
     sink: Option<Arc<dyn EventSink>>,
+    /// How many times a panicking job is retried before its
+    /// [`JobError::Panicked`] is surfaced. Transient panics (a poisoned
+    /// lock left by an unrelated crash, an injected fault) heal on retry;
+    /// deterministic ones fail identically and surface after the budget.
+    panic_retries: usize,
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for Engine {
@@ -42,18 +49,37 @@ impl fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// An engine with one worker per available core and a fresh cache.
+    /// An engine with one worker per available core, a fresh cache and
+    /// one panic retry per job.
     pub fn new() -> Self {
         Engine {
             workers: thread::available_parallelism().map_or(1, |n| n.get()),
             cache: DesignCache::new(),
             sink: None,
+            panic_retries: 1,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
     /// Sets the worker count (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets how many times a panicking job is retried (0 disables
+    /// retries; the first panic is final).
+    pub fn with_panic_retries(mut self, retries: usize) -> Self {
+        self.panic_retries = retries;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan. Faults fire on each
+    /// job's *first* attempt only, so the retry path is also exercised.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -139,37 +165,68 @@ impl Engine {
 
     /// Runs one job: cache lookup, else synthesize + evaluate + insert.
     /// Panics inside the synthesis are caught here so the job-finished
-    /// event is still emitted.
+    /// event is still emitted; a panicking attempt is retried up to
+    /// [`with_panic_retries`](Self::with_panic_retries) times before the
+    /// [`JobError::Panicked`] surfaces.
     fn run_job(&self, index: usize, job: &SynthesisJob) -> Result<JobOutput, JobError> {
         self.emit(EngineEvent::JobStarted {
             index,
             label: job.label.clone(),
         });
         let t0 = Instant::now();
-        let mut result = catch_unwind(AssertUnwindSafe(|| self.synthesize_job(job)))
+        let mut attempt = 0;
+        let mut result = loop {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                self.synthesize_job(index, attempt, job)
+            }))
             .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
+            if matches!(r, Err(JobError::Panicked(_))) && attempt < self.panic_retries {
+                attempt += 1;
+                continue;
+            }
+            break r;
+        };
         let wall = t0.elapsed();
-        let (status, cache_hit) = match &mut result {
+        let (status, cache_hit, degradation) = match &mut result {
             Ok(out) => {
                 out.wall = wall;
-                ("ok", out.cache_hit)
+                (
+                    "ok",
+                    out.cache_hit,
+                    out.design.provenance.degradation.as_str(),
+                )
             }
-            Err(JobError::DeadlineExceeded) => ("deadline", false),
-            Err(JobError::Synthesis(_)) => ("error", false),
-            Err(JobError::Panicked(_)) => ("panic", false),
+            Err(JobError::DeadlineExceeded) => ("deadline", false, "-"),
+            Err(JobError::Synthesis(_)) => ("error", false, "-"),
+            Err(JobError::Panicked(_)) => ("panic", false, "-"),
         };
         self.emit(EngineEvent::JobFinished {
             index,
             label: job.label.clone(),
             status,
             cache_hit,
+            degradation,
             wall,
         });
         result
     }
 
-    fn synthesize_job(&self, job: &SynthesisJob) -> Result<JobOutput, JobError> {
+    /// One synthesis attempt. `index`/`attempt` drive fault injection
+    /// (faults fire on attempt 0 only) and are otherwise unused.
+    fn synthesize_job(
+        &self,
+        index: usize,
+        attempt: usize,
+        job: &SynthesisJob,
+    ) -> Result<JobOutput, JobError> {
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = (index, attempt);
         let key = canonical_key(job);
+        // Holds the armed solver fault (if any) until synthesis consumes
+        // it; dropping the guard disarms, so a fault aimed at this job
+        // can never leak into a neighbour's solve on the same worker.
+        #[cfg(feature = "fault-inject")]
+        let _armed = self.inject_fault(index, attempt, &key);
         if let Some((design, report)) = self.cache.lookup(&key, &job.label) {
             return Ok(JobOutput {
                 label: job.label.clone(),
@@ -180,7 +237,24 @@ impl Engine {
             });
         }
         let design = Arc::new(Synthesizer::new(job.options.clone()).synthesize(&job.net)?);
+        // The synthesizer audited the design already; re-check here so a
+        // design that somehow bypassed it (or a future code path that
+        // forgets) can neither be cached nor returned.
+        if !design.provenance.audit.is_clean() {
+            return Err(JobError::Synthesis(SynthesisError::AuditFailed {
+                summary: design.provenance.audit.summary(),
+            }));
+        }
         let report = design.report(job.label.clone(), &job.loss, job.xtalk.as_ref(), &job.power);
+        // The provenance audit evaluated physical bounds with the *core*
+        // options; this job may evaluate under different loss/crosstalk
+        // parameters, so bound-check the report actually handed out.
+        let bounds = audit_report_bounds(&report);
+        if !bounds.passed {
+            return Err(JobError::Synthesis(SynthesisError::AuditFailed {
+                summary: format!("{}: {}", bounds.invariant, bounds.detail),
+            }));
+        }
         self.cache.insert(key, Arc::clone(&design), report.clone());
         Ok(JobOutput {
             label: job.label.clone(),
@@ -189,6 +263,34 @@ impl Engine {
             wall: Default::default(),
             cache_hit: false,
         })
+    }
+
+    /// Applies the fault plan's decision for `(index, attempt)`. Solver
+    /// faults return an RAII guard that keeps the thread-local armed
+    /// until synthesis consumes it; cache corruption acts immediately;
+    /// a worker panic unwinds from here (caught in [`run_job`]).
+    #[cfg(feature = "fault-inject")]
+    fn inject_fault(
+        &self,
+        index: usize,
+        attempt: usize,
+        key: &[u8],
+    ) -> Option<xring_milp::fault::ArmedFault> {
+        use crate::fault::FaultClass;
+        use xring_milp::fault::{arm, InjectedSolveFault};
+        let plan = self.fault_plan.as_ref()?;
+        if attempt > 0 {
+            return None; // faults fire on the first attempt only
+        }
+        match plan.decide(index)? {
+            FaultClass::SimplexNumerical => Some(arm(InjectedSolveFault::Numerical)),
+            FaultClass::SolverDeadline => Some(arm(InjectedSolveFault::Deadline)),
+            FaultClass::WorkerPanic => panic!("injected fault: worker panic (job {index})"),
+            FaultClass::CacheCorruption => {
+                self.cache.corrupt(key);
+                None
+            }
+        }
     }
 }
 
@@ -222,6 +324,10 @@ mod tests {
         assert!(batch.outcomes.is_empty());
         assert_eq!(batch.metrics.jobs, 0);
     }
+
+    // The run_job panic-retry loop is exercised end-to-end by the
+    // `fault-inject` suite (tests/fault_tolerance.rs): WorkerPanic
+    // faults fire on each job's first attempt and must heal on retry.
 
     #[test]
     fn a_panicking_task_does_not_poison_its_neighbours() {

@@ -1,0 +1,235 @@
+//! Deterministic fault-injection plans (feature `fault-inject`).
+//!
+//! A [`FaultPlan`] decides, purely from a seed and a job's submission
+//! index, whether that job suffers an injected fault and of which class.
+//! Because the decision ignores wall clock, worker identity and
+//! scheduling order, a plan reproduces the same fault pattern on every
+//! run and any worker count — the property the fault-tolerance suite
+//! relies on to assert exact per-job outcomes.
+//!
+//! The four classes cover the failure modes the engine promises to
+//! survive:
+//!
+//! * [`FaultClass::SimplexNumerical`] — the MILP's LP relaxation reports
+//!   a numerical failure ([`SolveError::Numerical`]).
+//! * [`FaultClass::SolverDeadline`] — branch-and-bound aborts as if the
+//!   cooperative deadline expired ([`SolveError::Interrupted`]).
+//! * [`FaultClass::WorkerPanic`] — the worker thread panics mid-job.
+//! * [`FaultClass::CacheCorruption`] — the job's cache entry (if any) is
+//!   corrupted just before lookup, exercising validate-on-read eviction.
+//!
+//! [`SolveError::Numerical`]: xring_milp::SolveError::Numerical
+//! [`SolveError::Interrupted`]: xring_milp::SolveError::Interrupted
+
+use xring_core::SplitMix64;
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The LP relaxation fails numerically inside branch-and-bound.
+    SimplexNumerical,
+    /// The solver aborts as if its cooperative deadline expired.
+    SolverDeadline,
+    /// The worker thread panics while running the job.
+    WorkerPanic,
+    /// The job's cached design is corrupted before its cache lookup.
+    CacheCorruption,
+}
+
+impl FaultClass {
+    /// Every class, in the order [`FaultPlan::decide`] stacks their
+    /// probability bands.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::SimplexNumerical,
+        FaultClass::SolverDeadline,
+        FaultClass::WorkerPanic,
+        FaultClass::CacheCorruption,
+    ];
+
+    /// A stable kebab-case name for logs and assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::SimplexNumerical => "simplex-numerical",
+            FaultClass::SolverDeadline => "solver-deadline",
+            FaultClass::WorkerPanic => "worker-panic",
+            FaultClass::CacheCorruption => "cache-corruption",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class injection probabilities, each in `[0, 1]`. The classes are
+/// disjoint: one draw per job lands in at most one band, so the chance of
+/// *any* fault is the sum (which must stay ≤ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability of [`FaultClass::SimplexNumerical`].
+    pub numerical: f64,
+    /// Probability of [`FaultClass::SolverDeadline`].
+    pub deadline: f64,
+    /// Probability of [`FaultClass::WorkerPanic`].
+    pub panic: f64,
+    /// Probability of [`FaultClass::CacheCorruption`].
+    pub cache_corruption: f64,
+}
+
+impl FaultRates {
+    /// The same rate for every class.
+    pub fn uniform(rate: f64) -> Self {
+        FaultRates {
+            numerical: rate,
+            deadline: rate,
+            panic: rate,
+            cache_corruption: rate,
+        }
+    }
+
+    /// The total probability that a job suffers any fault.
+    pub fn total(&self) -> f64 {
+        self.numerical + self.deadline + self.panic + self.cache_corruption
+    }
+}
+
+/// A seeded, deterministic fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and zero rates (injects nothing until
+    /// [`with_rates`](Self::with_rates) is applied).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: FaultRates::default(),
+        }
+    }
+
+    /// Sets the per-class rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any rate is outside `[0, 1]` or the total exceeds 1.
+    pub fn with_rates(mut self, rates: FaultRates) -> Self {
+        for (name, r) in [
+            ("numerical", rates.numerical),
+            ("deadline", rates.deadline),
+            ("panic", rates.panic),
+            ("cache_corruption", rates.cache_corruption),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} rate {r} outside [0, 1]");
+        }
+        assert!(
+            rates.total() <= 1.0 + 1e-12,
+            "total fault rate {} exceeds 1",
+            rates.total()
+        );
+        self.rates = rates;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The fault (if any) injected into the job at submission `index`.
+    /// Pure: depends only on the seed, the rates and the index.
+    pub fn decide(&self, index: usize) -> Option<FaultClass> {
+        let stream = self.seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let draw = SplitMix64::new(stream).next_f64();
+        let mut band = 0.0;
+        for (class, rate) in FaultClass::ALL.iter().zip([
+            self.rates.numerical,
+            self.rates.deadline,
+            self.rates.panic,
+            self.rates.cache_corruption,
+        ]) {
+            band += rate;
+            if draw < band {
+                return Some(*class);
+            }
+        }
+        None
+    }
+
+    /// Convenience: the decisions for jobs `0..count`.
+    pub fn schedule(&self, count: usize) -> Vec<Option<FaultClass>> {
+        (0..count).map(|i| self.decide(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::new(42).with_rates(FaultRates::uniform(0.1));
+        assert_eq!(plan.schedule(64), plan.schedule(64));
+        let other = FaultPlan::new(43).with_rates(FaultRates::uniform(0.1));
+        assert_ne!(plan.schedule(64), other.schedule(64));
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.schedule(256).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn rates_approximate_fault_frequency() {
+        let plan = FaultPlan::new(0xFA_15).with_rates(FaultRates::uniform(0.1));
+        let schedule = plan.schedule(10_000);
+        let fired = schedule.iter().filter(|d| d.is_some()).count();
+        // Expect ~4000 of 10k; allow a generous band.
+        assert!((3_500..=4_500).contains(&fired), "fired {fired}");
+        for class in FaultClass::ALL {
+            let n = schedule.iter().filter(|d| **d == Some(class)).count();
+            assert!((700..=1_300).contains(&n), "{class}: {n}");
+        }
+    }
+
+    #[test]
+    fn invalid_rates_panic() {
+        // Total over 1.
+        assert!(std::panic::catch_unwind(|| {
+            FaultPlan::new(0).with_rates(FaultRates {
+                numerical: 0.9,
+                ..FaultRates::uniform(0.3)
+            })
+        })
+        .is_err());
+        // Negative rate.
+        assert!(std::panic::catch_unwind(
+            || FaultPlan::new(0).with_rates(FaultRates::uniform(-0.1))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        let names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "simplex-numerical",
+                "solver-deadline",
+                "worker-panic",
+                "cache-corruption"
+            ]
+        );
+    }
+}

@@ -48,11 +48,15 @@
 
 pub mod cache;
 pub mod executor;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod sweep;
 
 pub use cache::DesignCache;
 pub use executor::Engine;
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultClass, FaultPlan, FaultRates};
 pub use job::{BatchResult, JobError, JobOutput, SynthesisJob};
 pub use metrics::{BatchMetrics, EngineEvent, EventSink, JsonlSink};

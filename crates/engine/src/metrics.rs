@@ -34,6 +34,18 @@ pub struct BatchMetrics {
     /// Lazy conflict constraints separated, summed over fresh successful
     /// jobs.
     pub milp_lazy_cuts: usize,
+    /// Successful jobs whose design came from the perturbed-objective
+    /// MILP retry (provenance [`DegradationLevel::RetriedPerturbed`]).
+    ///
+    /// [`DegradationLevel::RetriedPerturbed`]:
+    /// xring_core::DegradationLevel::RetriedPerturbed
+    pub degraded_retried: usize,
+    /// Successful jobs whose design fell back to the heuristic ring
+    /// (provenance [`DegradationLevel::Heuristic`]).
+    ///
+    /// [`DegradationLevel::Heuristic`]:
+    /// xring_core::DegradationLevel::Heuristic
+    pub degraded_heuristic: usize,
 }
 
 impl BatchMetrics {
@@ -45,6 +57,11 @@ impl BatchMetrics {
                 self.succeeded += 1;
                 self.total_job_wall += out.wall;
                 self.max_job_wall = self.max_job_wall.max(out.wall);
+                match out.design.provenance.degradation {
+                    xring_core::DegradationLevel::Exact => {}
+                    xring_core::DegradationLevel::RetriedPerturbed => self.degraded_retried += 1,
+                    xring_core::DegradationLevel::Heuristic => self.degraded_heuristic += 1,
+                }
                 if out.cache_hit {
                     self.cache_hits += 1;
                 } else {
@@ -66,7 +83,8 @@ impl BatchMetrics {
     pub fn summary(&self) -> String {
         format!(
             "{} jobs ({} ok, {} failed) in {:.3}s; cache {}/{} hit; \
-             milp: {} nodes, {} lp solves, {} lazy cuts",
+             milp: {} nodes, {} lp solves, {} lazy cuts; \
+             degraded: {} retried, {} heuristic",
             self.jobs,
             self.succeeded,
             self.failed,
@@ -76,6 +94,8 @@ impl BatchMetrics {
             self.milp_nodes,
             self.milp_lp_solves,
             self.milp_lazy_cuts,
+            self.degraded_retried,
+            self.degraded_heuristic,
         )
     }
 }
@@ -100,6 +120,9 @@ pub enum EngineEvent {
         status: &'static str,
         /// Whether the cache served the design.
         cache_hit: bool,
+        /// The design's degradation level (`"exact"`, `"retried"` or
+        /// `"heuristic"`); `"-"` when the job failed.
+        degradation: &'static str,
         /// Wall-clock time spent on this job.
         wall: Duration,
     },
@@ -167,14 +190,15 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 label,
                 status,
                 cache_hit,
+                degradation,
                 wall,
             } => format!(
-                r#"{{"event":"job_finished","index":{index},"label":"{}","status":"{status}","cache_hit":{cache_hit},"wall_s":{}}}"#,
+                r#"{{"event":"job_finished","index":{index},"label":"{}","status":"{status}","cache_hit":{cache_hit},"degradation":"{degradation}","wall_s":{}}}"#,
                 json_escape(label),
                 wall.as_secs_f64()
             ),
             EngineEvent::BatchFinished { metrics: m } => format!(
-                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{}}}"#,
+                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{},"degraded_retried":{},"degraded_heuristic":{}}}"#,
                 m.jobs,
                 m.succeeded,
                 m.failed,
@@ -186,6 +210,8 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 m.milp_nodes,
                 m.milp_lp_solves,
                 m.milp_lazy_cuts,
+                m.degraded_retried,
+                m.degraded_heuristic,
             ),
         };
         let mut w = self.writer.lock().expect("sink lock");
@@ -209,6 +235,7 @@ mod tests {
             label: "x".into(),
             status: "ok",
             cache_hit: true,
+            degradation: "exact",
             wall: Duration::from_millis(2),
         });
         sink.emit(&EngineEvent::BatchFinished {
@@ -223,7 +250,9 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains(r#"\"quoted\"\n"#));
         assert!(lines[1].contains(r#""status":"ok""#));
+        assert!(lines[1].contains(r#""degradation":"exact""#));
         assert!(lines[2].contains(r#""event":"batch_finished""#));
+        assert!(lines[2].contains(r#""degraded_retried":0"#));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
             // Balanced quotes: an even count of unescaped '"'.

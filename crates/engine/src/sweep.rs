@@ -55,6 +55,7 @@ impl Engine {
                 Ok(out) => points.push(SweepPoint {
                     wavelengths: wl,
                     report: out.report,
+                    degradation: out.design.provenance.degradation,
                     design: (*out.design).clone(),
                 }),
                 Err(JobError::Synthesis(SynthesisError::WavelengthBudgetExceeded { .. })) => {

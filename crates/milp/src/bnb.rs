@@ -148,6 +148,11 @@ impl BranchAndBound {
     where
         F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
     {
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = crate::fault::take() {
+            return Err(fault.to_solve_error());
+        }
+
         let n = model.num_vars();
         let mut stats = SolveStats::default();
 
@@ -189,7 +194,14 @@ impl BranchAndBound {
         // Incumbent.
         let mut best: Option<(Vec<f64>, f64)> = None;
         if let Some((vals, obj)) = &self.incumbent {
-            assert_eq!(vals.len(), n, "incumbent dimension mismatch");
+            if vals.len() != n {
+                return Err(SolveError::InvalidModel {
+                    detail: format!(
+                        "incumbent has {} values for a {n}-variable model",
+                        vals.len()
+                    ),
+                });
+            }
             if model.violated_constraints(vals, 1e-6).is_empty() {
                 best = Some((vals.clone(), *obj));
             }
@@ -552,6 +564,20 @@ mod tests {
             .solve(&m)
             .expect("feasible");
         assert!((s.objective() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_incumbent_is_a_typed_error() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        let solver = BranchAndBound::new().with_incumbent(vec![0.0, 1.0], 0.0);
+        match solver.solve(&m) {
+            Err(SolveError::InvalidModel { detail }) => {
+                assert!(detail.contains("incumbent"), "{detail}");
+            }
+            other => panic!("expected invalid-model error, got {other:?}"),
+        }
     }
 
     #[test]

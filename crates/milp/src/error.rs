@@ -28,6 +28,14 @@ pub enum SolveError {
     },
     /// The simplex ran into numerical trouble it could not recover from.
     Numerical,
+    /// The solver was handed an ill-formed input (e.g. a warm-start
+    /// incumbent whose dimension disagrees with the model). Reported as
+    /// a typed error so batch workers can isolate the bad job instead of
+    /// aborting on an assertion.
+    InvalidModel {
+        /// What was wrong with the input.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -42,6 +50,7 @@ impl fmt::Display for SolveError {
                 write!(f, "solve interrupted by deadline after {nodes} nodes")
             }
             SolveError::Numerical => write!(f, "simplex failed numerically"),
+            SolveError::InvalidModel { detail } => write!(f, "invalid model: {detail}"),
         }
     }
 }
@@ -60,6 +69,12 @@ mod tests {
             (SolveError::ResourceLimit { nodes: 7 }, "7"),
             (SolveError::Interrupted { nodes: 9 }, "deadline"),
             (SolveError::Numerical, "numerically"),
+            (
+                SolveError::InvalidModel {
+                    detail: "bad incumbent".to_owned(),
+                },
+                "bad incumbent",
+            ),
         ] {
             let s = e.to_string();
             assert!(s.contains(needle), "{s}");

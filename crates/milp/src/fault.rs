@@ -1,0 +1,117 @@
+//! Deterministic solver fault injection (feature `fault-inject`).
+//!
+//! The batch engine's fault harness needs to make *this* solver fail on
+//! demand — a simplex numerical breakdown or a deadline interrupt — at a
+//! precise point, on a precise worker thread, without plumbing test-only
+//! state through every call site. The hook is a thread-local one-shot:
+//! [`arm`] loads a fault, and the next [`BranchAndBound`] solve on the
+//! same thread consumes it at entry and returns the corresponding
+//! [`SolveError`]. Subsequent solves (e.g. a degradation retry) run
+//! normally.
+//!
+//! The armed fault is held by an RAII [`ArmedFault`] guard so a panic or
+//! early return between arming and solving cannot leak a fault into an
+//! unrelated job that later reuses the worker thread.
+//!
+//! [`BranchAndBound`]: crate::BranchAndBound
+
+use crate::error::SolveError;
+use std::cell::Cell;
+
+/// A solver failure the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedSolveFault {
+    /// The simplex fails numerically ([`SolveError::Numerical`]).
+    Numerical,
+    /// The cooperative deadline fires at entry
+    /// ([`SolveError::Interrupted`]).
+    Deadline,
+}
+
+impl InjectedSolveFault {
+    /// The [`SolveError`] this fault materializes as.
+    pub fn to_solve_error(self) -> SolveError {
+        match self {
+            InjectedSolveFault::Numerical => SolveError::Numerical,
+            InjectedSolveFault::Deadline => SolveError::Interrupted { nodes: 0 },
+        }
+    }
+}
+
+thread_local! {
+    static ARMED: Cell<Option<InjectedSolveFault>> = const { Cell::new(None) };
+}
+
+/// Disarms the pending fault (if still unconsumed) when dropped.
+#[must_use = "dropping the guard immediately disarms the fault"]
+#[derive(Debug)]
+pub struct ArmedFault {
+    _private: (),
+}
+
+impl Drop for ArmedFault {
+    fn drop(&mut self) {
+        ARMED.with(|c| c.set(None));
+    }
+}
+
+/// Arms `fault` for the next solve on this thread, replacing any fault
+/// already pending. The fault stays armed until consumed by a solve or
+/// until the returned guard drops.
+pub fn arm(fault: InjectedSolveFault) -> ArmedFault {
+    ARMED.with(|c| c.set(Some(fault)));
+    ArmedFault { _private: () }
+}
+
+/// Consumes and returns the pending fault on this thread, if any. Called
+/// by [`BranchAndBound::solve_with_lazy`](crate::BranchAndBound::solve_with_lazy)
+/// at entry.
+pub fn take() -> Option<InjectedSolveFault> {
+    ARMED.with(|c| c.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchAndBound, LinExpr, Model};
+
+    fn trivial_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        m
+    }
+
+    #[test]
+    fn armed_fault_fails_exactly_one_solve() {
+        let m = trivial_model();
+        let guard = arm(InjectedSolveFault::Numerical);
+        match BranchAndBound::new().solve(&m) {
+            Err(SolveError::Numerical) => {}
+            other => panic!("expected injected numerical failure, got {other:?}"),
+        }
+        // Consumed: the next solve succeeds.
+        BranchAndBound::new().solve(&m).expect("fault was one-shot");
+        drop(guard);
+    }
+
+    #[test]
+    fn deadline_fault_maps_to_interrupted() {
+        let m = trivial_model();
+        let _guard = arm(InjectedSolveFault::Deadline);
+        match BranchAndBound::new().solve(&m) {
+            Err(SolveError::Interrupted { nodes: 0 }) => {}
+            other => panic!("expected injected interrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms() {
+        let m = trivial_model();
+        drop(arm(InjectedSolveFault::Numerical));
+        BranchAndBound::new()
+            .solve(&m)
+            .expect("guard drop disarmed the fault");
+        assert_eq!(take(), None);
+    }
+}

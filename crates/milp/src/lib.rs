@@ -34,6 +34,8 @@
 pub mod bnb;
 pub mod error;
 pub mod expr;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod model;
 pub mod presolve;
 pub mod simplex;

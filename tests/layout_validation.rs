@@ -53,6 +53,87 @@ fn synthesized_layouts_pass_validation() {
             .synthesize(&net)
             .expect("synthesis succeeds");
         assert_eq!(design.layout.validate(), Ok(()), "n = {}", net.len());
+        assert!(
+            design.provenance.audit.is_clean(),
+            "n = {}: {}",
+            net.len(),
+            design.provenance.audit.summary()
+        );
+    }
+}
+
+#[test]
+fn ring_baselines_audit_clean() {
+    use xring::baselines::{synthesize_oring, synthesize_ornoc};
+    use xring::phot::{CrosstalkParams, LossParams, PowerParams};
+
+    let loss = LossParams::oring();
+    let xtalk = CrosstalkParams::nikdast();
+    for net in [NetworkSpec::proton_8(), NetworkSpec::psion_16()] {
+        let wl = net.len();
+        for with_pdn in [false, true] {
+            for (name, design) in [
+                ("ORNoC", synthesize_ornoc(&net, wl, with_pdn, &loss, &xtalk)),
+                ("ORing", synthesize_oring(&net, wl, with_pdn, &loss, &xtalk)),
+            ] {
+                let d = design.expect("baseline synthesizes");
+                assert!(
+                    d.audit.is_clean(),
+                    "{name}/{} pdn={with_pdn}: {}",
+                    net.len(),
+                    d.audit.summary()
+                );
+                // The evaluated report must also sit inside physical
+                // bounds, with and without crosstalk evaluation.
+                for xt in [None, Some(&xtalk)] {
+                    let report = d.report(name, &loss, xt, &PowerParams::default());
+                    let bounds = xring::core::audit_report_bounds(&report);
+                    assert!(
+                        bounds.passed,
+                        "{name}/{} pdn={with_pdn}: {}",
+                        net.len(),
+                        bounds.detail
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn crossbar_baselines_are_non_blocking_and_bounded() {
+    use xring::baselines::crossbar::{crossbar_report, CrossbarKind, LayoutStyle};
+    use xring::phot::LossParams;
+
+    for n in [4, 8, 16] {
+        xring::baselines::lambda_router::verify_non_blocking(n)
+            .unwrap_or_else(|c| panic!("λ-router n={n} collides: {c:?}"));
+        xring::baselines::matrix_crossbar::verify_non_blocking(n)
+            .unwrap_or_else(|c| panic!("matrix crossbar n={n} collides: {c:?}"));
+    }
+    let loss = LossParams::proton_plus();
+    for net in [NetworkSpec::proton_8(), NetworkSpec::psion_16()] {
+        for kind in [
+            CrossbarKind::LambdaRouter,
+            CrossbarKind::Gwor,
+            CrossbarKind::Light,
+        ] {
+            for style in [
+                LayoutStyle::ProtonPlus,
+                LayoutStyle::PlanarOnoc,
+                LayoutStyle::ToPro,
+            ] {
+                let report = crossbar_report(kind, style, &net, &loss);
+                let bounds = xring::core::audit_report_bounds(&report);
+                assert!(
+                    bounds.passed,
+                    "{}/{}: {}",
+                    report.label,
+                    net.len(),
+                    bounds.detail
+                );
+            }
+        }
     }
 }
 
