@@ -20,6 +20,12 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
+echo "==> cargo test --doc (doc examples)"
+cargo test -q --doc --workspace --offline
+
 echo "==> cargo test -q --features fault-inject (robustness suite)"
 cargo test -q --features fault-inject --offline
 cargo test -q -p xring-engine -p xring-milp --features fault-inject --offline

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use xring_obs::TraceFormat;
+
 /// A fully parsed command line: the global flags plus the subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
@@ -58,6 +60,10 @@ pub struct SynthArgs {
     pub svg: Option<String>,
     /// Print the full design document.
     pub describe: bool,
+    /// `--trace FILE`: write a phase-level trace of the whole run here.
+    pub trace: Option<String>,
+    /// `--trace-format jsonl|folded`: how to serialize the trace.
+    pub trace_format: TraceFormat,
 }
 
 impl Default for SynthArgs {
@@ -75,6 +81,8 @@ impl Default for SynthArgs {
             no_pdn: false,
             svg: None,
             describe: false,
+            trace: None,
+            trace_format: TraceFormat::default(),
         }
     }
 }
@@ -131,7 +139,7 @@ USAGE:
               [--wl N] [--ring milp|heuristic|perimeter]
               [--degradation forbid|allow|force-heuristic]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
-              [--describe]
+              [--describe] [--trace FILE] [--trace-format jsonl|folded]
   xring sweep [synth flags] [--objective il|power|snr]
   xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
               [--repeat K] [--metrics-jsonl FILE]
@@ -151,6 +159,15 @@ DEGRADATION (synth, sweep, batch):
                                  heuristic ring; the result's provenance
                                  records the degradation level
   --degradation force-heuristic  skip the MILP entirely
+
+TRACING (synth, sweep, batch):
+  --trace FILE           record per-phase spans (ring MILP, shortcuts,
+                         audit, evaluation, ...), solver counters and
+                         engine gauges for the whole run, then write
+                         them to FILE on exit
+  --trace-format jsonl   one JSON object per span/gauge plus a final
+                         totals line (default)
+  --trace-format folded  collapsed stacks for flamegraph tooling
 ";
 
 /// Validates and stores a `--degradation` policy value.
@@ -259,6 +276,18 @@ where
                 .next()
                 .ok_or_else(|| ParseArgsError("--svg needs a path".into()))?;
             out.svg = Some(v.clone());
+        }
+        "--trace" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--trace needs a path".into()))?;
+            out.trace = Some(v.clone());
+        }
+        "--trace-format" => {
+            let v = it.next().ok_or_else(|| {
+                ParseArgsError(format!("--trace-format needs {}", TraceFormat::NAMES))
+            })?;
+            out.trace_format = v.parse().map_err(ParseArgsError)?;
         }
         _ => return Ok(false),
     }
@@ -586,6 +615,37 @@ mod tests {
         assert!(parse(&v(&["synth", "--degradation", "sometimes"])).is_err());
         assert!(parse(&v(&["synth", "--degradation=bogus"])).is_err());
         assert!(parse(&v(&["synth", "--degradation"])).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse_on_every_synthesis_command() {
+        let Command::Synth(a) = cmd(&["synth", "--trace", "out.jsonl"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
+        assert_eq!(a.trace_format, TraceFormat::Jsonl); // default
+        let Command::Sweep(a, _) =
+            cmd(&["sweep", "--trace", "t.folded", "--trace-format", "folded"])
+        else {
+            panic!("not sweep")
+        };
+        assert_eq!(a.trace.as_deref(), Some("t.folded"));
+        assert_eq!(a.trace_format, TraceFormat::Folded);
+        let Command::Batch(b) = cmd(&["batch", "--trace", "b.jsonl", "--trace-format", "jsonl"])
+        else {
+            panic!("not batch")
+        };
+        assert_eq!(b.synth.trace.as_deref(), Some("b.jsonl"));
+        assert_eq!(b.synth.trace_format, TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn bad_trace_flags_are_rejected() {
+        assert!(parse(&v(&["synth", "--trace"])).is_err());
+        assert!(parse(&v(&["synth", "--trace-format"])).is_err());
+        assert!(parse(&v(&["synth", "--trace-format", "xml"])).is_err());
+        let err = parse(&v(&["sweep", "--trace-format", "protobuf"])).unwrap_err();
+        assert!(err.0.contains("jsonl|folded"), "{err}");
     }
 
     #[test]

@@ -35,7 +35,18 @@ fn main() -> ExitCode {
     if let Some(jobs) = cli.jobs {
         engine = engine.with_workers(jobs);
     }
-    match cli.command {
+    // `--trace` wraps the whole command: spans from every layer (engine
+    // jobs, synthesis phases, MILP solves) land in one trace, drained and
+    // written after the command finishes.
+    let trace_to = match &cli.command {
+        Command::Synth(a) | Command::Sweep(a, _) => a.trace.clone().map(|p| (p, a.trace_format)),
+        Command::Batch(b) => b.synth.trace.clone().map(|p| (p, b.synth.trace_format)),
+        _ => None,
+    };
+    if trace_to.is_some() {
+        xring_obs::start();
+    }
+    let code = match cli.command {
         Command::Help => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -45,7 +56,21 @@ fn main() -> ExitCode {
         Command::Synth(args) => run_synth(&args),
         Command::Sweep(args, objective) => run_sweep(&args, &objective, &engine),
         Command::Batch(args) => run_batch_cmd(&args, engine),
+    };
+    if let Some((path, format)) = trace_to {
+        if let Err(e) = write_trace(&path, format) {
+            eprintln!("error: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace ({format}) written to {path}");
     }
+    code
+}
+
+fn write_trace(path: &str, format: xring_obs::TraceFormat) -> std::io::Result<()> {
+    let trace = xring_obs::finish();
+    let mut file = std::fs::File::create(path)?;
+    trace.write(format, &mut file)
 }
 
 fn run_table(which: u8, engine: &Engine) -> ExitCode {

@@ -340,6 +340,7 @@ pub fn audit_report_bounds(report: &RouterReport) -> Verdict {
 /// Audits a full XRing design: the structural invariants plus the
 /// physical bounds of a loss-only evaluation under `loss`.
 pub fn audit_design(design: &XRingDesign, traffic: &Traffic, loss: &LossParams) -> AuditReport {
+    let _span = xring_obs::span("audit");
     let expected = traffic.pairs(&design.net);
     let mut report = audit_structure(
         &design.net,

@@ -118,6 +118,7 @@ impl XRingDesign {
         xtalk: Option<&CrosstalkParams>,
         power: &PowerParams,
     ) -> RouterReport {
+        let _span = xring_obs::span("evaluation");
         self.layout
             .evaluate(label, loss, xtalk, power, self.elapsed)
     }

@@ -590,8 +590,11 @@ impl RingBuilder {
         }
 
         // Merge sub-cycles (Fig. 6(f)).
+        let merge_span = xring_obs::span("subcycle-merge");
         let mut merged = 0usize;
         let order = merge_cycles(net, &mut cycles, &mut merged)?;
+        xring_obs::counter("ring.subcycles_merged", merged as u64);
+        drop(merge_span);
 
         let (cycle, fb) = RingCycle::from_order(net, order);
         Ok(RingOutcome {

@@ -82,6 +82,7 @@ pub fn plan_shortcuts(net: &NetworkSpec, cycle: &RingCycle) -> ShortcutPlan {
     let ring = cycle.polyline();
 
     // 1. Collect feasible candidates with positive gain.
+    let gain_span = xring_obs::span("shortcut-gain");
     struct Candidate {
         a: NodeId,
         b: NodeId,
@@ -117,7 +118,11 @@ pub fn plan_shortcuts(net: &NetworkSpec, cycle: &RingCycle) -> ShortcutPlan {
         }
     }
 
-    // 2. Greedy selection by descending gain.
+    xring_obs::counter("shortcut.candidates", candidates.len() as u64);
+    drop(gain_span);
+
+    // 2. Greedy selection by descending gain (CSE merges included).
+    let _select_span = xring_obs::span("shortcut-select");
     candidates.sort_by_key(|c| (std::cmp::Reverse(c.gain_um), c.a, c.b));
     let mut plan = ShortcutPlan::empty();
     for c in candidates {
@@ -150,10 +155,12 @@ pub fn plan_shortcuts(net: &NetworkSpec, cycle: &RingCycle) -> ShortcutPlan {
                     continue; // partner already has a crossing
                 }
                 // CSE merge requires exactly one crossing point.
+                let _cse_span = xring_obs::span("cse-merge");
                 let Some((at_new, at_old)) = single_crossing(&c.route, &plan.shortcuts[k].route)
                 else {
                     continue;
                 };
+                xring_obs::counter("shortcut.cse_merges", 1);
                 let new_idx = plan.shortcuts.len();
                 plan.shortcuts[k].crossing_partner = Some(new_idx);
                 plan.shortcuts[k].crossing_at_um = Some(at_old);
@@ -170,6 +177,7 @@ pub fn plan_shortcuts(net: &NetworkSpec, cycle: &RingCycle) -> ShortcutPlan {
             _ => continue, // would cross 2+ shortcuts
         }
     }
+    xring_obs::counter("shortcut.selected", plan.shortcuts.len() as u64);
     plan
 }
 

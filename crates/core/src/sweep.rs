@@ -127,6 +127,28 @@ pub fn sweep_wavelengths(
 /// Returns the best design found by a sweep. The design is taken straight
 /// from the winning [`SweepPoint`] — nothing is synthesized twice.
 ///
+/// # Example
+///
+/// Pick the lowest-power 8-node design among `#wl ∈ {4, 8}`:
+///
+/// ```
+/// use xring_core::{synthesize_best, NetworkSpec, SweepObjective, SynthesisOptions};
+/// use xring_phot::{CrosstalkParams, LossParams, PowerParams};
+///
+/// let design = synthesize_best(
+///     &NetworkSpec::proton_8(),
+///     SynthesisOptions::default(),
+///     &[4, 8],
+///     SweepObjective::MinPower,
+///     &LossParams::default(),
+///     Some(&CrosstalkParams::default()),
+///     &PowerParams::default(),
+/// )?;
+/// assert_eq!(design.layout.signals.len(), 56);
+/// assert!(design.provenance.audit.is_clean());
+/// # Ok::<(), xring_core::SynthesisError>(())
+/// ```
+///
 /// # Errors
 ///
 /// As for [`sweep_wavelengths`].

@@ -21,7 +21,7 @@ const RETRY_PERTURBATION_SEED: u64 = 0x5EED_0FFA_11BA_CC01;
 /// fails. The fallback chain is
 /// `ExactMilp → RetryWithPerturbation → HeuristicRing → Err`, and every
 /// produced design records the level reached in its
-/// [`Provenance`](crate::design::Provenance).
+/// [`Provenance`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DegradationPolicy {
     /// Never degrade: any failure surfaces as its [`SynthesisError`]
@@ -187,7 +187,7 @@ impl Synthesizer {
     /// recoverable failure walks the fallback chain
     /// `ExactMilp → RetryWithPerturbation → HeuristicRing → Err`; the
     /// level reached is recorded in the design's
-    /// [`Provenance`](crate::design::Provenance). Every returned design
+    /// [`Provenance`]. Every returned design
     /// — exact or degraded — has passed the post-synthesis audit
     /// ([`crate::audit`]); a design the auditor rejects is never
     /// returned.
@@ -224,6 +224,7 @@ impl Synthesizer {
                 if !matches!(err, SynthesisError::DeadlineExceeded)
                     && self.options.ring_algorithm == RingAlgorithm::Milp
                 {
+                    xring_obs::counter("degradation.retries", 1);
                     let retry = Attempt {
                         algorithm: RingAlgorithm::Milp,
                         perturbation: Some(RETRY_PERTURBATION_SEED),
@@ -237,6 +238,7 @@ impl Synthesizer {
                 }
                 // Last resort: heuristic ring, deadline waived (the
                 // budget is spent; the heuristic is fast and bounded).
+                xring_obs::counter("degradation.heuristic_fallbacks", 1);
                 self.synthesize_attempt(
                     net,
                     &Attempt {
@@ -260,6 +262,7 @@ impl Synthesizer {
         net: &NetworkSpec,
         attempt: &Attempt,
     ) -> Result<XRingDesign, SynthesisError> {
+        let _span = xring_obs::span_labelled("synth", attempt.level.as_str());
         let t0 = Instant::now();
         let o = &self.options;
         let deadline = if attempt.waive_deadline {
@@ -274,15 +277,19 @@ impl Synthesizer {
 
         // Step 1: ring construction.
         check_deadline()?;
-        let ring = RingBuilder::new()
-            .with_algorithm(attempt.algorithm)
-            .with_deadline(deadline)
-            .with_objective_perturbation(attempt.perturbation)
-            .build(net)?;
+        let ring = {
+            let _s = xring_obs::span("ring-milp");
+            RingBuilder::new()
+                .with_algorithm(attempt.algorithm)
+                .with_deadline(deadline)
+                .with_objective_perturbation(attempt.perturbation)
+                .build(net)?
+        };
 
         // Step 2: shortcuts.
         check_deadline()?;
         let shortcuts = if o.shortcuts {
+            let _s = xring_obs::span("shortcut");
             plan_shortcuts(net, &ring.cycle)
         } else {
             ShortcutPlan::empty()
@@ -290,15 +297,19 @@ impl Synthesizer {
 
         // Step 3: mapping + openings.
         check_deadline()?;
-        let mut plan = crate::mapping::map_signals_with_traffic(
-            net,
-            &ring.cycle,
-            &shortcuts,
-            &o.traffic,
-            o.max_wavelengths,
-            o.max_waveguides,
-        )?;
+        let mut plan = {
+            let _s = xring_obs::span("mapping");
+            crate::mapping::map_signals_with_traffic(
+                net,
+                &ring.cycle,
+                &shortcuts,
+                &o.traffic,
+                o.max_wavelengths,
+                o.max_waveguides,
+            )?
+        };
         let opening_stats = if o.openings {
+            let _s = xring_obs::span("opening");
             open_rings(&ring.cycle, &mut plan, o.max_wavelengths)
         } else {
             Default::default()
@@ -306,11 +317,15 @@ impl Synthesizer {
 
         // Step 4: PDN.
         check_deadline()?;
-        let pdn = o
-            .pdn
-            .then(|| design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser));
+        let pdn = o.pdn.then(|| {
+            let _s = xring_obs::span("pdn");
+            design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser)
+        });
 
-        let layout = realize(net, &ring.cycle, &shortcuts, &plan, pdn.as_ref(), o.spacing);
+        let layout = {
+            let _s = xring_obs::span("realize");
+            realize(net, &ring.cycle, &shortcuts, &plan, pdn.as_ref(), o.spacing)
+        };
         let mut design = XRingDesign {
             net: net.clone(),
             cycle: ring.cycle,

@@ -133,6 +133,7 @@ impl DesignCache {
         match entries.get(key) {
             Some((design, report)) if entry_is_intact(design) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                xring_obs::counter("cache.hits", 1);
                 let mut report = report.clone();
                 report.label = label.to_owned();
                 Some((Arc::clone(design), report))
@@ -141,10 +142,13 @@ impl DesignCache {
                 entries.remove(key);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                xring_obs::counter("cache.evictions", 1);
+                xring_obs::counter("cache.misses", 1);
                 None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                xring_obs::counter("cache.misses", 1);
                 None
             }
         }

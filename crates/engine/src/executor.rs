@@ -150,8 +150,13 @@ impl Engine {
     /// Runs a batch of synthesis jobs and returns per-job outcomes in
     /// submission order plus aggregated [`BatchMetrics`].
     pub fn run_batch(&self, jobs: Vec<SynthesisJob>) -> BatchResult {
+        let _span = xring_obs::span_labelled("batch", format!("{} jobs", jobs.len()));
         let t0 = Instant::now();
-        let outcomes = self.run_tasks(jobs.len(), |i| self.run_job(i, &jobs[i]));
+        let outcomes = self.run_tasks(jobs.len(), |i| {
+            // Queue wait: batch submission to worker pickup of job i.
+            xring_obs::gauge("engine.queue_wait_us", t0.elapsed().as_micros() as f64);
+            self.run_job(i, &jobs[i])
+        });
         let mut metrics = BatchMetrics::default();
         for outcome in &outcomes {
             metrics.record(outcome);
@@ -169,6 +174,7 @@ impl Engine {
     /// [`with_panic_retries`](Self::with_panic_retries) times before the
     /// [`JobError::Panicked`] surfaces.
     fn run_job(&self, index: usize, job: &SynthesisJob) -> Result<JobOutput, JobError> {
+        let _span = xring_obs::span_labelled("job", job.label.clone());
         self.emit(EngineEvent::JobStarted {
             index,
             label: job.label.clone(),

@@ -3,6 +3,9 @@
 use std::io::Write;
 use std::sync::Mutex;
 use std::time::Duration;
+// One JSON escaper for every JSONL surface in the workspace: this sink
+// and the `--trace` exporter escape identically.
+use xring_obs::json_escape;
 
 use crate::job::{JobError, JobOutput};
 
@@ -159,23 +162,6 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn into_inner(self) -> W {
         self.writer.into_inner().expect("sink lock")
     }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {

@@ -61,6 +61,10 @@ pub struct SolveStats {
     pub lazy_constraints: usize,
     /// Binaries fixed by root presolve.
     pub presolve_fixed: usize,
+    /// Times the incumbent improved during the search (excludes a
+    /// warm start accepted via
+    /// [`with_incumbent`](BranchAndBound::with_incumbent)).
+    pub incumbent_updates: usize,
 }
 
 /// Configurable exact branch-and-bound solver.
@@ -118,6 +122,26 @@ impl BranchAndBound {
 
     /// Solves the model exactly.
     ///
+    /// # Example
+    ///
+    /// Minimize `5x + 3y` subject to `x + y >= 1` over binaries:
+    ///
+    /// ```
+    /// use xring_milp::{BranchAndBound, LinExpr, Model, Relation};
+    ///
+    /// let mut m = Model::new();
+    /// let x = m.add_binary("x");
+    /// let y = m.add_binary("y");
+    /// m.add_constraint(LinExpr::new() + (x, 1.0) + (y, 1.0), Relation::Ge, 1.0);
+    /// m.set_objective(LinExpr::new() + (x, 5.0) + (y, 3.0));
+    ///
+    /// let solution = BranchAndBound::new().solve(&m)?;
+    /// assert!(solution.is_set(y) && !solution.is_set(x));
+    /// assert_eq!(solution.objective(), 3.0);
+    /// assert!(solution.stats().nodes >= 1);
+    /// # Ok::<(), xring_milp::SolveError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`SolveError::Infeasible`] when no integer point satisfies the
@@ -140,11 +164,7 @@ impl BranchAndBound {
     /// # Errors
     ///
     /// As for [`solve`](Self::solve).
-    pub fn solve_with_lazy<F>(
-        &self,
-        model: &Model,
-        mut separate: F,
-    ) -> Result<MilpSolution, SolveError>
+    pub fn solve_with_lazy<F>(&self, model: &Model, separate: F) -> Result<MilpSolution, SolveError>
     where
         F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
     {
@@ -153,8 +173,35 @@ impl BranchAndBound {
             return Err(fault.to_solve_error());
         }
 
-        let n = model.num_vars();
+        let _span = xring_obs::span("milp-solve");
         let mut stats = SolveStats::default();
+        let result = self.search(model, separate, &mut stats);
+        xring_obs::counter("milp.nodes", stats.nodes as u64);
+        xring_obs::counter("milp.lp_solves", stats.lp_solves as u64);
+        xring_obs::counter("milp.lazy_cuts", stats.lazy_constraints as u64);
+        xring_obs::counter("milp.presolve_fixed", stats.presolve_fixed as u64);
+        xring_obs::counter("milp.incumbent_updates", stats.incumbent_updates as u64);
+        result.map(|(values, objective)| MilpSolution {
+            values,
+            objective,
+            stats,
+        })
+    }
+
+    /// The branch-and-bound search behind
+    /// [`solve_with_lazy`](Self::solve_with_lazy), with statistics
+    /// accumulated into `stats` on every exit path (so the
+    /// observability counters are flushed even when the search errors).
+    fn search<F>(
+        &self,
+        model: &Model,
+        mut separate: F,
+        stats: &mut SolveStats,
+    ) -> Result<(Vec<f64>, f64), SolveError>
+    where
+        F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
+    {
+        let n = model.num_vars();
 
         // Dense objective.
         let mut objective = vec![0.0f64; n];
@@ -257,7 +304,7 @@ impl BranchAndBound {
             stats.nodes += 1;
             if stats.nodes > self.max_nodes {
                 return match best {
-                    Some((values, obj)) => Ok(self.finish(values, obj, stats)),
+                    Some(incumbent) => Ok(incumbent),
                     None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
                 };
             }
@@ -391,6 +438,7 @@ impl BranchAndBound {
                             let improves =
                                 best.as_ref().map(|(_, b)| obj < *b - 1e-9).unwrap_or(true);
                             if improves {
+                                stats.incumbent_updates += 1;
                                 best = Some((values, obj));
                             }
                             break 'resolve;
@@ -442,17 +490,9 @@ impl BranchAndBound {
             Some((values, obj)) => {
                 // Final consistency check against lazy pool and model.
                 debug_assert!(model.violated_constraints(&values, 1e-5).is_empty());
-                Ok(self.finish(values, obj, stats))
+                Ok((values, obj))
             }
             None => Err(SolveError::Infeasible),
-        }
-    }
-
-    fn finish(&self, values: Vec<f64>, objective: f64, stats: SolveStats) -> MilpSolution {
-        MilpSolution {
-            values,
-            objective,
-            stats,
         }
     }
 }

@@ -19,7 +19,8 @@ pub enum SolveError {
     },
     /// The solver was interrupted by its cooperative deadline (see
     /// [`BranchAndBound::with_deadline`](crate::BranchAndBound::with_deadline))
-    /// before the search could be completed. Unlike [`ResourceLimit`]
+    /// before the search could be completed. Unlike
+    /// [`ResourceLimit`](SolveError::ResourceLimit)
     /// (which falls back to the incumbent), a deadline is a hard stop:
     /// the caller's time budget is spent, so no solution is returned.
     Interrupted {

@@ -30,6 +30,12 @@
 //! assert_eq!(solution.value(x).round() as i64, 0);
 //! # Ok::<(), xring_milp::SolveError>(())
 //! ```
+//!
+//! Solves report spans (`milp-solve`) and counters (`milp.nodes`,
+//! `milp.lp_solves`, `simplex.pivots`, …) to `xring-obs` when tracing
+//! is enabled; the disabled path costs one relaxed atomic load.
+
+#![warn(missing_docs)]
 
 pub mod bnb;
 pub mod error;

@@ -60,9 +60,23 @@ pub enum LpOutcome {
 }
 
 impl LpProblem {
-    #[allow(clippy::needless_range_loop)] // tableau code reads best with explicit indices
     /// Solves the LP with two-phase primal simplex.
+    ///
+    /// Reports pivot counts (and how many pivots were degenerate — a
+    /// blocking ratio of zero, so the basis changed without progress)
+    /// to the observability layer as `simplex.pivots` /
+    /// `simplex.degenerate_pivots`.
     pub fn solve(&self) -> LpOutcome {
+        let mut pivots = 0usize;
+        let mut degenerate = 0usize;
+        let outcome = self.solve_impl(&mut pivots, &mut degenerate);
+        xring_obs::counter("simplex.pivots", pivots as u64);
+        xring_obs::counter("simplex.degenerate_pivots", degenerate as u64);
+        outcome
+    }
+
+    #[allow(clippy::needless_range_loop)] // tableau code reads best with explicit indices
+    fn solve_impl(&self, pivots: &mut usize, degenerate: &mut usize) -> LpOutcome {
         assert_eq!(self.lb.len(), self.num_vars);
         assert_eq!(self.ub.len(), self.num_vars);
         assert_eq!(self.objective.len(), self.num_vars);
@@ -224,6 +238,7 @@ impl LpProblem {
             ($row:expr, $col:expr) => {{
                 let pr = $row;
                 let pc = $col;
+                *pivots += 1;
                 let pivval = tab[idx(pr, pc)];
                 let inv = 1.0 / pivval;
                 for j in 0..width {
@@ -252,7 +267,9 @@ impl LpProblem {
                          basis: &mut Vec<usize>,
                          cost_row: usize,
                          col_limit: usize,
-                         iterations: &mut usize|
+                         iterations: &mut usize,
+                         pivots: &mut usize,
+                         degenerate: &mut usize|
          -> Result<(), LpOutcome> {
             let bland_threshold = 5_000 + 20 * (m + n);
             loop {
@@ -310,6 +327,10 @@ impl LpProblem {
                 let Some(pr) = leave else {
                     return Err(LpOutcome::Unbounded);
                 };
+                *pivots += 1;
+                if best_ratio <= EPS {
+                    *degenerate += 1;
+                }
                 // Inline pivot (macro captures tab/basis from the closure's
                 // environment via the outer names — but we shadowed them, so
                 // do it manually here).
@@ -337,7 +358,15 @@ impl LpProblem {
 
         // --- Phase 1. ---
         if num_art > 0 {
-            match run_phase(&mut tab, &mut basis, p1, total, &mut iterations) {
+            match run_phase(
+                &mut tab,
+                &mut basis,
+                p1,
+                total,
+                &mut iterations,
+                pivots,
+                degenerate,
+            ) {
                 Ok(()) => {}
                 Err(LpOutcome::Unbounded) => {
                     // Phase-1 objective is bounded below by 0; "unbounded"
@@ -372,7 +401,15 @@ impl LpProblem {
         }
 
         // --- Phase 2 (artificial columns excluded from pricing). ---
-        match run_phase(&mut tab, &mut basis, p2, art_start, &mut iterations) {
+        match run_phase(
+            &mut tab,
+            &mut basis,
+            p2,
+            art_start,
+            &mut iterations,
+            pivots,
+            degenerate,
+        ) {
             Ok(()) => {}
             Err(outcome) => return outcome,
         }

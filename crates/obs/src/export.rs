@@ -1,0 +1,267 @@
+//! Trace exporters: a JSONL event stream and the collapsed-stack text
+//! format consumed by `inferno` / `flamegraph.pl`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::{self, Write};
+use std::str::FromStr;
+
+use crate::trace::Trace;
+
+/// The on-disk formats a drained [`Trace`] can be written as
+/// (`xring … --trace-format <jsonl|folded>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One JSON object per line: every span (with parent link, thread,
+    /// timing and attached counters), every gauge sample, and a final
+    /// `totals` line. Same sink style as the engine's metrics JSONL.
+    #[default]
+    Jsonl,
+    /// Collapsed stacks: one `root;child;leaf <self-time-µs>` line per
+    /// distinct frame chain, ready for flamegraph tooling.
+    Folded,
+}
+
+impl TraceFormat {
+    /// The accepted `--trace-format` spellings.
+    pub const NAMES: &'static str = "jsonl|folded";
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Folded => "folded",
+        })
+    }
+}
+
+impl FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "folded" => Ok(TraceFormat::Folded),
+            other => Err(format!(
+                "unknown trace format '{other}' (expected {})",
+                TraceFormat::NAMES
+            )),
+        }
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+///
+/// Shared with the engine's metrics sink so every JSONL surface in the
+/// workspace escapes identically.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Trace {
+    /// Writes the trace in the format selected by `format`.
+    pub fn write<W: Write>(&self, format: TraceFormat, w: &mut W) -> io::Result<()> {
+        match format {
+            TraceFormat::Jsonl => self.write_jsonl(w),
+            TraceFormat::Folded => self.write_folded(w),
+        }
+    }
+
+    /// Writes one JSON object per line: spans in entry order, then
+    /// gauge samples, then a final global-totals line.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut spans: Vec<_> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        for s in spans {
+            let label = match &s.label {
+                Some(label) => format!(r#","label":"{}""#, json_escape(label)),
+                None => String::new(),
+            };
+            let counters = if s.counters.is_empty() {
+                String::new()
+            } else {
+                let body: Vec<String> = s
+                    .counters
+                    .iter()
+                    .map(|(name, value)| format!(r#""{}":{value}"#, json_escape(name)))
+                    .collect();
+                format!(r#","counters":{{{}}}"#, body.join(","))
+            };
+            writeln!(
+                w,
+                r#"{{"type":"span","id":{},"parent":{},"name":"{}"{label},"thread":{},"start_us":{},"dur_us":{}{counters}}}"#,
+                s.id,
+                s.parent,
+                json_escape(s.name),
+                s.thread,
+                s.start_ns / 1_000,
+                s.dur_ns / 1_000,
+            )?;
+        }
+        for g in &self.gauges {
+            writeln!(
+                w,
+                r#"{{"type":"gauge","name":"{}","value":{},"thread":{},"at_us":{}}}"#,
+                json_escape(&g.name),
+                g.value,
+                g.thread,
+                g.at_ns / 1_000,
+            )?;
+        }
+        let totals: Vec<String> = self
+            .totals
+            .iter()
+            .map(|(name, value)| format!(r#""{}":{value}"#, json_escape(name)))
+            .collect();
+        writeln!(
+            w,
+            r#"{{"type":"totals","counters":{{{}}}}}"#,
+            totals.join(",")
+        )
+    }
+
+    /// Writes collapsed stacks: `frame;frame;frame <self-time-µs>`, one
+    /// line per distinct chain, summed across occurrences.
+    ///
+    /// Self time is a span's inclusive duration minus its recorded
+    /// children's inclusive durations (clamped at zero), so the folded
+    /// output preserves the trace's total wall time per root.
+    pub fn write_folded<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut child_ns: HashMap<u64, u64> = HashMap::new();
+        for s in &self.spans {
+            if s.parent != 0 {
+                *child_ns.entry(s.parent).or_insert(0) += s.dur_ns;
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            let self_ns = s
+                .dur_ns
+                .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+            let chain = self.path(s).join(";");
+            *folded.entry(chain).or_insert(0) += self_ns / 1_000;
+        }
+        for (chain, self_us) in folded {
+            writeln!(w, "{chain} {self_us}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{counter, finish, gauge, span, span_labelled, start, test_guard};
+
+    fn sample_trace() -> Trace {
+        let _lock = test_guard();
+        start();
+        {
+            let _root = span_labelled("synth", "grid 2x2 \"q\"");
+            {
+                let _milp = span("ring-milp");
+                counter("milp.nodes", 5);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            {
+                let _eval = span("evaluation");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            gauge("queue.wait_us", 7.0);
+        }
+        finish()
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed_and_complete() {
+        let trace = sample_trace();
+        let mut out = Vec::new();
+        trace.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 3 spans + 1 gauge + totals.
+        assert_eq!(lines.len(), 5);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
+            let unescaped = l
+                .replace("\\\\", "")
+                .replace("\\\"", "")
+                .matches('"')
+                .count();
+            assert_eq!(unescaped % 2, 0, "unbalanced quotes: {l}");
+        }
+        // Spans sort by start time: the root comes first.
+        assert!(lines[0].contains(r#""name":"synth""#));
+        assert!(lines[0].contains(r#""label":"grid 2x2 \"q\"""#));
+        assert!(lines[1].contains(r#""counters":{"milp.nodes":5}"#));
+        assert!(lines[3].contains(r#""type":"gauge""#));
+        assert!(lines[4].contains(r#""type":"totals""#));
+        assert!(lines[4].contains(r#""milp.nodes":5"#));
+    }
+
+    #[test]
+    fn folded_output_parses_as_collapsed_stacks() {
+        let trace = sample_trace();
+        let mut out = Vec::new();
+        trace.write_folded(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut chains = Vec::new();
+        for line in text.lines() {
+            // Collapsed-stack grammar: `frame(;frame)* <count>`.
+            let (chain, count) = line.rsplit_once(' ').expect("space-separated count");
+            assert!(!chain.is_empty());
+            assert!(
+                chain.split(';').all(|f| !f.is_empty()),
+                "empty frame: {line}"
+            );
+            count.parse::<u64>().expect("integer sample count");
+            chains.push(chain.to_owned());
+        }
+        assert!(chains.contains(&"synth".to_owned()));
+        assert!(chains.contains(&"synth;ring-milp".to_owned()));
+        assert!(chains.contains(&"synth;evaluation".to_owned()));
+    }
+
+    #[test]
+    fn folded_self_time_preserves_root_total() {
+        let trace = sample_trace();
+        let root_us = trace.find("synth").unwrap().dur_ns / 1_000;
+        let mut out = Vec::new();
+        trace.write_folded(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let sum: u64 = text
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        // Equal up to one µs of truncation per span.
+        assert!(
+            sum <= root_us && sum + 3 >= root_us,
+            "sum={sum} root={root_us}"
+        );
+    }
+
+    #[test]
+    fn trace_format_parses_and_displays() {
+        assert_eq!("jsonl".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert_eq!(
+            "folded".parse::<TraceFormat>().unwrap(),
+            TraceFormat::Folded
+        );
+        assert!("svg".parse::<TraceFormat>().is_err());
+        assert_eq!(TraceFormat::Folded.to_string(), "folded");
+        assert_eq!(TraceFormat::default(), TraceFormat::Jsonl);
+    }
+}

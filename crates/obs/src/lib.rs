@@ -1,0 +1,66 @@
+//! Phase-level observability for the XRing synthesis pipeline.
+//!
+//! This crate is the workspace's tracing and metrics layer: hierarchical
+//! **spans** (enter/exit with monotonic timing, thread id and parent
+//! links), plus named **counters** and **gauges**, recorded into one
+//! process-global trace buffer and drained as a [`Trace`] value that can
+//! be exported as a JSONL event stream or as the collapsed-stack text
+//! format consumed by `inferno` / `flamegraph.pl`.
+//!
+//! # Design
+//!
+//! * **Std-only, zero dependencies** — like every other crate in the
+//!   workspace (see `DESIGN.md` §5).
+//! * **Near-zero cost when disabled.** Collection is off by default;
+//!   every instrumentation call starts with a single relaxed atomic
+//!   load and returns immediately when tracing is off. No allocation,
+//!   no locking, no timestamps are taken on the disabled path, so
+//!   instrumented hot loops (branch-and-bound nodes, simplex pivots)
+//!   pay essentially nothing in production runs.
+//! * **Global, not threaded through APIs.** The recorder is a static
+//!   [`std::sync::OnceLock`]; instrumentation points call free
+//!   functions ([`span`], [`counter`], [`gauge`]) so no layer of the
+//!   pipeline needs its signature changed to participate.
+//! * **Spans are RAII guards.** [`span`] returns a [`Span`] whose
+//!   `Drop` records the exit; a thread-local stack provides the parent
+//!   link, so nesting follows lexical scope on each thread.
+//! * **Counters attach to the innermost open span** on the calling
+//!   thread (and to the global totals); with no span open they only
+//!   count toward the totals.
+//!
+//! # Example
+//!
+//! ```
+//! let _lock = xring_obs::test_guard(); // serialize: the trace is global
+//! xring_obs::start();
+//! {
+//!     let _outer = xring_obs::span("synth");
+//!     {
+//!         let _inner = xring_obs::span("ring-milp");
+//!         xring_obs::counter("milp.nodes", 42);
+//!     }
+//! }
+//! let trace = xring_obs::finish();
+//! assert_eq!(trace.spans.len(), 2);
+//! assert_eq!(trace.total("milp.nodes"), 42);
+//! let milp = trace.find("ring-milp").expect("recorded");
+//! let synth = trace.find("synth").expect("recorded");
+//! assert_eq!(milp.parent, synth.id);
+//!
+//! let mut folded = Vec::new();
+//! trace.write_folded(&mut folded).unwrap();
+//! let text = String::from_utf8(folded).unwrap();
+//! assert!(text.contains("synth;ring-milp "));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+mod trace;
+
+pub use export::{json_escape, TraceFormat};
+pub use trace::{
+    counter, enabled, finish, gauge, span, span_labelled, start, test_guard, GaugeRecord, Span,
+    SpanRecord, Trace,
+};

@@ -1,0 +1,498 @@
+//! The global recorder: span guards, counters, gauges, and the drained
+//! [`Trace`] value.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Collection on/off switch. One relaxed load gates every
+/// instrumentation call, so the disabled path costs a single atomic
+/// read.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonically increasing span ids. Id 0 means "no span" and is used
+/// as the parent of root spans.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small per-thread ordinals (1, 2, 3, …) assigned on first use, since
+/// `ThreadId` has no stable numeric accessor.
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(1);
+
+/// The process-wide trace epoch: set on the first [`start`] and never
+/// reset, so `start_ns` values are monotone across enable/drain cycles.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The shared record buffers, allocated lazily on first [`start`].
+static BUFFERS: OnceLock<Mutex<Buffers>> = OnceLock::new();
+
+#[derive(Default)]
+struct Buffers {
+    spans: Vec<SpanRecord>,
+    gauges: Vec<GaugeRecord>,
+    totals: BTreeMap<&'static str, u64>,
+}
+
+thread_local! {
+    /// The open-span stack of this thread: parent links for new spans
+    /// and the attachment point for [`counter`] increments.
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Frame {
+    id: u64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// Locks the buffers, surviving a poisoned mutex: the engine catches
+/// worker panics, and a panic between lock and unlock must not disable
+/// tracing for every other thread.
+fn lock_buffers() -> MutexGuard<'static, Buffers> {
+    BUFFERS
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Returns `true` while trace collection is enabled.
+///
+/// Instrumentation sites never need to call this — [`span`],
+/// [`counter`] and [`gauge`] check internally — but callers batching
+/// expensive label formatting can use it to skip the work entirely.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables trace collection, clearing any previously buffered records.
+///
+/// Tracing is global to the process; concurrent tests must serialize
+/// around [`start`]/[`finish`] (see [`test_guard`]).
+pub fn start() {
+    EPOCH.get_or_init(Instant::now);
+    *lock_buffers() = Buffers::default();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables collection and drains everything recorded since [`start`].
+///
+/// Spans still open when `finish` runs are not recorded (a span is
+/// written at scope exit); close all guards before draining.
+pub fn finish() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    let buffers = std::mem::take(&mut *lock_buffers());
+    Trace {
+        spans: buffers.spans,
+        gauges: buffers.gauges,
+        totals: buffers
+            .totals
+            .into_iter()
+            .map(|(name, value)| (name.to_owned(), value))
+            .collect(),
+    }
+}
+
+/// Opens a span named `name`; the returned guard records the exit (and
+/// any counters incremented inside) when dropped.
+///
+/// When tracing is disabled this is one atomic load and returns an
+/// inert guard.
+pub fn span(name: &'static str) -> Span {
+    span_inner(name, None)
+}
+
+/// Opens a span with a per-instance label (a job name, a wavelength
+/// count) alongside the low-cardinality `name`.
+///
+/// The label appears in the JSONL export only; the folded export keys
+/// frames by `name` so flamegraphs aggregate across instances.
+pub fn span_labelled(name: &'static str, label: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    span_inner(name, Some(label.into()))
+}
+
+fn span_inner(name: &'static str, label: Option<String>) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().map_or(0, |frame| frame.id);
+        stack.push(Frame {
+            id,
+            counters: BTreeMap::new(),
+        });
+        parent
+    });
+    Span {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            label,
+            start_ns: now_ns(),
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Adds `delta` to the named counter.
+///
+/// The increment is attributed to the innermost open span on this
+/// thread (visible in that span's JSONL record) and always to the
+/// global per-name totals ([`Trace::total`]).
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let attached = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        match stack.last_mut() {
+            Some(frame) => {
+                *frame.counters.entry(name).or_insert(0) += delta;
+                true
+            }
+            None => false,
+        }
+    });
+    if !attached {
+        *lock_buffers().totals.entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Records an instantaneous sample of the named gauge (a queue wait, a
+/// cache occupancy) with a timestamp and the recording thread.
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let record = GaugeRecord {
+        name: name.to_owned(),
+        value,
+        thread: thread_ordinal(),
+        at_ns: now_ns(),
+    };
+    lock_buffers().gauges.push(record);
+}
+
+/// An RAII span guard returned by [`span`]; the span's duration runs
+/// until the guard is dropped.
+#[must_use = "a span records its duration when dropped; binding to `_` drops immediately"]
+#[derive(Debug)]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: Option<String>,
+    start_ns: u64,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        // Pop this span's frame even if tracing was disabled mid-span,
+        // so the thread-local stack can never hold stale parents.
+        let counters = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            match stack.iter().rposition(|frame| frame.id == active.id) {
+                Some(pos) => stack.remove(pos).counters,
+                None => BTreeMap::new(),
+            }
+        });
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut buffers = lock_buffers();
+        for (&name, &value) in &counters {
+            *buffers.totals.entry(name).or_insert(0) += value;
+        }
+        buffers.spans.push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            label: active.label,
+            thread: thread_ordinal(),
+            start_ns: active.start_ns,
+            dur_ns,
+            counters: counters.into_iter().collect(),
+        });
+    }
+}
+
+/// One completed span: timing, ancestry and the counters incremented
+/// while it was the innermost open span on its thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (monotone in creation order, process-wide).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root.
+    pub parent: u64,
+    /// Low-cardinality span name (a phase: `"ring-milp"`, `"audit"`).
+    pub name: &'static str,
+    /// Optional per-instance label (a job name); JSONL export only.
+    pub label: Option<String>,
+    /// Small per-thread ordinal of the recording thread.
+    pub thread: u64,
+    /// Span entry, in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Inclusive duration in nanoseconds (entry to guard drop).
+    pub dur_ns: u64,
+    /// Counter increments attributed to this span, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// One gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeRecord {
+    /// Gauge name.
+    pub name: String,
+    /// Sampled value.
+    pub value: f64,
+    /// Small per-thread ordinal of the recording thread.
+    pub thread: u64,
+    /// Sample time, in nanoseconds since the process trace epoch.
+    pub at_ns: u64,
+}
+
+/// A drained trace: everything recorded between [`start`] and
+/// [`finish`], ready for inspection or export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Completed spans, in completion (guard drop) order.
+    pub spans: Vec<SpanRecord>,
+    /// Gauge samples, in recording order.
+    pub gauges: Vec<GaugeRecord>,
+    /// Global counter totals, sorted by name — the sum of every
+    /// [`counter`] increment regardless of the span it attached to.
+    pub totals: Vec<(String, u64)>,
+}
+
+impl Trace {
+    /// The first recorded span with this name, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The global total for a counter name (0 if never incremented).
+    pub fn total(&self, name: &str) -> u64 {
+        self.totals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sum of inclusive durations of every span with this name, in
+    /// nanoseconds. The per-phase aggregate behind `EXPERIMENTS.md`'s
+    /// phase-share table.
+    pub fn inclusive_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// All direct children of the span with id `id`, in completion
+    /// order.
+    pub fn children(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == id).collect()
+    }
+
+    /// The root-to-span name path (the folded-stack frame chain).
+    /// Spans whose parent was never recorded are treated as roots.
+    pub fn path(&self, span: &SpanRecord) -> Vec<&'static str> {
+        let mut path = vec![span.name];
+        let mut parent = span.parent;
+        while parent != 0 {
+            match self.spans.iter().find(|s| s.id == parent) {
+                Some(p) => {
+                    path.push(p.name);
+                    parent = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Serializes tests (and any other concurrent users) that enable the
+/// global trace: hold the returned guard across `start()` … `finish()`.
+///
+/// The underlying lock ignores poisoning so one failed test cannot
+/// cascade.
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _lock = test_guard();
+        // Not started: guards are inert and counters are dropped.
+        assert!(!enabled());
+        {
+            let _s = span("phantom");
+            counter("phantom.count", 7);
+            gauge("phantom.gauge", 1.0);
+        }
+        start();
+        let trace = finish();
+        assert!(trace.spans.is_empty());
+        assert!(trace.gauges.is_empty());
+        assert!(trace.totals.is_empty());
+    }
+
+    #[test]
+    fn nesting_records_parent_links_and_ordering() {
+        let _lock = test_guard();
+        start();
+        {
+            let _a = span("a");
+            {
+                let _b = span_labelled("b", "first");
+                let _c = span("c");
+            }
+            let _d = span("d");
+        }
+        let trace = finish();
+        // Completion order: innermost first.
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["c", "b", "d", "a"]);
+        let a = trace.find("a").unwrap();
+        let b = trace.find("b").unwrap();
+        let c = trace.find("c").unwrap();
+        let d = trace.find("d").unwrap();
+        assert_eq!(a.parent, 0);
+        assert_eq!(b.parent, a.id);
+        assert_eq!(c.parent, b.id);
+        assert_eq!(d.parent, a.id);
+        assert_eq!(b.label.as_deref(), Some("first"));
+        assert_eq!(trace.path(c), ["a", "b", "c"]);
+        // Parents start no later and end no earlier than children.
+        assert!(a.start_ns <= b.start_ns);
+        assert!(a.start_ns + a.dur_ns >= b.start_ns + b.dur_ns);
+        assert!(b.start_ns + b.dur_ns >= c.start_ns + c.dur_ns);
+        assert_eq!(trace.children(a.id).len(), 2);
+    }
+
+    #[test]
+    fn counters_attach_to_innermost_span_and_sum_globally() {
+        let _lock = test_guard();
+        start();
+        {
+            let _outer = span("outer");
+            counter("n", 1);
+            {
+                let _inner = span("inner");
+                counter("n", 10);
+                counter("n", 10);
+                counter("m", 3);
+            }
+            counter("n", 100);
+        }
+        counter("n", 1000); // no open span: totals only
+        let trace = finish();
+        let outer = trace.find("outer").unwrap();
+        let inner = trace.find("inner").unwrap();
+        assert_eq!(outer.counters, vec![("n", 101)]);
+        assert_eq!(inner.counters, vec![("m", 3), ("n", 20)]);
+        assert_eq!(trace.total("n"), 1121);
+        assert_eq!(trace.total("m"), 3);
+        assert_eq!(trace.total("absent"), 0);
+    }
+
+    #[test]
+    fn spans_open_across_finish_are_dropped_cleanly() {
+        let _lock = test_guard();
+        start();
+        let open = span("open");
+        let trace = finish();
+        assert!(trace.spans.is_empty());
+        drop(open); // must not panic or corrupt the thread stack
+        start();
+        {
+            let _s = span("after");
+        }
+        let trace = finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].parent, 0, "stale frame must not linger");
+    }
+
+    #[test]
+    fn threads_get_distinct_ordinals_and_independent_stacks() {
+        let _lock = test_guard();
+        start();
+        let main_thread = {
+            let _s = span("main-side");
+            thread_ordinal()
+        };
+        let handle = std::thread::spawn(|| {
+            let _s = span("worker-side");
+            thread_ordinal()
+        });
+        let worker_thread = handle.join().unwrap();
+        let trace = finish();
+        assert_ne!(main_thread, worker_thread);
+        let worker = trace.find("worker-side").unwrap();
+        assert_eq!(worker.parent, 0, "stacks are per-thread");
+        assert_eq!(worker.thread, worker_thread);
+        assert_eq!(trace.find("main-side").unwrap().thread, main_thread);
+    }
+
+    #[test]
+    fn start_resets_previous_buffers() {
+        let _lock = test_guard();
+        start();
+        {
+            let _s = span("stale");
+        }
+        start(); // re-arm without draining
+        {
+            let _s = span("fresh");
+        }
+        let trace = finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn gauges_record_value_and_time() {
+        let _lock = test_guard();
+        start();
+        gauge("queue.wait_us", 12.5);
+        gauge("queue.wait_us", 3.0);
+        let trace = finish();
+        assert_eq!(trace.gauges.len(), 2);
+        assert_eq!(trace.gauges[0].value, 12.5);
+        assert!(trace.gauges[0].at_ns <= trace.gauges[1].at_ns);
+    }
+}

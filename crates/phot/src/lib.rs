@@ -25,6 +25,8 @@
 //! assert!((il - (0.274 + 0.04 + 0.5 + 0.1)).abs() < 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod elements;
 pub mod noise;

@@ -9,7 +9,8 @@
 //! * [`core`] — the four-step XRing synthesis pipeline,
 //! * [`engine`] — parallel, cached, deadline-aware batch execution,
 //! * [`baselines`] — ORNoC, ORing and crossbar comparison routers,
-//! * [`viz`] — SVG rendering of synthesized layouts.
+//! * [`viz`] — SVG rendering of synthesized layouts,
+//! * [`obs`] — phase-level span tracing, counters and trace exporters.
 //!
 //! # Example
 //!
@@ -42,5 +43,6 @@ pub use xring_core as core;
 pub use xring_engine as engine;
 pub use xring_geom as geom;
 pub use xring_milp as milp;
+pub use xring_obs as obs;
 pub use xring_phot as phot;
 pub use xring_viz as viz;
