@@ -30,4 +30,12 @@ echo "==> cargo test -q --features fault-inject (robustness suite)"
 cargo test -q --features fault-inject --offline
 cargo test -q -p xring-engine -p xring-milp --features fault-inject --offline
 
+echo "==> telemetry suites (obs histograms/prometheus, milp progress, convergence e2e)"
+cargo test -q -p xring-obs --offline
+cargo test -q -p xring-milp --offline progress
+cargo test -q --offline --test convergence_telemetry
+
+echo "==> regress --quick (pinned perf suite smoke)"
+cargo run -q --release -p xring-bench --bin regress --offline -- --quick --out target/regress-ci.json
+
 echo "ci: all green"

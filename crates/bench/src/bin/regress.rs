@@ -1,0 +1,103 @@
+//! The pinned performance-regression harness (DESIGN.md §7): runs a
+//! fixed suite of synthesis and batch workloads with telemetry off,
+//! writes the timings as a flat JSON report, and optionally compares
+//! against a previous report, failing on a real wall-time regression.
+//!
+//! ```text
+//! cargo run --release -p xring-bench --bin regress            # write BENCH_PR4.json
+//! cargo run --release -p xring-bench --bin regress -- \
+//!     --quick --out /tmp/now.json --compare BENCH_PR4.json    # CI smoke + gate
+//! ```
+//!
+//! Exit code is nonzero when any `_wall_ms` metric slowed by more than
+//! 15% *and* more than the 25 ms noise floor.
+
+use std::process::ExitCode;
+
+use xring_bench::regress::{compare, run_suite, RegressReport};
+
+const DEFAULT_OUT: &str = "BENCH_PR4.json";
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = DEFAULT_OUT.to_owned();
+    let mut baseline: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--compare" => match it.next() {
+                Some(v) => baseline = Some(v.clone()),
+                None => return usage("--compare needs a baseline report"),
+            },
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    eprintln!(
+        "running the pinned suite ({})...",
+        if quick {
+            "quick, 1 repeat"
+        } else {
+            "3 repeats"
+        }
+    );
+    let report = match run_suite(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (k, v) in &report.metrics {
+        println!("{k:<28} {v:.3}");
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("report written to {out}");
+
+    let Some(baseline_path) = baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| RegressReport::parse_json(&text))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("\ncomparison against {baseline_path}:");
+    let deltas = compare(&baseline, &report);
+    let mut regressed = false;
+    for d in &deltas {
+        regressed |= d.regressed;
+        println!("{}", d.render());
+    }
+    if regressed {
+        eprintln!("FAIL: wall-time regression past the 15% / 25 ms gate");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("PASS: no wall-time regression");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "error: {err}\n\nUSAGE:\n  regress [--quick] [--out FILE] [--compare BASELINE.json]\n\n\
+         Writes the pinned suite's timings to FILE (default {DEFAULT_OUT});\n\
+         with --compare, prints per-metric deltas and exits nonzero on a\n\
+         wall-time regression."
+    );
+    ExitCode::FAILURE
+}

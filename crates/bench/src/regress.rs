@@ -1,0 +1,487 @@
+//! The pinned regression suite behind `cargo run -p xring-bench --bin
+//! regress`: a fixed set of synthesis and batch workloads, timed with
+//! telemetry off, written as a flat JSON report that later runs compare
+//! against (`regress --compare OLD.json`).
+//!
+//! The report envelope is deliberately tiny and hand-parsed (the
+//! workspace is dependency-free): `{"schema":"...","metrics":{...}}`
+//! with every metric a finite number. Only metrics whose key ends in
+//! `_wall_ms` gate the comparison; counts (BnB nodes, cache hit rate)
+//! are reported for drift visibility but never fail a run, since they
+//! are deterministic and a change means the *code* changed, not the
+//! machine.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xring_core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring_engine::{Engine, SynthesisJob};
+
+/// Schema tag of the report envelope. Bump on breaking key changes.
+pub const REGRESS_SCHEMA: &str = "xring-regress-v1";
+
+/// A fractional slowdown above which a `_wall_ms` metric fails the
+/// comparison (15%).
+pub const WALL_REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// Absolute noise floor: a `_wall_ms` metric must also regress by more
+/// than this many milliseconds to fail, so micro-benchmarks in the
+/// hundreds of microseconds cannot trip the relative gate on scheduler
+/// jitter alone.
+pub const WALL_NOISE_FLOOR_MS: f64 = 25.0;
+
+/// A flat named-metric report (the `regress` and `phases --json`
+/// output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Envelope schema tag.
+    pub schema: String,
+    /// Metric name → value, serialized in sorted key order.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl RegressReport {
+    /// An empty report with the current schema tag.
+    pub fn new() -> Self {
+        RegressReport {
+            schema: REGRESS_SCHEMA.to_owned(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, r#"{{"schema":"{}","metrics":{{"#, self.schema);
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Finite guard keeps the envelope parseable: JSON has no
+            // NaN/Inf literal.
+            let v = if v.is_finite() { *v } else { -1.0 };
+            let _ = write!(out, r#""{k}":{v}"#);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Parses a report envelope produced by [`Self::to_json`] (or the
+    /// `phases --json` writer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed construct.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut schema = None;
+        let mut metrics = None;
+        loop {
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "schema" => schema = Some(p.string()?),
+                "metrics" => {
+                    p.expect(b'{')?;
+                    let mut map = BTreeMap::new();
+                    loop {
+                        p.skip_ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        let name = p.string()?;
+                        p.skip_ws();
+                        p.expect(b':')?;
+                        p.skip_ws();
+                        map.insert(name, p.number()?);
+                        p.skip_ws();
+                        p.eat(b',');
+                    }
+                    metrics = Some(map);
+                }
+                other => return Err(format!("unexpected key {other:?}")),
+            }
+            p.skip_ws();
+            p.eat(b',');
+        }
+        Ok(RegressReport {
+            schema: schema.ok_or("missing schema")?,
+            metrics: metrics.ok_or("missing metrics")?,
+        })
+    }
+}
+
+impl Default for RegressReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A byte-walking parser for the report's flat JSON subset (objects,
+/// strings without escapes beyond `\"`/`\\`, finite numbers).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// The metric key.
+    pub name: String,
+    /// Value in the baseline report (`None` if newly added).
+    pub old: Option<f64>,
+    /// Value in the new report (`None` if removed).
+    pub new: Option<f64>,
+    /// Whether this metric fails the gate (only `_wall_ms` metrics can).
+    pub regressed: bool,
+}
+
+impl MetricDelta {
+    /// Formats one comparison row.
+    pub fn render(&self) -> String {
+        match (self.old, self.new) {
+            (Some(old), Some(new)) => {
+                let pct = if old.abs() > f64::EPSILON {
+                    format!("{:+.1}%", 100.0 * (new - old) / old)
+                } else {
+                    "n/a".into()
+                };
+                let mark = if self.regressed { "  REGRESSED" } else { "" };
+                format!(
+                    "{:<28} {:>12.3} -> {:>12.3}  {}{}",
+                    self.name, old, new, pct, mark
+                )
+            }
+            (None, Some(new)) => format!("{:<28} {:>12} -> {:>12.3}  (new)", self.name, "-", new),
+            (Some(old), None) => {
+                format!("{:<28} {:>12.3} -> {:>12}  (removed)", self.name, old, "-")
+            }
+            (None, None) => unreachable!("delta without values"),
+        }
+    }
+}
+
+/// Compares two reports metric-by-metric. A `_wall_ms` metric regresses
+/// when it slows by more than [`WALL_REGRESSION_THRESHOLD`] *and* more
+/// than [`WALL_NOISE_FLOOR_MS`] in absolute terms; everything else is
+/// informational.
+pub fn compare(baseline: &RegressReport, new: &RegressReport) -> Vec<MetricDelta> {
+    let mut names: Vec<&String> = baseline.metrics.keys().chain(new.metrics.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let old = baseline.metrics.get(name).copied();
+            let new_v = new.metrics.get(name).copied();
+            let regressed = match (old, new_v) {
+                (Some(o), Some(n)) => {
+                    name.ends_with("_wall_ms")
+                        && n > o * (1.0 + WALL_REGRESSION_THRESHOLD)
+                        && n - o > WALL_NOISE_FLOOR_MS
+                }
+                _ => false,
+            };
+            MetricDelta {
+                name: name.clone(),
+                old,
+                new: new_v,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// Runs the pinned suite. `quick` drops the repeat count to 1 for CI
+/// smoke runs; full runs take the median of 3 repeats per timing.
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure (the suite's workloads are
+/// all feasible, so this indicates a real break).
+pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error>> {
+    let repeats = if quick { 1 } else { 3 };
+    let mut report = RegressReport::new();
+    report.metrics.insert("repeats".into(), repeats as f64);
+
+    // Serial synthesis wall time, N = 4 / 8 / 16 with #wl = N.
+    for (key, n, net) in [
+        (
+            "synth_n4_wall_ms",
+            4usize,
+            NetworkSpec::regular_grid(2, 2, 2_000)?,
+        ),
+        ("synth_n8_wall_ms", 8, NetworkSpec::proton_8()),
+        ("synth_n16_wall_ms", 16, NetworkSpec::psion_16()),
+    ] {
+        let wall = median_ms(repeats, || {
+            let design = Synthesizer::new(SynthesisOptions::with_wavelengths(n))
+                .synthesize(&net)
+                .expect("pinned synthesis workload is feasible");
+            assert!(design.provenance.audit.is_clean());
+        });
+        report.metrics.insert(key.into(), wall);
+    }
+
+    // Batch throughput at 1 and 4 workers: 3 distinct jobs submitted
+    // twice, so exactly half the jobs hit a fresh engine's cache.
+    for (key, tp_key, workers) in [
+        ("batch_j1_wall_ms", "batch_j1_jobs_per_s", 1usize),
+        ("batch_j4_wall_ms", "batch_j4_jobs_per_s", 4),
+    ] {
+        let mut walls = Vec::with_capacity(repeats);
+        let mut jobs_n = 0usize;
+        for _ in 0..repeats {
+            let engine = Engine::new().with_workers(workers);
+            let jobs = batch_jobs();
+            jobs_n = jobs.len();
+            let t0 = Instant::now();
+            let batch = engine.run_batch(jobs);
+            walls.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(batch.metrics.failed, 0, "{}", batch.metrics.summary());
+            // Determinism metrics from the serial run only: with one
+            // worker the duplicate jobs always find the first round's
+            // designs cached, whereas parallel workers may race two
+            // copies of a key into simultaneous misses.
+            if workers == 1 {
+                report.metrics.insert(
+                    "batch_cache_hit_rate".into(),
+                    batch.metrics.cache_hits as f64 / batch.metrics.jobs as f64,
+                );
+                report
+                    .metrics
+                    .insert("milp_bnb_nodes".into(), batch.metrics.milp_nodes as f64);
+            }
+        }
+        walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+        let wall = walls[walls.len() / 2];
+        report.metrics.insert(key.into(), wall);
+        report
+            .metrics
+            .insert(tp_key.into(), jobs_n as f64 / (wall / 1e3));
+    }
+    Ok(report)
+}
+
+/// The batch workload: the paper's 8-node floorplan at `#wl` 2/4/8,
+/// submitted twice so the second round exercises the design cache.
+fn batch_jobs() -> Vec<SynthesisJob> {
+    let net = NetworkSpec::proton_8();
+    let mut jobs = Vec::new();
+    for round in 0..2 {
+        for wl in [2usize, 4, 8] {
+            jobs.push(SynthesisJob::new(
+                format!("r{round} #wl={wl}"),
+                net.clone(),
+                SynthesisOptions::with_wavelengths(wl),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Medians `repeats` timed runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut walls: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+    walls[walls.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> RegressReport {
+        let mut r = RegressReport::new();
+        for (k, v) in pairs {
+            r.metrics.insert((*k).to_owned(), *v);
+        }
+        r
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report(&[("synth_n8_wall_ms", 12.5), ("milp_bnb_nodes", 42.0)]);
+        let text = r.to_json();
+        assert!(text.starts_with(r#"{"schema":"xring-regress-v1","metrics":{"#));
+        let back = RegressReport::parse_json(&text).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RegressReport::parse_json("").is_err());
+        assert!(RegressReport::parse_json("{}").is_err());
+        assert!(RegressReport::parse_json(r#"{"schema":"x"}"#).is_err());
+        assert!(RegressReport::parse_json(r#"{"schema":"x","metrics":{"a":nope}}"#).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let text = "\n{ \"schema\" : \"s\" ,\n  \"metrics\" : { \"a\\\"b\" : -1.5e2 } }";
+        let r = RegressReport::parse_json(text).expect("parses");
+        assert_eq!(r.schema, "s");
+        assert_eq!(r.metrics["a\"b"], -150.0);
+    }
+
+    #[test]
+    fn compare_gates_only_wall_metrics() {
+        let old = report(&[
+            ("synth_n8_wall_ms", 100.0),
+            ("milp_bnb_nodes", 10.0),
+            ("batch_j1_jobs_per_s", 100.0),
+        ]);
+        // +50% wall regression (well past floor), nodes doubled,
+        // throughput halved: only the wall metric gates.
+        let new = report(&[
+            ("synth_n8_wall_ms", 150.0),
+            ("milp_bnb_nodes", 20.0),
+            ("batch_j1_jobs_per_s", 50.0),
+        ]);
+        let deltas = compare(&old, &new);
+        let regressed: Vec<&str> = deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert_eq!(regressed, vec!["synth_n8_wall_ms"]);
+    }
+
+    #[test]
+    fn compare_tolerates_noise_under_the_floor() {
+        // +100% relative but only +2ms absolute: under the noise floor.
+        let old = report(&[("synth_n4_wall_ms", 2.0)]);
+        let new = report(&[("synth_n4_wall_ms", 4.0)]);
+        assert!(compare(&old, &new).iter().all(|d| !d.regressed));
+        // +16% and +32ms: past both gates.
+        let old = report(&[("synth_n16_wall_ms", 200.0)]);
+        let new = report(&[("synth_n16_wall_ms", 232.0)]);
+        assert!(compare(&old, &new).iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn compare_reports_added_and_removed_metrics() {
+        let old = report(&[("gone_wall_ms", 10.0)]);
+        let new = report(&[("fresh_wall_ms", 10.0)]);
+        let deltas = compare(&old, &new);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.regressed));
+        assert!(deltas.iter().any(|d| d.render().contains("(new)")));
+        assert!(deltas.iter().any(|d| d.render().contains("(removed)")));
+    }
+
+    #[test]
+    fn quick_suite_produces_the_pinned_metrics() {
+        let r = run_suite(true).expect("suite runs");
+        for key in [
+            "synth_n4_wall_ms",
+            "synth_n8_wall_ms",
+            "synth_n16_wall_ms",
+            "batch_j1_wall_ms",
+            "batch_j4_wall_ms",
+            "batch_j1_jobs_per_s",
+            "batch_j4_jobs_per_s",
+            "batch_cache_hit_rate",
+            "milp_bnb_nodes",
+        ] {
+            let v = r
+                .metrics
+                .get(key)
+                .unwrap_or_else(|| panic!("missing {key}"));
+            assert!(v.is_finite() && *v >= 0.0, "{key} = {v}");
+        }
+        assert_eq!(r.metrics["batch_cache_hit_rate"], 0.5);
+        // Same build, same suite: the comparison gate must pass.
+        let again = run_suite(true).expect("suite runs");
+        assert!(compare(&r, &again).iter().all(|d| !d.regressed));
+    }
+}

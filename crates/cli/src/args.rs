@@ -64,6 +64,12 @@ pub struct SynthArgs {
     pub trace: Option<String>,
     /// `--trace-format jsonl|folded`: how to serialize the trace.
     pub trace_format: TraceFormat,
+    /// `--solver-log FILE`: stream MILP convergence events (incumbents,
+    /// bounds, gaps) as JSON lines here.
+    pub solver_log: Option<String>,
+    /// `--metrics-out FILE`: write a Prometheus text-format metrics
+    /// snapshot of the whole run here.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SynthArgs {
@@ -83,6 +89,8 @@ impl Default for SynthArgs {
             describe: false,
             trace: None,
             trace_format: TraceFormat::default(),
+            solver_log: None,
+            metrics_out: None,
         }
     }
 }
@@ -140,6 +148,7 @@ USAGE:
               [--degradation forbid|allow|force-heuristic]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
               [--describe] [--trace FILE] [--trace-format jsonl|folded]
+              [--solver-log FILE] [--metrics-out FILE]
   xring sweep [synth flags] [--objective il|power|snr]
   xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
               [--repeat K] [--metrics-jsonl FILE]
@@ -168,6 +177,14 @@ TRACING (synth, sweep, batch):
   --trace-format jsonl   one JSON object per span/gauge plus a final
                          totals line (default)
   --trace-format folded  collapsed stacks for flamegraph tooling
+
+SOLVER TELEMETRY (synth, sweep, batch):
+  --solver-log FILE      stream MILP branch-and-bound convergence events
+                         (incumbents, best bound, optimality gap) as
+                         JSON lines, one object per event
+  --metrics-out FILE     write a Prometheus text-format (0.0.4) snapshot
+                         of all counters, gauges and latency histograms
+                         recorded during the run
 ";
 
 /// Validates and stores a `--degradation` policy value.
@@ -288,6 +305,18 @@ where
                 ParseArgsError(format!("--trace-format needs {}", TraceFormat::NAMES))
             })?;
             out.trace_format = v.parse().map_err(ParseArgsError)?;
+        }
+        "--solver-log" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--solver-log needs a path".into()))?;
+            out.solver_log = Some(v.clone());
+        }
+        "--metrics-out" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--metrics-out needs a path".into()))?;
+            out.metrics_out = Some(v.clone());
         }
         _ => return Ok(false),
     }
@@ -637,6 +666,32 @@ mod tests {
         };
         assert_eq!(b.synth.trace.as_deref(), Some("b.jsonl"));
         assert_eq!(b.synth.trace_format, TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_every_synthesis_command() {
+        let Command::Synth(a) = cmd(&["synth", "--solver-log", "conv.jsonl"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.solver_log.as_deref(), Some("conv.jsonl"));
+        assert_eq!(a.metrics_out, None);
+        let Command::Sweep(a, _) = cmd(&["sweep", "--metrics-out", "metrics.prom"]) else {
+            panic!("not sweep")
+        };
+        assert_eq!(a.metrics_out.as_deref(), Some("metrics.prom"));
+        let Command::Batch(b) = cmd(&[
+            "batch",
+            "--solver-log",
+            "c.jsonl",
+            "--metrics-out",
+            "m.prom",
+        ]) else {
+            panic!("not batch")
+        };
+        assert_eq!(b.synth.solver_log.as_deref(), Some("c.jsonl"));
+        assert_eq!(b.synth.metrics_out.as_deref(), Some("m.prom"));
+        assert!(parse(&v(&["synth", "--solver-log"])).is_err());
+        assert!(parse(&v(&["sweep", "--metrics-out"])).is_err());
     }
 
     #[test]

@@ -35,17 +35,43 @@ fn main() -> ExitCode {
     if let Some(jobs) = cli.jobs {
         engine = engine.with_workers(jobs);
     }
-    // `--trace` wraps the whole command: spans from every layer (engine
-    // jobs, synthesis phases, MILP solves) land in one trace, drained and
-    // written after the command finishes.
-    let trace_to = match &cli.command {
-        Command::Synth(a) | Command::Sweep(a, _) => a.trace.clone().map(|p| (p, a.trace_format)),
-        Command::Batch(b) => b.synth.trace.clone().map(|p| (p, b.synth.trace_format)),
-        _ => None,
+    // `--trace` and `--metrics-out` wrap the whole command: spans and
+    // histograms from every layer (engine jobs, synthesis phases, MILP
+    // solves) land in one trace, drained once after the command finishes
+    // and rendered to each requested output.
+    let (trace_to, solver_log, metrics_out) = match &cli.command {
+        Command::Synth(a) | Command::Sweep(a, _) => (
+            a.trace.clone().map(|p| (p, a.trace_format)),
+            a.solver_log.clone(),
+            a.metrics_out.clone(),
+        ),
+        Command::Batch(b) => (
+            b.synth.trace.clone().map(|p| (p, b.synth.trace_format)),
+            b.synth.solver_log.clone(),
+            b.synth.metrics_out.clone(),
+        ),
+        _ => (None, None, None),
     };
-    if trace_to.is_some() {
+    if trace_to.is_some() || metrics_out.is_some() {
         xring_obs::start();
     }
+    // `--solver-log` installs a global convergence sink; every MILP solve
+    // during the command streams its events there, tagged by solve id.
+    let solver_sink_installed = match &solver_log {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => {
+                xring_milp::progress::install_sink(Arc::new(
+                    xring_milp::progress::JsonlProgressSink::new(file),
+                ));
+                true
+            }
+            Err(e) => {
+                eprintln!("error: cannot write solver log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => false,
+    };
     let code = match cli.command {
         Command::Help => {
             print!("{USAGE}");
@@ -57,20 +83,44 @@ fn main() -> ExitCode {
         Command::Sweep(args, objective) => run_sweep(&args, &objective, &engine),
         Command::Batch(args) => run_batch_cmd(&args, engine),
     };
-    if let Some((path, format)) = trace_to {
-        if let Err(e) = write_trace(&path, format) {
-            eprintln!("error: cannot write trace {path}: {e}");
-            return ExitCode::FAILURE;
+    if solver_sink_installed {
+        xring_milp::progress::clear_sink();
+        if let Some(path) = &solver_log {
+            eprintln!("solver convergence log written to {path}");
         }
-        eprintln!("trace ({format}) written to {path}");
+    }
+    if trace_to.is_some() || metrics_out.is_some() {
+        let trace = xring_obs::finish();
+        if let Some((path, format)) = trace_to {
+            if let Err(e) = write_trace(&trace, &path, format) {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trace ({format}) written to {path}");
+        }
+        if let Some(path) = metrics_out {
+            if let Err(e) = write_metrics(&trace, &path) {
+                eprintln!("error: cannot write metrics {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("prometheus metrics written to {path}");
+        }
     }
     code
 }
 
-fn write_trace(path: &str, format: xring_obs::TraceFormat) -> std::io::Result<()> {
-    let trace = xring_obs::finish();
+fn write_trace(
+    trace: &xring_obs::Trace,
+    path: &str,
+    format: xring_obs::TraceFormat,
+) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     trace.write(format, &mut file)
+}
+
+fn write_metrics(trace: &xring_obs::Trace, path: &str) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    trace.write_prometheus(&mut file)
 }
 
 fn run_table(which: u8, engine: &Engine) -> ExitCode {
@@ -296,6 +346,17 @@ fn run_synth(args: &SynthArgs) -> ExitCode {
                 .fallback_reason
                 .as_deref()
                 .unwrap_or("no reason recorded"),
+        );
+    }
+    if let Some(conv) = &design.ring_stats.convergence {
+        println!(
+            "ring MILP convergence: {} nodes, {} incumbents, final gap {}, first incumbent {}",
+            conv.nodes,
+            conv.incumbent_events,
+            conv.final_gap
+                .map_or("n/a".into(), |g| format!("{:.4}%", g * 100.0)),
+            conv.time_to_first_incumbent
+                .map_or("n/a".into(), |t| format!("{:.1} ms", t.as_secs_f64() * 1e3)),
         );
     }
     let report = design.report(

@@ -18,7 +18,10 @@ use crate::heuristics::{heuristic_tour, perimeter_tour, tour_length};
 use crate::netspec::{NetworkSpec, NodeId};
 use crate::variation::SplitMix64;
 use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
-use xring_milp::{BranchAndBound, LinExpr, Model, Relation, VarId};
+use xring_milp::{
+    progress, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr, Model, Relation,
+    VarId,
+};
 
 /// Travel direction on a ring waveguide. `Cw` follows the cycle order,
 /// `Ccw` opposes it.
@@ -53,7 +56,7 @@ pub enum RingAlgorithm {
 }
 
 /// Statistics from ring construction.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RingStats {
     /// Branch-and-bound nodes (0 for heuristic algorithms).
     pub milp_nodes: usize,
@@ -66,6 +69,13 @@ pub struct RingStats {
     /// True when the global 2-SAT option assignment was infeasible and a
     /// greedy crossing-minimizing fallback realized the geometry.
     pub twosat_fallback: bool,
+    /// How the MILP solve converged (time to first incumbent, time to
+    /// 1% gap, final gap). `Some` only when the ring was built by the
+    /// MILP **and** telemetry was on — tracing enabled
+    /// (`xring_obs::start`) or a solver-progress sink installed
+    /// (`--solver-log`); `None` otherwise, so the telemetry-off hot
+    /// path stays unchanged.
+    pub convergence: Option<ConvergenceSummary>,
 }
 
 /// A realized ring: the node visiting order plus one L-route per edge.
@@ -517,7 +527,7 @@ impl RingBuilder {
         // Lazy separation of conflict constraints (3).
         let net_clone = net.clone();
         let var_snapshot: Vec<Vec<Option<VarId>>> = var.clone();
-        let solution = solver.solve_with_lazy(&model, move |values| {
+        let separate = move |values: &[f64]| {
             let mut selected: Vec<(usize, usize)> = Vec::new();
             for i in 0..n {
                 for j in 0..n {
@@ -556,7 +566,18 @@ impl RingBuilder {
                 }
             }
             cuts
-        })?;
+        };
+
+        // Attach the convergence collector only when someone can see
+        // its output (a trace or a --solver-log sink); otherwise the
+        // solve keeps the plain one-relaxed-load telemetry-off path.
+        let mut collector =
+            (xring_obs::enabled() || progress::sink_enabled()).then(ConvergenceCollector::new);
+        let solution = match collector.as_mut() {
+            Some(collector) => solver.solve_with_lazy_observed(&model, separate, collector)?,
+            None => solver.solve_with_lazy(&model, separate)?,
+        };
+        let convergence = collector.map(ConvergenceCollector::finish);
 
         // Decode selected edges into successor pointers.
         let mut succ = vec![usize::MAX; n];
@@ -605,6 +626,7 @@ impl RingBuilder {
                 lazy_cuts: solution.stats().lazy_constraints,
                 subcycles_merged: merged,
                 twosat_fallback: fb,
+                convergence,
             },
         })
     }

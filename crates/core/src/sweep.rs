@@ -33,6 +33,10 @@ pub struct SweepPoint {
     /// provenance, surfaced here so sweep consumers can filter or report
     /// without digging into the design).
     pub degradation: DegradationLevel,
+    /// How the point's ring MILP converged (mirrors
+    /// `design.ring_stats.convergence`; `None` when telemetry was off
+    /// or the ring came from a heuristic).
+    pub milp_convergence: Option<crate::ConvergenceSummary>,
 }
 
 /// The result of a sweep: every feasible point plus the winner's index.
@@ -103,11 +107,13 @@ pub fn sweep_wavelengths(
             Ok(design) => {
                 let report = design.report(format!("#wl={wl}"), loss, xtalk, power);
                 let degradation = design.provenance.degradation;
+                let milp_convergence = design.ring_stats.convergence.clone();
                 points.push(SweepPoint {
                     wavelengths: wl,
                     report,
                     design,
                     degradation,
+                    milp_convergence,
                 });
             }
             Err(SynthesisError::WavelengthBudgetExceeded { .. }) => continue,

@@ -339,6 +339,8 @@ impl Synthesizer {
             provenance: Provenance::default(),
         };
 
+        xring_obs::record_hist("synth.wall_us", t0.elapsed().as_micros() as u64);
+
         // Audit before release: a dirty design is never returned.
         let audit = crate::audit::audit_design(&design, &o.traffic, &o.loss);
         if !audit.is_clean() {

@@ -152,9 +152,15 @@ impl Engine {
     pub fn run_batch(&self, jobs: Vec<SynthesisJob>) -> BatchResult {
         let _span = xring_obs::span_labelled("batch", format!("{} jobs", jobs.len()));
         let t0 = Instant::now();
+        // Queue wait: batch submission to worker pickup, per job. The
+        // local histogram is always on (four relaxed atomics per job) so
+        // batch metrics carry percentiles even without tracing; the
+        // global registry copy only records under `--trace`.
+        let queue_wait = xring_obs::Histogram::new();
         let outcomes = self.run_tasks(jobs.len(), |i| {
-            // Queue wait: batch submission to worker pickup of job i.
-            xring_obs::gauge("engine.queue_wait_us", t0.elapsed().as_micros() as f64);
+            let wait_us = t0.elapsed().as_micros() as u64;
+            queue_wait.record(wait_us);
+            xring_obs::record_hist("engine.queue_wait_us", wait_us);
             self.run_job(i, &jobs[i])
         });
         let mut metrics = BatchMetrics::default();
@@ -162,6 +168,11 @@ impl Engine {
             metrics.record(outcome);
         }
         metrics.batch_wall = t0.elapsed();
+        let waits = queue_wait.snapshot("engine.queue_wait_us");
+        metrics.queue_wait_p50_us = waits.quantile(0.5);
+        metrics.queue_wait_p90_us = waits.quantile(0.9);
+        metrics.queue_wait_p99_us = waits.quantile(0.99);
+        metrics.queue_wait_max_us = waits.max;
         self.emit(EngineEvent::BatchFinished {
             metrics: metrics.clone(),
         });
@@ -193,6 +204,7 @@ impl Engine {
             break r;
         };
         let wall = t0.elapsed();
+        xring_obs::record_hist("engine.job_wall_us", wall.as_micros() as u64);
         let (status, cache_hit, degradation) = match &mut result {
             Ok(out) => {
                 out.wall = wall;

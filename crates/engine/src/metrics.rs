@@ -11,7 +11,7 @@ use crate::job::{JobError, JobOutput};
 
 /// Aggregated statistics for one [`run_batch`](crate::Engine::run_batch)
 /// call.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchMetrics {
     /// Jobs submitted.
     pub jobs: usize,
@@ -49,6 +49,25 @@ pub struct BatchMetrics {
     /// [`DegradationLevel::Heuristic`]:
     /// xring_core::DegradationLevel::Heuristic
     pub degraded_heuristic: usize,
+    /// Median queue wait (batch submission to worker pickup), in
+    /// microseconds, across all jobs. Percentiles come from the
+    /// engine's always-on lock-free queue-wait histogram, replacing
+    /// the old single last-write-wins gauge sample.
+    pub queue_wait_p50_us: u64,
+    /// 90th-percentile queue wait, in microseconds.
+    pub queue_wait_p90_us: u64,
+    /// 99th-percentile queue wait, in microseconds.
+    pub queue_wait_p99_us: u64,
+    /// Largest queue wait, in microseconds.
+    pub queue_wait_max_us: u64,
+    /// Fresh successful jobs whose ring MILP carried convergence
+    /// telemetry (0 when telemetry was off; see
+    /// [`RingStats::convergence`](xring_core::RingStats)).
+    pub convergence_reports: usize,
+    /// Worst (largest) final MILP optimality gap across those jobs.
+    pub milp_final_gap_max: f64,
+    /// Worst time-to-first-incumbent across those jobs.
+    pub milp_time_to_incumbent_max: Duration,
 }
 
 impl BatchMetrics {
@@ -73,6 +92,16 @@ impl BatchMetrics {
                     self.milp_nodes += s.milp_nodes;
                     self.milp_lp_solves += s.lp_solves;
                     self.milp_lazy_cuts += s.lazy_cuts;
+                    if let Some(conv) = &s.convergence {
+                        self.convergence_reports += 1;
+                        if let Some(gap) = conv.final_gap {
+                            self.milp_final_gap_max = self.milp_final_gap_max.max(gap);
+                        }
+                        if let Some(t) = conv.time_to_first_incumbent {
+                            self.milp_time_to_incumbent_max =
+                                self.milp_time_to_incumbent_max.max(t);
+                        }
+                    }
                 }
             }
             Err(_) => {
@@ -84,10 +113,11 @@ impl BatchMetrics {
 
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} jobs ({} ok, {} failed) in {:.3}s; cache {}/{} hit; \
              milp: {} nodes, {} lp solves, {} lazy cuts; \
-             degraded: {} retried, {} heuristic",
+             degraded: {} retried, {} heuristic; \
+             queue wait p50/p99/max: {}/{}/{} us",
             self.jobs,
             self.succeeded,
             self.failed,
@@ -99,12 +129,24 @@ impl BatchMetrics {
             self.milp_lazy_cuts,
             self.degraded_retried,
             self.degraded_heuristic,
-        )
+            self.queue_wait_p50_us,
+            self.queue_wait_p99_us,
+            self.queue_wait_max_us,
+        );
+        if self.convergence_reports > 0 {
+            line.push_str(&format!(
+                "; convergence ({} solves): worst gap {:.4}, worst tti {:.3}s",
+                self.convergence_reports,
+                self.milp_final_gap_max,
+                self.milp_time_to_incumbent_max.as_secs_f64(),
+            ));
+        }
+        line
     }
 }
 
 /// One engine event, emitted as jobs progress.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineEvent {
     /// A worker picked up job `index`.
     JobStarted {
@@ -184,7 +226,7 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 wall.as_secs_f64()
             ),
             EngineEvent::BatchFinished { metrics: m } => format!(
-                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{},"degraded_retried":{},"degraded_heuristic":{}}}"#,
+                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{},"degraded_retried":{},"degraded_heuristic":{},"queue_wait_p50_us":{},"queue_wait_p90_us":{},"queue_wait_p99_us":{},"queue_wait_max_us":{},"convergence_reports":{},"milp_final_gap_max":{},"milp_time_to_incumbent_max_s":{}}}"#,
                 m.jobs,
                 m.succeeded,
                 m.failed,
@@ -198,6 +240,13 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 m.milp_lazy_cuts,
                 m.degraded_retried,
                 m.degraded_heuristic,
+                m.queue_wait_p50_us,
+                m.queue_wait_p90_us,
+                m.queue_wait_p99_us,
+                m.queue_wait_max_us,
+                m.convergence_reports,
+                m.milp_final_gap_max,
+                m.milp_time_to_incumbent_max.as_secs_f64(),
             ),
         };
         let mut w = self.writer.lock().expect("sink lock");

@@ -56,6 +56,7 @@ impl Engine {
                     wavelengths: wl,
                     report: out.report,
                     degradation: out.design.provenance.degradation,
+                    milp_convergence: out.design.ring_stats.convergence.clone(),
                     design: (*out.design).clone(),
                 }),
                 Err(JobError::Synthesis(SynthesisError::WavelengthBudgetExceeded { .. })) => {

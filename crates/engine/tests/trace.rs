@@ -84,13 +84,17 @@ fn concurrent_workers_record_consistent_spans_and_counters() {
     assert_eq!(trace.total("cache.misses"), n_jobs as u64);
     assert_eq!(trace.total("cache.hits"), 0);
 
-    // One queue-wait gauge per claimed job.
+    // One queue-wait histogram sample per claimed job, and a wall-time
+    // sample per job.
     let waits = trace
-        .gauges
-        .iter()
-        .filter(|g| g.name == "engine.queue_wait_us")
-        .count();
-    assert_eq!(waits, n_jobs);
+        .hist("engine.queue_wait_us")
+        .expect("queue-wait histogram present");
+    assert_eq!(waits.count, n_jobs as u64);
+    assert!(waits.quantile(0.5) <= waits.max);
+    let walls = trace
+        .hist("engine.job_wall_us")
+        .expect("job-wall histogram present");
+    assert_eq!(walls.count, n_jobs as u64);
 }
 
 #[test]

@@ -3,6 +3,7 @@
 use crate::error::SolveError;
 use crate::expr::{LinExpr, VarId};
 use crate::model::{Model, Relation, VarKind};
+use crate::progress::{self, ProgressEvent, ProgressKind, ProgressObserver};
 use crate::simplex::{LpOutcome, LpProblem, LpRow};
 use std::time::Instant;
 
@@ -75,6 +76,7 @@ pub struct BranchAndBound {
     max_nodes: usize,
     deadline: Option<Instant>,
     incumbent: Option<(Vec<f64>, f64)>,
+    progress_stride: usize,
 }
 
 impl Default for BranchAndBound {
@@ -83,6 +85,73 @@ impl Default for BranchAndBound {
             max_nodes: 200_000,
             deadline: None,
             incumbent: None,
+            progress_stride: 64,
+        }
+    }
+}
+
+/// Per-solve convergence-telemetry plumbing: holds the optional
+/// observer, the global-sink solve id, and the root bound, and turns
+/// search milestones into [`ProgressEvent`]s. When `active` is false
+/// every hook is a single branch on a local bool.
+struct ProgressState<'a> {
+    observer: Option<&'a mut dyn ProgressObserver>,
+    /// 0 when no global sink was installed at solve start.
+    solve_id: u64,
+    active: bool,
+    stride: usize,
+    started: Instant,
+    /// Global lower bound: the root LP relaxation objective (raised by
+    /// valid root cuts). Fixed once branching starts, so the reported
+    /// gap is monotone non-increasing.
+    best_bound: Option<f64>,
+    /// Cleared when a resource limit truncates the search; while set,
+    /// an `Ok` result means the tree was exhausted and the incumbent is
+    /// proven optimal (the final event then closes the gap to 0).
+    proven: bool,
+}
+
+impl ProgressState<'_> {
+    fn emit(&mut self, kind: ProgressKind, nodes: usize, incumbent: Option<f64>) {
+        if !self.active {
+            return;
+        }
+        let gap = match (incumbent, self.best_bound) {
+            (Some(inc), Some(bound)) => Some(progress::relative_gap(inc, bound)),
+            _ => None,
+        };
+        let event = ProgressEvent {
+            kind,
+            elapsed: self.started.elapsed(),
+            nodes,
+            incumbent,
+            best_bound: self.best_bound,
+            gap,
+        };
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.on_event(&event);
+        }
+        if self.solve_id != 0 {
+            progress::emit_to_sink(self.solve_id, &event);
+        }
+    }
+
+    /// Stride tick: fires every `stride`-th node.
+    fn on_node(&mut self, nodes: usize, incumbent: Option<f64>) {
+        if self.active && nodes.is_multiple_of(self.stride) {
+            self.emit(ProgressKind::Stride, nodes, incumbent);
+        }
+    }
+
+    /// Records a (possibly improved) global lower bound from a root LP
+    /// solve and announces it, so the gap becomes reportable early.
+    fn raise_bound(&mut self, bound: f64, nodes: usize, incumbent: Option<f64>) {
+        if !self.active {
+            return;
+        }
+        if self.best_bound.is_none_or(|b| bound > b) {
+            self.best_bound = Some(bound);
+            self.emit(ProgressKind::Stride, nodes, incumbent);
         }
     }
 }
@@ -117,6 +186,14 @@ impl BranchAndBound {
     /// to [`solve`](Self::solve); it is re-checked there.
     pub fn with_incumbent(mut self, values: Vec<f64>, objective: f64) -> Self {
         self.incumbent = Some((values, objective));
+        self
+    }
+
+    /// Sets the node-count stride between periodic convergence-telemetry
+    /// events (default 64, minimum 1). Only consulted when an observer
+    /// or a global progress sink is attached; see [`crate::progress`].
+    pub fn with_progress_stride(mut self, stride: usize) -> Self {
+        self.progress_stride = stride.max(1);
         self
     }
 
@@ -168,14 +245,84 @@ impl BranchAndBound {
     where
         F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
     {
+        self.solve_full(model, separate, None)
+    }
+
+    /// Like [`solve`](Self::solve), but streams convergence telemetry
+    /// (incumbent updates, node-stride ticks, a final event) to
+    /// `observer`. See [`crate::progress`] for the event model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve).
+    pub fn solve_observed(
+        &self,
+        model: &Model,
+        observer: &mut dyn ProgressObserver,
+    ) -> Result<MilpSolution, SolveError> {
+        self.solve_full(model, |_| Vec::new(), Some(observer))
+    }
+
+    /// Like [`solve_with_lazy`](Self::solve_with_lazy), but streams
+    /// convergence telemetry to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve).
+    pub fn solve_with_lazy_observed<F>(
+        &self,
+        model: &Model,
+        separate: F,
+        observer: &mut dyn ProgressObserver,
+    ) -> Result<MilpSolution, SolveError>
+    where
+        F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
+    {
+        self.solve_full(model, separate, Some(observer))
+    }
+
+    fn solve_full<F>(
+        &self,
+        model: &Model,
+        separate: F,
+        observer: Option<&mut dyn ProgressObserver>,
+    ) -> Result<MilpSolution, SolveError>
+    where
+        F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
+    {
         #[cfg(feature = "fault-inject")]
         if let Some(fault) = crate::fault::take() {
             return Err(fault.to_solve_error());
         }
 
         let _span = xring_obs::span("milp-solve");
+        let started = Instant::now();
+        // Telemetry activation is decided once per solve (one relaxed
+        // load for the sink), so the per-node hooks branch on a bool.
+        let sink_on = progress::sink_enabled();
+        let mut progress = ProgressState {
+            active: observer.is_some() || sink_on,
+            observer,
+            solve_id: if sink_on {
+                progress::next_solve_id()
+            } else {
+                0
+            },
+            stride: self.progress_stride,
+            started,
+            best_bound: None,
+            proven: true,
+        };
         let mut stats = SolveStats::default();
-        let result = self.search(model, separate, &mut stats);
+        let result = self.search(model, separate, &mut stats, &mut progress);
+        let final_incumbent = result.as_ref().ok().map(|(_, objective)| *objective);
+        if progress.proven && progress.best_bound.is_some() {
+            // Exhausted tree: the incumbent is the proven optimum, so
+            // the bound meets it and the final gap closes to 0.
+            progress.best_bound = final_incumbent.or(progress.best_bound);
+        }
+        progress.emit(ProgressKind::Final, stats.nodes, final_incumbent);
+        xring_obs::record_hist("milp.solve_us", started.elapsed().as_micros() as u64);
         xring_obs::counter("milp.nodes", stats.nodes as u64);
         xring_obs::counter("milp.lp_solves", stats.lp_solves as u64);
         xring_obs::counter("milp.lazy_cuts", stats.lazy_constraints as u64);
@@ -191,12 +338,14 @@ impl BranchAndBound {
     /// The branch-and-bound search behind
     /// [`solve_with_lazy`](Self::solve_with_lazy), with statistics
     /// accumulated into `stats` on every exit path (so the
-    /// observability counters are flushed even when the search errors).
+    /// observability counters are flushed even when the search errors)
+    /// and convergence milestones reported through `progress`.
     fn search<F>(
         &self,
         model: &Model,
         mut separate: F,
         stats: &mut SolveStats,
+        progress: &mut ProgressState<'_>,
     ) -> Result<(Vec<f64>, f64), SolveError>
     where
         F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
@@ -251,6 +400,11 @@ impl BranchAndBound {
             }
             if model.violated_constraints(vals, 1e-6).is_empty() {
                 best = Some((vals.clone(), *obj));
+                // A feasible warm start is the solve's first incumbent:
+                // report it so every solve that starts feasible carries
+                // at least one incumbent event, even when the warm
+                // start is already optimal.
+                progress.emit(ProgressKind::Incumbent, 0, Some(*obj));
             }
         }
 
@@ -302,7 +456,9 @@ impl BranchAndBound {
 
         while let Some(node) = stack.pop() {
             stats.nodes += 1;
+            progress.on_node(stats.nodes, best.as_ref().map(|(_, obj)| *obj));
             if stats.nodes > self.max_nodes {
+                progress.proven = false;
                 return match best {
                     Some(incumbent) => Ok(incumbent),
                     None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
@@ -394,6 +550,12 @@ impl BranchAndBound {
                     LpOutcome::IterationLimit => return Err(SolveError::Numerical),
                 };
                 let node_obj = sol.objective + fixed_obj;
+                // Every LP solve of the root node (including re-solves
+                // after valid lazy cuts) bounds the whole problem from
+                // below.
+                if stats.nodes == 1 {
+                    progress.raise_bound(node_obj, stats.nodes, best.as_ref().map(|(_, o)| *o));
+                }
 
                 // Bound pruning.
                 if let Some((_, best_obj)) = &best {
@@ -440,6 +602,7 @@ impl BranchAndBound {
                             if improves {
                                 stats.incumbent_updates += 1;
                                 best = Some((values, obj));
+                                progress.emit(ProgressKind::Incumbent, stats.nodes, Some(obj));
                             }
                             break 'resolve;
                         }
@@ -500,6 +663,122 @@ impl BranchAndBound {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test observer: records every event verbatim.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<ProgressEvent>,
+    }
+
+    impl ProgressObserver for Recorder {
+        fn on_event(&mut self, event: &ProgressEvent) {
+            self.events.push(event.clone());
+        }
+    }
+
+    #[test]
+    fn observer_sees_incumbent_final_and_monotone_gap() {
+        // Knapsack (below): branching is required, so the search finds
+        // at least one incumbent after the root bound is known.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            LinExpr::new() + (a, 3.0) + (b, 4.0) + (c, 2.0),
+            Relation::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::new() + (a, -10.0) + (b, -13.0) + (c, -7.0));
+        let mut rec = Recorder::default();
+        let s = BranchAndBound::new()
+            .with_progress_stride(1)
+            .solve_observed(&m, &mut rec)
+            .expect("feasible");
+
+        let events = &rec.events;
+        assert!(!events.is_empty());
+        let last = events.last().unwrap();
+        assert_eq!(
+            last.kind,
+            ProgressKind::Final,
+            "final event closes the stream"
+        );
+        assert_eq!(last.incumbent, Some(s.objective()));
+        assert_eq!(last.nodes, s.stats().nodes);
+        assert!(
+            events.iter().any(|e| e.kind == ProgressKind::Incumbent),
+            "at least one incumbent event"
+        );
+        // Stride 1: every node ticks.
+        let strides = events
+            .iter()
+            .filter(|e| e.kind == ProgressKind::Stride)
+            .count();
+        assert!(strides >= s.stats().nodes, "strides={strides}");
+        // The bound never decreases, elapsed and nodes never regress,
+        // and the gap is monotone non-increasing once reported.
+        let mut prev_gap = f64::INFINITY;
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_nodes = 0;
+        for e in events {
+            if let Some(bound) = e.best_bound {
+                assert!(bound >= prev_bound - 1e-9, "bound regressed");
+                prev_bound = bound;
+            }
+            if let Some(gap) = e.gap {
+                assert!(gap <= prev_gap + 1e-12, "gap regressed: {gap} > {prev_gap}");
+                prev_gap = gap;
+            }
+            assert!(e.nodes >= prev_nodes);
+            prev_nodes = e.nodes;
+        }
+        assert_eq!(prev_gap, 0.0, "exact solve closes the gap");
+    }
+
+    #[test]
+    fn warm_start_reports_an_incumbent_event_even_when_optimal() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        let mut rec = Recorder::default();
+        let s = BranchAndBound::new()
+            .with_incumbent(vec![0.0], 0.0)
+            .solve_observed(&m, &mut rec)
+            .expect("feasible");
+        assert_eq!(s.stats().incumbent_updates, 0, "warm start stays optimal");
+        let first = &rec.events[0];
+        assert_eq!(first.kind, ProgressKind::Incumbent);
+        assert_eq!(first.nodes, 0, "warm start accepted before node 1");
+        assert_eq!(first.incumbent, Some(0.0));
+    }
+
+    #[test]
+    fn unobserved_solves_reach_no_sink() {
+        let _lock = xring_obs::test_guard();
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Count(AtomicU64);
+        impl crate::progress::ProgressSink for Count {
+            fn emit(&self, _: u64, _: &ProgressEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::new() + (x, 1.0));
+        // No sink, no observer: nothing to receive events.
+        crate::progress::clear_sink();
+        BranchAndBound::new().solve(&m).expect("feasible");
+        // Sink installed: the same solve streams tagged events.
+        let sink = std::sync::Arc::new(Count(AtomicU64::new(0)));
+        crate::progress::install_sink(sink.clone());
+        BranchAndBound::new().solve(&m).expect("feasible");
+        crate::progress::clear_sink();
+        assert!(
+            sink.0.load(Ordering::Relaxed) >= 1,
+            "sink alone activates telemetry"
+        );
+    }
 
     #[test]
     fn knapsack() {

@@ -31,9 +31,13 @@
 //! # Ok::<(), xring_milp::SolveError>(())
 //! ```
 //!
-//! Solves report spans (`milp-solve`) and counters (`milp.nodes`,
-//! `milp.lp_solves`, `simplex.pivots`, …) to `xring-obs` when tracing
-//! is enabled; the disabled path costs one relaxed atomic load.
+//! Solves report spans (`milp-solve`), counters (`milp.nodes`,
+//! `milp.lp_solves`, `simplex.pivots`, …) and a `milp.solve_us`
+//! histogram to `xring-obs` when tracing is enabled; the disabled path
+//! costs one relaxed atomic load. Convergence telemetry — (elapsed,
+//! nodes, incumbent, best bound, gap) events at incumbent updates and
+//! on a node stride — streams through the [`progress`] module to
+//! per-solve observers and an optional process-global JSONL sink.
 
 #![warn(missing_docs)]
 
@@ -44,6 +48,7 @@ pub mod expr;
 pub mod fault;
 pub mod model;
 pub mod presolve;
+pub mod progress;
 pub mod simplex;
 
 pub use bnb::{BranchAndBound, MilpSolution, SolveStats};
@@ -51,4 +56,8 @@ pub use error::SolveError;
 pub use expr::{LinExpr, VarId};
 pub use model::{Model, Relation, VarKind};
 pub use presolve::{presolve, PresolveResult};
+pub use progress::{
+    ConvergenceCollector, ConvergenceSummary, ProgressEvent, ProgressKind, ProgressObserver,
+    ProgressSink,
+};
 pub use simplex::{LpOutcome, LpProblem, LpSolution};

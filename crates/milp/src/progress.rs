@@ -1,0 +1,378 @@
+//! Solver convergence telemetry: progress events from the
+//! branch-and-bound search, a global JSONL sink (`--solver-log`), and
+//! the per-solve [`ConvergenceSummary`] surfaced through ring
+//! statistics and batch metrics.
+//!
+//! The search emits a [`ProgressEvent`] when the incumbent changes, on
+//! a node-count stride
+//! ([`with_progress_stride`](crate::BranchAndBound::with_progress_stride)),
+//! and once at the end of the solve. Events flow to two places:
+//!
+//! * a per-solve [`ProgressObserver`] passed to
+//!   [`solve_observed`](crate::BranchAndBound::solve_observed) — the
+//!   synthesis pipeline uses [`ConvergenceCollector`] here, and
+//! * a process-global [`ProgressSink`] ([`install_sink`]) that tags
+//!   every event with a process-unique solve id — the CLI installs a
+//!   [`JsonlProgressSink`] for `--solver-log FILE`.
+//!
+//! With neither attached, the per-node cost is one relaxed atomic load
+//! (the same discipline as `xring-obs`).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Why a [`ProgressEvent`] was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressKind {
+    /// The incumbent was set or improved (including a warm start
+    /// accepted at the root, so every solve with a feasible start
+    /// reports at least one incumbent event).
+    Incumbent,
+    /// A node-count stride tick.
+    Stride,
+    /// The search ended (optimal, limit, or error).
+    Final,
+}
+
+impl ProgressKind {
+    /// Stable lowercase name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProgressKind::Incumbent => "incumbent",
+            ProgressKind::Stride => "stride",
+            ProgressKind::Final => "final",
+        }
+    }
+}
+
+/// One convergence data point from a branch-and-bound solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Why the event fired.
+    pub kind: ProgressKind,
+    /// Wall time since the solve started.
+    pub elapsed: Duration,
+    /// Nodes explored so far.
+    pub nodes: usize,
+    /// Objective of the best feasible solution so far, if any.
+    pub incumbent: Option<f64>,
+    /// Global lower bound: the root LP relaxation objective, once
+    /// known. Fixed for the whole solve, so the gap is monotone.
+    pub best_bound: Option<f64>,
+    /// Relative optimality gap `(incumbent − bound) / max(|incumbent|,
+    /// ε)`, clamped at 0; `None` until both terms exist. Monotone
+    /// non-increasing over a solve (the incumbent only improves and
+    /// the bound is fixed).
+    pub gap: Option<f64>,
+}
+
+/// Computes the relative optimality gap reported in [`ProgressEvent`].
+pub fn relative_gap(incumbent: f64, best_bound: f64) -> f64 {
+    ((incumbent - best_bound) / incumbent.abs().max(1e-9)).max(0.0)
+}
+
+/// Per-solve observer of [`ProgressEvent`]s, attached via
+/// [`solve_observed`](crate::BranchAndBound::solve_observed) /
+/// [`solve_with_lazy_observed`](crate::BranchAndBound::solve_with_lazy_observed).
+pub trait ProgressObserver {
+    /// Called synchronously from the search loop; keep it cheap.
+    fn on_event(&mut self, event: &ProgressEvent);
+}
+
+/// Process-global receiver of progress events from **every** solve,
+/// tagged with a process-unique solve id (solves run concurrently on
+/// engine workers). Installed with [`install_sink`].
+pub trait ProgressSink: Send + Sync {
+    /// Called synchronously from the search loop of any thread.
+    fn emit(&self, solve_id: u64, event: &ProgressEvent);
+}
+
+/// One relaxed load gates the per-node telemetry check.
+static SINK_ON: AtomicBool = AtomicBool::new(false);
+
+/// Process-unique solve ids, starting at 1.
+static NEXT_SOLVE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn ProgressSink>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn ProgressSink>>>> = OnceLock::new();
+    SLOT.get_or_init(Mutex::default)
+}
+
+fn lock_slot() -> MutexGuard<'static, Option<Arc<dyn ProgressSink>>> {
+    sink_slot()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Installs the process-global progress sink, replacing any previous
+/// one. Like the `xring-obs` recorder this is global state: concurrent
+/// tests must serialize around install/clear (e.g. with
+/// `xring_obs::test_guard`).
+pub fn install_sink(sink: Arc<dyn ProgressSink>) {
+    *lock_slot() = Some(sink);
+    SINK_ON.store(true, Ordering::SeqCst);
+}
+
+/// Removes the global progress sink (no-op when none is installed).
+pub fn clear_sink() {
+    SINK_ON.store(false, Ordering::SeqCst);
+    *lock_slot() = None;
+}
+
+/// Whether a global progress sink is installed — a single relaxed
+/// atomic load, safe to call per node.
+pub fn sink_enabled() -> bool {
+    SINK_ON.load(Ordering::Relaxed)
+}
+
+/// Reserves the next process-unique solve id.
+pub(crate) fn next_solve_id() -> u64 {
+    NEXT_SOLVE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Forwards an event to the installed sink, if any. The `Arc` is
+/// cloned out of the slot so a slow sink never holds the slot lock
+/// while writing.
+pub(crate) fn emit_to_sink(solve_id: u64, event: &ProgressEvent) {
+    if !sink_enabled() {
+        return;
+    }
+    let sink = lock_slot().clone();
+    if let Some(sink) = sink {
+        sink.emit(solve_id, event);
+    }
+}
+
+/// A [`ProgressSink`] that writes one JSON object per event — the
+/// `--solver-log FILE` format:
+///
+/// ```text
+/// {"type":"solver","solve":1,"event":"incumbent","elapsed_us":412,"nodes":3,"incumbent":12000,"bound":11981.5,"gap":0.001542}
+/// ```
+///
+/// Absent values are `null`. Lines from concurrent solves interleave;
+/// the `solve` id groups them.
+pub struct JsonlProgressSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlProgressSink<W> {
+    /// Wraps `writer`; each event becomes one line.
+    pub fn new(writer: W) -> Self {
+        JsonlProgressSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _ = w.flush();
+        w
+    }
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_owned(),
+    }
+}
+
+impl<W: Write + Send> ProgressSink for JsonlProgressSink<W> {
+    fn emit(&self, solve_id: u64, event: &ProgressEvent) {
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Best-effort: a full disk must not abort the solve.
+        let _ = writeln!(
+            w,
+            r#"{{"type":"solver","solve":{},"event":"{}","elapsed_us":{},"nodes":{},"incumbent":{},"bound":{},"gap":{}}}"#,
+            solve_id,
+            event.kind.as_str(),
+            event.elapsed.as_micros(),
+            event.nodes,
+            json_f64(event.incumbent),
+            json_f64(event.best_bound),
+            json_f64(event.gap),
+        );
+        if event.kind == ProgressKind::Final {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// How a solve converged, distilled from its progress events — the
+/// solver-side payload of `RingStats` and the batch metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Wall time until the first feasible solution (a warm start
+    /// accepted at the root counts, at elapsed ≈ 0).
+    pub time_to_first_incumbent: Option<Duration>,
+    /// Wall time until the relative gap first dropped to ≤ 1%.
+    pub time_to_1pct_gap: Option<Duration>,
+    /// The last reported gap (`None` when no bound or no incumbent
+    /// existed, e.g. an infeasible solve).
+    pub final_gap: Option<f64>,
+    /// Incumbent events observed (warm-start acceptance included).
+    pub incumbent_events: usize,
+    /// Nodes explored when the last event fired.
+    pub nodes: usize,
+    /// Total progress events observed.
+    pub events: usize,
+}
+
+/// A [`ProgressObserver`] that distills events into a
+/// [`ConvergenceSummary`] and feeds the gap series into an `xring-obs`
+/// time-series sampler (gauge `milp.gap`), so a trace shows
+/// gap-over-time alongside the phase spans.
+#[derive(Debug)]
+pub struct ConvergenceCollector {
+    summary: ConvergenceSummary,
+    gap_series: xring_obs::Sampler,
+}
+
+impl Default for ConvergenceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConvergenceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        ConvergenceCollector {
+            summary: ConvergenceSummary::default(),
+            gap_series: xring_obs::Sampler::new("milp.gap", 256),
+        }
+    }
+
+    /// Finalizes the collector: flushes the gap series into the global
+    /// trace and returns the summary.
+    pub fn finish(mut self) -> ConvergenceSummary {
+        self.gap_series.flush();
+        std::mem::take(&mut self.summary)
+    }
+}
+
+impl ProgressObserver for ConvergenceCollector {
+    fn on_event(&mut self, event: &ProgressEvent) {
+        let s = &mut self.summary;
+        s.events += 1;
+        s.nodes = s.nodes.max(event.nodes);
+        if event.kind == ProgressKind::Incumbent {
+            s.incumbent_events += 1;
+            if s.time_to_first_incumbent.is_none() {
+                s.time_to_first_incumbent = Some(event.elapsed);
+            }
+        }
+        if let Some(gap) = event.gap {
+            s.final_gap = Some(gap);
+            if gap <= 0.01 && s.time_to_1pct_gap.is_none() {
+                s.time_to_1pct_gap = Some(event.elapsed);
+            }
+            self.gap_series.record(gap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: ProgressKind, ms: u64, nodes: usize, gap: Option<f64>) -> ProgressEvent {
+        ProgressEvent {
+            kind,
+            elapsed: Duration::from_millis(ms),
+            nodes,
+            incumbent: gap.map(|_| 10.0),
+            best_bound: gap.map(|g| 10.0 * (1.0 - g)),
+            gap,
+        }
+    }
+
+    #[test]
+    fn collector_distills_first_incumbent_and_gap_milestones() {
+        let mut c = ConvergenceCollector::new();
+        c.on_event(&event(ProgressKind::Stride, 1, 64, None));
+        c.on_event(&event(ProgressKind::Incumbent, 5, 70, Some(0.2)));
+        c.on_event(&event(ProgressKind::Incumbent, 9, 90, Some(0.005)));
+        c.on_event(&event(ProgressKind::Final, 12, 100, Some(0.0)));
+        let s = c.finish();
+        assert_eq!(s.time_to_first_incumbent, Some(Duration::from_millis(5)));
+        assert_eq!(s.time_to_1pct_gap, Some(Duration::from_millis(9)));
+        assert_eq!(s.final_gap, Some(0.0));
+        assert_eq!(s.incumbent_events, 2);
+        assert_eq!(s.nodes, 100);
+        assert_eq!(s.events, 4);
+    }
+
+    #[test]
+    fn collector_handles_solves_with_no_incumbent() {
+        let mut c = ConvergenceCollector::new();
+        c.on_event(&event(ProgressKind::Final, 3, 10, None));
+        let s = c.finish();
+        assert_eq!(s.time_to_first_incumbent, None);
+        assert_eq!(s.time_to_1pct_gap, None);
+        assert_eq!(s.final_gap, None);
+        assert_eq!(s.incumbent_events, 0);
+    }
+
+    #[test]
+    fn relative_gap_is_clamped_and_scale_free() {
+        assert!((relative_gap(10.0, 9.0) - 0.1).abs() < 1e-12);
+        assert_eq!(
+            relative_gap(10.0, 11.0),
+            0.0,
+            "bound above incumbent clamps"
+        );
+        // Negative objectives (maximization encoded as negated min).
+        assert!((relative_gap(-9.0, -10.0) - (1.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_wellformed_line_per_event() {
+        let sink = JsonlProgressSink::new(Vec::new());
+        sink.emit(7, &event(ProgressKind::Incumbent, 2, 5, Some(0.25)));
+        sink.emit(7, &event(ProgressKind::Final, 3, 6, None));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"type":"solver","solve":7,"event":"incumbent","elapsed_us":2000,"nodes":5,"incumbent":10,"bound":7.5,"gap":0.25}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"type":"solver","solve":7,"event":"final","elapsed_us":3000,"nodes":6,"incumbent":null,"bound":null,"gap":null}"#
+        );
+    }
+
+    #[test]
+    fn global_sink_is_gated_and_replaceable() {
+        let _lock = xring_obs::test_guard();
+        struct Count(AtomicU64);
+        impl ProgressSink for Count {
+            fn emit(&self, _: u64, _: &ProgressEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        clear_sink();
+        assert!(!sink_enabled());
+        emit_to_sink(1, &event(ProgressKind::Stride, 0, 1, None)); // dropped
+        let counter = Arc::new(Count(AtomicU64::new(0)));
+        install_sink(counter.clone());
+        assert!(sink_enabled());
+        emit_to_sink(1, &event(ProgressKind::Stride, 0, 1, None));
+        clear_sink();
+        emit_to_sink(1, &event(ProgressKind::Stride, 0, 1, None)); // dropped
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+        assert!(!sink_enabled());
+    }
+}

@@ -71,6 +71,28 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Rewrites a span name into a safe collapsed-stack frame: `;` is the
+/// frame separator and whitespace ends the chain in the folded grammar,
+/// so both are replaced with `_` (an empty name becomes a single `_`).
+///
+/// Defensive: span names are `&'static str` phase labels today, but a
+/// hostile or careless name must corrupt one frame, not the whole
+/// flamegraph line.
+pub fn folded_frame(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_owned();
+    }
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
 impl Trace {
     /// Writes the trace in the format selected by `format`.
     pub fn write<W: Write>(&self, format: TraceFormat, w: &mut W) -> io::Result<()> {
@@ -121,6 +143,26 @@ impl Trace {
                 g.at_ns / 1_000,
             )?;
         }
+        for h in &self.hists {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(le, count)| format!("[{le},{count}]"))
+                .collect();
+            writeln!(
+                w,
+                r#"{{"type":"hist","name":"{}","count":{},"sum":{},"max":{},"overflow":{},"p50":{},"p90":{},"p99":{},"buckets":[{}]}}"#,
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.overflow,
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                buckets.join(","),
+            )?;
+        }
         let totals: Vec<String> = self
             .totals
             .iter()
@@ -151,7 +193,12 @@ impl Trace {
             let self_ns = s
                 .dur_ns
                 .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
-            let chain = self.path(s).join(";");
+            let chain = self
+                .path(s)
+                .iter()
+                .map(|frame| folded_frame(frame))
+                .collect::<Vec<_>>()
+                .join(";");
             *folded.entry(chain).or_insert(0) += self_ns / 1_000;
         }
         for (chain, self_us) in folded {
@@ -251,6 +298,59 @@ mod tests {
             sum <= root_us && sum + 3 >= root_us,
             "sum={sum} root={root_us}"
         );
+    }
+
+    #[test]
+    fn folded_frames_sanitize_hostile_span_names() {
+        let _lock = test_guard();
+        start();
+        {
+            let _root = span("synth");
+            let _hostile = span("ring;milp v2\tfast");
+        }
+        let trace = finish();
+        let mut out = Vec::new();
+        trace.write_folded(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines() {
+            let (chain, count) = line.rsplit_once(' ').expect("space-separated count");
+            count.parse::<u64>().expect("integer sample count");
+            assert!(
+                chain
+                    .split(';')
+                    .all(|f| !f.is_empty() && !f.contains(char::is_whitespace)),
+                "corrupt frame chain: {line}"
+            );
+        }
+        assert!(
+            text.contains("synth;ring_milp_v2_fast "),
+            "sanitized chain missing:\n{text}"
+        );
+        assert_eq!(folded_frame(""), "_");
+        assert_eq!(folded_frame("a b;c\nd"), "a_b_c_d");
+        assert_eq!(folded_frame("ring-milp"), "ring-milp");
+    }
+
+    #[test]
+    fn jsonl_includes_histogram_lines() {
+        let _lock = test_guard();
+        start();
+        crate::hist::record_hist("export.test.hist_us", 3);
+        crate::hist::record_hist("export.test.hist_us", 100);
+        let trace = finish();
+        let mut out = Vec::new();
+        trace.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let hist_line = text
+            .lines()
+            .find(|l| l.starts_with(r#"{"type":"hist""#))
+            .expect("histogram line present");
+        assert!(hist_line.contains(r#""name":"export.test.hist_us""#));
+        assert!(hist_line.contains(r#""count":2"#));
+        assert!(hist_line.contains(r#""sum":103"#));
+        assert!(hist_line.contains(r#""buckets":["#));
+        // Totals stay last.
+        assert!(text.lines().last().unwrap().contains(r#""type":"totals""#));
     }
 
     #[test]

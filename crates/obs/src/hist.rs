@@ -1,0 +1,335 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! A [`Histogram`] counts `u64` samples (the workspace convention is
+//! microseconds) into power-of-two buckets: bucket `i` holds samples
+//! `v` with `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`). The record
+//! path is a handful of relaxed atomic adds — no locks, no allocation —
+//! so histograms are safe to feed from engine workers and solver loops.
+//!
+//! Histograms registered through [`histogram`]/[`record_hist`] live in
+//! a process-global registry: [`crate::start`] resets them and
+//! [`crate::finish`] snapshots every non-empty one into
+//! [`crate::Trace::hists`], mirroring the counter-totals lifecycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of finite buckets. The largest finite upper bound is
+/// `2^(HIST_BUCKETS-1)` (≈ 6.4 days when samples are microseconds);
+/// larger samples land in the overflow (`+Inf`) bucket.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Finite bucket index for `value`: the smallest `i` with
+/// `value <= 2^i`, saturating into the overflow slot.
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        // ceil(log2(value)) for value >= 2.
+        let idx = 64 - (value - 1).leading_zeros() as usize;
+        idx.min(HIST_BUCKETS)
+    }
+}
+
+/// A lock-free histogram over `u64` samples.
+///
+/// All mutation is relaxed-atomic; a [`Histogram`] can be shared across
+/// threads by reference. Obtain process-global instances through
+/// [`histogram`] (or record in one shot with [`record_hist`]); local
+/// instances (`Histogram::new()`) are useful when the recording scope
+/// owns its own aggregation, as the engine does for queue waits.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `(2^(i-1), 2^i]`; the final slot
+    /// (`buckets[HIST_BUCKETS]`) counts overflow samples.
+    buckets: [AtomicU64; HIST_BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS + 1],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: four relaxed atomic operations.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Clears every bucket and total.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution, labelled `name`.
+    ///
+    /// Trailing all-zero buckets are trimmed (at least one bucket is
+    /// always kept) so exports stay proportional to the data range.
+    pub fn snapshot(&self, name: impl Into<String>) -> HistogramSnapshot {
+        let mut buckets: Vec<(u64, u64)> = (0..HIST_BUCKETS)
+            .map(|i| (1u64 << i, self.buckets[i].load(Ordering::Relaxed)))
+            .collect();
+        while buckets.len() > 1 && buckets.last().is_some_and(|&(_, c)| c == 0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            name: name.into(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            overflow: self.buckets[HIST_BUCKETS].load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`] at snapshot time: the payload
+/// of [`crate::Trace::hists`] and the input to the Prometheus exporter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name (`"engine.queue_wait_us"`).
+    pub name: String,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample observed (0 when empty).
+    pub max: u64,
+    /// Samples larger than the last finite bucket bound (the `+Inf`
+    /// remainder).
+    pub overflow: u64,
+    /// `(le, count)` pairs: per-bucket (non-cumulative) sample counts
+    /// with inclusive upper bounds `le = 2^i`, trailing zeros trimmed.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`):
+    /// the bucket bound containing the sample of that rank, clamped to
+    /// the observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(le, c) in &self.buckets {
+            cumulative += c;
+            if cumulative >= rank {
+                return le.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The process-global histogram registry. Entries are leaked
+/// intentionally: handles are `&'static` so hot paths can cache them
+/// and record without touching the registry lock.
+static REGISTRY: OnceLock<Mutex<Vec<(&'static str, &'static Histogram)>>> = OnceLock::new();
+
+fn lock_registry() -> MutexGuard<'static, Vec<(&'static str, &'static Histogram)>> {
+    REGISTRY
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Returns the process-global histogram named `name`, creating it on
+/// first use. The handle is `&'static`: cache it outside loops — the
+/// lookup takes the registry lock, recording does not.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut registry = lock_registry();
+    if let Some(&(_, h)) = registry.iter().find(|&&(n, _)| n == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    registry.push((name, h));
+    h
+}
+
+/// Records one sample into the global histogram `name`, if collection
+/// is enabled ([`crate::start`]); a single relaxed atomic load
+/// otherwise. Takes the registry lock per call — for per-iteration hot
+/// loops, cache [`histogram`]'s handle instead.
+pub fn record_hist(name: &'static str, value: u64) {
+    if !crate::trace::enabled() {
+        return;
+    }
+    histogram(name).record(value);
+}
+
+/// Clears every registered histogram (called by [`crate::start`]).
+pub(crate) fn reset_all() {
+    for &(_, h) in lock_registry().iter() {
+        h.reset();
+    }
+}
+
+/// Snapshots every registered histogram with at least one sample,
+/// sorted by name (called by [`crate::finish`]).
+pub(crate) fn snapshot_all() -> Vec<HistogramSnapshot> {
+    let mut snaps: Vec<HistogramSnapshot> = lock_registry()
+        .iter()
+        .filter(|&&(_, h)| h.count() > 0)
+        .map(|&(name, h)| h.snapshot(name))
+        .collect();
+    snaps.sort_by(|a, b| a.name.cmp(&b.name));
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1024, 1025] {
+            h.record(v);
+        }
+        let s = h.snapshot("t");
+        let count_at = |le: u64| s.buckets.iter().find(|&&(l, _)| l == le).map(|&(_, c)| c);
+        assert_eq!(count_at(1), Some(2)); // 0, 1
+        assert_eq!(count_at(2), Some(1)); // 2
+        assert_eq!(count_at(4), Some(2)); // 3, 4
+        assert_eq!(count_at(8), Some(2)); // 5, 8
+        assert_eq!(count_at(16), Some(1)); // 9
+        assert_eq!(count_at(1024), Some(1)); // 1024
+        assert_eq!(count_at(2048), Some(1)); // 1025
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 2081);
+        assert_eq!(s.max, 1025);
+        assert_eq!(s.overflow, 0);
+        // Trailing buckets beyond the data range are trimmed.
+        assert_eq!(s.buckets.last().map(|&(le, _)| le), Some(2048));
+    }
+
+    #[test]
+    fn overflow_samples_count_toward_totals_but_not_finite_buckets() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 0);
+        assert_eq!(s.quantile(0.5), u64::MAX, "quantile falls back to max");
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 100);
+        // p50 rank 50 -> bucket le=64 (cumulative through 64 covers 64
+        // samples); p99 rank 99 -> le=128 clamped to max=100.
+        assert_eq!(s.quantile(0.5), 64);
+        assert_eq!(s.quantile(0.99), 100);
+        assert_eq!(s.quantile(1.0), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        let empty = Histogram::new().snapshot("e");
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(70);
+        h.reset();
+        let s = h.snapshot("t");
+        assert_eq!((s.count, s.sum, s.max, s.overflow), (0, 0, 0, 0));
+        assert!(s.buckets.iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn concurrent_writers_totals_match_per_thread_sums() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot("t");
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        let n = THREADS * PER_THREAD;
+        assert_eq!(s.sum, n * (n - 1) / 2);
+        assert_eq!(s.max, n - 1);
+        assert_eq!(
+            s.overflow + s.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            s.count,
+            "every sample lands in exactly one bucket"
+        );
+    }
+
+    #[test]
+    fn registry_returns_the_same_instance_per_name() {
+        let a = histogram("hist.test.registry");
+        let b = histogram("hist.test.registry");
+        assert!(std::ptr::eq(a, b));
+        assert!(!std::ptr::eq(a, histogram("hist.test.other")));
+    }
+
+    #[test]
+    fn record_hist_is_gated_on_enabled() {
+        let _lock = crate::test_guard();
+        crate::start();
+        crate::finish(); // leave collection disabled
+        let before = histogram("hist.test.gated").count();
+        record_hist("hist.test.gated", 1);
+        assert_eq!(histogram("hist.test.gated").count(), before);
+        crate::start();
+        record_hist("hist.test.gated", 5);
+        let trace = crate::finish();
+        let snap = trace.hist("hist.test.gated").expect("snapshotted");
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 5);
+    }
+}

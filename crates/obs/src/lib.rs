@@ -7,6 +7,13 @@
 //! be exported as a JSONL event stream or as the collapsed-stack text
 //! format consumed by `inferno` / `flamegraph.pl`.
 //!
+//! On top of that sit lock-free log-bucketed **histograms**
+//! ([`record_hist`], snapshotted into [`Trace::hists`] with
+//! p50/p90/p99/max), a bounded **time-series [`Sampler`]** for
+//! gauge-like values, and a **Prometheus text-exposition** renderer
+//! ([`Trace::write_prometheus`], format 0.0.4) so a finished run can be
+//! scraped file-wise today and over HTTP later.
+//!
 //! # Design
 //!
 //! * **Std-only, zero dependencies** — like every other crate in the
@@ -57,9 +64,15 @@
 #![forbid(unsafe_code)]
 
 mod export;
+mod hist;
+mod prom;
+mod sampler;
 mod trace;
 
-pub use export::{json_escape, TraceFormat};
+pub use export::{folded_frame, json_escape, TraceFormat};
+pub use hist::{histogram, record_hist, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use prom::sanitize_metric_name;
+pub use sampler::Sampler;
 pub use trace::{
     counter, enabled, finish, gauge, span, span_labelled, start, test_guard, GaugeRecord, Span,
     SpanRecord, Trace,

@@ -1,0 +1,250 @@
+//! Prometheus text-exposition (format 0.0.4) rendering of a drained
+//! [`Trace`]: counter totals become `_total` counters, the last sample
+//! of each gauge becomes a gauge, and histogram snapshots become
+//! cumulative `_bucket{le="…"}` series with `_sum`/`_count`.
+//!
+//! The output is a point-in-time snapshot written to a file
+//! (`xring … --metrics-out FILE`); the same renderer can back an HTTP
+//! `/metrics` endpoint later without touching the recording layer.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::hist::HistogramSnapshot;
+use crate::trace::Trace;
+
+/// Rewrites `name` into a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid character becomes `_`,
+/// so the workspace's dotted names (`milp.nodes`) map to underscored
+/// ones (`milp_nodes`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn write_histogram<W: Write>(w: &mut W, h: &HistogramSnapshot) -> io::Result<()> {
+    let metric = format!("xring_{}", sanitize_metric_name(&h.name));
+    writeln!(w, "# TYPE {metric} histogram")?;
+    let mut cumulative = 0u64;
+    for &(le, count) in &h.buckets {
+        cumulative += count;
+        writeln!(w, "{metric}_bucket{{le=\"{le}\"}} {cumulative}")?;
+    }
+    // The +Inf bucket is the total count by definition; overflow
+    // samples appear only here.
+    writeln!(w, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count)?;
+    writeln!(w, "{metric}_sum {}", h.sum)?;
+    writeln!(w, "{metric}_count {}", h.count)
+}
+
+impl Trace {
+    /// Writes the trace as Prometheus text exposition format 0.0.4:
+    /// one `# TYPE` block per metric — counters first, then gauges
+    /// (last sample per name wins), then histograms — all under an
+    /// `xring_` prefix with [`sanitize_metric_name`]-mangled names.
+    pub fn write_prometheus<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for (name, value) in &self.totals {
+            let metric = format!("xring_{}_total", sanitize_metric_name(name));
+            writeln!(w, "# TYPE {metric} counter")?;
+            writeln!(w, "{metric} {value}")?;
+        }
+        // A gauge exposition is point-in-time: keep the latest sample
+        // of each name (samples may arrive out of order across
+        // threads, so compare timestamps rather than trusting order).
+        let mut latest: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+        for g in &self.gauges {
+            let entry = latest.entry(&g.name).or_insert((g.at_ns, g.value));
+            if g.at_ns >= entry.0 {
+                *entry = (g.at_ns, g.value);
+            }
+        }
+        for (name, (_, value)) in latest {
+            let metric = format!("xring_{}", sanitize_metric_name(name));
+            writeln!(w, "# TYPE {metric} gauge")?;
+            writeln!(w, "{metric} {value}")?;
+        }
+        for h in &self.hists {
+            write_histogram(w, h)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::GaugeRecord;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: Vec::new(),
+            gauges: vec![
+                GaugeRecord {
+                    name: "engine.queue_depth".to_owned(),
+                    value: 3.0,
+                    thread: 1,
+                    at_ns: 10,
+                },
+                GaugeRecord {
+                    name: "engine.queue_depth".to_owned(),
+                    value: 1.5,
+                    thread: 2,
+                    at_ns: 20,
+                },
+            ],
+            totals: vec![
+                ("milp.nodes".to_owned(), 42),
+                ("milp.lp_solves".to_owned(), 7),
+            ],
+            hists: vec![HistogramSnapshot {
+                name: "engine.queue_wait_us".to_owned(),
+                count: 6,
+                sum: 23,
+                max: 9,
+                overflow: 0,
+                buckets: vec![(1, 1), (2, 2), (4, 0), (8, 2), (16, 1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn golden_exposition_output() {
+        let mut out = Vec::new();
+        sample_trace().write_prometheus(&mut out).unwrap();
+        let expected = "\
+# TYPE xring_milp_nodes_total counter
+xring_milp_nodes_total 42
+# TYPE xring_milp_lp_solves_total counter
+xring_milp_lp_solves_total 7
+# TYPE xring_engine_queue_depth gauge
+xring_engine_queue_depth 1.5
+# TYPE xring_engine_queue_wait_us histogram
+xring_engine_queue_wait_us_bucket{le=\"1\"} 1
+xring_engine_queue_wait_us_bucket{le=\"2\"} 3
+xring_engine_queue_wait_us_bucket{le=\"4\"} 3
+xring_engine_queue_wait_us_bucket{le=\"8\"} 5
+xring_engine_queue_wait_us_bucket{le=\"16\"} 6
+xring_engine_queue_wait_us_bucket{le=\"+Inf\"} 6
+xring_engine_queue_wait_us_sum 23
+xring_engine_queue_wait_us_count 6
+";
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    /// A minimal format-0.0.4 line validator: every non-comment line is
+    /// `name value` or `name{le="…"} value`.
+    fn assert_parses(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "comment form: {line}");
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("space-separated value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("value: {line}"));
+            let name = name_part.split('{').next().unwrap();
+            assert!(!name.is_empty());
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "invalid metric name: {line}"
+            );
+            if let Some(rest) = name_part.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(
+                        rest.starts_with("{le=\"") && rest.ends_with("\"}"),
+                        "{line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_parses_with_monotone_buckets_and_consistent_totals() {
+        let mut out = Vec::new();
+        sample_trace().write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_parses(&text);
+
+        // Histogram invariants: cumulative bucket counts are monotone
+        // non-decreasing in `le`, +Inf equals `_count`, and `_sum` is
+        // consistent with the bucket bounds.
+        let bucket_lines: Vec<&str> = text.lines().filter(|l| l.contains("_bucket{le=")).collect();
+        let mut last_cum = 0u64;
+        let mut last_le = 0u64;
+        for line in &bucket_lines {
+            let cum: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(cum >= last_cum, "cumulative counts regress: {line}");
+            last_cum = cum;
+            let le = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
+            if le != "+Inf" {
+                let le: u64 = le.parse().unwrap();
+                assert!(le > last_le, "le bounds not increasing: {line}");
+                last_le = le;
+            }
+        }
+        let count: u64 = text
+            .lines()
+            .find(|l| l.ends_with(" 6") && l.contains("_count"))
+            .and_then(|l| l.rsplit_once(' '))
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(last_cum, count, "+Inf bucket equals _count");
+        let sum: u64 = text
+            .lines()
+            .find(|l| l.contains("_sum "))
+            .and_then(|l| l.rsplit_once(' '))
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(sum as f64 <= 16.0 * count as f64, "_sum exceeds max*count");
+    }
+
+    #[test]
+    fn end_to_end_snapshot_from_live_recording() {
+        let _lock = crate::test_guard();
+        crate::start();
+        crate::counter("prom.test.nodes", 5);
+        crate::gauge("prom.test.depth", 2.5);
+        crate::record_hist("prom.test.wait_us", 3);
+        crate::record_hist("prom.test.wait_us", 300);
+        let trace = crate::finish();
+        let mut out = Vec::new();
+        trace.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_parses(&text);
+        assert!(text.contains("xring_prom_test_nodes_total 5"));
+        assert!(text.contains("xring_prom_test_depth 2.5"));
+        assert!(text.contains("xring_prom_test_wait_us_sum 303"));
+        assert!(text.contains("xring_prom_test_wait_us_count 2"));
+        assert!(text.contains("xring_prom_test_wait_us_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("milp.nodes"), "milp_nodes");
+        assert_eq!(sanitize_metric_name("queue-wait µs"), "queue_wait__s");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a:b_c9"), "a:b_c9");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+}

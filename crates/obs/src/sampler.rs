@@ -1,0 +1,169 @@
+//! A bounded time-series sampler for gauge-like values.
+//!
+//! Histograms ([`crate::Histogram`]) lose ordering; raw gauges keep
+//! every sample. A [`Sampler`] sits between: it retains a bounded,
+//! time-stamped subset of a value series (the MILP optimality gap over
+//! a solve, a queue depth over a batch) by stride decimation — when the
+//! buffer fills, every other retained sample is dropped and the keep
+//! stride doubles, so memory stays `O(capacity)` while the retained
+//! points remain evenly spread over the full series.
+
+use crate::trace;
+
+/// A bounded, stride-decimating recorder of `(time, value)` samples.
+///
+/// Single-owner by design (methods take `&mut self`); each recording
+/// scope owns its sampler. Retained samples are pushed into the global
+/// trace as gauge records — with their **original** timestamps — on
+/// [`flush`](Sampler::flush) or drop.
+#[derive(Debug)]
+pub struct Sampler {
+    name: &'static str,
+    capacity: usize,
+    /// Keep one sample per `stride` calls to [`record`](Sampler::record).
+    stride: u64,
+    /// Total `record` calls so far (kept + skipped).
+    seen: u64,
+    samples: Vec<(u64, f64)>,
+}
+
+impl Sampler {
+    /// A sampler for gauge `name` retaining at most `capacity` samples
+    /// (minimum 2).
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        Sampler {
+            name,
+            capacity: capacity.max(2),
+            stride: 1,
+            seen: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one sample. No-op (one relaxed atomic load) when
+    /// collection is disabled; otherwise kept iff the call index is a
+    /// multiple of the current stride.
+    pub fn record(&mut self, value: f64) {
+        if !trace::enabled() {
+            return;
+        }
+        let keep = self.seen.is_multiple_of(self.stride);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            // Retained call indices are 0, s, 2s, …; keeping every
+            // other one leaves 0, 2s, 4s, … — exactly the multiples of
+            // the doubled stride, so decimation stays self-consistent.
+            let mut i = 0usize;
+            self.samples.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+        self.samples.push((trace::epoch_now_ns(), value));
+    }
+
+    /// Number of currently retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pushes every retained sample into the global trace as gauge
+    /// records carrying their original capture timestamps, then clears
+    /// the buffer. Dropped samples are gone; flushing twice is a no-op.
+    pub fn flush(&mut self) {
+        for (at_ns, value) in self.samples.drain(..) {
+            trace::push_gauge_sample(self.name, value, at_ns);
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{finish, start, test_guard};
+
+    #[test]
+    fn disabled_sampler_retains_nothing() {
+        let _lock = test_guard();
+        start();
+        finish();
+        let mut s = Sampler::new("sampler.test.off", 8);
+        s.record(1.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn decimation_bounds_memory_and_spreads_samples() {
+        let _lock = test_guard();
+        start();
+        let mut s = Sampler::new("sampler.test.decimate", 8);
+        for i in 0..1000 {
+            s.record(i as f64);
+        }
+        assert!(s.len() <= 8, "capacity bound violated: {}", s.len());
+        assert!(s.len() >= 4, "decimation dropped too much: {}", s.len());
+        // Retained values are the multiples of the final stride, in
+        // order — evenly spread over the series.
+        let stride = s.stride as f64;
+        let values: Vec<f64> = s.samples.iter().map(|&(_, v)| v).collect();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, i as f64 * stride, "values: {values:?}");
+        }
+        finish();
+    }
+
+    #[test]
+    fn flush_emits_gauges_with_original_timestamps() {
+        let _lock = test_guard();
+        start();
+        let mut s = Sampler::new("sampler.test.flush", 4);
+        s.record(1.0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.record(2.0);
+        let first_ts = s.samples[0].0;
+        s.flush();
+        s.flush(); // idempotent
+        let trace = finish();
+        let gauges: Vec<_> = trace
+            .gauges
+            .iter()
+            .filter(|g| g.name == "sampler.test.flush")
+            .collect();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].at_ns, first_ts, "original capture time kept");
+        assert!(gauges[0].at_ns < gauges[1].at_ns);
+        assert_eq!(gauges[0].value, 1.0);
+        assert_eq!(gauges[1].value, 2.0);
+    }
+
+    #[test]
+    fn drop_flushes_retained_samples() {
+        let _lock = test_guard();
+        start();
+        {
+            let mut s = Sampler::new("sampler.test.drop", 4);
+            s.record(9.0);
+        }
+        let trace = finish();
+        assert!(trace
+            .gauges
+            .iter()
+            .any(|g| g.name == "sampler.test.drop" && g.value == 9.0));
+    }
+}

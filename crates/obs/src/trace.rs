@@ -64,6 +64,28 @@ fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+/// Nanoseconds since the process trace epoch (for records that carry
+/// their own capture timestamps, like [`crate::Sampler`] samples).
+pub(crate) fn epoch_now_ns() -> u64 {
+    now_ns()
+}
+
+/// Appends a gauge record with an explicit capture timestamp — the
+/// [`crate::Sampler`] flush path, which replays samples retained while
+/// recording was enabled.
+pub(crate) fn push_gauge_sample(name: &str, value: f64, at_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let record = GaugeRecord {
+        name: name.to_owned(),
+        value,
+        thread: thread_ordinal(),
+        at_ns,
+    };
+    lock_buffers().gauges.push(record);
+}
+
 /// Returns `true` while trace collection is enabled.
 ///
 /// Instrumentation sites never need to call this — [`span`],
@@ -80,6 +102,7 @@ pub fn enabled() -> bool {
 pub fn start() {
     EPOCH.get_or_init(Instant::now);
     *lock_buffers() = Buffers::default();
+    crate::hist::reset_all();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -98,6 +121,7 @@ pub fn finish() -> Trace {
             .into_iter()
             .map(|(name, value)| (name.to_owned(), value))
             .collect(),
+        hists: crate::hist::snapshot_all(),
     }
 }
 
@@ -286,12 +310,20 @@ pub struct Trace {
     /// Global counter totals, sorted by name — the sum of every
     /// [`counter`] increment regardless of the span it attached to.
     pub totals: Vec<(String, u64)>,
+    /// Snapshots of every registered histogram with at least one
+    /// sample, sorted by name (see [`crate::record_hist`]).
+    pub hists: Vec<crate::hist::HistogramSnapshot>,
 }
 
 impl Trace {
     /// The first recorded span with this name, if any.
     pub fn find(&self, name: &str) -> Option<&SpanRecord> {
         self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The snapshot of the named histogram, if it recorded any sample.
+    pub fn hist(&self, name: &str) -> Option<&crate::hist::HistogramSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
     }
 
     /// The global total for a counter name (0 if never incremented).

@@ -1,0 +1,178 @@
+//! End-to-end solver convergence telemetry: a synthesis run with a
+//! progress sink installed must stream well-ordered convergence events
+//! (incumbents, bounds, monotone gaps, one terminal event per solve),
+//! surface a per-design `ConvergenceSummary`, and render a valid
+//! Prometheus text-format snapshot of the run's histograms.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use xring::milp::progress::{clear_sink, install_sink};
+use xring::milp::{ProgressEvent, ProgressKind, ProgressSink};
+use xring::obs;
+use xring_core::{NetworkSpec, SynthesisOptions, Synthesizer};
+
+/// A sink that records every event, tagged with its solve id.
+#[derive(Default)]
+struct CaptureSink {
+    events: Mutex<Vec<(u64, ProgressEvent)>>,
+}
+
+impl ProgressSink for CaptureSink {
+    fn emit(&self, solve_id: u64, event: &ProgressEvent) {
+        self.events
+            .lock()
+            .expect("capture lock")
+            .push((solve_id, event.clone()));
+    }
+}
+
+fn synthesize_proton_8() {
+    let design = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+        .synthesize(&NetworkSpec::proton_8())
+        .expect("synthesis succeeds");
+    assert!(design.provenance.audit.is_clean());
+}
+
+#[test]
+fn sink_sees_ordered_convergence_events_with_monotone_gaps() {
+    let _lock = obs::test_guard();
+    let sink = Arc::new(CaptureSink::default());
+    install_sink(sink.clone());
+    synthesize_proton_8();
+    clear_sink();
+    let events = sink.events.lock().expect("capture lock");
+    assert!(!events.is_empty(), "no convergence events reached the sink");
+
+    let mut by_solve: BTreeMap<u64, Vec<&ProgressEvent>> = BTreeMap::new();
+    for (solve, event) in events.iter() {
+        by_solve.entry(*solve).or_default().push(event);
+    }
+    let mut incumbents = 0usize;
+    for (solve, events) in &by_solve {
+        // Exactly one terminal event, and it comes last.
+        let finals = events
+            .iter()
+            .filter(|e| e.kind == ProgressKind::Final)
+            .count();
+        assert_eq!(finals, 1, "solve {solve}: {finals} terminal events");
+        assert_eq!(events.last().expect("non-empty").kind, ProgressKind::Final);
+        incumbents += events
+            .iter()
+            .filter(|e| e.kind == ProgressKind::Incumbent)
+            .count();
+
+        // Within a solve: elapsed and node counts never move backwards,
+        // the optimality gap never widens, the best bound never drops.
+        let mut last_gap = f64::INFINITY;
+        let mut last_bound = f64::NEG_INFINITY;
+        for pair in events.windows(2) {
+            assert!(pair[0].elapsed <= pair[1].elapsed, "solve {solve}");
+            assert!(pair[0].nodes <= pair[1].nodes, "solve {solve}");
+        }
+        for e in events {
+            if let Some(gap) = e.gap {
+                assert!(
+                    gap <= last_gap + 1e-9,
+                    "solve {solve}: gap widened {last_gap} -> {gap}"
+                );
+                last_gap = gap;
+            }
+            if let Some(bound) = e.best_bound {
+                assert!(
+                    bound >= last_bound - 1e-9,
+                    "solve {solve}: bound dropped {last_bound} -> {bound}"
+                );
+                last_bound = bound;
+            }
+        }
+    }
+    assert!(incumbents >= 1, "no incumbent event in any solve");
+}
+
+#[test]
+fn convergence_summary_follows_telemetry_activation() {
+    let _lock = obs::test_guard();
+    // Telemetry off: no collector is attached, the stats stay lean.
+    let off = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+        .synthesize(&NetworkSpec::proton_8())
+        .expect("synthesis succeeds");
+    assert_eq!(off.ring_stats.convergence, None);
+
+    // Tracing on: the ring MILP carries its convergence summary.
+    obs::start();
+    let on = Synthesizer::new(SynthesisOptions::with_wavelengths(8))
+        .synthesize(&NetworkSpec::proton_8())
+        .expect("synthesis succeeds");
+    let trace = obs::finish();
+    let conv = on
+        .ring_stats
+        .convergence
+        .expect("traced run records convergence");
+    assert!(conv.events > 0);
+    assert!(conv.incumbent_events >= 1);
+    assert!(conv.time_to_first_incumbent.is_some());
+    let gap = conv.final_gap.expect("final event carries a gap");
+    assert!((0.0..=1.0).contains(&gap), "gap {gap} out of range");
+
+    // The same run recorded the tentpole latency histograms.
+    for name in ["synth.wall_us", "milp.solve_us"] {
+        let h = trace.hist(name).expect("histogram recorded");
+        assert!(h.count >= 1, "{name} empty");
+    }
+}
+
+#[test]
+fn prometheus_snapshot_of_a_synthesis_run_is_wellformed() {
+    let _lock = obs::test_guard();
+    obs::start();
+    synthesize_proton_8();
+    let trace = obs::finish();
+    let mut out = Vec::new();
+    trace.write_prometheus(&mut out).expect("prometheus export");
+    let text = String::from_utf8(out).expect("utf8");
+
+    // Histograms for the synthesis wall time and the MILP solves.
+    for name in ["xring_synth_wall_us", "xring_milp_solve_us"] {
+        assert!(
+            text.contains(&format!("# TYPE {name} histogram")),
+            "{name} missing from:\n{text}"
+        );
+    }
+
+    // Every histogram: cumulative buckets ending at +Inf == _count, and
+    // a matching _sum line.
+    let mut last_le: BTreeMap<String, u64> = BTreeMap::new();
+    let mut inf: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("SP-separated sample");
+        if let Some((base, le)) = name
+            .strip_suffix("\"}")
+            .and_then(|n| n.split_once("_bucket{le=\""))
+        {
+            let count: u64 = value.parse().expect("bucket count");
+            let prev = last_le.get(base).copied().unwrap_or(0);
+            assert!(count >= prev, "bucket counts not cumulative: {line}");
+            last_le.insert(base.to_owned(), count);
+            if le == "+Inf" {
+                inf.insert(base.to_owned(), count);
+            } else {
+                let _: u64 = le.parse().expect("numeric le");
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.insert(base.to_owned(), value.parse().expect("count"));
+        } else if let Some(base) = name.strip_suffix("_sum") {
+            sums.insert(base.to_owned(), value.parse().expect("sum"));
+        }
+    }
+    assert!(!inf.is_empty(), "no histogram rendered");
+    for (base, total) in &inf {
+        assert_eq!(Some(total), counts.get(base), "{base}: +Inf != _count");
+        assert!(sums.contains_key(base), "{base}: missing _sum");
+    }
+}

@@ -34,6 +34,7 @@ fn jsonl_trace_covers_every_pipeline_phase() {
 
     let mut spans = 0usize;
     let mut totals = 0usize;
+    let mut hists = 0usize;
     for line in text.lines() {
         // Well-formed JSONL: one object per line, balanced unescaped
         // quotes, a known record type.
@@ -48,12 +49,15 @@ fn jsonl_trace_covers_every_pipeline_phase() {
             spans += 1;
         } else if line.starts_with(r#"{"type":"totals""#) {
             totals += 1;
+        } else if line.starts_with(r#"{"type":"hist""#) {
+            hists += 1;
         } else {
             assert!(line.starts_with(r#"{"type":"gauge""#), "line: {line}");
         }
     }
     assert!(spans >= 5, "expected a span per phase, got {spans}");
     assert_eq!(totals, 1, "exactly one trailing totals line");
+    assert!(hists >= 1, "expected latency histogram lines");
 
     // The acceptance phases from the issue, all present by name.
     for phase in ["ring-milp", "shortcut", "audit", "evaluation"] {
