@@ -35,7 +35,12 @@ cargo test -q -p xring-obs --offline
 cargo test -q -p xring-milp --offline progress
 cargo test -q --offline --test convergence_telemetry
 
-echo "==> regress --quick (pinned perf suite smoke)"
-cargo run -q --release -p xring-bench --bin regress --offline -- --quick --out target/regress-ci.json
+echo "==> LP backend suites (differential agreement + revised-backend fault chain)"
+cargo test -q -p xring-milp --offline backend
+cargo test -q --offline --features fault-inject --test fault_tolerance revised_backend
+
+echo "==> regress --quick (pinned perf suite smoke + baseline gate)"
+cargo run -q --release -p xring-bench --bin regress --offline -- \
+    --quick --out target/regress-ci.json --compare BENCH_PR5.json
 
 echo "ci: all green"

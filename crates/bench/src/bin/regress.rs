@@ -4,9 +4,9 @@
 //! against a previous report, failing on a real wall-time regression.
 //!
 //! ```text
-//! cargo run --release -p xring-bench --bin regress            # write BENCH_PR4.json
+//! cargo run --release -p xring-bench --bin regress -- --out BENCH_PR5.json
 //! cargo run --release -p xring-bench --bin regress -- \
-//!     --quick --out /tmp/now.json --compare BENCH_PR4.json    # CI smoke + gate
+//!     --quick --out /tmp/now.json --compare BENCH_PR5.json    # CI smoke + gate
 //! ```
 //!
 //! Exit code is nonzero when any `_wall_ms` metric slowed by more than
@@ -16,11 +16,9 @@ use std::process::ExitCode;
 
 use xring_bench::regress::{compare, run_suite, RegressReport};
 
-const DEFAULT_OUT: &str = "BENCH_PR4.json";
-
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = DEFAULT_OUT.to_owned();
+    let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -28,7 +26,7 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--quick" => quick = true,
             "--out" => match it.next() {
-                Some(v) => out = v.clone(),
+                Some(v) => out = Some(v.clone()),
                 None => return usage("--out needs a path"),
             },
             "--compare" => match it.next() {
@@ -38,6 +36,12 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown flag {other}")),
         }
     }
+
+    // Required, so a careless invocation cannot silently clobber a
+    // committed baseline in the working directory.
+    let Some(out) = out else {
+        return usage("--out is required");
+    };
 
     eprintln!(
         "running the pinned suite ({})...",
@@ -94,9 +98,9 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "error: {err}\n\nUSAGE:\n  regress [--quick] [--out FILE] [--compare BASELINE.json]\n\n\
-         Writes the pinned suite's timings to FILE (default {DEFAULT_OUT});\n\
-         with --compare, prints per-metric deltas and exits nonzero on a\n\
+        "error: {err}\n\nUSAGE:\n  regress --out FILE [--quick] [--compare BASELINE.json]\n\n\
+         Writes the pinned suite's timings to FILE (required); with\n\
+         --compare, prints per-metric deltas and exits nonzero on a\n\
          wall-time regression."
     );
     ExitCode::FAILURE

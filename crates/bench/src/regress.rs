@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use xring_core::{NetworkSpec, SynthesisOptions, Synthesizer};
+use xring_core::{NetworkSpec, RingBuilder, SynthesisOptions, Synthesizer};
 use xring_engine::{Engine, SynthesisJob};
 
 /// Schema tag of the report envelope. Bump on breaking key changes.
@@ -287,6 +287,10 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
     let mut report = RegressReport::new();
     report.metrics.insert("repeats".into(), repeats as f64);
 
+    // Warm-start accounting summed over every ring MILP the suite
+    // solves: (solves that adopted a parent basis, solves offered one).
+    let mut warm = (0usize, 0usize);
+
     // Serial synthesis wall time, N = 4 / 8 / 16 with #wl = N.
     for (key, n, net) in [
         (
@@ -302,9 +306,31 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
                 .synthesize(&net)
                 .expect("pinned synthesis workload is feasible");
             assert!(design.provenance.audit.is_clean());
+            warm.0 += design.ring_stats.lp_warm_starts;
+            warm.1 += design.ring_stats.lp_warm_eligible;
         });
         report.metrics.insert(key.into(), wall);
     }
+
+    // Ring MILP on an irregular 16-node floorplan: the only pinned
+    // workload whose branch-and-bound explores a deep tree, so it is
+    // what actually times (and counts) warm-started child solves — the
+    // regular floorplans above mostly solve at the root.
+    {
+        let net = NetworkSpec::irregular(16, 8_000, 5)?;
+        let wall = median_ms(repeats, || {
+            let ring = RingBuilder::new()
+                .build(&net)
+                .expect("pinned ring workload is feasible");
+            warm.0 += ring.stats.lp_warm_starts;
+            warm.1 += ring.stats.lp_warm_eligible;
+        });
+        report.metrics.insert("ring_irr16_wall_ms".into(), wall);
+    }
+    report.metrics.insert(
+        "bnb_warm_start_rate".into(),
+        warm.0 as f64 / warm.1.max(1) as f64,
+    );
 
     // Batch throughput at 1 and 4 workers: 3 distinct jobs submitted
     // twice, so exactly half the jobs hit a fresh engine's cache.
@@ -466,11 +492,13 @@ mod tests {
             "synth_n4_wall_ms",
             "synth_n8_wall_ms",
             "synth_n16_wall_ms",
+            "ring_irr16_wall_ms",
             "batch_j1_wall_ms",
             "batch_j4_wall_ms",
             "batch_j1_jobs_per_s",
             "batch_j4_jobs_per_s",
             "batch_cache_hit_rate",
+            "bnb_warm_start_rate",
             "milp_bnb_nodes",
         ] {
             let v = r
@@ -480,6 +508,13 @@ mod tests {
             assert!(v.is_finite() && *v >= 0.0, "{key} = {v}");
         }
         assert_eq!(r.metrics["batch_cache_hit_rate"], 0.5);
+        // The revised backend (the default) reuses the parent basis on
+        // nearly every branch-and-bound child of the irregular ring.
+        assert!(
+            r.metrics["bnb_warm_start_rate"] > 0.8,
+            "warm-start rate {} too low",
+            r.metrics["bnb_warm_start_rate"]
+        );
         // Same build, same suite: the comparison gate must pass.
         let again = run_suite(true).expect("suite runs");
         assert!(compare(&r, &again).iter().all(|d| !d.regressed));

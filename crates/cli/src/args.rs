@@ -50,6 +50,8 @@ pub struct SynthArgs {
     pub ring: String,
     /// Degradation policy: "forbid" | "allow" | "force-heuristic".
     pub degradation: String,
+    /// LP backend for the ring MILP: "dense" | "revised".
+    pub lp_backend: String,
     /// Disable Step 2.
     pub no_shortcuts: bool,
     /// Disable openings.
@@ -82,6 +84,7 @@ impl Default for SynthArgs {
             wavelengths: 16,
             ring: "milp".into(),
             degradation: "forbid".into(),
+            lp_backend: "revised".into(),
             no_shortcuts: false,
             no_openings: false,
             no_pdn: false,
@@ -146,6 +149,7 @@ USAGE:
   xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
               [--wl N] [--ring milp|heuristic|perimeter]
               [--degradation forbid|allow|force-heuristic]
+              [--lp-backend dense|revised]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
               [--describe] [--trace FILE] [--trace-format jsonl|folded]
               [--solver-log FILE] [--metrics-out FILE]
@@ -168,6 +172,14 @@ DEGRADATION (synth, sweep, batch):
                                  heuristic ring; the result's provenance
                                  records the degradation level
   --degradation force-heuristic  skip the MILP entirely
+
+SOLVER BACKEND (synth, sweep, batch):
+  --lp-backend revised  revised bounded-variable simplex with native
+                        bounds and warm-started branch-and-bound nodes
+                        (default)
+  --lp-backend dense    dense two-phase tableau — the slower reference
+                        kernel, also used automatically by the
+                        degradation chain's perturbed retry
 
 TRACING (synth, sweep, batch):
   --trace FILE           record per-phase spans (ring MILP, shortcuts,
@@ -195,6 +207,17 @@ fn set_degradation(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
         )));
     }
     out.degradation = v.to_owned();
+    Ok(())
+}
+
+/// Validates and stores a `--lp-backend` value.
+fn set_lp_backend(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
+    if !["dense", "revised"].contains(&v) {
+        return Err(ParseArgsError(format!(
+            "unknown lp backend {v} (expected dense or revised)"
+        )));
+    }
+    out.lp_backend = v.to_owned();
     Ok(())
 }
 
@@ -283,6 +306,16 @@ where
         _ if flag.starts_with("--degradation=") => {
             let v = &flag["--degradation=".len()..];
             set_degradation(v, out)?;
+        }
+        "--lp-backend" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--lp-backend needs a backend".into()))?;
+            set_lp_backend(v, out)?;
+        }
+        _ if flag.starts_with("--lp-backend=") => {
+            let v = &flag["--lp-backend=".len()..];
+            set_lp_backend(v, out)?;
         }
         "--describe" => out.describe = true,
         "--no-shortcuts" => out.no_shortcuts = true,
@@ -644,6 +677,30 @@ mod tests {
         assert!(parse(&v(&["synth", "--degradation", "sometimes"])).is_err());
         assert!(parse(&v(&["synth", "--degradation=bogus"])).is_err());
         assert!(parse(&v(&["synth", "--degradation"])).is_err());
+    }
+
+    #[test]
+    fn lp_backend_flag_both_forms() {
+        let Command::Synth(a) = cmd(&["synth", "--lp-backend", "dense"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.lp_backend, "dense");
+        let Command::Synth(a) = cmd(&["synth", "--lp-backend=revised"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.lp_backend, "revised");
+        let Command::Batch(b) = cmd(&["batch", "--lp-backend=dense"]) else {
+            panic!("not batch")
+        };
+        assert_eq!(b.synth.lp_backend, "dense");
+        // Default and rejects.
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.lp_backend, "revised");
+        assert!(parse(&v(&["synth", "--lp-backend", "tableau"])).is_err());
+        assert!(parse(&v(&["synth", "--lp-backend=bogus"])).is_err());
+        assert!(parse(&v(&["synth", "--lp-backend"])).is_err());
     }
 
     #[test]

@@ -182,14 +182,19 @@ fn options_of(args: &SynthArgs) -> SynthesisOptions {
         "perimeter" => RingAlgorithm::Perimeter,
         _ => RingAlgorithm::Milp,
     };
-    // The parser validated the policy string already.
+    // The parser validated the policy and backend strings already.
     let degradation = args
         .degradation
         .parse::<DegradationPolicy>()
         .unwrap_or_default();
+    let lp_backend = args
+        .lp_backend
+        .parse::<xring_core::LpBackendKind>()
+        .unwrap_or_default();
     SynthesisOptions {
         ring_algorithm,
         degradation,
+        lp_backend,
         shortcuts: !args.no_shortcuts,
         openings: !args.no_openings,
         pdn: !args.no_pdn,

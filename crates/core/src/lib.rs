@@ -70,4 +70,4 @@ pub use sweep::{
 pub use synth::{DegradationPolicy, SynthesisOptions, Synthesizer};
 pub use traffic::Traffic;
 pub use variation::{monte_carlo, SplitMix64, VariationSpec, VariationSummary};
-pub use xring_milp::ConvergenceSummary;
+pub use xring_milp::{ConvergenceSummary, LpBackendKind};

@@ -19,8 +19,8 @@ use crate::netspec::{NetworkSpec, NodeId};
 use crate::variation::SplitMix64;
 use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
 use xring_milp::{
-    progress, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr, Model, Relation,
-    VarId,
+    progress, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr, LpBackendKind,
+    Model, Relation, VarId,
 };
 
 /// Travel direction on a ring waveguide. `Cw` follows the cycle order,
@@ -62,8 +62,20 @@ pub struct RingStats {
     pub milp_nodes: usize,
     /// LP relaxations solved (0 for heuristic algorithms).
     pub lp_solves: usize,
+    /// LP solves that adopted the parent node's basis (warm starts).
+    pub lp_warm_starts: usize,
+    /// LP solves that were *offered* a parent basis — the denominator
+    /// for the warm-start rate (only root and post-recovery solves are
+    /// excluded).
+    pub lp_warm_eligible: usize,
     /// Lazy conflict constraints separated.
     pub lazy_cuts: usize,
+    /// Objective value of the MILP's optimal edge assignment — the total
+    /// Manhattan length *before* sub-cycle merging (0.0 for heuristic
+    /// algorithms). Backend-independent: alternate optimal assignments
+    /// can merge into different final tours, but this value must agree
+    /// across LP kernels.
+    pub milp_objective: f64,
     /// Sub-cycles merged after optimization.
     pub subcycles_merged: usize,
     /// True when the global 2-SAT option assignment was infeasible and a
@@ -356,6 +368,7 @@ pub struct RingBuilder {
     max_milp_nodes: usize,
     deadline: Option<std::time::Instant>,
     objective_perturbation: Option<u64>,
+    lp_backend: LpBackendKind,
 }
 
 impl Default for RingBuilder {
@@ -365,6 +378,7 @@ impl Default for RingBuilder {
             max_milp_nodes: 50_000,
             deadline: None,
             objective_perturbation: None,
+            lp_backend: LpBackendKind::default(),
         }
     }
 }
@@ -417,6 +431,15 @@ impl RingBuilder {
     /// search. `None` (the default) solves the exact objective.
     pub fn with_objective_perturbation(mut self, seed: Option<u64>) -> Self {
         self.objective_perturbation = seed;
+        self
+    }
+
+    /// Selects the LP backend the MILP relaxations run on (see
+    /// [`LpBackendKind`]). The default revised simplex warm-starts child
+    /// nodes from the parent basis; [`LpBackendKind::Dense`] is the
+    /// slower reference tableau.
+    pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
+        self.lp_backend = backend;
         self
     }
 
@@ -513,7 +536,8 @@ impl RingBuilder {
         let tour = heuristic_tour(net);
         let mut solver = BranchAndBound::new()
             .with_max_nodes(self.max_milp_nodes)
-            .with_deadline(self.deadline);
+            .with_deadline(self.deadline)
+            .with_lp_backend(self.lp_backend);
         if self.objective_perturbation.is_none() && tour_is_conflict_free(net, &tour) {
             let mut values = vec![0.0f64; model.num_vars()];
             for k in 0..n {
@@ -623,7 +647,10 @@ impl RingBuilder {
             stats: RingStats {
                 milp_nodes: solution.stats().nodes,
                 lp_solves: solution.stats().lp_solves,
+                lp_warm_starts: solution.stats().warm_starts,
+                lp_warm_eligible: solution.stats().warm_eligible,
                 lazy_cuts: solution.stats().lazy_constraints,
+                milp_objective: solution.objective(),
                 subcycles_merged: merged,
                 twosat_fallback: fb,
                 convergence,

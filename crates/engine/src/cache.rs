@@ -43,6 +43,7 @@ pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
     let o = &job.options;
     k.push(o.ring_algorithm as u8);
     k.push(o.degradation as u8);
+    k.push(o.lp_backend as u8);
     u(&mut k, o.max_wavelengths);
     u(&mut k, o.max_waveguides);
     k.push(u8::from(o.shortcuts));
@@ -254,6 +255,9 @@ mod tests {
         assert_ne!(base, canonical_key(&other));
         let mut other = job("x", 8);
         other.options.degradation = xring_core::DegradationPolicy::Allow;
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.lp_backend = xring_core::LpBackendKind::Dense;
         assert_ne!(base, canonical_key(&other));
     }
 

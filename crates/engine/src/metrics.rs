@@ -37,6 +37,12 @@ pub struct BatchMetrics {
     /// Lazy conflict constraints separated, summed over fresh successful
     /// jobs.
     pub milp_lazy_cuts: usize,
+    /// LP solves that adopted a parent basis (warm starts), summed over
+    /// fresh successful jobs.
+    pub milp_warm_starts: usize,
+    /// LP solves that were offered a parent basis, summed over fresh
+    /// successful jobs — the denominator of the warm-start rate.
+    pub milp_warm_eligible: usize,
     /// Successful jobs whose design came from the perturbed-objective
     /// MILP retry (provenance [`DegradationLevel::RetriedPerturbed`]).
     ///
@@ -92,6 +98,8 @@ impl BatchMetrics {
                     self.milp_nodes += s.milp_nodes;
                     self.milp_lp_solves += s.lp_solves;
                     self.milp_lazy_cuts += s.lazy_cuts;
+                    self.milp_warm_starts += s.lp_warm_starts;
+                    self.milp_warm_eligible += s.lp_warm_eligible;
                     if let Some(conv) = &s.convergence {
                         self.convergence_reports += 1;
                         if let Some(gap) = conv.final_gap {
@@ -226,7 +234,7 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 wall.as_secs_f64()
             ),
             EngineEvent::BatchFinished { metrics: m } => format!(
-                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{},"degraded_retried":{},"degraded_heuristic":{},"queue_wait_p50_us":{},"queue_wait_p90_us":{},"queue_wait_p99_us":{},"queue_wait_max_us":{},"convergence_reports":{},"milp_final_gap_max":{},"milp_time_to_incumbent_max_s":{}}}"#,
+                r#"{{"event":"batch_finished","jobs":{},"succeeded":{},"failed":{},"cache_hits":{},"cache_misses":{},"batch_wall_s":{},"total_job_wall_s":{},"max_job_wall_s":{},"milp_nodes":{},"milp_lp_solves":{},"milp_lazy_cuts":{},"milp_warm_starts":{},"milp_warm_eligible":{},"degraded_retried":{},"degraded_heuristic":{},"queue_wait_p50_us":{},"queue_wait_p90_us":{},"queue_wait_p99_us":{},"queue_wait_max_us":{},"convergence_reports":{},"milp_final_gap_max":{},"milp_time_to_incumbent_max_s":{}}}"#,
                 m.jobs,
                 m.succeeded,
                 m.failed,
@@ -238,6 +246,8 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
                 m.milp_nodes,
                 m.milp_lp_solves,
                 m.milp_lazy_cuts,
+                m.milp_warm_starts,
+                m.milp_warm_eligible,
                 m.degraded_retried,
                 m.degraded_heuristic,
                 m.queue_wait_p50_us,

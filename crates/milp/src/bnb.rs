@@ -1,11 +1,23 @@
 //! Exact branch-and-bound over the binary variables.
+//!
+//! Nodes fix binaries through their *bounds* (`lb = ub`) rather than by
+//! substituting them out of the LP, so every node shares the parent's
+//! variable space and the LP basis transfers: each node carries an
+//! `Rc<Basis>` from its parent's optimal solve and hands it to
+//! [`LpBackend::solve_warm`], turning child solves into short
+//! dual-simplex cleanups on the [`crate::revised`] backend.
 
+use crate::backend::{Basis, LpBackendKind};
 use crate::error::SolveError;
 use crate::expr::{LinExpr, VarId};
 use crate::model::{Model, Relation, VarKind};
 use crate::progress::{self, ProgressEvent, ProgressKind, ProgressObserver};
 use crate::simplex::{LpOutcome, LpProblem, LpRow};
+use std::rc::Rc;
 use std::time::Instant;
+
+#[allow(unused_imports)] // doc link
+use crate::backend::LpBackend;
 
 /// Integrality tolerance: an LP value within this distance of an integer
 /// is considered integral.
@@ -66,6 +78,12 @@ pub struct SolveStats {
     /// warm start accepted via
     /// [`with_incumbent`](BranchAndBound::with_incumbent)).
     pub incumbent_updates: usize,
+    /// LP solves that were offered a parent basis (every solve except
+    /// each search's first; the root has no predecessor).
+    pub warm_eligible: usize,
+    /// LP solves where the backend actually adopted the offered basis
+    /// (0 on the dense reference backend, which cannot warm-start).
+    pub warm_starts: usize,
 }
 
 /// Configurable exact branch-and-bound solver.
@@ -77,6 +95,7 @@ pub struct BranchAndBound {
     deadline: Option<Instant>,
     incumbent: Option<(Vec<f64>, f64)>,
     progress_stride: usize,
+    lp_backend: LpBackendKind,
 }
 
 impl Default for BranchAndBound {
@@ -86,6 +105,7 @@ impl Default for BranchAndBound {
             deadline: None,
             incumbent: None,
             progress_stride: 64,
+            lp_backend: LpBackendKind::default(),
         }
     }
 }
@@ -194,6 +214,15 @@ impl BranchAndBound {
     /// or a global progress sink is attached; see [`crate::progress`].
     pub fn with_progress_stride(mut self, stride: usize) -> Self {
         self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Selects the LP backend for the node relaxations (default
+    /// [`LpBackendKind::Revised`]). The dense reference backend solves
+    /// every node cold; the revised backend warm-starts children from
+    /// their parent's basis.
+    pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
+        self.lp_backend = backend;
         self
     }
 
@@ -415,13 +444,20 @@ impl BranchAndBound {
         }
         stats.presolve_fixed = pre.fixed.len();
 
-        // DFS over nodes: each node fixes a subset of binaries.
+        // DFS over nodes: each node fixes a subset of binaries through
+        // their bounds and carries the parent's LP basis for warm starts.
         #[derive(Clone)]
         struct Node {
             fixes: Vec<(usize, bool)>,
+            basis: Option<Rc<Basis>>,
         }
         let root_fixes: Vec<(usize, bool)> = pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
-        let mut stack = vec![Node { fixes: root_fixes }];
+        let mut stack = vec![Node {
+            fixes: root_fixes,
+            basis: None,
+        }];
+        let backend = self.lp_backend.backend();
+        let dense_backend = self.lp_backend == LpBackendKind::Dense;
         let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
         let is_binary = {
             let mut flags = vec![false; n];
@@ -470,75 +506,55 @@ impl BranchAndBound {
                 }
             }
 
-            // Substitute fixed binaries out of the LP entirely.
-            let mut fixed: Vec<Option<f64>> = vec![None; n];
+            // Fix binaries through their bounds (lb = ub), keeping the
+            // full variable space so the parent basis stays valid. The
+            // dense backend substitutes fixed columns out internally and
+            // still benefits from dropping implied ub rows; the revised
+            // backend handles all bounds natively.
+            let mut lb = base_lb.clone();
+            let mut ub: Vec<f64> = if dense_backend {
+                (0..n)
+                    .map(|j| {
+                        if is_binary[j] && implied_ub[j] {
+                            f64::INFINITY
+                        } else {
+                            base_ub[j]
+                        }
+                    })
+                    .collect()
+            } else {
+                base_ub.clone()
+            };
             for &(j, val) in &node.fixes {
-                fixed[j] = Some(if val { 1.0 } else { 0.0 });
+                let v = if val { 1.0 } else { 0.0 };
+                lb[j] = v;
+                ub[j] = v;
             }
-            let free: Vec<usize> = (0..n).filter(|&j| fixed[j].is_none()).collect();
-            let mut free_of = vec![usize::MAX; n];
-            for (fi, &j) in free.iter().enumerate() {
-                free_of[j] = fi;
-            }
-            let fixed_obj: f64 = (0..n)
-                .filter_map(|j| fixed[j].map(|v| v * objective[j]))
-                .sum();
+            let mut warm: Option<Rc<Basis>> = node.basis.clone();
 
             // Re-solve this node until the lazy callback accepts or the
             // node is pruned.
             'resolve: loop {
-                // Build the reduced LP.
-                let mut lp_rows = Vec::with_capacity(rows.len());
-                let mut node_infeasible = false;
-                for r in &rows {
-                    let mut terms = Vec::with_capacity(r.terms.len());
-                    let mut rhs = r.rhs;
-                    for &(j, c) in &r.terms {
-                        match fixed[j] {
-                            Some(v) => rhs -= c * v,
-                            None => terms.push((free_of[j], c)),
-                        }
-                    }
-                    if terms.is_empty() {
-                        let violated = match r.relation {
-                            Relation::Le => rhs < -1e-9,
-                            Relation::Ge => rhs > 1e-9,
-                            Relation::Eq => rhs.abs() > 1e-9,
-                        };
-                        if violated {
-                            node_infeasible = true;
-                            break;
-                        }
-                        continue;
-                    }
-                    lp_rows.push(LpRow {
-                        terms,
-                        relation: r.relation,
-                        rhs,
-                    });
-                }
-                if node_infeasible {
-                    break 'resolve;
-                }
                 let lp = LpProblem {
-                    num_vars: free.len(),
-                    lb: free.iter().map(|&j| base_lb[j]).collect(),
-                    ub: free
-                        .iter()
-                        .map(|&j| {
-                            if is_binary[j] && implied_ub[j] {
-                                f64::INFINITY
-                            } else {
-                                base_ub[j]
-                            }
-                        })
-                        .collect(),
-                    objective: free.iter().map(|&j| objective[j]).collect(),
-                    rows: lp_rows,
+                    num_vars: n,
+                    lb: lb.clone(),
+                    ub: ub.clone(),
+                    objective: objective.clone(),
+                    rows: rows.clone(),
                 };
                 stats.lp_solves += 1;
-                let outcome = lp.solve();
-                let sol = match outcome {
+                let solved = match &warm {
+                    Some(basis) => {
+                        stats.warm_eligible += 1;
+                        backend.solve_warm(&lp, basis)
+                    }
+                    None => backend.solve(&lp),
+                };
+                if solved.warmed {
+                    stats.warm_starts += 1;
+                }
+                warm = solved.basis.map(Rc::new);
+                let sol = match solved.outcome {
                     LpOutcome::Optimal(s) => s,
                     LpOutcome::Infeasible => break 'resolve, // prune
                     LpOutcome::Unbounded => {
@@ -549,7 +565,7 @@ impl BranchAndBound {
                     }
                     LpOutcome::IterationLimit => return Err(SolveError::Numerical),
                 };
-                let node_obj = sol.objective + fixed_obj;
+                let node_obj = sol.objective;
                 // Every LP solve of the root node (including re-solves
                 // after valid lazy cuts) bounds the whole problem from
                 // below.
@@ -564,14 +580,9 @@ impl BranchAndBound {
                     }
                 }
 
-                // Reassemble full values.
-                let mut full = vec![0.0f64; n];
-                for j in 0..n {
-                    full[j] = match fixed[j] {
-                        Some(v) => v,
-                        None => sol.values[free_of[j]],
-                    };
-                }
+                // The solve covers the full variable space (fixed
+                // binaries sit at their pinned bound).
+                let full = sol.values;
 
                 // Find the most fractional binary.
                 let mut branch_var = None;
@@ -630,18 +641,27 @@ impl BranchAndBound {
                     }
                     Some(j) => {
                         // Branch: explore the side nearer the LP value
-                        // first (pushed last => popped first).
+                        // first (pushed last => popped first). Both
+                        // children share this node's final basis.
                         let x = full[j];
                         let mut down = node.fixes.clone();
                         down.push((j, false));
                         let mut up = node.fixes.clone();
                         up.push((j, true));
+                        let down = Node {
+                            fixes: down,
+                            basis: warm.clone(),
+                        };
+                        let up = Node {
+                            fixes: up,
+                            basis: warm.clone(),
+                        };
                         if x >= 0.5 {
-                            stack.push(Node { fixes: down });
-                            stack.push(Node { fixes: up });
+                            stack.push(down);
+                            stack.push(up);
                         } else {
-                            stack.push(Node { fixes: up });
-                            stack.push(Node { fixes: down });
+                            stack.push(up);
+                            stack.push(down);
                         }
                         break 'resolve;
                     }

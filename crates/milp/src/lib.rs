@@ -6,10 +6,13 @@
 //!
 //! * [`Model`] — a declarative model API (binary/continuous variables,
 //!   linear constraints, linear objective),
-//! * [`simplex`] — a dense two-phase primal simplex solver for the LP
-//!   relaxation (Dantzig pricing with a Bland's-rule anti-cycling fallback),
+//! * [`backend`] — the pluggable [`LpBackend`] trait over two LP solvers:
+//!   [`simplex`], a dense two-phase primal tableau kept as the reference
+//!   backend, and [`revised`], a revised bounded-variable simplex with
+//!   native bound handling and dual-simplex warm starts (the default),
 //! * [`BranchAndBound`] — an exact branch-and-bound search over the binary
-//!   variables, with warm-start incumbents and lazy-constraint callbacks
+//!   variables, with warm-start incumbents, per-node LP basis reuse
+//!   through [`LpBackend::solve_warm`], and lazy-constraint callbacks
 //!   (the mechanism the ring builder uses to separate conflict constraints
 //!   on demand instead of enumerating all `O(|E|²)` pairs up front).
 //!
@@ -32,15 +35,19 @@
 //! ```
 //!
 //! Solves report spans (`milp-solve`), counters (`milp.nodes`,
-//! `milp.lp_solves`, `simplex.pivots`, …) and a `milp.solve_us`
-//! histogram to `xring-obs` when tracing is enabled; the disabled path
-//! costs one relaxed atomic load. Convergence telemetry — (elapsed,
+//! `milp.lp_solves`, `simplex.pivots`, `simplex.warm_starts`,
+//! `simplex.cold_starts`, plus per-backend `simplex.pivots.dense` /
+//! `simplex.pivots.revised` variants — attributed in the [`backend`]
+//! layer, never by the raw kernels) and a `milp.solve_us` histogram to
+//! `xring-obs` when tracing is enabled; the disabled path costs one
+//! relaxed atomic load. Convergence telemetry — (elapsed,
 //! nodes, incumbent, best bound, gap) events at incumbent updates and
 //! on a node stride — streams through the [`progress`] module to
 //! per-solve observers and an optional process-global JSONL sink.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bnb;
 pub mod error;
 pub mod expr;
@@ -49,8 +56,10 @@ pub mod fault;
 pub mod model;
 pub mod presolve;
 pub mod progress;
+pub mod revised;
 pub mod simplex;
 
+pub use backend::{BackendSolve, Basis, DenseBackend, LpBackend, LpBackendKind};
 pub use bnb::{BranchAndBound, MilpSolution, SolveStats};
 pub use error::SolveError;
 pub use expr::{LinExpr, VarId};
@@ -60,4 +69,5 @@ pub use progress::{
     ConvergenceCollector, ConvergenceSummary, ProgressEvent, ProgressKind, ProgressObserver,
     ProgressSink,
 };
+pub use revised::RevisedSimplex;
 pub use simplex::{LpOutcome, LpProblem, LpSolution};

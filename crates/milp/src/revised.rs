@@ -1,0 +1,1163 @@
+//! Revised bounded-variable simplex with dual-simplex warm starts.
+//!
+//! Unlike the dense tableau in [`crate::simplex`], this backend:
+//!
+//! * keeps the constraint matrix **column-wise sparse** and maintains an
+//!   explicit dense `B⁻¹` with product-form updates (one rank-1 update
+//!   per pivot, periodic refactorization for numerical hygiene);
+//! * treats `lb ≤ x ≤ ub` **natively**: a nonbasic variable rests at its
+//!   lower or upper bound and may *bound-flip* without a basis change,
+//!   so finite upper bounds cost no extra rows (the all-binary XRing
+//!   models roughly halve their row count);
+//! * supports **warm starts**: a child branch-and-bound node differs
+//!   from its parent only in one variable's bounds, so the parent's
+//!   optimal basis stays dual feasible (after flipping nonbasic
+//!   statuses, always possible for bounded binaries) and a short dual
+//!   simplex run restores primal feasibility instead of a cold
+//!   two-phase solve. Appended lazy-cut rows extend the basis with
+//!   their logicals basic, via the block-triangular `B⁻¹` update.
+//!
+//! Every row `i` gets a logical variable `n + i` (`Ge` rows are negated
+//! to `Le` first, so logicals always have coefficient `+1` and bounds
+//! `[0, ∞)` for inequalities, `[0, 0]` for equalities). Cold solves
+//! start from the all-logical basis: when flipping nonbasic variables
+//! restores dual feasibility (always, for the ring models' nonnegative
+//! objectives) the dual simplex runs directly; otherwise a composite
+//! primal phase 1 drives out infeasibility first.
+
+use crate::backend::{record_counters, BackendSolve, Basis, LpBackend};
+use crate::model::Relation;
+use crate::simplex::{LpOutcome, LpProblem, LpSolution, EPS};
+
+/// Primal feasibility tolerance on the scaled rows.
+const PFEAS: f64 = 1e-7;
+/// Minimum pivot magnitude accepted in either ratio test.
+const PIVOT_TOL: f64 = 1e-7;
+/// Dual feasibility tolerance on the scaled reduced costs.
+const DTOL: f64 = 1e-9;
+/// Eta updates between `B⁻¹` refactorizations.
+const REFACTOR_INTERVAL: usize = 100;
+
+/// The revised bounded-variable simplex backend (default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RevisedSimplex;
+
+impl LpBackend for RevisedSimplex {
+    fn name(&self) -> &'static str {
+        "revised"
+    }
+
+    fn solve(&self, lp: &LpProblem) -> BackendSolve {
+        let mut s = Solver::new(lp);
+        s.set_initial_basis();
+        let outcome = s.run();
+        let basis = match outcome {
+            LpOutcome::Optimal(_) => Some(s.export_basis()),
+            _ => None,
+        };
+        record_counters("revised", s.pivots, s.degenerate, false);
+        BackendSolve {
+            outcome,
+            basis,
+            warmed: false,
+        }
+    }
+
+    fn solve_warm(&self, lp: &LpProblem, warm: &Basis) -> BackendSolve {
+        let mut s = Solver::new(lp);
+        let warmed = s.adopt_basis(warm);
+        if !warmed {
+            s.set_initial_basis();
+        }
+        let outcome = s.run();
+        let basis = match outcome {
+            LpOutcome::Optimal(_) => Some(s.export_basis()),
+            _ => None,
+        };
+        record_counters("revised", s.pivots, s.degenerate, warmed);
+        BackendSolve {
+            outcome,
+            basis,
+            warmed,
+        }
+    }
+}
+
+const NONE: usize = usize::MAX;
+
+struct Solver<'a> {
+    lp: &'a LpProblem,
+    n: usize,
+    m: usize,
+    /// n + m: structural variables then one logical per row.
+    nt: usize,
+    /// Scaled sparse columns of the structural variables.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Signed row scale: scaled row = `row_factor[i] ×` original row
+    /// (negative for `Ge` rows, which are normalized to `Le`).
+    row_factor: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Scaled objective (zero on logicals).
+    cost: Vec<f64>,
+    /// Scaled right-hand sides.
+    rhs: Vec<f64>,
+    basic: Vec<usize>,
+    /// Variable → basis row, `NONE` when nonbasic.
+    pos: Vec<usize>,
+    at_upper: Vec<bool>,
+    /// Basic variable values, indexed by basis row.
+    xb: Vec<f64>,
+    /// Row-major dense `B⁻¹` for the scaled matrix.
+    binv: Vec<f64>,
+    pivots: usize,
+    degenerate: usize,
+    iterations: usize,
+    iteration_limit: usize,
+    bland_threshold: usize,
+    /// Leaky-bucket stall score: +2 per step without primal or dual
+    /// progress, −1 per progressing step. At `stall_limit` the pivot
+    /// rules switch to Bland until the score drains (much earlier than
+    /// the global `bland_threshold`, so a degenerate cycle — even one
+    /// interleaved with near-zero "progress" steps — costs hundreds of
+    /// iterations, not thousands).
+    stalled: usize,
+    stall_limit: usize,
+    since_refactor: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn new(lp: &'a LpProblem) -> Self {
+        let n = lp.num_vars;
+        let m = lp.rows.len();
+        assert_eq!(lp.lb.len(), n);
+        assert_eq!(lp.ub.len(), n);
+        assert_eq!(lp.objective.len(), n);
+
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        for j in 0..n {
+            assert!(lp.lb[j].is_finite(), "lower bounds must be finite");
+            assert!(lp.ub[j] >= lp.lb[j] - EPS, "ub < lb for var {j}");
+            lower.push(lp.lb[j]);
+            upper.push(lp.ub[j].max(lp.lb[j]));
+        }
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut row_factor = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for (i, r) in lp.rows.iter().enumerate() {
+            let maxc = r
+                .terms
+                .iter()
+                .map(|&(_, c)| c.abs())
+                .fold(0.0f64, f64::max)
+                .max(r.rhs.abs());
+            let scale = if maxc > 1e-12 { 1.0 / maxc } else { 1.0 };
+            let factor = if r.relation == Relation::Ge {
+                -scale
+            } else {
+                scale
+            };
+            for &(j, c) in &r.terms {
+                assert!(j < n, "row references unknown variable {j}");
+                cols[j].push((i, c * factor));
+            }
+            rhs.push(r.rhs * factor);
+            row_factor.push(factor);
+            // Logical bounds: inequalities (Le, and Ge-negated-to-Le)
+            // get a slack in [0, ∞); equalities a fixed slack at 0.
+            if r.relation == Relation::Eq {
+                lower.push(0.0);
+                upper.push(0.0);
+            } else {
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+            }
+        }
+
+        let obj_scale = {
+            let maxc = lp.objective.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+            if maxc > 1e-12 {
+                1.0 / maxc
+            } else {
+                1.0
+            }
+        };
+        let mut cost = vec![0.0; n + m];
+        for (c, obj) in cost.iter_mut().zip(&lp.objective) {
+            *c = obj * obj_scale;
+        }
+
+        Solver {
+            lp,
+            n,
+            m,
+            nt: n + m,
+            cols,
+            row_factor,
+            lower,
+            upper,
+            cost,
+            rhs,
+            basic: Vec::new(),
+            pos: vec![NONE; n + m],
+            at_upper: vec![false; n + m],
+            xb: vec![0.0; m],
+            binv: Vec::new(),
+            pivots: 0,
+            degenerate: 0,
+            iterations: 0,
+            iteration_limit: 20_000 + 200 * (m + n),
+            bland_threshold: 5_000 + 20 * (m + n),
+            stalled: 0,
+            stall_limit: 100 + m,
+            since_refactor: 0,
+        }
+    }
+
+    fn set_initial_basis(&mut self) {
+        self.basic = (self.n..self.nt).collect();
+        self.pos = vec![NONE; self.nt];
+        for (i, &b) in self.basic.iter().enumerate() {
+            self.pos[b] = i;
+        }
+        self.at_upper = vec![false; self.nt];
+        self.binv = identity(self.m);
+    }
+
+    /// Adopts a basis exported by an earlier solve of this problem
+    /// family (same rows, possibly appended rows, different bounds).
+    /// Returns false — leaving the solver unconfigured — when the
+    /// snapshot cannot apply.
+    fn adopt_basis(&mut self, warm: &Basis) -> bool {
+        if warm.num_vars != self.n || warm.num_rows > self.m {
+            return false;
+        }
+        if warm.basic.len() != warm.num_rows
+            || warm.at_upper.len() != warm.num_vars + warm.num_rows
+            || warm.binv.len() != warm.num_rows * warm.num_rows
+        {
+            return false;
+        }
+        let old_m = warm.num_rows;
+        let old_nt = self.n + old_m;
+        let mut pos = vec![NONE; self.nt];
+        for (i, &b) in warm.basic.iter().enumerate() {
+            if b >= old_nt || pos[b] != NONE {
+                return false;
+            }
+            pos[b] = i;
+        }
+        let mut basic = warm.basic.clone();
+        let mut at_upper = vec![false; self.nt];
+        at_upper[..self.n].copy_from_slice(&warm.at_upper[..self.n]);
+        at_upper[self.n..old_nt].copy_from_slice(&warm.at_upper[self.n..]);
+
+        let mut binv = identity(self.m);
+        for i in 0..old_m {
+            binv[i * self.m..i * self.m + old_m]
+                .copy_from_slice(&warm.binv[i * old_m..(i + 1) * old_m]);
+        }
+        // Appended rows (lazy cuts): their logicals join the basis, and
+        // B_new = [[B, 0], [C, I]] inverts block-triangularly to
+        // [[B⁻¹, 0], [-C·B⁻¹, I]] where C holds the new rows'
+        // coefficients on the old basic (structural) variables.
+        for i in old_m..self.m {
+            basic.push(self.n + i);
+            pos[self.n + i] = i;
+            let factor = self.row_factor[i];
+            for &(v, c) in &self.lp.rows[i].terms {
+                let Some(&r) = pos.get(v) else { continue };
+                if r == NONE || r >= old_m {
+                    continue;
+                }
+                let coef = c * factor;
+                for t in 0..old_m {
+                    binv[i * self.m + t] -= coef * warm.binv[r * old_m + t];
+                }
+            }
+        }
+        self.basic = basic;
+        self.pos = pos;
+        self.at_upper = at_upper;
+        self.binv = binv;
+        true
+    }
+
+    fn export_basis(&self) -> Basis {
+        Basis {
+            num_vars: self.n,
+            num_rows: self.m,
+            basic: self.basic.clone(),
+            at_upper: self.at_upper.clone(),
+            binv: self.binv.clone(),
+        }
+    }
+
+    fn run(&mut self) -> LpOutcome {
+        self.compute_xb();
+        let dual_feasible = self.make_dual_feasible();
+        if dual_feasible {
+            if let Err(out) = self.dual_simplex() {
+                return out;
+            }
+        } else if let Err(out) = self.primal_phase1() {
+            return out;
+        }
+        // Primal optimization / cleanup. After a successful dual run
+        // this typically performs zero pivots.
+        if let Err(out) = self.primal_phase2() {
+            return out;
+        }
+        self.extract()
+    }
+
+    /// Nonbasic resting value of variable `j`.
+    fn nb_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] && self.upper[j].is_finite() {
+            self.upper[j]
+        } else {
+            self.lower[j]
+        }
+    }
+
+    fn span(&self, j: usize) -> f64 {
+        self.upper[j] - self.lower[j]
+    }
+
+    /// Recomputes `xb = B⁻¹ (b − N x_N)` from scratch.
+    fn compute_xb(&mut self) {
+        let mut r = self.rhs.clone();
+        for j in 0..self.n {
+            if self.pos[j] != NONE {
+                continue;
+            }
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(row, c) in &self.cols[j] {
+                    r[row] -= c * v;
+                }
+            }
+        }
+        // Nonbasic logicals rest at 0 (inequality slack lb, or the
+        // fixed equality slack), contributing nothing.
+        for i in 0..self.m {
+            let mut acc = 0.0;
+            let brow = &self.binv[i * self.m..(i + 1) * self.m];
+            for (t, &rv) in r.iter().enumerate() {
+                acc += brow[t] * rv;
+            }
+            self.xb[i] = acc;
+        }
+    }
+
+    /// `y = c_Bᵀ B⁻¹` for an arbitrary basic cost vector.
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (i, &c) in cb.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let brow = &self.binv[i * self.m..(i + 1) * self.m];
+            for (t, yv) in y.iter_mut().enumerate() {
+                *yv += c * brow[t];
+            }
+        }
+        y
+    }
+
+    /// `α = B⁻¹ A_q` for column `q` (structural or logical).
+    fn ftran(&self, q: usize) -> Vec<f64> {
+        let mut alpha = vec![0.0; self.m];
+        if q < self.n {
+            for &(row, c) in &self.cols[q] {
+                for (i, a) in alpha.iter_mut().enumerate() {
+                    *a += self.binv[i * self.m + row] * c;
+                }
+            }
+        } else {
+            let row = q - self.n;
+            for (i, a) in alpha.iter_mut().enumerate() {
+                *a = self.binv[i * self.m + row];
+            }
+        }
+        alpha
+    }
+
+    /// Reduced cost of nonbasic `j` given `y`.
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            let mut d = self.cost[j];
+            for &(row, c) in &self.cols[j] {
+                d -= y[row] * c;
+            }
+            d
+        } else {
+            -y[j - self.n]
+        }
+    }
+
+    fn objective_y(&self) -> Vec<f64> {
+        let cb: Vec<f64> = self.basic.iter().map(|&b| self.cost[b]).collect();
+        self.btran(&cb)
+    }
+
+    /// Flips nonbasic variables onto the bound their reduced cost
+    /// prefers. Returns false when some variable would need an infinite
+    /// bound to become dual feasible (then primal phase 1 runs instead).
+    fn make_dual_feasible(&mut self) -> bool {
+        let y = self.objective_y();
+        // Two passes: mutating flags before discovering an impossible
+        // flip would leave `at_upper` out of sync with `xb`.
+        let mut flips = Vec::new();
+        for j in 0..self.nt {
+            if self.pos[j] != NONE || self.span(j) <= EPS {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y);
+            if !self.at_upper[j] && d < -DTOL {
+                if !self.upper[j].is_finite() {
+                    return false;
+                }
+                flips.push((j, true));
+            } else if self.at_upper[j] && d > DTOL {
+                flips.push((j, false));
+            }
+        }
+        if !flips.is_empty() {
+            for &(j, up) in &flips {
+                self.at_upper[j] = up;
+            }
+            self.compute_xb();
+        }
+        true
+    }
+
+    /// One product-form (eta) update of `B⁻¹` after `alpha = B⁻¹ A_q`
+    /// enters at basis row `r`.
+    fn update_binv(&mut self, r: usize, alpha: &[f64]) {
+        let m = self.m;
+        let inv = 1.0 / alpha[r];
+        for t in 0..m {
+            self.binv[r * m + t] *= inv;
+        }
+        for (i, &f) in alpha.iter().enumerate() {
+            if i == r || f.abs() <= EPS {
+                continue;
+            }
+            for t in 0..m {
+                self.binv[i * m + t] -= f * self.binv[r * m + t];
+            }
+        }
+        self.since_refactor += 1;
+        if self.since_refactor >= REFACTOR_INTERVAL {
+            self.refactorize();
+        }
+    }
+
+    /// Rebuilds `B⁻¹` from the basic columns by Gauss–Jordan with
+    /// partial pivoting. Returns false on a (numerically) singular
+    /// basis, leaving `binv` untouched.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        let mut work = vec![0.0; m * m];
+        for (i, &b) in self.basic.iter().enumerate() {
+            if b < self.n {
+                for &(row, c) in &self.cols[b] {
+                    work[row * m + i] += c;
+                }
+            } else {
+                work[(b - self.n) * m + i] += 1.0;
+            }
+        }
+        let mut inv = identity(m);
+        for k in 0..m {
+            let mut p = k;
+            let mut best = work[k * m + k].abs();
+            for i in k + 1..m {
+                let v = work[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-10 {
+                return false;
+            }
+            if p != k {
+                for t in 0..m {
+                    work.swap(p * m + t, k * m + t);
+                    inv.swap(p * m + t, k * m + t);
+                }
+            }
+            let piv = 1.0 / work[k * m + k];
+            for t in 0..m {
+                work[k * m + t] *= piv;
+                inv[k * m + t] *= piv;
+            }
+            for i in 0..m {
+                if i == k {
+                    continue;
+                }
+                let f = work[i * m + k];
+                if f.abs() <= EPS {
+                    continue;
+                }
+                for t in 0..m {
+                    work[i * m + t] -= f * work[k * m + t];
+                    inv[i * m + t] -= f * inv[k * m + t];
+                }
+            }
+        }
+        self.binv = inv;
+        self.since_refactor = 0;
+        self.compute_xb();
+        true
+    }
+
+    fn tick(&mut self) -> Result<bool, LpOutcome> {
+        self.iterations += 1;
+        if self.iterations > self.iteration_limit {
+            return Err(LpOutcome::IterationLimit);
+        }
+        Ok(self.iterations > self.bland_threshold || self.stalled >= self.stall_limit)
+    }
+
+    /// Records whether the last step made progress, feeding the
+    /// stall-triggered Bland switch in [`Self::tick`].
+    fn note_progress(&mut self, progressed: bool) {
+        if progressed {
+            self.stalled = self.stalled.saturating_sub(1);
+        } else {
+            self.degenerate += 1;
+            self.stalled += 2;
+        }
+    }
+
+    /// Dual simplex: starting dual feasible, drives out primal bound
+    /// violations. `Err(Infeasible)` when a violated row admits no
+    /// entering column.
+    fn dual_simplex(&mut self) -> Result<(), LpOutcome> {
+        loop {
+            let bland = self.tick()?;
+            // Leaving: most violated basic variable.
+            let mut r = NONE;
+            let mut worst = PFEAS;
+            for i in 0..self.m {
+                let b = self.basic[i];
+                let viol = (self.lower[b] - self.xb[i]).max(self.xb[i] - self.upper[b]);
+                let better = if bland {
+                    // Bland: smallest-index violated basic variable.
+                    viol > PFEAS && (r == NONE || b < self.basic[r])
+                } else {
+                    viol > worst
+                };
+                if better {
+                    worst = viol;
+                    r = i;
+                }
+            }
+            if r == NONE {
+                return Ok(());
+            }
+            let l = self.basic[r];
+            let below = self.xb[r] < self.lower[l];
+            let y = self.objective_y();
+            let w = &self.binv[r * self.m..(r + 1) * self.m];
+
+            // Entering: dual ratio test over movable nonbasic columns.
+            let mut q = NONE;
+            let mut q_alpha: f64 = 0.0;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.nt {
+                if self.pos[j] != NONE || self.span(j) <= EPS {
+                    continue;
+                }
+                let a = if j < self.n {
+                    let mut acc = 0.0;
+                    for &(row, c) in &self.cols[j] {
+                        acc += w[row] * c;
+                    }
+                    acc
+                } else {
+                    w[j - self.n]
+                };
+                if a.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                // x_B[r] moves at rate −aσ per unit of entering step.
+                let rate = -a * sigma;
+                let helps = if below { rate > 0.0 } else { rate < 0.0 };
+                if !helps {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let ratio = (d * sigma).max(0.0) / a.abs();
+                let better = if bland {
+                    ratio < best_ratio - DTOL || (ratio < best_ratio + DTOL && (q == NONE || j < q))
+                } else {
+                    ratio < best_ratio - DTOL
+                        || (ratio < best_ratio + DTOL && a.abs() > q_alpha.abs())
+                };
+                if better {
+                    best_ratio = ratio;
+                    q = j;
+                    q_alpha = a;
+                }
+            }
+            if q == NONE {
+                return Err(LpOutcome::Infeasible);
+            }
+
+            let sigma = if self.at_upper[q] { -1.0 } else { 1.0 };
+            let target = if below { self.lower[l] } else { self.upper[l] };
+            let t = ((self.xb[r] - target) / (q_alpha * sigma)).max(0.0);
+            let alpha = self.ftran(q);
+            if self.span(q).is_finite() && t > self.span(q) + EPS {
+                // The entering column hits its own opposite bound first:
+                // bound flip, no basis change.
+                let step = self.span(q);
+                for (x, &a) in self.xb.iter_mut().zip(&alpha) {
+                    *x -= sigma * step * a;
+                }
+                self.at_upper[q] = !self.at_upper[q];
+                self.pivots += 1;
+                // A flip along a zero reduced cost advances neither
+                // bound — classic dual-degenerate cycling material.
+                self.note_progress(best_ratio > DTOL);
+                continue;
+            }
+            for (x, &a) in self.xb.iter_mut().zip(&alpha) {
+                *x -= sigma * t * a;
+            }
+            self.xb[r] = self.nb_value(q) + sigma * t;
+            self.pos[l] = NONE;
+            self.at_upper[l] = !below;
+            self.basic[r] = q;
+            self.pos[q] = r;
+            self.pivots += 1;
+            // Dual progress is the dual-objective gain `violation *
+            // ratio`; a positive primal step `t` alone proves nothing
+            // (a dual cycle moves `x_B` every iteration).
+            self.note_progress(best_ratio > DTOL);
+            self.update_binv(r, &alpha);
+        }
+    }
+
+    /// Composite primal phase 1: minimizes total bound violation of the
+    /// basic variables. `Err(Infeasible)` when no improving column
+    /// exists while violation remains.
+    fn primal_phase1(&mut self) -> Result<(), LpOutcome> {
+        loop {
+            let bland = self.tick()?;
+            let mut infeasible = false;
+            let mut cb = vec![0.0; self.m];
+            for (i, ci) in cb.iter_mut().enumerate() {
+                let b = self.basic[i];
+                if self.xb[i] < self.lower[b] - PFEAS {
+                    *ci = -1.0;
+                    infeasible = true;
+                } else if self.xb[i] > self.upper[b] + PFEAS {
+                    *ci = 1.0;
+                    infeasible = true;
+                }
+            }
+            if !infeasible {
+                return Ok(());
+            }
+            let y = self.btran(&cb);
+            // Entering: most negative auxiliary reduced cost (the
+            // auxiliary cost of every nonbasic column is zero).
+            let mut q = NONE;
+            let mut best = -DTOL;
+            for j in 0..self.nt {
+                if self.pos[j] != NONE || self.span(j) <= EPS {
+                    continue;
+                }
+                let d = -{
+                    if j < self.n {
+                        let mut acc = 0.0;
+                        for &(row, c) in &self.cols[j] {
+                            acc += y[row] * c;
+                        }
+                        acc
+                    } else {
+                        y[j - self.n]
+                    }
+                };
+                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                let improve = d * sigma;
+                let eligible = if bland {
+                    improve < -DTOL && q == NONE
+                } else {
+                    improve < best
+                };
+                if eligible {
+                    best = improve;
+                    q = j;
+                }
+            }
+            if q == NONE {
+                return Err(LpOutcome::Infeasible);
+            }
+            let sigma = if self.at_upper[q] { -1.0 } else { 1.0 };
+            let alpha = self.ftran(q);
+            self.phase1_step(q, sigma, &alpha)?;
+        }
+    }
+
+    /// Ratio test + pivot for one phase-1 iteration.
+    fn phase1_step(&mut self, q: usize, sigma: f64, alpha: &[f64]) -> Result<(), LpOutcome> {
+        let mut t_best = if self.span(q).is_finite() {
+            self.span(q)
+        } else {
+            f64::INFINITY
+        };
+        let mut blocking = NONE;
+        let mut blocking_alpha: f64 = 0.0;
+        for (i, &ai) in alpha.iter().enumerate() {
+            let delta = -sigma * ai;
+            if delta.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let b = self.basic[i];
+            let (lo, hi) = (self.lower[b], self.upper[b]);
+            let t = if self.xb[i] < lo - PFEAS {
+                // Infeasible below: blocks only when it reaches lo.
+                if delta > 0.0 {
+                    (lo - self.xb[i]) / delta
+                } else {
+                    continue;
+                }
+            } else if self.xb[i] > hi + PFEAS {
+                if delta < 0.0 {
+                    (self.xb[i] - hi) / -delta
+                } else {
+                    continue;
+                }
+            } else if delta < 0.0 {
+                if lo.is_finite() {
+                    (self.xb[i] - lo) / -delta
+                } else {
+                    continue;
+                }
+            } else if hi.is_finite() {
+                (hi - self.xb[i]) / delta
+            } else {
+                continue;
+            };
+            let t = t.max(0.0);
+            if t < t_best - EPS
+                || (t < t_best + EPS && (blocking == NONE || ai.abs() > blocking_alpha.abs()))
+            {
+                t_best = t;
+                blocking = i;
+                blocking_alpha = ai;
+            }
+        }
+        if t_best.is_infinite() {
+            // Total violation decreases forever yet is bounded below by
+            // zero — numerical trouble.
+            return Err(LpOutcome::IterationLimit);
+        }
+        self.apply_primal_step(q, sigma, t_best, blocking, alpha);
+        Ok(())
+    }
+
+    /// Primal phase 2: standard bounded-variable primal simplex on the
+    /// true objective. `Err(Unbounded)` on an unblocked improving ray.
+    fn primal_phase2(&mut self) -> Result<(), LpOutcome> {
+        loop {
+            let bland = self.tick()?;
+            let y = self.objective_y();
+            let mut q = NONE;
+            let mut q_sigma = 1.0;
+            let mut best = -DTOL;
+            for j in 0..self.nt {
+                if self.pos[j] != NONE || self.span(j) <= EPS {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                let improve = d * sigma;
+                let eligible = if bland {
+                    improve < -DTOL && q == NONE
+                } else {
+                    improve < best
+                };
+                if eligible {
+                    best = improve;
+                    q = j;
+                    q_sigma = sigma;
+                }
+            }
+            if q == NONE {
+                return Ok(());
+            }
+            let alpha = self.ftran(q);
+            let mut t_best = if self.span(q).is_finite() {
+                self.span(q)
+            } else {
+                f64::INFINITY
+            };
+            let mut blocking = NONE;
+            let mut blocking_alpha: f64 = 0.0;
+            for (i, &ai) in alpha.iter().enumerate() {
+                let delta = -q_sigma * ai;
+                if delta.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let b = self.basic[i];
+                let t = if delta < 0.0 {
+                    if self.lower[b].is_finite() {
+                        ((self.xb[i] - self.lower[b]) / -delta).max(0.0)
+                    } else {
+                        continue;
+                    }
+                } else if self.upper[b].is_finite() {
+                    ((self.upper[b] - self.xb[i]) / delta).max(0.0)
+                } else {
+                    continue;
+                };
+                if t < t_best - EPS
+                    || (t < t_best + EPS && (blocking == NONE || ai.abs() > blocking_alpha.abs()))
+                {
+                    t_best = t;
+                    blocking = i;
+                    blocking_alpha = ai;
+                }
+            }
+            if t_best.is_infinite() {
+                return Err(LpOutcome::Unbounded);
+            }
+            self.apply_primal_step(q, q_sigma, t_best, blocking, &alpha);
+        }
+    }
+
+    /// Applies a primal step of length `t` on entering column `q`
+    /// (direction `sigma`): a basis exchange when a basic variable
+    /// blocks, a bound flip when the entering column blocks itself.
+    fn apply_primal_step(&mut self, q: usize, sigma: f64, t: f64, blocking: usize, alpha: &[f64]) {
+        for (x, &a) in self.xb.iter_mut().zip(alpha) {
+            *x -= sigma * t * a;
+        }
+        self.pivots += 1;
+        if blocking == NONE {
+            // Bound flip across the full span: always real movement.
+            self.at_upper[q] = !self.at_upper[q];
+            self.note_progress(true);
+            return;
+        }
+        self.note_progress(t > EPS);
+        let r = blocking;
+        let l = self.basic[r];
+        // The leaving variable exits on the bound it ran into.
+        let delta = -sigma * alpha[r];
+        self.at_upper[l] = delta > 0.0 && self.upper[l].is_finite();
+        self.pos[l] = NONE;
+        self.xb[r] = self.nb_value(q) + sigma * t;
+        self.basic[r] = q;
+        self.pos[q] = r;
+        self.update_binv(r, alpha);
+    }
+
+    fn extract(&mut self) -> LpOutcome {
+        let mut values = vec![0.0; self.n];
+        for (j, v) in values.iter_mut().enumerate() {
+            let mut raw = match self.pos[j] {
+                NONE => self.nb_value(j),
+                r => self.xb[r],
+            };
+            // Clamp roundoff overshoots (sequential, so a degenerate
+            // ub < lb span cannot panic the way `clamp` would).
+            if raw < self.lp.lb[j] {
+                raw = self.lp.lb[j];
+            }
+            if raw > self.lp.ub[j] {
+                raw = self.lp.ub[j];
+            }
+            *v = raw;
+        }
+        let objective: f64 = values
+            .iter()
+            .zip(&self.lp.objective)
+            .map(|(x, c)| x * c)
+            .sum();
+        LpOutcome::Optimal(LpSolution { values, objective })
+    }
+}
+
+fn identity(m: usize) -> Vec<f64> {
+    let mut id = vec![0.0; m * m];
+    for i in 0..m {
+        id[i * m + i] = 1.0;
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::LpRow;
+
+    fn row(terms: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> LpRow {
+        LpRow {
+            terms,
+            relation,
+            rhs,
+        }
+    }
+
+    fn optimal(o: LpOutcome) -> LpSolution {
+        match o {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    fn solve(p: &LpProblem) -> LpOutcome {
+        RevisedSimplex.solve(p).outcome
+    }
+
+    #[test]
+    fn revised_simple_2d_lp() {
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+            objective: vec![-1.0, -1.0],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 2.0)], Relation::Le, 4.0),
+                row(vec![(0, 3.0), (1, 1.0)], Relation::Le, 6.0),
+            ],
+        };
+        let s = optimal(solve(&p));
+        assert!((s.objective + 14.0 / 5.0).abs() < 1e-6, "{}", s.objective);
+        assert!((s.values[0] - 1.6).abs() < 1e-6);
+        assert!((s.values[1] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn revised_handles_bounds_without_rows() {
+        // min -x with 0 <= x <= 3.5 and no constraint rows at all.
+        let p = LpProblem {
+            num_vars: 1,
+            lb: vec![0.0],
+            ub: vec![3.5],
+            objective: vec![-1.0],
+            rows: vec![],
+        };
+        let s = optimal(solve(&p));
+        assert!((s.values[0] - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn revised_detects_unbounded() {
+        let p = LpProblem {
+            num_vars: 1,
+            lb: vec![0.0],
+            ub: vec![f64::INFINITY],
+            objective: vec![-1.0],
+            rows: vec![],
+        };
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn revised_detects_infeasible() {
+        let p = LpProblem {
+            num_vars: 1,
+            lb: vec![0.0],
+            ub: vec![f64::INFINITY],
+            objective: vec![0.0],
+            rows: vec![
+                row(vec![(0, 1.0)], Relation::Le, 1.0),
+                row(vec![(0, 1.0)], Relation::Ge, 2.0),
+            ],
+        };
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn revised_equality_and_ge_constraints() {
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+            objective: vec![1.0, 1.0],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0),
+                row(vec![(0, 1.0)], Relation::Ge, 0.5),
+            ],
+        };
+        let s = optimal(solve(&p));
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!(s.values[0] >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn revised_assignment_relaxation_is_integral() {
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let nv = 9;
+        let var = |i: usize, j: usize| i * 3 + j;
+        let mut rows = Vec::new();
+        for i in 0..3 {
+            rows.push(row(
+                (0..3).map(|j| (var(i, j), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            ));
+            rows.push(row(
+                (0..3).map(|j| (var(j, i), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            ));
+        }
+        let p = LpProblem {
+            num_vars: nv,
+            lb: vec![0.0; nv],
+            ub: vec![1.0; nv],
+            objective: (0..3)
+                .flat_map(|i| (0..3).map(move |j| cost[i][j]))
+                .collect(),
+            rows,
+        };
+        let s = optimal(solve(&p));
+        assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn revised_warm_start_after_bound_fix() {
+        // Branch-and-bound shape: solve, fix a binary to each side via
+        // lb = ub, re-solve warm. Warm results must match cold solves.
+        let p = LpProblem {
+            num_vars: 3,
+            lb: vec![0.0; 3],
+            ub: vec![1.0; 3],
+            objective: vec![-2.0, -1.0, -3.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 2.0)],
+        };
+        let root = RevisedSimplex.solve(&p);
+        let basis = root.basis.expect("optimal root must export a basis");
+        for fix in [0.0, 1.0] {
+            let mut child = p.clone();
+            child.lb[2] = fix;
+            child.ub[2] = fix;
+            let warm = RevisedSimplex.solve_warm(&child, &basis);
+            assert!(warm.warmed, "basis must be adopted");
+            let cold = optimal(child.solve());
+            let s = optimal(warm.outcome);
+            assert!(
+                (s.objective - cold.objective).abs() < 1e-6,
+                "fix={fix}: warm {} vs cold {}",
+                s.objective,
+                cold.objective
+            );
+        }
+    }
+
+    #[test]
+    fn revised_warm_start_with_appended_cut_rows() {
+        // min -x - y, x + y <= 2 on [0,1]² → optimum (1,1). Append a cut
+        // x + y <= 1 afterwards and warm-start from the parent basis.
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0; 2],
+            ub: vec![1.0; 2],
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 2.0)],
+        };
+        let root = RevisedSimplex.solve(&p);
+        let basis = root.basis.expect("basis");
+        let mut cut = p.clone();
+        cut.rows
+            .push(row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0));
+        let warm = RevisedSimplex.solve_warm(&cut, &basis);
+        assert!(warm.warmed);
+        let s = optimal(warm.outcome);
+        assert!((s.objective + 1.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn revised_warm_start_detects_child_infeasibility() {
+        // x + y >= 2 with both binaries; fixing both to 0 is infeasible.
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0; 2],
+            ub: vec![1.0; 2],
+            objective: vec![1.0, 1.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0)],
+        };
+        let root = RevisedSimplex.solve(&p);
+        let basis = root.basis.expect("basis");
+        let mut child = p.clone();
+        for j in 0..2 {
+            child.lb[j] = 0.0;
+            child.ub[j] = 0.0;
+        }
+        let warm = RevisedSimplex.solve_warm(&child, &basis);
+        assert!(matches!(warm.outcome, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn revised_rejects_mismatched_basis_and_recovers() {
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0; 2],
+            ub: vec![1.0; 2],
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0)],
+        };
+        let other = LpProblem {
+            num_vars: 3,
+            lb: vec![0.0; 3],
+            ub: vec![1.0; 3],
+            objective: vec![-1.0; 3],
+            rows: vec![],
+        };
+        let foreign = RevisedSimplex.solve(&other).basis.expect("basis");
+        let solved = RevisedSimplex.solve_warm(&p, &foreign);
+        assert!(!solved.warmed, "foreign basis must be rejected");
+        let s = optimal(solved.outcome);
+        assert!((s.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn revised_shifted_and_negative_bounds() {
+        // min x + 2y with x in [-3, -1], y in [2, 5], x + y >= 0.
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![-3.0, 2.0],
+            ub: vec![-1.0, 5.0],
+            objective: vec![1.0, 2.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 0.0)],
+        };
+        let s = optimal(solve(&p));
+        let cold = optimal(p.solve());
+        assert!(
+            (s.objective - cold.objective).abs() < 1e-6,
+            "revised {} vs dense {}",
+            s.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn revised_degenerate_lp_terminates() {
+        let mut rows = Vec::new();
+        for k in 1..20 {
+            rows.push(row(vec![(0, k as f64), (1, 1.0)], Relation::Le, 10.0));
+        }
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+            objective: vec![-1.0, -1.0],
+            rows,
+        };
+        let s = optimal(solve(&p));
+        assert!(s.objective < 0.0);
+    }
+}

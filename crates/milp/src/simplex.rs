@@ -60,19 +60,130 @@ pub enum LpOutcome {
 }
 
 impl LpProblem {
-    /// Solves the LP with two-phase primal simplex.
+    /// Solves the LP with the dense two-phase primal simplex.
     ///
-    /// Reports pivot counts (and how many pivots were degenerate — a
-    /// blocking ratio of zero, so the basis changed without progress)
-    /// to the observability layer as `simplex.pivots` /
-    /// `simplex.degenerate_pivots`.
+    /// This is the raw kernel entry: it records **no** observability
+    /// counters, so probe solves and re-solves do not inflate
+    /// `simplex.pivots`. Counter attribution lives in the
+    /// [`crate::backend::LpBackend`] layer — go through a backend
+    /// (e.g. [`crate::backend::DenseBackend`]) when telemetry should
+    /// see the solve.
     pub fn solve(&self) -> LpOutcome {
         let mut pivots = 0usize;
         let mut degenerate = 0usize;
-        let outcome = self.solve_impl(&mut pivots, &mut degenerate);
-        xring_obs::counter("simplex.pivots", pivots as u64);
-        xring_obs::counter("simplex.degenerate_pivots", degenerate as u64);
-        outcome
+        self.solve_counted(&mut pivots, &mut degenerate)
+    }
+
+    /// Number of rows the dense tableau materializes for this problem:
+    /// user rows with at least one free variable, plus one upper-bound
+    /// row per free variable with a finite span. Fixed variables
+    /// (`ub − lb ≤ eps`) are substituted out before the tableau is
+    /// built and contribute neither a column nor a redundant ub row.
+    pub fn materialized_row_count(&self) -> usize {
+        let fixed = |j: usize| self.ub[j] - self.lb[j] <= EPS;
+        let user = self
+            .rows
+            .iter()
+            .filter(|r| r.terms.iter().any(|&(j, _)| !fixed(j)))
+            .count();
+        let ub_rows = (0..self.num_vars)
+            .filter(|&j| !fixed(j) && (self.ub[j] - self.lb[j]).is_finite())
+            .count();
+        user + ub_rows
+    }
+
+    /// Dense solve with pivot accounting handed back to the caller.
+    ///
+    /// Variables fixed by their bounds (`ub − lb ≤ eps` — e.g. binaries
+    /// pinned by presolve implications or branch-and-bound fixes) are
+    /// substituted out first: their columns disappear, their redundant
+    /// ub rows are never emitted, and rows left with no free terms are
+    /// checked for consistency directly.
+    pub(crate) fn solve_counted(&self, pivots: &mut usize, degenerate: &mut usize) -> LpOutcome {
+        assert_eq!(self.lb.len(), self.num_vars);
+        assert_eq!(self.ub.len(), self.num_vars);
+        assert_eq!(self.objective.len(), self.num_vars);
+        let fixed: Vec<bool> = (0..self.num_vars)
+            .map(|j| {
+                assert!(self.lb[j].is_finite(), "lower bounds must be finite");
+                assert!(self.ub[j] >= self.lb[j] - EPS, "ub < lb for var {j}");
+                self.ub[j] - self.lb[j] <= EPS
+            })
+            .collect();
+        if !fixed.iter().any(|&f| f) {
+            return self.solve_impl(pivots, degenerate);
+        }
+
+        // Substitute fixed variables out.
+        let mut map = vec![usize::MAX; self.num_vars];
+        let mut lb = Vec::new();
+        let mut ub = Vec::new();
+        let mut objective = Vec::new();
+        for j in 0..self.num_vars {
+            if !fixed[j] {
+                map[j] = lb.len();
+                lb.push(self.lb[j]);
+                ub.push(self.ub[j]);
+                objective.push(self.objective[j]);
+            }
+        }
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for r in &self.rows {
+            let mut rhs = r.rhs;
+            let mut scale = r.rhs.abs().max(1.0);
+            let mut terms = Vec::with_capacity(r.terms.len());
+            for &(j, c) in &r.terms {
+                assert!(j < self.num_vars, "row references unknown variable {j}");
+                if fixed[j] {
+                    let contrib = c * self.lb[j];
+                    rhs -= contrib;
+                    scale = scale.max(contrib.abs());
+                } else {
+                    terms.push((map[j], c));
+                }
+            }
+            if terms.is_empty() {
+                // Every variable in the row is fixed: the row is either
+                // trivially satisfied or the node is infeasible.
+                let tol = 1e-7 * scale;
+                let ok = match r.relation {
+                    Relation::Le => rhs >= -tol,
+                    Relation::Ge => rhs <= tol,
+                    Relation::Eq => rhs.abs() <= tol,
+                };
+                if !ok {
+                    return LpOutcome::Infeasible;
+                }
+                continue;
+            }
+            rows.push(LpRow {
+                terms,
+                relation: r.relation,
+                rhs,
+            });
+        }
+        let reduced = LpProblem {
+            num_vars: lb.len(),
+            lb,
+            ub,
+            objective,
+            rows,
+        };
+        match reduced.solve_impl(pivots, degenerate) {
+            LpOutcome::Optimal(s) => {
+                let mut values = vec![0.0; self.num_vars];
+                for j in 0..self.num_vars {
+                    values[j] = if fixed[j] {
+                        self.lb[j]
+                    } else {
+                        s.values[map[j]]
+                    };
+                }
+                let objective: f64 = values.iter().zip(&self.objective).map(|(x, c)| x * c).sum();
+                LpOutcome::Optimal(LpSolution { values, objective })
+            }
+            other => other,
+        }
     }
 
     #[allow(clippy::needless_range_loop)] // tableau code reads best with explicit indices
@@ -607,6 +718,68 @@ mod tests {
         for v in &s.values {
             assert!(v.fract().abs() < 1e-6 || (v.fract() - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn fixed_variables_emit_no_ub_rows() {
+        // Three binaries; presolve-style implication has fixed x1 = 1.
+        // The dense tableau must materialize ub rows only for the two
+        // free binaries, and no column/row at all for the fixed one.
+        let p = LpProblem {
+            num_vars: 3,
+            lb: vec![0.0, 1.0, 0.0],
+            ub: vec![1.0, 1.0, 1.0],
+            objective: vec![2.0, 5.0, 1.0],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Ge, 2.0),
+                row(vec![(1, 1.0)], Relation::Le, 1.0),
+            ],
+        };
+        // 1 user row keeps a free term (the Le row collapses entirely
+        // onto the fixed variable) + 2 free-variable ub rows.
+        assert_eq!(p.materialized_row_count(), 3);
+        let s = optimal(p.solve());
+        assert!((s.values[1] - 1.0).abs() < 1e-9, "fixed value must hold");
+        // x1 = 1 satisfies one unit of the Ge row; cheapest remaining is x2.
+        assert!((s.objective - 6.0).abs() < 1e-6, "obj = {}", s.objective);
+
+        let free = LpProblem {
+            num_vars: 3,
+            lb: vec![0.0, 0.0, 0.0],
+            ub: p.ub.clone(),
+            objective: p.objective.clone(),
+            rows: p.rows.clone(),
+        };
+        // Without the fix all three binaries materialize ub rows.
+        assert_eq!(free.materialized_row_count(), 5);
+    }
+
+    #[test]
+    fn fixed_variables_detect_infeasible_collapsed_rows() {
+        // Both binaries fixed to 0 but an Eq row demands their sum be 1.
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![0.0, 0.0],
+            ub: vec![0.0, 0.0],
+            objective: vec![1.0, 1.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 1.0)],
+        };
+        assert!(matches!(p.solve(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn all_variables_fixed_solves_trivially() {
+        let p = LpProblem {
+            num_vars: 2,
+            lb: vec![1.0, 0.0],
+            ub: vec![1.0, 0.0],
+            objective: vec![3.0, 7.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 2.0)],
+        };
+        assert_eq!(p.materialized_row_count(), 0);
+        let s = optimal(p.solve());
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert_eq!(s.values, vec![1.0, 0.0]);
     }
 
     #[test]

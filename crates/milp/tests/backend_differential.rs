@@ -1,0 +1,319 @@
+//! Differential suite: the dense reference backend and the revised
+//! bounded-variable simplex must agree — same outcome class and, when
+//! optimal, objectives within 1e-6 — on a large seeded population of
+//! random bounded LPs covering feasible, infeasible, unbounded and
+//! degenerate instances, plus warm-started child solves of the
+//! branch-and-bound shape (one variable's bounds pinned).
+//!
+//! All test names contain `backend` so `cargo test -p xring-milp
+//! backend` selects the whole suite.
+
+use xring_milp::{
+    DenseBackend, LpBackend, LpOutcome, LpProblem, LpSolution, Relation, RevisedSimplex,
+};
+
+/// Deterministic split-mix generator (local copy: `xring-milp` sits
+/// below `xring-core`, which owns the shared implementation).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Half-integer in `[lo, hi]`.
+    fn half(&mut self, lo: i64, hi: i64) -> f64 {
+        let steps = ((hi - lo) * 2) as u64 + 1;
+        lo as f64 + self.below(steps) as f64 * 0.5
+    }
+}
+
+fn gen_lp(rng: &mut SplitMix64) -> LpProblem {
+    let n = 1 + rng.below(6) as usize;
+    let m = rng.below(9) as usize;
+    let mut lb = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    let mut objective = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lo = rng.half(-2, 1);
+        // Span mix: fixed (degenerate), unit/binary-like, wide, infinite.
+        let span = match rng.below(10) {
+            0 => 0.0,
+            1..=4 => 1.0,
+            5..=6 => 2.5,
+            7 => 4.0,
+            _ => f64::INFINITY,
+        };
+        lb.push(lo);
+        ub.push(lo + span);
+        objective.push(rng.half(-5, 5));
+    }
+    let mut rows: Vec<xring_milp::simplex::LpRow> = Vec::with_capacity(m);
+    for _ in 0..m {
+        if !rows.is_empty() && rng.below(10) < 2 {
+            // Duplicate an earlier row verbatim: a cheap source of
+            // primal degeneracy (ties in every ratio test).
+            let i = rng.below(rows.len() as u64) as usize;
+            let dup: xring_milp::simplex::LpRow = rows[i].clone();
+            rows.push(dup);
+            continue;
+        }
+        let nnz = 1 + rng.below(n.min(3) as u64) as usize;
+        let mut terms = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let j = rng.below(n as u64) as usize;
+            let mut c = rng.half(-4, 4);
+            if c == 0.0 {
+                c = 1.0;
+            }
+            terms.push((j, c));
+        }
+        let relation = match rng.below(3) {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        rows.push(xring_milp::simplex::LpRow {
+            terms,
+            relation,
+            rhs: rng.half(-6, 6),
+        });
+    }
+    LpProblem {
+        num_vars: n,
+        lb,
+        ub,
+        objective,
+        rows,
+    }
+}
+
+fn outcome_class(o: &LpOutcome) -> &'static str {
+    match o {
+        LpOutcome::Optimal(_) => "optimal",
+        LpOutcome::Infeasible => "infeasible",
+        LpOutcome::Unbounded => "unbounded",
+        LpOutcome::IterationLimit => "iteration-limit",
+    }
+}
+
+/// Max constraint/bound violation of `s` on `lp`.
+fn violation(lp: &LpProblem, s: &LpSolution) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..lp.num_vars {
+        worst = worst.max(lp.lb[j] - s.values[j]);
+        worst = worst.max(s.values[j] - lp.ub[j]);
+    }
+    for r in &lp.rows {
+        let lhs: f64 = r.terms.iter().map(|&(j, c)| c * s.values[j]).sum();
+        let v = match r.relation {
+            Relation::Le => lhs - r.rhs,
+            Relation::Ge => r.rhs - lhs,
+            Relation::Eq => (lhs - r.rhs).abs(),
+        };
+        worst = worst.max(v);
+    }
+    worst
+}
+
+fn check_agreement(lp: &LpProblem, seed_tag: u64) -> &'static str {
+    let dense = DenseBackend.solve(lp).outcome;
+    let revised = RevisedSimplex.solve(lp).outcome;
+    let (dc, rc) = (outcome_class(&dense), outcome_class(&revised));
+    assert_ne!(dc, "iteration-limit", "seed {seed_tag}: dense stalled");
+    assert_ne!(rc, "iteration-limit", "seed {seed_tag}: revised stalled");
+    assert_eq!(dc, rc, "seed {seed_tag}: outcome mismatch on {lp:?}");
+    if let (LpOutcome::Optimal(d), LpOutcome::Optimal(r)) = (&dense, &revised) {
+        assert!(
+            (d.objective - r.objective).abs() < 1e-6,
+            "seed {seed_tag}: dense {} vs revised {} on {lp:?}",
+            d.objective,
+            r.objective
+        );
+        assert!(
+            violation(lp, d) < 1e-6,
+            "seed {seed_tag}: dense solution infeasible"
+        );
+        assert!(
+            violation(lp, r) < 1e-6,
+            "seed {seed_tag}: revised solution infeasible"
+        );
+    }
+    dc
+}
+
+#[test]
+fn backend_agreement_on_1500_seeded_lps() {
+    let mut rng = SplitMix64(0xD1FF_5EED_0001);
+    let mut optimal = 0usize;
+    let mut infeasible = 0usize;
+    let mut unbounded = 0usize;
+    for seed_tag in 0..1500u64 {
+        let lp = gen_lp(&mut rng);
+        match check_agreement(&lp, seed_tag) {
+            "optimal" => optimal += 1,
+            "infeasible" => infeasible += 1,
+            _ => unbounded += 1,
+        }
+    }
+    // The population must genuinely cover every outcome class.
+    assert!(optimal >= 300, "only {optimal} optimal instances");
+    assert!(infeasible >= 100, "only {infeasible} infeasible instances");
+    assert!(unbounded >= 50, "only {unbounded} unbounded instances");
+}
+
+#[test]
+fn backend_agreement_on_warm_started_children() {
+    // Branch-and-bound shape: take an optimal parent, pin one
+    // finite-span variable to a bound, and compare the revised
+    // warm-started child against a dense cold solve of the same child.
+    let mut rng = SplitMix64(0xD1FF_5EED_0002);
+    let mut warm_children = 0usize;
+    let mut seed_tag = 0u64;
+    while warm_children < 1000 {
+        seed_tag += 1;
+        let lp = gen_lp(&mut rng);
+        let parent = RevisedSimplex.solve(&lp);
+        let Some(basis) = parent.basis else { continue };
+        let finite: Vec<usize> = (0..lp.num_vars)
+            .filter(|&j| (lp.ub[j] - lp.lb[j]).is_finite() && lp.ub[j] > lp.lb[j])
+            .collect();
+        if finite.is_empty() {
+            continue;
+        }
+        let j = finite[rng.below(finite.len() as u64) as usize];
+        let pin = if rng.below(2) == 0 {
+            lp.lb[j]
+        } else {
+            lp.ub[j]
+        };
+        let mut child = lp.clone();
+        child.lb[j] = pin;
+        child.ub[j] = pin;
+        let warm = RevisedSimplex.solve_warm(&child, &basis);
+        assert!(warm.warmed, "seed {seed_tag}: basis rejected");
+        let cold = DenseBackend.solve(&child).outcome;
+        let (wc, cc) = (outcome_class(&warm.outcome), outcome_class(&cold));
+        assert_ne!(wc, "iteration-limit", "seed {seed_tag}: warm stalled");
+        assert_eq!(wc, cc, "seed {seed_tag}: warm/cold outcome mismatch");
+        if let (LpOutcome::Optimal(w), LpOutcome::Optimal(c)) = (&warm.outcome, &cold) {
+            assert!(
+                (w.objective - c.objective).abs() < 1e-6,
+                "seed {seed_tag}: warm {} vs cold {} on {child:?}",
+                w.objective,
+                c.objective
+            );
+            assert!(
+                violation(&child, w) < 1e-6,
+                "seed {seed_tag}: warm solution infeasible"
+            );
+        }
+        warm_children += 1;
+    }
+}
+
+#[test]
+fn backend_agreement_on_degenerate_transportation_lps() {
+    // Classic degenerate family: balanced transportation problems with
+    // equal supplies/demands produce many ratio-test ties.
+    let mut rng = SplitMix64(0xD1FF_5EED_0003);
+    for seed_tag in 0..100u64 {
+        let k = 2 + rng.below(3) as usize; // k x k transportation
+        let nv = k * k;
+        let mut rows = Vec::new();
+        for i in 0..k {
+            rows.push(xring_milp::simplex::LpRow {
+                terms: (0..k).map(|j| (i * k + j, 1.0)).collect(),
+                relation: Relation::Eq,
+                rhs: 1.0,
+            });
+            rows.push(xring_milp::simplex::LpRow {
+                terms: (0..k).map(|j| (j * k + i, 1.0)).collect(),
+                relation: Relation::Eq,
+                rhs: 1.0,
+            });
+        }
+        let lp = LpProblem {
+            num_vars: nv,
+            lb: vec![0.0; nv],
+            ub: vec![1.0; nv],
+            objective: (0..nv).map(|_| rng.half(0, 9)).collect(),
+            rows,
+        };
+        check_agreement(&lp, seed_tag);
+    }
+}
+
+#[test]
+fn backend_agreement_survives_aborted_dual_feasibility_flips() {
+    // Regression: a cold start flips nonbasic variables toward their
+    // reduced-cost-preferred bound, then discovers a variable (here x3,
+    // cost −3.5, ub = ∞) that cannot flip and falls back to primal
+    // phase 1. The earlier flips must not leave `xb` stale, or the
+    // solver wrongly reports infeasible. Found by the seeded sweep
+    // (seed 13 of `backend_agreement_on_1500_seeded_lps`); also covers
+    // duplicated terms for one variable within a row.
+    use xring_milp::simplex::LpRow;
+    let mk = |merge: bool| {
+        let row2_terms = if merge {
+            vec![(3usize, -2.5f64), (0, 3.0)]
+        } else {
+            vec![(3, 0.5), (3, -3.0), (0, 3.0)]
+        };
+        LpProblem {
+            num_vars: 4,
+            lb: vec![-2.0, 1.0, -2.0, -0.5],
+            ub: vec![0.5, 2.0, 2.0, f64::INFINITY],
+            objective: vec![-1.0, -3.5, 0.0, -3.5],
+            rows: vec![
+                LpRow {
+                    terms: vec![(1, 1.0)],
+                    relation: Relation::Le,
+                    rhs: 3.5,
+                },
+                LpRow {
+                    terms: row2_terms,
+                    relation: Relation::Ge,
+                    rhs: -2.0,
+                },
+                LpRow {
+                    terms: vec![(3, 0.5)],
+                    relation: Relation::Ge,
+                    rhs: -3.5,
+                },
+                LpRow {
+                    terms: vec![(1, 1.0)],
+                    relation: Relation::Le,
+                    rhs: 3.5,
+                },
+                LpRow {
+                    terms: vec![(2, -1.0)],
+                    relation: Relation::Le,
+                    rhs: 5.5,
+                },
+                LpRow {
+                    terms: vec![(2, -2.0), (0, 1.5)],
+                    relation: Relation::Le,
+                    rhs: -3.0,
+                },
+                LpRow {
+                    terms: vec![(0, 1.5), (3, 0.5)],
+                    relation: Relation::Le,
+                    rhs: -0.5,
+                },
+            ],
+        }
+    };
+    for merge in [true, false] {
+        check_agreement(&mk(merge), merge as u64);
+    }
+}

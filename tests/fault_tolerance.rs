@@ -7,7 +7,9 @@
 //! every produced design audit-clean — exact where possible, provenance-
 //! marked degraded otherwise.
 
-use xring::core::{DegradationLevel, DegradationPolicy, NetworkSpec, SynthesisOptions};
+use xring::core::{
+    DegradationLevel, DegradationPolicy, LpBackendKind, NetworkSpec, SynthesisOptions,
+};
 use xring::engine::{Engine, FaultClass, FaultPlan, FaultRates, JobError, SynthesisJob};
 
 /// 32 distinct jobs (8 `#wl` settings × shortcuts on/off × openings
@@ -142,6 +144,63 @@ fn faulted_batch_completes_every_job_with_audited_designs() {
             "run 2 job {i}: dirty design"
         );
     }
+}
+
+#[test]
+fn revised_backend_degrades_through_the_same_chain() {
+    // Only numerical faults, with every job explicitly requesting the
+    // revised simplex: a faulted job must recover through the perturbed
+    // retry — which also swaps the LP kernel to the dense reference
+    // backend, so a numerical failure is never retried on the kernel
+    // that produced it — and clean jobs must stay exact.
+    let plan = FaultPlan::new(0x0B5E_55ED).with_rates(FaultRates {
+        numerical: 0.4,
+        deadline: 0.0,
+        panic: 0.0,
+        cache_corruption: 0.0,
+    });
+    let schedule = plan.schedule(12);
+    assert!(
+        schedule.iter().any(|d| d.is_some()) && schedule.iter().any(|d| d.is_none()),
+        "need a mix of faulted and clean jobs"
+    );
+
+    let net = NetworkSpec::proton_8();
+    let jobs: Vec<SynthesisJob> = (0..12)
+        .map(|i| {
+            SynthesisJob::new(
+                format!("job{i}"),
+                net.clone(),
+                SynthesisOptions::with_wavelengths(2 + (i % 7))
+                    .with_degradation(DegradationPolicy::Allow)
+                    .with_lp_backend(LpBackendKind::Revised),
+            )
+        })
+        .collect();
+    let engine = Engine::new().with_workers(3).with_fault_plan(plan);
+    let batch = engine.run_batch(jobs);
+
+    assert_eq!(batch.metrics.failed, 0, "{}", batch.metrics.summary());
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        let out = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("job {i} failed: {e}"));
+        assert!(out.design.provenance.audit.is_clean(), "job {i}");
+        match schedule[i] {
+            Some(FaultClass::SimplexNumerical) if !out.cache_hit => {
+                assert_eq!(
+                    out.design.provenance.degradation,
+                    DegradationLevel::RetriedPerturbed,
+                    "job {i}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        batch.metrics.degraded_retried > 0,
+        "perturbed retry never exercised"
+    );
 }
 
 #[test]
