@@ -39,8 +39,55 @@ echo "==> LP backend suites (differential agreement + revised-backend fault chai
 cargo test -q -p xring-milp --offline backend
 cargo test -q --offline --features fault-inject --test fault_tolerance revised_backend
 
+echo "==> serve smoke (daemon lifecycle, endpoints, drain, thread-leak check)"
+# In-process lifecycle first: every endpoint once, graceful drain, and a
+# /proc-based leaked-thread check. Exit code is the verdict.
+cargo run -q --release -p xring-serve --bin serve-smoke --offline
+
+# Then the real CLI binary over real sockets: start, serve, scrape, drain.
+cargo build -q --release -p xring-cli --offline
+serve_log="target/serve-ci.log"
+serve_fifo="target/serve-ci-stdin"
+rm -f "$serve_fifo"
+mkfifo "$serve_fifo"
+./target/release/xring serve --port 0 --max-inflight 2 --deadline-ms 30000 \
+    --degradation allow <"$serve_fifo" >"$serve_log" 2>&1 &
+serve_pid=$!
+# Hold the fifo's write end open so the daemon's stdin does not EOF
+# (stdin EOF is its second shutdown trigger, after POST /shutdown).
+exec 9>"$serve_fifo"
+serve_addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    serve_addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "serve: daemon never reported a listening address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+curl -sf "http://$serve_addr/healthz" | grep -q '"status":"ok"'
+curl -sf -X POST "http://$serve_addr/synth" \
+    -d '{"net": {"named": "proton_8"}, "options": {"max_wavelengths": 8}}' \
+    | grep -q '"audit":{"clean":true'
+curl -sf "http://$serve_addr/metrics" | grep -q 'xring_serve_request_wall_us_bucket'
+curl -sf -X POST "http://$serve_addr/shutdown" | grep -q '"status":"draining"'
+# Graceful-drain check: the daemon must exit 0 on its own and report the
+# drain summary; a leaked handler would hang the wait (and fail CI).
+wait "$serve_pid"
+exec 9>&-
+rm -f "$serve_fifo"
+grep -q "drained after" "$serve_log" || {
+    echo "serve: daemon exited without draining" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+
 echo "==> regress --quick (pinned perf suite smoke + baseline gate)"
 cargo run -q --release -p xring-bench --bin regress --offline -- \
-    --quick --out target/regress-ci.json --compare BENCH_PR5.json
+    --quick --out target/regress-ci.json --compare BENCH_PR6.json
 
 echo "ci: all green"

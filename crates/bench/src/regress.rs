@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use xring_core::{NetworkSpec, RingBuilder, SynthesisOptions, Synthesizer};
 use xring_engine::{Engine, SynthesisJob};
+use xring_serve::{client, ServeConfig, Server};
 
 /// Schema tag of the report envelope. Bump on breaking key changes.
 pub const REGRESS_SCHEMA: &str = "xring-regress-v1";
@@ -369,7 +370,80 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
             .metrics
             .insert(tp_key.into(), jobs_n as f64 / (wall / 1e3));
     }
+
+    serve_load(quick, &mut report)?;
     Ok(report)
+}
+
+/// Sustained-load scenario against an in-process `xring-serve` daemon:
+/// 4 concurrent clients firing `/synth` requests back-to-back over a
+/// small spec mix (so the shared cache is exercised after the first
+/// round). Reports end-to-end wall, throughput, and client-observed
+/// p50/p99 request latency. All `_wall_ms` keys ride the usual
+/// comparison gate; the per-request percentiles sit far below
+/// [`WALL_NOISE_FLOOR_MS`], so only a catastrophic serving regression
+/// (not scheduler jitter) can trip them.
+fn serve_load(quick: bool, report: &mut RegressReport) -> Result<(), Box<dyn std::error::Error>> {
+    const CLIENTS: usize = 4;
+    let per_client = if quick { 8 } else { 25 };
+    // Admission sized so the fixed concurrency can never shed: the
+    // scenario measures serving speed, not the 429 path (the protocol
+    // e2e suite covers shedding).
+    let mut server = Server::start(ServeConfig {
+        workers: 2,
+        max_inflight: CLIENTS,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    })?;
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let wl = [2usize, 4, 8][(c + i) % 3];
+                        let body = format!(
+                            "{{\"label\": \"load-c{c}-{i}\", \
+                             \"net\": {{\"named\": \"proton_8\"}}, \
+                             \"options\": {{\"max_wavelengths\": {wl}}}}}"
+                        );
+                        let t = Instant::now();
+                        let (status, resp) = client::http_request(addr, "POST", "/synth", &body)
+                            .expect("serve load request reaches the daemon");
+                        assert_eq!(status, 200, "non-200 under load: {resp}");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total = (CLIENTS * per_client) as f64;
+    assert_eq!(
+        server.metrics().shed(),
+        0,
+        "load scenario below the admission limit must not shed"
+    );
+    assert_eq!(server.metrics().ok(), total as u64);
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+    report.metrics.insert("serve_load_wall_ms".into(), wall_ms);
+    report
+        .metrics
+        .insert("serve_req_per_s".into(), total / (wall_ms / 1e3));
+    report.metrics.insert("serve_p50_wall_ms".into(), pct(0.50));
+    report.metrics.insert("serve_p99_wall_ms".into(), pct(0.99));
+    Ok(())
 }
 
 /// The batch workload: the paper's 8-node floorplan at `#wl` 2/4/8,
@@ -500,6 +574,10 @@ mod tests {
             "batch_cache_hit_rate",
             "bnb_warm_start_rate",
             "milp_bnb_nodes",
+            "serve_load_wall_ms",
+            "serve_req_per_s",
+            "serve_p50_wall_ms",
+            "serve_p99_wall_ms",
         ] {
             let v = r
                 .metrics

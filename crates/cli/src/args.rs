@@ -24,6 +24,9 @@ pub enum Command {
     /// `xring batch ...` — run a whole batch of synthesis jobs on the
     /// engine, with per-job deadlines and metrics.
     Batch(BatchArgs),
+    /// `xring serve ...` — run the synthesis daemon until it is told to
+    /// shut down (POST /shutdown or stdin EOF).
+    Serve(ServeArgs),
     /// `xring table <1|2|3>`
     Table(u8),
     /// `xring ablation <shortcuts|pdn|ring|all>`
@@ -98,6 +101,50 @@ impl Default for SynthArgs {
     }
 }
 
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// `--port N`: port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// `--workers N`: engine workers per request (parallelism within a
+    /// `/batch`).
+    pub workers: usize,
+    /// `--max-inflight N`: concurrently-processed request cap.
+    pub max_inflight: usize,
+    /// `--queue-depth N`: admission queue slots (0 = rendezvous).
+    pub queue_depth: usize,
+    /// `--deadline-ms N`: default per-request synthesis deadline.
+    pub deadline_ms: Option<u64>,
+    /// `--cache-bytes N`: design-cache byte budget (0 = unbounded).
+    pub cache_bytes: u64,
+    /// `--degradation`: default degradation policy for requests.
+    pub degradation: String,
+    /// `--trace FILE`: write the daemon's trace here after shutdown.
+    pub trace: Option<String>,
+    /// `--trace-format jsonl|folded`.
+    pub trace_format: TraceFormat,
+    /// `--metrics-out FILE`: write a final Prometheus snapshot here
+    /// after shutdown (the live `GET /metrics` needs no flag).
+    pub metrics_out: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            port: 7878,
+            workers: 2,
+            max_inflight: 4,
+            queue_depth: 16,
+            deadline_ms: None,
+            cache_bytes: 256 << 20,
+            degradation: "forbid".into(),
+            trace: None,
+            trace_format: TraceFormat::default(),
+            metrics_out: None,
+        }
+    }
+}
+
 /// Options of the `batch` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchArgs {
@@ -156,6 +203,11 @@ USAGE:
   xring sweep [synth flags] [--objective il|power|snr]
   xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
               [--repeat K] [--metrics-jsonl FILE]
+  xring serve [--port N] [--workers N] [--max-inflight N]
+              [--queue-depth N] [--deadline-ms N] [--cache-bytes N]
+              [--degradation forbid|allow|force-heuristic]
+              [--trace FILE] [--trace-format jsonl|folded]
+              [--metrics-out FILE]
   xring table <1|2|3>
   xring ablation <shortcuts|pdn|ring|all>
   xring help
@@ -189,6 +241,25 @@ TRACING (synth, sweep, batch):
   --trace-format jsonl   one JSON object per span/gauge plus a final
                          totals line (default)
   --trace-format folded  collapsed stacks for flamegraph tooling
+
+SERVING:
+  xring serve runs the synthesis daemon: JSON over HTTP/1.1 on
+  127.0.0.1 with POST /synth, POST /batch, GET /metrics (live
+  Prometheus text), GET /healthz and POST /shutdown (graceful drain;
+  stdin EOF also drains).
+  --port N          bind port (default 7878; 0 picks an ephemeral port)
+  --workers N       engine workers per request (default 2)
+  --max-inflight N  concurrently-processed request cap (default 4);
+                    beyond it requests queue
+  --queue-depth N   admission queue slots (default 16; 0 = rendezvous);
+                    beyond them requests shed with 429
+  --deadline-ms N   default synthesis deadline per request (requests
+                    may override); with --degradation allow an expired
+                    deadline degrades instead of failing
+  --cache-bytes N   shared design-cache byte budget with LRU eviction
+                    (default 268435456; 0 = unbounded)
+  --degradation P   default degradation policy for requests
+  --trace/--trace-format/--metrics-out as above, flushed on shutdown
 
 SOLVER TELEMETRY (synth, sweep, batch):
   --solver-log FILE      stream MILP branch-and-bound convergence events
@@ -479,6 +550,76 @@ fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
             }
             Ok(Command::Batch(out))
         }
+        "serve" => {
+            let mut out = ServeArgs::default();
+            // Shared synth-flag machinery is deliberately not reused
+            // here: serve's knobs are operational (ports, queues,
+            // budgets), not synthesis parameters — requests carry those.
+            while let Some(flag) = it.next() {
+                let mut num = |name: &str| -> Result<u64, ParseArgsError> {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError(format!("{name} needs a value")))?;
+                    v.parse()
+                        .map_err(|_| ParseArgsError(format!("bad {name} value {v}")))
+                };
+                match flag.as_str() {
+                    "--port" => {
+                        out.port = u16::try_from(num("--port")?)
+                            .map_err(|_| ParseArgsError("--port must fit in 16 bits".into()))?;
+                    }
+                    "--workers" => {
+                        out.workers = num("--workers")? as usize;
+                        if out.workers == 0 {
+                            return Err(ParseArgsError("--workers must be at least 1".into()));
+                        }
+                    }
+                    "--max-inflight" => {
+                        out.max_inflight = num("--max-inflight")? as usize;
+                        if out.max_inflight == 0 {
+                            return Err(ParseArgsError("--max-inflight must be at least 1".into()));
+                        }
+                    }
+                    "--queue-depth" => out.queue_depth = num("--queue-depth")? as usize,
+                    "--deadline-ms" => {
+                        let ms = num("--deadline-ms")?;
+                        if ms == 0 {
+                            return Err(ParseArgsError("--deadline-ms must be at least 1".into()));
+                        }
+                        out.deadline_ms = Some(ms);
+                    }
+                    "--cache-bytes" => out.cache_bytes = num("--cache-bytes")?,
+                    "--degradation" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--degradation needs a policy".into()))?;
+                        let mut scratch = SynthArgs::default();
+                        set_degradation(v, &mut scratch)?;
+                        out.degradation = scratch.degradation;
+                    }
+                    "--trace" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--trace needs a path".into()))?;
+                        out.trace = Some(v.clone());
+                    }
+                    "--trace-format" => {
+                        let v = it.next().ok_or_else(|| {
+                            ParseArgsError(format!("--trace-format needs {}", TraceFormat::NAMES))
+                        })?;
+                        out.trace_format = v.parse().map_err(ParseArgsError)?;
+                    }
+                    "--metrics-out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--metrics-out needs a path".into()))?;
+                        out.metrics_out = Some(v.clone());
+                    }
+                    other => return Err(ParseArgsError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Serve(out))
+        }
         cmd @ ("synth" | "sweep") => {
             let is_sweep = cmd == "sweep";
             let mut objective = "power".to_string();
@@ -564,6 +705,60 @@ mod tests {
         assert!(parse(&v(&["--jobs", "0", "table", "1"])).is_err());
         assert!(parse(&v(&["--jobs", "zero", "table", "1"])).is_err());
         assert!(parse(&v(&["table", "1", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_full_flags() {
+        let Command::Serve(a) = cmd(&["serve"]) else {
+            panic!("not serve")
+        };
+        assert_eq!(a, ServeArgs::default());
+        assert_eq!(a.port, 7878);
+        assert_eq!(a.cache_bytes, 256 << 20);
+
+        let Command::Serve(a) = cmd(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "3",
+            "--max-inflight",
+            "8",
+            "--queue-depth",
+            "0",
+            "--deadline-ms",
+            "250",
+            "--cache-bytes",
+            "1048576",
+            "--degradation",
+            "allow",
+            "--trace",
+            "t.jsonl",
+            "--metrics-out",
+            "m.prom",
+        ]) else {
+            panic!("not serve")
+        };
+        assert_eq!(
+            (a.port, a.workers, a.max_inflight, a.queue_depth),
+            (0, 3, 8, 0)
+        );
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.cache_bytes, 1_048_576);
+        assert_eq!(a.degradation, "allow");
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-inflight", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--deadline-ms", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--port", "65536"])).is_err());
+        assert!(parse(&v(&["serve", "--degradation", "never"])).is_err());
+        assert!(parse(&v(&["serve", "--wl", "8"])).is_err());
+        assert!(parse(&v(&["serve", "--cache-bytes"])).is_err());
     }
 
     #[test]

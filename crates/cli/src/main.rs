@@ -8,7 +8,7 @@
 
 mod args;
 
-use args::{parse, BatchArgs, Command, SynthArgs, USAGE};
+use args::{parse, BatchArgs, Command, ServeArgs, SynthArgs, USAGE};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,6 +50,11 @@ fn main() -> ExitCode {
             b.synth.solver_log.clone(),
             b.synth.metrics_out.clone(),
         ),
+        Command::Serve(a) => (
+            a.trace.clone().map(|p| (p, a.trace_format)),
+            None,
+            a.metrics_out.clone(),
+        ),
         _ => (None, None, None),
     };
     if trace_to.is_some() || metrics_out.is_some() {
@@ -82,6 +87,7 @@ fn main() -> ExitCode {
         Command::Synth(args) => run_synth(&args),
         Command::Sweep(args, objective) => run_sweep(&args, &objective, &engine),
         Command::Batch(args) => run_batch_cmd(&args, engine),
+        Command::Serve(args) => run_serve(&args),
     };
     if solver_sink_installed {
         xring_milp::progress::clear_sink();
@@ -315,6 +321,77 @@ fn run_batch_cmd(args: &BatchArgs, mut engine: Engine) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn run_serve(args: &ServeArgs) -> ExitCode {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // The parser validated the policy string already.
+    let degradation = args
+        .degradation
+        .parse::<DegradationPolicy>()
+        .unwrap_or_default();
+    let config = xring_serve::ServeConfig {
+        port: args.port,
+        workers: args.workers,
+        max_inflight: args.max_inflight,
+        queue_depth: args.queue_depth,
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        degradation,
+        cache_bytes: match args.cache_bytes {
+            0 => None,
+            n => Some(n as usize),
+        },
+        ..xring_serve::ServeConfig::default()
+    };
+    let mut server = match xring_serve::Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Supervisors (ci.sh among them) parse this line for the resolved
+    // port, so print and flush it before anything else.
+    println!("xring serve listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+
+    // Two ways to stop: POST /shutdown over the wire, or closing the
+    // daemon's stdin (the supervisor-friendly path — no signal handling
+    // in a std-only workspace). Run detached with stdin held open.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        let watcher = std::thread::Builder::new()
+            .name("serve-stdin".to_owned())
+            .spawn(move || {
+                let mut sink = [0u8; 256];
+                let mut stdin = std::io::stdin();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                stdin_closed.store(true, Ordering::Release);
+            });
+        if watcher.is_err() {
+            eprintln!("warning: no stdin watcher; stop with POST /shutdown");
+        }
+    }
+    while !server.is_draining() && !stdin_closed.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+    let m = server.metrics();
+    eprintln!(
+        "drained after {} requests ({} ok, {} shed, {} degraded); cache {} hits / {} misses",
+        m.requests(),
+        m.ok(),
+        m.shed(),
+        m.degraded(),
+        server.cache().hits(),
+        server.cache().misses(),
+    );
+    ExitCode::SUCCESS
+    // If the watcher thread is still parked in read(), the process exit
+    // right after main returns reaps it.
 }
 
 fn run_synth(args: &SynthArgs) -> ExitCode {

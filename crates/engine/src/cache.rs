@@ -15,10 +15,25 @@
 //!   a job whose key is already cached succeeds even with an expired
 //!   deadline, because the budget caps synthesis work and a hit costs
 //!   none.
+//!
+//! # Memory bound
+//!
+//! By default the cache grows without bound — the historical behaviour,
+//! right for one-shot batches whose working set is the job list itself.
+//! Long-running consumers (the `xring-serve` daemon, parameter sweeps
+//! that never repeat a point) construct it with
+//! [`DesignCache::with_byte_budget`]: every entry is charged an
+//! estimated deep size ([`approx_entry_bytes`]) and the least recently
+//! *used* entries are evicted until the total fits the budget again.
+//! Recency is bumped on hits, so a hot design survives a scan of cold
+//! ones. Evictions are observable through
+//! [`lru_evictions`](DesignCache::lru_evictions) /
+//! [`evicted_bytes`](DesignCache::evicted_bytes) and the
+//! `cache.evict_bytes` counter.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use xring_core::{Traffic, XRingDesign};
 use xring_phot::RouterReport;
 
@@ -93,18 +108,125 @@ pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
     k
 }
 
-/// A cached outcome: the synthesized design plus its evaluated report.
-type CachedDesign = (Arc<XRingDesign>, RouterReport);
+/// Estimated deep size of a cached entry (key + design + report), in
+/// bytes. Deliberately an *estimate*: the point is a stable, deterministic
+/// charge proportional to the design's real heap footprint so a byte
+/// budget means something, not an exact allocator accounting. Per-element
+/// constants are rounded up from the concrete struct sizes so the
+/// estimate errs toward over-charging (the budget is a ceiling, not a
+/// target).
+pub fn approx_entry_bytes(key_len: usize, design: &XRingDesign, report: &RouterReport) -> usize {
+    const PER_NODE: usize = 64; // position + cycle order/position/route rows
+    const PER_SIGNAL: usize = 96; // SignalSpec fixed part + route entry
+    const PER_HOP: usize = 64; // Hop: station indices, wavelength, geometry
+    const PER_WAVEGUIDE: usize = 160; // polyline points + lane headers
+    const PER_LANE: usize = 96; // lane occupancy vectors
+    const PER_SHORTCUT: usize = 96;
+    const PER_PDN_TREE: usize = 192;
+    const PER_PDN_SENDER: usize = 48; // BTreeMap node for a sender loss
+    const FIXED: usize = 1_024; // struct shells, provenance, stats
+
+    let hops: usize = design.layout.signals.iter().map(|s| s.hops.len()).sum();
+    let lanes: usize = design
+        .plan
+        .ring_waveguides
+        .iter()
+        .map(|w| w.lanes.len())
+        .sum();
+    let pdn = design.pdn.as_ref().map_or(0, |p| {
+        p.trees.len() * PER_PDN_TREE
+            + p.sender_loss_db.len() * PER_PDN_SENDER
+            + p.crossed_waveguides.len() * 8
+    });
+    FIXED
+        + key_len
+        + design.net.len() * PER_NODE
+        + design.layout.signals.len() * PER_SIGNAL
+        + hops * PER_HOP
+        + design.layout.waveguides.len() * PER_WAVEGUIDE
+        + design.plan.routes.len() * PER_SIGNAL
+        + lanes * PER_LANE
+        + design.shortcuts.shortcuts.len() * PER_SHORTCUT
+        + pdn
+        + report.label.len()
+        + std::mem::size_of::<RouterReport>()
+}
+
+/// One cached outcome plus its byte charge and recency stamp.
+struct Entry {
+    design: Arc<XRingDesign>,
+    report: RouterReport,
+    bytes: usize,
+    /// Recency sequence number; bumped on every hit. The recency queue
+    /// holds `(seq, key)` pairs and entries whose stamp no longer
+    /// matches are stale queue residue, skipped during eviction.
+    seq: u64,
+}
+
+/// The interior of the cache: map, recency queue and byte totals, all
+/// under one lock so eviction decisions are consistent.
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    /// Lazy LRU queue: `(seq, key)` in bump order. A key may appear
+    /// multiple times; only the pair matching the entry's current `seq`
+    /// is live.
+    recency: VecDeque<(u64, Vec<u8>)>,
+    total_bytes: usize,
+    next_seq: u64,
+}
+
+impl Inner {
+    fn bump(&mut self, key: &[u8]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.seq = seq;
+            self.recency.push_back((seq, key.to_vec()));
+        }
+        // Stale pairs accumulate one per hit; compact when the queue is
+        // far larger than the live map so it stays O(entries).
+        if self.recency.len() > 4 * self.map.len() + 16 {
+            let map = &self.map;
+            self.recency
+                .retain(|(seq, key)| map.get(key).is_some_and(|e| e.seq == *seq));
+        }
+    }
+
+    fn remove(&mut self, key: &[u8]) -> Option<Entry> {
+        let entry = self.map.remove(key)?;
+        self.total_bytes -= entry.bytes;
+        Some(entry)
+    }
+}
 
 /// An in-memory, thread-safe design cache shared by every job an
-/// [`Engine`](crate::Engine) runs. Only successful syntheses are stored;
-/// designs are handed out as [`Arc`]s so hits cost a pointer clone.
-#[derive(Debug, Default)]
+/// [`Engine`](crate::Engine) runs (and, through an [`Arc`], across
+/// engines — the serve daemon shares one cache over all requests). Only
+/// successful syntheses are stored; designs are handed out as [`Arc`]s
+/// so hits cost a pointer clone.
+#[derive(Default)]
 pub struct DesignCache {
-    entries: Mutex<HashMap<Vec<u8>, CachedDesign>>,
+    inner: Mutex<Inner>,
+    /// Byte budget; `None` = unbounded (the historical behaviour).
+    byte_budget: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    lru_evictions: AtomicUsize,
+    evicted_bytes: AtomicUsize,
+}
+
+impl std::fmt::Debug for DesignCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignCache")
+            .field("len", &self.len())
+            .field("bytes", &self.bytes())
+            .field("byte_budget", &self.byte_budget)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
 }
 
 /// Whether a cached design still satisfies the invariants it was stored
@@ -117,30 +239,48 @@ fn entry_is_intact(design: &XRingDesign) -> bool {
 }
 
 impl DesignCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache that evicts least-recently-used entries once the
+    /// estimated total size exceeds `budget` bytes. An entry larger than
+    /// the whole budget is never cached at all (caching it would evict
+    /// everything else for a single design).
+    pub fn with_byte_budget(budget: usize) -> Self {
+        DesignCache {
+            byte_budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("cache lock")
+    }
+
     /// Looks up `key`, counting a hit or miss. On a hit the cached report
-    /// is relabelled to `label` (the label is not part of the key).
+    /// is relabelled to `label` (the label is not part of the key) and the
+    /// entry's recency is bumped.
     ///
     /// The entry is validated before it is served: a design whose audit
     /// is not clean or whose layout no longer self-validates is *evicted*
     /// and the lookup counts as a miss, so the caller re-synthesizes and
     /// re-inserts a good entry.
     pub fn lookup(&self, key: &[u8], label: &str) -> Option<(Arc<XRingDesign>, RouterReport)> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        match entries.get(key) {
-            Some((design, report)) if entry_is_intact(design) => {
+        let mut inner = self.lock();
+        match inner.map.get(key) {
+            Some(entry) if entry_is_intact(&entry.design) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 xring_obs::counter("cache.hits", 1);
-                let mut report = report.clone();
+                let design = Arc::clone(&entry.design);
+                let mut report = entry.report.clone();
                 report.label = label.to_owned();
-                Some((Arc::clone(design), report))
+                inner.bump(key);
+                Some((design, report))
             }
             Some(_) => {
-                entries.remove(key);
+                inner.remove(key);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 xring_obs::counter("cache.evictions", 1);
@@ -160,12 +300,57 @@ impl DesignCache {
     /// already-shared `Arc`s stay canonical. Designs that fail the
     /// intactness check (unaudited, dirty audit, misaligned layout) are
     /// refused — the cache never holds an entry it would evict on read.
+    ///
+    /// Under a byte budget, inserting may evict least-recently-used
+    /// entries until the estimated total fits again.
     pub fn insert(&self, key: Vec<u8>, design: Arc<XRingDesign>, report: RouterReport) {
         if !entry_is_intact(&design) {
             return;
         }
-        let mut entries = self.entries.lock().expect("cache lock");
-        entries.entry(key).or_insert((design, report));
+        let bytes = approx_entry_bytes(key.len(), &design, &report);
+        if self.byte_budget.is_some_and(|budget| bytes > budget) {
+            return; // one oversize entry must not flush the whole cache
+        }
+        let mut inner = self.lock();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.recency.push_back((seq, key.clone()));
+        inner.total_bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                design,
+                report,
+                bytes,
+                seq,
+            },
+        );
+        if let Some(budget) = self.byte_budget {
+            self.evict_to_budget(&mut inner, budget);
+        }
+    }
+
+    /// Pops stale and least-recently-used entries until the byte total
+    /// fits `budget`. The just-inserted entry carries the highest `seq`,
+    /// so it is considered last; oversize entries were refused before
+    /// insertion, so the loop always terminates under budget.
+    fn evict_to_budget(&self, inner: &mut Inner, budget: usize) {
+        while inner.total_bytes > budget {
+            let Some((seq, key)) = inner.recency.pop_front() else {
+                return; // unreachable: bytes imply live entries
+            };
+            if inner.map.get(&key).is_none_or(|e| e.seq != seq) {
+                continue; // stale residue of a later bump
+            }
+            let entry = inner.remove(&key).expect("live entry");
+            self.lru_evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
+            xring_obs::counter("cache.lru_evictions", 1);
+            xring_obs::counter("cache.evict_bytes", entry.bytes as u64);
+        }
     }
 
     /// Cache hits counted so far.
@@ -183,18 +368,38 @@ impl DesignCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to fit the byte budget so far.
+    pub fn lru_evictions(&self) -> usize {
+        self.lru_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total estimated bytes reclaimed by budget evictions so far.
+    pub fn evicted_bytes(&self) -> usize {
+        self.evicted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.lock().total_bytes
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
     /// Corrupts the entry at `key` in place (its mapped signals are
     /// cleared, desynchronizing layout and plan) and reports whether an
     /// entry was there. Fault-injection hook: the next lookup must detect
     /// the damage, evict the entry and fall through to re-synthesis.
     #[cfg(any(test, feature = "fault-inject"))]
     pub fn corrupt(&self, key: &[u8]) -> bool {
-        let mut entries = self.entries.lock().expect("cache lock");
-        match entries.get_mut(key) {
-            Some((design, _)) => {
-                let mut broken = (**design).clone();
+        let mut inner = self.lock();
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                let mut broken = (*entry.design).clone();
                 broken.layout.signals.clear();
-                *design = Arc::new(broken);
+                entry.design = Arc::new(broken);
                 true
             }
             None => false,
@@ -203,7 +408,7 @@ impl DesignCache {
 
     /// Number of distinct designs stored.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -224,6 +429,17 @@ mod tests {
             NetworkSpec::proton_8(),
             SynthesisOptions::with_wavelengths(wl),
         )
+    }
+
+    fn synthesized(j: &SynthesisJob) -> (Vec<u8>, Arc<XRingDesign>, RouterReport) {
+        let key = canonical_key(j);
+        let design = Arc::new(
+            xring_core::Synthesizer::new(j.options.clone())
+                .synthesize(&j.net)
+                .expect("synthesized"),
+        );
+        let report = design.report(j.label.clone(), &j.loss, j.xtalk.as_ref(), &j.power);
+        (key, design, report)
     }
 
     #[test]
@@ -265,20 +481,16 @@ mod tests {
     fn corrupted_entries_are_evicted_on_read() {
         let cache = DesignCache::new();
         let j = job("j", 4);
-        let key = canonical_key(&j);
-        let design = Arc::new(
-            xring_core::Synthesizer::new(j.options.clone())
-                .synthesize(&j.net)
-                .expect("synthesized"),
-        );
-        let report = design.report("j", &j.loss, j.xtalk.as_ref(), &j.power);
+        let (key, design, report) = synthesized(&j);
         cache.insert(key.clone(), Arc::clone(&design), report.clone());
         assert!(cache.lookup(&key, "j").is_some());
+        assert!(cache.bytes() > 0);
 
         assert!(cache.corrupt(&key));
         assert!(cache.lookup(&key, "j").is_none(), "corrupt entry served");
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.len(), 0, "corrupt entry not removed");
+        assert_eq!(cache.bytes(), 0, "corrupt eviction must release bytes");
 
         // Re-inserting a good design heals the slot.
         cache.insert(key.clone(), design, report);
@@ -307,17 +519,90 @@ mod tests {
         let j = job("first", 4);
         let key = canonical_key(&j);
         assert!(cache.lookup(&key, "first").is_none());
-        let design = Arc::new(
-            xring_core::Synthesizer::new(j.options.clone())
-                .synthesize(&j.net)
-                .expect("synthesized"),
-        );
-        let report = design.report("first", &j.loss, j.xtalk.as_ref(), &j.power);
+        let (_, design, report) = synthesized(&j);
         cache.insert(key.clone(), design, report);
         let (_, hit) = cache.lookup(&key, "second").expect("hit");
         assert_eq!(hit.label, "second");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // Size three distinct entries with an unbounded cache first.
+        let jobs: Vec<SynthesisJob> = [2usize, 4, 8]
+            .iter()
+            .map(|&wl| job(&format!("wl{wl}"), wl))
+            .collect();
+        let entries: Vec<_> = jobs.iter().map(synthesized).collect();
+        let sizes: Vec<usize> = entries
+            .iter()
+            .map(|(k, d, r)| approx_entry_bytes(k.len(), d, r))
+            .collect();
+
+        // Budget fits the two largest entries but not all three.
+        let budget = sizes[0] + sizes[1] + sizes[2] - sizes.iter().copied().min().unwrap() / 2;
+        let cache = DesignCache::with_byte_budget(budget);
+        assert_eq!(cache.byte_budget(), Some(budget));
+
+        let (ka, da, ra) = &entries[0];
+        let (kb, db, rb) = &entries[1];
+        let (kc, dc, rc) = &entries[2];
+        cache.insert(ka.clone(), Arc::clone(da), ra.clone());
+        cache.insert(kb.clone(), Arc::clone(db), rb.clone());
+        assert_eq!(cache.len(), 2);
+
+        // Touch A so B becomes the least recently used entry...
+        assert!(cache.lookup(ka, "bump").is_some());
+        // ...then inserting C must evict B, not A.
+        cache.insert(kc.clone(), Arc::clone(dc), rc.clone());
+        assert!(cache.lookup(ka, "a").is_some(), "recently used A evicted");
+        assert!(cache.lookup(kc, "c").is_some(), "fresh C evicted");
+        assert!(cache.lookup(kb, "b").is_none(), "LRU B survived");
+        assert!(cache.bytes() <= budget, "over budget after eviction");
+        assert_eq!(cache.lru_evictions(), 1);
+        assert_eq!(cache.evicted_bytes(), sizes[1]);
+    }
+
+    #[test]
+    fn oversize_entries_are_never_cached() {
+        let j = job("big", 4);
+        let (key, design, report) = synthesized(&j);
+        let cache = DesignCache::with_byte_budget(16); // far below any design
+        cache.insert(key.clone(), design, report);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.lru_evictions(), 0, "refusal is not an eviction");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_by_size() {
+        let cache = DesignCache::new();
+        assert_eq!(cache.byte_budget(), None);
+        for wl in [2usize, 4, 8] {
+            let j = job(&format!("wl{wl}"), wl);
+            let (key, design, report) = synthesized(&j);
+            cache.insert(key, design, report);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lru_evictions(), 0);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn recency_queue_compacts_under_repeated_hits() {
+        let cache = DesignCache::with_byte_budget(usize::MAX);
+        let j = job("hot", 2);
+        let (key, design, report) = synthesized(&j);
+        cache.insert(key.clone(), design, report);
+        for _ in 0..1_000 {
+            assert!(cache.lookup(&key, "hot").is_some());
+        }
+        let queue_len = cache.lock().recency.len();
+        assert!(
+            queue_len <= 4 * cache.len() + 16,
+            "recency queue grew unboundedly: {queue_len}"
+        );
     }
 }

@@ -21,7 +21,7 @@ use crate::metrics::{BatchMetrics, EngineEvent, EventSink};
 /// its own inputs.
 pub struct Engine {
     workers: usize,
-    cache: DesignCache,
+    cache: Arc<DesignCache>,
     sink: Option<Arc<dyn EventSink>>,
     /// How many times a panicking job is retried before its
     /// [`JobError::Panicked`] is surfaced. Transient panics (a poisoned
@@ -54,7 +54,7 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             workers: thread::available_parallelism().map_or(1, |n| n.get()),
-            cache: DesignCache::new(),
+            cache: Arc::new(DesignCache::new()),
             sink: None,
             panic_retries: 1,
             #[cfg(feature = "fault-inject")]
@@ -72,6 +72,16 @@ impl Engine {
     /// retries; the first panic is final).
     pub fn with_panic_retries(mut self, retries: usize) -> Self {
         self.panic_retries = retries;
+        self
+    }
+
+    /// Replaces the engine's design cache with a shared one. Several
+    /// engines (or a long-running service and its per-request engines)
+    /// can point at the same [`DesignCache`] — typically one constructed
+    /// with [`DesignCache::with_byte_budget`] — so synthesis results are
+    /// reused across all of them.
+    pub fn with_cache(mut self, cache: Arc<DesignCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -346,6 +356,31 @@ mod tests {
     // The run_job panic-retry loop is exercised end-to-end by the
     // `fault-inject` suite (tests/fault_tolerance.rs): WorkerPanic
     // faults fire on each job's first attempt and must heal on retry.
+
+    #[test]
+    fn engines_sharing_a_cache_reuse_each_others_designs() {
+        use xring_core::{NetworkSpec, SynthesisOptions};
+        let shared = Arc::new(DesignCache::with_byte_budget(64 << 20));
+        let job = || {
+            SynthesisJob::new(
+                "shared",
+                NetworkSpec::proton_8(),
+                SynthesisOptions::with_wavelengths(4),
+            )
+        };
+        let a = Engine::new().with_cache(Arc::clone(&shared));
+        let b = Engine::new().with_cache(Arc::clone(&shared));
+        let first = a.run_batch(vec![job()]);
+        assert!(!first.outcomes[0].as_ref().expect("ok").cache_hit);
+        let second = b.run_batch(vec![job()]);
+        assert!(
+            second.outcomes[0].as_ref().expect("ok").cache_hit,
+            "second engine missed the shared cache"
+        );
+        assert_eq!(shared.hits(), 1);
+        assert_eq!(shared.misses(), 1);
+        assert!(shared.bytes() > 0);
+    }
 
     #[test]
     fn a_panicking_task_does_not_poison_its_neighbours() {

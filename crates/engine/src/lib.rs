@@ -54,7 +54,7 @@ pub mod job;
 pub mod metrics;
 pub mod sweep;
 
-pub use cache::DesignCache;
+pub use cache::{approx_entry_bytes, canonical_key, DesignCache};
 pub use executor::Engine;
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultClass, FaultPlan, FaultRates};

@@ -71,7 +71,7 @@ mod trace;
 
 pub use export::{folded_frame, json_escape, TraceFormat};
 pub use hist::{histogram, record_hist, Histogram, HistogramSnapshot, HIST_BUCKETS};
-pub use prom::sanitize_metric_name;
+pub use prom::{sanitize_metric_name, validate_exposition};
 pub use sampler::Sampler;
 pub use trace::{
     counter, enabled, finish, gauge, span, span_labelled, start, test_guard, GaugeRecord, Span,

@@ -30,6 +30,46 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Checks that `text` is well-formed Prometheus text exposition (format
+/// 0.0.4) as this crate emits it: every comment is a `# TYPE` line and
+/// every sample line is `name value` or `name{le="…"} value` with a valid
+/// metric name and a parseable value. Returns the first offence, if any.
+///
+/// This is the golden-test harness shared by the obs tests and the
+/// `xring-serve` protocol tests — any endpoint claiming to serve
+/// Prometheus text can assert against it.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            if !line.starts_with("# TYPE ") {
+                return Err(format!("comment is not a # TYPE line: {line}"));
+            }
+            continue;
+        }
+        let Some((name_part, value)) = line.rsplit_once(' ') else {
+            return Err(format!("no space-separated value: {line}"));
+        };
+        if value.parse::<f64>().is_err() {
+            return Err(format!("unparseable value: {line}"));
+        }
+        let name = name_part.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("invalid metric name: {line}"));
+        }
+        if let Some(rest) = name_part.strip_prefix(name) {
+            let label_ok = rest.is_empty() || (rest.starts_with("{le=\"") && rest.ends_with("\"}"));
+            if !label_ok {
+                return Err(format!("malformed label set: {line}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn write_histogram<W: Write>(w: &mut W, h: &HistogramSnapshot) -> io::Result<()> {
     let metric = format!("xring_{}", sanitize_metric_name(&h.name));
     writeln!(w, "# TYPE {metric} histogram")?;
@@ -139,34 +179,19 @@ xring_engine_queue_wait_us_count 6
         assert_eq!(String::from_utf8(out).unwrap(), expected);
     }
 
-    /// A minimal format-0.0.4 line validator: every non-comment line is
-    /// `name value` or `name{le="…"} value`.
     fn assert_parses(text: &str) {
-        for line in text.lines() {
-            if line.starts_with('#') {
-                assert!(line.starts_with("# TYPE "), "comment form: {line}");
-                continue;
-            }
-            let (name_part, value) = line.rsplit_once(' ').expect("space-separated value");
-            value
-                .parse::<f64>()
-                .unwrap_or_else(|_| panic!("value: {line}"));
-            let name = name_part.split('{').next().unwrap();
-            assert!(!name.is_empty());
-            assert!(
-                name.chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
-                "invalid metric name: {line}"
-            );
-            if let Some(rest) = name_part.strip_prefix(name) {
-                if !rest.is_empty() {
-                    assert!(
-                        rest.starts_with("{le=\"") && rest.ends_with("\"}"),
-                        "{line}"
-                    );
-                }
-            }
-        }
+        validate_exposition(text).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_exposition("# HELP foo bar").is_err());
+        assert!(validate_exposition("no_value").is_err());
+        assert!(validate_exposition("name not-a-number").is_err());
+        assert!(validate_exposition("bad-name 1").is_err());
+        assert!(validate_exposition("name{job=\"x\"} 1").is_err());
+        assert!(validate_exposition("# TYPE ok counter\nok 1\n").is_ok());
+        assert!(validate_exposition("h_bucket{le=\"+Inf\"} 3").is_ok());
     }
 
     #[test]

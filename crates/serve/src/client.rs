@@ -1,0 +1,68 @@
+//! A minimal blocking HTTP client for tests, benches and the CI smoke
+//! binary. One request per connection, mirroring the server's
+//! `Connection: close` model.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long a request may take end to end before the client gives up.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Sends one HTTP/1.1 request to `addr` and returns
+/// `(status, body)`. The body is sent with `Content-Length` framing;
+/// pass `""` for body-less requests.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator in response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 429 Too Many Requests\r\nX: y\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_non_http_responses() {
+        assert!(parse_response("garbage").is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

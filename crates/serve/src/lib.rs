@@ -1,0 +1,65 @@
+//! Synthesis as a service: a long-running daemon over the
+//! [`xring-engine`](xring_engine) executor.
+//!
+//! Batch synthesis answers "synthesize these N routers once"; this crate
+//! answers "keep synthesizing whatever arrives, indefinitely, under
+//! load". The daemon speaks JSON over HTTP/1.1 on a
+//! [`std::net::TcpListener`] — std-only like the rest of the workspace,
+//! with a deliberately small hand-rolled HTTP layer ([`http`]).
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `POST /synth` | One network + options → design report, provenance, audit verdict |
+//! | `POST /batch` | Multiple specs, run through the engine's worker pool |
+//! | `GET /metrics` | Live Prometheus text (format 0.0.4): `serve.*`, `cache.*` |
+//! | `GET /healthz` | Liveness + inflight/queued/shed counts |
+//! | `POST /shutdown` | Graceful drain: stop accepting, finish admitted work |
+//!
+//! # Operational semantics
+//!
+//! * **Admission control** ([`server`]): at most `max_inflight` requests
+//!   execute concurrently and at most `queue_depth` wait; beyond that the
+//!   daemon sheds with an immediate 429 rather than queueing unboundedly.
+//! * **Deadlines as a load-shedding knob**: every request gets a
+//!   deadline (server default, per-request override) threaded into the
+//!   MILP branch-and-bound; with `--degradation allow` an expired budget
+//!   degrades through the fallback chain instead of failing, and the
+//!   response reports the [`DegradationLevel`](xring_core::DegradationLevel)
+//!   it was produced at.
+//! * **Bounded shared cache**: one content-addressed
+//!   [`DesignCache`](xring_engine::DesignCache) with a byte budget and
+//!   LRU eviction serves all requests — repeated specs cost a lookup.
+//! * **Live metrics** ([`metrics`]): always-on lock-free histograms
+//!   rendered through the same Prometheus writer as `--metrics-out`.
+//!
+//! ```no_run
+//! use xring_serve::{client, Server, ServeConfig};
+//!
+//! let mut server = Server::start(ServeConfig::default())?;
+//! let (status, body) = client::http_request(
+//!     server.addr(),
+//!     "POST",
+//!     "/synth",
+//!     r#"{"net": {"named": "proton_8"}}"#,
+//! )?;
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"degradation\":\"exact\""));
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use metrics::ServeMetrics;
+pub use protocol::{ProtocolError, RequestDefaults};
+pub use server::{ServeConfig, Server};

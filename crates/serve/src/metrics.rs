@@ -1,0 +1,330 @@
+//! Live daemon metrics.
+//!
+//! The global xring-obs recorder is drain-on-finish — right for batch
+//! runs, wrong for a daemon whose `/metrics` endpoint must answer at any
+//! moment without destroying state. So the daemon owns *always-on local*
+//! instruments (the same lock-free [`Histogram`] type plus plain
+//! atomics) and renders a scrape by assembling a point-in-time
+//! [`Trace`] value and reusing [`Trace::write_prometheus`] — one
+//! exposition renderer in the workspace, two lifecycles.
+//!
+//! Every sample is additionally mirrored into the global recorder via
+//! the gated [`xring_obs::record_hist`]/[`counter`](xring_obs::counter)
+//! calls, so `xring serve --trace` captures `serve.*` series alongside
+//! the engine's exactly like every other subcommand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use xring_engine::DesignCache;
+use xring_obs::{GaugeRecord, Histogram, Trace};
+
+/// Counter and histogram names, in one place so the daemon, the tests
+/// and the bench load-test agree on spellings.
+pub mod names {
+    /// End-to-end request wall time, admission to response, µs.
+    pub const REQUEST_WALL_US: &str = "serve.request_wall_us";
+    /// Time spent queued before a handler picked the request up, µs.
+    pub const QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+    /// Requests admitted (everything that got past parsing).
+    pub const REQUESTS: &str = "serve.requests";
+    /// Responses with a 2xx status.
+    pub const OK: &str = "serve.ok";
+    /// Responses with a 4xx status (shed responses not included).
+    pub const CLIENT_ERRORS: &str = "serve.client_errors";
+    /// Responses with a 5xx status.
+    pub const SERVER_ERRORS: &str = "serve.server_errors";
+    /// Requests shed by admission control (429).
+    pub const SHED: &str = "serve.shed";
+    /// Requests that exhausted their deadline (exact synthesis only;
+    /// degraded completions count under [`DEGRADED`] instead).
+    pub const DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+    /// Successful responses produced below [`DegradationLevel::Exact`]
+    /// (i.e. the fallback chain ran).
+    ///
+    /// [`DegradationLevel::Exact`]: xring_core::DegradationLevel::Exact
+    pub const DEGRADED: &str = "serve.degraded";
+    /// Requests currently inside a handler (gauge).
+    pub const INFLIGHT: &str = "serve.inflight";
+    /// Requests currently parked in the accept queue (gauge).
+    pub const QUEUED: &str = "serve.queued";
+}
+
+/// The daemon's live instrument set. One instance per
+/// [`Server`](crate::Server), shared by reference across the accept
+/// loop and every handler thread; all mutation is relaxed-atomic.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// End-to-end request wall time (admission to response written).
+    pub request_wall: Histogram,
+    /// Queue wait (accepted to handler pickup).
+    pub queue_wait: Histogram,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded: AtomicU64,
+    inflight: AtomicU64,
+    queued: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// A fresh, empty instrument set.
+    pub fn new() -> Self {
+        ServeMetrics {
+            request_wall: Histogram::new(),
+            queue_wait: Histogram::new(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one admitted request's end-to-end wall time and mirrors
+    /// it into the global recorder (a no-op unless `--trace` is live).
+    pub fn record_request_wall(&self, us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.request_wall.record(us);
+        xring_obs::record_hist(names::REQUEST_WALL_US, us);
+        xring_obs::counter(names::REQUESTS, 1);
+    }
+
+    /// Records one request's queue wait.
+    pub fn record_queue_wait(&self, us: u64) {
+        self.queue_wait.record(us);
+        xring_obs::record_hist(names::QUEUE_WAIT_US, us);
+    }
+
+    /// Classifies a finished response by status code.
+    pub fn record_status(&self, status: u16) {
+        let slot = match status {
+            200..=299 => &self.ok,
+            429 => &self.shed,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        let name = match status {
+            200..=299 => names::OK,
+            429 => names::SHED,
+            400..=499 => names::CLIENT_ERRORS,
+            _ => names::SERVER_ERRORS,
+        };
+        xring_obs::counter(name, 1);
+    }
+
+    /// Counts a deadline-exceeded outcome.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        xring_obs::counter(names::DEADLINE_EXCEEDED, 1);
+    }
+
+    /// Counts a response produced by the degradation fallback chain.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        xring_obs::counter(names::DEGRADED, 1);
+    }
+
+    /// Handler entry/exit bracket; returns the inflight count *after*
+    /// the adjustment.
+    pub fn adjust_inflight(&self, delta: i64) -> u64 {
+        adjust(&self.inflight, delta)
+    }
+
+    /// Accept-queue entry/exit bracket.
+    pub fn adjust_queued(&self, delta: i64) -> u64 {
+        adjust(&self.queued, delta)
+    }
+
+    /// Requests currently inside a handler.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently parked in the accept queue.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Total admitted requests.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total shed (429) responses.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total 2xx responses.
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Total responses produced below [`DegradationLevel::Exact`]
+    /// (the load-shedding fallback chain fired).
+    ///
+    /// [`DegradationLevel::Exact`]: xring_core::DegradationLevel::Exact
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Total jobs that failed outright on an expired deadline.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Assembles a point-in-time [`Trace`] of the daemon: serve
+    /// counters/gauges/histograms plus the shared cache's counters and
+    /// byte occupancy. Feeding the result to [`Trace::write_prometheus`]
+    /// is the `/metrics` endpoint; the same value also backs the bench
+    /// load-test's percentile extraction.
+    pub fn to_trace(&self, cache: &DesignCache) -> Trace {
+        let at_ns = self.started.elapsed().as_nanos() as u64;
+        let gauge = |name: &str, value: f64| GaugeRecord {
+            name: name.to_owned(),
+            value,
+            thread: 0,
+            at_ns,
+        };
+        // Zero-valued counters stay in the exposition: scrapers want
+        // stable series, and "shed 0" is information.
+        let totals = vec![
+            (
+                names::REQUESTS.to_owned(),
+                self.requests.load(Ordering::Relaxed),
+            ),
+            (names::OK.to_owned(), self.ok.load(Ordering::Relaxed)),
+            (
+                names::CLIENT_ERRORS.to_owned(),
+                self.client_errors.load(Ordering::Relaxed),
+            ),
+            (
+                names::SERVER_ERRORS.to_owned(),
+                self.server_errors.load(Ordering::Relaxed),
+            ),
+            (names::SHED.to_owned(), self.shed.load(Ordering::Relaxed)),
+            (
+                names::DEADLINE_EXCEEDED.to_owned(),
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            ),
+            (
+                names::DEGRADED.to_owned(),
+                self.degraded.load(Ordering::Relaxed),
+            ),
+            ("cache.hits".to_owned(), cache.hits() as u64),
+            ("cache.misses".to_owned(), cache.misses() as u64),
+            ("cache.evictions".to_owned(), cache.evictions() as u64),
+            (
+                "cache.lru_evictions".to_owned(),
+                cache.lru_evictions() as u64,
+            ),
+            ("cache.evict_bytes".to_owned(), cache.evicted_bytes() as u64),
+        ];
+        let hists = [
+            self.request_wall.snapshot(names::REQUEST_WALL_US),
+            self.queue_wait.snapshot(names::QUEUE_WAIT_US),
+        ]
+        .into_iter()
+        .filter(|h| h.count > 0)
+        .collect();
+        Trace {
+            spans: Vec::new(),
+            gauges: vec![
+                gauge(
+                    names::INFLIGHT,
+                    self.inflight.load(Ordering::Relaxed) as f64,
+                ),
+                gauge(names::QUEUED, self.queued.load(Ordering::Relaxed) as f64),
+                gauge("cache.bytes", cache.bytes() as f64),
+            ],
+            totals,
+            hists,
+        }
+    }
+}
+
+fn adjust(slot: &AtomicU64, delta: i64) -> u64 {
+    if delta >= 0 {
+        slot.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+    } else {
+        slot.fetch_sub((-delta) as u64, Ordering::Relaxed)
+            .saturating_sub((-delta) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_bracket_and_report() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.adjust_inflight(1), 1);
+        assert_eq!(m.adjust_inflight(1), 2);
+        assert_eq!(m.adjust_inflight(-1), 1);
+        assert_eq!(m.inflight(), 1);
+        assert_eq!(m.adjust_queued(1), 1);
+        assert_eq!(m.adjust_queued(-1), 0);
+    }
+
+    #[test]
+    fn trace_snapshot_renders_as_valid_prometheus() {
+        let m = ServeMetrics::new();
+        m.record_request_wall(120);
+        m.record_request_wall(3_400);
+        m.record_queue_wait(15);
+        m.record_status(200);
+        m.record_status(429);
+        m.record_status(400);
+        m.record_status(500);
+        m.record_degraded();
+        m.adjust_inflight(1);
+
+        let cache = DesignCache::with_byte_budget(1 << 20);
+        let trace = m.to_trace(&cache);
+        let mut out = Vec::new();
+        trace.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        xring_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("xring_serve_requests_total 2"));
+        assert!(text.contains("xring_serve_ok_total 1"));
+        assert!(text.contains("xring_serve_shed_total 1"));
+        assert!(text.contains("xring_serve_client_errors_total 1"));
+        assert!(text.contains("xring_serve_server_errors_total 1"));
+        assert!(text.contains("xring_serve_degraded_total 1"));
+        assert!(text.contains("xring_serve_inflight 1"));
+        assert!(text.contains("xring_serve_request_wall_us_bucket"));
+        assert!(text.contains("xring_serve_request_wall_us_count 2"));
+        assert!(text.contains("xring_cache_bytes 0"));
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted_from_the_trace() {
+        let m = ServeMetrics::new();
+        let cache = DesignCache::new();
+        let trace = m.to_trace(&cache);
+        assert!(trace.hists.is_empty());
+        // Counters and gauges still expose stable series at zero.
+        assert!(trace
+            .totals
+            .iter()
+            .any(|(n, v)| n == "serve.shed" && *v == 0));
+    }
+}

@@ -1,0 +1,605 @@
+//! The wire protocol: JSON request bodies → [`SynthesisJob`]s, job
+//! outcomes → JSON response bodies.
+//!
+//! Decoding is *strict*: unknown keys are rejected with a 400 naming the
+//! offending key, so a client typo (`"max_wavelenghts"`) fails loudly
+//! instead of silently synthesizing with defaults. Encoding reuses
+//! [`xring_obs::json_escape`] via the [`crate::json`] helpers — the
+//! workspace keeps a single JSON string escaper.
+//!
+//! # Request schema (`POST /synth`)
+//!
+//! ```json
+//! {
+//!   "label": "my-router",                    // optional
+//!   "net": {"named": "proton_8"}             // one of:
+//!        | {"grid": {"rows": 4, "cols": 4, "pitch_um": 2000}}
+//!        | {"positions": [[0, 0], [1500, 0], [0, 1500]]}
+//!        | {"irregular": {"n": 16, "die_um": 12000, "seed": 7}},
+//!   "options": {                             // optional, all fields optional
+//!     "max_wavelengths": 16,
+//!     "max_waveguides": 0,
+//!     "shortcuts": true, "openings": true, "pdn": true,
+//!     "ring_algorithm": "milp" | "heuristic" | "perimeter",
+//!     "traffic": "all-to-all" | {"knn": 3},
+//!     "deadline_ms": 250,
+//!     "degradation": "forbid" | "allow" | "force-heuristic",
+//!     "lp_backend": "revised" | "dense"
+//!   }
+//! }
+//! ```
+//!
+//! `POST /batch` wraps a list: `{"jobs": [<synth request>, …]}`.
+
+use std::time::Duration;
+
+use xring_core::{DegradationPolicy, NetworkSpec, RingAlgorithm, SynthesisOptions, Traffic};
+use xring_engine::{JobError, JobOutput, SynthesisJob};
+use xring_geom::Point;
+
+use crate::json::{self, fmt_f64, str_field, Json};
+
+/// Hard cap on jobs per `/batch` request: bounds the work a single
+/// request can pin regardless of admission settings.
+pub const MAX_BATCH_JOBS: usize = 64;
+
+/// Hard cap on nodes per network: synthesis cost grows super-linearly,
+/// so this bounds the largest job a request can submit.
+pub const MAX_NODES: usize = 256;
+
+/// A protocol-level rejection: HTTP status, stable machine-readable
+/// code, human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// HTTP status to respond with (400/413/422).
+    pub status: u16,
+    /// Stable error code (`"bad_json"`, `"unknown_field"`, …).
+    pub code: &'static str,
+    /// Detail for the human reading the response.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        ProtocolError {
+            status: 400,
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn unprocessable(code: &'static str, message: impl Into<String>) -> Self {
+        ProtocolError {
+            status: 422,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Server-side defaults applied when a request leaves a knob unset:
+/// the daemon's `--deadline-ms` and `--degradation` flags.
+#[derive(Debug, Clone, Default)]
+pub struct RequestDefaults {
+    /// Default per-request deadline (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// Default degradation policy.
+    pub degradation: DegradationPolicy,
+}
+
+/// Parses a `POST /synth` body into a job. `index` seeds the default
+/// label so batch members stay distinguishable.
+pub fn parse_synth(
+    body: &str,
+    defaults: &RequestDefaults,
+    index: usize,
+) -> Result<SynthesisJob, ProtocolError> {
+    let doc =
+        json::parse(body).map_err(|e| ProtocolError::bad_request("bad_json", e.to_string()))?;
+    job_from_json(&doc, defaults, index)
+}
+
+/// Parses a `POST /batch` body (`{"jobs": [...]}`) into its jobs.
+pub fn parse_batch(
+    body: &str,
+    defaults: &RequestDefaults,
+) -> Result<Vec<SynthesisJob>, ProtocolError> {
+    let doc =
+        json::parse(body).map_err(|e| ProtocolError::bad_request("bad_json", e.to_string()))?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| ProtocolError::bad_request("bad_request", "batch body must be an object"))?;
+    for key in obj.keys() {
+        if key != "jobs" {
+            return Err(unknown_field(key, "batch request"));
+        }
+    }
+    let jobs = obj
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtocolError::bad_request("bad_request", "missing \"jobs\" array"))?;
+    if jobs.is_empty() {
+        return Err(ProtocolError::bad_request(
+            "bad_request",
+            "empty \"jobs\" array",
+        ));
+    }
+    if jobs.len() > MAX_BATCH_JOBS {
+        return Err(ProtocolError {
+            status: 413,
+            code: "batch_too_large",
+            message: format!("{} jobs exceeds the limit of {MAX_BATCH_JOBS}", jobs.len()),
+        });
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| job_from_json(j, defaults, i))
+        .collect()
+}
+
+fn unknown_field(key: &str, context: &str) -> ProtocolError {
+    ProtocolError::bad_request(
+        "unknown_field",
+        format!("unknown field \"{key}\" in {context}"),
+    )
+}
+
+fn job_from_json(
+    doc: &Json,
+    defaults: &RequestDefaults,
+    index: usize,
+) -> Result<SynthesisJob, ProtocolError> {
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| ProtocolError::bad_request("bad_request", "request must be an object"))?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "label" | "net" | "options") {
+            return Err(unknown_field(key, "request"));
+        }
+    }
+    let label = match obj.get("label") {
+        None => format!("req-{index}"),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ProtocolError::bad_request("bad_request", "\"label\" must be a string"))?
+            .to_owned(),
+    };
+    let net = net_from_json(
+        obj.get("net")
+            .ok_or_else(|| ProtocolError::bad_request("bad_request", "missing \"net\""))?,
+    )?;
+    if net.len() > MAX_NODES {
+        return Err(ProtocolError::unprocessable(
+            "network_too_large",
+            format!("{} nodes exceeds the limit of {MAX_NODES}", net.len()),
+        ));
+    }
+    let mut options = SynthesisOptions {
+        deadline: defaults.deadline,
+        degradation: defaults.degradation,
+        ..SynthesisOptions::default()
+    };
+    if let Some(opts) = obj.get("options") {
+        apply_options(opts, &mut options)?;
+    }
+    Ok(SynthesisJob::new(label, net, options))
+}
+
+fn net_from_json(v: &Json) -> Result<NetworkSpec, ProtocolError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| ProtocolError::bad_request("bad_request", "\"net\" must be an object"))?;
+    if obj.len() != 1 {
+        return Err(ProtocolError::bad_request(
+            "bad_request",
+            "\"net\" must have exactly one of: named, grid, positions, irregular",
+        ));
+    }
+    let (kind, body) = obj.iter().next().expect("len == 1");
+    match kind.as_str() {
+        "named" => {
+            let name = body.as_str().ok_or_else(|| {
+                ProtocolError::bad_request("bad_request", "\"named\" must be a string")
+            })?;
+            match name {
+                "proton_8" => Ok(NetworkSpec::proton_8()),
+                "proton_16" => Ok(NetworkSpec::proton_16()),
+                "psion_8" => Ok(NetworkSpec::psion_8()),
+                "psion_16" => Ok(NetworkSpec::psion_16()),
+                "psion_32" => Ok(NetworkSpec::psion_32()),
+                other => Err(ProtocolError::unprocessable(
+                    "unknown_network",
+                    format!(
+                        "unknown network \"{other}\" (expected proton_8, proton_16, psion_8, psion_16 or psion_32)"
+                    ),
+                )),
+            }
+        }
+        "grid" => {
+            let rows = require_usize(body, "rows", "grid")?;
+            let cols = require_usize(body, "cols", "grid")?;
+            let pitch = require_i64(body, "pitch_um", "grid")?;
+            check_keys(body, &["rows", "cols", "pitch_um"], "grid")?;
+            NetworkSpec::regular_grid(rows, cols, pitch)
+                .map_err(|e| ProtocolError::unprocessable("invalid_network", e.to_string()))
+        }
+        "positions" => {
+            let arr = body.as_arr().ok_or_else(|| {
+                ProtocolError::bad_request("bad_request", "\"positions\" must be an array")
+            })?;
+            let mut points = Vec::with_capacity(arr.len());
+            for (i, p) in arr.iter().enumerate() {
+                let pair = p.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                    ProtocolError::bad_request(
+                        "bad_request",
+                        format!("positions[{i}] must be an [x, y] pair"),
+                    )
+                })?;
+                let x = pair[0].as_i64().ok_or_else(|| bad_coord(i))?;
+                let y = pair[1].as_i64().ok_or_else(|| bad_coord(i))?;
+                points.push(Point::new(x, y));
+            }
+            NetworkSpec::new(points)
+                .map_err(|e| ProtocolError::unprocessable("invalid_network", e.to_string()))
+        }
+        "irregular" => {
+            let n = require_usize(body, "n", "irregular")?;
+            let die = require_i64(body, "die_um", "irregular")?;
+            let seed = require_usize(body, "seed", "irregular")? as u64;
+            check_keys(body, &["n", "die_um", "seed"], "irregular")?;
+            NetworkSpec::irregular(n, die, seed)
+                .map_err(|e| ProtocolError::unprocessable("invalid_network", e.to_string()))
+        }
+        other => Err(ProtocolError::bad_request(
+            "bad_request",
+            format!("unknown net kind \"{other}\""),
+        )),
+    }
+}
+
+fn bad_coord(i: usize) -> ProtocolError {
+    ProtocolError::bad_request(
+        "bad_request",
+        format!("positions[{i}] coordinates must be integers"),
+    )
+}
+
+fn check_keys(v: &Json, allowed: &[&str], context: &str) -> Result<(), ProtocolError> {
+    let obj = v.as_obj().ok_or_else(|| {
+        ProtocolError::bad_request("bad_request", format!("\"{context}\" must be an object"))
+    })?;
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(unknown_field(key, context));
+        }
+    }
+    Ok(())
+}
+
+fn require_usize(v: &Json, key: &str, context: &str) -> Result<usize, ProtocolError> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| {
+        ProtocolError::bad_request(
+            "bad_request",
+            format!("\"{context}\" needs a non-negative integer \"{key}\""),
+        )
+    })
+}
+
+fn require_i64(v: &Json, key: &str, context: &str) -> Result<i64, ProtocolError> {
+    v.get(key).and_then(Json::as_i64).ok_or_else(|| {
+        ProtocolError::bad_request(
+            "bad_request",
+            format!("\"{context}\" needs an integer \"{key}\""),
+        )
+    })
+}
+
+fn apply_options(v: &Json, options: &mut SynthesisOptions) -> Result<(), ProtocolError> {
+    const ALLOWED: &[&str] = &[
+        "max_wavelengths",
+        "max_waveguides",
+        "shortcuts",
+        "openings",
+        "pdn",
+        "ring_algorithm",
+        "traffic",
+        "deadline_ms",
+        "degradation",
+        "lp_backend",
+    ];
+    let obj = v.as_obj().ok_or_else(|| {
+        ProtocolError::bad_request("bad_request", "\"options\" must be an object")
+    })?;
+    for (key, value) in obj {
+        match key.as_str() {
+            "max_wavelengths" => {
+                options.max_wavelengths = value
+                    .as_usize()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| option_err(key, "a positive integer"))?;
+            }
+            "max_waveguides" => {
+                options.max_waveguides = value
+                    .as_usize()
+                    .ok_or_else(|| option_err(key, "a non-negative integer"))?;
+            }
+            "shortcuts" => options.shortcuts = require_bool(value, key)?,
+            "openings" => options.openings = require_bool(value, key)?,
+            "pdn" => options.pdn = require_bool(value, key)?,
+            "ring_algorithm" => {
+                options.ring_algorithm = match value.as_str() {
+                    Some("milp") => RingAlgorithm::Milp,
+                    Some("heuristic") => RingAlgorithm::Heuristic,
+                    Some("perimeter") => RingAlgorithm::Perimeter,
+                    _ => {
+                        return Err(option_err(
+                            key,
+                            "one of \"milp\", \"heuristic\", \"perimeter\"",
+                        ))
+                    }
+                };
+            }
+            "traffic" => {
+                options.traffic = match value {
+                    Json::Str(s) if s == "all-to-all" => Traffic::AllToAll,
+                    Json::Obj(_) => {
+                        check_keys(value, &["knn"], "traffic")?;
+                        let k = require_usize(value, "knn", "traffic")?;
+                        if k == 0 {
+                            return Err(option_err(key, "\"knn\" of at least 1"));
+                        }
+                        Traffic::NearestNeighbors(k)
+                    }
+                    _ => return Err(option_err(key, "\"all-to-all\" or {\"knn\": N}")),
+                };
+            }
+            "deadline_ms" => {
+                let ms = value
+                    .as_usize()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| option_err(key, "a positive integer of milliseconds"))?;
+                options.deadline = Some(Duration::from_millis(ms as u64));
+            }
+            "degradation" => {
+                options.degradation = value
+                    .as_str()
+                    .and_then(|s| s.parse::<DegradationPolicy>().ok())
+                    .ok_or_else(|| {
+                        option_err(key, "one of \"forbid\", \"allow\", \"force-heuristic\"")
+                    })?;
+            }
+            "lp_backend" => {
+                options.lp_backend = value
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| option_err(key, "one of \"revised\", \"dense\""))?;
+            }
+            other => {
+                debug_assert!(!ALLOWED.contains(&other));
+                return Err(unknown_field(other, "options"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn option_err(key: &str, expected: &str) -> ProtocolError {
+    ProtocolError::bad_request("bad_request", format!("\"{key}\" must be {expected}"))
+}
+
+fn require_bool(v: &Json, key: &str) -> Result<bool, ProtocolError> {
+    v.as_bool().ok_or_else(|| option_err(key, "a boolean"))
+}
+
+/// Renders a successful job outcome. Every success carries the audit
+/// verdict and the degradation level — operators gate on both.
+pub fn render_output(out: &JobOutput, queue_us: u64, wall_us: u64) -> String {
+    let p = &out.design.provenance;
+    let audit = &p.audit;
+    let r = &out.report;
+    let opt_f64 = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), fmt_f64);
+    let opt_usize = |v: Option<usize>| v.map_or_else(|| "null".to_owned(), |n| n.to_string());
+    format!(
+        concat!(
+            "{{{label},\"cache_hit\":{cache_hit},",
+            "\"degradation\":\"{degradation}\",\"fallback_reason\":{fallback},",
+            "\"audit\":{{\"clean\":{clean},\"verdicts\":{verdicts},{summary}}},",
+            "\"report\":{{\"num_wavelengths\":{wl},\"worst_il_db\":{il},",
+            "\"worst_path_len_mm\":{len},\"worst_path_crossings\":{crossings},",
+            "\"total_power_w\":{power},\"noisy_signal_count\":{noisy},",
+            "\"worst_snr_db\":{snr},\"signal_count\":{signals}}},",
+            "\"queue_us\":{queue_us},\"wall_us\":{wall_us}}}"
+        ),
+        label = str_field("label", &out.label),
+        cache_hit = out.cache_hit,
+        degradation = p.degradation.as_str(),
+        fallback = p.fallback_reason.as_deref().map_or_else(
+            || "null".to_owned(),
+            |r| format!("\"{}\"", xring_obs::json_escape(r))
+        ),
+        clean = audit.is_clean(),
+        verdicts = audit.verdicts.len(),
+        summary = str_field("summary", &audit.summary()),
+        wl = r.num_wavelengths,
+        il = fmt_f64(r.worst_il_db),
+        len = fmt_f64(r.worst_path_len_mm),
+        crossings = r.worst_path_crossings,
+        power = opt_f64(r.total_power_w),
+        noisy = opt_usize(r.noisy_signal_count),
+        snr = opt_f64(r.worst_snr_db),
+        signals = r.signal_count,
+        queue_us = queue_us,
+        wall_us = wall_us,
+    )
+}
+
+/// Maps a job failure to `(status, body)`. Deadline expiry is 504 —
+/// the daemon accepted the work but could not finish it in budget
+/// (with `degradation: "allow"`, the fallback chain usually turns this
+/// into a degraded 200 instead).
+pub fn render_job_error(label: &str, err: &JobError) -> (u16, String) {
+    let (status, code, message) = match err {
+        JobError::DeadlineExceeded => (
+            504,
+            "deadline_exceeded",
+            "synthesis exceeded its deadline".to_owned(),
+        ),
+        JobError::Synthesis(e) => (422, "synthesis_failed", e.to_string()),
+        JobError::Panicked(m) => (500, "internal_panic", m.clone()),
+    };
+    (
+        status,
+        render_error_with_label(Some(label), status, code, &message),
+    )
+}
+
+/// Renders a structured error body: `{"error": {...}}`.
+pub fn render_error(status: u16, code: &str, message: &str) -> String {
+    render_error_with_label(None, status, code, message)
+}
+
+fn render_error_with_label(label: Option<&str>, status: u16, code: &str, message: &str) -> String {
+    let label = label.map_or(String::new(), |l| format!("{},", str_field("label", l)));
+    format!(
+        "{{{label}\"error\":{{\"status\":{status},{code},{message}}}}}",
+        code = str_field("code", code),
+        message = str_field("message", message),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> RequestDefaults {
+        RequestDefaults::default()
+    }
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let job = parse_synth(r#"{"net": {"named": "proton_8"}}"#, &defaults(), 3).unwrap();
+        assert_eq!(job.label, "req-3");
+        assert_eq!(job.net.len(), 8);
+        assert_eq!(job.options.max_wavelengths, 16);
+        assert_eq!(job.options.degradation, DegradationPolicy::Forbid);
+        assert_eq!(job.options.deadline, None);
+    }
+
+    #[test]
+    fn parses_every_net_kind() {
+        let grid = r#"{"net": {"grid": {"rows": 2, "cols": 4, "pitch_um": 1500}}}"#;
+        assert_eq!(parse_synth(grid, &defaults(), 0).unwrap().net.len(), 8);
+        let pos = r#"{"net": {"positions": [[0,0],[1500,0],[0,1500],[1500,1500]]}}"#;
+        assert_eq!(parse_synth(pos, &defaults(), 0).unwrap().net.len(), 4);
+        let irr = r#"{"net": {"irregular": {"n": 6, "die_um": 8000, "seed": 7}}}"#;
+        assert_eq!(parse_synth(irr, &defaults(), 0).unwrap().net.len(), 6);
+    }
+
+    #[test]
+    fn applies_options_and_defaults() {
+        let d = RequestDefaults {
+            deadline: Some(Duration::from_millis(500)),
+            degradation: DegradationPolicy::Allow,
+        };
+        // Server defaults flow in when the request is silent...
+        let job = parse_synth(r#"{"net": {"named": "proton_8"}}"#, &d, 0).unwrap();
+        assert_eq!(job.options.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(job.options.degradation, DegradationPolicy::Allow);
+        // ...and the request overrides them.
+        let body = r#"{"label": "x", "net": {"named": "proton_8"}, "options": {
+            "max_wavelengths": 4, "shortcuts": false, "deadline_ms": 20,
+            "degradation": "force-heuristic", "lp_backend": "dense",
+            "ring_algorithm": "heuristic", "traffic": {"knn": 2}}}"#;
+        let job = parse_synth(body, &d, 0).unwrap();
+        assert_eq!(job.label, "x");
+        assert_eq!(job.options.max_wavelengths, 4);
+        assert!(!job.options.shortcuts);
+        assert_eq!(job.options.deadline, Some(Duration::from_millis(20)));
+        assert_eq!(job.options.degradation, DegradationPolicy::ForceHeuristic);
+        assert_eq!(job.options.traffic, Traffic::NearestNeighbors(2));
+        assert!(matches!(
+            job.options.ring_algorithm,
+            RingAlgorithm::Heuristic
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_and_ill_typed_fields() {
+        let cases = [
+            (
+                r#"{"net": {"named": "proton_8"}, "nett": 1}"#,
+                "unknown_field",
+            ),
+            (
+                r#"{"net": {"named": "proton_8"}, "options": {"max_wavelenghts": 4}}"#,
+                "unknown_field",
+            ),
+            (
+                r#"{"net": {"named": "proton_8"}, "options": {"max_wavelengths": 2.5}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"net": {"named": "proton_8"}, "options": {"deadline_ms": 0}}"#,
+                "bad_request",
+            ),
+            (r#"{"net": {"named": "andromeda_64"}}"#, "unknown_network"),
+            (r#"{"net": {}}"#, "bad_request"),
+            (
+                r#"{"net": {"positions": [[0,0],[1,1]]}}"#,
+                "invalid_network",
+            ),
+            (r#"not json"#, "bad_json"),
+            (r#"[1,2]"#, "bad_request"),
+        ];
+        for (body, code) in cases {
+            let err = parse_synth(body, &defaults(), 0).unwrap_err();
+            assert_eq!(err.code, code, "body: {body}");
+            assert!(err.status == 400 || err.status == 422);
+        }
+    }
+
+    #[test]
+    fn batch_parses_and_caps() {
+        let body = r#"{"jobs": [
+            {"net": {"named": "proton_8"}},
+            {"label": "b", "net": {"named": "psion_16"}}
+        ]}"#;
+        let jobs = parse_batch(body, &defaults()).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].label, "req-0");
+        assert_eq!(jobs[1].label, "b");
+
+        assert_eq!(
+            parse_batch(r#"{"jobs": []}"#, &defaults())
+                .unwrap_err()
+                .status,
+            400
+        );
+        let one = r#"{"net": {"named": "proton_8"}}"#;
+        let too_many = format!(
+            "{{\"jobs\": [{}]}}",
+            vec![one; MAX_BATCH_JOBS + 1].join(",")
+        );
+        assert_eq!(parse_batch(&too_many, &defaults()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let body = render_error(400, "bad_json", "expected ':' at byte 7 in \"x\"");
+        let doc = json::parse(&body).expect("error body parses");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("status")),
+            Some(&Json::Num(400.0))
+        );
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_json")
+        );
+        let (status, body) = render_job_error("lbl", &JobError::DeadlineExceeded);
+        assert_eq!(status, 504);
+        let doc = json::parse(&body).expect("deadline body parses");
+        assert_eq!(doc.get("label").and_then(Json::as_str), Some("lbl"));
+    }
+}

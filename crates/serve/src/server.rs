@@ -1,0 +1,452 @@
+//! The daemon: accept loop, admission control, handler pool, graceful
+//! shutdown.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept ─ read/parse HTTP ─┬─ GET /healthz, /metrics ── answered inline
+//!                           └─ POST /synth, /batch ─ admission
+//!                                 │ queue full → 429 (shed)
+//!                                 ▼
+//!                           bounded queue ─ handler thread
+//!                                 ▼
+//!                           cache probe → engine job → audit → response
+//! ```
+//!
+//! Admission control is two bounds: `max_inflight` handler threads and a
+//! `queue_depth`-slot queue between the accept loop and the handlers
+//! ([`std::sync::mpsc::sync_channel`]). When both are full the daemon
+//! sheds the request with an immediate 429 instead of letting latency
+//! grow without bound — under overload, fail fast and tell the client.
+//! `GET /healthz` and `GET /metrics` are answered inline by the accept
+//! loop, *bypassing* admission: the operator's view into an overloaded
+//! daemon must not itself be shed.
+//!
+//! Shutdown (`POST /shutdown` or [`Server::shutdown`]) stops accepting,
+//! lets the handlers drain every already-admitted request, joins all
+//! threads, and leaves the metrics readable for a final flush.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use xring_core::{DegradationLevel, DegradationPolicy};
+use xring_engine::{DesignCache, Engine, JobError};
+
+use crate::http::{self, Request};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{self, RequestDefaults};
+
+/// Daemon configuration; the CLI's `xring serve` flags map onto this
+/// one-to-one.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral, see [`Server::addr`]).
+    pub port: u16,
+    /// Engine worker threads per request (parallelism *within* a
+    /// `/batch` request; `/synth` uses one).
+    pub workers: usize,
+    /// Handler threads = maximum concurrently-processed requests.
+    pub max_inflight: usize,
+    /// Accept-queue slots between the accept loop and the handlers.
+    /// 0 = rendezvous: a request is admitted only if a handler is
+    /// waiting right now.
+    pub queue_depth: usize,
+    /// Default per-request synthesis deadline (`None` = unbounded);
+    /// requests may override with `options.deadline_ms`.
+    pub deadline: Option<Duration>,
+    /// Default degradation policy; with
+    /// [`DegradationPolicy::Allow`] the fallback chain doubles as a
+    /// load-shedding knob — deadline expiry degrades instead of failing.
+    pub degradation: DegradationPolicy,
+    /// Byte budget for the shared design cache (`None` = unbounded).
+    pub cache_bytes: Option<usize>,
+    /// Maximum request body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 2,
+            max_inflight: 4,
+            queue_depth: 16,
+            deadline: None,
+            degradation: DegradationPolicy::Forbid,
+            cache_bytes: Some(256 << 20),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One admitted unit of work: the connection plus its parsed request.
+struct Work {
+    stream: TcpStream,
+    request: Request,
+    queued_at: Instant,
+}
+
+/// State shared between the accept loop and the handler pool.
+struct Shared {
+    engine: Engine,
+    cache: Arc<DesignCache>,
+    metrics: ServeMetrics,
+    defaults: RequestDefaults,
+    draining: AtomicBool,
+}
+
+/// A running daemon. Dropping it shuts down gracefully (equivalent to
+/// [`shutdown`](Self::shutdown)).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and starts the accept loop and handler
+    /// pool. Returns once the socket is listening — requests may be sent
+    /// immediately.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(match config.cache_bytes {
+            Some(budget) => DesignCache::with_byte_budget(budget),
+            None => DesignCache::new(),
+        });
+        let shared = Arc::new(Shared {
+            engine: Engine::new()
+                .with_workers(config.workers)
+                .with_cache(Arc::clone(&cache)),
+            cache,
+            metrics: ServeMetrics::new(),
+            defaults: RequestDefaults {
+                deadline: config.deadline,
+                degradation: config.degradation,
+            },
+            draining: AtomicBool::new(false),
+        });
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Work>(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut handlers = Vec::with_capacity(config.max_inflight);
+        for i in 0..config.max_inflight.max(1) {
+            let shared = Arc::clone(&shared);
+            let receiver = Arc::clone(&receiver);
+            handlers.push(
+                thread::Builder::new()
+                    .name(format!("serve-handler-{i}"))
+                    .spawn(move || handler_loop(&shared, &receiver))?,
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let max_body = config.max_body_bytes;
+        let accept_thread = thread::Builder::new()
+            .name("serve-accept".to_owned())
+            .spawn(move || accept_loop(listener, &accept_shared, sender, max_body))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves the actual port when configured
+    /// with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's live metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// The shared design cache.
+    pub fn cache(&self) -> &DesignCache {
+        &self.shared.cache
+    }
+
+    /// Whether a drain has been requested (via `POST /shutdown` or
+    /// [`shutdown`](Self::shutdown)). Supervisors poll this to know
+    /// when to reap a daemon that was asked to stop over the wire.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted request,
+    /// join all threads. Idempotent. Metrics remain readable afterwards
+    /// for a final flush.
+    pub fn shutdown(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The accept loop may be blocked in accept(); a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The accept thread dropped the sender on exit; handlers drain
+        // the queue, then their recv() errors out and they return.
+        for t in self.handlers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>, max_body: usize) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or any racer) is dropped unanswered
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_write_timeout(Some(http::READ_TIMEOUT));
+        let request = match http::read_request(&mut stream, max_body) {
+            Ok(r) => r,
+            Err(e) => {
+                let (status, code) = match &e {
+                    http::HttpError::TooLarge(_) => (413, "payload_too_large"),
+                    _ => (400, "bad_http"),
+                };
+                respond(
+                    shared,
+                    &mut stream,
+                    status,
+                    "application/json",
+                    &protocol::render_error(status, code, &e.to_string()),
+                );
+                continue;
+            }
+        };
+        match (request.method.as_str(), request.path.as_str()) {
+            // Operator endpoints answer inline and bypass admission —
+            // they must work *especially* when the daemon is saturated.
+            ("GET", "/healthz") => {
+                let m = &shared.metrics;
+                let body = format!(
+                    "{{\"status\":\"ok\",\"inflight\":{},\"queued\":{},\"requests\":{},\"shed\":{}}}",
+                    m.inflight(),
+                    m.queued(),
+                    m.requests(),
+                    m.shed(),
+                );
+                respond(shared, &mut stream, 200, "application/json", &body);
+            }
+            ("GET", "/metrics") => {
+                let trace = shared.metrics.to_trace(&shared.cache);
+                let mut out = Vec::new();
+                if trace.write_prometheus(&mut out).is_ok() {
+                    let text = String::from_utf8(out).unwrap_or_default();
+                    respond(shared, &mut stream, 200, "text/plain; version=0.0.4", &text);
+                } else {
+                    respond(
+                        shared,
+                        &mut stream,
+                        500,
+                        "application/json",
+                        &protocol::render_error(500, "metrics_failed", "exposition failed"),
+                    );
+                }
+            }
+            ("POST", "/shutdown") => {
+                shared.draining.store(true, Ordering::SeqCst);
+                respond(
+                    shared,
+                    &mut stream,
+                    200,
+                    "application/json",
+                    "{\"status\":\"draining\"}",
+                );
+                break;
+            }
+            ("POST", "/synth" | "/batch") => {
+                shared.metrics.adjust_queued(1);
+                match sender.try_send(Work {
+                    stream,
+                    request,
+                    queued_at: Instant::now(),
+                }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(work) | TrySendError::Disconnected(work)) => {
+                        shared.metrics.adjust_queued(-1);
+                        let mut stream = work.stream;
+                        respond(
+                            shared,
+                            &mut stream,
+                            429,
+                            "application/json",
+                            &protocol::render_error(
+                                429,
+                                "shed",
+                                "admission queue full; retry with backoff",
+                            ),
+                        );
+                    }
+                }
+            }
+            ("GET" | "POST" | "PUT" | "DELETE" | "HEAD" | "PATCH", path) => {
+                let known = matches!(
+                    path,
+                    "/synth" | "/batch" | "/metrics" | "/healthz" | "/shutdown"
+                );
+                let (status, code) = if known {
+                    (405, "method_not_allowed")
+                } else {
+                    (404, "not_found")
+                };
+                respond(
+                    shared,
+                    &mut stream,
+                    status,
+                    "application/json",
+                    &protocol::render_error(status, code, &format!("{} {}", request.method, path)),
+                );
+            }
+            (method, _) => {
+                respond(
+                    shared,
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &protocol::render_error(400, "bad_method", method),
+                );
+            }
+        }
+    }
+    // Dropping `sender` here closes the queue: handlers finish whatever
+    // was admitted, then exit.
+}
+
+/// Writes a response from the accept loop and records its status.
+fn respond(shared: &Shared, stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    shared.metrics.record_status(status);
+    let _ = http::write_response(stream, status, content_type, body);
+}
+
+fn handler_loop(shared: &Shared, receiver: &Mutex<Receiver<Work>>) {
+    loop {
+        // Hold the lock only for the recv itself; a handler processing
+        // a request must not block its peers' pickups.
+        let work = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(mut work) = work else { return };
+        let queue_us = work.queued_at.elapsed().as_micros() as u64;
+        shared.metrics.adjust_queued(-1);
+        shared.metrics.adjust_inflight(1);
+        shared.metrics.record_queue_wait(queue_us);
+        let _span = xring_obs::span_labelled("serve.request", work.request.path.clone());
+        let t0 = Instant::now();
+        let (status, content_type, body) = handle(shared, &work.request, queue_us, t0);
+        shared
+            .metrics
+            .record_request_wall(t0.elapsed().as_micros() as u64);
+        shared.metrics.record_status(status);
+        let _ = http::write_response(&mut work.stream, status, content_type, &body);
+        shared.metrics.adjust_inflight(-1);
+    }
+}
+
+/// Processes one admitted request to `(status, content-type, body)`.
+fn handle(
+    shared: &Shared,
+    request: &Request,
+    queue_us: u64,
+    t0: Instant,
+) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    match request.path.as_str() {
+        "/synth" => {
+            let job = match protocol::parse_synth(&request.body, &shared.defaults, 0) {
+                Ok(job) => job,
+                Err(e) => {
+                    return (
+                        e.status,
+                        JSON,
+                        protocol::render_error(e.status, e.code, &e.message),
+                    )
+                }
+            };
+            let label = job.label.clone();
+            let batch = shared.engine.run_batch(vec![job]);
+            let outcome = batch
+                .outcomes
+                .into_iter()
+                .next()
+                .expect("one job in, one outcome out");
+            track_outcome_metrics(shared, outcome.as_ref());
+            match outcome {
+                Ok(out) => {
+                    let wall_us = t0.elapsed().as_micros() as u64;
+                    (200, JSON, protocol::render_output(&out, queue_us, wall_us))
+                }
+                Err(err) => {
+                    let (status, body) = protocol::render_job_error(&label, &err);
+                    (status, JSON, body)
+                }
+            }
+        }
+        "/batch" => {
+            let jobs = match protocol::parse_batch(&request.body, &shared.defaults) {
+                Ok(jobs) => jobs,
+                Err(e) => {
+                    return (
+                        e.status,
+                        JSON,
+                        protocol::render_error(e.status, e.code, &e.message),
+                    )
+                }
+            };
+            let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+            let batch = shared.engine.run_batch(jobs);
+            let mut results = Vec::with_capacity(batch.outcomes.len());
+            for (label, outcome) in labels.iter().zip(&batch.outcomes) {
+                track_outcome_metrics(shared, outcome.as_ref());
+                match outcome {
+                    Ok(out) => {
+                        results.push(protocol::render_output(
+                            out,
+                            queue_us,
+                            out.wall.as_micros() as u64,
+                        ));
+                    }
+                    Err(err) => {
+                        results.push(protocol::render_job_error(label, err).1);
+                    }
+                }
+            }
+            let wall_us = t0.elapsed().as_micros() as u64;
+            let body = format!(
+                "{{\"results\":[{}],\"queue_us\":{queue_us},\"wall_us\":{wall_us}}}",
+                results.join(",")
+            );
+            (200, JSON, body)
+        }
+        other => (404, JSON, protocol::render_error(404, "not_found", other)),
+    }
+}
+
+/// Bumps the degradation / deadline counters for one job outcome.
+fn track_outcome_metrics(shared: &Shared, outcome: Result<&xring_engine::JobOutput, &JobError>) {
+    match outcome {
+        Ok(out) => {
+            if out.design.provenance.degradation != DegradationLevel::Exact {
+                shared.metrics.record_degraded();
+            }
+        }
+        Err(JobError::DeadlineExceeded) => shared.metrics.record_deadline_exceeded(),
+        Err(_) => {}
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`engine`] — parallel, cached, deadline-aware batch execution,
 //! * [`baselines`] — ORNoC, ORing and crossbar comparison routers,
 //! * [`viz`] — SVG rendering of synthesized layouts,
-//! * [`obs`] — phase-level span tracing, counters and trace exporters.
+//! * [`obs`] — phase-level span tracing, counters and trace exporters,
+//! * [`serve`] — the synthesis daemon: JSON over HTTP with admission
+//!   control, a bounded shared design cache and live Prometheus metrics.
 //!
 //! # Example
 //!
@@ -45,4 +47,5 @@ pub use xring_geom as geom;
 pub use xring_milp as milp;
 pub use xring_obs as obs;
 pub use xring_phot as phot;
+pub use xring_serve as serve;
 pub use xring_viz as viz;
