@@ -29,6 +29,10 @@ cargo test -q --doc --workspace --offline
 echo "==> cargo test -q --features fault-inject (robustness suite)"
 cargo test -q --features fault-inject --offline
 cargo test -q -p xring-engine -p xring-milp --features fault-inject --offline
+cargo test -q -p xring-engine --features fault-inject --offline --doc
+
+echo "==> survivability suites (k-spare synthesis proof + fault-sweep Pareto)"
+cargo test -q --offline --test survivability
 
 echo "==> telemetry suites (obs histograms/prometheus, milp progress, convergence e2e)"
 cargo test -q -p xring-obs --offline
@@ -86,8 +90,12 @@ grep -q "drained after" "$serve_log" || {
     exit 1
 }
 
+echo "==> fault-sweep smoke (CLI Pareto report over spare levels)"
+./target/release/xring fault-sweep --grid 2x4 --wl 8 --levels 0,1 \
+    | grep -q '<= pareto'
+
 echo "==> regress --quick (pinned perf suite smoke + baseline gate)"
 cargo run -q --release -p xring-bench --bin regress --offline -- \
-    --quick --out target/regress-ci.json --compare BENCH_PR6.json
+    --quick --out target/regress-ci.json --compare BENCH_PR7.json
 
 echo "ci: all green"

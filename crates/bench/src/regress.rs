@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use xring_core::{NetworkSpec, RingBuilder, SynthesisOptions, Synthesizer};
+use xring_core::{NetworkSpec, RingBuilder, SpareConfig, SynthesisOptions, Synthesizer};
 use xring_engine::{Engine, SynthesisJob};
 use xring_serve::{client, ServeConfig, Server};
 
@@ -371,6 +371,37 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
             .insert(tp_key.into(), jobs_n as f64 / (wall / 1e3));
     }
 
+    // Device-fault sweep: proton_8 at #wl 8, zero spares against one
+    // spare of each class. Times two syntheses (one with the exhaustive
+    // survivability proof) plus every enumerated single-fault scenario
+    // audited across a 4-worker pool; the margins double as drift
+    // sentinels for the repair model.
+    {
+        let engine = Engine::new().with_workers(4);
+        let net = NetworkSpec::proton_8();
+        let base = SynthesisOptions::with_wavelengths(8);
+        let levels = [SpareConfig::default(), SpareConfig::uniform(1)];
+        let mut margins = (0.0f64, 0.0f64);
+        let mut scenarios = 0usize;
+        let wall = median_ms(repeats, || {
+            let sweep = engine
+                .fault_sweep(&net, &base, &levels, None)
+                .expect("pinned fault-sweep workload is feasible");
+            margins = (sweep.points[0].fault_margin, sweep.points[1].fault_margin);
+            scenarios = sweep.points.iter().map(|p| p.scenarios).sum();
+        });
+        report.metrics.insert("fault_sweep_wall_ms".into(), wall);
+        report
+            .metrics
+            .insert("fault_sweep_scenarios".into(), scenarios as f64);
+        report
+            .metrics
+            .insert("fault_margin_spare0".into(), margins.0);
+        report
+            .metrics
+            .insert("fault_margin_spare1".into(), margins.1);
+    }
+
     serve_load(quick, &mut report)?;
     Ok(report)
 }
@@ -574,6 +605,10 @@ mod tests {
             "batch_cache_hit_rate",
             "bnb_warm_start_rate",
             "milp_bnb_nodes",
+            "fault_sweep_wall_ms",
+            "fault_sweep_scenarios",
+            "fault_margin_spare0",
+            "fault_margin_spare1",
             "serve_load_wall_ms",
             "serve_req_per_s",
             "serve_p50_wall_ms",
@@ -586,6 +621,11 @@ mod tests {
             assert!(v.is_finite() && *v >= 0.0, "{key} = {v}");
         }
         assert_eq!(r.metrics["batch_cache_hit_rate"], 0.5);
+        // The spared level is proven fully survivable at synthesis time;
+        // the zero-spare level necessarily loses demands on MRR drops.
+        assert_eq!(r.metrics["fault_margin_spare1"], 1.0);
+        assert!(r.metrics["fault_margin_spare0"] < 1.0);
+        assert!(r.metrics["fault_sweep_scenarios"] > 0.0);
         // The revised backend (the default) reuses the parent basis on
         // nearly every branch-and-bound child of the irregular ring.
         assert!(

@@ -24,6 +24,10 @@ pub enum Command {
     /// `xring batch ...` — run a whole batch of synthesis jobs on the
     /// engine, with per-job deadlines and metrics.
     Batch(BatchArgs),
+    /// `xring fault-sweep ...` — synthesize the network at several spare
+    /// levels, audit every single-device-fault scenario per level and
+    /// print the Pareto report (power × wavelengths × fault margin).
+    FaultSweep(SynthArgs, Vec<usize>),
     /// `xring serve ...` — run the synthesis daemon until it is told to
     /// shut down (POST /shutdown or stdin EOF).
     Serve(ServeArgs),
@@ -49,6 +53,10 @@ pub struct SynthArgs {
     pub irregular: Option<(usize, u64, i64)>,
     /// `#wl` cap.
     pub wavelengths: usize,
+    /// `--spares K`: reserve K spare wavelength channels and K spare
+    /// MRRs per route; synthesis then proves every single device fault
+    /// survivable before releasing the design.
+    pub spares: usize,
     /// Ring algorithm: "milp" | "heuristic" | "perimeter".
     pub ring: String,
     /// Degradation policy: "forbid" | "allow" | "force-heuristic".
@@ -85,6 +93,7 @@ impl Default for SynthArgs {
             pitch_um: 2_000,
             irregular: None,
             wavelengths: 16,
+            spares: 0,
             ring: "milp".into(),
             degradation: "forbid".into(),
             lp_backend: "revised".into(),
@@ -194,7 +203,7 @@ USAGE:
   xring [--jobs N] <command>
 
   xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
-              [--wl N] [--ring milp|heuristic|perimeter]
+              [--wl N] [--spares K] [--ring milp|heuristic|perimeter]
               [--degradation forbid|allow|force-heuristic]
               [--lp-backend dense|revised]
               [--no-shortcuts] [--no-openings] [--no-pdn] [--svg FILE]
@@ -203,6 +212,7 @@ USAGE:
   xring sweep [synth flags] [--objective il|power|snr]
   xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
               [--repeat K] [--metrics-jsonl FILE]
+  xring fault-sweep [synth flags] [--levels A,B,C]
   xring serve [--port N] [--workers N] [--max-inflight N]
               [--queue-depth N] [--deadline-ms N] [--cache-bytes N]
               [--degradation forbid|allow|force-heuristic]
@@ -224,6 +234,18 @@ DEGRADATION (synth, sweep, batch):
                                  heuristic ring; the result's provenance
                                  records the degradation level
   --degradation force-heuristic  skip the MILP entirely
+
+SURVIVABILITY (synth, sweep, batch, fault-sweep):
+  --spares K      reserve K spare wavelength channels and K spare MRRs
+                  per route; synthesis proves every single device fault
+                  (MRR drop, waveguide-segment break, wavelength-channel
+                  loss) survivable before releasing the design, and
+                  fails otherwise (default 0 = no spares, no proof)
+  --levels A,B,C  (fault-sweep only) spare levels to sweep; per level
+                  the engine synthesizes once, audits every enumerated
+                  single-fault scenario across the worker pool and
+                  prints power, channel count, fault margin and the
+                  Pareto frontier over the three (default 0,1)
 
 SOLVER BACKEND (synth, sweep, batch):
   --lp-backend revised  revised bounded-variable simplex with native
@@ -358,6 +380,14 @@ where
             if out.wavelengths == 0 {
                 return Err(ParseArgsError("#wl must be at least 1".into()));
             }
+        }
+        "--spares" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--spares needs a count".into()))?;
+            out.spares = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad spare count {v}")))?;
         }
         "--ring" => {
             let v = it
@@ -619,6 +649,29 @@ fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
                 }
             }
             Ok(Command::Serve(out))
+        }
+        "fault-sweep" => {
+            let mut levels: Vec<usize> = vec![0, 1];
+            let mut out = SynthArgs::default();
+            while let Some(flag) = it.next() {
+                if flag == "--levels" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError("--levels needs A,B,C".into()))?;
+                    levels = v
+                        .split(',')
+                        .map(|p| {
+                            p.parse::<usize>()
+                                .map_err(|_| ParseArgsError(format!("bad spare level {p}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    continue;
+                }
+                if !apply_synth_flag(flag, &mut it, &mut out)? {
+                    return Err(ParseArgsError(format!("unknown flag {flag}")));
+                }
+            }
+            Ok(Command::FaultSweep(out, levels))
         }
         cmd @ ("synth" | "sweep") => {
             let is_sweep = cmd == "sweep";
@@ -968,6 +1021,54 @@ mod tests {
         assert!(parse(&v(&["synth", "--wl"])).is_err());
         assert!(parse(&v(&["synth", "--bogus"])).is_err());
         assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn spares_flag_parses_on_every_synthesis_command() {
+        let Command::Synth(a) = cmd(&["synth", "--spares", "1"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.spares, 1);
+        let Command::Sweep(a, _) = cmd(&["sweep", "--spares", "2"]) else {
+            panic!("not sweep")
+        };
+        assert_eq!(a.spares, 2);
+        let Command::Batch(b) = cmd(&["batch", "--spares", "1"]) else {
+            panic!("not batch")
+        };
+        assert_eq!(b.synth.spares, 1);
+        // Default and rejects.
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.spares, 0);
+        assert!(parse(&v(&["synth", "--spares"])).is_err());
+        assert!(parse(&v(&["synth", "--spares", "many"])).is_err());
+    }
+
+    #[test]
+    fn fault_sweep_defaults_and_levels() {
+        let Command::FaultSweep(a, levels) = cmd(&["fault-sweep"]) else {
+            panic!("not fault-sweep")
+        };
+        assert_eq!(a, SynthArgs::default());
+        assert_eq!(levels, vec![0, 1]);
+        let Command::FaultSweep(a, levels) = cmd(&[
+            "fault-sweep",
+            "--grid",
+            "2x4",
+            "--wl",
+            "8",
+            "--levels",
+            "0,1,2",
+        ]) else {
+            panic!("not fault-sweep")
+        };
+        assert_eq!((a.rows, a.cols, a.wavelengths), (2, 4, 8));
+        assert_eq!(levels, vec![0, 1, 2]);
+        assert!(parse(&v(&["fault-sweep", "--levels"])).is_err());
+        assert!(parse(&v(&["fault-sweep", "--levels", "one"])).is_err());
+        assert!(parse(&v(&["fault-sweep", "--objective", "snr"])).is_err());
     }
 
     #[test]

@@ -16,7 +16,8 @@ use xring_bench::tables::{
     ablation_pdn, ablation_ring, ablation_shortcuts, print_sections, table1, table2, table3,
 };
 use xring_core::{
-    DegradationLevel, DegradationPolicy, NetworkSpec, RingAlgorithm, SynthesisOptions, Synthesizer,
+    DegradationLevel, DegradationPolicy, NetworkSpec, RingAlgorithm, SpareConfig, SynthesisOptions,
+    Synthesizer,
 };
 use xring_engine::{Engine, JsonlSink, SynthesisJob};
 use xring_phot::{CrosstalkParams, LossParams, PowerParams, RouterReport};
@@ -40,7 +41,7 @@ fn main() -> ExitCode {
     // solves) land in one trace, drained once after the command finishes
     // and rendered to each requested output.
     let (trace_to, solver_log, metrics_out) = match &cli.command {
-        Command::Synth(a) | Command::Sweep(a, _) => (
+        Command::Synth(a) | Command::Sweep(a, _) | Command::FaultSweep(a, _) => (
             a.trace.clone().map(|p| (p, a.trace_format)),
             a.solver_log.clone(),
             a.metrics_out.clone(),
@@ -87,6 +88,7 @@ fn main() -> ExitCode {
         Command::Synth(args) => run_synth(&args),
         Command::Sweep(args, objective) => run_sweep(&args, &objective, &engine),
         Command::Batch(args) => run_batch_cmd(&args, engine),
+        Command::FaultSweep(args, levels) => run_fault_sweep(&args, &levels, &engine),
         Command::Serve(args) => run_serve(&args),
     };
     if solver_sink_installed {
@@ -204,6 +206,7 @@ fn options_of(args: &SynthArgs) -> SynthesisOptions {
         shortcuts: !args.no_shortcuts,
         openings: !args.no_openings,
         pdn: !args.no_pdn,
+        spares: SpareConfig::uniform(args.spares),
         ..SynthesisOptions::with_wavelengths(args.wavelengths)
     }
 }
@@ -321,6 +324,65 @@ fn run_batch_cmd(args: &BatchArgs, mut engine: Engine) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn run_fault_sweep(args: &SynthArgs, levels: &[usize], engine: &Engine) -> ExitCode {
+    let net = match network_of(args) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spare_levels: Vec<SpareConfig> = levels.iter().map(|&k| SpareConfig::uniform(k)).collect();
+    let result = match engine.fault_sweep(
+        &net,
+        &options_of(args),
+        &spare_levels,
+        Some(&CrosstalkParams::default()),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<22} {:>4} {:>3} {:>9} {:>9} {:>7} {:>11} {:>13} {:>8}",
+        "level",
+        "#wl",
+        "wg",
+        "power mW",
+        "survived",
+        "margin",
+        "min-served",
+        "worst SNR dB",
+        "wall ms"
+    );
+    for p in &result.points {
+        let marker = if p.pareto { "  <= pareto" } else { "" };
+        println!(
+            "{:<22} {:>4} {:>3} {:>9} {:>4}/{:<4} {:>7.3} {:>11.3} {:>13} {:>8.1}{marker}",
+            p.label,
+            p.wavelengths,
+            p.waveguides,
+            p.total_power_w
+                .map_or("n/a".into(), |w| format!("{:.2}", w * 1e3)),
+            p.survived,
+            p.scenarios,
+            p.fault_margin,
+            p.min_served_fraction,
+            p.worst_post_snr_db
+                .map_or("n/a".into(), |s| format!("{s:.1}")),
+            p.wall.as_secs_f64() * 1e3,
+        );
+    }
+    for p in &result.points {
+        if let Some(worst) = &p.worst {
+            println!("{}: worst scenario: {worst}", p.label);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_serve(args: &ServeArgs) -> ExitCode {

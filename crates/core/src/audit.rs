@@ -161,9 +161,25 @@ impl AuditReport {
         });
     }
 
-    /// Appends every verdict of `other`.
+    /// Merges `other` into this report with **last-write-wins per
+    /// invariant**: when both reports carry a verdict for the same
+    /// invariant, `other`'s verdict replaces this report's in place
+    /// (check order preserved); invariants only `other` checked are
+    /// appended in `other`'s order. A report therefore never holds two
+    /// verdicts for one invariant after a merge — re-auditing a design
+    /// and merging the fresh report supersedes stale verdicts instead
+    /// of shadowing them.
     pub fn merge(&mut self, other: AuditReport) {
-        self.verdicts.extend(other.verdicts);
+        for verdict in other.verdicts {
+            match self
+                .verdicts
+                .iter_mut()
+                .find(|v| v.invariant == verdict.invariant)
+            {
+                Some(slot) => *slot = verdict,
+                None => self.verdicts.push(verdict),
+            }
+        }
     }
 }
 
@@ -462,5 +478,69 @@ mod tests {
     fn invariant_names_are_stable() {
         assert_eq!(Invariant::RingClosedCycle.name(), "ring-closed-cycle");
         assert_eq!(Invariant::PhysicalBounds.to_string(), "physical-bounds");
+    }
+
+    fn verdict(invariant: Invariant, passed: bool, detail: &str) -> Verdict {
+        Verdict {
+            invariant,
+            passed,
+            detail: detail.to_owned(),
+        }
+    }
+
+    #[test]
+    fn merge_replaces_duplicate_invariants_last_write_wins() {
+        let mut base = AuditReport {
+            verdicts: vec![
+                verdict(Invariant::RingClosedCycle, true, ""),
+                verdict(Invariant::DemandsServedOnce, false, "stale failure"),
+            ],
+        };
+        let fresh = AuditReport {
+            verdicts: vec![
+                verdict(Invariant::DemandsServedOnce, true, ""),
+                verdict(Invariant::PhysicalBounds, true, ""),
+            ],
+        };
+        base.merge(fresh);
+        // No duplicate invariant survives the merge...
+        assert_eq!(base.verdicts.len(), 3);
+        // ...the re-checked verdict replaced the stale one in place...
+        assert_eq!(base.verdicts[1].invariant, Invariant::DemandsServedOnce);
+        assert!(base.verdicts[1].passed);
+        assert!(base.verdicts[1].detail.is_empty());
+        // ...and new invariants were appended after the existing order.
+        assert_eq!(base.verdicts[2].invariant, Invariant::PhysicalBounds);
+        assert!(base.is_clean());
+    }
+
+    #[test]
+    fn merge_last_write_wins_can_also_dirty_a_clean_report() {
+        let mut base = AuditReport {
+            verdicts: vec![verdict(Invariant::LayoutWellFormed, true, "")],
+        };
+        base.merge(AuditReport {
+            verdicts: vec![verdict(
+                Invariant::LayoutWellFormed,
+                false,
+                "re-check failed",
+            )],
+        });
+        assert_eq!(base.verdicts.len(), 1);
+        assert!(!base.is_clean());
+        assert_eq!(base.failures().count(), 1);
+    }
+
+    #[test]
+    fn merge_with_empty_reports_is_a_no_op_in_both_directions() {
+        let mut empty = AuditReport::empty();
+        let full = AuditReport {
+            verdicts: vec![verdict(Invariant::RingCrossingFree, true, "")],
+        };
+        empty.merge(full.clone());
+        assert_eq!(empty, full);
+        let mut full2 = full.clone();
+        full2.merge(AuditReport::empty());
+        assert_eq!(full2, full);
     }
 }

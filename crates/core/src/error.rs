@@ -48,6 +48,19 @@ pub enum SynthesisError {
         /// The audit's failure summary.
         summary: String,
     },
+    /// Spares were requested
+    /// ([`SynthesisOptions::spares`](crate::SynthesisOptions::spares))
+    /// but the exhaustive single-fault verification found a scenario the
+    /// design does not survive. Non-degradable: falling back to a weaker
+    /// ring algorithm cannot make an unsurvivable design survivable.
+    SurvivabilityFailed {
+        /// Scenarios that passed the post-failure audit.
+        survived: usize,
+        /// Scenarios enumerated.
+        scenarios: usize,
+        /// Description of the worst failing scenario.
+        scenario: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -76,6 +89,14 @@ impl fmt::Display for SynthesisError {
             SynthesisError::AuditFailed { summary } => {
                 write!(f, "design audit failed: {summary}")
             }
+            SynthesisError::SurvivabilityFailed {
+                survived,
+                scenarios,
+                scenario,
+            } => write!(
+                f,
+                "design is not single-fault survivable ({survived}/{scenarios} scenarios clean); worst: {scenario}"
+            ),
         }
     }
 }
@@ -131,6 +152,13 @@ mod tests {
         };
         assert!(e.to_string().contains("audit"));
         assert!(e.to_string().contains("ring-closed-cycle"));
+        let e = SynthesisError::SurvivabilityFailed {
+            survived: 10,
+            scenarios: 12,
+            scenario: "segment-break(waveguide 0, edge 3)".to_owned(),
+        };
+        assert!(e.to_string().contains("10/12"));
+        assert!(e.to_string().contains("segment-break"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod audit;
 pub mod describe;
 pub mod design;
 pub mod error;
+pub mod fault;
 pub mod heuristics;
 pub mod layout;
 pub mod mapping;
@@ -57,6 +58,11 @@ pub mod variation;
 pub use audit::{audit_design, audit_report_bounds, audit_structure, AuditReport, Invariant};
 pub use design::{DegradationLevel, Provenance, RingSpacing, XRingDesign};
 pub use error::SynthesisError;
+pub use fault::{
+    apply_fault, audit_degraded, audit_design_under_fault, enumerate_single_faults,
+    protected_single_faults, verify_faults, verify_single_fault_survivability, DegradedDesign,
+    DeviceFault, FaultAudit, RepairSummary, SpareConfig, SurvivabilityReport,
+};
 pub use layout::{Hop, LayoutModel, NoiseSource, Station, Waveguide};
 pub use mapping::{map_signals, map_signals_with_traffic, MappingPlan, RouteKind, SignalRoute};
 pub use netspec::{NetworkSpec, NodeId};

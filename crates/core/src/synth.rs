@@ -2,6 +2,7 @@
 
 use crate::design::{realize, DegradationLevel, Provenance, RingSpacing, XRingDesign};
 use crate::error::SynthesisError;
+use crate::fault::SpareConfig;
 use crate::netspec::NetworkSpec;
 use crate::opening::open_rings;
 use crate::pdn::design_pdn;
@@ -108,6 +109,15 @@ pub struct SynthesisOptions {
     /// also switches to the dense backend, so a numerical failure in
     /// one LP kernel is never retried on the same kernel.
     pub lp_backend: LpBackendKind,
+    /// Spare resources for single-device-fault survivability (default:
+    /// none). With `k_wavelengths > 0`, signal mapping is confined to
+    /// `max_wavelengths - k_wavelengths` channels so the top `k` stay
+    /// dark for repairs; with any spare provisioned, synthesis
+    /// exhaustively verifies every single-fault scenario through the
+    /// post-failure auditor and fails with
+    /// [`SynthesisError::SurvivabilityFailed`] rather than return an
+    /// unsurvivable design (see [`crate::fault`]).
+    pub spares: SpareConfig,
 }
 
 impl Default for SynthesisOptions {
@@ -126,6 +136,7 @@ impl Default for SynthesisOptions {
             deadline: None,
             degradation: DegradationPolicy::default(),
             lp_backend: LpBackendKind::default(),
+            spares: SpareConfig::default(),
         }
     }
 }
@@ -161,6 +172,13 @@ impl SynthesisOptions {
     /// Selects the LP backend (see [`lp_backend`](Self::lp_backend)).
     pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
         self.lp_backend = backend;
+        self
+    }
+
+    /// Reserves spare resources for single-fault survivability (see
+    /// [`spares`](Self::spares)).
+    pub fn with_spares(mut self, spares: SpareConfig) -> Self {
+        self.spares = spares;
         self
     }
 }
@@ -317,8 +335,17 @@ impl Synthesizer {
             ShortcutPlan::empty()
         };
 
-        // Step 3: mapping + openings.
+        // Step 3: mapping + openings. Spare wavelengths are reserved by
+        // mapping into a reduced budget: the top `k_wavelengths` channels
+        // stay dark until a fault repair claims them.
         check_deadline()?;
+        let effective_wavelengths = o.max_wavelengths.saturating_sub(o.spares.k_wavelengths);
+        if o.spares.k_wavelengths > 0 && effective_wavelengths == 0 {
+            return Err(SynthesisError::WavelengthBudgetExceeded {
+                max_wavelengths: o.max_wavelengths,
+                max_waveguides: o.max_waveguides,
+            });
+        }
         let mut plan = {
             let _s = xring_obs::span("mapping");
             crate::mapping::map_signals_with_traffic(
@@ -326,13 +353,13 @@ impl Synthesizer {
                 &ring.cycle,
                 &shortcuts,
                 &o.traffic,
-                o.max_wavelengths,
+                effective_wavelengths,
                 o.max_waveguides,
             )?
         };
         let opening_stats = if o.openings {
             let _s = xring_obs::span("opening");
-            open_rings(&ring.cycle, &mut plan, o.max_wavelengths)
+            open_rings(&ring.cycle, &mut plan, effective_wavelengths)
         } else {
             Default::default()
         };
@@ -369,6 +396,23 @@ impl Synthesizer {
             return Err(SynthesisError::AuditFailed {
                 summary: audit.summary(),
             });
+        }
+        // With spares provisioned, prove the design survives every
+        // single device fault the spare config protects against before
+        // releasing it.
+        if o.spares.any() {
+            let _s = xring_obs::span("survivability-verify");
+            let protected = crate::fault::protected_single_faults(&design, o.spares);
+            let surv = crate::fault::verify_faults(&design, &protected, o, None);
+            if !surv.fully_survivable() {
+                return Err(SynthesisError::SurvivabilityFailed {
+                    survived: surv.survived,
+                    scenarios: surv.scenarios,
+                    scenario: surv
+                        .worst
+                        .unwrap_or_else(|| "unidentified scenario".to_owned()),
+                });
+            }
         }
         design.provenance = Provenance {
             degradation: attempt.level,

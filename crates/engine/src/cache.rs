@@ -82,7 +82,18 @@ pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
             k.push(2);
             u(&mut k, *n);
         }
+        Traffic::Hotspot { hotspots, seed } => {
+            k.push(3);
+            u(&mut k, *hotspots);
+            k.extend_from_slice(&seed.to_le_bytes());
+        }
+        Traffic::Permutation { seed } => {
+            k.push(4);
+            k.extend_from_slice(&seed.to_le_bytes());
+        }
     }
+    u(&mut k, o.spares.k_wavelengths);
+    u(&mut k, o.spares.k_mrrs);
     for loss in [&o.loss, &job.loss] {
         f(&mut k, loss.propagation_db_per_cm);
         f(&mut k, loss.crossing_db);
@@ -474,6 +485,30 @@ mod tests {
         assert_ne!(base, canonical_key(&other));
         let mut other = job("x", 8);
         other.options.lp_backend = xring_core::LpBackendKind::Dense;
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.spares = xring_core::SpareConfig::uniform(1);
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.spares = xring_core::SpareConfig {
+            k_wavelengths: 1,
+            k_mrrs: 0,
+        };
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.traffic = Traffic::Hotspot {
+            hotspots: 2,
+            seed: 9,
+        };
+        let hotspot = canonical_key(&other);
+        assert_ne!(base, hotspot);
+        other.options.traffic = Traffic::Hotspot {
+            hotspots: 2,
+            seed: 10,
+        };
+        assert_ne!(hotspot, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.traffic = Traffic::Permutation { seed: 9 };
         assert_ne!(base, canonical_key(&other));
     }
 

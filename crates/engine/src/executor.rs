@@ -256,6 +256,8 @@ impl Engine {
         #[cfg(feature = "fault-inject")]
         let _armed = self.inject_fault(index, attempt, &key);
         if let Some((design, report)) = self.cache.lookup(&key, &job.label) {
+            #[cfg(feature = "fault-inject")]
+            self.check_device_fault(index, attempt, &design, job)?;
             return Ok(JobOutput {
                 label: job.label.clone(),
                 design,
@@ -284,6 +286,11 @@ impl Engine {
             }));
         }
         self.cache.insert(key, Arc::clone(&design), report.clone());
+        // The design is good and cached; an injected device fault is an
+        // external event striking it afterwards, so it fails only this
+        // job, never the cache entry.
+        #[cfg(feature = "fault-inject")]
+        self.check_device_fault(index, attempt, &design, job)?;
         Ok(JobOutput {
             label: job.label.clone(),
             design,
@@ -318,6 +325,52 @@ impl Engine {
                 self.cache.corrupt(key);
                 None
             }
+            // Strikes the *product*, not the pipeline: applied to the
+            // finished design in `check_device_fault`.
+            FaultClass::DeviceFault => None,
+        }
+    }
+
+    /// Applies the plan's seeded device fault (if `(index, attempt)`
+    /// drew [`FaultClass::DeviceFault`](crate::fault::FaultClass)) to
+    /// the finished design and fails the job unless the degraded design
+    /// passes its post-failure audit. A design synthesized with spares
+    /// ([`SynthesisOptions::spares`](xring_core::SynthesisOptions)) is
+    /// proven survivable and sails through; a zero-spare design loses
+    /// the struck demand and the job errors.
+    #[cfg(feature = "fault-inject")]
+    fn check_device_fault(
+        &self,
+        index: usize,
+        attempt: usize,
+        design: &xring_core::XRingDesign,
+        job: &SynthesisJob,
+    ) -> Result<(), JobError> {
+        use crate::fault::FaultClass;
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return Ok(());
+        };
+        if attempt > 0 || plan.decide(index) != Some(FaultClass::DeviceFault) {
+            return Ok(());
+        }
+        let faults = xring_core::enumerate_single_faults(design);
+        if faults.is_empty() {
+            return Ok(());
+        }
+        // Seeded scenario pick, independent of the decide() draw stream.
+        let stream = plan.seed() ^ (index as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let pick = (xring_core::SplitMix64::new(stream).next_u64() as usize) % faults.len();
+        let fault = faults[pick];
+        let audit =
+            xring_core::audit_design_under_fault(design, fault, &job.options, job.xtalk.as_ref());
+        if audit.survived {
+            xring_obs::counter("engine.device_faults_survived", 1);
+            Ok(())
+        } else {
+            xring_obs::counter("engine.device_faults_fatal", 1);
+            Err(JobError::Synthesis(SynthesisError::AuditFailed {
+                summary: format!("injected device fault {fault}: {}", audit.report.summary()),
+            }))
         }
     }
 }

@@ -7,7 +7,7 @@
 //! run and any worker count — the property the fault-tolerance suite
 //! relies on to assert exact per-job outcomes.
 //!
-//! The four classes cover the failure modes the engine promises to
+//! The five classes cover the failure modes the engine promises to
 //! survive:
 //!
 //! * [`FaultClass::SimplexNumerical`] — the MILP's LP relaxation reports
@@ -17,6 +17,12 @@
 //! * [`FaultClass::WorkerPanic`] — the worker thread panics mid-job.
 //! * [`FaultClass::CacheCorruption`] — the job's cache entry (if any) is
 //!   corrupted just before lookup, exercising validate-on-read eviction.
+//! * [`FaultClass::DeviceFault`] — a seeded post-silicon device fault
+//!   (MRR drop, segment break or wavelength loss, see
+//!   [`xring_core::fault`]) is applied to the synthesized design and the
+//!   job fails unless the degraded design still passes its post-failure
+//!   audit. Unlike the four *process* classes above, this fault strikes
+//!   the product, not the pipeline.
 //!
 //! [`SolveError::Numerical`]: xring_milp::SolveError::Numerical
 //! [`SolveError::Interrupted`]: xring_milp::SolveError::Interrupted
@@ -34,12 +40,26 @@ pub enum FaultClass {
     WorkerPanic,
     /// The job's cached design is corrupted before its cache lookup.
     CacheCorruption,
+    /// A seeded device fault (MRR drop, segment break, wavelength loss)
+    /// strikes the synthesized design; the job fails unless the degraded
+    /// design passes its post-failure audit.
+    DeviceFault,
 }
 
 impl FaultClass {
     /// Every class, in the order [`FaultPlan::decide`] stacks their
     /// probability bands.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::SimplexNumerical,
+        FaultClass::SolverDeadline,
+        FaultClass::WorkerPanic,
+        FaultClass::CacheCorruption,
+        FaultClass::DeviceFault,
+    ];
+
+    /// The *process* classes — faults in the synthesis pipeline itself,
+    /// as opposed to the post-silicon [`FaultClass::DeviceFault`].
+    pub const PROCESS: [FaultClass; 4] = [
         FaultClass::SimplexNumerical,
         FaultClass::SolverDeadline,
         FaultClass::WorkerPanic,
@@ -53,6 +73,7 @@ impl FaultClass {
             FaultClass::SolverDeadline => "solver-deadline",
             FaultClass::WorkerPanic => "worker-panic",
             FaultClass::CacheCorruption => "cache-corruption",
+            FaultClass::DeviceFault => "device-fault",
         }
     }
 }
@@ -76,22 +97,33 @@ pub struct FaultRates {
     pub panic: f64,
     /// Probability of [`FaultClass::CacheCorruption`].
     pub cache_corruption: f64,
+    /// Probability of [`FaultClass::DeviceFault`].
+    pub device: f64,
 }
 
 impl FaultRates {
-    /// The same rate for every class.
+    /// The same rate for every *process* class
+    /// ([`FaultClass::PROCESS`]); the device-fault rate stays 0 (combine
+    /// with [`with_device`](Self::with_device) to add it).
     pub fn uniform(rate: f64) -> Self {
         FaultRates {
             numerical: rate,
             deadline: rate,
             panic: rate,
             cache_corruption: rate,
+            device: 0.0,
         }
+    }
+
+    /// Sets the device-fault rate.
+    pub fn with_device(mut self, rate: f64) -> Self {
+        self.device = rate;
+        self
     }
 
     /// The total probability that a job suffers any fault.
     pub fn total(&self) -> f64 {
-        self.numerical + self.deadline + self.panic + self.cache_corruption
+        self.numerical + self.deadline + self.panic + self.cache_corruption + self.device
     }
 }
 
@@ -123,6 +155,7 @@ impl FaultPlan {
             ("deadline", rates.deadline),
             ("panic", rates.panic),
             ("cache_corruption", rates.cache_corruption),
+            ("device", rates.device),
         ] {
             assert!((0.0..=1.0).contains(&r), "{name} rate {r} outside [0, 1]");
         }
@@ -147,6 +180,45 @@ impl FaultPlan {
 
     /// The fault (if any) injected into the job at submission `index`.
     /// Pure: depends only on the seed, the rates and the index.
+    ///
+    /// # Rate-stacking order
+    ///
+    /// One uniform draw in `[0, 1)` is taken per index and mapped
+    /// through probability bands stacked in [`FaultClass::ALL`] order —
+    /// `numerical`, `deadline`, `panic`, `cache_corruption`, `device`.
+    /// The draw lands in the first band whose cumulative upper edge
+    /// exceeds it, so changing one class's rate never re-rolls the draw:
+    /// it only moves the band edges. This order is a stability contract
+    /// — reordering the bands (or inserting a class anywhere but at the
+    /// end) would silently re-class every seeded scenario, so new
+    /// classes must always append.
+    ///
+    /// ```
+    /// use xring_engine::{FaultClass, FaultPlan, FaultRates};
+    ///
+    /// // A full-width first band captures every draw…
+    /// let plan = FaultPlan::new(9).with_rates(FaultRates {
+    ///     numerical: 1.0,
+    ///     ..FaultRates::default()
+    /// });
+    /// assert_eq!(plan.decide(3), Some(FaultClass::SimplexNumerical));
+    ///
+    /// // …and re-assigning its mass to the band stacked directly after
+    /// // it re-classes the same draw without changing *which* indices
+    /// // fault: the draw is a pure function of (seed, index).
+    /// let moved = FaultPlan::new(9).with_rates(FaultRates {
+    ///     deadline: 1.0,
+    ///     ..FaultRates::default()
+    /// });
+    /// assert_eq!(moved.decide(3), Some(FaultClass::SolverDeadline));
+    ///
+    /// // The device band stacks last, above all process bands.
+    /// let device = FaultPlan::new(9).with_rates(FaultRates {
+    ///     device: 1.0,
+    ///     ..FaultRates::default()
+    /// });
+    /// assert_eq!(device.decide(3), Some(FaultClass::DeviceFault));
+    /// ```
     pub fn decide(&self, index: usize) -> Option<FaultClass> {
         let stream = self.seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let draw = SplitMix64::new(stream).next_f64();
@@ -156,6 +228,7 @@ impl FaultPlan {
             self.rates.deadline,
             self.rates.panic,
             self.rates.cache_corruption,
+            self.rates.device,
         ]) {
             band += rate;
             if draw < band {
@@ -196,9 +269,31 @@ mod tests {
         let fired = schedule.iter().filter(|d| d.is_some()).count();
         // Expect ~4000 of 10k; allow a generous band.
         assert!((3_500..=4_500).contains(&fired), "fired {fired}");
-        for class in FaultClass::ALL {
+        for class in FaultClass::PROCESS {
             let n = schedule.iter().filter(|d| **d == Some(class)).count();
             assert!((700..=1_300).contains(&n), "{class}: {n}");
+        }
+    }
+
+    #[test]
+    fn device_band_stacks_after_process_bands() {
+        let rates = FaultRates::uniform(0.1).with_device(0.1);
+        let plan = FaultPlan::new(0xFA_15).with_rates(rates);
+        let schedule = plan.schedule(10_000);
+        let device = schedule
+            .iter()
+            .filter(|d| **d == Some(FaultClass::DeviceFault))
+            .count();
+        assert!((700..=1_300).contains(&device), "device: {device}");
+        // Raising only the device rate must not re-class any job a
+        // process band already captured.
+        let wider = FaultPlan::new(0xFA_15)
+            .with_rates(FaultRates::uniform(0.1).with_device(0.3))
+            .schedule(10_000);
+        for (a, b) in schedule.iter().zip(&wider) {
+            if let Some(c) = a {
+                assert_eq!(Some(*c), *b);
+            }
         }
     }
 
@@ -228,8 +323,10 @@ mod tests {
                 "simplex-numerical",
                 "solver-deadline",
                 "worker-panic",
-                "cache-corruption"
+                "cache-corruption",
+                "device-fault"
             ]
         );
+        assert_eq!(FaultClass::PROCESS[..], FaultClass::ALL[..4]);
     }
 }

@@ -52,6 +52,7 @@ pub mod executor;
 pub mod fault;
 pub mod job;
 pub mod metrics;
+pub mod survivability;
 pub mod sweep;
 
 pub use cache::{approx_entry_bytes, canonical_key, DesignCache};
@@ -60,3 +61,4 @@ pub use executor::Engine;
 pub use fault::{FaultClass, FaultPlan, FaultRates};
 pub use job::{BatchResult, JobError, JobOutput, SynthesisJob};
 pub use metrics::{BatchMetrics, EngineEvent, EventSink, JsonlSink};
+pub use survivability::{FaultSweepPoint, FaultSweepResult};

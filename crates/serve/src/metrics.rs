@@ -44,6 +44,10 @@ pub mod names {
     ///
     /// [`DegradationLevel::Exact`]: xring_core::DegradationLevel::Exact
     pub const DEGRADED: &str = "serve.degraded";
+    /// Successful responses whose design was synthesized with spares,
+    /// i.e. released only after the exhaustive single-device-fault
+    /// survivability proof.
+    pub const SPARED: &str = "serve.spared";
     /// Requests currently inside a handler (gauge).
     pub const INFLIGHT: &str = "serve.inflight";
     /// Requests currently parked in the accept queue (gauge).
@@ -66,6 +70,7 @@ pub struct ServeMetrics {
     shed: AtomicU64,
     deadline_exceeded: AtomicU64,
     degraded: AtomicU64,
+    spared: AtomicU64,
     inflight: AtomicU64,
     queued: AtomicU64,
     started: Instant,
@@ -90,6 +95,7 @@ impl ServeMetrics {
             shed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            spared: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             started: Instant::now(),
@@ -141,6 +147,13 @@ impl ServeMetrics {
         xring_obs::counter(names::DEGRADED, 1);
     }
 
+    /// Counts a successful response backed by a survivability-proven
+    /// (spared) design.
+    pub fn record_spared(&self) {
+        self.spared.fetch_add(1, Ordering::Relaxed);
+        xring_obs::counter(names::SPARED, 1);
+    }
+
     /// Handler entry/exit bracket; returns the inflight count *after*
     /// the adjustment.
     pub fn adjust_inflight(&self, delta: i64) -> u64 {
@@ -185,6 +198,12 @@ impl ServeMetrics {
         self.degraded.load(Ordering::Relaxed)
     }
 
+    /// Total 2xx responses whose design carried spares and so passed
+    /// the exhaustive single-fault survivability proof.
+    pub fn spared(&self) -> u64 {
+        self.spared.load(Ordering::Relaxed)
+    }
+
     /// Total jobs that failed outright on an expired deadline.
     pub fn deadline_exceeded(&self) -> u64 {
         self.deadline_exceeded.load(Ordering::Relaxed)
@@ -227,6 +246,10 @@ impl ServeMetrics {
             (
                 names::DEGRADED.to_owned(),
                 self.degraded.load(Ordering::Relaxed),
+            ),
+            (
+                names::SPARED.to_owned(),
+                self.spared.load(Ordering::Relaxed),
             ),
             ("cache.hits".to_owned(), cache.hits() as u64),
             ("cache.misses".to_owned(), cache.misses() as u64),
@@ -295,6 +318,7 @@ mod tests {
         m.record_status(400);
         m.record_status(500);
         m.record_degraded();
+        m.record_spared();
         m.adjust_inflight(1);
 
         let cache = DesignCache::with_byte_budget(1 << 20);
@@ -309,6 +333,7 @@ mod tests {
         assert!(text.contains("xring_serve_client_errors_total 1"));
         assert!(text.contains("xring_serve_server_errors_total 1"));
         assert!(text.contains("xring_serve_degraded_total 1"));
+        assert!(text.contains("xring_serve_spared_total 1"));
         assert!(text.contains("xring_serve_inflight 1"));
         assert!(text.contains("xring_serve_request_wall_us_bucket"));
         assert!(text.contains("xring_serve_request_wall_us_count 2"));

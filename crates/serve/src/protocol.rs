@@ -21,7 +21,10 @@
 //!     "max_waveguides": 0,
 //!     "shortcuts": true, "openings": true, "pdn": true,
 //!     "ring_algorithm": "milp" | "heuristic" | "perimeter",
-//!     "traffic": "all-to-all" | {"knn": 3},
+//!     "traffic": "all-to-all" | {"knn": 3}
+//!              | {"hotspot": {"hotspots": 2, "seed": 7}}
+//!              | {"permutation": {"seed": 11}},
+//!     "spares": 1 | {"k_wavelengths": 1, "k_mrrs": 1},
 //!     "deadline_ms": 250,
 //!     "degradation": "forbid" | "allow" | "force-heuristic",
 //!     "lp_backend": "revised" | "dense"
@@ -29,11 +32,18 @@
 //! }
 //! ```
 //!
+//! `"spares"` reserves that many spare wavelength channels and spare
+//! MRRs per route (a bare integer applies to both classes); synthesis
+//! then proves every single device fault survivable before releasing
+//! the design and the job fails with 422 otherwise.
+//!
 //! `POST /batch` wraps a list: `{"jobs": [<synth request>, …]}`.
 
 use std::time::Duration;
 
-use xring_core::{DegradationPolicy, NetworkSpec, RingAlgorithm, SynthesisOptions, Traffic};
+use xring_core::{
+    DegradationPolicy, NetworkSpec, RingAlgorithm, SpareConfig, SynthesisOptions, Traffic,
+};
 use xring_engine::{JobError, JobOutput, SynthesisJob};
 use xring_geom::Point;
 
@@ -303,6 +313,7 @@ fn apply_options(v: &Json, options: &mut SynthesisOptions) -> Result<(), Protoco
         "pdn",
         "ring_algorithm",
         "traffic",
+        "spares",
         "deadline_ms",
         "degradation",
         "lp_backend",
@@ -340,17 +351,64 @@ fn apply_options(v: &Json, options: &mut SynthesisOptions) -> Result<(), Protoco
                 };
             }
             "traffic" => {
+                const FORMS: &str = "\"all-to-all\", {\"knn\": N}, \
+                     {\"hotspot\": {\"hotspots\": N, \"seed\": S}} or \
+                     {\"permutation\": {\"seed\": S}}";
                 options.traffic = match value {
                     Json::Str(s) if s == "all-to-all" => Traffic::AllToAll,
-                    Json::Obj(_) => {
-                        check_keys(value, &["knn"], "traffic")?;
-                        let k = require_usize(value, "knn", "traffic")?;
-                        if k == 0 {
-                            return Err(option_err(key, "\"knn\" of at least 1"));
+                    Json::Obj(o) if o.len() == 1 => {
+                        let (kind, body) = o.iter().next().expect("len == 1");
+                        match kind.as_str() {
+                            "knn" => {
+                                let k = body
+                                    .as_usize()
+                                    .filter(|&k| k >= 1)
+                                    .ok_or_else(|| option_err(key, "\"knn\" of at least 1"))?;
+                                Traffic::NearestNeighbors(k)
+                            }
+                            "hotspot" => {
+                                check_keys(body, &["hotspots", "seed"], "hotspot")?;
+                                let hotspots = require_usize(body, "hotspots", "hotspot")?;
+                                if hotspots == 0 {
+                                    return Err(option_err(key, "\"hotspots\" of at least 1"));
+                                }
+                                let seed = require_usize(body, "seed", "hotspot")? as u64;
+                                Traffic::Hotspot { hotspots, seed }
+                            }
+                            "permutation" => {
+                                check_keys(body, &["seed"], "permutation")?;
+                                let seed = require_usize(body, "seed", "permutation")? as u64;
+                                Traffic::Permutation { seed }
+                            }
+                            _ => return Err(option_err(key, FORMS)),
                         }
-                        Traffic::NearestNeighbors(k)
                     }
-                    _ => return Err(option_err(key, "\"all-to-all\" or {\"knn\": N}")),
+                    _ => return Err(option_err(key, FORMS)),
+                };
+            }
+            "spares" => {
+                options.spares = match value {
+                    Json::Obj(_) => {
+                        check_keys(value, &["k_wavelengths", "k_mrrs"], "spares")?;
+                        let mut spares = SpareConfig::default();
+                        if let Some(v) = value.get("k_wavelengths") {
+                            spares.k_wavelengths = v.as_usize().ok_or_else(|| {
+                                option_err("k_wavelengths", "a non-negative integer")
+                            })?;
+                        }
+                        if let Some(v) = value.get("k_mrrs") {
+                            spares.k_mrrs = v
+                                .as_usize()
+                                .ok_or_else(|| option_err("k_mrrs", "a non-negative integer"))?;
+                        }
+                        spares
+                    }
+                    _ => SpareConfig::uniform(value.as_usize().ok_or_else(|| {
+                        option_err(
+                            key,
+                            "a non-negative integer or {\"k_wavelengths\": N, \"k_mrrs\": M}",
+                        )
+                    })?),
                 };
             }
             "deadline_ms" => {
@@ -521,6 +579,63 @@ mod tests {
             job.options.ring_algorithm,
             RingAlgorithm::Heuristic
         ));
+    }
+
+    #[test]
+    fn parses_spares_and_seeded_traffic() {
+        let body = r#"{"net": {"named": "proton_8"}, "options": {
+            "spares": 1, "traffic": {"hotspot": {"hotspots": 2, "seed": 7}}}}"#;
+        let job = parse_synth(body, &defaults(), 0).unwrap();
+        assert_eq!(job.options.spares, SpareConfig::uniform(1));
+        assert_eq!(
+            job.options.traffic,
+            Traffic::Hotspot {
+                hotspots: 2,
+                seed: 7
+            }
+        );
+        let body = r#"{"net": {"named": "proton_8"}, "options": {
+            "spares": {"k_wavelengths": 2},
+            "traffic": {"permutation": {"seed": 11}}}}"#;
+        let job = parse_synth(body, &defaults(), 0).unwrap();
+        assert_eq!(
+            job.options.spares,
+            SpareConfig {
+                k_wavelengths: 2,
+                k_mrrs: 0
+            }
+        );
+        assert_eq!(job.options.traffic, Traffic::Permutation { seed: 11 });
+        // Unset spares stay at the no-spare default.
+        let job = parse_synth(r#"{"net": {"named": "proton_8"}}"#, &defaults(), 0).unwrap();
+        assert_eq!(job.options.spares, SpareConfig::default());
+    }
+
+    #[test]
+    fn rejects_bad_spares_and_traffic_forms() {
+        let cases = [
+            (r#"{"spares": 1.5}"#, "bad_request"),
+            (r#"{"spares": "one"}"#, "bad_request"),
+            (r#"{"spares": {"k_channels": 1}}"#, "unknown_field"),
+            (
+                r#"{"traffic": {"hotspot": {"hotspots": 0, "seed": 1}}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"traffic": {"hotspot": {"hotspots": 2}}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"traffic": {"permutation": {"seed": 1, "extra": 2}}}"#,
+                "unknown_field",
+            ),
+            (r#"{"traffic": {"poisson": {"rate": 1}}}"#, "bad_request"),
+        ];
+        for (options, code) in cases {
+            let body = format!(r#"{{"net": {{"named": "proton_8"}}, "options": {options}}}"#);
+            let err = parse_synth(&body, &defaults(), 0).unwrap_err();
+            assert_eq!(err.code, code, "options: {options}");
+        }
     }
 
     #[test]

@@ -380,13 +380,14 @@ fn handle(
                 }
             };
             let label = job.label.clone();
+            let spared = job.options.spares.any();
             let batch = shared.engine.run_batch(vec![job]);
             let outcome = batch
                 .outcomes
                 .into_iter()
                 .next()
                 .expect("one job in, one outcome out");
-            track_outcome_metrics(shared, outcome.as_ref());
+            track_outcome_metrics(shared, outcome.as_ref(), spared);
             match outcome {
                 Ok(out) => {
                     let wall_us = t0.elapsed().as_micros() as u64;
@@ -410,10 +411,11 @@ fn handle(
                 }
             };
             let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+            let spared: Vec<bool> = jobs.iter().map(|j| j.options.spares.any()).collect();
             let batch = shared.engine.run_batch(jobs);
             let mut results = Vec::with_capacity(batch.outcomes.len());
-            for (label, outcome) in labels.iter().zip(&batch.outcomes) {
-                track_outcome_metrics(shared, outcome.as_ref());
+            for ((label, &spared), outcome) in labels.iter().zip(&spared).zip(&batch.outcomes) {
+                track_outcome_metrics(shared, outcome.as_ref(), spared);
                 match outcome {
                     Ok(out) => {
                         results.push(protocol::render_output(
@@ -438,12 +440,21 @@ fn handle(
     }
 }
 
-/// Bumps the degradation / deadline counters for one job outcome.
-fn track_outcome_metrics(shared: &Shared, outcome: Result<&xring_engine::JobOutput, &JobError>) {
+/// Bumps the degradation / deadline / survivability counters for one
+/// job outcome. `spared` is whether the job's options carried spares
+/// (a successful outcome then implies the survivability proof passed).
+fn track_outcome_metrics(
+    shared: &Shared,
+    outcome: Result<&xring_engine::JobOutput, &JobError>,
+    spared: bool,
+) {
     match outcome {
         Ok(out) => {
             if out.design.provenance.degradation != DegradationLevel::Exact {
                 shared.metrics.record_degraded();
+            }
+            if spared {
+                shared.metrics.record_spared();
             }
         }
         Err(JobError::DeadlineExceeded) => shared.metrics.record_deadline_exceeded(),

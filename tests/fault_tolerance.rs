@@ -45,6 +45,7 @@ fn plan() -> FaultPlan {
         deadline: 0.12,
         panic: 0.10,
         cache_corruption: 0.10,
+        device: 0.0,
     })
 }
 
@@ -57,7 +58,7 @@ fn faulted_batch_completes_every_job_with_audited_designs() {
         fired * 10 >= 32 * 3,
         "plan too weak: only {fired}/32 jobs faulted"
     );
-    for class in FaultClass::ALL {
+    for class in FaultClass::PROCESS {
         assert!(
             schedule.contains(&Some(class)),
             "plan never injects {class}"
@@ -105,6 +106,9 @@ fn faulted_batch_completes_every_job_with_audited_designs() {
             // the exact design.
             Some(FaultClass::WorkerPanic | FaultClass::CacheCorruption) | None => {
                 assert_eq!(level, DegradationLevel::Exact, "job {i}");
+            }
+            Some(FaultClass::DeviceFault) => {
+                unreachable!("plan has a zero device-fault rate")
             }
         }
         match level {
@@ -155,9 +159,7 @@ fn revised_backend_degrades_through_the_same_chain() {
     // that produced it — and clean jobs must stay exact.
     let plan = FaultPlan::new(0x0B5E_55ED).with_rates(FaultRates {
         numerical: 0.4,
-        deadline: 0.0,
-        panic: 0.0,
-        cache_corruption: 0.0,
+        ..FaultRates::default()
     });
     let schedule = plan.schedule(12);
     assert!(
@@ -229,9 +231,7 @@ fn forbid_policy_isolates_injected_failures() {
     // faulted jobs fail individually, neighbours are untouched.
     let plan = FaultPlan::new(0xDEAD_10CC).with_rates(FaultRates {
         numerical: 0.5,
-        deadline: 0.0,
-        panic: 0.0,
-        cache_corruption: 0.0,
+        ..FaultRates::default()
     });
     let schedule = plan.schedule(8);
     assert!(
@@ -274,4 +274,56 @@ fn forbid_policy_isolates_injected_failures() {
         batch.metrics.failed,
         schedule.iter().filter(|d| d.is_some()).count()
     );
+}
+
+#[test]
+fn injected_device_faults_kill_zero_spare_jobs_but_not_spared_ones() {
+    use xring::core::SpareConfig;
+    // Every job draws a device fault: a seeded single-device scenario is
+    // applied to the finished design and the job fails unless the
+    // degraded design passes its post-failure audit.
+    let plan = || FaultPlan::new(0x5AFE_C0DE).with_rates(FaultRates::default().with_device(1.0));
+    let net = NetworkSpec::proton_8();
+    let jobs = |spares: SpareConfig| -> Vec<SynthesisJob> {
+        (0..6)
+            .map(|i| {
+                SynthesisJob::new(
+                    format!("dev{i}"),
+                    net.clone(),
+                    SynthesisOptions::with_wavelengths(8).with_spares(spares),
+                )
+            })
+            .collect()
+    };
+
+    // Zero spares: a struck MRR/segment/channel loses its demand and the
+    // post-failure audit fails the job. All six jobs share one cache key,
+    // so this also exercises the device check on the cache-hit path.
+    let engine = Engine::new().with_workers(3).with_fault_plan(plan());
+    let batch = engine.run_batch(jobs(SpareConfig::default()));
+    assert!(
+        batch.metrics.failed > 0,
+        "no zero-spare job lost its scenario: {}",
+        batch.metrics.summary()
+    );
+    for outcome in batch.outcomes.iter().filter(|o| o.is_err()) {
+        let err = outcome.as_ref().expect_err("filtered");
+        assert!(
+            matches!(err, JobError::Synthesis(_)) && err.to_string().contains("device fault"),
+            "unexpected error: {err}"
+        );
+    }
+
+    // One spare of each class: synthesis proved every single-fault
+    // scenario survivable, so whatever scenario each job draws, the
+    // degraded design audits clean and the whole batch succeeds.
+    let engine = Engine::new().with_workers(3).with_fault_plan(plan());
+    let batch = engine.run_batch(jobs(SpareConfig::uniform(1)));
+    assert_eq!(
+        batch.metrics.failed,
+        0,
+        "spared design lost a device-fault scenario: {}",
+        batch.metrics.summary()
+    );
+    assert_eq!(batch.metrics.succeeded, 6);
 }

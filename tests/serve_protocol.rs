@@ -260,6 +260,41 @@ fn overload_sheds_with_429_past_max_inflight() {
 }
 
 #[test]
+fn spared_requests_survive_synthesis_and_reach_the_metrics() {
+    let mut server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let addr = server.addr();
+
+    // A spared request: the daemon releases the design only after the
+    // synthesizer's exhaustive single-fault survivability proof.
+    let (status, body) = client::http_request(
+        addr,
+        "POST",
+        "/synth",
+        "{\"label\": \"spared\", \"net\": {\"named\": \"proton_8\"}, \
+         \"options\": {\"max_wavelengths\": 8, \"spares\": 1, \
+          \"traffic\": {\"hotspot\": {\"hotspots\": 2, \"seed\": 7}}}}",
+    )
+    .expect("request reaches the daemon");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"audit\":{\"clean\":true"), "{body}");
+    assert_eq!(server.metrics().spared(), 1);
+
+    // A spare-less request leaves the counter alone.
+    let (status, _) = client::http_request(addr, "POST", "/synth", &synth_body("plain", 4))
+        .expect("request reaches the daemon");
+    assert_eq!(status, 200);
+    assert_eq!(server.metrics().spared(), 1);
+
+    let (status, text) = client::http_request(addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("xring_serve_spared_total 1"),
+        "missing spared counter in:\n{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn metrics_stay_a_valid_prometheus_exposition() {
     let mut server = Server::start(ServeConfig::default()).expect("daemon starts");
     let addr = server.addr();
