@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use xring_core::{NetworkSpec, RingBuilder, SpareConfig, SynthesisOptions, Synthesizer};
+use xring_core::{NetworkSpec, RingBuilder, SpareConfig, SynthesisOptions, Synthesizer, Traffic};
 use xring_engine::{Engine, SynthesisJob};
 use xring_serve::{client, ServeConfig, Server};
 
@@ -402,8 +402,83 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
             .insert("fault_margin_spare1".into(), margins.1);
     }
 
+    edit_loop(repeats, &mut report)?;
     serve_load(quick, &mut report)?;
     Ok(report)
+}
+
+/// Incremental edit-loop scenario on the pinned irregular 16-node
+/// floorplan: drop one traffic demand and re-synthesize. The cold
+/// reference pays the full pipeline on a fresh engine; the incremental
+/// run replays the clean phase prefix (ring MILP, shortcuts — the bulk
+/// of the wall) from the engine's phase-artifact store and recomputes
+/// only the mapping suffix. Both `_wall_ms` keys gate the comparison;
+/// the phase count and byte-identity are deterministic and asserted
+/// outright.
+fn edit_loop(repeats: usize, report: &mut RegressReport) -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetworkSpec::irregular(16, 8_000, 5)?;
+    let options = SynthesisOptions::with_wavelengths(8);
+    let mut pairs = options.traffic.pairs(&net);
+    pairs.remove(0);
+    let mut edited_options = options.clone();
+    edited_options.traffic = Traffic::Custom(pairs);
+    let base = SynthesisJob::new("edit-base", net.clone(), options);
+    let edited = SynthesisJob::new("edit", net, edited_options);
+
+    // Cold reference: full synthesis of the edited spec, nothing cached.
+    let mut cold_design = None;
+    let cold_wall = median_ms(repeats, || {
+        let out = Engine::new()
+            .with_workers(1)
+            .resynthesize(&edited, &edited)
+            .expect("pinned edit workload is feasible");
+        cold_design = Some(out.design);
+    });
+    // Incremental: a cold base run seeds the artifact store (outside
+    // the timed section), then the edit replays the clean prefix.
+    let mut phases_reused = 0usize;
+    let mut inc_design = None;
+    let mut engines: Vec<Engine> = (0..repeats)
+        .map(|_| {
+            let engine = Engine::new().with_workers(1);
+            engine
+                .resynthesize(&base, &base)
+                .expect("pinned edit workload is feasible");
+            engine
+        })
+        .collect();
+    let inc_wall = median_ms(repeats, || {
+        let engine = engines.pop().expect("one seeded engine per repeat");
+        let out = engine
+            .resynthesize(&base, &edited)
+            .expect("pinned edit workload is feasible");
+        phases_reused = out.phases_reused;
+        inc_design = Some(out.design);
+    });
+    // A single-demand edit leaves the ring and shortcut keys clean, so
+    // exactly those two phases replay and the assembled design matches
+    // a cold synthesis byte for byte.
+    assert_eq!(phases_reused, 2, "edit must replay ring + shortcut");
+    let (cold_design, inc_design) = (
+        cold_design.expect("cold run happened"),
+        inc_design.expect("incremental run happened"),
+    );
+    assert_eq!(
+        cold_design.describe(),
+        inc_design.describe(),
+        "incremental edit must be byte-identical to a cold synthesis"
+    );
+    report.metrics.insert("edit_cold_wall_ms".into(), cold_wall);
+    report
+        .metrics
+        .insert("edit_incremental_wall_ms".into(), inc_wall);
+    report
+        .metrics
+        .insert("edit_speedup".into(), cold_wall / inc_wall.max(1e-6));
+    report
+        .metrics
+        .insert("edit_phases_reused".into(), phases_reused as f64);
+    Ok(())
 }
 
 /// Sustained-load scenario against an in-process `xring-serve` daemon:
@@ -609,6 +684,10 @@ mod tests {
             "fault_sweep_scenarios",
             "fault_margin_spare0",
             "fault_margin_spare1",
+            "edit_cold_wall_ms",
+            "edit_incremental_wall_ms",
+            "edit_speedup",
+            "edit_phases_reused",
             "serve_load_wall_ms",
             "serve_req_per_s",
             "serve_p50_wall_ms",
@@ -626,6 +705,10 @@ mod tests {
         assert_eq!(r.metrics["fault_margin_spare1"], 1.0);
         assert!(r.metrics["fault_margin_spare0"] < 1.0);
         assert!(r.metrics["fault_sweep_scenarios"] > 0.0);
+        // A single-demand edit keeps the ring and shortcut phase keys
+        // clean — the incremental run must replay exactly those two.
+        assert_eq!(r.metrics["edit_phases_reused"], 2.0);
+        assert!(r.metrics["edit_speedup"] > 1.0);
         // The revised backend (the default) reuses the parent basis on
         // nearly every branch-and-bound child of the irregular ring.
         assert!(

@@ -28,6 +28,11 @@ pub enum Command {
     /// levels, audit every single-device-fault scenario per level and
     /// print the Pareto report (power × wavelengths × fault margin).
     FaultSweep(SynthArgs, Vec<usize>),
+    /// `xring edit ...` — synthesize a base spec cold, drop one traffic
+    /// demand, and re-synthesize incrementally; prints cold vs.
+    /// incremental wall time and the number of phases replayed from
+    /// cached artifacts. The payload is the demand-pair index to drop.
+    Edit(SynthArgs, usize),
     /// `xring serve ...` — run the synthesis daemon until it is told to
     /// shut down (POST /shutdown or stdin EOF).
     Serve(ServeArgs),
@@ -213,6 +218,7 @@ USAGE:
   xring batch [synth flags] [--wl-list A,B,C] [--deadline-ms N]
               [--repeat K] [--metrics-jsonl FILE]
   xring fault-sweep [synth flags] [--levels A,B,C]
+  xring edit [synth flags] [--drop-pair I]
   xring serve [--port N] [--workers N] [--max-inflight N]
               [--queue-depth N] [--deadline-ms N] [--cache-bytes N]
               [--degradation forbid|allow|force-heuristic]
@@ -246,6 +252,16 @@ SURVIVABILITY (synth, sweep, batch, fault-sweep):
                   single-fault scenario across the worker pool and
                   prints power, channel count, fault margin and the
                   Pareto frontier over the three (default 0,1)
+
+INCREMENTAL EDITING (edit):
+  xring edit synthesizes the spec cold, drops one traffic demand and
+  re-synthesizes the edited spec incrementally: each pipeline phase is
+  keyed on a content hash of its inputs, unchanged phases replay from
+  cached artifacts, and only the dirty suffix (here: mapping, opening,
+  PDN) recomputes. Prints cold vs. incremental wall time, the phases
+  replayed, and whether the incremental design is byte-identical to a
+  cold synthesis of the edited spec.
+  --drop-pair I   index of the demand pair to drop (default 0)
 
 SOLVER BACKEND (synth, sweep, batch):
   --lp-backend revised  revised bounded-variable simplex with native
@@ -650,6 +666,25 @@ fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
             }
             Ok(Command::Serve(out))
         }
+        "edit" => {
+            let mut drop_pair = 0usize;
+            let mut out = SynthArgs::default();
+            while let Some(flag) = it.next() {
+                if flag == "--drop-pair" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError("--drop-pair needs an index".into()))?;
+                    drop_pair = v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad pair index {v}")))?;
+                    continue;
+                }
+                if !apply_synth_flag(flag, &mut it, &mut out)? {
+                    return Err(ParseArgsError(format!("unknown flag {flag}")));
+                }
+            }
+            Ok(Command::Edit(out, drop_pair))
+        }
         "fault-sweep" => {
             let mut levels: Vec<usize> = vec![0, 1];
             let mut out = SynthArgs::default();
@@ -1044,6 +1079,32 @@ mod tests {
         assert_eq!(a.spares, 0);
         assert!(parse(&v(&["synth", "--spares"])).is_err());
         assert!(parse(&v(&["synth", "--spares", "many"])).is_err());
+    }
+
+    #[test]
+    fn edit_defaults_and_flags() {
+        let Command::Edit(a, drop_pair) = cmd(&["edit"]) else {
+            panic!("not edit")
+        };
+        assert_eq!(a, SynthArgs::default());
+        assert_eq!(drop_pair, 0);
+        let Command::Edit(a, drop_pair) = cmd(&[
+            "edit",
+            "--irregular",
+            "16,5,8000",
+            "--wl",
+            "8",
+            "--drop-pair",
+            "3",
+        ]) else {
+            panic!("not edit")
+        };
+        assert_eq!(a.irregular, Some((16, 5, 8_000)));
+        assert_eq!(a.wavelengths, 8);
+        assert_eq!(drop_pair, 3);
+        assert!(parse(&v(&["edit", "--drop-pair"])).is_err());
+        assert!(parse(&v(&["edit", "--drop-pair", "first"])).is_err());
+        assert!(parse(&v(&["edit", "--objective", "snr"])).is_err());
     }
 
     #[test]

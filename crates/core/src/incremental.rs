@@ -1,0 +1,1070 @@
+//! Incremental re-synthesis: phase-keyed artifacts and dirty-suffix
+//! recompute.
+//!
+//! The pipeline's phases (ring construction, shortcut planning, signal
+//! mapping, ring opening, PDN design) form a linear DAG: each phase
+//! consumes the spec, a subset of the options, and the artifacts of the
+//! phases before it. Because every phase is deterministic, a phase's
+//! output is fully determined by a *content hash of its actual inputs* —
+//! the [`PhaseKeys`] of a `(spec, options)` pair. An edited spec shares
+//! the keys of every phase whose inputs did not change, so re-synthesis
+//! only recomputes the *dirty suffix* of the DAG and replays the clean
+//! prefix from an [`ArtifactStore`].
+//!
+//! When the ring phase itself is dirty (a node moved, the LP backend
+//! changed), the MILP can still be seeded with the previous solution's
+//! exported [`Basis`] via the `warm_hint` argument of
+//! [`Synthesizer::synthesize_incremental`] — the solver adopts it when
+//! compatible and silently solves cold otherwise, so a stale hint is
+//! always safe. A warm-started MILP may tie-break between equal-length
+//! tours differently from a cold solve; reused artifacts, by contrast,
+//! are replayed verbatim and keep the output bit-identical.
+//!
+//! Every assembled design still passes the full post-synthesis audit. If
+//! the audit rejects a design assembled from cached artifacts (e.g. a
+//! corrupted cache entry), the artifacts involved are evicted and the
+//! request falls back to a cold [`Synthesizer::synthesize`] run.
+
+use crate::design::{realize, Provenance, XRingDesign};
+use crate::error::SynthesisError;
+use crate::mapping::MappingPlan;
+use crate::netspec::NetworkSpec;
+use crate::opening::{open_rings, OpeningStats};
+use crate::pdn::{design_pdn, PdnDesign};
+use crate::ring::{RingBuilder, RingCycle, RingStats};
+use crate::shortcut::{plan_shortcuts, Shortcut, ShortcutPlan};
+use crate::synth::{DegradationPolicy, SynthesisOptions, Synthesizer};
+use crate::traffic::Traffic;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+use xring_milp::Basis;
+
+/// One artifact-producing phase of the synthesis pipeline, in DAG order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhaseId {
+    /// Step 1: ring waveguide construction (the MILP).
+    Ring,
+    /// Step 2: shortcut planning.
+    Shortcut,
+    /// Step 3 (first half): signal mapping (pre-opening plan).
+    Mapping,
+    /// Step 3 (second half): ring opening (post-opening plan).
+    Opening,
+    /// Step 4: power distribution network.
+    Pdn,
+}
+
+impl PhaseId {
+    /// Every phase, in pipeline order.
+    pub const ALL: [PhaseId; 5] = [
+        PhaseId::Ring,
+        PhaseId::Shortcut,
+        PhaseId::Mapping,
+        PhaseId::Opening,
+        PhaseId::Pdn,
+    ];
+
+    /// Stable name, matching the obs span emitted when the phase is
+    /// recomputed.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseId::Ring => "ring-milp",
+            PhaseId::Shortcut => "shortcut",
+            PhaseId::Mapping => "mapping",
+            PhaseId::Opening => "opening",
+            PhaseId::Pdn => "pdn",
+        }
+    }
+
+    /// Domain-separation tag mixed into this phase's key.
+    fn tag(self) -> u64 {
+        match self {
+            PhaseId::Ring => 1,
+            PhaseId::Shortcut => 2,
+            PhaseId::Mapping => 3,
+            PhaseId::Opening => 4,
+            PhaseId::Pdn => 5,
+        }
+    }
+
+    /// Obs counter bumped when this phase is replayed from the store.
+    pub fn hit_counter(self) -> &'static str {
+        match self {
+            PhaseId::Ring => "incremental.hit.ring-milp",
+            PhaseId::Shortcut => "incremental.hit.shortcut",
+            PhaseId::Mapping => "incremental.hit.mapping",
+            PhaseId::Opening => "incremental.hit.opening",
+            PhaseId::Pdn => "incremental.hit.pdn",
+        }
+    }
+
+    /// Obs counter bumped when this phase must be recomputed.
+    pub fn miss_counter(self) -> &'static str {
+        match self {
+            PhaseId::Ring => "incremental.miss.ring-milp",
+            PhaseId::Shortcut => "incremental.miss.shortcut",
+            PhaseId::Mapping => "incremental.miss.mapping",
+            PhaseId::Opening => "incremental.miss.opening",
+            PhaseId::Pdn => "incremental.miss.pdn",
+        }
+    }
+}
+
+/// A streaming FNV-1a (64-bit) content hasher for phase keys.
+///
+/// Phase keys must be *stable content hashes*: the same inputs always
+/// produce the same key within a process and across processes (no
+/// `DefaultHasher` seeding), and every write is length- or
+/// domain-separated so concatenation ambiguities cannot collide.
+///
+/// # Example
+///
+/// ```
+/// use xring_core::incremental::PhaseKeyer;
+///
+/// let a = PhaseKeyer::new(7).str("mapping").u64(16).finish();
+/// let b = PhaseKeyer::new(7).str("mapping").u64(16).finish();
+/// let c = PhaseKeyer::new(7).str("mapping").u64(17).finish();
+/// assert_eq!(a, b, "identical inputs hash identically");
+/// assert_ne!(a, c, "any changed input produces a different key");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseKeyer {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl PhaseKeyer {
+    /// Starts a keyer seeded with a domain-separation `tag` (use one tag
+    /// per phase so equal payloads in different phases never collide).
+    pub fn new(tag: u64) -> Self {
+        PhaseKeyer { state: FNV_OFFSET }.u64(tag)
+    }
+
+    /// Mixes raw bytes (length-prefixed).
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self = self.raw(&(b.len() as u64).to_le_bytes());
+        self.raw(b)
+    }
+
+    /// Mixes a `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.raw(&v.to_le_bytes())
+    }
+
+    /// Mixes an `i64`.
+    pub fn i64(self, v: i64) -> Self {
+        self.raw(&v.to_le_bytes())
+    }
+
+    /// Mixes an `f64` by bit pattern.
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Mixes a boolean.
+    pub fn bool(self, v: bool) -> Self {
+        self.raw(&[v as u8])
+    }
+
+    /// Mixes a string (length-prefixed UTF-8 bytes).
+    pub fn str(self, s: &str) -> Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Chains an upstream phase key into this one.
+    pub fn key(self, upstream: u64) -> Self {
+        self.u64(upstream)
+    }
+
+    /// The final 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+
+    fn raw(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+}
+
+/// The resolved phase keys of a `(spec, options)` pair.
+///
+/// Each key covers exactly the inputs its phase reads — the spec subset,
+/// the option subset, and the keys of its upstream phases (key chaining:
+/// a dirty upstream key transitively dirties every phase after it).
+/// Wall-clock controls ([`SynthesisOptions::deadline`]) are deliberately
+/// excluded: they bound the solve, they do not change its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseKeys {
+    /// Step 1 key: node positions + ring algorithm + LP backend.
+    pub ring: u64,
+    /// Step 2 key: ring key + the `shortcuts` toggle.
+    pub shortcut: u64,
+    /// Step 3a key: upstream keys + traffic + wavelength/waveguide caps.
+    pub mapping: u64,
+    /// Step 3b key: mapping key + the `openings` toggle.
+    pub opening: u64,
+    /// Step 4 key: upstream keys + the `pdn` toggle + loss params + laser.
+    pub pdn: u64,
+}
+
+impl PhaseKeys {
+    /// Computes all five keys for `(net, options)`.
+    pub fn compute(net: &NetworkSpec, o: &SynthesisOptions) -> PhaseKeys {
+        let mut ring = PhaseKeyer::new(PhaseId::Ring.tag())
+            .u64(net.len() as u64)
+            .str(ring_algorithm_name(o));
+        for p in net.positions() {
+            ring = ring.i64(p.x).i64(p.y);
+        }
+        let ring = ring.str(o.lp_backend.as_str()).finish();
+
+        let shortcut = PhaseKeyer::new(PhaseId::Shortcut.tag())
+            .key(ring)
+            .bool(o.shortcuts)
+            .finish();
+
+        let effective_wavelengths = o.max_wavelengths.saturating_sub(o.spares.k_wavelengths);
+        let mut mapping = PhaseKeyer::new(PhaseId::Mapping.tag())
+            .key(ring)
+            .key(shortcut)
+            .u64(effective_wavelengths as u64)
+            .u64(o.max_waveguides as u64);
+        mapping = hash_traffic(mapping, &o.traffic);
+        let mapping = mapping.finish();
+
+        let opening = PhaseKeyer::new(PhaseId::Opening.tag())
+            .key(mapping)
+            .bool(o.openings)
+            .finish();
+
+        let pdn = PhaseKeyer::new(PhaseId::Pdn.tag())
+            .key(ring)
+            .key(shortcut)
+            .key(opening)
+            .bool(o.pdn)
+            .f64(o.loss.propagation_db_per_cm)
+            .f64(o.loss.crossing_db)
+            .f64(o.loss.drop_db)
+            .f64(o.loss.through_db)
+            .f64(o.loss.bend_db)
+            .f64(o.loss.photodetector_db)
+            .f64(o.loss.splitter_excess_db)
+            .i64(o.laser.x)
+            .i64(o.laser.y)
+            .finish();
+
+        PhaseKeys {
+            ring,
+            shortcut,
+            mapping,
+            opening,
+            pdn,
+        }
+    }
+
+    /// The key of one phase.
+    pub fn of(&self, phase: PhaseId) -> u64 {
+        match phase {
+            PhaseId::Ring => self.ring,
+            PhaseId::Shortcut => self.shortcut,
+            PhaseId::Mapping => self.mapping,
+            PhaseId::Opening => self.opening,
+            PhaseId::Pdn => self.pdn,
+        }
+    }
+
+    /// Phases whose keys differ between `self` and `other` — the dirty
+    /// set a re-synthesis must recompute (always a suffix of the DAG,
+    /// by key chaining, except for the independent PDN inputs).
+    pub fn dirty_against(&self, other: &PhaseKeys) -> Vec<PhaseId> {
+        PhaseId::ALL
+            .into_iter()
+            .filter(|p| self.of(*p) != other.of(*p))
+            .collect()
+    }
+}
+
+/// The incremental path only runs exact, unperturbed attempts, so the
+/// ring key covers the requested algorithm (degraded attempts never
+/// produce artifacts).
+fn ring_algorithm_name(o: &SynthesisOptions) -> &'static str {
+    match o.ring_algorithm {
+        crate::ring::RingAlgorithm::Milp => "milp",
+        crate::ring::RingAlgorithm::Heuristic => "heuristic",
+        crate::ring::RingAlgorithm::Perimeter => "perimeter",
+    }
+}
+
+fn hash_traffic(k: PhaseKeyer, traffic: &Traffic) -> PhaseKeyer {
+    match traffic {
+        Traffic::AllToAll => k.str("all-to-all"),
+        Traffic::Custom(pairs) => {
+            let mut k = k.str("custom").u64(pairs.len() as u64);
+            for (a, b) in pairs {
+                k = k.u64(u64::from(a.0)).u64(u64::from(b.0));
+            }
+            k
+        }
+        Traffic::NearestNeighbors(n) => k.str("nearest").u64(*n as u64),
+        Traffic::Hotspot { hotspots, seed } => k.str("hotspot").u64(*hotspots as u64).u64(*seed),
+        Traffic::Permutation { seed } => k.str("permutation").u64(*seed),
+    }
+}
+
+/// Step-1 artifact: the realized ring plus the basis that proved it.
+#[derive(Debug, Clone)]
+pub struct RingArtifact {
+    /// The realized ring cycle.
+    pub cycle: RingCycle,
+    /// Construction statistics of the producing solve.
+    pub stats: RingStats,
+    /// Exported LP basis for warm-starting a ring-dirty re-solve.
+    pub basis: Option<Basis>,
+}
+
+/// Step-2 artifact.
+#[derive(Debug, Clone)]
+pub struct ShortcutArtifact {
+    /// The planned shortcuts (empty when Step 2 was disabled).
+    pub plan: ShortcutPlan,
+}
+
+/// Step-3a artifact: the *pre-opening* signal mapping.
+#[derive(Debug, Clone)]
+pub struct MappingArtifact {
+    /// The mapped plan before any ring was opened.
+    pub plan: MappingPlan,
+}
+
+/// Step-3b artifact: the post-opening plan and its statistics.
+#[derive(Debug, Clone)]
+pub struct OpeningArtifact {
+    /// The plan after the opening pass mutated it.
+    pub plan: MappingPlan,
+    /// What the pass did.
+    pub stats: OpeningStats,
+}
+
+/// Step-4 artifact.
+#[derive(Debug, Clone)]
+pub struct PdnArtifact {
+    /// The designed PDN (`None` when Step 4 was disabled).
+    pub pdn: Option<PdnDesign>,
+}
+
+/// One persisted phase output.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // heap payloads dominate (see approx_bytes); boxing would only hide the inline part
+pub enum PhaseArtifact {
+    /// Step 1.
+    Ring(RingArtifact),
+    /// Step 2.
+    Shortcut(ShortcutArtifact),
+    /// Step 3a.
+    Mapping(MappingArtifact),
+    /// Step 3b.
+    Opening(OpeningArtifact),
+    /// Step 4.
+    Pdn(PdnArtifact),
+}
+
+impl PhaseArtifact {
+    /// Which phase produced this artifact.
+    pub fn phase(&self) -> PhaseId {
+        match self {
+            PhaseArtifact::Ring(_) => PhaseId::Ring,
+            PhaseArtifact::Shortcut(_) => PhaseId::Shortcut,
+            PhaseArtifact::Mapping(_) => PhaseId::Mapping,
+            PhaseArtifact::Opening(_) => PhaseId::Opening,
+            PhaseArtifact::Pdn(_) => PhaseId::Pdn,
+        }
+    }
+
+    /// Approximate heap footprint, for byte-budgeted stores.
+    pub fn approx_bytes(&self) -> usize {
+        let base = std::mem::size_of::<Self>();
+        base + match self {
+            PhaseArtifact::Ring(a) => {
+                // order + position_of + one L-route per edge.
+                a.cycle.len() * 96 + a.basis.as_ref().map_or(0, Basis::approx_bytes)
+            }
+            PhaseArtifact::Shortcut(a) => a.plan.shortcuts.len() * std::mem::size_of::<Shortcut>(),
+            PhaseArtifact::Mapping(a) => plan_bytes(&a.plan),
+            PhaseArtifact::Opening(a) => plan_bytes(&a.plan),
+            PhaseArtifact::Pdn(a) => a.pdn.as_ref().map_or(0, |p| {
+                p.sender_loss_db.len() * 32 + p.trees.len() * 40 + p.crossed_waveguides.len() * 8
+            }),
+        }
+    }
+}
+
+fn plan_bytes(plan: &MappingPlan) -> usize {
+    let mut bytes = plan.routes.len() * std::mem::size_of::<crate::mapping::SignalRoute>();
+    for wg in &plan.ring_waveguides {
+        bytes += 64;
+        for lane in &wg.lanes {
+            bytes += 24;
+            for arc in &lane.arcs {
+                bytes += 80 + (arc.edges.len() + arc.interior.len()) * 8;
+            }
+        }
+    }
+    bytes
+}
+
+/// Persistence for phase artifacts, keyed by `(phase, content key)`.
+///
+/// Implementations must return exactly what was stored (or nothing):
+/// [`Synthesizer::synthesize_incremental`] audits every assembled design
+/// and falls back to a cold run when a store returns garbage, but a
+/// well-behaved store keeps the fast path fast. All methods take `&self`;
+/// implementations handle their own locking.
+pub trait ArtifactStore {
+    /// Looks up the artifact of `phase` with content key `key`.
+    fn get_artifact(&self, phase: PhaseId, key: u64) -> Option<PhaseArtifact>;
+    /// Persists an artifact (may overwrite an existing entry, may also
+    /// decline to store — e.g. when over budget).
+    fn put_artifact(&self, phase: PhaseId, key: u64, artifact: PhaseArtifact);
+    /// Drops an artifact, if present (used when an assembled design
+    /// fails its audit).
+    fn evict_artifact(&self, phase: PhaseId, key: u64);
+}
+
+/// A plain in-memory [`ArtifactStore`] (unbounded; tests and CLI use —
+/// the engine's byte-budgeted cache is the production store).
+#[derive(Debug, Default)]
+pub struct MemoryArtifactStore {
+    map: Mutex<HashMap<(PhaseId, u64), PhaseArtifact>>,
+}
+
+impl MemoryArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("store lock").len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ArtifactStore for MemoryArtifactStore {
+    fn get_artifact(&self, phase: PhaseId, key: u64) -> Option<PhaseArtifact> {
+        self.map
+            .lock()
+            .expect("store lock")
+            .get(&(phase, key))
+            .cloned()
+    }
+
+    fn put_artifact(&self, phase: PhaseId, key: u64, artifact: PhaseArtifact) {
+        self.map
+            .lock()
+            .expect("store lock")
+            .insert((phase, key), artifact);
+    }
+
+    fn evict_artifact(&self, phase: PhaseId, key: u64) {
+        self.map.lock().expect("store lock").remove(&(phase, key));
+    }
+}
+
+/// What an incremental run reused, recomputed and fell back on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncrementalReport {
+    /// Phases replayed verbatim from the store.
+    pub hits: Vec<PhaseId>,
+    /// Phases recomputed (the dirty suffix).
+    pub misses: Vec<PhaseId>,
+    /// Whether the recomputed ring MILP was offered a warm basis.
+    pub ring_warm_offered: bool,
+    /// Whether an artifact-assembled design failed its audit and the
+    /// request was re-run as a cold synthesis.
+    pub fell_back_cold: bool,
+}
+
+impl IncrementalReport {
+    /// Number of phases served from the store.
+    pub fn phases_reused(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True when `phase` was replayed from the store.
+    pub fn reused(&self, phase: PhaseId) -> bool {
+        self.hits.contains(&phase)
+    }
+}
+
+impl Synthesizer {
+    /// Re-synthesizes `net`, replaying clean phases from `store` and
+    /// recomputing only the dirty suffix of the phase DAG.
+    ///
+    /// Phase keys are content hashes of each phase's actual inputs
+    /// ([`PhaseKeys::compute`]); a phase whose key is present in `store`
+    /// is replayed verbatim, which keeps the assembled design
+    /// bit-identical to a cold run of the same `(net, options)`. Phases
+    /// recomputed here persist their artifacts back into `store`. When
+    /// the ring phase is dirty, `warm_hint` (a [`Basis`] exported by a
+    /// previous solve, see [`crate::ring::RingOutcome::basis`]) seeds the
+    /// MILP's root relaxation; an incompatible hint is ignored by the
+    /// backend, so passing a stale basis is always safe.
+    ///
+    /// Every assembled design passes the same audit (and, with spares
+    /// provisioned, the same survivability verification) as a cold run.
+    /// If the audit rejects a design built from cached artifacts, the
+    /// artifacts are evicted and the request falls back to a cold
+    /// [`Synthesizer::synthesize`] (reported via
+    /// [`IncrementalReport::fell_back_cold`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthesisError`] exactly like [`Self::synthesize`]
+    /// once the fallback (when taken) is exhausted.
+    pub fn synthesize_incremental(
+        &self,
+        net: &NetworkSpec,
+        store: &dyn ArtifactStore,
+        warm_hint: Option<&Basis>,
+    ) -> Result<(XRingDesign, IncrementalReport), SynthesisError> {
+        let mut report = IncrementalReport::default();
+        // A forced-heuristic pipeline bypasses the artifact store
+        // entirely: phase keys hash the *requested* options, so its
+        // (heuristic) artifacts would collide with exact-keyed ones.
+        if self.options().degradation == DegradationPolicy::ForceHeuristic {
+            report.misses = PhaseId::ALL.to_vec();
+            return self.synthesize(net).map(|d| (d, report));
+        }
+        // A corrupt artifact can make assembly panic (e.g. a cached ring
+        // realized on a different floorplan leaves the layout internally
+        // inconsistent). Contain the panic and treat it as an audit
+        // rejection so the cold fallback below still protects the caller.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.incremental_attempt(net, store, warm_hint, &mut report)
+        }))
+        .unwrap_or_else(|_| {
+            Err(SynthesisError::AuditFailed {
+                summary: "incremental assembly panicked (corrupt artifact?)".to_owned(),
+            })
+        });
+        match attempt {
+            Ok(design) => Ok((design, report)),
+            Err(err) => {
+                // A design assembled from cached artifacts that fails its
+                // audit may be the cache's fault, not the spec's: evict
+                // the artifacts involved and prove it with a cold run.
+                let assembled_from_cache = !report.hits.is_empty();
+                if assembled_from_cache && matches!(err, SynthesisError::AuditFailed { .. }) {
+                    let keys = PhaseKeys::compute(net, self.options());
+                    for phase in PhaseId::ALL {
+                        store.evict_artifact(phase, keys.of(phase));
+                    }
+                    xring_obs::counter("incremental.fallbacks", 1);
+                    report.fell_back_cold = true;
+                    report.hits.clear();
+                    report.misses = PhaseId::ALL.to_vec();
+                    return self.synthesize(net).map(|d| (d, report));
+                }
+                // The incremental attempt only ever runs the exact
+                // pipeline; under an `Allow` policy a degradable failure
+                // (deadline expiry, MILP trouble) must still reach the
+                // fallback chain, exactly as a plain `synthesize` would.
+                if self.options().degradation == DegradationPolicy::Allow
+                    && crate::synth::degradable(&err)
+                {
+                    report.fell_back_cold = true;
+                    report.hits.clear();
+                    report.misses = PhaseId::ALL.to_vec();
+                    return self.synthesize(net).map(|d| (d, report));
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// One incremental assembly pass: replay clean phases, recompute
+    /// dirty ones, audit the result.
+    fn incremental_attempt(
+        &self,
+        net: &NetworkSpec,
+        store: &dyn ArtifactStore,
+        warm_hint: Option<&Basis>,
+        report: &mut IncrementalReport,
+    ) -> Result<XRingDesign, SynthesisError> {
+        let _span = xring_obs::span("synth-incremental");
+        let t0 = Instant::now();
+        let o = self.options();
+        let keys = PhaseKeys::compute(net, o);
+        let deadline = o.deadline.map(|budget| t0 + budget);
+        let check_deadline = || match deadline {
+            Some(d) if Instant::now() >= d => Err(SynthesisError::DeadlineExceeded),
+            _ => Ok(()),
+        };
+        let record = |phase: PhaseId, hit: bool, report: &mut IncrementalReport| {
+            if hit {
+                xring_obs::counter("incremental.phase_hits", 1);
+                xring_obs::counter(phase.hit_counter(), 1);
+                report.hits.push(phase);
+            } else {
+                xring_obs::counter("incremental.phase_misses", 1);
+                xring_obs::counter(phase.miss_counter(), 1);
+                report.misses.push(phase);
+            }
+        };
+
+        // Step 1: ring construction.
+        check_deadline()?;
+        let ring = match store.get_artifact(PhaseId::Ring, keys.ring) {
+            Some(PhaseArtifact::Ring(a)) => {
+                record(PhaseId::Ring, true, report);
+                a
+            }
+            _ => {
+                record(PhaseId::Ring, false, report);
+                report.ring_warm_offered = warm_hint.is_some();
+                let outcome = {
+                    let _s = xring_obs::span("ring-milp");
+                    RingBuilder::new()
+                        .with_algorithm(o.ring_algorithm)
+                        .with_deadline(deadline)
+                        .with_lp_backend(o.lp_backend)
+                        .with_warm_basis(warm_hint.cloned())
+                        .build(net)?
+                };
+                let artifact = RingArtifact {
+                    cycle: outcome.cycle,
+                    stats: outcome.stats,
+                    basis: outcome.basis,
+                };
+                store.put_artifact(
+                    PhaseId::Ring,
+                    keys.ring,
+                    PhaseArtifact::Ring(artifact.clone()),
+                );
+                artifact
+            }
+        };
+
+        // Step 2: shortcuts.
+        check_deadline()?;
+        let shortcuts = match store.get_artifact(PhaseId::Shortcut, keys.shortcut) {
+            Some(PhaseArtifact::Shortcut(a)) => {
+                record(PhaseId::Shortcut, true, report);
+                a.plan
+            }
+            _ => {
+                record(PhaseId::Shortcut, false, report);
+                let plan = if o.shortcuts {
+                    let _s = xring_obs::span("shortcut");
+                    plan_shortcuts(net, &ring.cycle)
+                } else {
+                    ShortcutPlan::empty()
+                };
+                store.put_artifact(
+                    PhaseId::Shortcut,
+                    keys.shortcut,
+                    PhaseArtifact::Shortcut(ShortcutArtifact { plan: plan.clone() }),
+                );
+                plan
+            }
+        };
+
+        // Step 3a: mapping. The budget check precedes the cache: a spec
+        // whose spares exhaust the wavelength budget fails identically
+        // hot or cold.
+        check_deadline()?;
+        let effective_wavelengths = o.max_wavelengths.saturating_sub(o.spares.k_wavelengths);
+        if o.spares.k_wavelengths > 0 && effective_wavelengths == 0 {
+            return Err(SynthesisError::WavelengthBudgetExceeded {
+                max_wavelengths: o.max_wavelengths,
+                max_waveguides: o.max_waveguides,
+            });
+        }
+        let mapped = match store.get_artifact(PhaseId::Mapping, keys.mapping) {
+            Some(PhaseArtifact::Mapping(a)) => {
+                record(PhaseId::Mapping, true, report);
+                a.plan
+            }
+            _ => {
+                record(PhaseId::Mapping, false, report);
+                let plan = {
+                    let _s = xring_obs::span("mapping");
+                    crate::mapping::map_signals_with_traffic(
+                        net,
+                        &ring.cycle,
+                        &shortcuts,
+                        &o.traffic,
+                        effective_wavelengths,
+                        o.max_waveguides,
+                    )?
+                };
+                store.put_artifact(
+                    PhaseId::Mapping,
+                    keys.mapping,
+                    PhaseArtifact::Mapping(MappingArtifact { plan: plan.clone() }),
+                );
+                plan
+            }
+        };
+
+        // Step 3b: openings.
+        check_deadline()?;
+        let (plan, opening_stats) = match store.get_artifact(PhaseId::Opening, keys.opening) {
+            Some(PhaseArtifact::Opening(a)) => {
+                record(PhaseId::Opening, true, report);
+                (a.plan, a.stats)
+            }
+            _ => {
+                record(PhaseId::Opening, false, report);
+                let mut plan = mapped;
+                let stats = if o.openings {
+                    let _s = xring_obs::span("opening");
+                    open_rings(&ring.cycle, &mut plan, effective_wavelengths)
+                } else {
+                    OpeningStats::default()
+                };
+                store.put_artifact(
+                    PhaseId::Opening,
+                    keys.opening,
+                    PhaseArtifact::Opening(OpeningArtifact {
+                        plan: plan.clone(),
+                        stats: stats.clone(),
+                    }),
+                );
+                (plan, stats)
+            }
+        };
+
+        // Step 4: PDN.
+        check_deadline()?;
+        let pdn = match store.get_artifact(PhaseId::Pdn, keys.pdn) {
+            Some(PhaseArtifact::Pdn(a)) => {
+                record(PhaseId::Pdn, true, report);
+                a.pdn
+            }
+            _ => {
+                record(PhaseId::Pdn, false, report);
+                let pdn = o.pdn.then(|| {
+                    let _s = xring_obs::span("pdn");
+                    design_pdn(net, &ring.cycle, &plan, &shortcuts, &o.loss, o.laser)
+                });
+                store.put_artifact(
+                    PhaseId::Pdn,
+                    keys.pdn,
+                    PhaseArtifact::Pdn(PdnArtifact { pdn: pdn.clone() }),
+                );
+                pdn
+            }
+        };
+
+        // Assembly, audit and (with spares) survivability verification
+        // run exactly as in a cold synthesis.
+        let layout = {
+            let _s = xring_obs::span("realize");
+            realize(net, &ring.cycle, &shortcuts, &plan, pdn.as_ref(), o.spacing)
+        };
+        let mut design = XRingDesign {
+            net: net.clone(),
+            cycle: ring.cycle,
+            shortcuts,
+            plan,
+            pdn,
+            layout,
+            ring_stats: ring.stats,
+            opening_stats,
+            elapsed: t0.elapsed(),
+            provenance: Provenance::default(),
+        };
+
+        xring_obs::record_hist("synth.incremental.wall_us", t0.elapsed().as_micros() as u64);
+
+        let audit = crate::audit::audit_design(&design, &o.traffic, &o.loss);
+        if !audit.is_clean() {
+            return Err(SynthesisError::AuditFailed {
+                summary: audit.summary(),
+            });
+        }
+        if o.spares.any() {
+            let _s = xring_obs::span("survivability-verify");
+            let protected = crate::fault::protected_single_faults(&design, o.spares);
+            let surv = crate::fault::verify_faults(&design, &protected, o, None);
+            if !surv.fully_survivable() {
+                return Err(SynthesisError::SurvivabilityFailed {
+                    survived: surv.survived,
+                    scenarios: surv.scenarios,
+                    scenario: surv
+                        .worst
+                        .unwrap_or_else(|| "unidentified scenario".to_owned()),
+                });
+            }
+        }
+        design.provenance = Provenance {
+            degradation: crate::design::DegradationLevel::Exact,
+            fallback_reason: None,
+            audit,
+        };
+        Ok(design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netspec::NodeId;
+    use xring_geom::Point;
+
+    fn opts() -> SynthesisOptions {
+        SynthesisOptions::with_wavelengths(8)
+    }
+
+    #[test]
+    fn phase_keys_are_deterministic() {
+        let net = NetworkSpec::proton_8();
+        assert_eq!(
+            PhaseKeys::compute(&net, &opts()),
+            PhaseKeys::compute(&net, &opts())
+        );
+    }
+
+    #[test]
+    fn node_move_dirties_every_phase() {
+        let net = NetworkSpec::proton_8();
+        let mut positions = net.positions().to_vec();
+        positions[3] = Point::new(positions[3].x + 100, positions[3].y);
+        let moved = NetworkSpec::new(positions).expect("valid");
+        let a = PhaseKeys::compute(&net, &opts());
+        let b = PhaseKeys::compute(&moved, &opts());
+        assert_eq!(a.dirty_against(&b), PhaseId::ALL.to_vec());
+    }
+
+    #[test]
+    fn traffic_edit_dirties_only_mapping_suffix() {
+        let net = NetworkSpec::proton_8();
+        let a = PhaseKeys::compute(&net, &opts());
+        let edited = SynthesisOptions {
+            traffic: Traffic::NearestNeighbors(3),
+            ..opts()
+        };
+        let b = PhaseKeys::compute(&net, &edited);
+        assert_eq!(
+            a.dirty_against(&b),
+            vec![PhaseId::Mapping, PhaseId::Opening, PhaseId::Pdn]
+        );
+    }
+
+    #[test]
+    fn loss_edit_dirties_only_pdn() {
+        let net = NetworkSpec::proton_8();
+        let a = PhaseKeys::compute(&net, &opts());
+        let mut o = opts();
+        o.loss.crossing_db += 0.01;
+        let b = PhaseKeys::compute(&net, &o);
+        assert_eq!(a.dirty_against(&b), vec![PhaseId::Pdn]);
+    }
+
+    #[test]
+    fn deadline_does_not_dirty_anything() {
+        let net = NetworkSpec::proton_8();
+        let a = PhaseKeys::compute(&net, &opts());
+        let b = PhaseKeys::compute(
+            &net,
+            &opts().with_deadline(std::time::Duration::from_secs(5)),
+        );
+        assert_eq!(a.dirty_against(&b), vec![]);
+    }
+
+    #[test]
+    fn incremental_cold_then_hot_reuses_every_phase() {
+        let net = NetworkSpec::proton_8();
+        let store = MemoryArtifactStore::new();
+        let synth = Synthesizer::new(opts());
+        let (cold, r0) = synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("cold run");
+        assert_eq!(r0.misses.len(), 5);
+        assert_eq!(store.len(), 5);
+        let (hot, r1) = synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("hot run");
+        assert_eq!(r1.hits.len(), 5);
+        assert!(r1.misses.is_empty());
+        assert_eq!(cold.describe(), hot.describe());
+    }
+
+    #[test]
+    fn incremental_matches_cold_synthesize_bit_for_bit() {
+        let net = NetworkSpec::proton_8();
+        let store = MemoryArtifactStore::new();
+        let synth = Synthesizer::new(opts());
+        let (incremental, _) = synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("incremental");
+        let cold = synth.synthesize(&net).expect("cold");
+        assert_eq!(incremental.describe(), cold.describe());
+        assert_eq!(incremental.cycle, cold.cycle);
+        assert_eq!(incremental.plan, cold.plan);
+        assert_eq!(incremental.pdn, cold.pdn);
+    }
+
+    #[test]
+    fn demand_edit_recomputes_only_mapping_suffix() {
+        let net = NetworkSpec::proton_8();
+        let store = MemoryArtifactStore::new();
+        let synth = Synthesizer::new(opts());
+        synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("seed run");
+        let edited = Synthesizer::new(SynthesisOptions {
+            traffic: Traffic::Custom(
+                net.signal_pairs()
+                    .into_iter()
+                    .filter(|(a, b)| !(a.0 == 0 && b.0 == 1))
+                    .collect(),
+            ),
+            ..opts()
+        });
+        let (design, report) = edited
+            .synthesize_incremental(&net, &store, None)
+            .expect("edited run");
+        assert_eq!(report.hits, vec![PhaseId::Ring, PhaseId::Shortcut]);
+        assert_eq!(
+            report.misses,
+            vec![PhaseId::Mapping, PhaseId::Opening, PhaseId::Pdn]
+        );
+        // The edited design matches a cold synthesis of the edited spec.
+        let cold = edited.synthesize(&net).expect("cold");
+        assert_eq!(design.describe(), cold.describe());
+        assert_eq!(design.plan, cold.plan);
+    }
+
+    #[test]
+    fn corrupt_ring_artifact_falls_back_to_cold_synthesis() {
+        let net = NetworkSpec::proton_8();
+        let store = MemoryArtifactStore::new();
+        let synth = Synthesizer::new(opts());
+        synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("seed run");
+        // Swap the ring artifact for one realized on a different network:
+        // the assembled design cannot pass its audit.
+        let other = NetworkSpec::irregular(8, 6_000, 99).expect("valid");
+        let wrong = RingBuilder::new().build(&other).expect("ring");
+        let keys = PhaseKeys::compute(&net, synth.options());
+        store.put_artifact(
+            PhaseId::Ring,
+            keys.ring,
+            PhaseArtifact::Ring(RingArtifact {
+                cycle: wrong.cycle,
+                stats: wrong.stats,
+                basis: None,
+            }),
+        );
+        let (design, report) = synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("fallback");
+        assert!(report.fell_back_cold);
+        assert!(design.provenance.audit.is_clean());
+        let cold = synth.synthesize(&net).expect("cold");
+        assert_eq!(design.describe(), cold.describe());
+    }
+
+    #[test]
+    fn node_move_warm_start_matches_cold_objective() {
+        let net = NetworkSpec::proton_8();
+        let store = MemoryArtifactStore::new();
+        let synth = Synthesizer::new(opts());
+        let (_, _) = synth
+            .synthesize_incremental(&net, &store, None)
+            .expect("seed run");
+        let keys = PhaseKeys::compute(&net, synth.options());
+        let basis = match store.get_artifact(PhaseId::Ring, keys.ring) {
+            Some(PhaseArtifact::Ring(a)) => a.basis,
+            _ => panic!("ring artifact missing"),
+        };
+        let mut positions = net.positions().to_vec();
+        positions[5] = Point::new(positions[5].x + 200, positions[5].y + 100);
+        let moved = NetworkSpec::new(positions).expect("valid");
+        let (design, report) = synth
+            .synthesize_incremental(&moved, &store, basis.as_ref())
+            .expect("moved run");
+        assert!(report.misses.contains(&PhaseId::Ring));
+        assert_eq!(report.ring_warm_offered, basis.is_some());
+        // Alternate optima may differ in tour, never in objective.
+        let cold = synth.synthesize(&moved).expect("cold");
+        assert_eq!(
+            design.ring_stats.milp_objective,
+            cold.ring_stats.milp_objective
+        );
+        assert!(design.provenance.audit.is_clean());
+    }
+
+    #[test]
+    fn memory_store_round_trips_artifacts() {
+        let store = MemoryArtifactStore::new();
+        assert!(store.is_empty());
+        store.put_artifact(
+            PhaseId::Shortcut,
+            7,
+            PhaseArtifact::Shortcut(ShortcutArtifact {
+                plan: ShortcutPlan::empty(),
+            }),
+        );
+        assert_eq!(store.len(), 1);
+        assert!(matches!(
+            store.get_artifact(PhaseId::Shortcut, 7),
+            Some(PhaseArtifact::Shortcut(_))
+        ));
+        assert!(store.get_artifact(PhaseId::Ring, 7).is_none());
+        store.evict_artifact(PhaseId::Shortcut, 7);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn artifact_bytes_scale_with_contents() {
+        let net = NetworkSpec::psion_16();
+        let store = MemoryArtifactStore::new();
+        Synthesizer::new(SynthesisOptions::with_wavelengths(14))
+            .synthesize_incremental(&net, &store, None)
+            .expect("run");
+        let keys = PhaseKeys::compute(&net, &SynthesisOptions::with_wavelengths(14));
+        for phase in PhaseId::ALL {
+            let artifact = store
+                .get_artifact(phase, keys.of(phase))
+                .expect("artifact stored");
+            assert!(
+                artifact.approx_bytes() >= std::mem::size_of::<PhaseArtifact>(),
+                "{phase:?} bytes too small"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_traffic_key_covers_pair_identity() {
+        let net = NetworkSpec::proton_8();
+        let t1 = SynthesisOptions {
+            traffic: Traffic::Custom(vec![(NodeId(0), NodeId(1))]),
+            ..opts()
+        };
+        let t2 = SynthesisOptions {
+            traffic: Traffic::Custom(vec![(NodeId(0), NodeId(2))]),
+            ..opts()
+        };
+        assert_ne!(
+            PhaseKeys::compute(&net, &t1).mapping,
+            PhaseKeys::compute(&net, &t2).mapping
+        );
+    }
+}

@@ -43,6 +43,7 @@ pub mod design;
 pub mod error;
 pub mod fault;
 pub mod heuristics;
+pub mod incremental;
 pub mod layout;
 pub mod mapping;
 pub mod netspec;
@@ -63,6 +64,10 @@ pub use fault::{
     protected_single_faults, verify_faults, verify_single_fault_survivability, DegradedDesign,
     DeviceFault, FaultAudit, RepairSummary, SpareConfig, SurvivabilityReport,
 };
+pub use incremental::{
+    ArtifactStore, IncrementalReport, MappingArtifact, MemoryArtifactStore, OpeningArtifact,
+    PdnArtifact, PhaseArtifact, PhaseId, PhaseKeyer, PhaseKeys, RingArtifact, ShortcutArtifact,
+};
 pub use layout::{Hop, LayoutModel, NoiseSource, Station, Waveguide};
 pub use mapping::{map_signals, map_signals_with_traffic, MappingPlan, RouteKind, SignalRoute};
 pub use netspec::{NetworkSpec, NodeId};
@@ -76,4 +81,4 @@ pub use sweep::{
 pub use synth::{DegradationPolicy, SynthesisOptions, Synthesizer};
 pub use traffic::Traffic;
 pub use variation::{monte_carlo, SplitMix64, VariationSpec, VariationSummary};
-pub use xring_milp::{ConvergenceSummary, LpBackendKind};
+pub use xring_milp::{Basis, ConvergenceSummary, LpBackendKind};

@@ -19,8 +19,8 @@ use crate::netspec::{NetworkSpec, NodeId};
 use crate::variation::SplitMix64;
 use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
 use xring_milp::{
-    progress, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr, LpBackendKind,
-    Model, Relation, VarId,
+    progress, Basis, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr,
+    LpBackendKind, Model, Relation, VarId,
 };
 
 /// Travel direction on a ring waveguide. `Cw` follows the cycle order,
@@ -369,6 +369,7 @@ pub struct RingBuilder {
     deadline: Option<std::time::Instant>,
     objective_perturbation: Option<u64>,
     lp_backend: LpBackendKind,
+    warm_basis: Option<Basis>,
 }
 
 impl Default for RingBuilder {
@@ -379,17 +380,23 @@ impl Default for RingBuilder {
             deadline: None,
             objective_perturbation: None,
             lp_backend: LpBackendKind::default(),
+            warm_basis: None,
         }
     }
 }
 
 /// The output of ring construction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RingOutcome {
     /// The realized ring.
     pub cycle: RingCycle,
     /// Construction statistics.
     pub stats: RingStats,
+    /// The LP basis exported from the MILP node that proved the final
+    /// incumbent (MILP algorithm on a basis-capable backend only). Feed
+    /// it back through [`RingBuilder::with_warm_basis`] to warm-start a
+    /// re-solve after a spec edit.
+    pub basis: Option<Basis>,
 }
 
 impl RingBuilder {
@@ -443,6 +450,17 @@ impl RingBuilder {
         self
     }
 
+    /// Seeds the MILP root relaxation with a basis exported by an
+    /// earlier build ([`RingOutcome::basis`]) — the incremental
+    /// re-synthesis path after a node move. The model must have the same
+    /// node count (same variable space); an incompatible basis is
+    /// rejected by the backend and the root solves cold, so offering a
+    /// stale basis is always safe. Ignored by the heuristic algorithms.
+    pub fn with_warm_basis(mut self, basis: Option<Basis>) -> Self {
+        self.warm_basis = basis;
+        self
+    }
+
     /// Constructs the ring for `net`.
     ///
     /// # Errors
@@ -461,6 +479,7 @@ impl RingBuilder {
                         twosat_fallback: fb,
                         ..RingStats::default()
                     },
+                    basis: None,
                 })
             }
             RingAlgorithm::Heuristic => {
@@ -471,6 +490,7 @@ impl RingBuilder {
                         twosat_fallback: fb,
                         ..RingStats::default()
                     },
+                    basis: None,
                 })
             }
             RingAlgorithm::Milp => self.build_milp(net),
@@ -538,6 +558,9 @@ impl RingBuilder {
             .with_max_nodes(self.max_milp_nodes)
             .with_deadline(self.deadline)
             .with_lp_backend(self.lp_backend);
+        if let Some(basis) = &self.warm_basis {
+            solver = solver.with_root_basis(basis.clone());
+        }
         if self.objective_perturbation.is_none() && tour_is_conflict_free(net, &tour) {
             let mut values = vec![0.0f64; model.num_vars()];
             for k in 0..n {
@@ -642,19 +665,21 @@ impl RingBuilder {
         drop(merge_span);
 
         let (cycle, fb) = RingCycle::from_order(net, order);
+        let stats = RingStats {
+            milp_nodes: solution.stats().nodes,
+            lp_solves: solution.stats().lp_solves,
+            lp_warm_starts: solution.stats().warm_starts,
+            lp_warm_eligible: solution.stats().warm_eligible,
+            lazy_cuts: solution.stats().lazy_constraints,
+            milp_objective: solution.objective(),
+            subcycles_merged: merged,
+            twosat_fallback: fb,
+            convergence,
+        };
         Ok(RingOutcome {
             cycle,
-            stats: RingStats {
-                milp_nodes: solution.stats().nodes,
-                lp_solves: solution.stats().lp_solves,
-                lp_warm_starts: solution.stats().warm_starts,
-                lp_warm_eligible: solution.stats().warm_eligible,
-                lazy_cuts: solution.stats().lazy_constraints,
-                milp_objective: solution.objective(),
-                subcycles_merged: merged,
-                twosat_fallback: fb,
-                convergence,
-            },
+            stats,
+            basis: solution.into_basis(),
         })
     }
 }

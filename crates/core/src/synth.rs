@@ -452,7 +452,7 @@ impl Attempt {
 /// recoverable; spec-level errors (too few nodes, duplicate positions,
 /// wavelength budget exhaustion) are not — a different ring cannot fix
 /// them honestly.
-fn degradable(e: &SynthesisError) -> bool {
+pub(crate) fn degradable(e: &SynthesisError) -> bool {
     matches!(
         e,
         SynthesisError::RingMilp(_)

@@ -31,10 +31,24 @@
 //! [`evicted_bytes`](DesignCache::evicted_bytes) and the
 //! `cache.evict_bytes` counter.
 
+//! # Phase artifacts
+//!
+//! Besides whole designs, the cache doubles as the engine's
+//! [`ArtifactStore`]: each pipeline phase's output (ring, shortcuts,
+//! mapping, opening, PDN) is stored under an `(phase, content key)`
+//! address derived from [`PhaseKeys`](xring_core::PhaseKeys). Artifacts
+//! share the byte budget and the recency queue with whole designs, so a
+//! hot edit loop keeps its phase prefix resident while cold designs age
+//! out. Unlike whole-design inserts (which keep the first entry so
+//! shared `Arc`s stay canonical), artifact puts *overwrite*: the
+//! replaced entry's bytes are released and its recency-queue pairs are
+//! deduped on the spot, so byte accounting stays exact across
+//! overwrites.
+
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use xring_core::{Traffic, XRingDesign};
+use xring_core::{ArtifactStore, PhaseArtifact, PhaseId, Traffic, XRingDesign};
 use xring_phot::RouterReport;
 
 use crate::job::SynthesisJob;
@@ -163,15 +177,53 @@ pub fn approx_entry_bytes(key_len: usize, design: &XRingDesign, report: &RouterR
         + std::mem::size_of::<RouterReport>()
 }
 
+/// What one cache slot holds: a whole design + report, or one pipeline
+/// phase's artifact.
+enum Payload {
+    Design {
+        design: Arc<XRingDesign>,
+        report: RouterReport,
+    },
+    Artifact(PhaseArtifact),
+}
+
 /// One cached outcome plus its byte charge and recency stamp.
 struct Entry {
-    design: Arc<XRingDesign>,
-    report: RouterReport,
+    payload: Payload,
     bytes: usize,
     /// Recency sequence number; bumped on every hit. The recency queue
     /// holds `(seq, key)` pairs and entries whose stamp no longer
     /// matches are stale queue residue, skipped during eviction.
     seq: u64,
+}
+
+/// The byte address of a phase artifact: a tag byte, the phase, then the
+/// content key — exactly 10 bytes. Canonical design keys encode at least
+/// a node count plus three positions (> 50 bytes), so the two keyspaces
+/// cannot collide.
+fn artifact_key(phase: PhaseId, key: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.push(0xA5);
+    k.push(match phase {
+        PhaseId::Ring => 1,
+        PhaseId::Shortcut => 2,
+        PhaseId::Mapping => 3,
+        PhaseId::Opening => 4,
+        PhaseId::Pdn => 5,
+    });
+    k.extend_from_slice(&key.to_le_bytes());
+    k
+}
+
+/// Dense index of a phase for the per-phase counter arrays.
+fn phase_index(phase: PhaseId) -> usize {
+    match phase {
+        PhaseId::Ring => 0,
+        PhaseId::Shortcut => 1,
+        PhaseId::Mapping => 2,
+        PhaseId::Opening => 3,
+        PhaseId::Pdn => 4,
+    }
 }
 
 /// The interior of the cache: map, recency queue and byte totals, all
@@ -226,6 +278,10 @@ pub struct DesignCache {
     evictions: AtomicUsize,
     lru_evictions: AtomicUsize,
     evicted_bytes: AtomicUsize,
+    /// Phase-artifact hits, indexed by [`phase_index`].
+    phase_hits: [AtomicUsize; 5],
+    /// Phase-artifact misses, indexed by [`phase_index`].
+    phase_misses: [AtomicUsize; 5],
 }
 
 impl std::fmt::Debug for DesignCache {
@@ -281,11 +337,14 @@ impl DesignCache {
     pub fn lookup(&self, key: &[u8], label: &str) -> Option<(Arc<XRingDesign>, RouterReport)> {
         let mut inner = self.lock();
         match inner.map.get(key) {
-            Some(entry) if entry_is_intact(&entry.design) => {
+            Some(Entry {
+                payload: Payload::Design { design, report },
+                ..
+            }) if entry_is_intact(design) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 xring_obs::counter("cache.hits", 1);
-                let design = Arc::clone(&entry.design);
-                let mut report = entry.report.clone();
+                let design = Arc::clone(design);
+                let mut report = report.clone();
                 report.label = label.to_owned();
                 inner.bump(key);
                 Some((design, report))
@@ -333,8 +392,7 @@ impl DesignCache {
         inner.map.insert(
             key,
             Entry {
-                design,
-                report,
+                payload: Payload::Design { design, report },
                 bytes,
                 seq,
             },
@@ -407,17 +465,53 @@ impl DesignCache {
     pub fn corrupt(&self, key: &[u8]) -> bool {
         let mut inner = self.lock();
         match inner.map.get_mut(key) {
-            Some(entry) => {
-                let mut broken = (*entry.design).clone();
+            Some(Entry {
+                payload: Payload::Design { design, .. },
+                ..
+            }) => {
+                let mut broken = (**design).clone();
                 broken.layout.signals.clear();
-                entry.design = Arc::new(broken);
+                *design = Arc::new(broken);
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
-    /// Number of distinct designs stored.
+    /// Corrupts the phase artifact at `(phase, key)` in place and reports
+    /// whether an artifact was there. For the downstream phases the
+    /// payload vectors are cleared, so a design assembled from the
+    /// artifact cannot pass its audit; for the ring phase the exported
+    /// basis is dropped (a performance-only corruption the warm-start
+    /// path must tolerate). Fault-injection hook for the incremental
+    /// path: the next re-synthesis that consumes a cleared artifact must
+    /// detect the damage and fall back to a cold run.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn corrupt_artifact(&self, phase: PhaseId, key: u64) -> bool {
+        let mut inner = self.lock();
+        match inner.map.get_mut(&artifact_key(phase, key)) {
+            Some(Entry {
+                payload: Payload::Artifact(artifact),
+                ..
+            }) => {
+                match artifact {
+                    PhaseArtifact::Ring(a) => a.basis = None,
+                    PhaseArtifact::Shortcut(a) => a.plan.shortcuts.clear(),
+                    PhaseArtifact::Mapping(a) => a.plan.routes.clear(),
+                    PhaseArtifact::Opening(a) => a.plan.routes.clear(),
+                    PhaseArtifact::Pdn(a) => {
+                        if let Some(p) = &mut a.pdn {
+                            p.sender_loss_db.clear();
+                        }
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of distinct entries stored (designs and phase artifacts).
     pub fn len(&self) -> usize {
         self.lock().map.len()
     }
@@ -425,6 +519,123 @@ impl DesignCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The exported LP basis of the ring artifact stored under
+    /// `ring_key`, if any — the warm-start hint for a ring-dirty
+    /// re-synthesis. Unlike [`ArtifactStore::get_artifact`], this does
+    /// not count a phase hit or miss (the caller is not *consuming* the
+    /// artifact for its own phase, it is seeding a different key's
+    /// solve), but it does bump the entry's recency.
+    pub fn warm_basis_for(&self, ring_key: u64) -> Option<xring_core::Basis> {
+        let addr = artifact_key(PhaseId::Ring, ring_key);
+        let mut inner = self.lock();
+        let basis = match inner.map.get(&addr) {
+            Some(Entry {
+                payload: Payload::Artifact(PhaseArtifact::Ring(a)),
+                ..
+            }) => a.basis.clone(),
+            _ => None,
+        };
+        if basis.is_some() {
+            inner.bump(&addr);
+        }
+        basis
+    }
+
+    /// Phase-artifact hits for one phase.
+    pub fn phase_hits(&self, phase: PhaseId) -> usize {
+        self.phase_hits[phase_index(phase)].load(Ordering::Relaxed)
+    }
+
+    /// Phase-artifact misses for one phase.
+    pub fn phase_misses(&self, phase: PhaseId) -> usize {
+        self.phase_misses[phase_index(phase)].load(Ordering::Relaxed)
+    }
+
+    /// Phase-artifact hits across all phases.
+    pub fn artifact_hits(&self) -> usize {
+        self.phase_hits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Phase-artifact misses across all phases.
+    pub fn artifact_misses(&self) -> usize {
+        self.phase_misses
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl ArtifactStore for DesignCache {
+    /// Phase-artifact lookup; counts a per-phase hit or miss and bumps
+    /// the entry's recency on hit.
+    fn get_artifact(&self, phase: PhaseId, key: u64) -> Option<PhaseArtifact> {
+        let addr = artifact_key(phase, key);
+        let mut inner = self.lock();
+        match inner.map.get(&addr) {
+            Some(Entry {
+                payload: Payload::Artifact(artifact),
+                ..
+            }) => {
+                let artifact = artifact.clone();
+                self.phase_hits[phase_index(phase)].fetch_add(1, Ordering::Relaxed);
+                xring_obs::counter("cache.artifact_hits", 1);
+                inner.bump(&addr);
+                Some(artifact)
+            }
+            _ => {
+                self.phase_misses[phase_index(phase)].fetch_add(1, Ordering::Relaxed);
+                xring_obs::counter("cache.artifact_misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a phase artifact, *overwriting* any existing entry at the
+    /// same address: the old entry's bytes are released and its stale
+    /// recency pairs are deduped immediately, so byte accounting stays
+    /// exact. Under a byte budget, an artifact larger than the whole
+    /// budget is refused and eviction runs as for design inserts.
+    fn put_artifact(&self, phase: PhaseId, key: u64, artifact: PhaseArtifact) {
+        let addr = artifact_key(phase, key);
+        let bytes = addr.len() + artifact.approx_bytes();
+        if self.byte_budget.is_some_and(|budget| bytes > budget) {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.remove(&addr).is_some() {
+            // Dedupe the overwritten key's queue pairs now rather than
+            // leaving stale residue for compaction to find later.
+            inner.recency.retain(|(_, k)| k != &addr);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.recency.push_back((seq, addr.clone()));
+        inner.total_bytes += bytes;
+        inner.map.insert(
+            addr,
+            Entry {
+                payload: Payload::Artifact(artifact),
+                bytes,
+                seq,
+            },
+        );
+        if let Some(budget) = self.byte_budget {
+            self.evict_to_budget(&mut inner, budget);
+        }
+    }
+
+    /// Drops a phase artifact (and its recency pairs), if present.
+    fn evict_artifact(&self, phase: PhaseId, key: u64) {
+        let addr = artifact_key(phase, key);
+        let mut inner = self.lock();
+        if inner.remove(&addr).is_some() {
+            inner.recency.retain(|(_, k)| k != &addr);
+        }
     }
 }
 
@@ -623,6 +834,127 @@ mod tests {
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.lru_evictions(), 0);
         assert!(cache.bytes() > 0);
+    }
+
+    fn shortcut_artifact(n: usize) -> PhaseArtifact {
+        use xring_core::{RingBuilder, ShortcutArtifact};
+        let net = NetworkSpec::psion_16();
+        let ring = RingBuilder::new().build(&net).expect("ring");
+        let mut plan = xring_core::plan_shortcuts(&net, &ring.cycle);
+        plan.shortcuts.truncate(n);
+        PhaseArtifact::Shortcut(ShortcutArtifact { plan })
+    }
+
+    #[test]
+    fn artifact_roundtrip_counts_phase_hits_and_misses() {
+        let cache = DesignCache::new();
+        assert!(cache.get_artifact(PhaseId::Shortcut, 7).is_none());
+        assert_eq!(cache.phase_misses(PhaseId::Shortcut), 1);
+        cache.put_artifact(PhaseId::Shortcut, 7, shortcut_artifact(2));
+        assert!(matches!(
+            cache.get_artifact(PhaseId::Shortcut, 7),
+            Some(PhaseArtifact::Shortcut(_))
+        ));
+        assert_eq!(cache.phase_hits(PhaseId::Shortcut), 1);
+        assert_eq!(cache.artifact_hits(), 1);
+        assert_eq!(cache.artifact_misses(), 1);
+        // Same content key under a different phase is a distinct address.
+        assert!(cache.get_artifact(PhaseId::Ring, 7).is_none());
+        assert_eq!(cache.phase_misses(PhaseId::Ring), 1);
+        cache.evict_artifact(PhaseId::Shortcut, 7);
+        assert!(cache.get_artifact(PhaseId::Shortcut, 7).is_none());
+    }
+
+    #[test]
+    fn artifact_overwrite_keeps_byte_accounting_exact() {
+        // The regression this guards: an overwrite that does not release
+        // the replaced entry's bytes (or leaves stale recency pairs)
+        // makes the byte total drift upward until the budget evicts
+        // everything. Overwrite with a *smaller* artifact and check the
+        // total shrinks to exactly the new entry's charge.
+        let cache = DesignCache::new();
+        let big = shortcut_artifact(4);
+        let small = shortcut_artifact(0);
+        let big_bytes = 10 + big.approx_bytes();
+        let small_bytes = 10 + small.approx_bytes();
+        assert!(big_bytes > small_bytes);
+
+        cache.put_artifact(PhaseId::Shortcut, 1, big);
+        assert_eq!(cache.bytes(), big_bytes);
+        cache.put_artifact(PhaseId::Shortcut, 1, small);
+        assert_eq!(cache.len(), 1, "overwrite must not duplicate the entry");
+        assert_eq!(
+            cache.bytes(),
+            small_bytes,
+            "overwrite leaked the replaced entry's bytes"
+        );
+        cache.evict_artifact(PhaseId::Shortcut, 1);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn artifact_overwrite_dedupes_recency_pairs() {
+        let cache = DesignCache::new();
+        for _ in 0..10 {
+            cache.put_artifact(PhaseId::Shortcut, 1, shortcut_artifact(1));
+        }
+        let inner = cache.lock();
+        let pairs = inner
+            .recency
+            .iter()
+            .filter(|(_, k)| k == &artifact_key(PhaseId::Shortcut, 1))
+            .count();
+        assert_eq!(pairs, 1, "overwrites must dedupe the recency queue");
+    }
+
+    #[test]
+    fn artifact_overwrite_under_budget_does_not_evict_live_neighbours() {
+        // Stale recency pairs from overwrites used to be charged against
+        // the budget walk; with dedupe-on-insert, repeatedly overwriting
+        // one artifact must never push a live neighbour out.
+        let a = shortcut_artifact(2);
+        let b = shortcut_artifact(2);
+        let budget = 2 * (10 + a.approx_bytes()) + 64;
+        let cache = DesignCache::with_byte_budget(budget);
+        cache.put_artifact(PhaseId::Shortcut, 1, a);
+        for _ in 0..50 {
+            cache.put_artifact(PhaseId::Shortcut, 2, b.clone());
+        }
+        assert!(
+            cache.get_artifact(PhaseId::Shortcut, 1).is_some(),
+            "live neighbour evicted by overwrite churn"
+        );
+        assert!(cache.bytes() <= budget);
+        assert_eq!(cache.lru_evictions(), 0);
+    }
+
+    #[test]
+    fn artifacts_and_designs_share_the_byte_budget() {
+        let j = job("shared", 4);
+        let (key, design, report) = synthesized(&j);
+        let design_bytes = approx_entry_bytes(key.len(), &design, &report);
+        // Budget fits the design alone; a burst of artifacts must evict
+        // it (shared accounting) rather than grow without bound.
+        let cache = DesignCache::with_byte_budget(design_bytes + 256);
+        cache.insert(key.clone(), design, report);
+        assert!(cache.lookup(&key, "shared").is_some());
+        for k in 0..64u64 {
+            cache.put_artifact(PhaseId::Shortcut, k, shortcut_artifact(2));
+        }
+        assert!(cache.bytes() <= design_bytes + 256);
+        assert!(cache.lru_evictions() > 0, "budget never enforced");
+    }
+
+    #[test]
+    fn corrupt_artifact_clears_payload() {
+        let cache = DesignCache::new();
+        cache.put_artifact(PhaseId::Shortcut, 3, shortcut_artifact(2));
+        assert!(cache.corrupt_artifact(PhaseId::Shortcut, 3));
+        match cache.get_artifact(PhaseId::Shortcut, 3) {
+            Some(PhaseArtifact::Shortcut(a)) => assert!(a.plan.shortcuts.is_empty()),
+            other => panic!("expected corrupted shortcut artifact, got {other:?}"),
+        }
+        assert!(!cache.corrupt_artifact(PhaseId::Ring, 3));
     }
 
     #[test]

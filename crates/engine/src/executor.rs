@@ -189,6 +189,118 @@ impl Engine {
         BatchResult { outcomes, metrics }
     }
 
+    /// Incrementally re-synthesizes `job` after an edit, reusing the
+    /// phase artifacts persisted in the engine's [`DesignCache`] from
+    /// `prev` (and from every earlier incremental run sharing the
+    /// cache).
+    ///
+    /// Each pipeline phase is keyed on a content hash of its actual
+    /// inputs ([`xring_core::PhaseKeys`]); phases whose keys the edit
+    /// did not change are replayed verbatim — keeping the result
+    /// bit-identical to a cold synthesis of the edited spec — and only
+    /// the dirty suffix of the phase DAG is recomputed. When the edit
+    /// dirties the ring phase itself, the MILP is warm-started from
+    /// `prev`'s exported LP basis. The number of replayed phases is
+    /// reported in [`JobOutput::phases_reused`].
+    ///
+    /// A first call with `prev == job` runs cold and seeds the artifact
+    /// store. Whole-design cache hits still short-circuit everything.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xring_core::{NetworkSpec, SynthesisOptions, Traffic};
+    /// use xring_engine::{Engine, SynthesisJob};
+    ///
+    /// let engine = Engine::new();
+    /// let base = SynthesisJob::new(
+    ///     "base",
+    ///     NetworkSpec::proton_8(),
+    ///     SynthesisOptions::with_wavelengths(8),
+    /// );
+    /// // Cold: every phase recomputes and persists its artifact.
+    /// let cold = engine.resynthesize(&base, &base)?;
+    /// assert_eq!(cold.phases_reused, 0);
+    ///
+    /// // Edit the traffic: the ring and shortcut phases replay from
+    /// // their artifacts; only mapping, opening and PDN recompute.
+    /// let mut edited = base.clone();
+    /// edited.label = "edited".to_owned();
+    /// edited.options.traffic = Traffic::NearestNeighbors(3);
+    /// let warm = engine.resynthesize(&base, &edited)?;
+    /// assert!(!warm.cache_hit);
+    /// assert_eq!(warm.phases_reused, 2);
+    /// # Ok::<(), xring_engine::JobError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As for a batch job: [`JobError::Synthesis`] once the incremental
+    /// path's cold fallback is exhausted, [`JobError::DeadlineExceeded`]
+    /// on deadline expiry, [`JobError::Panicked`] if the pipeline
+    /// panics.
+    pub fn resynthesize(
+        &self,
+        prev: &SynthesisJob,
+        job: &SynthesisJob,
+    ) -> Result<JobOutput, JobError> {
+        let _span = xring_obs::span_labelled("resynthesize", job.label.clone());
+        let t0 = Instant::now();
+        let key = canonical_key(job);
+        if let Some((design, report)) = self.cache.lookup(&key, &job.label) {
+            return Ok(JobOutput {
+                label: job.label.clone(),
+                design,
+                report,
+                wall: t0.elapsed(),
+                cache_hit: true,
+                phases_reused: 0,
+            });
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let new_keys = xring_core::PhaseKeys::compute(&job.net, &job.options);
+            let prev_keys = xring_core::PhaseKeys::compute(&prev.net, &prev.options);
+            // Only a ring-dirty edit needs the previous basis; a clean
+            // ring key replays the whole artifact instead.
+            let warm_hint = (new_keys.ring != prev_keys.ring)
+                .then(|| self.cache.warm_basis_for(prev_keys.ring))
+                .flatten();
+            let synthesizer = Synthesizer::new(job.options.clone());
+            let (design, inc) = synthesizer.synthesize_incremental(
+                &job.net,
+                self.cache.as_ref(),
+                warm_hint.as_ref(),
+            )?;
+            let design = Arc::new(design);
+            let report =
+                design.report(job.label.clone(), &job.loss, job.xtalk.as_ref(), &job.power);
+            let bounds = audit_report_bounds(&report);
+            if !bounds.passed {
+                return Err(JobError::Synthesis(SynthesisError::AuditFailed {
+                    summary: format!("{}: {}", bounds.invariant, bounds.detail),
+                }));
+            }
+            self.cache.insert(key, Arc::clone(&design), report.clone());
+            Ok(JobOutput {
+                label: job.label.clone(),
+                design,
+                report,
+                wall: Default::default(),
+                cache_hit: false,
+                phases_reused: inc.phases_reused(),
+            })
+        }))
+        .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
+        result.map(|mut out| {
+            out.wall = t0.elapsed();
+            xring_obs::record_hist("engine.resynthesize_wall_us", out.wall.as_micros() as u64);
+            if out.phases_reused > 0 {
+                xring_obs::counter("engine.incremental_jobs", 1);
+            }
+            out
+        })
+    }
+
     /// Runs one job: cache lookup, else synthesize + evaluate + insert.
     /// Panics inside the synthesis are caught here so the job-finished
     /// event is still emitted; a panicking attempt is retried up to
@@ -264,6 +376,7 @@ impl Engine {
                 report,
                 wall: Default::default(),
                 cache_hit: true,
+                phases_reused: 0,
             });
         }
         let design = Arc::new(Synthesizer::new(job.options.clone()).synthesize(&job.net)?);
@@ -297,6 +410,7 @@ impl Engine {
             report,
             wall: Default::default(),
             cache_hit: false,
+            phases_reused: 0,
         })
     }
 

@@ -75,6 +75,10 @@ pub struct JobOutput {
     pub wall: Duration,
     /// Whether the design came from the cache.
     pub cache_hit: bool,
+    /// How many pipeline phases were replayed from cached artifacts
+    /// (0–5; only [`Engine::resynthesize`](crate::Engine::resynthesize)
+    /// sets this — plain batch jobs report 0).
+    pub phases_reused: usize,
 }
 
 /// Why a job failed. Failures are per-job: the rest of the batch is

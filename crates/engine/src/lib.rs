@@ -46,6 +46,8 @@
 //! assert_eq!(batch.metrics.succeeded, 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod executor;
 #[cfg(feature = "fault-inject")]

@@ -98,6 +98,17 @@ pub struct Basis {
     pub(crate) binv: Vec<f64>,
 }
 
+impl Basis {
+    /// Approximate memory footprint in bytes (struct plus owned
+    /// buffers), for byte-budgeted caches that persist exported bases.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.basic.len() * std::mem::size_of::<usize>()
+            + self.at_upper.len()
+            + self.binv.len() * std::mem::size_of::<f64>()
+    }
+}
+
 /// The result of one backend solve.
 #[derive(Debug)]
 pub struct BackendSolve {

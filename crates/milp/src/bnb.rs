@@ -23,12 +23,18 @@ use crate::backend::LpBackend;
 /// is considered integral.
 const INT_TOL: f64 = 1e-6;
 
+/// What the branch-and-bound search returns for the winning node:
+/// solution values, objective, and the basis that proved it (shared
+/// via `Rc` until export).
+type SearchOutcome = (Vec<f64>, f64, Option<Rc<Basis>>);
+
 /// A feasible integer solution found by [`BranchAndBound::solve`].
 #[derive(Debug, Clone)]
 pub struct MilpSolution {
     values: Vec<f64>,
     objective: f64,
     stats: SolveStats,
+    basis: Option<Basis>,
 }
 
 impl MilpSolution {
@@ -60,6 +66,21 @@ impl MilpSolution {
     /// Search statistics.
     pub fn stats(&self) -> &SolveStats {
         &self.stats
+    }
+
+    /// The LP basis at the node where the final incumbent was proved,
+    /// for seeding a later re-solve of a *same-shaped* model via
+    /// [`BranchAndBound::with_root_basis`]. `None` when the incumbent
+    /// came from a warm start accepted without any LP solve, or when
+    /// the backend does not export bases (the dense reference backend).
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
+    }
+
+    /// Consumes the solution, yielding the exported basis (see
+    /// [`basis`](Self::basis)).
+    pub fn into_basis(self) -> Option<Basis> {
+        self.basis
     }
 }
 
@@ -96,6 +117,7 @@ pub struct BranchAndBound {
     incumbent: Option<(Vec<f64>, f64)>,
     progress_stride: usize,
     lp_backend: LpBackendKind,
+    root_basis: Option<Rc<Basis>>,
 }
 
 impl Default for BranchAndBound {
@@ -106,6 +128,7 @@ impl Default for BranchAndBound {
             incumbent: None,
             progress_stride: 64,
             lp_backend: LpBackendKind::default(),
+            root_basis: None,
         }
     }
 }
@@ -214,6 +237,18 @@ impl BranchAndBound {
     /// or a global progress sink is attached; see [`crate::progress`].
     pub fn with_progress_stride(mut self, stride: usize) -> Self {
         self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Seeds the root node's LP with a basis exported from a previous
+    /// solve ([`MilpSolution::basis`]). The basis must come from a model
+    /// with the same variable count and a compatible row structure —
+    /// typically an earlier solve of the *same* model with different
+    /// coefficients (an edited spec). An incompatible basis is detected
+    /// by the backend and the root simply solves cold, so this is always
+    /// safe to offer. Only the revised backend can adopt it.
+    pub fn with_root_basis(mut self, basis: Basis) -> Self {
+        self.root_basis = Some(Rc::new(basis));
         self
     }
 
@@ -344,7 +379,7 @@ impl BranchAndBound {
         };
         let mut stats = SolveStats::default();
         let result = self.search(model, separate, &mut stats, &mut progress);
-        let final_incumbent = result.as_ref().ok().map(|(_, objective)| *objective);
+        let final_incumbent = result.as_ref().ok().map(|(_, objective, _)| *objective);
         if progress.proven && progress.best_bound.is_some() {
             // Exhausted tree: the incumbent is the proven optimum, so
             // the bound meets it and the final gap closes to 0.
@@ -357,10 +392,11 @@ impl BranchAndBound {
         xring_obs::counter("milp.lazy_cuts", stats.lazy_constraints as u64);
         xring_obs::counter("milp.presolve_fixed", stats.presolve_fixed as u64);
         xring_obs::counter("milp.incumbent_updates", stats.incumbent_updates as u64);
-        result.map(|(values, objective)| MilpSolution {
+        result.map(|(values, objective, basis)| MilpSolution {
             values,
             objective,
             stats,
+            basis: basis.map(|b| Rc::try_unwrap(b).unwrap_or_else(|rc| (*rc).clone())),
         })
     }
 
@@ -375,7 +411,7 @@ impl BranchAndBound {
         mut separate: F,
         stats: &mut SolveStats,
         progress: &mut ProgressState<'_>,
-    ) -> Result<(Vec<f64>, f64), SolveError>
+    ) -> Result<SearchOutcome, SolveError>
     where
         F: FnMut(&[f64]) -> Vec<(LinExpr, Relation, f64)>,
     {
@@ -416,8 +452,11 @@ impl BranchAndBound {
             .collect();
         let mut lazy_pool: Vec<(LinExpr, Relation, f64)> = Vec::new();
 
-        // Incumbent.
+        // Incumbent, plus the LP basis of the node that proved it (the
+        // exported warm-start seed for a later re-solve of an edited
+        // model).
         let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut best_basis: Option<Rc<Basis>> = None;
         if let Some((vals, obj)) = &self.incumbent {
             if vals.len() != n {
                 return Err(SolveError::InvalidModel {
@@ -454,7 +493,7 @@ impl BranchAndBound {
         let root_fixes: Vec<(usize, bool)> = pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
         let mut stack = vec![Node {
             fixes: root_fixes,
-            basis: None,
+            basis: self.root_basis.clone(),
         }];
         let backend = self.lp_backend.backend();
         let dense_backend = self.lp_backend == LpBackendKind::Dense;
@@ -496,7 +535,7 @@ impl BranchAndBound {
             if stats.nodes > self.max_nodes {
                 progress.proven = false;
                 return match best {
-                    Some(incumbent) => Ok(incumbent),
+                    Some((values, obj)) => Ok((values, obj, best_basis)),
                     None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
                 };
             }
@@ -613,6 +652,7 @@ impl BranchAndBound {
                             if improves {
                                 stats.incumbent_updates += 1;
                                 best = Some((values, obj));
+                                best_basis = warm.clone();
                                 progress.emit(ProgressKind::Incumbent, stats.nodes, Some(obj));
                             }
                             break 'resolve;
@@ -632,6 +672,7 @@ impl BranchAndBound {
                                 };
                                 if violated {
                                     best = None;
+                                    best_basis = None;
                                 }
                             }
                             rows.push(to_lp_row(&expr, rel, rhs));
@@ -673,7 +714,7 @@ impl BranchAndBound {
             Some((values, obj)) => {
                 // Final consistency check against lazy pool and model.
                 debug_assert!(model.violated_constraints(&values, 1e-5).is_empty());
-                Ok((values, obj))
+                Ok((values, obj, best_basis))
             }
             None => Err(SolveError::Infeasible),
         }

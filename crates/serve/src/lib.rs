@@ -31,6 +31,13 @@
 //! * **Bounded shared cache**: one content-addressed
 //!   [`DesignCache`](xring_engine::DesignCache) with a byte budget and
 //!   LRU eviction serves all requests — repeated specs cost a lookup.
+//! * **Incremental re-synthesis**: `/synth` runs through
+//!   [`Engine::resynthesize`](xring_engine::Engine::resynthesize),
+//!   diffing each request's phase keys against the previous one; an
+//!   edited spec replays its unchanged pipeline phases from cached
+//!   artifacts and recomputes only the dirty suffix. `/metrics` exposes
+//!   `xring_serve_incremental_total` and per-phase
+//!   `xring_cache_phase_{hits,misses}_*` counters.
 //! * **Live metrics** ([`metrics`]): always-on lock-free histograms
 //!   rendered through the same Prometheus writer as `--metrics-out`.
 //!

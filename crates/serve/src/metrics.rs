@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use xring_core::PhaseId;
 use xring_engine::DesignCache;
 use xring_obs::{GaugeRecord, Histogram, Trace};
 
@@ -52,6 +53,9 @@ pub mod names {
     pub const INFLIGHT: &str = "serve.inflight";
     /// Requests currently parked in the accept queue (gauge).
     pub const QUEUED: &str = "serve.queued";
+    /// `/synth` responses that replayed at least one pipeline phase
+    /// from the cache's artifact store (incremental re-synthesis).
+    pub const INCREMENTAL: &str = "serve.incremental";
 }
 
 /// The daemon's live instrument set. One instance per
@@ -71,6 +75,7 @@ pub struct ServeMetrics {
     deadline_exceeded: AtomicU64,
     degraded: AtomicU64,
     spared: AtomicU64,
+    incremental: AtomicU64,
     inflight: AtomicU64,
     queued: AtomicU64,
     started: Instant,
@@ -96,6 +101,7 @@ impl ServeMetrics {
             deadline_exceeded: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             spared: AtomicU64::new(0),
+            incremental: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             started: Instant::now(),
@@ -154,6 +160,13 @@ impl ServeMetrics {
         xring_obs::counter(names::SPARED, 1);
     }
 
+    /// Counts a response that replayed at least one pipeline phase
+    /// from cached artifacts instead of recomputing it.
+    pub fn record_incremental(&self) {
+        self.incremental.fetch_add(1, Ordering::Relaxed);
+        xring_obs::counter(names::INCREMENTAL, 1);
+    }
+
     /// Handler entry/exit bracket; returns the inflight count *after*
     /// the adjustment.
     pub fn adjust_inflight(&self, delta: i64) -> u64 {
@@ -209,6 +222,12 @@ impl ServeMetrics {
         self.deadline_exceeded.load(Ordering::Relaxed)
     }
 
+    /// Total `/synth` responses that replayed at least one pipeline
+    /// phase from cached artifacts.
+    pub fn incremental(&self) -> u64 {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
     /// Assembles a point-in-time [`Trace`] of the daemon: serve
     /// counters/gauges/histograms plus the shared cache's counters and
     /// byte occupancy. Feeding the result to [`Trace::write_prometheus`]
@@ -224,7 +243,7 @@ impl ServeMetrics {
         };
         // Zero-valued counters stay in the exposition: scrapers want
         // stable series, and "shed 0" is information.
-        let totals = vec![
+        let mut totals = vec![
             (
                 names::REQUESTS.to_owned(),
                 self.requests.load(Ordering::Relaxed),
@@ -251,6 +270,10 @@ impl ServeMetrics {
                 names::SPARED.to_owned(),
                 self.spared.load(Ordering::Relaxed),
             ),
+            (
+                names::INCREMENTAL.to_owned(),
+                self.incremental.load(Ordering::Relaxed),
+            ),
             ("cache.hits".to_owned(), cache.hits() as u64),
             ("cache.misses".to_owned(), cache.misses() as u64),
             ("cache.evictions".to_owned(), cache.evictions() as u64),
@@ -259,7 +282,27 @@ impl ServeMetrics {
                 cache.lru_evictions() as u64,
             ),
             ("cache.evict_bytes".to_owned(), cache.evicted_bytes() as u64),
+            (
+                "cache.artifact_hits".to_owned(),
+                cache.artifact_hits() as u64,
+            ),
+            (
+                "cache.artifact_misses".to_owned(),
+                cache.artifact_misses() as u64,
+            ),
         ];
+        // One stable hit/miss series per pipeline phase, so operators
+        // can see *which* phases incremental edits are replaying.
+        for phase in PhaseId::ALL {
+            totals.push((
+                format!("cache.phase_hits.{}", phase.as_str()),
+                cache.phase_hits(phase) as u64,
+            ));
+            totals.push((
+                format!("cache.phase_misses.{}", phase.as_str()),
+                cache.phase_misses(phase) as u64,
+            ));
+        }
         let hists = [
             self.request_wall.snapshot(names::REQUEST_WALL_US),
             self.queue_wait.snapshot(names::QUEUE_WAIT_US),
@@ -319,6 +362,7 @@ mod tests {
         m.record_status(500);
         m.record_degraded();
         m.record_spared();
+        m.record_incremental();
         m.adjust_inflight(1);
 
         let cache = DesignCache::with_byte_budget(1 << 20);
@@ -334,6 +378,11 @@ mod tests {
         assert!(text.contains("xring_serve_server_errors_total 1"));
         assert!(text.contains("xring_serve_degraded_total 1"));
         assert!(text.contains("xring_serve_spared_total 1"));
+        assert!(text.contains("xring_serve_incremental_total 1"));
+        assert!(text.contains("xring_cache_artifact_hits_total 0"));
+        assert!(text.contains("xring_cache_artifact_misses_total 0"));
+        assert!(text.contains("xring_cache_phase_hits_ring_milp_total 0"));
+        assert!(text.contains("xring_cache_phase_misses_pdn_total 0"));
         assert!(text.contains("xring_serve_inflight 1"));
         assert!(text.contains("xring_serve_request_wall_us_bucket"));
         assert!(text.contains("xring_serve_request_wall_us_count 2"));

@@ -459,7 +459,7 @@ pub fn render_output(out: &JobOutput, queue_us: u64, wall_us: u64) -> String {
     let opt_usize = |v: Option<usize>| v.map_or_else(|| "null".to_owned(), |n| n.to_string());
     format!(
         concat!(
-            "{{{label},\"cache_hit\":{cache_hit},",
+            "{{{label},\"cache_hit\":{cache_hit},\"phases_reused\":{phases_reused},",
             "\"degradation\":\"{degradation}\",\"fallback_reason\":{fallback},",
             "\"audit\":{{\"clean\":{clean},\"verdicts\":{verdicts},{summary}}},",
             "\"report\":{{\"num_wavelengths\":{wl},\"worst_il_db\":{il},",
@@ -470,6 +470,7 @@ pub fn render_output(out: &JobOutput, queue_us: u64, wall_us: u64) -> String {
         ),
         label = str_field("label", &out.label),
         cache_hit = out.cache_hit,
+        phases_reused = out.phases_reused,
         degradation = p.degradation.as_str(),
         fallback = p.fallback_reason.as_deref().map_or_else(
             || "null".to_owned(),

@@ -35,7 +35,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use xring_core::{DegradationLevel, DegradationPolicy};
-use xring_engine::{DesignCache, Engine, JobError};
+use xring_engine::{DesignCache, Engine, JobError, SynthesisJob};
 
 use crate::http::{self, Request};
 use crate::metrics::ServeMetrics;
@@ -98,6 +98,12 @@ struct Shared {
     metrics: ServeMetrics,
     defaults: RequestDefaults,
     draining: AtomicBool,
+    /// The last successfully-synthesized `/synth` job: the baseline an
+    /// incremental re-synthesis diffs the next request's phase keys
+    /// against (its ring basis seeds the warm start on ring-dirty
+    /// edits). The phase artifacts themselves live in `cache`, so an
+    /// edit chain keeps hitting even as this slot advances.
+    last_synth: Mutex<Option<SynthesisJob>>,
 }
 
 /// A running daemon. Dropping it shuts down gracefully (equivalent to
@@ -131,6 +137,7 @@ impl Server {
                 degradation: config.degradation,
             },
             draining: AtomicBool::new(false),
+            last_synth: Mutex::new(None),
         });
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Work>(config.queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
@@ -381,15 +388,26 @@ fn handle(
             };
             let label = job.label.clone();
             let spared = job.options.spares.any();
-            let batch = shared.engine.run_batch(vec![job]);
-            let outcome = batch
-                .outcomes
-                .into_iter()
-                .next()
-                .expect("one job in, one outcome out");
+            // `/synth` runs through the incremental path: phase keys are
+            // diffed against the last served job and clean phases replay
+            // from cached artifacts (the first request seeds the store
+            // by diffing against itself — a cold run).
+            let prev = shared
+                .last_synth
+                .lock()
+                .map(|g| g.clone())
+                .unwrap_or_default()
+                .unwrap_or_else(|| job.clone());
+            let outcome = shared.engine.resynthesize(&prev, &job);
             track_outcome_metrics(shared, outcome.as_ref(), spared);
             match outcome {
                 Ok(out) => {
+                    if out.phases_reused > 0 {
+                        shared.metrics.record_incremental();
+                    }
+                    if let Ok(mut slot) = shared.last_synth.lock() {
+                        *slot = Some(job);
+                    }
                     let wall_us = t0.elapsed().as_micros() as u64;
                     (200, JSON, protocol::render_output(&out, queue_us, wall_us))
                 }

@@ -40,7 +40,7 @@ fn jobs_32() -> Vec<SynthesisJob> {
 /// every fault class fires at least once (asserted below, so a future
 /// RNG change cannot silently weaken the suite).
 fn plan() -> FaultPlan {
-    FaultPlan::new(0xC0FF_EE).with_rates(FaultRates {
+    FaultPlan::new(0x00C0_FFEE).with_rates(FaultRates {
         numerical: 0.15,
         deadline: 0.12,
         panic: 0.10,
