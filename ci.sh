@@ -74,10 +74,23 @@ if [ -z "$serve_addr" ]; then
     exit 1
 fi
 curl -sf "http://$serve_addr/healthz" | grep -q '"status":"ok"'
+curl -sf "http://$serve_addr/healthz" | grep -q '"uptime_s":'
+curl -sf "http://$serve_addr/healthz" | grep -q '"version":"'
 curl -sf -X POST "http://$serve_addr/synth" \
     -d '{"net": {"named": "proton_8"}, "options": {"max_wavelengths": 8}}' \
     | grep -q '"audit":{"clean":true'
 curl -sf "http://$serve_addr/metrics" | grep -q 'xring_serve_request_wall_us_bucket'
+curl -sf "http://$serve_addr/metrics" | grep -q 'xring_serve_slo_availability_burn_rate_5m'
+# Flight recorder: the /synth request above must be in the debug ring,
+# and its record must resolve by id with a per-phase breakdown.
+curl -sf "http://$serve_addr/debug/requests" | grep -q '"route":"/synth"'
+flight_id=$(curl -sf "http://$serve_addr/debug/requests" \
+    | sed -n 's/.*"id":"\([0-9a-f]\{32\}\)".*/\1/p' | head -1)
+if [ -z "$flight_id" ]; then
+    echo "serve: flight recorder returned no request ids" >&2
+    exit 1
+fi
+curl -sf "http://$serve_addr/debug/requests/$flight_id" | grep -q '"phases":{'
 curl -sf -X POST "http://$serve_addr/shutdown" | grep -q '"status":"draining"'
 # Graceful-drain check: the daemon must exit 0 on its own and report the
 # drain summary; a leaked handler would hang the wait (and fail CI).
@@ -100,7 +113,7 @@ echo "==> incremental edit smoke (CLI edit loop, byte-identity check)"
 
 echo "==> regress --quick (pinned perf suite smoke + baseline gate)"
 cargo run -q --release -p xring-bench --bin regress --offline -- \
-    --quick --out target/regress-ci.json --compare BENCH_PR8.json
+    --quick --out target/regress-ci.json --compare BENCH_PR9.json
 
 echo "==> edit-loop gate (incremental re-synthesis must beat cold synthesis)"
 edit_cold=$(tr ',{}' '\n' <target/regress-ci.json | sed -n 's/"edit_cold_wall_ms"://p')

@@ -403,8 +403,49 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
     }
 
     edit_loop(repeats, &mut report)?;
+    obs_overhead(repeats, &mut report);
     serve_load(quick, &mut report)?;
     Ok(report)
+}
+
+/// Observability-overhead scenario: the same pinned synthesis timed
+/// bare and with a request context attached (what the serve path does
+/// per request). Both `_wall_ms` keys ride the comparison gate, so a
+/// slowdown in the request-scoped capture path — the dual-sink span
+/// recording, the per-thread sink handoff — trips CI without a daemon
+/// in the loop. The captured span count is deterministic drift
+/// telemetry: it changes only when the pipeline's span structure does.
+fn obs_overhead(repeats: usize, report: &mut RegressReport) {
+    let net = NetworkSpec::proton_8();
+    let options = SynthesisOptions::with_wavelengths(8);
+    let untraced = median_ms(repeats, || {
+        let design = Synthesizer::new(options.clone())
+            .synthesize(&net)
+            .expect("pinned obs workload is feasible");
+        assert!(design.provenance.audit.is_clean());
+    });
+    let mut spans = 0usize;
+    let traced = median_ms(repeats, || {
+        let ctx = xring_obs::RequestCtx::new(xring_obs::RequestId::mint(0xb0b0, 1, 2));
+        let scope = ctx.attach();
+        let design = Synthesizer::new(options.clone())
+            .synthesize(&net)
+            .expect("pinned obs workload is feasible");
+        assert!(design.provenance.audit.is_clean());
+        drop(scope);
+        spans = ctx.finish().spans.len();
+    });
+    assert!(
+        spans > 0,
+        "request-scoped capture recorded no spans — the sink is not wired"
+    );
+    report
+        .metrics
+        .insert("obs_untraced_wall_ms".into(), untraced);
+    report.metrics.insert("obs_traced_wall_ms".into(), traced);
+    report
+        .metrics
+        .insert("obs_request_spans".into(), spans as f64);
 }
 
 /// Incremental edit-loop scenario on the pinned irregular 16-node
@@ -688,6 +729,9 @@ mod tests {
             "edit_incremental_wall_ms",
             "edit_speedup",
             "edit_phases_reused",
+            "obs_untraced_wall_ms",
+            "obs_traced_wall_ms",
+            "obs_request_spans",
             "serve_load_wall_ms",
             "serve_req_per_s",
             "serve_p50_wall_ms",
@@ -709,6 +753,7 @@ mod tests {
         // clean — the incremental run must replay exactly those two.
         assert_eq!(r.metrics["edit_phases_reused"], 2.0);
         assert!(r.metrics["edit_speedup"] > 1.0);
+        assert!(r.metrics["obs_request_spans"] >= 5.0);
         // The revised backend (the default) reuses the parent basis on
         // nearly every branch-and-bound child of the irregular ring.
         assert!(

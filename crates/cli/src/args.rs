@@ -9,6 +9,12 @@ use xring_obs::TraceFormat;
 pub struct Cli {
     /// `--jobs N`: engine worker count (default: one per core).
     pub jobs: Option<usize>,
+    /// `--log-level error|warn|info|debug`: structured-log threshold
+    /// (default info).
+    pub log_level: Option<xring_obs::log::Level>,
+    /// `--log-out FILE`: write structured JSONL logs here instead of
+    /// stderr.
+    pub log_out: Option<String>,
     /// The subcommand.
     pub command: Command,
 }
@@ -140,6 +146,15 @@ pub struct ServeArgs {
     /// `--metrics-out FILE`: write a final Prometheus snapshot here
     /// after shutdown (the live `GET /metrics` needs no flag).
     pub metrics_out: Option<String>,
+    /// `--slo-target-ppm N`: availability/latency SLO target in parts
+    /// per million of good requests (default 990000 = 99%).
+    pub slo_target_ppm: Option<u32>,
+    /// `--slo-latency-ms N`: latency objective — a 2xx response slower
+    /// than this is an SLO-bad request (default 1000).
+    pub slo_latency_ms: Option<u64>,
+    /// `--postmortem FILE`: dump the flight recorder and retained tail
+    /// traces here on drain and on a handler panic.
+    pub postmortem: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -155,6 +170,9 @@ impl Default for ServeArgs {
             trace: None,
             trace_format: TraceFormat::default(),
             metrics_out: None,
+            slo_target_ppm: None,
+            slo_latency_ms: None,
+            postmortem: None,
         }
     }
 }
@@ -205,7 +223,7 @@ pub const USAGE: &str = "\
 xring — crosstalk-aware synthesis of optical ring routers (DATE 2023 reproduction)
 
 USAGE:
-  xring [--jobs N] <command>
+  xring [--jobs N] [--log-level L] [--log-out FILE] <command>
 
   xring synth [--grid RxC] [--pitch UM] [--irregular N,SEED,DIE_UM]
               [--wl N] [--spares K] [--ring milp|heuristic|perimeter]
@@ -223,14 +241,20 @@ USAGE:
               [--queue-depth N] [--deadline-ms N] [--cache-bytes N]
               [--degradation forbid|allow|force-heuristic]
               [--trace FILE] [--trace-format jsonl|folded]
-              [--metrics-out FILE]
+              [--metrics-out FILE] [--slo-target-ppm N]
+              [--slo-latency-ms N] [--postmortem FILE]
   xring table <1|2|3>
   xring ablation <shortcuts|pdn|ring|all>
   xring help
 
 GLOBAL FLAGS:
-  --jobs N   worker threads for sweeps, batches, tables and ablations
-             (default: one per core)
+  --jobs N        worker threads for sweeps, batches, tables and
+                  ablations (default: one per core)
+  --log-level L   structured-log threshold: error, warn, info or debug
+                  (default info)
+  --log-out FILE  write structured JSONL log events to FILE instead of
+                  stderr; each event carries a timestamp, level, target
+                  and — inside the daemon — the request id
 
 DEGRADATION (synth, sweep, batch):
   --degradation forbid           any failure is fatal (default)
@@ -298,6 +322,19 @@ SERVING:
                     (default 268435456; 0 = unbounded)
   --degradation P   default degradation policy for requests
   --trace/--trace-format/--metrics-out as above, flushed on shutdown
+
+  Observability (see docs/OBSERVABILITY.md): every response carries an
+  x-request-id header and JSON request_id field; GET /debug/requests,
+  /debug/requests/<id> and /debug/slow expose the flight recorder and
+  tail-sampled span traces; /metrics exposes SLO burn rates.
+  --slo-target-ppm N   good-request target in parts per million for the
+                       availability and latency SLOs (default 990000,
+                       i.e. 99%)
+  --slo-latency-ms N   latency objective: a 2xx answered slower than
+                       this counts against the latency SLO and makes
+                       the request tail-sampling-worthy (default 1000)
+  --postmortem FILE    on drain or handler panic, dump the flight
+                       recorder and retained traces to FILE as JSONL
 
 SOLVER TELEMETRY (synth, sweep, batch):
   --solver-log FILE      stream MILP branch-and-bound convergence events
@@ -473,29 +510,54 @@ where
     Ok(true)
 }
 
-/// Extracts the global `--jobs N` flag (valid anywhere in the argument
-/// vector), returning the remaining arguments.
-fn extract_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), ParseArgsError> {
-    let mut jobs = None;
+/// The global flags, valid anywhere in the argument vector.
+struct Globals {
+    jobs: Option<usize>,
+    log_level: Option<xring_obs::log::Level>,
+    log_out: Option<String>,
+}
+
+/// Extracts the global flags (`--jobs`, `--log-level`, `--log-out` —
+/// valid anywhere in the argument vector), returning the remaining
+/// arguments.
+fn extract_globals(args: &[String]) -> Result<(Globals, Vec<String>), ParseArgsError> {
+    let mut globals = Globals {
+        jobs: None,
+        log_level: None,
+        log_out: None,
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
-            let v = it
-                .next()
-                .ok_or_else(|| ParseArgsError("--jobs needs a worker count".into()))?;
-            let n: usize = v
-                .parse()
-                .map_err(|_| ParseArgsError(format!("bad worker count {v}")))?;
-            if n == 0 {
-                return Err(ParseArgsError("--jobs must be at least 1".into()));
+        match a.as_str() {
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseArgsError("--jobs needs a worker count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("bad worker count {v}")))?;
+                if n == 0 {
+                    return Err(ParseArgsError("--jobs must be at least 1".into()));
+                }
+                globals.jobs = Some(n);
             }
-            jobs = Some(n);
-        } else {
-            rest.push(a.clone());
+            "--log-level" => {
+                let v = it.next().ok_or_else(|| {
+                    ParseArgsError("--log-level needs error|warn|info|debug".into())
+                })?;
+                globals.log_level = Some(v.parse().map_err(ParseArgsError)?);
+            }
+            "--log-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseArgsError("--log-out needs a path".into()))?;
+                globals.log_out = Some(v.clone());
+            }
+            _ => rest.push(a.clone()),
         }
     }
-    Ok((jobs, rest))
+    Ok((globals, rest))
 }
 
 /// Parses a full argument vector (excluding argv\[0\]).
@@ -504,9 +566,14 @@ fn extract_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), ParseAr
 ///
 /// Returns a message describing the first malformed argument.
 pub fn parse(args: &[String]) -> Result<Cli, ParseArgsError> {
-    let (jobs, args) = extract_jobs(args)?;
+    let (globals, args) = extract_globals(args)?;
     let command = parse_command(&args)?;
-    Ok(Cli { jobs, command })
+    Ok(Cli {
+        jobs: globals.jobs,
+        log_level: globals.log_level,
+        log_out: globals.log_out,
+        command,
+    })
 }
 
 fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
@@ -661,6 +728,30 @@ fn parse_command(args: &[String]) -> Result<Command, ParseArgsError> {
                             .ok_or_else(|| ParseArgsError("--metrics-out needs a path".into()))?;
                         out.metrics_out = Some(v.clone());
                     }
+                    "--slo-target-ppm" => {
+                        let ppm = num("--slo-target-ppm")?;
+                        if ppm == 0 || ppm >= 1_000_000 {
+                            return Err(ParseArgsError(
+                                "--slo-target-ppm must be in 1..=999999".into(),
+                            ));
+                        }
+                        out.slo_target_ppm = Some(ppm as u32);
+                    }
+                    "--slo-latency-ms" => {
+                        let ms = num("--slo-latency-ms")?;
+                        if ms == 0 {
+                            return Err(ParseArgsError(
+                                "--slo-latency-ms must be at least 1".into(),
+                            ));
+                        }
+                        out.slo_latency_ms = Some(ms);
+                    }
+                    "--postmortem" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--postmortem needs a path".into()))?;
+                        out.postmortem = Some(v.clone());
+                    }
                     other => return Err(ParseArgsError(format!("unknown flag {other}"))),
                 }
             }
@@ -786,6 +877,50 @@ mod tests {
         };
         assert_eq!(a.wavelengths, 8);
         assert_eq!(parse(&v(&["table", "1"])).expect("parses").jobs, None);
+    }
+
+    #[test]
+    fn log_flags_are_global() {
+        let cli = parse(&v(&["--log-level", "debug", "table", "1"])).expect("parses");
+        assert_eq!(cli.log_level, Some(xring_obs::log::Level::Debug));
+        assert_eq!(cli.command, Command::Table(1));
+        // Anywhere in the vector, including after the subcommand.
+        let cli = parse(&v(&["serve", "--log-out", "d.log", "--port", "0"])).expect("parses");
+        assert_eq!(cli.log_out.as_deref(), Some("d.log"));
+        let cli = parse(&v(&["table", "1"])).expect("parses");
+        assert_eq!((cli.log_level, cli.log_out), (None, None));
+        assert!(parse(&v(&["--log-level", "verbose", "table", "1"])).is_err());
+        assert!(parse(&v(&["table", "1", "--log-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_slo_and_postmortem_flags() {
+        let Command::Serve(a) = cmd(&[
+            "serve",
+            "--slo-target-ppm",
+            "999000",
+            "--slo-latency-ms",
+            "250",
+            "--postmortem",
+            "pm.jsonl",
+        ]) else {
+            panic!("not serve")
+        };
+        assert_eq!(a.slo_target_ppm, Some(999_000));
+        assert_eq!(a.slo_latency_ms, Some(250));
+        assert_eq!(a.postmortem.as_deref(), Some("pm.jsonl"));
+        // Defaults and rejects.
+        let Command::Serve(a) = cmd(&["serve"]) else {
+            panic!("not serve")
+        };
+        assert_eq!(
+            (a.slo_target_ppm, a.slo_latency_ms, a.postmortem),
+            (None, None, None)
+        );
+        assert!(parse(&v(&["serve", "--slo-target-ppm", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--slo-target-ppm", "1000000"])).is_err());
+        assert!(parse(&v(&["serve", "--slo-latency-ms", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--postmortem"])).is_err());
     }
 
     #[test]

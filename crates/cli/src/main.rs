@@ -32,6 +32,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Structured logging first: everything after this point may emit
+    // leveled JSONL events ([`xring_obs::log`]) instead of bare stderr.
+    if let Some(level) = cli.log_level {
+        xring_obs::log::set_level(level);
+    }
+    if let Some(path) = &cli.log_out {
+        match std::fs::File::create(path) {
+            Ok(file) => xring_obs::log::set_output(Some(Box::new(file))),
+            Err(e) => {
+                eprintln!("error: cannot open log file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut engine = Engine::new();
     if let Some(jobs) = cli.jobs {
         engine = engine.with_workers(jobs);
@@ -75,7 +89,11 @@ fn main() -> ExitCode {
                 true
             }
             Err(e) => {
-                eprintln!("error: cannot write solver log {path}: {e}");
+                xring_obs::log::error(
+                    "cli",
+                    "cannot write solver log",
+                    &[("path", path), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         },
@@ -98,24 +116,36 @@ fn main() -> ExitCode {
     if solver_sink_installed {
         xring_milp::progress::clear_sink();
         if let Some(path) = &solver_log {
-            eprintln!("solver convergence log written to {path}");
+            xring_obs::log::info("cli", "solver convergence log written", &[("path", path)]);
         }
     }
     if trace_to.is_some() || metrics_out.is_some() {
         let trace = xring_obs::finish();
         if let Some((path, format)) = trace_to {
             if let Err(e) = write_trace(&trace, &path, format) {
-                eprintln!("error: cannot write trace {path}: {e}");
+                xring_obs::log::error(
+                    "cli",
+                    "cannot write trace",
+                    &[("path", &path), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
-            eprintln!("trace ({format}) written to {path}");
+            xring_obs::log::info(
+                "cli",
+                "trace written",
+                &[("path", &path), ("format", &format.to_string())],
+            );
         }
         if let Some(path) = metrics_out {
             if let Err(e) = write_metrics(&trace, &path) {
-                eprintln!("error: cannot write metrics {path}: {e}");
+                xring_obs::log::error(
+                    "cli",
+                    "cannot write metrics",
+                    &[("path", &path), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
-            eprintln!("prometheus metrics written to {path}");
+            xring_obs::log::info("cli", "prometheus metrics written", &[("path", &path)]);
         }
     }
     code
@@ -484,6 +514,13 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         .degradation
         .parse::<DegradationPolicy>()
         .unwrap_or_default();
+    let mut slo = xring_serve::SloConfig::default();
+    if let Some(ppm) = args.slo_target_ppm {
+        slo.target_ppm = ppm;
+    }
+    if let Some(ms) = args.slo_latency_ms {
+        slo.latency_target = Duration::from_millis(ms);
+    }
     let config = xring_serve::ServeConfig {
         port: args.port,
         workers: args.workers,
@@ -495,12 +532,14 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
             0 => None,
             n => Some(n as usize),
         },
+        slo,
+        postmortem: args.postmortem.clone().map(std::path::PathBuf::from),
         ..xring_serve::ServeConfig::default()
     };
     let mut server = match xring_serve::Server::start(config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot start daemon: {e}");
+            xring_obs::log::error("cli", "cannot start daemon", &[("error", &e.to_string())]);
             return ExitCode::FAILURE;
         }
     };
@@ -524,7 +563,7 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
                 stdin_closed.store(true, Ordering::Release);
             });
         if watcher.is_err() {
-            eprintln!("warning: no stdin watcher; stop with POST /shutdown");
+            xring_obs::log::warn("cli", "no stdin watcher; stop with POST /shutdown", &[]);
         }
     }
     while !server.is_draining() && !stdin_closed.load(Ordering::Acquire) {
@@ -532,14 +571,18 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
     }
     server.shutdown();
     let m = server.metrics();
-    eprintln!(
-        "drained after {} requests ({} ok, {} shed, {} degraded); cache {} hits / {} misses",
-        m.requests(),
-        m.ok(),
-        m.shed(),
-        m.degraded(),
-        server.cache().hits(),
-        server.cache().misses(),
+    xring_obs::log::info(
+        "cli",
+        &format!(
+            "drained after {} requests ({} ok, {} shed, {} degraded); cache {} hits / {} misses",
+            m.requests(),
+            m.ok(),
+            m.shed(),
+            m.degraded(),
+            server.cache().hits(),
+            server.cache().misses(),
+        ),
+        &[],
     );
     ExitCode::SUCCESS
     // If the watcher thread is still parked in read(), the process exit

@@ -367,6 +367,12 @@ pub fn audit_design(design: &XRingDesign, traffic: &Traffic, loss: &LossParams) 
     );
     let evaluated = design.report("audit", loss, None, &PowerParams::default());
     report.verdicts.push(audit_report_bounds(&evaluated));
+    // Attribute the verdict to the enclosing span so request-scoped
+    // traces (the serve flight recorder) can read it without re-auditing.
+    match report.is_clean() {
+        true => xring_obs::counter("audit.clean", 1),
+        false => xring_obs::counter("audit.violations", 1),
+    }
     report
 }
 

@@ -134,16 +134,23 @@ impl Engine {
         let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
             (0..count).map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(count);
+        // The caller may run under a request trace (the serve path); hand
+        // that request to every worker so per-job spans land in the same
+        // per-request span tree instead of vanishing across the pool.
+        let request = xring_obs::current_request();
         thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+                s.spawn(|| {
+                    let _req_scope = request.as_ref().map(|r| r.attach());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| task(i)))
+                            .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
+                        *slots[i].lock().expect("result slot") = Some(result);
                     }
-                    let result = catch_unwind(AssertUnwindSafe(|| task(i)))
-                        .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(p.as_ref()))));
-                    *slots[i].lock().expect("result slot") = Some(result);
                 });
             }
         });

@@ -392,6 +392,14 @@ impl BranchAndBound {
         xring_obs::counter("milp.lazy_cuts", stats.lazy_constraints as u64);
         xring_obs::counter("milp.presolve_fixed", stats.presolve_fixed as u64);
         xring_obs::counter("milp.incumbent_updates", stats.incumbent_updates as u64);
+        // Attribute the solve outcome to the enclosing span so
+        // per-request traces distinguish proven-optimal solves from
+        // bound-limited ones without parsing progress events.
+        match result.is_ok() {
+            true if progress.proven => xring_obs::counter("milp.solves_proven", 1),
+            true => xring_obs::counter("milp.solves_bound_limited", 1),
+            false => xring_obs::counter("milp.solves_failed", 1),
+        }
         result.map(|(values, objective, basis)| MilpSolution {
             values,
             objective,

@@ -14,6 +14,12 @@
 //! ([`Trace::write_prometheus`], format 0.0.4) so a finished run can be
 //! scraped file-wise today and over HTTP later.
 //!
+//! For serving workloads there are additionally **request-scoped
+//! capture** ([`RequestCtx`]: per-request span trees collected
+//! concurrently and independently of the global recorder) and a
+//! structured, leveled **JSONL [`log`]** whose events automatically carry
+//! the attached request id.
+//!
 //! # Design
 //!
 //! * **Std-only, zero dependencies** — like every other crate in the
@@ -65,13 +71,18 @@
 
 mod export;
 mod hist;
+pub mod log;
 mod prom;
+mod reqctx;
 mod sampler;
 mod trace;
 
 pub use export::{folded_frame, json_escape, TraceFormat};
 pub use hist::{histogram, record_hist, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use prom::{sanitize_metric_name, validate_exposition};
+pub use reqctx::{
+    current_request, current_request_id, RequestCtx, RequestHandle, RequestId, RequestScope,
+};
 pub use sampler::Sampler;
 pub use trace::{
     counter, enabled, finish, gauge, span, span_labelled, start, test_guard, GaugeRecord, Span,

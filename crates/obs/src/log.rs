@@ -1,0 +1,256 @@
+//! Structured, leveled JSONL logging.
+//!
+//! A deliberately tiny facility replacing ad-hoc `eprintln!`s: each event
+//! is one JSON object per line with a monotonic timestamp, a severity
+//! level, a `target` (the emitting subsystem), the message, optional
+//! key/value fields, and — when the calling thread has a request attached
+//! (see [`crate::RequestCtx`]) — the request id, so daemon logs correlate
+//! with traces and the flight recorder for free.
+//!
+//! Events below the configured level are dropped with a single relaxed
+//! atomic load. Output goes to stderr by default; [`set_output`] redirects
+//! it (a log file, a test buffer).
+//!
+//! ```
+//! use xring_obs::log::{self, Level};
+//!
+//! log::set_level(Level::Debug);
+//! log::info("doctest", "starting", &[("port", "7878")]);
+//! log::set_level(Level::Info);
+//! ```
+
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::export::json_escape;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; data or availability was affected.
+    Error = 0,
+    /// Something unexpected that the process absorbed.
+    Warn = 1,
+    /// Lifecycle and notable-progress events (the default level).
+    Info = 2,
+    /// High-volume diagnostic detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase name used in the JSONL `level` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Level {
+        match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// The active threshold; events with a higher (less severe) level drop.
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// The redirected sink, if any; `None` means stderr.
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Sets the severity threshold: events strictly less severe are dropped.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current severity threshold.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// `true` when an event at `level` would be emitted; callers batching
+/// expensive field formatting can use it to skip the work.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Redirects log output (`None` restores stderr). The previous sink, if
+/// any, is flushed and dropped.
+pub fn set_output(sink: Option<Box<dyn Write + Send>>) {
+    let mut slot = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(old) = slot.as_mut() {
+        let _ = old.flush();
+    }
+    *slot = sink;
+}
+
+/// Emits one event. `fields` are appended as string-valued JSON members
+/// after the standard ones; keys should be lowercase identifiers.
+pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(96 + msg.len());
+    line.push_str("{\"ts_us\":");
+    line.push_str(&(crate::trace::epoch_now_ns() / 1_000).to_string());
+    line.push_str(",\"level\":\"");
+    line.push_str(level.as_str());
+    line.push_str("\",\"target\":\"");
+    line.push_str(&json_escape(target));
+    line.push_str("\",\"msg\":\"");
+    line.push_str(&json_escape(msg));
+    line.push('"');
+    if let Some(req) = crate::reqctx::current_request_id() {
+        line.push_str(",\"req\":\"");
+        line.push_str(&req.to_hex());
+        line.push('"');
+    }
+    for (key, value) in fields {
+        line.push_str(",\"");
+        line.push_str(&json_escape(key));
+        line.push_str("\":\"");
+        line.push_str(&json_escape(value));
+        line.push('"');
+    }
+    line.push_str("}\n");
+    let mut slot = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    match slot.as_mut() {
+        Some(sink) => {
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+        None => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Emits an [`Level::Error`] event.
+pub fn error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Error, target, msg, fields);
+}
+
+/// Emits a [`Level::Warn`] event.
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Warn, target, msg, fields);
+}
+
+/// Emits an [`Level::Info`] event.
+pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Info, target, msg, fields);
+}
+
+/// Emits a [`Level::Debug`] event.
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Debug, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` that appends into a shared buffer, for capturing output.
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Logging state is global; tests share the trace test lock.
+    fn with_capture(f: impl FnOnce()) -> String {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        set_output(Some(Box::new(Capture(Arc::clone(&buf)))));
+        let prev = level();
+        f();
+        set_level(prev);
+        set_output(None);
+        let bytes = buf.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn threshold_drops_less_severe_events() {
+        let _lock = crate::test_guard();
+        let out = with_capture(|| {
+            set_level(Level::Warn);
+            assert!(enabled(Level::Error));
+            assert!(!enabled(Level::Info));
+            error("t", "kept-error", &[]);
+            warn("t", "kept-warn", &[]);
+            info("t", "dropped-info", &[]);
+            debug("t", "dropped-debug", &[]);
+        });
+        assert!(out.contains("kept-error"));
+        assert!(out.contains("kept-warn"));
+        assert!(!out.contains("dropped"));
+    }
+
+    #[test]
+    fn events_render_fields_and_escape() {
+        let _lock = crate::test_guard();
+        let out = with_capture(|| {
+            set_level(Level::Info);
+            info("serve", "got \"quoted\"", &[("addr", "127.0.0.1:0")]);
+        });
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with("{\"ts_us\":"));
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"target\":\"serve\""));
+        assert!(line.contains("\"msg\":\"got \\\"quoted\\\"\""));
+        assert!(line.contains("\"addr\":\"127.0.0.1:0\""));
+        assert!(!line.contains("\"req\""));
+    }
+
+    #[test]
+    fn events_carry_the_attached_request_id() {
+        let _lock = crate::test_guard();
+        let ctx = crate::RequestCtx::new(crate::RequestId::mint(1, 2, 3));
+        let hex = ctx.id().to_hex();
+        let out = with_capture(|| {
+            set_level(Level::Info);
+            let _scope = ctx.attach();
+            info("serve", "in-request", &[]);
+        });
+        assert!(out.contains(&format!("\"req\":\"{hex}\"")));
+    }
+}

@@ -1,0 +1,436 @@
+//! Request-scoped trace capture: a [`RequestCtx`] collects the spans and
+//! counters recorded on every thread attached to it, independently of the
+//! process-global recorder.
+//!
+//! The global recorder ([`crate::start`] / [`crate::finish`]) aggregates a
+//! whole run; a serving daemon instead needs one span tree **per request**,
+//! captured concurrently with other requests and regardless of whether the
+//! global trace is armed. A [`RequestCtx`] owns a shared sink; attaching it
+//! to a thread (via [`RequestCtx::attach`] or a cloned, `Send`
+//! [`RequestHandle`]) routes every span closed and counter incremented on
+//! that thread into the sink as well. [`RequestCtx::finish`] drains the sink
+//! into an ordinary [`Trace`], so all existing exports (JSONL, folded,
+//! Prometheus) work unchanged on per-request data.
+//!
+//! # Cost when idle
+//!
+//! A process-wide attachment count gates the capture path: when no thread
+//! has a request attached, instrumentation pays one extra relaxed atomic
+//! load over the plain disabled path and nothing else.
+//!
+//! # Example
+//!
+//! ```
+//! use xring_obs::{RequestCtx, RequestId};
+//!
+//! let ctx = RequestCtx::new(RequestId::mint(7, 1, 42));
+//! {
+//!     let _scope = ctx.attach();
+//!     let _span = xring_obs::span("handler");
+//!     xring_obs::counter("handler.items", 3);
+//! }
+//! let trace = ctx.finish();
+//! assert_eq!(trace.spans.len(), 1);
+//! assert_eq!(trace.total("handler.items"), 3);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::trace::{SpanRecord, Trace};
+
+/// Number of currently attached request scopes, process-wide. Zero means
+/// the per-span capture check is a single relaxed load.
+static REQ_ATTACHED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The request sink attached to this thread, if any.
+    static CURRENT: RefCell<Option<Arc<Sink>>> = const { RefCell::new(None) };
+}
+
+/// The shared capture buffer behind one request: every thread attached to
+/// the request pushes into the same sink.
+#[derive(Debug)]
+pub(crate) struct Sink {
+    id: u128,
+    spans: Mutex<Vec<SpanRecord>>,
+    totals: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl Sink {
+    fn new(id: u128) -> Self {
+        Sink {
+            id,
+            spans: Mutex::new(Vec::new()),
+            totals: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Locks a sink mutex, surviving poisoning: a panicking handler must
+    /// not lose the request's trace (the flight recorder wants it most
+    /// precisely then).
+    fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        Self::lock(&self.spans).push(record);
+    }
+
+    pub(crate) fn add_totals(&self, counters: &BTreeMap<&'static str, u64>) {
+        if counters.is_empty() {
+            return;
+        }
+        let mut totals = Self::lock(&self.totals);
+        for (&name, &value) in counters {
+            *totals.entry(name).or_insert(0) += value;
+        }
+    }
+
+    pub(crate) fn add_total(&self, name: &'static str, delta: u64) {
+        *Self::lock(&self.totals).entry(name).or_insert(0) += delta;
+    }
+}
+
+/// `true` when the calling thread has a request attached. One thread-local
+/// peek after the global fast gate.
+pub(crate) fn attached() -> bool {
+    if REQ_ATTACHED.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The sink attached to the calling thread, if any. The `None` path is one
+/// relaxed atomic load when no request is attached anywhere in the process.
+pub(crate) fn current_sink() -> Option<Arc<Sink>> {
+    if REQ_ATTACHED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// A 128-bit request identifier, rendered as 32 lowercase hex digits (the
+/// `trace-id` field of a W3C `traceparent` header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u128);
+
+impl RequestId {
+    /// Deterministically derives an id from a process seed, a
+    /// monotonically increasing request counter, and a per-connection
+    /// nonce. The same triple always yields the same id, so replayed
+    /// logs line up across runs; distinct triples yield distinct ids
+    /// with overwhelming probability (two independent 64-bit mixes).
+    pub fn mint(seed: u64, counter: u64, nonce: u64) -> Self {
+        let high = splitmix(seed ^ splitmix(counter));
+        let low = splitmix(nonce ^ splitmix(counter.rotate_left(32) ^ seed));
+        let id = (u128::from(high) << 64) | u128::from(low);
+        // Id 0 is reserved as "absent" by traceparent; nudge it.
+        RequestId(if id == 0 { 1 } else { id })
+    }
+
+    /// Wraps a raw 128-bit value (e.g. parsed from an inbound header).
+    pub fn from_u128(raw: u128) -> Self {
+        RequestId(if raw == 0 { 1 } else { raw })
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// The canonical 32-digit lowercase hex rendering.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses exactly 32 hex digits (case-insensitive); rejects the
+    /// all-zero id, which `traceparent` defines as invalid.
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let raw = u128::from_str_radix(s, 16).ok()?;
+        if raw == 0 {
+            return None;
+        }
+        Some(RequestId(raw))
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The capture context for one request: owns the sink, hands out
+/// attachment guards and `Send` handles, and drains into a [`Trace`].
+#[derive(Debug)]
+pub struct RequestCtx {
+    sink: Arc<Sink>,
+}
+
+impl RequestCtx {
+    /// Creates a context for the given id with an empty sink.
+    pub fn new(id: RequestId) -> Self {
+        RequestCtx {
+            sink: Arc::new(Sink::new(id.as_u128())),
+        }
+    }
+
+    /// This request's id.
+    pub fn id(&self) -> RequestId {
+        RequestId::from_u128(self.sink.id)
+    }
+
+    /// Attaches the request to the calling thread until the returned
+    /// guard drops. Spans closed and counters incremented while attached
+    /// are captured into this request's sink (in addition to the global
+    /// recorder when that is enabled).
+    pub fn attach(&self) -> RequestScope {
+        RequestScope::enter(Arc::clone(&self.sink))
+    }
+
+    /// A cloneable, `Send` handle for carrying the request across thread
+    /// boundaries (worker pools); each worker calls
+    /// [`RequestHandle::attach`] for its own scope.
+    pub fn handle(&self) -> RequestHandle {
+        RequestHandle {
+            sink: Arc::clone(&self.sink),
+        }
+    }
+
+    /// Drains everything captured so far into a [`Trace`]. Call after
+    /// every scope and worker has detached; spans closed later (through a
+    /// still-live [`RequestHandle`]) land in the sink but not in this
+    /// trace.
+    pub fn finish(self) -> Trace {
+        let spans = std::mem::take(&mut *Sink::lock(&self.sink.spans));
+        let totals = std::mem::take(&mut *Sink::lock(&self.sink.totals));
+        Trace {
+            spans,
+            gauges: Vec::new(),
+            totals: totals
+                .into_iter()
+                .map(|(name, value)| (name.to_owned(), value))
+                .collect(),
+            hists: Vec::new(),
+        }
+    }
+}
+
+/// A cloneable, `Send` handle to a request's sink, for worker threads.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    sink: Arc<Sink>,
+}
+
+impl RequestHandle {
+    /// The request's id.
+    pub fn id(&self) -> RequestId {
+        RequestId::from_u128(self.sink.id)
+    }
+
+    /// Attaches the request to the calling thread until the guard drops.
+    pub fn attach(&self) -> RequestScope {
+        RequestScope::enter(Arc::clone(&self.sink))
+    }
+}
+
+/// RAII guard for a thread's request attachment; restores the previously
+/// attached request (if any) on drop. Not `Send`: the guard must drop on
+/// the thread that created it.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: Option<Arc<Sink>>,
+    // A raw-pointer phantom keeps the guard !Send + !Sync without unsafe.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl RequestScope {
+    fn enter(sink: Arc<Sink>) -> Self {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(sink));
+        REQ_ATTACHED.fetch_add(1, Ordering::Relaxed);
+        RequestScope {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        REQ_ATTACHED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The id of the request attached to the calling thread, if any. Logging
+/// uses this to stamp events with the request id automatically.
+pub fn current_request_id() -> Option<RequestId> {
+    current_sink().map(|s| RequestId::from_u128(s.id))
+}
+
+/// A `Send` handle to the request attached to the calling thread, if any.
+/// Worker pools capture this before spawning so jobs inherit the request.
+pub fn current_request() -> Option<RequestHandle> {
+    current_sink().map(|sink| RequestHandle { sink })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_deterministic_and_distinct() {
+        let a = RequestId::mint(1, 1, 1);
+        let b = RequestId::mint(1, 1, 1);
+        let c = RequestId::mint(1, 2, 1);
+        let d = RequestId::mint(2, 1, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let id = RequestId::mint(3, 9, 27);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(RequestId::parse_hex(&hex), Some(id));
+        assert_eq!(RequestId::parse_hex(&hex.to_uppercase()), Some(id));
+        assert!(RequestId::parse_hex("short").is_none());
+        assert!(RequestId::parse_hex(&"0".repeat(32)).is_none());
+        assert!(RequestId::parse_hex(&"g".repeat(32)).is_none());
+        assert_eq!(format!("{id}"), hex);
+    }
+
+    #[test]
+    fn captures_spans_without_global_recorder() {
+        let _lock = crate::test_guard();
+        assert!(!crate::enabled());
+        let ctx = RequestCtx::new(RequestId::mint(5, 1, 0));
+        {
+            let _scope = ctx.attach();
+            let _outer = crate::span("request");
+            {
+                let _inner = crate::span_labelled("phase", "ring");
+                crate::counter("phase.items", 4);
+            }
+            crate::counter("loose", 2);
+        }
+        // Detached again: this span must not leak into the request.
+        {
+            let _stray = crate::span("stray");
+        }
+        let trace = ctx.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["phase", "request"]);
+        let request = trace.find("request").unwrap();
+        let phase = trace.find("phase").unwrap();
+        assert_eq!(phase.parent, request.id);
+        assert_eq!(phase.label.as_deref(), Some("ring"));
+        assert_eq!(trace.total("phase.items"), 4);
+        assert_eq!(trace.total("loose"), 2);
+    }
+
+    #[test]
+    fn capture_is_concurrent_with_global_trace() {
+        let _lock = crate::test_guard();
+        crate::start();
+        let ctx = RequestCtx::new(RequestId::mint(8, 1, 0));
+        {
+            let _scope = ctx.attach();
+            let _s = crate::span("both");
+            crate::counter("both.count", 1);
+        }
+        let req_trace = ctx.finish();
+        let global = crate::finish();
+        assert_eq!(req_trace.spans.len(), 1);
+        assert_eq!(req_trace.total("both.count"), 1);
+        assert_eq!(global.spans.len(), 1, "global recorder still sees it");
+        assert_eq!(global.total("both.count"), 1);
+    }
+
+    #[test]
+    fn handles_carry_requests_across_threads() {
+        let _lock = crate::test_guard();
+        let ctx = RequestCtx::new(RequestId::mint(9, 1, 0));
+        let handle = ctx.handle();
+        assert_eq!(handle.id(), ctx.id());
+        let worker = std::thread::spawn(move || {
+            let _scope = handle.attach();
+            assert_eq!(current_request_id(), Some(handle.id()));
+            let _s = crate::span("worker-phase");
+            crate::counter("worker.count", 3);
+        });
+        worker.join().unwrap();
+        let trace = ctx.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "worker-phase");
+        assert_eq!(trace.total("worker.count"), 3);
+    }
+
+    #[test]
+    fn nested_attach_restores_previous_request() {
+        let _lock = crate::test_guard();
+        let a = RequestCtx::new(RequestId::mint(1, 10, 0));
+        let b = RequestCtx::new(RequestId::mint(1, 11, 0));
+        let _sa = a.attach();
+        assert_eq!(current_request_id(), Some(a.id()));
+        {
+            let _sb = b.attach();
+            assert_eq!(current_request_id(), Some(b.id()));
+            let _s = crate::span("inner");
+        }
+        assert_eq!(current_request_id(), Some(a.id()));
+        {
+            let _s = crate::span("outer");
+        }
+        drop(_sa);
+        assert_eq!(current_request_id(), None);
+        assert_eq!(b.finish().spans[0].name, "inner");
+        assert_eq!(a.finish().spans[0].name, "outer");
+    }
+
+    #[test]
+    fn concurrent_requests_keep_their_own_span_trees() {
+        let _lock = crate::test_guard();
+        let ctxs: Vec<RequestCtx> = (0..4)
+            .map(|i| RequestCtx::new(RequestId::mint(4, i, 0)))
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, ctx) in ctxs.iter().enumerate() {
+                let handle = ctx.handle();
+                scope.spawn(move || {
+                    let _scope = handle.attach();
+                    let _root = crate::span("request");
+                    for _ in 0..=i {
+                        let _child = crate::span("phase");
+                        crate::counter("phase.count", 1);
+                    }
+                });
+            }
+        });
+        for (i, ctx) in ctxs.into_iter().enumerate() {
+            let trace = ctx.finish();
+            let root = trace.find("request").unwrap().id;
+            assert_eq!(trace.children(root).len(), i + 1);
+            assert_eq!(trace.total("phase.count"), (i + 1) as u64);
+        }
+    }
+}

@@ -77,12 +77,56 @@ impl Sampler {
         self.samples.is_empty()
     }
 
+    /// Total samples offered via [`record`](Sampler::record) while
+    /// collection was enabled, kept or not. Together with
+    /// [`retained`](Sampler::retained) this states the effective
+    /// resolution of an export instead of implying full fidelity.
+    pub fn recorded(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of currently retained samples (alias of
+    /// [`len`](Sampler::len), named for resolution reporting).
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The current keep stride: one retained sample per `stride` offered
+    /// samples. 1 until the first decimation; doubles on each.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
     /// Pushes every retained sample into the global trace as gauge
     /// records carrying their original capture timestamps, then clears
     /// the buffer. Dropped samples are gone; flushing twice is a no-op.
+    ///
+    /// When any decimation happened (`stride > 1`), three companion
+    /// gauges — `<name>.sampler_recorded`, `<name>.sampler_retained`,
+    /// `<name>.sampler_stride` — are emitted alongside, so consumers of
+    /// the export can tell decimated series from full-fidelity ones.
     pub fn flush(&mut self) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let resolution = (self.stride > 1).then(|| {
+            (
+                self.seen,
+                self.samples.len(),
+                self.stride,
+                self.samples.last().map_or(0, |&(at_ns, _)| at_ns),
+            )
+        });
         for (at_ns, value) in self.samples.drain(..) {
             trace::push_gauge_sample(self.name, value, at_ns);
+        }
+        if let Some((recorded, retained, stride, at_ns)) = resolution {
+            let emit = |suffix: &str, value: f64| {
+                trace::push_gauge_sample(&format!("{}.{suffix}", self.name), value, at_ns);
+            };
+            emit("sampler_recorded", recorded as f64);
+            emit("sampler_retained", retained as f64);
+            emit("sampler_stride", stride as f64);
         }
     }
 }
@@ -150,6 +194,55 @@ mod tests {
         assert!(gauges[0].at_ns < gauges[1].at_ns);
         assert_eq!(gauges[0].value, 1.0);
         assert_eq!(gauges[1].value, 2.0);
+    }
+
+    #[test]
+    fn resolution_accessors_report_decimation() {
+        let _lock = test_guard();
+        start();
+        let mut s = Sampler::new("sampler.test.resolution", 8);
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.recorded(), 100);
+        assert_eq!(s.retained(), s.len());
+        assert!(s.stride() > 1, "100 samples into capacity 8 must decimate");
+        let retained = s.retained();
+        s.flush();
+        let trace = finish();
+        let gauge = |name: &str| {
+            trace
+                .gauges
+                .iter()
+                .find(|g| g.name == name)
+                .map(|g| g.value)
+        };
+        assert_eq!(
+            gauge("sampler.test.resolution.sampler_recorded"),
+            Some(100.0)
+        );
+        assert_eq!(
+            gauge("sampler.test.resolution.sampler_retained"),
+            Some(retained as f64)
+        );
+        assert!(gauge("sampler.test.resolution.sampler_stride").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn full_fidelity_flush_emits_no_resolution_gauges() {
+        let _lock = test_guard();
+        start();
+        let mut s = Sampler::new("sampler.test.fullfi", 8);
+        s.record(1.0);
+        s.record(2.0);
+        assert_eq!(s.recorded(), 2);
+        assert_eq!(s.stride(), 1);
+        s.flush();
+        let trace = finish();
+        assert!(trace
+            .gauges
+            .iter()
+            .all(|g| !g.name.contains("sampler_stride")));
     }
 
     #[test]

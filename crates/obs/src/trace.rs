@@ -128,8 +128,10 @@ pub fn finish() -> Trace {
 /// Opens a span named `name`; the returned guard records the exit (and
 /// any counters incremented inside) when dropped.
 ///
-/// When tracing is disabled this is one atomic load and returns an
-/// inert guard.
+/// The span is delivered to the global recorder (when enabled) and to
+/// the request attached to this thread (when any — see
+/// [`crate::RequestCtx`]). With both off this is two relaxed atomic
+/// loads and returns an inert guard.
 pub fn span(name: &'static str) -> Span {
     span_inner(name, None)
 }
@@ -140,14 +142,21 @@ pub fn span(name: &'static str) -> Span {
 /// The label appears in the JSONL export only; the folded export keys
 /// frames by `name` so flamegraphs aggregate across instances.
 pub fn span_labelled(name: &'static str, label: impl Into<String>) -> Span {
-    if !enabled() {
+    if !capturing() {
         return Span { active: None };
     }
     span_inner(name, Some(label.into()))
 }
 
+/// `true` when any sink wants spans: the global recorder or a request
+/// attached to this thread. The all-off path is two relaxed loads.
+fn capturing() -> bool {
+    enabled() || crate::reqctx::attached()
+}
+
 fn span_inner(name: &'static str, label: Option<String>) -> Span {
-    if !enabled() {
+    let sink = crate::reqctx::current_sink();
+    if !enabled() && sink.is_none() {
         return Span { active: None };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -168,6 +177,7 @@ fn span_inner(name: &'static str, label: Option<String>) -> Span {
             label,
             start_ns: now_ns(),
             start: Instant::now(),
+            sink,
         }),
     }
 }
@@ -176,9 +186,10 @@ fn span_inner(name: &'static str, label: Option<String>) -> Span {
 ///
 /// The increment is attributed to the innermost open span on this
 /// thread (visible in that span's JSONL record) and always to the
-/// global per-name totals ([`Trace::total`]).
+/// global per-name totals ([`Trace::total`]) — and, when a request is
+/// attached to this thread, to that request's totals as well.
 pub fn counter(name: &'static str, delta: u64) {
-    if !enabled() || delta == 0 {
+    if delta == 0 || !capturing() {
         return;
     }
     let attached = SPAN_STACK.with(|stack| {
@@ -192,7 +203,14 @@ pub fn counter(name: &'static str, delta: u64) {
         }
     });
     if !attached {
-        *lock_buffers().totals.entry(name).or_insert(0) += delta;
+        // No open span: the increment cannot ride a frame to the sinks,
+        // so feed each interested sink directly.
+        if enabled() {
+            *lock_buffers().totals.entry(name).or_insert(0) += delta;
+        }
+        if let Some(sink) = crate::reqctx::current_sink() {
+            sink.add_total(name, delta);
+        }
     }
 }
 
@@ -227,6 +245,9 @@ struct ActiveSpan {
     label: Option<String>,
     start_ns: u64,
     start: Instant,
+    /// The request sink attached when the span opened, if any; the
+    /// closed span is delivered there in addition to the global buffers.
+    sink: Option<std::sync::Arc<crate::reqctx::Sink>>,
 }
 
 impl Drop for Span {
@@ -244,14 +265,11 @@ impl Drop for Span {
                 None => BTreeMap::new(),
             }
         });
-        if !ENABLED.load(Ordering::Relaxed) {
+        let globally = ENABLED.load(Ordering::Relaxed);
+        if !globally && active.sink.is_none() {
             return;
         }
-        let mut buffers = lock_buffers();
-        for (&name, &value) in &counters {
-            *buffers.totals.entry(name).or_insert(0) += value;
-        }
-        buffers.spans.push(SpanRecord {
+        let record = SpanRecord {
             id: active.id,
             parent: active.parent,
             name: active.name,
@@ -259,8 +277,23 @@ impl Drop for Span {
             thread: thread_ordinal(),
             start_ns: active.start_ns,
             dur_ns,
-            counters: counters.into_iter().collect(),
-        });
+            counters: counters.iter().map(|(&n, &v)| (n, v)).collect(),
+        };
+        if let Some(sink) = &active.sink {
+            sink.add_totals(&counters);
+            if !globally {
+                sink.push_span(record); // sole consumer: move, don't clone
+                return;
+            }
+            sink.push_span(record.clone());
+        }
+        if globally {
+            let mut buffers = lock_buffers();
+            for (&name, &value) in &counters {
+                *buffers.totals.entry(name).or_insert(0) += value;
+            }
+            buffers.spans.push(record);
+        }
     }
 }
 

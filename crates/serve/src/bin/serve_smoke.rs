@@ -52,13 +52,17 @@ fn main() {
         client::http_request(addr, "GET", "/healthz", "").expect("healthz reachable");
     check(
         "healthz",
-        status == 200 && body.contains("\"status\":\"ok\""),
+        status == 200
+            && body.contains("\"status\":\"ok\"")
+            && body.contains("\"uptime_s\":")
+            && body.contains("\"version\":\""),
     );
 
-    let (status, body) = client::http_request(
+    let (status, headers, body) = client::http_request_full(
         addr,
         "POST",
         "/synth",
+        &[("x-request-id", "00000000000000000000000000abcdef")],
         r#"{"label": "smoke", "net": {"named": "proton_8"}, "options": {"max_wavelengths": 8}}"#,
     )
     .expect("synth reachable");
@@ -68,6 +72,15 @@ fn main() {
             && body.contains("\"label\":\"smoke\"")
             && body.contains("\"audit\":{\"clean\":true")
             && body.contains("\"degradation\":\"exact\""),
+    );
+    // The daemon must honor the caller's request id and echo it in both
+    // the response header and the JSON body.
+    check(
+        "request-id-echo",
+        headers
+            .iter()
+            .any(|(n, v)| n == "x-request-id" && v == "00000000000000000000000000abcdef")
+            && body.contains("\"request_id\":\"00000000000000000000000000abcdef\""),
     );
 
     // The same spec again must come from the shared cache.
@@ -97,7 +110,31 @@ fn main() {
         status == 200
             && xring_obs::validate_exposition(&text).is_ok()
             && text.contains("xring_serve_request_wall_us_bucket")
-            && text.contains("xring_serve_ok_total"),
+            && text.contains("xring_serve_ok_total")
+            && text.contains("xring_serve_slo_availability_good_total")
+            && text.contains("xring_serve_slo_availability_burn_rate_5m"),
+    );
+
+    let (status, body) =
+        client::http_request(addr, "GET", "/debug/requests", "").expect("flight reachable");
+    check(
+        "flight-recorder",
+        status == 200
+            && body.contains("\"records\":[")
+            && body.contains("\"route\":\"/synth\"")
+            && body.contains("\"id\":\"00000000000000000000000000abcdef\""),
+    );
+
+    let (status, body) = client::http_request(
+        addr,
+        "GET",
+        "/debug/requests/00000000000000000000000000abcdef",
+        "",
+    )
+    .expect("flight lookup reachable");
+    check(
+        "flight-lookup",
+        status == 200 && body.contains("\"record\":{") && body.contains("\"phases\":{"),
     );
 
     let (status, body) =

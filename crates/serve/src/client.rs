@@ -9,6 +9,10 @@ use std::time::Duration;
 /// How long a request may take end to end before the client gives up.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// A parsed response: status code, lowercase-name `(name, value)`
+/// header pairs, and the body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// Sends one HTTP/1.1 request to `addr` and returns
 /// `(status, body)`. The body is sent with `Content-Length` framing;
 /// pass `""` for body-less requests.
@@ -18,13 +22,34 @@ pub fn http_request(
     path: &str,
     body: &str,
 ) -> io::Result<(u16, String)> {
+    let (status, _headers, body) = http_request_full(addr, method, path, &[], body)?;
+    Ok((status, body))
+}
+
+/// [`http_request`] with extra request headers, also returning the
+/// response headers as lowercase-name `(name, value)` pairs — the
+/// observability tests use this to assert the `x-request-id` echo.
+pub fn http_request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<FullResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n",
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
@@ -34,18 +59,23 @@ pub fn http_request(
     parse_response(&raw)
 }
 
-fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+fn parse_response(raw: &str) -> io::Result<FullResponse> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| bad("no header/body separator in response"))?;
-    let status_line = head.lines().next().unwrap_or("");
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("bad status line"))?;
-    Ok((status, body.to_owned()))
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_owned()))
+        .collect();
+    Ok((status, headers, body.to_owned()))
 }
 
 #[cfg(test)]
@@ -53,10 +83,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_status_and_body() {
-        let (status, body) =
-            parse_response("HTTP/1.1 429 Too Many Requests\r\nX: y\r\n\r\n{\"a\":1}").unwrap();
+    fn parses_status_headers_and_body() {
+        let (status, headers, body) =
+            parse_response("HTTP/1.1 429 Too Many Requests\r\nX-Req: y\r\n\r\n{\"a\":1}").unwrap();
         assert_eq!(status, 429);
+        assert_eq!(headers, vec![("x-req".to_owned(), "y".to_owned())]);
         assert_eq!(body, "{\"a\":1}");
     }
 

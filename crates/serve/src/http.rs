@@ -20,15 +20,28 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// can stall the accept loop for at most this long.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// A parsed request: method, path and (possibly empty) body.
+/// A parsed request: method, path, headers and (possibly empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method (`GET`, `POST`, …), uppercased by the client.
     pub method: String,
     /// Request path including any query string, e.g. `/synth`.
     pub path: String,
+    /// Header `(name, value)` pairs in wire order; names lowercased,
+    /// values trimmed. Duplicates are kept as received.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: String,
+}
+
+impl Request {
+    /// The value of the first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read.
@@ -103,6 +116,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Malformed(format!("bad header line: {line:?}")));
@@ -118,6 +132,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                 "chunked transfer encoding is not supported".into(),
             ));
         }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
     }
     if content_length > max_body {
         return Err(HttpError::TooLarge(format!(
@@ -149,6 +164,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        headers,
         body,
     })
 }
@@ -183,13 +199,33 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. the
+/// `x-request-id` echo). Header names and values must be wire-safe; the
+/// caller controls both.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -233,6 +269,22 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/synth");
         assert_eq!(req.body, "{\"a\"");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "lookup is case-insensitive");
+        assert_eq!(req.header("content-length"), Some("4"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn captures_headers_in_order_with_trimmed_values() {
+        let req = read_raw(
+            b"GET /x HTTP/1.1\r\nX-Request-Id: abc123  \r\nTraceparent: 00-ff-ee-01\r\n\r\n",
+            1024,
+        )
+        .expect("parsed");
+        assert_eq!(req.header("x-request-id"), Some("abc123"));
+        assert_eq!(req.header("traceparent"), Some("00-ff-ee-01"));
+        assert_eq!(req.headers[0].0, "x-request-id", "names are lowercased");
     }
 
     #[test]
@@ -270,6 +322,31 @@ mod tests {
     fn caps_oversize_bodies_before_reading_them() {
         let result = read_raw(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 1024);
         assert!(matches!(result, Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn write_response_with_emits_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        write_response_with(
+            &mut conn,
+            200,
+            "application/json",
+            &[("x-request-id", "deadbeef")],
+            "{}",
+        )
+        .expect("write");
+        drop(conn);
+        let out = reader.join().expect("reader");
+        assert!(out.contains("\r\nx-request-id: deadbeef\r\n"), "{out}");
+        assert!(out.contains("Connection: close\r\n\r\n{}"), "{out}");
     }
 
     #[test]

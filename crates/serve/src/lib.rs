@@ -13,9 +13,16 @@
 //! |---|---|
 //! | `POST /synth` | One network + options → design report, provenance, audit verdict |
 //! | `POST /batch` | Multiple specs, run through the engine's worker pool |
-//! | `GET /metrics` | Live Prometheus text (format 0.0.4): `serve.*`, `cache.*` |
-//! | `GET /healthz` | Liveness + inflight/queued/shed counts |
+//! | `GET /metrics` | Live Prometheus text (format 0.0.4): `serve.*`, `cache.*`, SLO burn rates |
+//! | `GET /healthz` | Liveness + inflight/queued/shed counts, uptime, version |
+//! | `GET /debug/requests` | Flight recorder: recent request records, most recent first |
+//! | `GET /debug/requests/<id>` | One record plus its retained span trace, if tail-sampled |
+//! | `GET /debug/slow` | Every tail-sampled (slow/degraded/shed/errored) request with its trace |
 //! | `POST /shutdown` | Graceful drain: stop accepting, finish admitted work |
+//!
+//! Every response carries an `x-request-id` header (and JSON responses a
+//! `"request_id"` field); inbound `traceparent` / `x-request-id` headers
+//! are honored, so daemon traces join a caller's distributed trace.
 //!
 //! # Operational semantics
 //!
@@ -39,7 +46,13 @@
 //!   `xring_serve_incremental_total` and per-phase
 //!   `xring_cache_phase_{hits,misses}_*` counters.
 //! * **Live metrics** ([`metrics`]): always-on lock-free histograms
-//!   rendered through the same Prometheus writer as `--metrics-out`.
+//!   rendered through the same Prometheus writer as `--metrics-out`,
+//!   plus SLO good/bad counters and 5m/1h burn-rate gauges
+//!   (`xring_serve_slo_*`).
+//! * **Flight recorder** ([`flight`]): a bounded ring of recent request
+//!   records and a tail-sampler that retains full span traces for
+//!   slow, degraded, shed, and errored requests only — served under
+//!   `/debug/*` and dumped to a postmortem file on drain or panic.
 //!
 //! ```no_run
 //! use xring_serve::{client, Server, ServeConfig};
@@ -61,12 +74,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use metrics::ServeMetrics;
+pub use flight::{FlightRecorder, RequestRecord, TailSampler};
+pub use metrics::{ServeMetrics, SloConfig, SloTracker};
 pub use protocol::{ProtocolError, RequestDefaults};
 pub use server::{ServeConfig, Server};

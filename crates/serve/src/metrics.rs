@@ -13,8 +13,10 @@
 //! calls, so `xring serve --trace` captures `serve.*` series alongside
 //! the engine's exactly like every other subcommand.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use xring_core::PhaseId;
 use xring_engine::DesignCache;
@@ -56,6 +58,18 @@ pub mod names {
     /// `/synth` responses that replayed at least one pipeline phase
     /// from the cache's artifact store (incremental re-synthesis).
     pub const INCREMENTAL: &str = "serve.incremental";
+    /// Handler bodies that panicked and were converted to a 500 by the
+    /// `catch_unwind` wrapper (the pool thread survives).
+    pub const HANDLER_PANICS: &str = "serve.handler_panics";
+    /// Availability SLO: requests answered without a server-side
+    /// failure (not 5xx, not shed).
+    pub const SLO_AVAILABILITY_GOOD: &str = "serve.slo.availability_good";
+    /// Availability SLO: requests lost to a 5xx or shed by admission.
+    pub const SLO_AVAILABILITY_BAD: &str = "serve.slo.availability_bad";
+    /// Latency SLO: successful responses within the latency target.
+    pub const SLO_LATENCY_GOOD: &str = "serve.slo.latency_good";
+    /// Latency SLO: successful responses over the latency target.
+    pub const SLO_LATENCY_BAD: &str = "serve.slo.latency_bad";
 }
 
 /// The daemon's live instrument set. One instance per
@@ -76,6 +90,7 @@ pub struct ServeMetrics {
     degraded: AtomicU64,
     spared: AtomicU64,
     incremental: AtomicU64,
+    handler_panics: AtomicU64,
     inflight: AtomicU64,
     queued: AtomicU64,
     started: Instant,
@@ -102,10 +117,16 @@ impl ServeMetrics {
             degraded: AtomicU64::new(0),
             spared: AtomicU64::new(0),
             incremental: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Seconds since this instrument set (and so the daemon) started.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Records one admitted request's end-to-end wall time and mirrors
@@ -165,6 +186,18 @@ impl ServeMetrics {
     pub fn record_incremental(&self) {
         self.incremental.fetch_add(1, Ordering::Relaxed);
         xring_obs::counter(names::INCREMENTAL, 1);
+    }
+
+    /// Counts a handler body that panicked and was absorbed by the
+    /// `catch_unwind` wrapper.
+    pub fn record_handler_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+        xring_obs::counter(names::HANDLER_PANICS, 1);
+    }
+
+    /// Total handler panics absorbed.
+    pub fn handler_panics(&self) -> u64 {
+        self.handler_panics.load(Ordering::Relaxed)
     }
 
     /// Handler entry/exit bracket; returns the inflight count *after*
@@ -274,6 +307,10 @@ impl ServeMetrics {
                 names::INCREMENTAL.to_owned(),
                 self.incremental.load(Ordering::Relaxed),
             ),
+            (
+                names::HANDLER_PANICS.to_owned(),
+                self.handler_panics.load(Ordering::Relaxed),
+            ),
             ("cache.hits".to_owned(), cache.hits() as u64),
             ("cache.misses".to_owned(), cache.misses() as u64),
             ("cache.evictions".to_owned(), cache.evictions() as u64),
@@ -323,6 +360,215 @@ impl ServeMetrics {
             totals,
             hists,
         }
+    }
+}
+
+/// Configuration of the daemon's service-level objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Objective target in parts-per-million of good events (990_000 =
+    /// 99%). Shared by the availability and latency objectives.
+    pub target_ppm: u32,
+    /// Latency target: a successful response slower than this counts
+    /// against the latency objective (and is "slow" to the flight
+    /// recorder's tail-sampler).
+    pub latency_target: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_ppm: 990_000,
+            latency_target: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-minute good/bad tallies for the rolling burn-rate windows.
+#[derive(Debug, Default, Clone, Copy)]
+struct SloBucket {
+    minute: u64,
+    avail_good: u64,
+    avail_bad: u64,
+    lat_good: u64,
+    lat_bad: u64,
+}
+
+/// Good/bad SLO event accounting with rolling 5-minute and 1-hour
+/// burn-rate windows.
+///
+/// Two objectives share one target fraction:
+///
+/// * **availability** — a request is good unless it was shed (429) or
+///   failed server-side (5xx);
+/// * **latency** — a *successful* (2xx) response is good iff its wall
+///   time is within [`SloConfig::latency_target`]; failures are the
+///   availability objective's problem and do not double-count here.
+///
+/// A burn rate is the bad-event fraction over a window divided by the
+/// error budget (`1 - target`): 1.0 means the budget is being consumed
+/// exactly at the sustainable rate, 14.4 over 1h is the classic
+/// page-now threshold for a 99.9% / 30-day objective.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    avail_good: AtomicU64,
+    avail_bad: AtomicU64,
+    lat_good: AtomicU64,
+    lat_bad: AtomicU64,
+    buckets: Mutex<VecDeque<SloBucket>>,
+    started: Instant,
+}
+
+impl SloTracker {
+    /// Retained minute-buckets: enough for the 1-hour window.
+    const WINDOW_MINUTES: u64 = 60;
+
+    /// A tracker with the given objectives and empty counters.
+    pub fn new(config: SloConfig) -> Self {
+        SloTracker {
+            config,
+            avail_good: AtomicU64::new(0),
+            avail_bad: AtomicU64::new(0),
+            lat_good: AtomicU64::new(0),
+            lat_bad: AtomicU64::new(0),
+            buckets: Mutex::new(VecDeque::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Classifies one finished request. `shed` marks a 429 from
+    /// admission control (bad for availability even though it is a 4xx).
+    pub fn record(&self, status: u16, wall_us: u64, shed: bool) {
+        let minute = self.started.elapsed().as_secs() / 60;
+        self.record_at(minute, status, wall_us, shed);
+    }
+
+    fn record_at(&self, minute: u64, status: u16, wall_us: u64, shed: bool) {
+        let avail_bad = shed || status >= 500;
+        let success = (200..300).contains(&status);
+        let lat_bad = success && wall_us > self.config.latency_target.as_micros() as u64;
+        match avail_bad {
+            true => &self.avail_bad,
+            false => &self.avail_good,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if success {
+            match lat_bad {
+                true => &self.lat_bad,
+                false => &self.lat_good,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+        }
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if buckets.back().map(|b| b.minute) != Some(minute) {
+            buckets.push_back(SloBucket {
+                minute,
+                ..SloBucket::default()
+            });
+            while buckets.len() as u64 > Self::WINDOW_MINUTES {
+                buckets.pop_front();
+            }
+        }
+        let bucket = buckets.back_mut().expect("bucket just ensured");
+        if avail_bad {
+            bucket.avail_bad += 1;
+        } else {
+            bucket.avail_good += 1;
+        }
+        if success {
+            if lat_bad {
+                bucket.lat_bad += 1;
+            } else {
+                bucket.lat_good += 1;
+            }
+        }
+    }
+
+    /// `(availability, latency)` burn rates over the trailing `window`
+    /// minutes; 0.0 with no events in the window.
+    pub fn burn_rates(&self, window: u64) -> (f64, f64) {
+        let minute = self.started.elapsed().as_secs() / 60;
+        self.burn_rates_at(minute, window)
+    }
+
+    fn burn_rates_at(&self, now_minute: u64, window: u64) -> (f64, f64) {
+        let oldest = now_minute.saturating_sub(window.saturating_sub(1));
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut sum = SloBucket::default();
+        for b in buckets.iter().filter(|b| b.minute >= oldest) {
+            sum.avail_good += b.avail_good;
+            sum.avail_bad += b.avail_bad;
+            sum.lat_good += b.lat_good;
+            sum.lat_bad += b.lat_bad;
+        }
+        let budget = 1.0 - f64::from(self.config.target_ppm) / 1_000_000.0;
+        let burn = |good: u64, bad: u64| {
+            let total = good + bad;
+            if total == 0 || budget <= 0.0 {
+                return 0.0;
+            }
+            (bad as f64 / total as f64) / budget
+        };
+        (
+            burn(sum.avail_good, sum.avail_bad),
+            burn(sum.lat_good, sum.lat_bad),
+        )
+    }
+
+    /// Appends the `serve.slo.*` series — lifetime good/bad counters,
+    /// the configured targets, and the 5m/1h burn-rate gauges — to a
+    /// `/metrics` trace.
+    pub fn append_to(&self, trace: &mut Trace) {
+        trace.totals.extend([
+            (
+                names::SLO_AVAILABILITY_GOOD.to_owned(),
+                self.avail_good.load(Ordering::Relaxed),
+            ),
+            (
+                names::SLO_AVAILABILITY_BAD.to_owned(),
+                self.avail_bad.load(Ordering::Relaxed),
+            ),
+            (
+                names::SLO_LATENCY_GOOD.to_owned(),
+                self.lat_good.load(Ordering::Relaxed),
+            ),
+            (
+                names::SLO_LATENCY_BAD.to_owned(),
+                self.lat_bad.load(Ordering::Relaxed),
+            ),
+        ]);
+        let at_ns = self.started.elapsed().as_nanos() as u64;
+        let gauge = |name: &str, value: f64| GaugeRecord {
+            name: name.to_owned(),
+            value,
+            thread: 0,
+            at_ns,
+        };
+        let (avail_5m, lat_5m) = self.burn_rates(5);
+        let (avail_1h, lat_1h) = self.burn_rates(60);
+        trace.gauges.extend([
+            gauge("serve.slo.target_ppm", f64::from(self.config.target_ppm)),
+            gauge(
+                "serve.slo.latency_target_us",
+                self.config.latency_target.as_micros() as f64,
+            ),
+            gauge("serve.slo.availability_burn_rate_5m", avail_5m),
+            gauge("serve.slo.availability_burn_rate_1h", avail_1h),
+            gauge("serve.slo.latency_burn_rate_5m", lat_5m),
+            gauge("serve.slo.latency_burn_rate_1h", lat_1h),
+        ]);
     }
 }
 
@@ -387,6 +633,62 @@ mod tests {
         assert!(text.contains("xring_serve_request_wall_us_bucket"));
         assert!(text.contains("xring_serve_request_wall_us_count 2"));
         assert!(text.contains("xring_cache_bytes 0"));
+    }
+
+    #[test]
+    fn slo_classifies_availability_and_latency() {
+        let slo = SloTracker::new(SloConfig {
+            target_ppm: 990_000,
+            latency_target: Duration::from_millis(100),
+        });
+        slo.record_at(0, 200, 50_000, false); // good, fast
+        slo.record_at(0, 200, 500_000, false); // good avail, slow
+        slo.record_at(0, 422, 10, false); // client error: avail good, no latency event
+        slo.record_at(0, 500, 10, false); // avail bad
+        slo.record_at(0, 429, 0, true); // shed: avail bad
+        let (avail, lat) = slo.burn_rates_at(0, 5);
+        // Availability: 2 bad of 5 → 0.4 bad fraction / 0.01 budget.
+        assert!((avail - 40.0).abs() < 1e-9, "avail burn {avail}");
+        // Latency: 1 bad of 2 successes → 0.5 / 0.01.
+        assert!((lat - 50.0).abs() < 1e-9, "latency burn {lat}");
+    }
+
+    #[test]
+    fn slo_windows_age_out_old_minutes() {
+        let slo = SloTracker::new(SloConfig::default());
+        slo.record_at(0, 500, 10, false); // bad, at minute 0
+        for minute in 10..15 {
+            slo.record_at(minute, 200, 10, false);
+        }
+        let (avail_5m, _) = slo.burn_rates_at(14, 5);
+        assert_eq!(avail_5m, 0.0, "minute-0 failure left the 5m window");
+        let (avail_1h, _) = slo.burn_rates_at(14, 60);
+        assert!(avail_1h > 0.0, "still inside the 1h window");
+    }
+
+    #[test]
+    fn slo_series_render_as_valid_prometheus() {
+        let m = ServeMetrics::new();
+        m.record_status(200);
+        m.record_handler_panic();
+        let slo = SloTracker::new(SloConfig::default());
+        slo.record(200, 10, false);
+        slo.record(503, 10, false);
+        let cache = DesignCache::new();
+        let mut trace = m.to_trace(&cache);
+        slo.append_to(&mut trace);
+        let mut out = Vec::new();
+        trace.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        xring_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("xring_serve_slo_availability_good_total 1"));
+        assert!(text.contains("xring_serve_slo_availability_bad_total 1"));
+        assert!(text.contains("xring_serve_slo_latency_good_total 1"));
+        assert!(text.contains("xring_serve_slo_latency_bad_total 0"));
+        assert!(text.contains("xring_serve_slo_availability_burn_rate_5m"));
+        assert!(text.contains("xring_serve_slo_latency_burn_rate_1h"));
+        assert!(text.contains("xring_serve_slo_target_ppm 990000"));
+        assert!(text.contains("xring_serve_handler_panics_total 1"));
     }
 
     #[test]

@@ -517,6 +517,22 @@ pub fn render_error(status: u16, code: &str, message: &str) -> String {
     render_error_with_label(None, status, code, message)
 }
 
+/// Splices a `"request_id"` member into an already-rendered JSON object
+/// body (before its closing brace). Every `/synth` and `/batch` response
+/// carries its request id in the body as well as in the `x-request-id`
+/// header, so clients that log bodies correlate for free. Bodies that
+/// are not JSON objects are returned unchanged.
+pub fn with_request_id(mut body: String, request_id: &str) -> String {
+    if !body.ends_with('}') {
+        return body;
+    }
+    body.truncate(body.len() - 1);
+    body.push_str(",\"request_id\":\"");
+    body.push_str(&xring_obs::json_escape(request_id));
+    body.push_str("\"}");
+    body
+}
+
 fn render_error_with_label(label: Option<&str>, status: u16, code: &str, message: &str) -> String {
     let label = label.map_or(String::new(), |l| format!("{},", str_field("label", l)));
     format!(
@@ -532,6 +548,22 @@ mod tests {
 
     fn defaults() -> RequestDefaults {
         RequestDefaults::default()
+    }
+
+    #[test]
+    fn with_request_id_splices_before_the_closing_brace() {
+        let body = render_error(429, "shed", "try later");
+        let tagged = with_request_id(body, "00ff00ff00ff00ff00ff00ff00ff00ff");
+        assert!(
+            tagged.ends_with(",\"request_id\":\"00ff00ff00ff00ff00ff00ff00ff00ff\"}"),
+            "{tagged}"
+        );
+        assert!(tagged.starts_with("{\"error\":{"), "{tagged}");
+        // Non-object bodies pass through untouched.
+        assert_eq!(
+            with_request_id("plain text".to_owned(), "abc"),
+            "plain text"
+        );
     }
 
     #[test]

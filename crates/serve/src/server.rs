@@ -26,9 +26,12 @@
 //! lets the handlers drain every already-admitted request, joins all
 //! threads, and leaves the metrics readable for a final flush.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -36,9 +39,11 @@ use std::time::{Duration, Instant};
 
 use xring_core::{DegradationLevel, DegradationPolicy};
 use xring_engine::{DesignCache, Engine, JobError, SynthesisJob};
+use xring_obs::{log, RequestCtx, RequestId};
 
+use crate::flight::{fnv1a64, FlightRecorder, RequestRecord, TailSampler};
 use crate::http::{self, Request};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{ServeMetrics, SloConfig, SloTracker};
 use crate::protocol::{self, RequestDefaults};
 
 /// Daemon configuration; the CLI's `xring serve` flags map onto this
@@ -67,6 +72,19 @@ pub struct ServeConfig {
     pub cache_bytes: Option<usize>,
     /// Maximum request body size in bytes.
     pub max_body_bytes: usize,
+    /// Service-level objectives (availability + latency target); also
+    /// sets the flight recorder's "slow" threshold for tail-sampling.
+    pub slo: SloConfig,
+    /// Flight-recorder ring capacity (most recent request records).
+    pub flight_capacity: usize,
+    /// Tail-sampler capacity (full span traces of unusual requests).
+    pub tail_capacity: usize,
+    /// Postmortem file: the flight recorder and retained traces are
+    /// dumped here on drain and on a handler panic (`None` = disabled).
+    pub postmortem: Option<PathBuf>,
+    /// Seed for deterministic request-id minting (ids derive from this,
+    /// a per-process request counter, and a per-connection nonce).
+    pub seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,15 +98,22 @@ impl Default for ServeConfig {
             degradation: DegradationPolicy::Forbid,
             cache_bytes: Some(256 << 20),
             max_body_bytes: 1 << 20,
+            slo: SloConfig::default(),
+            flight_capacity: 256,
+            tail_capacity: 32,
+            postmortem: None,
+            seed: 0x5eed_0000_0000_0001,
         }
     }
 }
 
-/// One admitted unit of work: the connection plus its parsed request.
+/// One admitted unit of work: the connection, its parsed request, and
+/// the request's trace context.
 struct Work {
     stream: TcpStream,
     request: Request,
     queued_at: Instant,
+    ctx: RequestCtx,
 }
 
 /// State shared between the accept loop and the handler pool.
@@ -97,6 +122,14 @@ struct Shared {
     cache: Arc<DesignCache>,
     metrics: ServeMetrics,
     defaults: RequestDefaults,
+    slo: SloTracker,
+    flight: FlightRecorder,
+    tail: TailSampler,
+    postmortem: Option<PathBuf>,
+    /// Seed for request-id minting (see [`ServeConfig::seed`]).
+    seed: u64,
+    /// Monotonic request counter feeding the id mint.
+    req_seq: AtomicU64,
     draining: AtomicBool,
     /// The last successfully-synthesized `/synth` job: the baseline an
     /// incremental re-synthesis diffs the next request's phase keys
@@ -136,6 +169,12 @@ impl Server {
                 deadline: config.deadline,
                 degradation: config.degradation,
             },
+            slo: SloTracker::new(config.slo),
+            flight: FlightRecorder::new(config.flight_capacity),
+            tail: TailSampler::new(config.tail_capacity),
+            postmortem: config.postmortem.clone(),
+            seed: config.seed,
+            req_seq: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             last_synth: Mutex::new(None),
         });
@@ -180,6 +219,21 @@ impl Server {
         &self.shared.cache
     }
 
+    /// The flight recorder (recent request records).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
+    }
+
+    /// The tail-sampler (retained full traces of unusual requests).
+    pub fn tail(&self) -> &TailSampler {
+        &self.shared.tail
+    }
+
+    /// The SLO tracker.
+    pub fn slo(&self) -> &SloTracker {
+        &self.shared.slo
+    }
+
     /// Whether a drain has been requested (via `POST /shutdown` or
     /// [`shutdown`](Self::shutdown)). Supervisors poll this to know
     /// when to reap a daemon that was asked to stop over the wire.
@@ -203,6 +257,7 @@ impl Server {
         for t in self.handlers.drain(..) {
             let _ = t.join();
         }
+        write_postmortem(&self.shared, "drain");
     }
 }
 
@@ -212,6 +267,26 @@ impl Drop for Server {
     }
 }
 
+/// Derives the request id: an inbound `traceparent` trace-id wins, then
+/// an inbound 32-hex `x-request-id`, then a deterministic mint from the
+/// process seed, the request counter and the connection nonce.
+fn mint_request_id(shared: &Shared, request: &Request, nonce: u64) -> RequestId {
+    if let Some(tp) = request.header("traceparent") {
+        // W3C traceparent: <2 hex ver>-<32 hex trace-id>-<16 hex span>-<2 hex flags>
+        if let Some(id) = tp.split('-').nth(1).and_then(RequestId::parse_hex) {
+            return id;
+        }
+    }
+    if let Some(id) = request
+        .header("x-request-id")
+        .and_then(RequestId::parse_hex)
+    {
+        return id;
+    }
+    let seq = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+    RequestId::mint(shared.seed, seq, nonce)
+}
+
 fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>, max_body: usize) {
     for stream in listener.incoming() {
         if shared.draining.load(Ordering::SeqCst) {
@@ -219,6 +294,10 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
         }
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_write_timeout(Some(http::READ_TIMEOUT));
+        // The connection nonce folds the peer's ephemeral port into the
+        // minted id, so ids differ across connections even if the
+        // request counter were ever reset.
+        let nonce = stream.peer_addr().map_or(0, |a| u64::from(a.port()));
         let request = match http::read_request(&mut stream, max_body) {
             Ok(r) => r,
             Err(e) => {
@@ -226,36 +305,61 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
                     http::HttpError::TooLarge(_) => (413, "payload_too_large"),
                     _ => (400, "bad_http"),
                 };
+                log::debug(
+                    "serve",
+                    "rejected unreadable request",
+                    &[("error", &e.to_string())],
+                );
                 respond(
                     shared,
                     &mut stream,
                     status,
                     "application/json",
                     &protocol::render_error(status, code, &e.to_string()),
+                    None,
                 );
                 continue;
             }
         };
+        let req_id = mint_request_id(shared, &request, nonce);
+        let req_hex = req_id.to_hex();
         match (request.method.as_str(), request.path.as_str()) {
             // Operator endpoints answer inline and bypass admission —
             // they must work *especially* when the daemon is saturated.
             ("GET", "/healthz") => {
                 let m = &shared.metrics;
                 let body = format!(
-                    "{{\"status\":\"ok\",\"inflight\":{},\"queued\":{},\"requests\":{},\"shed\":{}}}",
+                    "{{\"status\":\"ok\",\"inflight\":{},\"queued\":{},\"requests\":{},\"shed\":{},\"uptime_s\":{},\"version\":\"{}\"}}",
                     m.inflight(),
                     m.queued(),
                     m.requests(),
                     m.shed(),
+                    m.uptime_s(),
+                    env!("CARGO_PKG_VERSION"),
                 );
-                respond(shared, &mut stream, 200, "application/json", &body);
+                respond(
+                    shared,
+                    &mut stream,
+                    200,
+                    "application/json",
+                    &body,
+                    Some(&req_hex),
+                );
             }
             ("GET", "/metrics") => {
-                let trace = shared.metrics.to_trace(&shared.cache);
+                let mut trace = shared.metrics.to_trace(&shared.cache);
+                shared.slo.append_to(&mut trace);
                 let mut out = Vec::new();
                 if trace.write_prometheus(&mut out).is_ok() {
                     let text = String::from_utf8(out).unwrap_or_default();
-                    respond(shared, &mut stream, 200, "text/plain; version=0.0.4", &text);
+                    respond(
+                        shared,
+                        &mut stream,
+                        200,
+                        "text/plain; version=0.0.4",
+                        &text,
+                        Some(&req_hex),
+                    );
                 } else {
                     respond(
                         shared,
@@ -263,31 +367,123 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
                         500,
                         "application/json",
                         &protocol::render_error(500, "metrics_failed", "exposition failed"),
+                        Some(&req_hex),
                     );
+                }
+            }
+            ("GET", "/debug/requests") => {
+                let records: Vec<String> = shared
+                    .flight
+                    .snapshot()
+                    .iter()
+                    .map(RequestRecord::to_json)
+                    .collect();
+                let body = format!(
+                    "{{\"capacity\":{},\"pushed\":{},\"records\":[{}]}}",
+                    shared.flight.capacity(),
+                    shared.flight.pushed(),
+                    records.join(","),
+                );
+                respond(
+                    shared,
+                    &mut stream,
+                    200,
+                    "application/json",
+                    &body,
+                    Some(&req_hex),
+                );
+            }
+            ("GET", "/debug/slow") => {
+                let entries: Vec<String> = shared
+                    .tail
+                    .ids()
+                    .iter()
+                    .map(|id| {
+                        let record = shared
+                            .flight
+                            .find(id)
+                            .map_or_else(|| "null".to_owned(), |r| r.to_json());
+                        let trace = shared
+                            .tail
+                            .get(id)
+                            .map_or_else(|| "[]".to_owned(), |t| jsonl_to_array(&t));
+                        format!("{{\"record\":{record},\"trace\":{trace}}}")
+                    })
+                    .collect();
+                let body = format!(
+                    "{{\"considered\":{},\"retained\":{},\"requests\":[{}]}}",
+                    shared.tail.considered(),
+                    shared.tail.retained(),
+                    entries.join(","),
+                );
+                respond(
+                    shared,
+                    &mut stream,
+                    200,
+                    "application/json",
+                    &body,
+                    Some(&req_hex),
+                );
+            }
+            ("GET", path) if path.starts_with("/debug/requests/") => {
+                let id = &path["/debug/requests/".len()..];
+                match shared.flight.find(id) {
+                    Some(record) => {
+                        let trace = shared
+                            .tail
+                            .get(id)
+                            .map_or_else(|| "null".to_owned(), |t| jsonl_to_array(&t));
+                        let body = format!("{{\"record\":{},\"trace\":{trace}}}", record.to_json());
+                        respond(
+                            shared,
+                            &mut stream,
+                            200,
+                            "application/json",
+                            &body,
+                            Some(&req_hex),
+                        );
+                    }
+                    None => respond(
+                        shared,
+                        &mut stream,
+                        404,
+                        "application/json",
+                        &protocol::render_error(404, "unknown_request", id),
+                        Some(&req_hex),
+                    ),
                 }
             }
             ("POST", "/shutdown") => {
                 shared.draining.store(true, Ordering::SeqCst);
+                log::info("serve", "shutdown requested over the wire", &[]);
                 respond(
                     shared,
                     &mut stream,
                     200,
                     "application/json",
                     "{\"status\":\"draining\"}",
+                    Some(&req_hex),
                 );
                 break;
             }
             ("POST", "/synth" | "/batch") => {
                 shared.metrics.adjust_queued(1);
+                let ctx = RequestCtx::new(req_id);
                 match sender.try_send(Work {
                     stream,
                     request,
                     queued_at: Instant::now(),
+                    ctx,
                 }) {
                     Ok(()) => {}
                     Err(TrySendError::Full(work) | TrySendError::Disconnected(work)) => {
                         shared.metrics.adjust_queued(-1);
                         let mut stream = work.stream;
+                        log::warn(
+                            "serve",
+                            "request shed: admission queue full",
+                            &[("req", &req_hex), ("route", &work.request.path)],
+                        );
                         respond(
                             shared,
                             &mut stream,
@@ -298,14 +494,43 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
                                 "shed",
                                 "admission queue full; retry with backoff",
                             ),
+                            Some(&req_hex),
                         );
+                        shared.slo.record(429, 0, true);
+                        let record = RequestRecord {
+                            id: req_hex.clone(),
+                            route: work.request.path.clone(),
+                            spec_hash: fnv1a64(work.request.body.as_bytes()),
+                            status: 429,
+                            degradation: None,
+                            queue_us: 0,
+                            wall_us: 0,
+                            phases: Vec::new(),
+                            phases_reused: 0,
+                            audit_clean: None,
+                            slow: false,
+                            degraded: false,
+                            shed: true,
+                            errored: false,
+                            sampled: false,
+                        };
+                        // A shed request never entered a handler, so its
+                        // trace is empty — the record itself is the story.
+                        let sampled = shared.tail.offer(&record, "");
+                        shared.flight.push(RequestRecord { sampled, ..record });
                     }
                 }
             }
             ("GET" | "POST" | "PUT" | "DELETE" | "HEAD" | "PATCH", path) => {
                 let known = matches!(
                     path,
-                    "/synth" | "/batch" | "/metrics" | "/healthz" | "/shutdown"
+                    "/synth"
+                        | "/batch"
+                        | "/metrics"
+                        | "/healthz"
+                        | "/shutdown"
+                        | "/debug/requests"
+                        | "/debug/slow"
                 );
                 let (status, code) = if known {
                     (405, "method_not_allowed")
@@ -318,6 +543,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
                     status,
                     "application/json",
                     &protocol::render_error(status, code, &format!("{} {}", request.method, path)),
+                    Some(&req_hex),
                 );
             }
             (method, _) => {
@@ -327,6 +553,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
                     400,
                     "application/json",
                     &protocol::render_error(400, "bad_method", method),
+                    Some(&req_hex),
                 );
             }
         }
@@ -335,10 +562,71 @@ fn accept_loop(listener: TcpListener, shared: &Shared, sender: SyncSender<Work>,
     // was admitted, then exit.
 }
 
-/// Writes a response from the accept loop and records its status.
-fn respond(shared: &Shared, stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+/// Renders a JSONL document (one JSON object per line) as a JSON array.
+fn jsonl_to_array(jsonl: &str) -> String {
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    format!("[{}]", lines.join(","))
+}
+
+/// Writes a response from the accept loop and records its status. When
+/// a request id is known it is echoed as `x-request-id` and — for JSON
+/// object bodies — spliced into the body as well.
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    req_id: Option<&str>,
+) {
     shared.metrics.record_status(status);
-    let _ = http::write_response(stream, status, content_type, body);
+    match req_id {
+        Some(id) => {
+            let body = if content_type == "application/json" {
+                protocol::with_request_id(body.to_owned(), id)
+            } else {
+                body.to_owned()
+            };
+            let _ = http::write_response_with(
+                stream,
+                status,
+                content_type,
+                &[("x-request-id", id)],
+                &body,
+            );
+        }
+        None => {
+            let _ = http::write_response(stream, status, content_type, body);
+        }
+    }
+}
+
+/// What one admitted request produced: the response itself plus the
+/// classification facts the flight recorder and SLO tracker need.
+struct HandlerOutcome {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    /// Degradation level of the served design(s), when one was served.
+    degradation: Option<String>,
+    /// Pipeline phases replayed from cached artifacts (summed for `/batch`).
+    phases_reused: u64,
+    /// Audit verdict of the served design(s); `None` when none was served.
+    audit_clean: Option<bool>,
+}
+
+impl HandlerOutcome {
+    /// A JSON error response with no design-level facts attached.
+    fn error(status: u16, body: String) -> Self {
+        HandlerOutcome {
+            status,
+            content_type: "application/json",
+            body,
+            degradation: None,
+            phases_reused: 0,
+            audit_clean: None,
+        }
+    }
 }
 
 fn handler_loop(shared: &Shared, receiver: &Mutex<Receiver<Work>>) {
@@ -349,39 +637,113 @@ fn handler_loop(shared: &Shared, receiver: &Mutex<Receiver<Work>>) {
             Ok(rx) => rx.recv(),
             Err(_) => return,
         };
-        let Ok(mut work) = work else { return };
-        let queue_us = work.queued_at.elapsed().as_micros() as u64;
+        let Ok(work) = work else { return };
+        let Work {
+            mut stream,
+            request,
+            queued_at,
+            ctx,
+        } = work;
+        let queue_us = queued_at.elapsed().as_micros() as u64;
         shared.metrics.adjust_queued(-1);
         shared.metrics.adjust_inflight(1);
         shared.metrics.record_queue_wait(queue_us);
-        let _span = xring_obs::span_labelled("serve.request", work.request.path.clone());
+        let req_hex = ctx.id().to_hex();
+        let route = request.path.clone();
+        let spec_hash = fnv1a64(request.body.as_bytes());
         let t0 = Instant::now();
-        let (status, content_type, body) = handle(shared, &work.request, queue_us, t0);
-        shared
-            .metrics
-            .record_request_wall(t0.elapsed().as_micros() as u64);
-        shared.metrics.record_status(status);
-        let _ = http::write_response(&mut work.stream, status, content_type, &body);
+        let result = {
+            // Attach the request context so every span/counter the
+            // pipeline emits — including from engine worker threads —
+            // lands in this request's trace.
+            let _scope = ctx.attach();
+            let span = xring_obs::span_labelled("serve.request", route.clone());
+            let result = catch_unwind(AssertUnwindSafe(|| handle(shared, &request, queue_us, t0)));
+            drop(span);
+            result
+        };
+        let wall_us = t0.elapsed().as_micros() as u64;
+        let (outcome, panicked) = match result {
+            Ok(outcome) => (outcome, false),
+            Err(_) => {
+                shared.metrics.record_handler_panic();
+                log::error(
+                    "serve",
+                    "handler panicked; responding 500",
+                    &[("req", &req_hex), ("route", &route)],
+                );
+                let body = protocol::render_error(
+                    500,
+                    "handler_panic",
+                    "handler panicked; see the flight recorder",
+                );
+                (HandlerOutcome::error(500, body), true)
+            }
+        };
+        shared.metrics.record_request_wall(wall_us);
+        respond(
+            shared,
+            &mut stream,
+            outcome.status,
+            outcome.content_type,
+            &outcome.body,
+            Some(&req_hex),
+        );
         shared.metrics.adjust_inflight(-1);
+
+        // Post-response accounting: the client is not kept waiting on
+        // the flight recorder or SLO bookkeeping.
+        let trace = ctx.finish();
+        let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+        for span in &trace.spans {
+            *phases.entry(span.name.to_owned()).or_default() += span.dur_ns / 1_000;
+        }
+        let slow = wall_us > shared.slo.config().latency_target.as_micros() as u64;
+        let degraded = outcome.degradation.as_deref().is_some_and(|d| d != "exact");
+        let errored = outcome.status >= 500;
+        let record = RequestRecord {
+            id: req_hex.clone(),
+            route,
+            spec_hash,
+            status: outcome.status,
+            degradation: outcome.degradation,
+            queue_us,
+            wall_us,
+            phases: phases.into_iter().collect(),
+            phases_reused: outcome.phases_reused,
+            audit_clean: outcome.audit_clean,
+            slow,
+            degraded,
+            shed: false,
+            errored,
+            sampled: false,
+        };
+        let trace_jsonl = if record.tail_worthy() {
+            let mut buf = Vec::new();
+            let _ = trace.write_jsonl(&mut buf);
+            String::from_utf8(buf).unwrap_or_default()
+        } else {
+            String::new()
+        };
+        let sampled = shared.tail.offer(&record, &trace_jsonl);
+        shared.flight.push(RequestRecord { sampled, ..record });
+        shared.slo.record(outcome.status, wall_us, false);
+        if panicked {
+            write_postmortem(shared, "handler_panic");
+        }
     }
 }
 
-/// Processes one admitted request to `(status, content-type, body)`.
-fn handle(
-    shared: &Shared,
-    request: &Request,
-    queue_us: u64,
-    t0: Instant,
-) -> (u16, &'static str, String) {
+/// Processes one admitted request to a [`HandlerOutcome`].
+fn handle(shared: &Shared, request: &Request, queue_us: u64, t0: Instant) -> HandlerOutcome {
     const JSON: &str = "application/json";
     match request.path.as_str() {
         "/synth" => {
             let job = match protocol::parse_synth(&request.body, &shared.defaults, 0) {
                 Ok(job) => job,
                 Err(e) => {
-                    return (
+                    return HandlerOutcome::error(
                         e.status,
-                        JSON,
                         protocol::render_error(e.status, e.code, &e.message),
                     )
                 }
@@ -409,11 +771,18 @@ fn handle(
                         *slot = Some(job);
                     }
                     let wall_us = t0.elapsed().as_micros() as u64;
-                    (200, JSON, protocol::render_output(&out, queue_us, wall_us))
+                    HandlerOutcome {
+                        status: 200,
+                        content_type: JSON,
+                        body: protocol::render_output(&out, queue_us, wall_us),
+                        degradation: Some(out.design.provenance.degradation.as_str().to_owned()),
+                        phases_reused: out.phases_reused as u64,
+                        audit_clean: Some(out.design.provenance.audit.is_clean()),
+                    }
                 }
                 Err(err) => {
                     let (status, body) = protocol::render_job_error(&label, &err);
-                    (status, JSON, body)
+                    HandlerOutcome::error(status, body)
                 }
             }
         }
@@ -421,9 +790,8 @@ fn handle(
             let jobs = match protocol::parse_batch(&request.body, &shared.defaults) {
                 Ok(jobs) => jobs,
                 Err(e) => {
-                    return (
+                    return HandlerOutcome::error(
                         e.status,
-                        JSON,
                         protocol::render_error(e.status, e.code, &e.message),
                     )
                 }
@@ -432,10 +800,28 @@ fn handle(
             let spared: Vec<bool> = jobs.iter().map(|j| j.options.spares.any()).collect();
             let batch = shared.engine.run_batch(jobs);
             let mut results = Vec::with_capacity(batch.outcomes.len());
+            // Batch-level facts aggregate pessimistically: the worst
+            // degradation across jobs, phases reused summed, and the
+            // audit clean only when every served design is clean.
+            let rank = |level: DegradationLevel| match level {
+                DegradationLevel::Exact => 0u8,
+                DegradationLevel::RetriedPerturbed => 1,
+                DegradationLevel::Heuristic => 2,
+            };
+            let mut worst_degradation: Option<DegradationLevel> = None;
+            let mut phases_reused = 0u64;
+            let mut audit_clean: Option<bool> = None;
             for ((label, &spared), outcome) in labels.iter().zip(&spared).zip(&batch.outcomes) {
                 track_outcome_metrics(shared, outcome.as_ref(), spared);
                 match outcome {
                     Ok(out) => {
+                        let level = out.design.provenance.degradation;
+                        if worst_degradation.is_none_or(|w| rank(level) > rank(w)) {
+                            worst_degradation = Some(level);
+                        }
+                        phases_reused += out.phases_reused as u64;
+                        let clean = out.design.provenance.audit.is_clean();
+                        audit_clean = Some(audit_clean.unwrap_or(true) && clean);
                         results.push(protocol::render_output(
                             out,
                             queue_us,
@@ -452,9 +838,16 @@ fn handle(
                 "{{\"results\":[{}],\"queue_us\":{queue_us},\"wall_us\":{wall_us}}}",
                 results.join(",")
             );
-            (200, JSON, body)
+            HandlerOutcome {
+                status: 200,
+                content_type: JSON,
+                body,
+                degradation: worst_degradation.map(|l| l.as_str().to_owned()),
+                phases_reused,
+                audit_clean,
+            }
         }
-        other => (404, JSON, protocol::render_error(404, "not_found", other)),
+        other => HandlerOutcome::error(404, protocol::render_error(404, "not_found", other)),
     }
 }
 
@@ -477,5 +870,48 @@ fn track_outcome_metrics(
         }
         Err(JobError::DeadlineExceeded) => shared.metrics.record_deadline_exceeded(),
         Err(_) => {}
+    }
+}
+
+/// Dumps the flight recorder and every retained tail trace to the
+/// configured postmortem path as JSONL: one meta line, then one line
+/// per in-ring record, then one line per retained trace. Called on
+/// drain and after a handler panic; a missing path is a no-op.
+fn write_postmortem(shared: &Shared, reason: &str) {
+    let Some(path) = &shared.postmortem else {
+        return;
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"kind\":\"postmortem\",\"reason\":\"{}\",\"uptime_s\":{},\"pushed\":{},\"retained\":{}}}\n",
+        xring_obs::json_escape(reason),
+        shared.metrics.uptime_s(),
+        shared.flight.pushed(),
+        shared.tail.retained(),
+    ));
+    for record in shared.flight.snapshot() {
+        out.push_str(&record.to_json());
+        out.push('\n');
+    }
+    for id in shared.tail.ids() {
+        if let Some(trace) = shared.tail.get(&id) {
+            out.push_str(&format!(
+                "{{\"kind\":\"trace\",\"req\":\"{}\",\"spans\":{}}}\n",
+                xring_obs::json_escape(&id),
+                jsonl_to_array(&trace),
+            ));
+        }
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => log::info(
+            "serve",
+            "postmortem written",
+            &[("reason", reason), ("path", &path.display().to_string())],
+        ),
+        Err(e) => log::error(
+            "serve",
+            "postmortem write failed",
+            &[("reason", reason), ("error", &e.to_string())],
+        ),
     }
 }

@@ -1,0 +1,296 @@
+//! End-to-end request-scoped observability: every response carries a
+//! unique request id (header and JSON body), inbound trace ids are
+//! honored, per-request span trees reach the flight recorder with
+//! per-phase timings, the tail sampler keeps full traces only for
+//! unusual (slow/degraded/shed/errored) requests, and the SLO series
+//! render as valid Prometheus.
+//!
+//! Every test starts its own in-process [`Server`] on an ephemeral port
+//! and drains it before returning, so the suite is parallel-safe.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use xring::core::DegradationPolicy;
+use xring::serve::{client, ServeConfig, Server, SloConfig};
+
+fn synth_body(label: &str, wl: usize) -> String {
+    format!(
+        "{{\"label\": \"{label}\", \"net\": {{\"named\": \"proton_8\"}}, \
+         \"options\": {{\"max_wavelengths\": {wl}}}}}"
+    )
+}
+
+/// Pulls the `"request_id":"..."` value out of a JSON response body.
+fn request_id_of(body: &str) -> &str {
+    let start = body
+        .find("\"request_id\":\"")
+        .expect("response carries a request id")
+        + "\"request_id\":\"".len();
+    let end = body[start..].find('"').expect("terminated id") + start;
+    &body[start..end]
+}
+
+/// Finds the echoed `x-request-id` response header.
+fn header_id(headers: &[(String, String)]) -> &str {
+    headers
+        .iter()
+        .find(|(n, _)| n == "x-request-id")
+        .map(|(_, v)| v.as_str())
+        .expect("every response carries x-request-id")
+}
+
+#[test]
+fn concurrent_requests_get_unique_ids_and_recorded_span_trees() {
+    let mut server = Server::start(ServeConfig {
+        workers: 2,
+        max_inflight: 4,
+        queue_depth: 16,
+        // A zero-latency objective makes every request "slow", so every
+        // span trace is tail-sampled and visible for integrity checks.
+        slo: SloConfig {
+            latency_target: Duration::ZERO,
+            ..SloConfig::default()
+        },
+        tail_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 4;
+    let ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..PER_CLIENT {
+                        let wl = [2usize, 4, 8][(c + i) % 3];
+                        let (status, headers, body) = client::http_request_full(
+                            addr,
+                            "POST",
+                            "/synth",
+                            &[],
+                            &synth_body(&format!("c{c}-{i}"), wl),
+                        )
+                        .expect("request reaches the daemon");
+                        assert_eq!(status, 200, "{body}");
+                        // Header and body agree on the minted id.
+                        assert_eq!(header_id(&headers), request_id_of(&body), "{body}");
+                        out.push(request_id_of(&body).to_owned());
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // Ids are unique across all concurrent connections and handlers.
+    let unique: HashSet<&String> = ids.iter().collect();
+    assert_eq!(unique.len(), CLIENTS * PER_CLIENT, "duplicate request ids");
+
+    // Every request landed in the flight recorder with a per-phase
+    // breakdown, and its tail-sampled span tree is structurally sound:
+    // all lines are spans, every parent id is 0 or another span's id.
+    for id in &ids {
+        let (status, body) =
+            client::http_request(addr, "GET", &format!("/debug/requests/{id}"), "")
+                .expect("flight lookup");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"route\":\"/synth\""), "{body}");
+        assert!(body.contains("\"phases\":{"), "{body}");
+        // The serve-level request span is always present; cold requests
+        // also record pipeline phases underneath it.
+        assert!(body.contains("\"serve.request\""), "{body}");
+        let trace_start = body.find("\"trace\":[").expect("trace attached") + "\"trace\":".len();
+        let trace = &body[trace_start..body.len() - 1];
+        let mut span_ids: HashSet<u64> = HashSet::new();
+        let mut parents: Vec<u64> = Vec::new();
+        for obj in trace.split("{\"type\":\"span\"").skip(1) {
+            let field = |key: &str| -> u64 {
+                let at = obj.find(key).expect("span field") + key.len();
+                obj[at..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .expect("numeric span field")
+            };
+            span_ids.insert(field("\"id\":"));
+            parents.push(field("\"parent\":"));
+        }
+        assert!(!span_ids.is_empty(), "empty span tree for {id}: {body}");
+        for parent in parents {
+            assert!(
+                parent == 0 || span_ids.contains(&parent),
+                "dangling parent {parent} in trace of {id}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn inbound_trace_ids_are_honored() {
+    let mut server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let addr = server.addr();
+
+    // W3C traceparent: the daemon adopts the trace-id field.
+    let (status, headers, body) = client::http_request_full(
+        addr,
+        "POST",
+        "/synth",
+        &[(
+            "traceparent",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        )],
+        &synth_body("traced", 2),
+    )
+    .expect("request reaches the daemon");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_id(&headers), "4bf92f3577b34da6a3ce929d0e0e4736");
+    assert_eq!(request_id_of(&body), "4bf92f3577b34da6a3ce929d0e0e4736");
+
+    // A bare x-request-id works too, and a malformed one is replaced by
+    // a minted id rather than echoed verbatim.
+    let (_, headers, _) = client::http_request_full(
+        addr,
+        "POST",
+        "/synth",
+        &[("x-request-id", "000000000000000000000000deadbeef")],
+        &synth_body("keyed", 2),
+    )
+    .expect("request reaches the daemon");
+    assert_eq!(header_id(&headers), "000000000000000000000000deadbeef");
+    let (_, headers, _) = client::http_request_full(
+        addr,
+        "POST",
+        "/synth",
+        &[("x-request-id", "not-hex")],
+        &synth_body("bad-id", 2),
+    )
+    .expect("request reaches the daemon");
+    assert_ne!(header_id(&headers), "not-hex");
+    assert_eq!(header_id(&headers).len(), 32);
+    server.shutdown();
+}
+
+#[test]
+fn tail_sampler_keeps_unusual_requests_and_skips_fast_cached_ones() {
+    // Default latency objective (1 s) with a 1 ms synthesis deadline and
+    // `allow`: the cold irregular request degrades (tail-worthy), while
+    // the repeated proton_8 spec is answered fast from cache (not).
+    let mut server = Server::start(ServeConfig {
+        deadline: Some(Duration::from_millis(1)),
+        degradation: DegradationPolicy::Allow,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    let (status, _, body) = client::http_request_full(
+        addr,
+        "POST",
+        "/synth",
+        &[],
+        "{\"label\": \"degrade-me\", \
+         \"net\": {\"irregular\": {\"n\": 20, \"die_um\": 9000, \"seed\": 7}}, \
+         \"options\": {\"max_wavelengths\": 8}}",
+    )
+    .expect("request reaches the daemon");
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"degradation\":\"exact\""), "{body}");
+    let degraded_id = request_id_of(&body).to_owned();
+
+    // Warm the cache, then take the cached (fast, exact) answer.
+    for label in ["warm", "cached"] {
+        let (status, _, resp) =
+            client::http_request_full(addr, "POST", "/synth", &[], &synth_body(label, 2))
+                .expect("request reaches the daemon");
+        assert_eq!(status, 200, "{resp}");
+    }
+    let (_, _, cached_resp) =
+        client::http_request_full(addr, "POST", "/synth", &[], &synth_body("cached2", 2))
+            .expect("request reaches the daemon");
+    assert!(cached_resp.contains("\"cache_hit\":true"), "{cached_resp}");
+    let cached_id = request_id_of(&cached_resp).to_owned();
+
+    // The degraded request is in /debug/slow with a retained full
+    // trace; the fast cached one is not.
+    let (status, slow) =
+        client::http_request(addr, "GET", "/debug/slow", "").expect("debug slow reachable");
+    assert_eq!(status, 200);
+    assert!(
+        slow.contains(&degraded_id),
+        "degraded request missing:\n{slow}"
+    );
+    assert!(
+        !slow.contains(&cached_id),
+        "cached request tail-sampled:\n{slow}"
+    );
+    let entry_at = slow.find(&degraded_id).expect("entry");
+    assert!(
+        slow[entry_at..].contains("{\"type\":\"span\""),
+        "no retained trace for the degraded request:\n{slow}"
+    );
+
+    // Both are in the flight recorder (it keeps everything recent), and
+    // only the degraded one is marked sampled.
+    let (_, flight) =
+        client::http_request(addr, "GET", "/debug/requests", "").expect("flight reachable");
+    assert!(
+        flight.contains(&degraded_id) && flight.contains(&cached_id),
+        "{flight}"
+    );
+    // One record runs from its id to its trailing `"sampled":…}` pair
+    // (`phases` is a nested object, so the first `}` is not the end).
+    let record_of = |id: &str| {
+        let tail = &flight[flight.find(id).expect("record present")..];
+        let end = tail.find("\"sampled\":").expect("record fields");
+        let close = tail[end..].find('}').expect("object end") + end + 1;
+        tail[..close].to_owned()
+    };
+    assert!(record_of(&degraded_id).contains("\"degraded\":true"));
+    assert!(record_of(&cached_id).contains("\"sampled\":false"));
+    server.shutdown();
+}
+
+#[test]
+fn slo_series_and_healthz_fields_are_live() {
+    let mut server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let addr = server.addr();
+
+    for label in ["s1", "s2"] {
+        let (status, _) = client::http_request(addr, "POST", "/synth", &synth_body(label, 2))
+            .expect("request reaches the daemon");
+        assert_eq!(status, 200);
+    }
+
+    let (status, body) = client::http_request(addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    for needle in ["\"status\":\"ok\"", "\"uptime_s\":", "\"version\":\""] {
+        assert!(body.contains(needle), "missing {needle:?} in {body}");
+    }
+
+    let (status, text) = client::http_request(addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    xring::obs::validate_exposition(&text).expect("valid Prometheus 0.0.4");
+    for needle in [
+        "xring_serve_slo_availability_good_total 2",
+        "xring_serve_slo_availability_bad_total 0",
+        "xring_serve_slo_latency_good_total",
+        "# TYPE xring_serve_slo_availability_burn_rate_5m gauge",
+        "xring_serve_slo_availability_burn_rate_1h",
+        "xring_serve_slo_latency_burn_rate_5m",
+        "xring_serve_slo_target_ppm 990000",
+        "xring_serve_handler_panics_total 0",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    server.shutdown();
+}
