@@ -43,6 +43,9 @@ echo "==> LP backend suites (differential agreement + revised-backend fault chai
 cargo test -q -p xring-milp --offline backend
 cargo test -q --offline --features fault-inject --test fault_tolerance revised_backend
 
+echo "==> parallel-BnB determinism gate (1/2/8 solver threads, bit-identical)"
+cargo test -q --offline --test parallel_determinism
+
 echo "==> serve smoke (daemon lifecycle, endpoints, drain, thread-leak check)"
 # In-process lifecycle first: every endpoint once, graceful drain, and a
 # /proc-based leaked-thread check. Exit code is the verdict.
@@ -113,7 +116,7 @@ echo "==> incremental edit smoke (CLI edit loop, byte-identity check)"
 
 echo "==> regress --quick (pinned perf suite smoke + baseline gate)"
 cargo run -q --release -p xring-bench --bin regress --offline -- \
-    --quick --out target/regress-ci.json --compare BENCH_PR9.json
+    --quick --out target/regress-ci.json --compare BENCH_PR10.json
 
 echo "==> edit-loop gate (incremental re-synthesis must beat cold synthesis)"
 edit_cold=$(tr ',{}' '\n' <target/regress-ci.json | sed -n 's/"edit_cold_wall_ms"://p')

@@ -88,7 +88,18 @@ fn main() -> ExitCode {
         println!("{}", d.render());
     }
     if regressed {
-        eprintln!("FAIL: wall-time regression past the 15% / 25 ms gate");
+        let breaches: Vec<String> = deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| match (d.old, d.new) {
+                (Some(old), Some(new)) => format!("{} ({old:.1} -> {new:.1} ms)", d.name),
+                _ => d.name.clone(),
+            })
+            .collect();
+        eprintln!(
+            "FAIL: wall-time regression past the 15% / 25 ms gate: {}",
+            breaches.join(", ")
+        );
         ExitCode::FAILURE
     } else {
         eprintln!("PASS: no wall-time regression");

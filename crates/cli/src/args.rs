@@ -74,6 +74,13 @@ pub struct SynthArgs {
     pub degradation: String,
     /// LP backend for the ring MILP: "dense" | "revised".
     pub lp_backend: String,
+    /// `--solver-threads N`: branch-and-bound worker threads. The
+    /// search is deterministic, so any count yields the same design.
+    pub solver_threads: usize,
+    /// Simplex pricing rule: "dantzig" | "devex" | "partial".
+    pub pricing: String,
+    /// Basis factorization: "sparse-lu" | "dense-eta".
+    pub factorization: String,
     /// Disable Step 2.
     pub no_shortcuts: bool,
     /// Disable openings.
@@ -108,6 +115,9 @@ impl Default for SynthArgs {
             ring: "milp".into(),
             degradation: "forbid".into(),
             lp_backend: "revised".into(),
+            solver_threads: 1,
+            pricing: "dantzig".into(),
+            factorization: "sparse-lu".into(),
             no_shortcuts: false,
             no_openings: false,
             no_pdn: false,
@@ -294,6 +304,14 @@ SOLVER BACKEND (synth, sweep, batch):
   --lp-backend dense    dense two-phase tableau — the slower reference
                         kernel, also used automatically by the
                         degradation chain's perturbed retry
+  --solver-threads N    branch-and-bound worker threads (default 1);
+                        the parallel search is deterministic, so any
+                        thread count produces byte-identical designs
+  --pricing R           simplex pricing rule: dantzig (default), devex
+                        or partial
+  --factorization F     simplex basis factorization: sparse-lu
+                        (default, bounded eta updates with periodic
+                        refactorization) or dense-eta (reference)
 
 TRACING (synth, sweep, batch):
   --trace FILE           record per-phase spans (ring MILP, shortcuts,
@@ -364,6 +382,40 @@ fn set_lp_backend(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
         )));
     }
     out.lp_backend = v.to_owned();
+    Ok(())
+}
+
+/// Validates and stores a `--solver-threads` value.
+fn set_solver_threads(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad thread count {v}")))?;
+    if n == 0 {
+        return Err(ParseArgsError("--solver-threads must be at least 1".into()));
+    }
+    out.solver_threads = n;
+    Ok(())
+}
+
+/// Validates and stores a `--pricing` value.
+fn set_pricing(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
+    if !["dantzig", "devex", "partial"].contains(&v) {
+        return Err(ParseArgsError(format!(
+            "unknown pricing rule {v} (expected dantzig, devex or partial)"
+        )));
+    }
+    out.pricing = v.to_owned();
+    Ok(())
+}
+
+/// Validates and stores a `--factorization` value.
+fn set_factorization(v: &str, out: &mut SynthArgs) -> Result<(), ParseArgsError> {
+    if !["sparse-lu", "dense-eta"].contains(&v) {
+        return Err(ParseArgsError(format!(
+            "unknown factorization {v} (expected sparse-lu or dense-eta)"
+        )));
+    }
+    out.factorization = v.to_owned();
     Ok(())
 }
 
@@ -470,6 +522,36 @@ where
         _ if flag.starts_with("--lp-backend=") => {
             let v = &flag["--lp-backend=".len()..];
             set_lp_backend(v, out)?;
+        }
+        "--solver-threads" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--solver-threads needs a count".into()))?;
+            set_solver_threads(v, out)?;
+        }
+        _ if flag.starts_with("--solver-threads=") => {
+            let v = &flag["--solver-threads=".len()..];
+            set_solver_threads(v, out)?;
+        }
+        "--pricing" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--pricing needs a rule".into()))?;
+            set_pricing(v, out)?;
+        }
+        _ if flag.starts_with("--pricing=") => {
+            let v = &flag["--pricing=".len()..];
+            set_pricing(v, out)?;
+        }
+        "--factorization" => {
+            let v = it
+                .next()
+                .ok_or_else(|| ParseArgsError("--factorization needs a kind".into()))?;
+            set_factorization(v, out)?;
+        }
+        _ if flag.starts_with("--factorization=") => {
+            let v = &flag["--factorization=".len()..];
+            set_factorization(v, out)?;
         }
         "--describe" => out.describe = true,
         "--no-shortcuts" => out.no_shortcuts = true,
@@ -1119,6 +1201,62 @@ mod tests {
         assert!(parse(&v(&["synth", "--lp-backend", "tableau"])).is_err());
         assert!(parse(&v(&["synth", "--lp-backend=bogus"])).is_err());
         assert!(parse(&v(&["synth", "--lp-backend"])).is_err());
+    }
+
+    #[test]
+    fn solver_threads_flag_both_forms() {
+        let Command::Synth(a) = cmd(&["synth", "--solver-threads", "4"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.solver_threads, 4);
+        let Command::Synth(a) = cmd(&["synth", "--solver-threads=8"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.solver_threads, 8);
+        // Default and rejects.
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.solver_threads, 1);
+        assert!(parse(&v(&["synth", "--solver-threads", "0"])).is_err());
+        assert!(parse(&v(&["synth", "--solver-threads=nope"])).is_err());
+        assert!(parse(&v(&["synth", "--solver-threads"])).is_err());
+    }
+
+    #[test]
+    fn pricing_flag_both_forms() {
+        let Command::Synth(a) = cmd(&["synth", "--pricing", "devex"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.pricing, "devex");
+        let Command::Synth(a) = cmd(&["synth", "--pricing=partial"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.pricing, "partial");
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.pricing, "dantzig");
+        assert!(parse(&v(&["synth", "--pricing", "steepest"])).is_err());
+        assert!(parse(&v(&["synth", "--pricing"])).is_err());
+    }
+
+    #[test]
+    fn factorization_flag_both_forms() {
+        let Command::Synth(a) = cmd(&["synth", "--factorization", "dense-eta"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.factorization, "dense-eta");
+        let Command::Synth(a) = cmd(&["synth", "--factorization=sparse-lu"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.factorization, "sparse-lu");
+        let Command::Synth(a) = cmd(&["synth"]) else {
+            panic!("not synth")
+        };
+        assert_eq!(a.factorization, "sparse-lu");
+        assert!(parse(&v(&["synth", "--factorization", "qr"])).is_err());
+        assert!(parse(&v(&["synth", "--factorization"])).is_err());
     }
 
     #[test]

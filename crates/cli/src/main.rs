@@ -233,10 +233,21 @@ fn options_of(args: &SynthArgs) -> SynthesisOptions {
         .lp_backend
         .parse::<xring_core::LpBackendKind>()
         .unwrap_or_default();
+    let pricing = args
+        .pricing
+        .parse::<xring_core::PricingKind>()
+        .unwrap_or_default();
+    let factorization = args
+        .factorization
+        .parse::<xring_core::FactorizationKind>()
+        .unwrap_or_default();
     SynthesisOptions {
         ring_algorithm,
         degradation,
         lp_backend,
+        solver_threads: args.solver_threads,
+        pricing,
+        factorization,
         shortcuts: !args.no_shortcuts,
         openings: !args.no_openings,
         pdn: !args.no_pdn,

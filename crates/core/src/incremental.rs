@@ -203,7 +203,8 @@ impl PhaseKeyer {
 /// excluded: they bound the solve, they do not change its result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseKeys {
-    /// Step 1 key: node positions + ring algorithm + LP backend.
+    /// Step 1 key: node positions + ring algorithm + LP backend +
+    /// pricing rule + factorization kind.
     pub ring: u64,
     /// Step 2 key: ring key + the `shortcuts` toggle.
     pub shortcut: u64,
@@ -224,7 +225,15 @@ impl PhaseKeys {
         for p in net.positions() {
             ring = ring.i64(p.x).i64(p.y);
         }
-        let ring = ring.str(o.lp_backend.as_str()).finish();
+        // Pricing and factorization change pivot sequences, which can
+        // tie-break alternate optima differently, so they key the ring
+        // phase. `solver_threads` does not: the parallel search is
+        // deterministic across thread counts.
+        let ring = ring
+            .str(o.lp_backend.as_str())
+            .str(o.pricing.as_str())
+            .str(o.factorization.as_str())
+            .finish();
 
         let shortcut = PhaseKeyer::new(PhaseId::Shortcut.tag())
             .key(ring)
@@ -641,6 +650,9 @@ impl Synthesizer {
                         .with_algorithm(o.ring_algorithm)
                         .with_deadline(deadline)
                         .with_lp_backend(o.lp_backend)
+                        .with_solver_threads(o.solver_threads)
+                        .with_pricing(o.pricing)
+                        .with_factorization(o.factorization)
                         .with_warm_basis(warm_hint.cloned())
                         .build(net)?
                 };
@@ -873,6 +885,23 @@ mod tests {
         o.loss.crossing_db += 0.01;
         let b = PhaseKeys::compute(&net, &o);
         assert_eq!(a.dirty_against(&b), vec![PhaseId::Pdn]);
+    }
+
+    #[test]
+    fn solver_knob_edits_dirty_the_ring_but_threads_do_not() {
+        let net = NetworkSpec::proton_8();
+        let a = PhaseKeys::compute(&net, &opts());
+        let b = PhaseKeys::compute(&net, &opts().with_pricing(crate::PricingKind::Devex));
+        assert_eq!(a.dirty_against(&b), PhaseId::ALL.to_vec());
+        let c = PhaseKeys::compute(
+            &net,
+            &opts().with_factorization(crate::FactorizationKind::DenseEta),
+        );
+        assert_eq!(a.dirty_against(&c), PhaseId::ALL.to_vec());
+        // The parallel search is deterministic: thread count cannot
+        // change the result, so it must not dirty any phase.
+        let d = PhaseKeys::compute(&net, &opts().with_solver_threads(8));
+        assert_eq!(a.dirty_against(&d), vec![]);
     }
 
     #[test]

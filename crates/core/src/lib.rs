@@ -81,4 +81,4 @@ pub use sweep::{
 pub use synth::{DegradationPolicy, SynthesisOptions, Synthesizer};
 pub use traffic::Traffic;
 pub use variation::{monte_carlo, SplitMix64, VariationSpec, VariationSummary};
-pub use xring_milp::{Basis, ConvergenceSummary, LpBackendKind};
+pub use xring_milp::{Basis, ConvergenceSummary, FactorizationKind, LpBackendKind, PricingKind};

@@ -19,8 +19,8 @@ use crate::netspec::{NetworkSpec, NodeId};
 use crate::variation::SplitMix64;
 use xring_geom::{classify_edge_pair, LRoute, Point, Polyline, RouteOption, TwoSat};
 use xring_milp::{
-    progress, Basis, BranchAndBound, ConvergenceCollector, ConvergenceSummary, LinExpr,
-    LpBackendKind, Model, Relation, VarId,
+    progress, Basis, BranchAndBound, ConvergenceCollector, ConvergenceSummary, FactorizationKind,
+    LinExpr, LpBackendKind, Model, PricingKind, Relation, VarId,
 };
 
 /// Travel direction on a ring waveguide. `Cw` follows the cycle order,
@@ -370,6 +370,9 @@ pub struct RingBuilder {
     objective_perturbation: Option<u64>,
     lp_backend: LpBackendKind,
     warm_basis: Option<Basis>,
+    solver_threads: usize,
+    pricing: PricingKind,
+    factorization: FactorizationKind,
 }
 
 impl Default for RingBuilder {
@@ -381,6 +384,9 @@ impl Default for RingBuilder {
             objective_perturbation: None,
             lp_backend: LpBackendKind::default(),
             warm_basis: None,
+            solver_threads: 1,
+            pricing: PricingKind::default(),
+            factorization: FactorizationKind::default(),
         }
     }
 }
@@ -447,6 +453,28 @@ impl RingBuilder {
     /// slower reference tableau.
     pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
         self.lp_backend = backend;
+        self
+    }
+
+    /// Sets the worker-thread count for the MILP's per-round node-batch
+    /// LP solves (default 1, minimum 1). Deterministic: the design and
+    /// objective are identical at every setting.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Selects the revised backend's pricing rule (see
+    /// [`xring_milp::PricingKind`]).
+    pub fn with_pricing(mut self, pricing: PricingKind) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Selects the revised backend's basis factorization (see
+    /// [`xring_milp::FactorizationKind`]).
+    pub fn with_factorization(mut self, factorization: FactorizationKind) -> Self {
+        self.factorization = factorization;
         self
     }
 
@@ -557,7 +585,10 @@ impl RingBuilder {
         let mut solver = BranchAndBound::new()
             .with_max_nodes(self.max_milp_nodes)
             .with_deadline(self.deadline)
-            .with_lp_backend(self.lp_backend);
+            .with_lp_backend(self.lp_backend)
+            .with_solver_threads(self.solver_threads)
+            .with_pricing(self.pricing)
+            .with_factorization(self.factorization);
         if let Some(basis) = &self.warm_basis {
             solver = solver.with_root_basis(basis.clone());
         }

@@ -11,7 +11,7 @@ use crate::shortcut::{plan_shortcuts, ShortcutPlan};
 use crate::traffic::Traffic;
 use std::time::{Duration, Instant};
 use xring_geom::Point;
-use xring_milp::LpBackendKind;
+use xring_milp::{FactorizationKind, LpBackendKind, PricingKind};
 use xring_phot::LossParams;
 
 /// Seed of the deterministic objective perturbation used by the
@@ -109,6 +109,17 @@ pub struct SynthesisOptions {
     /// also switches to the dense backend, so a numerical failure in
     /// one LP kernel is never retried on the same kernel.
     pub lp_backend: LpBackendKind,
+    /// Worker threads for the ring MILP's per-round node-batch LP
+    /// solves (default 1). The search is deterministic: every setting
+    /// produces the same design, objective, and progress stream — only
+    /// wall-clock time changes.
+    pub solver_threads: usize,
+    /// Pricing rule for the revised simplex's primal phases (default
+    /// Dantzig). Ignored by the dense reference backend.
+    pub pricing: PricingKind,
+    /// Basis factorization for the revised simplex (default sparse LU
+    /// with bounded eta updates). Ignored by the dense backend.
+    pub factorization: FactorizationKind,
     /// Spare resources for single-device-fault survivability (default:
     /// none). With `k_wavelengths > 0`, signal mapping is confined to
     /// `max_wavelengths - k_wavelengths` channels so the top `k` stay
@@ -136,6 +147,9 @@ impl Default for SynthesisOptions {
             deadline: None,
             degradation: DegradationPolicy::default(),
             lp_backend: LpBackendKind::default(),
+            solver_threads: 1,
+            pricing: PricingKind::default(),
+            factorization: FactorizationKind::default(),
             spares: SpareConfig::default(),
         }
     }
@@ -172,6 +186,26 @@ impl SynthesisOptions {
     /// Selects the LP backend (see [`lp_backend`](Self::lp_backend)).
     pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
         self.lp_backend = backend;
+        self
+    }
+
+    /// Sets the MILP solver thread count (see
+    /// [`solver_threads`](Self::solver_threads); minimum 1).
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Selects the simplex pricing rule (see [`pricing`](Self::pricing)).
+    pub fn with_pricing(mut self, pricing: PricingKind) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Selects the basis factorization (see
+    /// [`factorization`](Self::factorization)).
+    pub fn with_factorization(mut self, factorization: FactorizationKind) -> Self {
+        self.factorization = factorization;
         self
     }
 
@@ -323,6 +357,9 @@ impl Synthesizer {
                 .with_deadline(deadline)
                 .with_objective_perturbation(attempt.perturbation)
                 .with_lp_backend(attempt.lp_backend)
+                .with_solver_threads(o.solver_threads)
+                .with_pricing(o.pricing)
+                .with_factorization(o.factorization)
                 .build(net)?
         };
 

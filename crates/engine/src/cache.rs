@@ -73,6 +73,13 @@ pub fn canonical_key(job: &SynthesisJob) -> Vec<u8> {
     k.push(o.ring_algorithm as u8);
     k.push(o.degradation as u8);
     k.push(o.lp_backend as u8);
+    // Pricing and factorization can steer the simplex to a different
+    // (equally optimal) vertex, i.e. a different design — they key.
+    // `solver_threads` is deliberately excluded: the parallel search is
+    // deterministic across thread counts, so the design is identical
+    // and a cache hit is correct.
+    k.push(o.pricing as u8);
+    k.push(o.factorization as u8);
     u(&mut k, o.max_wavelengths);
     u(&mut k, o.max_waveguides);
     k.push(u8::from(o.shortcuts));
@@ -697,6 +704,17 @@ mod tests {
         let mut other = job("x", 8);
         other.options.lp_backend = xring_core::LpBackendKind::Dense;
         assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.pricing = xring_core::PricingKind::Devex;
+        assert_ne!(base, canonical_key(&other));
+        let mut other = job("x", 8);
+        other.options.factorization = xring_core::FactorizationKind::DenseEta;
+        assert_ne!(base, canonical_key(&other));
+        // Thread count never changes the design (deterministic parallel
+        // search), so it must NOT fragment the cache.
+        let mut other = job("x", 8);
+        other.options.solver_threads = 8;
+        assert_eq!(base, canonical_key(&other));
         let mut other = job("x", 8);
         other.options.spares = xring_core::SpareConfig::uniform(1);
         assert_ne!(base, canonical_key(&other));

@@ -81,9 +81,9 @@ impl FromStr for LpBackendKind {
 /// one binary via `lb = ub`, rows unchanged except possibly appended
 /// lazy cuts).
 ///
-/// The snapshot pins the basic variable set, the lower/upper status of
-/// every nonbasic variable, and the backend's factorization state; it is
-/// only meaningful for the backend that produced it.
+/// The snapshot pins the basic variable set and the lower/upper status
+/// of every nonbasic variable; the adopting solver refactorizes the
+/// basis matrix from that set, so no factorization state is carried.
 #[derive(Debug, Clone)]
 pub struct Basis {
     /// Structural variable count of the producing problem.
@@ -94,18 +94,17 @@ pub struct Basis {
     pub(crate) basic: Vec<usize>,
     /// Nonbasic-at-upper flag per variable (`n + m` entries).
     pub(crate) at_upper: Vec<bool>,
-    /// Row-major dense `B⁻¹` (`m × m`) for the scaled constraint matrix.
-    pub(crate) binv: Vec<f64>,
 }
 
 impl Basis {
     /// Approximate memory footprint in bytes (struct plus owned
     /// buffers), for byte-budgeted caches that persist exported bases.
+    /// Since the factorization was dropped from the snapshot (adoption
+    /// refactorizes from the basic set), this is O(n + m), not O(m²).
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.basic.len() * std::mem::size_of::<usize>()
             + self.at_upper.len()
-            + self.binv.len() * std::mem::size_of::<f64>()
     }
 }
 
@@ -150,7 +149,16 @@ impl LpBackend for DenseBackend {
         let mut pivots = 0usize;
         let mut degenerate = 0usize;
         let outcome = lp.solve_counted(&mut pivots, &mut degenerate);
-        record_counters("dense", pivots, degenerate, false);
+        record_counters(
+            "dense",
+            SolveTelemetry {
+                pivots,
+                degenerate,
+                warmed: false,
+                refactorizations: 0,
+                fill_in: 0,
+            },
+        );
         BackendSolve {
             outcome,
             basis: None,
@@ -165,22 +173,34 @@ impl LpBackend for DenseBackend {
     }
 }
 
+/// Per-solve telemetry a backend hands to [`record_counters`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SolveTelemetry {
+    /// Simplex pivots performed (bound flips included).
+    pub pivots: usize,
+    /// Pivots that made no primal/dual progress.
+    pub degenerate: usize,
+    /// Whether a supplied warm basis was adopted.
+    pub warmed: bool,
+    /// Basis refactorizations performed (0 for factorization-free
+    /// backends like the dense tableau).
+    pub refactorizations: usize,
+    /// Worst factorization fill-in observed (factor nnz − basis nnz;
+    /// 0 for dense representations).
+    pub fill_in: usize,
+}
+
 /// Records per-solve observability counters on behalf of a backend.
 ///
 /// Counter names are static, so per-backend attribution uses distinct
 /// suffixed names rather than tags. The unsuffixed aggregates are part
 /// of the public telemetry surface (pinned by the engine trace tests).
-pub(crate) fn record_counters(
-    backend: &'static str,
-    pivots: usize,
-    degenerate: usize,
-    warmed: bool,
-) {
+pub(crate) fn record_counters(backend: &'static str, t: SolveTelemetry) {
     if !xring_obs::enabled() {
         return;
     }
-    xring_obs::counter("simplex.pivots", pivots as u64);
-    xring_obs::counter("simplex.degenerate_pivots", degenerate as u64);
+    xring_obs::counter("simplex.pivots", t.pivots as u64);
+    xring_obs::counter("simplex.degenerate_pivots", t.degenerate as u64);
     let (pivots_name, warm_name, cold_name) = match backend {
         "dense" => (
             "simplex.pivots.dense",
@@ -193,13 +213,24 @@ pub(crate) fn record_counters(
             "simplex.cold_starts.revised",
         ),
     };
-    xring_obs::counter(pivots_name, pivots as u64);
-    if warmed {
+    xring_obs::counter(pivots_name, t.pivots as u64);
+    if t.warmed {
         xring_obs::counter("simplex.warm_starts", 1);
         xring_obs::counter(warm_name, 1);
     } else {
         xring_obs::counter("simplex.cold_starts", 1);
         xring_obs::counter(cold_name, 1);
+    }
+    if t.refactorizations > 0 {
+        xring_obs::counter("simplex.refactorizations", t.refactorizations as u64);
+        if backend != "dense" {
+            xring_obs::counter(
+                "simplex.refactorizations.revised",
+                t.refactorizations as u64,
+            );
+        }
+        xring_obs::counter("lu.fill_in", t.fill_in as u64);
+        xring_obs::record_hist("lu.fill_in", t.fill_in as u64);
     }
 }
 

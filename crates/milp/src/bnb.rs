@@ -1,32 +1,69 @@
-//! Exact branch-and-bound over the binary variables.
+//! Exact branch-and-bound over the binary variables, parallelized over
+//! a deterministic work-stealing node pool.
 //!
 //! Nodes fix binaries through their *bounds* (`lb = ub`) rather than by
 //! substituting them out of the LP, so every node shares the parent's
 //! variable space and the LP basis transfers: each node carries an
-//! `Rc<Basis>` from its parent's optimal solve and hands it to
+//! `Arc<Basis>` from its parent's optimal solve and hands it to
 //! [`LpBackend::solve_warm`], turning child solves into short
 //! dual-simplex cleanups on the [`crate::revised`] backend.
+//!
+//! # Deterministic parallel search
+//!
+//! The search runs in **rounds**. Each round pops up to a fixed batch
+//! of nodes from a best-bound frontier (ties broken by node id, ids
+//! assigned in creation order), solves their LP relaxations in
+//! parallel — each solve is a pure function of the round-start rows,
+//! the node's fixes, and its warm basis — and then merges the results
+//! **serially in batch order**: pruning, incumbent updates, lazy-cut
+//! separation, and child creation all happen on one thread in a fixed
+//! order. The batch size is a constant independent of
+//! [`with_solver_threads`](BranchAndBound::with_solver_threads), so
+//! the node selection, the event stream, and the final result are
+//! byte-identical across thread counts; only wall-clock time (and the
+//! `elapsed` field of progress events) varies. Worker threads claim
+//! batch items from per-worker stripes first and then steal leftovers
+//! via a global scan (`bnb.steals`), which balances skewed LP costs
+//! without affecting which nodes are solved.
+//!
+//! # Incumbent seeding
+//!
+//! When the root relaxation is fractional, its LP point — a *split
+//! routing* in the ring models, where a demand may ride several
+//! wavelength paths — is rounded to the nearest integral assignment.
+//! If that unsplit rounding is feasible (model constraints, lazy pool,
+//! and the separation callback all accept it) it seeds the incumbent
+//! before any branching, so best-bound pruning has a cutoff from round
+//! one.
 
-use crate::backend::{Basis, LpBackendKind};
+use crate::backend::{Basis, DenseBackend, LpBackend, LpBackendKind};
 use crate::error::SolveError;
 use crate::expr::{LinExpr, VarId};
+use crate::factor::FactorizationKind;
 use crate::model::{Model, Relation, VarKind};
+use crate::pricing::PricingKind;
 use crate::progress::{self, ProgressEvent, ProgressKind, ProgressObserver};
+use crate::revised::RevisedConfig;
 use crate::simplex::{LpOutcome, LpProblem, LpRow};
-use std::rc::Rc;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-#[allow(unused_imports)] // doc link
-use crate::backend::LpBackend;
 
 /// Integrality tolerance: an LP value within this distance of an integer
 /// is considered integral.
 const INT_TOL: f64 = 1e-6;
 
+/// Nodes selected per search round. A fixed constant — independent of
+/// the worker-thread count — so the explored tree is identical at every
+/// parallelism level (the determinism gate relies on this).
+const BATCH: usize = 16;
+
 /// What the branch-and-bound search returns for the winning node:
 /// solution values, objective, and the basis that proved it (shared
 /// via `Rc` until export).
-type SearchOutcome = (Vec<f64>, f64, Option<Rc<Basis>>);
+type SearchOutcome = (Vec<f64>, f64, Option<Arc<Basis>>);
 
 /// A feasible integer solution found by [`BranchAndBound::solve`].
 #[derive(Debug, Clone)]
@@ -105,6 +142,13 @@ pub struct SolveStats {
     /// LP solves where the backend actually adopted the offered basis
     /// (0 on the dense reference backend, which cannot warm-start).
     pub warm_starts: usize,
+    /// Nodes processed in rounds holding more than one node — the nodes
+    /// eligible for parallel LP solving. Counted from the batch shape,
+    /// not the thread count, so it is identical across
+    /// [`with_solver_threads`](BranchAndBound::with_solver_threads)
+    /// settings (steal counts, which are scheduling-dependent, go to
+    /// the `bnb.steals` observability counter instead).
+    pub nodes_parallel: usize,
 }
 
 /// Configurable exact branch-and-bound solver.
@@ -117,7 +161,10 @@ pub struct BranchAndBound {
     incumbent: Option<(Vec<f64>, f64)>,
     progress_stride: usize,
     lp_backend: LpBackendKind,
-    root_basis: Option<Rc<Basis>>,
+    root_basis: Option<Arc<Basis>>,
+    solver_threads: usize,
+    pricing: PricingKind,
+    factorization: FactorizationKind,
 }
 
 impl Default for BranchAndBound {
@@ -129,6 +176,9 @@ impl Default for BranchAndBound {
             progress_stride: 64,
             lp_backend: LpBackendKind::default(),
             root_basis: None,
+            solver_threads: 1,
+            pricing: PricingKind::default(),
+            factorization: FactorizationKind::default(),
         }
     }
 }
@@ -248,7 +298,7 @@ impl BranchAndBound {
     /// by the backend and the root simply solves cold, so this is always
     /// safe to offer. Only the revised backend can adopt it.
     pub fn with_root_basis(mut self, basis: Basis) -> Self {
-        self.root_basis = Some(Rc::new(basis));
+        self.root_basis = Some(Arc::new(basis));
         self
     }
 
@@ -258,6 +308,31 @@ impl BranchAndBound {
     /// their parent's basis.
     pub fn with_lp_backend(mut self, backend: LpBackendKind) -> Self {
         self.lp_backend = backend;
+        self
+    }
+
+    /// Sets the number of worker threads for the per-round node-batch
+    /// LP solves (default 1, minimum 1). The explored tree, the final
+    /// solution, and the progress-event stream are identical at every
+    /// setting; only wall-clock time changes.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Selects the pricing rule for the revised backend's primal phases
+    /// (default [`PricingKind::Dantzig`]). Ignored by the dense
+    /// reference backend.
+    pub fn with_pricing(mut self, pricing: PricingKind) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Selects the basis factorization for the revised backend (default
+    /// [`FactorizationKind::SparseLu`]). Ignored by the dense reference
+    /// backend.
+    pub fn with_factorization(mut self, factorization: FactorizationKind) -> Self {
+        self.factorization = factorization;
         self
     }
 
@@ -392,6 +467,7 @@ impl BranchAndBound {
         xring_obs::counter("milp.lazy_cuts", stats.lazy_constraints as u64);
         xring_obs::counter("milp.presolve_fixed", stats.presolve_fixed as u64);
         xring_obs::counter("milp.incumbent_updates", stats.incumbent_updates as u64);
+        xring_obs::counter("bnb.nodes_parallel", stats.nodes_parallel as u64);
         // Attribute the solve outcome to the enclosing span so
         // per-request traces distinguish proven-optimal solves from
         // bound-limited ones without parsing progress events.
@@ -404,7 +480,7 @@ impl BranchAndBound {
             values,
             objective,
             stats,
-            basis: basis.map(|b| Rc::try_unwrap(b).unwrap_or_else(|rc| (*rc).clone())),
+            basis: basis.map(|b| Arc::try_unwrap(b).unwrap_or_else(|arc| (*arc).clone())),
         })
     }
 
@@ -464,7 +540,7 @@ impl BranchAndBound {
         // exported warm-start seed for a later re-solve of an edited
         // model).
         let mut best: Option<(Vec<f64>, f64)> = None;
-        let mut best_basis: Option<Rc<Basis>> = None;
+        let mut best_basis: Option<Arc<Basis>> = None;
         if let Some((vals, obj)) = &self.incumbent {
             if vals.len() != n {
                 return Err(SolveError::InvalidModel {
@@ -491,19 +567,17 @@ impl BranchAndBound {
         }
         stats.presolve_fixed = pre.fixed.len();
 
-        // DFS over nodes: each node fixes a subset of binaries through
-        // their bounds and carries the parent's LP basis for warm starts.
-        #[derive(Clone)]
-        struct Node {
-            fixes: Vec<(usize, bool)>,
-            basis: Option<Rc<Basis>>,
-        }
-        let root_fixes: Vec<(usize, bool)> = pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect();
-        let mut stack = vec![Node {
-            fixes: root_fixes,
-            basis: self.root_basis.clone(),
-        }];
-        let backend = self.lp_backend.backend();
+        // The backend is built per solve so the revised kernel picks up
+        // this solver's pricing/factorization knobs.
+        let backend_owned: Box<dyn LpBackend> = match self.lp_backend {
+            LpBackendKind::Dense => Box::new(DenseBackend),
+            LpBackendKind::Revised => Box::new(
+                RevisedConfig::default()
+                    .with_factorization(self.factorization)
+                    .with_pricing(self.pricing),
+            ),
+        };
+        let backend: &dyn LpBackend = backend_owned.as_ref();
         let dense_backend = self.lp_backend == LpBackendKind::Dense;
         let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
         let is_binary = {
@@ -537,93 +611,257 @@ impl BranchAndBound {
             implied
         };
 
-        while let Some(node) = stack.pop() {
-            stats.nodes += 1;
-            progress.on_node(stats.nodes, best.as_ref().map(|(_, obj)| *obj));
-            if stats.nodes > self.max_nodes {
-                progress.proven = false;
-                return match best {
-                    Some((values, obj)) => Ok((values, obj, best_basis)),
-                    None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
-                };
+        /// A frontier node: the parent's LP objective bounds everything
+        /// below it. Heap order is best bound first, then creation
+        /// order (`id`), which fixes every tie deterministically.
+        struct Node {
+            bound: f64,
+            id: u64,
+            fixes: Vec<(usize, bool)>,
+            basis: Option<Arc<Basis>>,
+        }
+        impl PartialEq for Node {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == CmpOrdering::Equal
             }
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    return Err(SolveError::Interrupted { nodes: stats.nodes });
+        }
+        impl Eq for Node {}
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> CmpOrdering {
+                // BinaryHeap is a max-heap: "greater" = smaller bound,
+                // then smaller id.
+                other
+                    .bound
+                    .total_cmp(&self.bound)
+                    .then_with(|| other.id.cmp(&self.id))
+            }
+        }
+
+        /// One round's unit of parallel work: the node plus its bound
+        /// vectors, solved as a pure function of the round-start rows.
+        struct WorkItem {
+            node: Node,
+            lb: Vec<f64>,
+            ub: Vec<f64>,
+        }
+
+        /// Appends lazy cuts to the LP rows and the pool, dropping the
+        /// stored incumbent when a new cut invalidates it (e.g. a warm
+        /// start the callback had not vetted).
+        #[allow(clippy::too_many_arguments)]
+        fn apply_cuts(
+            cuts: Vec<(LinExpr, Relation, f64)>,
+            rows: &mut Vec<LpRow>,
+            lazy_pool: &mut Vec<(LinExpr, Relation, f64)>,
+            best: &mut Option<(Vec<f64>, f64)>,
+            best_basis: &mut Option<Arc<Basis>>,
+            to_lp_row: &impl Fn(&LinExpr, Relation, f64) -> LpRow,
+        ) {
+            for (expr, rel, rhs) in cuts {
+                let expr = expr.normalized();
+                if let Some((bvals, _)) = &best {
+                    let lhs = expr.evaluate(bvals);
+                    let violated = match rel {
+                        Relation::Le => lhs > rhs + 1e-6,
+                        Relation::Ge => lhs < rhs - 1e-6,
+                        Relation::Eq => (lhs - rhs).abs() > 1e-6,
+                    };
+                    if violated {
+                        *best = None;
+                        *best_basis = None;
+                    }
                 }
+                rows.push(to_lp_row(&expr, rel, rhs));
+                lazy_pool.push((expr, rel, rhs));
             }
+        }
 
-            // Fix binaries through their bounds (lb = ub), keeping the
-            // full variable space so the parent basis stays valid. The
-            // dense backend substitutes fixed columns out internally and
-            // still benefits from dropping implied ub rows; the revised
-            // backend handles all bounds natively.
-            let mut lb = base_lb.clone();
-            let mut ub: Vec<f64> = if dense_backend {
-                (0..n)
-                    .map(|j| {
-                        if is_binary[j] && implied_ub[j] {
-                            f64::INFINITY
-                        } else {
-                            base_ub[j]
-                        }
-                    })
-                    .collect()
-            } else {
-                base_ub.clone()
-            };
-            for &(j, val) in &node.fixes {
-                let v = if val { 1.0 } else { 0.0 };
-                lb[j] = v;
-                ub[j] = v;
+        let satisfies = |expr: &LinExpr, rel: Relation, rhs: f64, vals: &[f64]| {
+            let lhs = expr.evaluate(vals);
+            match rel {
+                Relation::Le => lhs <= rhs + 1e-6,
+                Relation::Ge => lhs >= rhs - 1e-6,
+                Relation::Eq => (lhs - rhs).abs() <= 1e-6,
             }
-            let mut warm: Option<Rc<Basis>> = node.basis.clone();
+        };
 
-            // Re-solve this node until the lazy callback accepts or the
-            // node is pruned.
-            'resolve: loop {
+        let threads = self.solver_threads.max(1);
+        let mut next_id: u64 = 1;
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Node {
+            bound: f64::NEG_INFINITY,
+            id: 0,
+            fixes: pre.fixed.iter().map(|&(j, v)| (j, v > 0.5)).collect(),
+            basis: self.root_basis.clone(),
+        });
+
+        while !frontier.is_empty() {
+            // --- Selection: pop the round's batch, best bound first.
+            // Node accounting (count, stride tick, limits) happens here,
+            // in deterministic pop order; bound-pruned nodes are dropped
+            // without spending an LP solve or a node count on them.
+            let mut batch: Vec<Node> = Vec::with_capacity(BATCH);
+            while batch.len() < BATCH {
+                let Some(node) = frontier.pop() else { break };
+                if let Some((_, best_obj)) = &best {
+                    if node.bound >= *best_obj - 1e-9 {
+                        continue;
+                    }
+                }
+                stats.nodes += 1;
+                progress.on_node(stats.nodes, best.as_ref().map(|(_, obj)| *obj));
+                if stats.nodes > self.max_nodes {
+                    progress.proven = false;
+                    return match best {
+                        Some((values, obj)) => Ok((values, obj, best_basis)),
+                        None => Err(SolveError::ResourceLimit { nodes: stats.nodes }),
+                    };
+                }
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(SolveError::Interrupted { nodes: stats.nodes });
+                    }
+                }
+                batch.push(node);
+            }
+            if batch.is_empty() {
+                break;
+            }
+            if batch.len() > 1 {
+                stats.nodes_parallel += batch.len();
+            }
+            xring_obs::record_hist("bnb.batch_size", batch.len() as u64);
+
+            // --- Bound vectors per item (serial: O(n) copies).
+            let items: Vec<WorkItem> = batch
+                .into_iter()
+                .map(|node| {
+                    let mut lb = base_lb.clone();
+                    // Fix binaries through bounds (lb = ub), keeping the
+                    // full variable space so the parent basis stays
+                    // valid. The dense backend substitutes fixed columns
+                    // out internally and still benefits from dropping
+                    // implied ub rows; the revised backend handles all
+                    // bounds natively.
+                    let mut ub: Vec<f64> = if dense_backend {
+                        (0..n)
+                            .map(|j| {
+                                if is_binary[j] && implied_ub[j] {
+                                    f64::INFINITY
+                                } else {
+                                    base_ub[j]
+                                }
+                            })
+                            .collect()
+                    } else {
+                        base_ub.clone()
+                    };
+                    for &(j, val) in &node.fixes {
+                        let v = if val { 1.0 } else { 0.0 };
+                        lb[j] = v;
+                        ub[j] = v;
+                    }
+                    WorkItem { node, lb, ub }
+                })
+                .collect();
+
+            // --- Parallel LP solves: each item is a pure function of
+            // the round-start rows, its fixes, and its warm basis, so
+            // the schedule cannot affect any result.
+            let solve_item = |item: &WorkItem| {
                 let lp = LpProblem {
                     num_vars: n,
-                    lb: lb.clone(),
-                    ub: ub.clone(),
+                    lb: item.lb.clone(),
+                    ub: item.ub.clone(),
                     objective: objective.clone(),
                     rows: rows.clone(),
                 };
-                stats.lp_solves += 1;
-                let solved = match &warm {
-                    Some(basis) => {
-                        stats.warm_eligible += 1;
-                        backend.solve_warm(&lp, basis)
-                    }
+                match &item.node.basis {
+                    Some(basis) => backend.solve_warm(&lp, basis),
                     None => backend.solve(&lp),
+                }
+            };
+            let results: Vec<crate::backend::BackendSolve> = if threads > 1 && items.len() > 1 {
+                let nw = threads.min(items.len());
+                let claimed: Vec<AtomicBool> =
+                    (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+                let slots: Vec<Mutex<Option<crate::backend::BackendSolve>>> =
+                    (0..items.len()).map(|_| Mutex::new(None)).collect();
+                let steals = AtomicUsize::new(0);
+                // Per-worker stripes first, then a global scan that
+                // steals whatever slower workers have not claimed.
+                let worker = |w: usize| {
+                    let mut i = w;
+                    while i < items.len() {
+                        if !claimed[i].swap(true, Ordering::Relaxed) {
+                            *slots[i].lock().unwrap() = Some(solve_item(&items[i]));
+                        }
+                        i += nw;
+                    }
+                    for i in 0..items.len() {
+                        if !claimed[i].swap(true, Ordering::Relaxed) {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            *slots[i].lock().unwrap() = Some(solve_item(&items[i]));
+                        }
+                    }
                 };
+                std::thread::scope(|scope| {
+                    for w in 1..nw {
+                        let worker = &worker;
+                        scope.spawn(move || worker(w));
+                    }
+                    worker(0);
+                });
+                xring_obs::counter("bnb.steals", steals.load(Ordering::Relaxed) as u64);
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().unwrap().expect("item processed"))
+                    .collect()
+            } else {
+                items.iter().map(solve_item).collect()
+            };
+
+            // --- Serial merge, in batch order: the only place that
+            // mutates search state, so results are schedule-independent.
+            for (item, solved) in items.into_iter().zip(results) {
+                if item.node.basis.is_some() {
+                    stats.warm_eligible += 1;
+                }
+                stats.lp_solves += 1;
                 if solved.warmed {
                     stats.warm_starts += 1;
                 }
-                warm = solved.basis.map(Rc::new);
+                let node_basis = solved.basis.map(Arc::new);
                 let sol = match solved.outcome {
                     LpOutcome::Optimal(s) => s,
-                    LpOutcome::Infeasible => break 'resolve, // prune
+                    LpOutcome::Infeasible => continue, // prune
                     LpOutcome::Unbounded => {
                         // Unbounded relaxation at the root means an
                         // unbounded MILP; in a branch it still means the
-                        // whole problem is unbounded (bounds only tighten).
+                        // whole problem is unbounded (bounds only
+                        // tighten).
                         return Err(SolveError::Unbounded);
                     }
                     LpOutcome::IterationLimit => return Err(SolveError::Numerical),
                 };
                 let node_obj = sol.objective;
-                // Every LP solve of the root node (including re-solves
+                // Every LP solve of the root node (including re-queues
                 // after valid lazy cuts) bounds the whole problem from
                 // below.
-                if stats.nodes == 1 {
+                if item.node.id == 0 {
                     progress.raise_bound(node_obj, stats.nodes, best.as_ref().map(|(_, o)| *o));
                 }
 
-                // Bound pruning.
+                // Re-prune against the freshest incumbent (it may have
+                // improved since this item's selection).
                 if let Some((_, best_obj)) = &best {
                     if node_obj >= *best_obj - 1e-9 {
-                        break 'resolve;
+                        continue;
                     }
                 }
 
@@ -660,59 +898,95 @@ impl BranchAndBound {
                             if improves {
                                 stats.incumbent_updates += 1;
                                 best = Some((values, obj));
-                                best_basis = warm.clone();
+                                best_basis = node_basis;
                                 progress.emit(ProgressKind::Incumbent, stats.nodes, Some(obj));
                             }
-                            break 'resolve;
+                        } else {
+                            stats.lazy_constraints += cuts.len();
+                            apply_cuts(
+                                cuts,
+                                &mut rows,
+                                &mut lazy_pool,
+                                &mut best,
+                                &mut best_basis,
+                                &to_lp_row,
+                            );
+                            // Re-queue the node (same id) so the cut-
+                            // extended LP re-solves it next round.
+                            frontier.push(Node {
+                                bound: node_obj,
+                                id: item.node.id,
+                                fixes: item.node.fixes,
+                                basis: node_basis,
+                            });
                         }
-                        stats.lazy_constraints += cuts.len();
-                        for (expr, rel, rhs) in cuts {
-                            let expr = expr.normalized();
-                            // A new cut can invalidate the stored
-                            // incumbent (e.g. a warm start that the
-                            // callback had not vetted); drop it then.
-                            if let Some((bvals, _)) = &best {
-                                let lhs = expr.evaluate(bvals);
-                                let violated = match rel {
-                                    Relation::Le => lhs > rhs + 1e-6,
-                                    Relation::Ge => lhs < rhs - 1e-6,
-                                    Relation::Eq => (lhs - rhs).abs() > 1e-6,
-                                };
-                                if violated {
-                                    best = None;
-                                    best_basis = None;
-                                }
-                            }
-                            rows.push(to_lp_row(&expr, rel, rhs));
-                            lazy_pool.push((expr, rel, rhs));
-                        }
-                        continue 'resolve;
                     }
                     Some(j) => {
-                        // Branch: explore the side nearer the LP value
-                        // first (pushed last => popped first). Both
-                        // children share this node's final basis.
-                        let x = full[j];
-                        let mut down = node.fixes.clone();
-                        down.push((j, false));
-                        let mut up = node.fixes.clone();
-                        up.push((j, true));
-                        let down = Node {
-                            fixes: down,
-                            basis: warm.clone(),
-                        };
-                        let up = Node {
-                            fixes: up,
-                            basis: warm.clone(),
-                        };
-                        if x >= 0.5 {
-                            stack.push(down);
-                            stack.push(up);
-                        } else {
-                            stack.push(up);
-                            stack.push(down);
+                        // Fractional root: round the split-routing LP
+                        // point to the nearest unsplit assignment and
+                        // adopt it as the incumbent when feasible, so
+                        // pruning has a cutoff before any branching.
+                        if item.node.id == 0 {
+                            let mut cand = full.clone();
+                            for &b in &binaries {
+                                cand[b] = cand[b].round();
+                            }
+                            let pool_ok = lazy_pool
+                                .iter()
+                                .all(|(expr, rel, rhs)| satisfies(expr, *rel, *rhs, &cand));
+                            if pool_ok && model.violated_constraints(&cand, 1e-6).is_empty() {
+                                let cuts = separate(&cand);
+                                if cuts.is_empty() {
+                                    let obj: f64 =
+                                        cand.iter().zip(&objective).map(|(x, c)| x * c).sum();
+                                    let improves =
+                                        best.as_ref().map(|(_, b)| obj < *b - 1e-9).unwrap_or(true);
+                                    if improves {
+                                        stats.incumbent_updates += 1;
+                                        best = Some((cand, obj));
+                                        best_basis = None;
+                                        progress.emit(
+                                            ProgressKind::Incumbent,
+                                            stats.nodes,
+                                            Some(obj),
+                                        );
+                                    }
+                                } else {
+                                    stats.lazy_constraints += cuts.len();
+                                    apply_cuts(
+                                        cuts,
+                                        &mut rows,
+                                        &mut lazy_pool,
+                                        &mut best,
+                                        &mut best_basis,
+                                        &to_lp_row,
+                                    );
+                                }
+                            }
                         }
-                        break 'resolve;
+                        // Branch: both children share this node's final
+                        // basis and inherit its LP objective as their
+                        // bound. The side nearer the LP value gets the
+                        // smaller id, so bound ties explore it first.
+                        let x = full[j];
+                        let mut down = item.node.fixes.clone();
+                        down.push((j, false));
+                        let mut up = item.node.fixes;
+                        up.push((j, true));
+                        let (near, far) = if x >= 0.5 { (up, down) } else { (down, up) };
+                        frontier.push(Node {
+                            bound: node_obj,
+                            id: next_id,
+                            fixes: near,
+                            basis: node_basis.clone(),
+                        });
+                        frontier.push(Node {
+                            bound: node_obj,
+                            id: next_id + 1,
+                            fixes: far,
+                            basis: node_basis,
+                        });
+                        next_id += 2;
                     }
                 }
             }
@@ -847,6 +1121,117 @@ mod tests {
             sink.0.load(Ordering::Relaxed) >= 1,
             "sink alone activates telemetry"
         );
+    }
+
+    /// A model that needs real branching: 8-item knapsack.
+    fn branching_model() -> Model {
+        let mut m = Model::new();
+        let w = [3.0, 4.0, 2.0, 5.0, 6.0, 1.0, 4.0, 3.0];
+        let p = [10.0, 13.0, 7.0, 16.0, 19.0, 4.0, 12.0, 9.0];
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap += (v, w[i]);
+            obj += (v, -p[i]);
+        }
+        m.add_constraint(cap, Relation::Le, 12.0);
+        m.set_objective(obj);
+        m
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic_across_thread_counts() {
+        let m = branching_model();
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut rec = Recorder::default();
+            let s = BranchAndBound::new()
+                .with_solver_threads(threads)
+                .with_progress_stride(1)
+                .solve_observed(&m, &mut rec)
+                .expect("feasible");
+            runs.push((threads, s, rec.events));
+        }
+        let (_, base, base_events) = &runs[0];
+        for (threads, s, events) in &runs[1..] {
+            assert_eq!(
+                s.objective(),
+                base.objective(),
+                "objective differs at {threads} threads"
+            );
+            assert_eq!(
+                s.values(),
+                base.values(),
+                "design bytes differ at {threads} threads"
+            );
+            assert_eq!(s.stats(), base.stats(), "stats differ at {threads} threads");
+            assert_eq!(
+                events.len(),
+                base_events.len(),
+                "event count differs at {threads} threads"
+            );
+            for (e, b) in events.iter().zip(base_events) {
+                // Everything except wall-clock `elapsed` is pinned.
+                assert_eq!(e.kind, b.kind);
+                assert_eq!(e.nodes, b.nodes);
+                assert_eq!(e.incumbent, b.incumbent);
+                assert_eq!(e.best_bound, b.best_bound);
+                assert_eq!(e.gap, b.gap);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_with_lazy_cuts_is_deterministic() {
+        // Lazy cuts force re-queues; the merge order must still pin
+        // the outcome across thread counts.
+        let solve_at = |threads: usize| {
+            let m = branching_model();
+            let first3: Vec<VarId> = m.binary_vars().iter().take(3).copied().collect();
+            BranchAndBound::new()
+                .with_solver_threads(threads)
+                .solve_with_lazy(&m, |vals| {
+                    if first3.iter().map(|v| vals[v.index()]).sum::<f64>() > 2.5 {
+                        let mut cut = LinExpr::new();
+                        for &v in &first3 {
+                            cut += (v, 1.0);
+                        }
+                        vec![(cut, Relation::Le, 2.0)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .expect("feasible")
+        };
+        let base = solve_at(1);
+        for threads in [2usize, 8] {
+            let s = solve_at(threads);
+            assert_eq!(s.objective(), base.objective());
+            assert_eq!(s.values(), base.values());
+            assert_eq!(s.stats(), base.stats());
+        }
+    }
+
+    #[test]
+    fn root_rounding_seeds_an_incumbent_on_fractional_roots() {
+        // Fractional root LP whose rounding is feasible: the heuristic
+        // must register an incumbent before any branching happens.
+        let m = branching_model();
+        let mut rec = Recorder::default();
+        let s = BranchAndBound::new()
+            .solve_observed(&m, &mut rec)
+            .expect("feasible");
+        let first_incumbent = rec
+            .events
+            .iter()
+            .find(|e| e.kind == ProgressKind::Incumbent)
+            .expect("incumbent event");
+        assert_eq!(
+            first_incumbent.nodes, 1,
+            "rounding fires at the root, before branching"
+        );
+        assert!((s.objective() + 40.0).abs() < 1e-6, "obj={}", s.objective());
     }
 
     #[test]

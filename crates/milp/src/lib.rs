@@ -51,10 +51,12 @@ pub mod backend;
 pub mod bnb;
 pub mod error;
 pub mod expr;
+pub mod factor;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod model;
 pub mod presolve;
+pub mod pricing;
 pub mod progress;
 pub mod revised;
 pub mod simplex;
@@ -63,11 +65,13 @@ pub use backend::{BackendSolve, Basis, DenseBackend, LpBackend, LpBackendKind};
 pub use bnb::{BranchAndBound, MilpSolution, SolveStats};
 pub use error::SolveError;
 pub use expr::{LinExpr, VarId};
+pub use factor::{Factorization, FactorizationKind};
 pub use model::{Model, Relation, VarKind};
 pub use presolve::{presolve, PresolveResult};
+pub use pricing::{Pricing, PricingKind};
 pub use progress::{
     ConvergenceCollector, ConvergenceSummary, ProgressEvent, ProgressKind, ProgressObserver,
     ProgressSink,
 };
-pub use revised::RevisedSimplex;
+pub use revised::{RevisedConfig, RevisedSimplex};
 pub use simplex::{LpOutcome, LpProblem, LpSolution};

@@ -2,9 +2,14 @@
 //!
 //! Unlike the dense tableau in [`crate::simplex`], this backend:
 //!
-//! * keeps the constraint matrix **column-wise sparse** and maintains an
-//!   explicit dense `B⁻¹` with product-form updates (one rank-1 update
-//!   per pivot, periodic refactorization for numerical hygiene);
+//! * keeps the constraint matrix **column-wise sparse** and maintains the
+//!   basis behind the [`crate::factor::Factorization`] trait — by default
+//!   a sparse LU with a bounded eta file and periodic refactorization
+//!   ([`crate::factor::SparseLu`]), with the original dense `B⁻¹`
+//!   ([`crate::factor::DenseEta`]) kept as the reference representation;
+//! * prices entering columns through the [`crate::pricing::Pricing`]
+//!   trait (Dantzig by default, devex and partial pricing selectable per
+//!   backend via [`RevisedConfig`]);
 //! * treats `lb ≤ x ≤ ub` **natively**: a nonbasic variable rests at its
 //!   lower or upper bound and may *bound-flip* without a basis change,
 //!   so finite upper bounds cost no extra rows (the all-binary XRing
@@ -15,7 +20,8 @@
 //!   statuses, always possible for bounded binaries) and a short dual
 //!   simplex run restores primal feasibility instead of a cold
 //!   two-phase solve. Appended lazy-cut rows extend the basis with
-//!   their logicals basic, via the block-triangular `B⁻¹` update.
+//!   their logicals basic; adoption refactorizes the extended basis
+//!   directly (the exported [`Basis`] no longer carries a dense `B⁻¹`).
 //!
 //! Every row `i` gets a logical variable `n + i` (`Ge` rows are negated
 //! to `Le` first, so logicals always have coefficient `+1` and bounds
@@ -25,8 +31,10 @@
 //! objectives) the dual simplex runs directly; otherwise a composite
 //! primal phase 1 drives out infeasibility first.
 
-use crate::backend::{record_counters, BackendSolve, Basis, LpBackend};
+use crate::backend::{record_counters, BackendSolve, Basis, LpBackend, SolveTelemetry};
+use crate::factor::{FactorCtx, Factorization, FactorizationKind};
 use crate::model::Relation;
+use crate::pricing::{Pricing, PricingKind};
 use crate::simplex::{LpOutcome, LpProblem, LpSolution, EPS};
 
 /// Primal feasibility tolerance on the scaled rows.
@@ -35,10 +43,103 @@ const PFEAS: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-7;
 /// Dual feasibility tolerance on the scaled reduced costs.
 const DTOL: f64 = 1e-9;
-/// Eta updates between `B⁻¹` refactorizations.
+/// Default factorization updates between refactorizations.
 const REFACTOR_INTERVAL: usize = 100;
 
-/// The revised bounded-variable simplex backend (default).
+/// Configured revised simplex: factorization and pricing selectable per
+/// backend instance. [`RevisedSimplex`] is the all-defaults shorthand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevisedConfig {
+    /// Basis factorization (default [`FactorizationKind::SparseLu`]).
+    pub factorization: FactorizationKind,
+    /// Primal pricing rule (default [`PricingKind::Dantzig`]).
+    pub pricing: PricingKind,
+    /// Factorization updates absorbed before a refactorization (numeric
+    /// hygiene). Lower values trade speed for stability; the
+    /// differential suite exercises forced cadences down to 1.
+    pub refactor_interval: usize,
+}
+
+impl Default for RevisedConfig {
+    fn default() -> Self {
+        RevisedConfig {
+            factorization: FactorizationKind::default(),
+            pricing: PricingKind::default(),
+            refactor_interval: REFACTOR_INTERVAL,
+        }
+    }
+}
+
+impl RevisedConfig {
+    /// Selects the basis factorization.
+    pub fn with_factorization(mut self, kind: FactorizationKind) -> Self {
+        self.factorization = kind;
+        self
+    }
+
+    /// Selects the pricing rule.
+    pub fn with_pricing(mut self, kind: PricingKind) -> Self {
+        self.pricing = kind;
+        self
+    }
+
+    /// Overrides the refactorization cadence (minimum 1).
+    pub fn with_refactor_interval(mut self, interval: usize) -> Self {
+        self.refactor_interval = interval.max(1);
+        self
+    }
+
+    fn finish(&self, s: Solver<'_>, outcome: LpOutcome, warmed: bool) -> BackendSolve {
+        let basis = match outcome {
+            LpOutcome::Optimal(_) => Some(s.export_basis()),
+            _ => None,
+        };
+        record_counters(
+            "revised",
+            SolveTelemetry {
+                pivots: s.pivots,
+                degenerate: s.degenerate,
+                warmed,
+                refactorizations: s.refactorizations,
+                fill_in: s.max_fill,
+            },
+        );
+        BackendSolve {
+            outcome,
+            basis,
+            warmed,
+        }
+    }
+}
+
+impl LpBackend for RevisedConfig {
+    fn name(&self) -> &'static str {
+        "revised"
+    }
+
+    fn solve(&self, lp: &LpProblem) -> BackendSolve {
+        let mut s = Solver::new(lp, self);
+        s.set_initial_basis();
+        let mut pricing = self.pricing.build(s.nt);
+        let outcome = s.run(pricing.as_mut());
+        self.finish(s, outcome, false)
+    }
+
+    fn solve_warm(&self, lp: &LpProblem, warm: &Basis) -> BackendSolve {
+        let mut s = Solver::new(lp, self);
+        let warmed = s.adopt_basis(warm);
+        if !warmed {
+            s.set_initial_basis();
+        }
+        let mut pricing = self.pricing.build(s.nt);
+        let outcome = s.run(pricing.as_mut());
+        self.finish(s, outcome, warmed)
+    }
+}
+
+/// The revised bounded-variable simplex backend with all-default
+/// configuration (sparse LU, Dantzig pricing). Use [`RevisedConfig`] to
+/// select other factorizations or pricing rules.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RevisedSimplex;
 
@@ -48,38 +149,11 @@ impl LpBackend for RevisedSimplex {
     }
 
     fn solve(&self, lp: &LpProblem) -> BackendSolve {
-        let mut s = Solver::new(lp);
-        s.set_initial_basis();
-        let outcome = s.run();
-        let basis = match outcome {
-            LpOutcome::Optimal(_) => Some(s.export_basis()),
-            _ => None,
-        };
-        record_counters("revised", s.pivots, s.degenerate, false);
-        BackendSolve {
-            outcome,
-            basis,
-            warmed: false,
-        }
+        RevisedConfig::default().solve(lp)
     }
 
     fn solve_warm(&self, lp: &LpProblem, warm: &Basis) -> BackendSolve {
-        let mut s = Solver::new(lp);
-        let warmed = s.adopt_basis(warm);
-        if !warmed {
-            s.set_initial_basis();
-        }
-        let outcome = s.run();
-        let basis = match outcome {
-            LpOutcome::Optimal(_) => Some(s.export_basis()),
-            _ => None,
-        };
-        record_counters("revised", s.pivots, s.degenerate, warmed);
-        BackendSolve {
-            outcome,
-            basis,
-            warmed,
-        }
+        RevisedConfig::default().solve_warm(lp, warm)
     }
 }
 
@@ -91,11 +165,10 @@ struct Solver<'a> {
     m: usize,
     /// n + m: structural variables then one logical per row.
     nt: usize,
-    /// Scaled sparse columns of the structural variables.
+    /// Scaled sparse columns of the structural variables. Rows are
+    /// scaled by a signed factor (negative for `Ge` rows, which are
+    /// normalized to `Le`).
     cols: Vec<Vec<(usize, f64)>>,
-    /// Signed row scale: scaled row = `row_factor[i] ×` original row
-    /// (negative for `Ge` rows, which are normalized to `Le`).
-    row_factor: Vec<f64>,
     lower: Vec<f64>,
     upper: Vec<f64>,
     /// Scaled objective (zero on logicals).
@@ -108,10 +181,14 @@ struct Solver<'a> {
     at_upper: Vec<bool>,
     /// Basic variable values, indexed by basis row.
     xb: Vec<f64>,
-    /// Row-major dense `B⁻¹` for the scaled matrix.
-    binv: Vec<f64>,
+    /// Pluggable basis factorization (dense `B⁻¹` or sparse LU).
+    factor: Box<dyn Factorization>,
+    refactor_interval: usize,
     pivots: usize,
     degenerate: usize,
+    refactorizations: usize,
+    /// Worst LU fill-in observed across this solve's refactorizations.
+    max_fill: usize,
     iterations: usize,
     iteration_limit: usize,
     bland_threshold: usize,
@@ -123,11 +200,10 @@ struct Solver<'a> {
     /// iterations, not thousands).
     stalled: usize,
     stall_limit: usize,
-    since_refactor: usize,
 }
 
 impl<'a> Solver<'a> {
-    fn new(lp: &'a LpProblem) -> Self {
+    fn new(lp: &'a LpProblem, config: &RevisedConfig) -> Self {
         let n = lp.num_vars;
         let m = lp.rows.len();
         assert_eq!(lp.lb.len(), n);
@@ -144,7 +220,6 @@ impl<'a> Solver<'a> {
         }
 
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut row_factor = Vec::with_capacity(m);
         let mut rhs = Vec::with_capacity(m);
         for (i, r) in lp.rows.iter().enumerate() {
             let maxc = r
@@ -164,7 +239,6 @@ impl<'a> Solver<'a> {
                 cols[j].push((i, c * factor));
             }
             rhs.push(r.rhs * factor);
-            row_factor.push(factor);
             // Logical bounds: inequalities (Le, and Ge-negated-to-Le)
             // get a slack in [0, ∞); equalities a fixed slack at 0.
             if r.relation == Relation::Eq {
@@ -195,7 +269,6 @@ impl<'a> Solver<'a> {
             m,
             nt: n + m,
             cols,
-            row_factor,
             lower,
             upper,
             cost,
@@ -204,15 +277,17 @@ impl<'a> Solver<'a> {
             pos: vec![NONE; n + m],
             at_upper: vec![false; n + m],
             xb: vec![0.0; m],
-            binv: Vec::new(),
+            factor: config.factorization.build(m),
+            refactor_interval: config.refactor_interval.max(1),
             pivots: 0,
             degenerate: 0,
+            refactorizations: 0,
+            max_fill: 0,
             iterations: 0,
             iteration_limit: 20_000 + 200 * (m + n),
             bland_threshold: 5_000 + 20 * (m + n),
             stalled: 0,
             stall_limit: 100 + m,
-            since_refactor: 0,
         }
     }
 
@@ -223,20 +298,19 @@ impl<'a> Solver<'a> {
             self.pos[b] = i;
         }
         self.at_upper = vec![false; self.nt];
-        self.binv = identity(self.m);
+        self.factor.reset_identity(self.m);
     }
 
     /// Adopts a basis exported by an earlier solve of this problem
-    /// family (same rows, possibly appended rows, different bounds).
+    /// family (same rows, possibly appended rows, different bounds) by
+    /// refactorizing its basic set against this problem's columns.
     /// Returns false — leaving the solver unconfigured — when the
-    /// snapshot cannot apply.
+    /// snapshot cannot apply (or its basis is singular here).
     fn adopt_basis(&mut self, warm: &Basis) -> bool {
         if warm.num_vars != self.n || warm.num_rows > self.m {
             return false;
         }
-        if warm.basic.len() != warm.num_rows
-            || warm.at_upper.len() != warm.num_vars + warm.num_rows
-            || warm.binv.len() != warm.num_rows * warm.num_rows
+        if warm.basic.len() != warm.num_rows || warm.at_upper.len() != warm.num_vars + warm.num_rows
         {
             return false;
         }
@@ -253,35 +327,27 @@ impl<'a> Solver<'a> {
         let mut at_upper = vec![false; self.nt];
         at_upper[..self.n].copy_from_slice(&warm.at_upper[..self.n]);
         at_upper[self.n..old_nt].copy_from_slice(&warm.at_upper[self.n..]);
-
-        let mut binv = identity(self.m);
-        for i in 0..old_m {
-            binv[i * self.m..i * self.m + old_m]
-                .copy_from_slice(&warm.binv[i * old_m..(i + 1) * old_m]);
-        }
-        // Appended rows (lazy cuts): their logicals join the basis, and
-        // B_new = [[B, 0], [C, I]] inverts block-triangularly to
-        // [[B⁻¹, 0], [-C·B⁻¹, I]] where C holds the new rows'
-        // coefficients on the old basic (structural) variables.
+        // Appended rows (lazy cuts): their logicals join the basis; the
+        // refactorization below factors the extended basis directly
+        // (the old block-triangular `B⁻¹` patch-up is no longer needed
+        // now that adoption refactorizes).
         for i in old_m..self.m {
             basic.push(self.n + i);
             pos[self.n + i] = i;
-            let factor = self.row_factor[i];
-            for &(v, c) in &self.lp.rows[i].terms {
-                let Some(&r) = pos.get(v) else { continue };
-                if r == NONE || r >= old_m {
-                    continue;
-                }
-                let coef = c * factor;
-                for t in 0..old_m {
-                    binv[i * self.m + t] -= coef * warm.binv[r * old_m + t];
-                }
-            }
         }
         self.basic = basic;
         self.pos = pos;
         self.at_upper = at_upper;
-        self.binv = binv;
+        let ctx = FactorCtx {
+            n: self.n,
+            m: self.m,
+            cols: &self.cols,
+        };
+        if !self.factor.refresh(&ctx, &self.basic) {
+            return false;
+        }
+        self.refactorizations += 1;
+        self.max_fill = self.max_fill.max(self.factor.fill_in());
         true
     }
 
@@ -291,23 +357,23 @@ impl<'a> Solver<'a> {
             num_rows: self.m,
             basic: self.basic.clone(),
             at_upper: self.at_upper.clone(),
-            binv: self.binv.clone(),
         }
     }
 
-    fn run(&mut self) -> LpOutcome {
+    fn run(&mut self, pricing: &mut dyn Pricing) -> LpOutcome {
+        pricing.reset(self.nt);
         self.compute_xb();
         let dual_feasible = self.make_dual_feasible();
         if dual_feasible {
             if let Err(out) = self.dual_simplex() {
                 return out;
             }
-        } else if let Err(out) = self.primal_phase1() {
+        } else if let Err(out) = self.primal_phase1(pricing) {
             return out;
         }
         // Primal optimization / cleanup. After a successful dual run
         // this typically performs zero pivots.
-        if let Err(out) = self.primal_phase2() {
+        if let Err(out) = self.primal_phase2(pricing) {
             return out;
         }
         self.extract()
@@ -342,47 +408,21 @@ impl<'a> Solver<'a> {
         }
         // Nonbasic logicals rest at 0 (inequality slack lb, or the
         // fixed equality slack), contributing nothing.
-        for i in 0..self.m {
-            let mut acc = 0.0;
-            let brow = &self.binv[i * self.m..(i + 1) * self.m];
-            for (t, &rv) in r.iter().enumerate() {
-                acc += brow[t] * rv;
-            }
-            self.xb[i] = acc;
-        }
+        self.xb = self.factor.ftran_dense(&r);
     }
 
     /// `y = c_Bᵀ B⁻¹` for an arbitrary basic cost vector.
     fn btran(&self, cb: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
-        for (i, &c) in cb.iter().enumerate() {
-            if c == 0.0 {
-                continue;
-            }
-            let brow = &self.binv[i * self.m..(i + 1) * self.m];
-            for (t, yv) in y.iter_mut().enumerate() {
-                *yv += c * brow[t];
-            }
-        }
-        y
+        self.factor.btran(cb)
     }
 
     /// `α = B⁻¹ A_q` for column `q` (structural or logical).
     fn ftran(&self, q: usize) -> Vec<f64> {
-        let mut alpha = vec![0.0; self.m];
         if q < self.n {
-            for &(row, c) in &self.cols[q] {
-                for (i, a) in alpha.iter_mut().enumerate() {
-                    *a += self.binv[i * self.m + row] * c;
-                }
-            }
+            self.factor.ftran_sparse(&self.cols[q])
         } else {
-            let row = q - self.n;
-            for (i, a) in alpha.iter_mut().enumerate() {
-                *a = self.binv[i * self.m + row];
-            }
+            self.factor.ftran_unit(q - self.n)
         }
-        alpha
     }
 
     /// Reduced cost of nonbasic `j` given `y`.
@@ -434,84 +474,30 @@ impl<'a> Solver<'a> {
         true
     }
 
-    /// One product-form (eta) update of `B⁻¹` after `alpha = B⁻¹ A_q`
-    /// enters at basis row `r`.
-    fn update_binv(&mut self, r: usize, alpha: &[f64]) {
-        let m = self.m;
-        let inv = 1.0 / alpha[r];
-        for t in 0..m {
-            self.binv[r * m + t] *= inv;
-        }
-        for (i, &f) in alpha.iter().enumerate() {
-            if i == r || f.abs() <= EPS {
-                continue;
-            }
-            for t in 0..m {
-                self.binv[i * m + t] -= f * self.binv[r * m + t];
-            }
-        }
-        self.since_refactor += 1;
-        if self.since_refactor >= REFACTOR_INTERVAL {
+    /// Absorbs one basis exchange into the factorization (`alpha =
+    /// B⁻¹A_q` entered at basis row `r`), refactorizing when the update
+    /// is refused or the eta budget is spent.
+    fn update_factor(&mut self, r: usize, alpha: &[f64]) {
+        let ok = self.factor.update(r, alpha);
+        if !ok || self.factor.updates_since_refresh() >= self.refactor_interval {
             self.refactorize();
         }
     }
 
-    /// Rebuilds `B⁻¹` from the basic columns by Gauss–Jordan with
-    /// partial pivoting. Returns false on a (numerically) singular
-    /// basis, leaving `binv` untouched.
+    /// Rebuilds the factorization from the basic columns. Returns false
+    /// on a (numerically) singular basis, leaving the previous
+    /// factorization in use (a retry is attempted after the next pivot).
     fn refactorize(&mut self) -> bool {
-        let m = self.m;
-        let mut work = vec![0.0; m * m];
-        for (i, &b) in self.basic.iter().enumerate() {
-            if b < self.n {
-                for &(row, c) in &self.cols[b] {
-                    work[row * m + i] += c;
-                }
-            } else {
-                work[(b - self.n) * m + i] += 1.0;
-            }
+        let ctx = FactorCtx {
+            n: self.n,
+            m: self.m,
+            cols: &self.cols,
+        };
+        if !self.factor.refresh(&ctx, &self.basic) {
+            return false;
         }
-        let mut inv = identity(m);
-        for k in 0..m {
-            let mut p = k;
-            let mut best = work[k * m + k].abs();
-            for i in k + 1..m {
-                let v = work[i * m + k].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < 1e-10 {
-                return false;
-            }
-            if p != k {
-                for t in 0..m {
-                    work.swap(p * m + t, k * m + t);
-                    inv.swap(p * m + t, k * m + t);
-                }
-            }
-            let piv = 1.0 / work[k * m + k];
-            for t in 0..m {
-                work[k * m + t] *= piv;
-                inv[k * m + t] *= piv;
-            }
-            for i in 0..m {
-                if i == k {
-                    continue;
-                }
-                let f = work[i * m + k];
-                if f.abs() <= EPS {
-                    continue;
-                }
-                for t in 0..m {
-                    work[i * m + t] -= f * work[k * m + t];
-                    inv[i * m + t] -= f * inv[k * m + t];
-                }
-            }
-        }
-        self.binv = inv;
-        self.since_refactor = 0;
+        self.refactorizations += 1;
+        self.max_fill = self.max_fill.max(self.factor.fill_in());
         self.compute_xb();
         true
     }
@@ -537,7 +523,8 @@ impl<'a> Solver<'a> {
 
     /// Dual simplex: starting dual feasible, drives out primal bound
     /// violations. `Err(Infeasible)` when a violated row admits no
-    /// entering column.
+    /// entering column. The entering choice is a dual ratio test, so
+    /// pricing rules do not apply here.
     fn dual_simplex(&mut self) -> Result<(), LpOutcome> {
         loop {
             let bland = self.tick()?;
@@ -564,7 +551,7 @@ impl<'a> Solver<'a> {
             let l = self.basic[r];
             let below = self.xb[r] < self.lower[l];
             let y = self.objective_y();
-            let w = &self.binv[r * self.m..(r + 1) * self.m];
+            let w = self.factor.row(r);
 
             // Entering: dual ratio test over movable nonbasic columns.
             let mut q = NONE;
@@ -642,14 +629,14 @@ impl<'a> Solver<'a> {
             // ratio`; a positive primal step `t` alone proves nothing
             // (a dual cycle moves `x_B` every iteration).
             self.note_progress(best_ratio > DTOL);
-            self.update_binv(r, &alpha);
+            self.update_factor(r, &alpha);
         }
     }
 
     /// Composite primal phase 1: minimizes total bound violation of the
     /// basic variables. `Err(Infeasible)` when no improving column
     /// exists while violation remains.
-    fn primal_phase1(&mut self) -> Result<(), LpOutcome> {
+    fn primal_phase1(&mut self, pricing: &mut dyn Pricing) -> Result<(), LpOutcome> {
         loop {
             let bland = self.tick()?;
             let mut infeasible = false;
@@ -668,48 +655,49 @@ impl<'a> Solver<'a> {
                 return Ok(());
             }
             let y = self.btran(&cb);
-            // Entering: most negative auxiliary reduced cost (the
+            // Entering: improvement rate of the auxiliary objective (the
             // auxiliary cost of every nonbasic column is zero).
-            let mut q = NONE;
-            let mut best = -DTOL;
-            for j in 0..self.nt {
-                if self.pos[j] != NONE || self.span(j) <= EPS {
-                    continue;
+            let aux_rate = |s: &Self, j: usize| -> Option<f64> {
+                if s.pos[j] != NONE || s.span(j) <= EPS {
+                    return None;
                 }
                 let d = -{
-                    if j < self.n {
+                    if j < s.n {
                         let mut acc = 0.0;
-                        for &(row, c) in &self.cols[j] {
+                        for &(row, c) in &s.cols[j] {
                             acc += y[row] * c;
                         }
                         acc
                     } else {
-                        y[j - self.n]
+                        y[j - s.n]
                     }
                 };
-                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                let sigma = if s.at_upper[j] { -1.0 } else { 1.0 };
                 let improve = d * sigma;
-                let eligible = if bland {
-                    improve < -DTOL && q == NONE
-                } else {
-                    improve < best
-                };
-                if eligible {
-                    best = improve;
-                    q = j;
-                }
-            }
-            if q == NONE {
+                (improve < -DTOL).then_some(improve)
+            };
+            let q = if bland {
+                (0..self.nt).find(|&j| aux_rate(self, j).is_some())
+            } else {
+                pricing.select(self.nt, &mut |j| aux_rate(self, j))
+            };
+            let Some(q) = q else {
                 return Err(LpOutcome::Infeasible);
-            }
+            };
             let sigma = if self.at_upper[q] { -1.0 } else { 1.0 };
             let alpha = self.ftran(q);
-            self.phase1_step(q, sigma, &alpha)?;
+            self.phase1_step(q, sigma, &alpha, pricing)?;
         }
     }
 
     /// Ratio test + pivot for one phase-1 iteration.
-    fn phase1_step(&mut self, q: usize, sigma: f64, alpha: &[f64]) -> Result<(), LpOutcome> {
+    fn phase1_step(
+        &mut self,
+        q: usize,
+        sigma: f64,
+        alpha: &[f64],
+        pricing: &mut dyn Pricing,
+    ) -> Result<(), LpOutcome> {
         let mut t_best = if self.span(q).is_finite() {
             self.span(q)
         } else {
@@ -762,40 +750,34 @@ impl<'a> Solver<'a> {
             // zero — numerical trouble.
             return Err(LpOutcome::IterationLimit);
         }
-        self.apply_primal_step(q, sigma, t_best, blocking, alpha);
+        self.apply_primal_step(q, sigma, t_best, blocking, alpha, pricing);
         Ok(())
     }
 
     /// Primal phase 2: standard bounded-variable primal simplex on the
     /// true objective. `Err(Unbounded)` on an unblocked improving ray.
-    fn primal_phase2(&mut self) -> Result<(), LpOutcome> {
+    fn primal_phase2(&mut self, pricing: &mut dyn Pricing) -> Result<(), LpOutcome> {
         loop {
             let bland = self.tick()?;
             let y = self.objective_y();
-            let mut q = NONE;
-            let mut q_sigma = 1.0;
-            let mut best = -DTOL;
-            for j in 0..self.nt {
-                if self.pos[j] != NONE || self.span(j) <= EPS {
-                    continue;
+            let rate = |s: &Self, j: usize| -> Option<f64> {
+                if s.pos[j] != NONE || s.span(j) <= EPS {
+                    return None;
                 }
-                let d = self.reduced_cost(j, &y);
-                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                let d = s.reduced_cost(j, &y);
+                let sigma = if s.at_upper[j] { -1.0 } else { 1.0 };
                 let improve = d * sigma;
-                let eligible = if bland {
-                    improve < -DTOL && q == NONE
-                } else {
-                    improve < best
-                };
-                if eligible {
-                    best = improve;
-                    q = j;
-                    q_sigma = sigma;
-                }
-            }
-            if q == NONE {
+                (improve < -DTOL).then_some(improve)
+            };
+            let q = if bland {
+                (0..self.nt).find(|&j| rate(self, j).is_some())
+            } else {
+                pricing.select(self.nt, &mut |j| rate(self, j))
+            };
+            let Some(q) = q else {
                 return Ok(());
-            }
+            };
+            let q_sigma = if self.at_upper[q] { -1.0 } else { 1.0 };
             let alpha = self.ftran(q);
             let mut t_best = if self.span(q).is_finite() {
                 self.span(q)
@@ -832,14 +814,22 @@ impl<'a> Solver<'a> {
             if t_best.is_infinite() {
                 return Err(LpOutcome::Unbounded);
             }
-            self.apply_primal_step(q, q_sigma, t_best, blocking, &alpha);
+            self.apply_primal_step(q, q_sigma, t_best, blocking, &alpha, pricing);
         }
     }
 
     /// Applies a primal step of length `t` on entering column `q`
     /// (direction `sigma`): a basis exchange when a basic variable
     /// blocks, a bound flip when the entering column blocks itself.
-    fn apply_primal_step(&mut self, q: usize, sigma: f64, t: f64, blocking: usize, alpha: &[f64]) {
+    fn apply_primal_step(
+        &mut self,
+        q: usize,
+        sigma: f64,
+        t: f64,
+        blocking: usize,
+        alpha: &[f64],
+        pricing: &mut dyn Pricing,
+    ) {
         for (x, &a) in self.xb.iter_mut().zip(alpha) {
             *x -= sigma * t * a;
         }
@@ -853,6 +843,25 @@ impl<'a> Solver<'a> {
         self.note_progress(t > EPS);
         let r = blocking;
         let l = self.basic[r];
+        // Devex needs the pivot row of the *outgoing* basis to update
+        // its reference weights; compute it before the exchange.
+        if pricing.needs_pivot_row() {
+            let w = self.factor.row(r);
+            let pivot_row = |j: usize| -> f64 {
+                if j < self.n {
+                    let mut acc = 0.0;
+                    for &(row, c) in &self.cols[j] {
+                        acc += w[row] * c;
+                    }
+                    acc
+                } else {
+                    w[j - self.n]
+                }
+            };
+            pricing.on_pivot(q, l, alpha[r], Some(&pivot_row));
+        } else {
+            pricing.on_pivot(q, l, alpha[r], None);
+        }
         // The leaving variable exits on the bound it ran into.
         let delta = -sigma * alpha[r];
         self.at_upper[l] = delta > 0.0 && self.upper[l].is_finite();
@@ -860,7 +869,7 @@ impl<'a> Solver<'a> {
         self.xb[r] = self.nb_value(q) + sigma * t;
         self.basic[r] = q;
         self.pos[q] = r;
-        self.update_binv(r, alpha);
+        self.update_factor(r, alpha);
     }
 
     fn extract(&mut self) -> LpOutcome {
@@ -889,14 +898,6 @@ impl<'a> Solver<'a> {
     }
 }
 
-fn identity(m: usize) -> Vec<f64> {
-    let mut id = vec![0.0; m * m];
-    for i in 0..m {
-        id[i * m + i] = 1.0;
-    }
-    id
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +922,25 @@ mod tests {
         RevisedSimplex.solve(p).outcome
     }
 
+    /// Every (factorization × pricing) configuration under test.
+    fn all_configs() -> Vec<RevisedConfig> {
+        let mut configs = Vec::new();
+        for f in [FactorizationKind::DenseEta, FactorizationKind::SparseLu] {
+            for p in [
+                PricingKind::Dantzig,
+                PricingKind::Devex,
+                PricingKind::Partial,
+            ] {
+                configs.push(
+                    RevisedConfig::default()
+                        .with_factorization(f)
+                        .with_pricing(p),
+                );
+            }
+        }
+        configs
+    }
+
     #[test]
     fn revised_simple_2d_lp() {
         let p = LpProblem {
@@ -933,10 +953,12 @@ mod tests {
                 row(vec![(0, 3.0), (1, 1.0)], Relation::Le, 6.0),
             ],
         };
-        let s = optimal(solve(&p));
-        assert!((s.objective + 14.0 / 5.0).abs() < 1e-6, "{}", s.objective);
-        assert!((s.values[0] - 1.6).abs() < 1e-6);
-        assert!((s.values[1] - 1.2).abs() < 1e-6);
+        for config in all_configs() {
+            let s = optimal(config.solve(&p).outcome);
+            assert!((s.objective + 14.0 / 5.0).abs() < 1e-6, "{}", s.objective);
+            assert!((s.values[0] - 1.6).abs() < 1e-6);
+            assert!((s.values[1] - 1.2).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -977,7 +999,9 @@ mod tests {
                 row(vec![(0, 1.0)], Relation::Ge, 2.0),
             ],
         };
-        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+        for config in all_configs() {
+            assert!(matches!(config.solve(&p).outcome, LpOutcome::Infeasible));
+        }
     }
 
     #[test]
@@ -1024,8 +1048,10 @@ mod tests {
                 .collect(),
             rows,
         };
-        let s = optimal(solve(&p));
-        assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+        for config in all_configs() {
+            let s = optimal(config.solve(&p).outcome);
+            assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+        }
     }
 
     #[test]
@@ -1039,22 +1065,24 @@ mod tests {
             objective: vec![-2.0, -1.0, -3.0],
             rows: vec![row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 2.0)],
         };
-        let root = RevisedSimplex.solve(&p);
-        let basis = root.basis.expect("optimal root must export a basis");
-        for fix in [0.0, 1.0] {
-            let mut child = p.clone();
-            child.lb[2] = fix;
-            child.ub[2] = fix;
-            let warm = RevisedSimplex.solve_warm(&child, &basis);
-            assert!(warm.warmed, "basis must be adopted");
-            let cold = optimal(child.solve());
-            let s = optimal(warm.outcome);
-            assert!(
-                (s.objective - cold.objective).abs() < 1e-6,
-                "fix={fix}: warm {} vs cold {}",
-                s.objective,
-                cold.objective
-            );
+        for config in all_configs() {
+            let root = config.solve(&p);
+            let basis = root.basis.expect("optimal root must export a basis");
+            for fix in [0.0, 1.0] {
+                let mut child = p.clone();
+                child.lb[2] = fix;
+                child.ub[2] = fix;
+                let warm = config.solve_warm(&child, &basis);
+                assert!(warm.warmed, "basis must be adopted");
+                let cold = optimal(child.solve());
+                let s = optimal(warm.outcome);
+                assert!(
+                    (s.objective - cold.objective).abs() < 1e-6,
+                    "fix={fix}: warm {} vs cold {}",
+                    s.objective,
+                    cold.objective
+                );
+            }
         }
     }
 
@@ -1069,15 +1097,17 @@ mod tests {
             objective: vec![-1.0, -1.0],
             rows: vec![row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 2.0)],
         };
-        let root = RevisedSimplex.solve(&p);
-        let basis = root.basis.expect("basis");
-        let mut cut = p.clone();
-        cut.rows
-            .push(row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0));
-        let warm = RevisedSimplex.solve_warm(&cut, &basis);
-        assert!(warm.warmed);
-        let s = optimal(warm.outcome);
-        assert!((s.objective + 1.0).abs() < 1e-6, "obj={}", s.objective);
+        for config in all_configs() {
+            let root = config.solve(&p);
+            let basis = root.basis.expect("basis");
+            let mut cut = p.clone();
+            cut.rows
+                .push(row(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0));
+            let warm = config.solve_warm(&cut, &basis);
+            assert!(warm.warmed);
+            let s = optimal(warm.outcome);
+            assert!((s.objective + 1.0).abs() < 1e-6, "obj={}", s.objective);
+        }
     }
 
     #[test]
@@ -1157,7 +1187,41 @@ mod tests {
             objective: vec![-1.0, -1.0],
             rows,
         };
-        let s = optimal(solve(&p));
-        assert!(s.objective < 0.0);
+        for config in all_configs() {
+            let s = optimal(config.solve(&p).outcome);
+            assert!(s.objective < 0.0);
+        }
+    }
+
+    #[test]
+    fn revised_forced_refactorization_cadence_agrees() {
+        // Refactorizing after every single pivot must not change any
+        // answer — only the arithmetic path.
+        let p = LpProblem {
+            num_vars: 4,
+            lb: vec![0.0; 4],
+            ub: vec![1.0; 4],
+            objective: vec![-3.0, -5.0, -4.0, -1.5],
+            rows: vec![
+                row(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Relation::Le, 4.0),
+                row(vec![(1, 2.0), (2, 4.0), (3, 1.0)], Relation::Le, 5.0),
+                row(vec![(0, 1.0), (3, 2.0)], Relation::Le, 2.5),
+            ],
+        };
+        let reference = optimal(p.solve());
+        for interval in [1, 2, 7] {
+            for f in [FactorizationKind::DenseEta, FactorizationKind::SparseLu] {
+                let config = RevisedConfig::default()
+                    .with_factorization(f)
+                    .with_refactor_interval(interval);
+                let s = optimal(config.solve(&p).outcome);
+                assert!(
+                    (s.objective - reference.objective).abs() < 1e-6,
+                    "{f} interval {interval}: {} vs {}",
+                    s.objective,
+                    reference.objective
+                );
+            }
+        }
     }
 }

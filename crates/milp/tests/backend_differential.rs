@@ -9,7 +9,8 @@
 //! backend` selects the whole suite.
 
 use xring_milp::{
-    DenseBackend, LpBackend, LpOutcome, LpProblem, LpSolution, Relation, RevisedSimplex,
+    DenseBackend, FactorizationKind, LpBackend, LpOutcome, LpProblem, LpSolution, Relation,
+    RevisedConfig, RevisedSimplex,
 };
 
 /// Deterministic split-mix generator (local copy: `xring-milp` sits
@@ -151,6 +152,35 @@ fn check_agreement(lp: &LpProblem, seed_tag: u64) -> &'static str {
     dc
 }
 
+/// Triple agreement: the dense tableau and the revised simplex under
+/// both factorizations (dense eta file, sparse LU) must report the same
+/// outcome class and, when optimal, objectives within 1e-6.
+fn check_triple_agreement(lp: &LpProblem, seed_tag: u64) -> &'static str {
+    let dense = DenseBackend.solve(lp).outcome;
+    let dc = outcome_class(&dense);
+    assert_ne!(dc, "iteration-limit", "seed {seed_tag}: dense stalled");
+    for kind in [FactorizationKind::DenseEta, FactorizationKind::SparseLu] {
+        let backend = RevisedConfig::default().with_factorization(kind);
+        let revised = backend.solve(lp).outcome;
+        let rc = outcome_class(&revised);
+        assert_ne!(rc, "iteration-limit", "seed {seed_tag}: {kind} stalled");
+        assert_eq!(dc, rc, "seed {seed_tag}: {kind} outcome mismatch on {lp:?}");
+        if let (LpOutcome::Optimal(d), LpOutcome::Optimal(r)) = (&dense, &revised) {
+            assert!(
+                (d.objective - r.objective).abs() < 1e-6,
+                "seed {seed_tag}: dense {} vs {kind} {} on {lp:?}",
+                d.objective,
+                r.objective
+            );
+            assert!(
+                violation(lp, r) < 1e-6,
+                "seed {seed_tag}: {kind} solution infeasible"
+            );
+        }
+    }
+    dc
+}
+
 #[test]
 fn backend_agreement_on_1500_seeded_lps() {
     let mut rng = SplitMix64(0xD1FF_5EED_0001);
@@ -250,6 +280,123 @@ fn backend_agreement_on_degenerate_transportation_lps() {
             rows,
         };
         check_agreement(&lp, seed_tag);
+    }
+}
+
+#[test]
+fn backend_triple_agreement_on_seeded_lps() {
+    // Dense tableau vs revised+dense-eta vs revised+sparse-lu on a
+    // fresh seeded population spanning every outcome class.
+    let mut rng = SplitMix64(0xD1FF_5EED_0004);
+    let mut optimal = 0usize;
+    for seed_tag in 0..400u64 {
+        let lp = gen_lp(&mut rng);
+        if check_triple_agreement(&lp, seed_tag) == "optimal" {
+            optimal += 1;
+        }
+    }
+    assert!(optimal >= 80, "only {optimal} optimal instances");
+}
+
+#[test]
+fn backend_agreement_under_forced_refactorization_cadences() {
+    // Tight refactorization intervals force the LU path through many
+    // refresh cycles per solve; every cadence must reproduce the dense
+    // reference objective exactly (within 1e-6).
+    let mut rng = SplitMix64(0xD1FF_5EED_0005);
+    for seed_tag in 0..150u64 {
+        let lp = gen_lp(&mut rng);
+        let dense = DenseBackend.solve(&lp).outcome;
+        let dc = outcome_class(&dense);
+        for interval in [1, 3, 7] {
+            for kind in [FactorizationKind::DenseEta, FactorizationKind::SparseLu] {
+                let backend = RevisedConfig::default()
+                    .with_factorization(kind)
+                    .with_refactor_interval(interval);
+                let revised = backend.solve(&lp).outcome;
+                assert_eq!(
+                    dc,
+                    outcome_class(&revised),
+                    "seed {seed_tag}: {kind} interval {interval} outcome mismatch"
+                );
+                if let (LpOutcome::Optimal(d), LpOutcome::Optimal(r)) = (&dense, &revised) {
+                    assert!(
+                        (d.objective - r.objective).abs() < 1e-6,
+                        "seed {seed_tag}: {kind} interval {interval}: dense {} vs revised {}",
+                        d.objective,
+                        r.objective
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn backend_triple_agreement_on_badly_scaled_lps() {
+    // Equilibration-hostile instances: scale each row by 10^{-3..3} and
+    // each column by 10^{-3..3} (substituting y_j = s_j · x_j, which
+    // compensates bounds and objective so the optimal value is
+    // unchanged), giving coefficient magnitudes spanning ~1e±6.
+    let mut rng = SplitMix64(0xD1FF_5EED_0006);
+    let mut optimal = 0usize;
+    for seed_tag in 0..200u64 {
+        let mut lp = gen_lp(&mut rng);
+        let col_scale: Vec<f64> = (0..lp.num_vars)
+            .map(|_| 10f64.powi(rng.below(7) as i32 - 3))
+            .collect();
+        for (j, &s) in col_scale.iter().enumerate() {
+            lp.lb[j] *= s;
+            lp.ub[j] *= s;
+            lp.objective[j] /= s;
+        }
+        for row in &mut lp.rows {
+            let rs = 10f64.powi(rng.below(7) as i32 - 3);
+            for (j, c) in &mut row.terms {
+                *c = *c / col_scale[*j] * rs;
+            }
+            row.rhs *= rs;
+        }
+        if check_triple_agreement(&lp, seed_tag) == "optimal" {
+            optimal += 1;
+        }
+    }
+    assert!(optimal >= 40, "only {optimal} optimal instances");
+}
+
+#[test]
+fn backend_triple_agreement_on_near_degenerate_lps() {
+    // Transportation structure with rhs perturbed by ~1e-5: ratio tests
+    // see near-ties instead of exact ties, the regime where eta-file
+    // drift and pivot-tolerance differences would surface first. The
+    // perturbation stays above the 1e-7 feasibility tolerance so every
+    // backend resolves the same unique optimum.
+    let mut rng = SplitMix64(0xD1FF_5EED_0007);
+    for seed_tag in 0..60u64 {
+        let k = 2 + rng.below(3) as usize;
+        let nv = k * k;
+        let mut rows = Vec::new();
+        for i in 0..k {
+            let eps = (rng.below(5) as f64 - 2.0) * 1e-5;
+            rows.push(xring_milp::simplex::LpRow {
+                terms: (0..k).map(|j| (i * k + j, 1.0)).collect(),
+                relation: Relation::Le,
+                rhs: 1.0 + eps,
+            });
+            rows.push(xring_milp::simplex::LpRow {
+                terms: (0..k).map(|j| (j * k + i, 1.0)).collect(),
+                relation: Relation::Ge,
+                rhs: 1.0 - eps,
+            });
+        }
+        let lp = LpProblem {
+            num_vars: nv,
+            lb: vec![0.0; nv],
+            ub: vec![1.0; nv],
+            objective: (0..nv).map(|_| rng.half(0, 9)).collect(),
+            rows,
+        };
+        check_triple_agreement(&lp, seed_tag);
     }
 }
 

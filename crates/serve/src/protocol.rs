@@ -27,7 +27,10 @@
 //!     "spares": 1 | {"k_wavelengths": 1, "k_mrrs": 1},
 //!     "deadline_ms": 250,
 //!     "degradation": "forbid" | "allow" | "force-heuristic",
-//!     "lp_backend": "revised" | "dense"
+//!     "lp_backend": "revised" | "dense",
+//!     "solver_threads": 4,
+//!     "pricing": "dantzig" | "devex" | "partial",
+//!     "factorization": "sparse-lu" | "dense-eta"
 //!   }
 //! }
 //! ```
@@ -317,6 +320,9 @@ fn apply_options(v: &Json, options: &mut SynthesisOptions) -> Result<(), Protoco
         "deadline_ms",
         "degradation",
         "lp_backend",
+        "solver_threads",
+        "pricing",
+        "factorization",
     ];
     let obj = v.as_obj().ok_or_else(|| {
         ProtocolError::bad_request("bad_request", "\"options\" must be an object")
@@ -431,6 +437,24 @@ fn apply_options(v: &Json, options: &mut SynthesisOptions) -> Result<(), Protoco
                     .as_str()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| option_err(key, "one of \"revised\", \"dense\""))?;
+            }
+            "solver_threads" => {
+                options.solver_threads = value
+                    .as_usize()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| option_err(key, "a positive integer"))?;
+            }
+            "pricing" => {
+                options.pricing = value
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| option_err(key, "one of \"dantzig\", \"devex\", \"partial\""))?;
+            }
+            "factorization" => {
+                options.factorization = value
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| option_err(key, "one of \"sparse-lu\", \"dense-eta\""))?;
             }
             other => {
                 debug_assert!(!ALLOWED.contains(&other));
@@ -612,6 +636,38 @@ mod tests {
             job.options.ring_algorithm,
             RingAlgorithm::Heuristic
         ));
+    }
+
+    #[test]
+    fn applies_solver_knobs_and_rejects_bad_ones() {
+        let body = r#"{"net": {"named": "proton_8"}, "options": {
+            "solver_threads": 4, "pricing": "devex",
+            "factorization": "dense-eta"}}"#;
+        let job = parse_synth(body, &defaults(), 0).unwrap();
+        assert_eq!(job.options.solver_threads, 4);
+        assert_eq!(job.options.pricing, xring_core::PricingKind::Devex);
+        assert_eq!(
+            job.options.factorization,
+            xring_core::FactorizationKind::DenseEta
+        );
+        // Unset knobs keep the defaults.
+        let job = parse_synth(r#"{"net": {"named": "proton_8"}}"#, &defaults(), 0).unwrap();
+        assert_eq!(job.options.solver_threads, 1);
+        assert_eq!(job.options.pricing, xring_core::PricingKind::Dantzig);
+        assert_eq!(
+            job.options.factorization,
+            xring_core::FactorizationKind::SparseLu
+        );
+        for bad in [
+            r#"{"solver_threads": 0}"#,
+            r#"{"solver_threads": "many"}"#,
+            r#"{"pricing": "steepest"}"#,
+            r#"{"factorization": "qr"}"#,
+        ] {
+            let body = format!(r#"{{"net": {{"named": "proton_8"}}, "options": {bad}}}"#);
+            let err = parse_synth(&body, &defaults(), 0).unwrap_err();
+            assert_eq!(err.code, "bad_request", "{bad}");
+        }
     }
 
     #[test]

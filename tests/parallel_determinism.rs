@@ -1,0 +1,126 @@
+//! Parallel-search determinism acceptance at the ring-MILP and full
+//! synthesis level: `--solver-threads 1/2/8` must produce the same
+//! objective bits, the same design bytes, and the same final optimality
+//! gap on every tier-1 ring-MILP fixture. The parallel branch-and-bound
+//! batches frontier nodes, solves their relaxations concurrently, and
+//! merges results in a fixed node-id order, so the explored tree — and
+//! therefore everything derived from it — is thread-count invariant.
+//!
+//! ci.sh runs this suite as its determinism gate.
+
+use xring::core::{NetworkSpec, RingBuilder, SynthesisOptions, Synthesizer};
+
+fn fixtures() -> Vec<(&'static str, NetworkSpec)> {
+    vec![
+        (
+            "grid2x2",
+            NetworkSpec::regular_grid(2, 2, 2_000).expect("grid"),
+        ),
+        (
+            "grid3x3",
+            NetworkSpec::regular_grid(3, 3, 2_000).expect("grid"),
+        ),
+        ("proton_8", NetworkSpec::proton_8()),
+        ("psion_8", NetworkSpec::psion_8()),
+        ("psion_16", NetworkSpec::psion_16()),
+        (
+            "irr16_s5",
+            NetworkSpec::irregular(16, 8_000, 5).expect("net"),
+        ),
+        (
+            "irr16_s7",
+            NetworkSpec::irregular(16, 8_000, 7).expect("net"),
+        ),
+        (
+            "irr12_s13",
+            NetworkSpec::irregular(12, 6_000, 13).expect("net"),
+        ),
+    ]
+}
+
+#[test]
+fn ring_milp_is_bit_deterministic_across_thread_counts() {
+    for (name, net) in fixtures() {
+        let base = RingBuilder::new()
+            .with_solver_threads(1)
+            .build(&net)
+            .unwrap_or_else(|e| panic!("{name}: 1-thread build failed: {e}"));
+        for threads in [2usize, 8] {
+            let out = RingBuilder::new()
+                .with_solver_threads(threads)
+                .build(&net)
+                .unwrap_or_else(|e| panic!("{name}: {threads}-thread build failed: {e}"));
+            // Objective: exact bits, not a tolerance — the merged search
+            // must take the identical pivot path.
+            assert_eq!(
+                base.stats.milp_objective.to_bits(),
+                out.stats.milp_objective.to_bits(),
+                "{name}: objective differs at {threads} threads ({} vs {})",
+                base.stats.milp_objective,
+                out.stats.milp_objective
+            );
+            assert_eq!(
+                base.cycle.order(),
+                out.cycle.order(),
+                "{name}: tour differs at {threads} threads"
+            );
+            assert_eq!(
+                base.stats.milp_nodes, out.stats.milp_nodes,
+                "{name}: node count differs at {threads} threads"
+            );
+            assert_eq!(
+                base.stats.lp_solves, out.stats.lp_solves,
+                "{name}: LP solve count differs at {threads} threads"
+            );
+            assert_eq!(
+                base.stats.lazy_cuts, out.stats.lazy_cuts,
+                "{name}: lazy-cut count differs at {threads} threads"
+            );
+            // Final gap and the event-stream shape (counts, not wall
+            // times — elapsed is the one legitimately nondeterministic
+            // field).
+            let summary = |o: &Option<xring::core::ConvergenceSummary>| {
+                o.as_ref().map(|c| {
+                    (
+                        c.final_gap.map(f64::to_bits),
+                        c.incumbent_events,
+                        c.nodes,
+                        c.events,
+                    )
+                })
+            };
+            assert_eq!(
+                summary(&base.stats.convergence),
+                summary(&out.stats.convergence),
+                "{name}: convergence telemetry differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesized_design_bytes_are_thread_count_invariant() {
+    // Full pipeline on the deep-tree irregular fixtures: the rendered
+    // design document (ring order, lane occupancy, shortcuts, openings,
+    // PDN) must be byte-identical across thread counts.
+    for seed in [5u64, 7] {
+        let net = NetworkSpec::irregular(16, 8_000, seed).expect("net");
+        let reference =
+            Synthesizer::new(SynthesisOptions::with_wavelengths(8).with_solver_threads(1))
+                .synthesize(&net)
+                .expect("1-thread synthesis")
+                .describe();
+        for threads in [2usize, 8] {
+            let design = Synthesizer::new(
+                SynthesisOptions::with_wavelengths(8).with_solver_threads(threads),
+            )
+            .synthesize(&net)
+            .expect("parallel synthesis")
+            .describe();
+            assert_eq!(
+                reference, design,
+                "seed {seed}: design bytes differ at {threads} threads"
+            );
+        }
+    }
+}
